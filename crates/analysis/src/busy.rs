@@ -1,0 +1,192 @@
+//! Busy-cell classification: the `U_PRB > 80%` machinery of §4.3.
+//!
+//! [`NetworkLoadModel`] bundles the three things needed to answer "was
+//! this cell busy at that moment": the background-load model, the
+//! car-generated load ledger, and each cell's land-use class. Everything
+//! downstream (Table 2's segmentation, Figure 7's deciles, Figure 10's
+//! load curves, Figure 11's cell selection) goes through it.
+
+use conncar_cdr::CdrRecord;
+use conncar_geo::Deployment;
+use conncar_radio::{BackgroundLoad, CellClass, PrbLedger, UtilizationSeries};
+use conncar_types::{BaseStationId, BinIndex, CellId, StudyPeriod};
+use std::collections::HashMap;
+
+/// Default busy threshold: the paper's `U_PRB > 80%`.
+pub const BUSY_THRESHOLD: f64 = 0.80;
+
+/// Combined network-load view over the study.
+#[derive(Debug, Clone)]
+pub struct NetworkLoadModel<'a> {
+    ledger: &'a PrbLedger,
+    background: &'a BackgroundLoad,
+    classes: HashMap<BaseStationId, CellClass>,
+    threshold: f64,
+}
+
+impl<'a> NetworkLoadModel<'a> {
+    /// Build from the simulation outputs plus the deployment (for cell
+    /// classes).
+    pub fn new(
+        ledger: &'a PrbLedger,
+        background: &'a BackgroundLoad,
+        deployment: &Deployment,
+    ) -> NetworkLoadModel<'a> {
+        let classes = deployment
+            .stations()
+            .iter()
+            .map(|s| (s.id, CellClass::of_station(s)))
+            .collect();
+        NetworkLoadModel {
+            ledger,
+            background,
+            classes,
+            threshold: BUSY_THRESHOLD,
+        }
+    }
+
+    /// Override the busy threshold (ablations).
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// The busy threshold in use.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The study period.
+    pub fn period(&self) -> StudyPeriod {
+        self.ledger.period()
+    }
+
+    /// The land-use class of a cell (rural default for foreign ids,
+    /// which keeps the model total).
+    pub fn class_of(&self, cell: CellId) -> CellClass {
+        self.classes
+            .get(&cell.station)
+            .copied()
+            .unwrap_or(CellClass::Rural)
+    }
+
+    /// `U_PRB` of a cell in a bin.
+    pub fn utilization(&self, cell: CellId, bin: BinIndex) -> f64 {
+        self.ledger
+            .utilization(cell, self.class_of(cell), bin, self.background)
+    }
+
+    /// Whether the cell exceeds the busy threshold in the bin.
+    pub fn is_busy(&self, cell: CellId, bin: BinIndex) -> bool {
+        self.utilization(cell, bin) > self.threshold
+    }
+
+    /// Dense utilization series for a cell.
+    pub fn series(&self, cell: CellId) -> UtilizationSeries {
+        self.ledger
+            .series(cell, self.class_of(cell), self.background)
+    }
+
+    /// Seconds of a record spent in busy bins vs its total duration.
+    ///
+    /// §4.3 attributes a car's connected time to busy/non-busy according
+    /// to the 15-minute bins its connections overlap.
+    pub fn busy_split_secs(&self, record: &CdrRecord) -> (u64, u64) {
+        let mut busy = 0u64;
+        let mut total = 0u64;
+        for bin in BinIndex::covering(record.start, record.end) {
+            let overlap = bin.overlap_secs(record.start, record.end);
+            total += overlap;
+            if self.is_busy(record.cell, bin) {
+                busy += overlap;
+            }
+        }
+        (busy, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_geo::{Region, RegionConfig};
+    use conncar_radio::BackgroundLoadConfig;
+    use conncar_types::{CarId, Carrier, Duration, Timestamp};
+
+    struct Fixture {
+        region: Region,
+        ledger: PrbLedger,
+        background: BackgroundLoad,
+    }
+
+    fn fixture() -> Fixture {
+        let region = Region::generate(&RegionConfig::small(), 42);
+        let period = StudyPeriod::PAPER;
+        Fixture {
+            region,
+            ledger: PrbLedger::new(period),
+            background: BackgroundLoad::new(BackgroundLoadConfig::default(), period, -5),
+        }
+    }
+
+    #[test]
+    fn class_lookup_matches_deployment() {
+        let f = fixture();
+        let model = NetworkLoadModel::new(&f.ledger, &f.background, f.region.deployment());
+        for s in f.region.deployment().stations().iter().take(20) {
+            let cell = CellId::new(s.id, 0, Carrier::C1);
+            assert_eq!(model.class_of(cell), CellClass::of_station(s));
+        }
+        // Foreign station falls back to rural.
+        let foreign = CellId::new(BaseStationId(9_999_999), 0, Carrier::C1);
+        assert_eq!(model.class_of(foreign), CellClass::Rural);
+    }
+
+    #[test]
+    fn car_load_raises_utilization() {
+        let f = fixture();
+        let cell = CellId::new(f.region.deployment().stations()[0].id, 0, Carrier::C3);
+        let bin = BinIndex(40);
+        let mut loaded = f.ledger.clone();
+        loaded.add_load_fraction(cell, bin.start(), bin.end(), 0.4);
+        let base_model = NetworkLoadModel::new(&f.ledger, &f.background, f.region.deployment());
+        let loaded_model = NetworkLoadModel::new(&loaded, &f.background, f.region.deployment());
+        let before = base_model.utilization(cell, bin);
+        let after = loaded_model.utilization(cell, bin);
+        assert!((after - (before + 0.4).min(1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn busy_split_accounts_every_second() {
+        let f = fixture();
+        let model = NetworkLoadModel::new(&f.ledger, &f.background, f.region.deployment());
+        let cell = CellId::new(f.region.deployment().stations()[0].id, 1, Carrier::C3);
+        let rec = CdrRecord {
+            car: CarId(1),
+            cell,
+            start: Timestamp::from_day_hms(2, 17, 50, 0),
+            end: Timestamp::from_day_hms(2, 18, 20, 0),
+        };
+        let (busy, total) = model.busy_split_secs(&rec);
+        assert_eq!(total, rec.duration().as_secs());
+        assert!(busy <= total);
+    }
+
+    #[test]
+    fn threshold_override_is_monotone() {
+        let f = fixture();
+        let cell = CellId::new(f.region.deployment().stations()[0].id, 0, Carrier::C3);
+        let mut loaded = f.ledger.clone();
+        // Saturate an afternoon hour.
+        let start = Timestamp::from_day_hms(1, 17, 0, 0);
+        loaded.add_load_fraction(cell, start, start + Duration::from_hours(1), 1.0);
+        let strict = NetworkLoadModel::new(&loaded, &f.background, f.region.deployment());
+        let lax = NetworkLoadModel::new(&loaded, &f.background, f.region.deployment())
+            .with_threshold(0.5);
+        let bin = BinIndex::containing(start);
+        assert!(strict.is_busy(cell, bin));
+        assert!(lax.is_busy(cell, bin));
+        // A quiet overnight bin: busy under neither threshold.
+        let night = BinIndex::containing(Timestamp::from_day_hms(1, 3, 0, 0));
+        assert!(!strict.is_busy(cell, night));
+    }
+}

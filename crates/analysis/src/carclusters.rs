@@ -1,0 +1,299 @@
+//! Clustering cars by behaviour — the paper's concluding claim made
+//! executable.
+//!
+//! §5: *"Most importantly, we find that it is possible to classify cars
+//! by how often they appear on the network and whether their network
+//! presence would occur during busy or non-busy hours."* And §4.7 calls
+//! for treating groups of cars differently (FOTA vs infotainment vs
+//! user traffic).
+//!
+//! This module builds a per-car **behaviour vector** from observable
+//! trace features only (no ground-truth persona access):
+//!
+//! 1. fraction of study days active;
+//! 2. fraction of connected time in busy cells;
+//! 3. weekly-matrix regularity (habit strength);
+//! 4. share of connection mass in commute-peak hours;
+//! 5. share of connection mass on weekends;
+//! 6. mean connected hours per active day.
+//!
+//! and k-means-clusters the fleet over it. On synthetic data the
+//! recovered clusters align with the hidden archetypes — quantified by
+//! the purity score, which doubles as a validation of the whole
+//! generative model.
+
+use crate::cluster::{choose_k, kmeans, KmeansResult};
+use crate::matrix::{car_matrix, reference_matrices};
+use crate::segmentation::CarBusyProfile;
+use conncar_cdr::CdrDataset;
+use conncar_types::{CarId, Error, Result, StudyPeriod, TimeZone};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One car's observable behaviour features.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorVector {
+    /// The car.
+    pub car: CarId,
+    /// Active days ÷ study days.
+    pub days_active_frac: f64,
+    /// Connected time in busy cells ÷ total connected time.
+    pub busy_frac: f64,
+    /// Weekly-matrix regularity, `[0, 1]`.
+    pub regularity: f64,
+    /// Connection mass inside weekday commute peaks.
+    pub commute_share: f64,
+    /// Connection mass on weekends.
+    pub weekend_share: f64,
+    /// Mean connected hours per active day.
+    pub hours_per_active_day: f64,
+}
+
+impl BehaviorVector {
+    /// The feature array, normalized so every axis is O(1).
+    pub fn features(&self) -> [f64; 6] {
+        [
+            self.days_active_frac,
+            self.busy_frac,
+            self.regularity,
+            self.commute_share,
+            self.weekend_share,
+            // Hours/day rarely exceed ~6; squash to keep axes balanced.
+            (self.hours_per_active_day / 6.0).min(1.5),
+        ]
+    }
+}
+
+/// Compute behaviour vectors for every connected car.
+pub fn behavior_vectors(
+    ds: &CdrDataset,
+    profiles: &[CarBusyProfile],
+    period: StudyPeriod,
+    tz: TimeZone,
+) -> Vec<BehaviorVector> {
+    let refs = reference_matrices();
+    let by_car: HashMap<CarId, &CarBusyProfile> =
+        profiles.iter().map(|p| (p.car, p)).collect();
+    let mut out = Vec::new();
+    for (car, records) in ds.by_car() {
+        let Some(profile) = by_car.get(&car) else {
+            continue;
+        };
+        let m = car_matrix(records, period, tz);
+        let days = period.days().max(1) as f64;
+        let active = profile.days_active.max(1) as f64;
+        out.push(BehaviorVector {
+            car,
+            days_active_frac: profile.days_active as f64 / days,
+            busy_frac: profile.busy_fraction(),
+            regularity: m.regularity(),
+            commute_share: m.mass_within(&refs.commute_peaks),
+            weekend_share: m.mass_within(&refs.weekend),
+            hours_per_active_day: profile.total_secs as f64 / 3_600.0 / active,
+        });
+    }
+    out
+}
+
+/// The fleet clustered by behaviour.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CarClustering {
+    /// Cluster id per vector (same order as the input vectors).
+    pub assignments: Vec<usize>,
+    /// Number of clusters.
+    pub k: usize,
+    /// Mean behaviour vector per cluster (feature space).
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster sizes.
+    pub sizes: Vec<usize>,
+}
+
+/// Cluster the fleet into `k` behaviour groups (k-means over the
+/// feature vectors). `k = 0` selects k automatically by silhouette
+/// over `2..=6`.
+pub fn cluster_cars(vectors: &[BehaviorVector], k: usize, seed: u64) -> Result<CarClustering> {
+    if vectors.is_empty() {
+        return Err(Error::EmptyInput {
+            analysis: "cluster_cars",
+        });
+    }
+    let points: Vec<Vec<f64>> = vectors.iter().map(|v| v.features().to_vec()).collect();
+    let (k, result): (usize, KmeansResult) = if k == 0 {
+        choose_k(&points, 6, 100, seed)?
+    } else {
+        (k, kmeans(&points, k, 100, seed)?)
+    };
+    let sizes = result.sizes();
+    Ok(CarClustering {
+        assignments: result.assignments,
+        k,
+        centroids: result.centroids,
+        sizes,
+    })
+}
+
+/// Purity of a clustering against ground-truth labels: the fraction of
+/// cars whose cluster's majority label matches their own. 1.0 = the
+/// clustering perfectly recovers the labels.
+pub fn purity<L: Eq + std::hash::Hash + Copy>(
+    assignments: &[usize],
+    labels: &[L],
+    k: usize,
+) -> f64 {
+    assert_eq!(assignments.len(), labels.len());
+    if assignments.is_empty() {
+        return 0.0;
+    }
+    let mut counts: Vec<HashMap<L, usize>> = vec![HashMap::new(); k];
+    for (&a, &l) in assignments.iter().zip(labels) {
+        *counts[a].entry(l).or_default() += 1;
+    }
+    let majority_sum: usize = counts
+        .iter()
+        .map(|m| m.values().copied().max().unwrap_or(0))
+        .sum();
+    majority_sum as f64 / assignments.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vector(
+        car: u32,
+        days: f64,
+        busy: f64,
+        reg: f64,
+        commute: f64,
+        weekend: f64,
+        hours: f64,
+    ) -> BehaviorVector {
+        BehaviorVector {
+            car: CarId(car),
+            days_active_frac: days,
+            busy_frac: busy,
+            regularity: reg,
+            commute_share: commute,
+            weekend_share: weekend,
+            hours_per_active_day: hours,
+        }
+    }
+
+    /// Two synthetic populations: commuters and weekenders.
+    fn two_populations() -> (Vec<BehaviorVector>, Vec<u8>) {
+        let mut vecs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            let j = (i % 5) as f64 * 0.01;
+            vecs.push(vector(i, 0.9 + j, 0.1, 0.6 + j, 0.7, 0.05, 1.5));
+            labels.push(0u8);
+            vecs.push(vector(100 + i, 0.3 + j, 0.05, 0.2 + j, 0.05, 0.8, 1.0));
+            labels.push(1u8);
+        }
+        (vecs, labels)
+    }
+
+    #[test]
+    fn clusters_separate_known_populations() {
+        let (vecs, labels) = two_populations();
+        let c = cluster_cars(&vecs, 2, 7).unwrap();
+        assert_eq!(c.k, 2);
+        assert_eq!(c.sizes.iter().sum::<usize>(), vecs.len());
+        let p = purity(&c.assignments, &labels, c.k);
+        assert!(p > 0.95, "purity {p}");
+    }
+
+    #[test]
+    fn auto_k_finds_two() {
+        let (vecs, _) = two_populations();
+        let c = cluster_cars(&vecs, 0, 7).unwrap();
+        assert_eq!(c.k, 2);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(cluster_cars(&[], 2, 7).is_err());
+    }
+
+    #[test]
+    fn purity_bounds() {
+        assert_eq!(purity::<u8>(&[], &[], 2), 0.0);
+        // All in one cluster with mixed labels: purity = majority share.
+        let p = purity(&[0, 0, 0, 0], &[1u8, 1, 2, 3], 1);
+        assert!((p - 0.5).abs() < 1e-12);
+        // Perfect split.
+        let p = purity(&[0, 0, 1, 1], &[5u8, 5, 9, 9], 2);
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn features_are_bounded() {
+        let v = vector(1, 1.0, 1.0, 1.0, 1.0, 1.0, 100.0);
+        for f in v.features() {
+            assert!((0.0..=1.5).contains(&f), "feature {f}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_on_synthetic_study_recovers_archetypes() {
+        // The integration-level claim: clustering *observable* behaviour
+        // recovers the hidden archetypes far better than chance.
+        use conncar_cdr::CdrRecord;
+        use conncar_types::{BaseStationId, Carrier, CellId, DayOfWeek, Duration, Timestamp};
+
+        let period = StudyPeriod::new(DayOfWeek::Monday, 28).unwrap();
+        let mut records = Vec::new();
+        let mut labels = Vec::new();
+        // 20 strict commuters, 20 weekend drivers.
+        for car in 0..20u32 {
+            labels.push(0u8);
+            for (day, weekday) in period.iter_days() {
+                if weekday.is_weekday() {
+                    for hour in [8u64, 17] {
+                        let start = Timestamp::from_day_hms(day, hour, 5, 0);
+                        records.push(CdrRecord {
+                            car: CarId(car),
+                            cell: CellId::new(BaseStationId(car % 7), 0, Carrier::C3),
+                            start,
+                            end: start + Duration::from_mins(25),
+                        });
+                    }
+                }
+            }
+        }
+        for car in 100..120u32 {
+            labels.push(1u8);
+            for (day, weekday) in period.iter_days() {
+                if weekday.is_weekend() {
+                    let start = Timestamp::from_day_hms(day, 13, 0, 0);
+                    records.push(CdrRecord {
+                        car: CarId(car),
+                        cell: CellId::new(BaseStationId(car % 7), 0, Carrier::C3),
+                        start,
+                        end: start + Duration::from_hours(2),
+                    });
+                }
+            }
+        }
+        let ds = CdrDataset::new(period, records);
+        // Profiles with zero busy time (no load model needed here).
+        let profiles: Vec<CarBusyProfile> = ds
+            .by_car()
+            .map(|(car, rs)| {
+                let days: std::collections::HashSet<u64> =
+                    rs.iter().map(|r| r.start.day()).collect();
+                CarBusyProfile {
+                    car,
+                    days_active: days.len() as u32,
+                    busy_secs: 0,
+                    total_secs: rs.iter().map(|r| r.duration().as_secs()).sum(),
+                }
+            })
+            .collect();
+        let vectors = behavior_vectors(&ds, &profiles, period, TimeZone::UTC);
+        assert_eq!(vectors.len(), 40);
+        let c = cluster_cars(&vectors, 2, 11).unwrap();
+        let p = purity(&c.assignments, &labels, 2);
+        assert!(p > 0.9, "archetype recovery purity {p}");
+    }
+}

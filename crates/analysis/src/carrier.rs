@@ -1,0 +1,138 @@
+//! Frequency-band usage: Table 3 (§4.6).
+//!
+//! Two views per carrier: the fraction of cars that connected to it *at
+//! least once* over the study (hardware + deployment reach), and the
+//! fraction of total connected time it carried (actual utilization of
+//! the band by the fleet).
+
+use conncar_cdr::CdrDataset;
+use conncar_types::{Carrier, ALL_CARRIERS};
+use serde::{Deserialize, Serialize};
+
+/// Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CarrierUsage {
+    /// Fraction of connected cars that ever used each carrier (C1..C5).
+    pub cars_frac: [f64; 5],
+    /// Fraction of total connected seconds on each carrier (C1..C5).
+    pub time_frac: [f64; 5],
+    /// Number of cars in the denominator.
+    pub cars: usize,
+    /// Total connected seconds in the denominator.
+    pub total_secs: u64,
+}
+
+impl CarrierUsage {
+    /// Accessors by carrier for readability in reports.
+    pub fn cars_pct(&self, c: Carrier) -> f64 {
+        self.cars_frac[c.index()] * 100.0
+    }
+
+    /// Time share of a carrier in percent.
+    pub fn time_pct(&self, c: Carrier) -> f64 {
+        self.time_frac[c.index()] * 100.0
+    }
+}
+
+/// Compute Table 3 over a dataset.
+pub fn carrier_usage(ds: &CdrDataset) -> CarrierUsage {
+    let mut cars_with = [0usize; 5];
+    let mut secs = [0u64; 5];
+    let mut cars = 0usize;
+    for (_car, records) in ds.by_car() {
+        cars += 1;
+        let mut seen = [false; 5];
+        for r in records {
+            let i = r.cell.carrier.index();
+            seen[i] = true;
+            secs[i] += r.duration().as_secs();
+        }
+        for (c, s) in cars_with.iter_mut().zip(seen) {
+            if s {
+                *c += 1;
+            }
+        }
+    }
+    let total_secs: u64 = secs.iter().sum();
+    let mut cars_frac = [0.0; 5];
+    let mut time_frac = [0.0; 5];
+    for c in ALL_CARRIERS {
+        let i = c.index();
+        cars_frac[i] = if cars == 0 {
+            0.0
+        } else {
+            cars_with[i] as f64 / cars as f64
+        };
+        time_frac[i] = if total_secs == 0 {
+            0.0
+        } else {
+            secs[i] as f64 / total_secs as f64
+        };
+    }
+    CarrierUsage {
+        cars_frac,
+        time_frac,
+        cars,
+        total_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_cdr::CdrRecord;
+    use conncar_types::{
+        BaseStationId, CarId, CellId, DayOfWeek, Duration, StudyPeriod, Timestamp,
+    };
+
+    fn rec(car: u32, carrier: Carrier, start: u64, dur: u64) -> CdrRecord {
+        CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(BaseStationId(1), 0, carrier),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(start) + Duration::from_secs(dur),
+        }
+    }
+
+    fn ds(records: Vec<CdrRecord>) -> CdrDataset {
+        CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), records)
+    }
+
+    #[test]
+    fn shares_add_up() {
+        let d = ds(vec![
+            rec(1, Carrier::C3, 0, 300),
+            rec(1, Carrier::C1, 1_000, 100),
+            rec(2, Carrier::C3, 0, 600),
+        ]);
+        let u = carrier_usage(&d);
+        assert_eq!(u.cars, 2);
+        assert_eq!(u.total_secs, 1_000);
+        assert!((u.time_frac.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(u.cars_frac[Carrier::C3.index()], 1.0);
+        assert_eq!(u.cars_frac[Carrier::C1.index()], 0.5);
+        assert_eq!(u.cars_frac[Carrier::C5.index()], 0.0);
+        assert!((u.time_pct(Carrier::C3) - 90.0).abs() < 1e-9);
+        assert!((u.cars_pct(Carrier::C1) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeat_use_counts_once_for_reach() {
+        let d = ds(vec![
+            rec(1, Carrier::C2, 0, 100),
+            rec(1, Carrier::C2, 1_000, 100),
+        ]);
+        let u = carrier_usage(&d);
+        assert_eq!(u.cars_frac[Carrier::C2.index()], 1.0);
+        assert_eq!(u.time_frac[Carrier::C2.index()], 1.0);
+    }
+
+    #[test]
+    fn empty_dataset_is_all_zero() {
+        let u = carrier_usage(&ds(vec![]));
+        assert_eq!(u.cars, 0);
+        assert_eq!(u.total_secs, 0);
+        assert_eq!(u.cars_frac, [0.0; 5]);
+        assert_eq!(u.time_frac, [0.0; 5]);
+    }
+}

@@ -1,0 +1,497 @@
+//! k-means clustering, from scratch: Figure 11.
+//!
+//! §4.4 clusters the very busy cells (average weekly `U_PRB ≥ 70%`) by
+//! their 96-element daily concurrent-car profiles with "the classic
+//! k-means algorithm", finding two clusters whose shapes match but whose
+//! magnitudes differ five-fold. We implement Lloyd's algorithm with
+//! k-means++ seeding, plus silhouette scoring so the choice k = 2 is
+//! *derived* rather than assumed.
+
+use crate::busy::NetworkLoadModel;
+use crate::concurrency::ConcurrencyIndex;
+use conncar_types::{CellId, Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Result of one k-means run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KmeansResult {
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations until convergence.
+    pub iterations: usize,
+}
+
+impl KmeansResult {
+    /// Number of points in each cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+#[inline]
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Deterministic xorshift-ish stream for seeding (keeps the crate free
+/// of a rand dependency).
+struct MiniRng(u64);
+
+impl MiniRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Lloyd's k-means with k-means++ initialization.
+///
+/// Errors on empty input, `k == 0`, `k` exceeding the point count, or
+/// ragged dimensions.
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> Result<KmeansResult> {
+    if points.is_empty() {
+        return Err(Error::EmptyInput { analysis: "kmeans" });
+    }
+    let dim = points[0].len();
+    if points.iter().any(|p| p.len() != dim) {
+        return Err(Error::InvalidConfig {
+            what: "kmeans",
+            why: "ragged point dimensions".into(),
+        });
+    }
+    if k == 0 || k > points.len() {
+        return Err(Error::InvalidConfig {
+            what: "kmeans",
+            why: format!("k = {k} for {} points", points.len()),
+        });
+    }
+    let mut rng = MiniRng(seed | 1);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = (rng.next_u64() as usize) % points.len();
+    centroids.push(points[first].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| dist_sq(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let chosen = if total <= 0.0 {
+            // All points coincide with existing centroids; pick any.
+            (rng.next_u64() as usize) % points.len()
+        } else {
+            let mut target = rng.next_f64() * total;
+            let mut idx = 0;
+            for (i, &w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    idx = i;
+                    break;
+                }
+                idx = i;
+            }
+            idx
+        };
+        centroids.push(points[chosen].clone());
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(dist_sq(p, centroids.last().expect("non-empty")));
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for iter in 0..max_iter.max(1) {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = dist_sq(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the farthest point.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        dist_sq(a, &centroids[assignments[0]])
+                            .total_cmp(&dist_sq(b, &centroids[assignments[0]]))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty points");
+                centroids[c] = points[far].clone();
+            } else {
+                for (cv, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *cv = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+    }
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| dist_sq(p, &centroids[a]))
+        .sum();
+    Ok(KmeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    })
+}
+
+/// Mean silhouette coefficient of a clustering, in `[-1, 1]`.
+/// Higher = better-separated clusters. `None` when any cluster is a
+/// singleton-free requirement fails (k < 2 or a cluster is empty).
+pub fn silhouette(points: &[Vec<f64>], assignments: &[usize], k: usize) -> Option<f64> {
+    if k < 2 || points.len() != assignments.len() || points.len() < k {
+        return None;
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for (i, p) in points.iter().enumerate() {
+        let own = assignments[i];
+        let mut intra = 0.0;
+        let mut intra_n = 0usize;
+        let mut inter = vec![(0.0f64, 0usize); k];
+        for (j, q) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let d = dist_sq(p, q).sqrt();
+            if assignments[j] == own {
+                intra += d;
+                intra_n += 1;
+            } else {
+                let e = &mut inter[assignments[j]];
+                e.0 += d;
+                e.1 += 1;
+            }
+        }
+        if intra_n == 0 {
+            continue; // singleton cluster: conventionally skipped
+        }
+        let a = intra / intra_n as f64;
+        let b = inter
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(s, n)| s / *n as f64)
+            .fold(f64::INFINITY, f64::min);
+        if !b.is_finite() {
+            return None;
+        }
+        total += (b - a) / a.max(b);
+        counted += 1;
+    }
+    (counted > 0).then(|| total / counted as f64)
+}
+
+/// Pick k in `2..=k_max` by maximum silhouette. Returns `(k, result)`.
+pub fn choose_k(
+    points: &[Vec<f64>],
+    k_max: usize,
+    max_iter: usize,
+    seed: u64,
+) -> Result<(usize, KmeansResult)> {
+    let mut best: Option<(f64, usize, KmeansResult)> = None;
+    for k in 2..=k_max.min(points.len().saturating_sub(1)).max(2) {
+        let r = kmeans(points, k, max_iter, seed ^ (k as u64) << 32)?;
+        if let Some(s) = silhouette(points, &r.assignments, k) {
+            if best.as_ref().map(|(bs, _, _)| s > *bs).unwrap_or(true) {
+                best = Some((s, k, r));
+            }
+        }
+    }
+    best.map(|(_, k, r)| (k, r)).ok_or(Error::EmptyInput {
+        analysis: "choose_k",
+    })
+}
+
+/// One Figure 11 cluster: member cells and the mean profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BusyCellCluster {
+    /// Member cells.
+    pub cells: Vec<CellId>,
+    /// Mean daily concurrent-car profile (96 bins).
+    pub mean_profile: Vec<f64>,
+    /// Peak of the mean profile.
+    pub peak_cars: f64,
+}
+
+/// Figure 11's complete result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BusyCellClustering {
+    /// Clusters sorted by ascending peak concurrency (paper's Cluster 1
+    /// = low, Cluster 2 = high).
+    pub clusters: Vec<BusyCellCluster>,
+    /// How many cells qualified as "very busy".
+    pub qualifying_cells: usize,
+    /// The average-PRB threshold used to qualify cells.
+    pub min_mean_prb: f64,
+}
+
+/// Run Figure 11: select cells with mean `U_PRB ≥ min_mean_prb` over the
+/// first whole week, build their 96-bin concurrency profiles, k-means
+/// them into `k` clusters.
+pub fn cluster_busy_cells(
+    idx: &ConcurrencyIndex,
+    model: &NetworkLoadModel<'_>,
+    min_mean_prb: f64,
+    k: usize,
+    seed: u64,
+) -> Result<BusyCellClustering> {
+    let mut cells: Vec<CellId> = Vec::new();
+    let mut points: Vec<Vec<f64>> = Vec::new();
+    for cell in idx.cells() {
+        let series = model.series(cell);
+        let mean = series.week_mean(0).unwrap_or_else(|| series.mean());
+        if mean >= min_mean_prb {
+            cells.push(cell);
+            points.push(idx.daily_profile(cell).to_vec());
+        }
+    }
+    if points.is_empty() {
+        return Err(Error::EmptyInput {
+            analysis: "cluster_busy_cells",
+        });
+    }
+    let k = k.min(points.len());
+    let result = kmeans(&points, k, 100, seed)?;
+    let mut clusters: Vec<BusyCellCluster> = (0..k)
+        .map(|c| {
+            let members: Vec<usize> = result
+                .assignments
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a == c)
+                .map(|(i, _)| i)
+                .collect();
+            let mut mean_profile = vec![0.0f64; points[0].len()];
+            for &m in &members {
+                for (s, v) in mean_profile.iter_mut().zip(&points[m]) {
+                    *s += v;
+                }
+            }
+            if !members.is_empty() {
+                for s in &mut mean_profile {
+                    *s /= members.len() as f64;
+                }
+            }
+            let peak_cars = mean_profile.iter().copied().fold(0.0f64, f64::max);
+            BusyCellCluster {
+                cells: members.iter().map(|&m| cells[m]).collect(),
+                mean_profile,
+                peak_cars,
+            }
+        })
+        .collect();
+    clusters.sort_by(|a, b| a.peak_cars.total_cmp(&b.peak_cars));
+    Ok(BusyCellClustering {
+        clusters,
+        qualifying_cells: cells.len(),
+        min_mean_prb,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated blobs in 2-D.
+    fn blobs() -> (Vec<Vec<f64>>, usize) {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let j = (i % 5) as f64 * 0.1;
+            pts.push(vec![0.0 + j, 0.0 - j]);
+            pts.push(vec![10.0 + j, 10.0 - j]);
+        }
+        (pts, 40)
+    }
+
+    #[test]
+    fn kmeans_separates_blobs() {
+        let (pts, n) = blobs();
+        let r = kmeans(&pts, 2, 50, 7).unwrap();
+        assert_eq!(r.assignments.len(), n);
+        let sizes = r.sizes();
+        assert_eq!(sizes, vec![20, 20]);
+        // Centroids near (0.2, -0.2) and (10.2, 9.8) in some order.
+        let mut cs = r.centroids.clone();
+        cs.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert!(cs[0][0] < 1.0 && cs[1][0] > 9.0);
+        assert!(r.inertia < 2.0);
+    }
+
+    #[test]
+    fn kmeans_is_deterministic_in_seed() {
+        let (pts, _) = blobs();
+        let a = kmeans(&pts, 2, 50, 9).unwrap();
+        let b = kmeans(&pts, 2, 50, 9).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn kmeans_error_cases() {
+        assert!(kmeans(&[], 2, 10, 1).is_err());
+        let pts = vec![vec![0.0], vec![1.0]];
+        assert!(kmeans(&pts, 0, 10, 1).is_err());
+        assert!(kmeans(&pts, 3, 10, 1).is_err());
+        let ragged = vec![vec![0.0], vec![1.0, 2.0]];
+        assert!(kmeans(&ragged, 1, 10, 1).is_err());
+    }
+
+    #[test]
+    fn kmeans_k_equals_n() {
+        let pts = vec![vec![0.0], vec![5.0], vec![9.0]];
+        let r = kmeans(&pts, 3, 10, 1).unwrap();
+        assert_eq!(r.sizes(), vec![1, 1, 1]);
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn kmeans_identical_points() {
+        let pts = vec![vec![2.0, 2.0]; 10];
+        let r = kmeans(&pts, 2, 10, 3).unwrap();
+        assert_eq!(r.assignments.len(), 10);
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn silhouette_prefers_true_k() {
+        let (pts, _) = blobs();
+        let r2 = kmeans(&pts, 2, 50, 7).unwrap();
+        let r4 = kmeans(&pts, 4, 50, 7).unwrap();
+        let s2 = silhouette(&pts, &r2.assignments, 2).unwrap();
+        let s4 = silhouette(&pts, &r4.assignments, 4).unwrap();
+        assert!(s2 > s4, "s2 {s2} should beat s4 {s4}");
+        assert!(s2 > 0.8);
+    }
+
+    #[test]
+    fn choose_k_finds_two_blobs() {
+        let (pts, _) = blobs();
+        let (k, _r) = choose_k(&pts, 6, 50, 11).unwrap();
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn silhouette_degenerate_inputs() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        assert!(silhouette(&pts, &[0, 0], 1).is_none());
+        assert!(silhouette(&pts, &[0], 2).is_none());
+    }
+
+    #[test]
+    fn busy_cell_clustering_end_to_end() {
+        use crate::concurrency::ConcurrencyIndex;
+        use conncar_cdr::{CdrDataset, CdrRecord};
+        use conncar_geo::{Region, RegionConfig};
+        use conncar_radio::{BackgroundLoad, BackgroundLoadConfig, PrbLedger};
+        use conncar_types::{CarId, Carrier, DayOfWeek, Duration, StudyPeriod, Timestamp};
+
+        let region = Region::generate(&RegionConfig::small(), 42);
+        let period = StudyPeriod::new(DayOfWeek::Monday, 14).unwrap();
+        let mut ledger = PrbLedger::new(period);
+        let bg = BackgroundLoad::new(BackgroundLoadConfig::default(), period, -5);
+
+        // Eight cells kept saturated all study long so they qualify as
+        // very busy; half see few concurrent cars, half see many.
+        let stations = region.deployment().stations();
+        let mut records = Vec::new();
+        let mut car = 0u32;
+        for (i, s) in stations.iter().take(8).enumerate() {
+            let cell = CellId::new(s.id, 0, Carrier::C3);
+            ledger.add_load_fraction(cell, period.start(), period.end(), 1.0);
+            let cars_here = if i % 2 == 0 { 2 } else { 10 };
+            for day in 0..14u64 {
+                for c in 0..cars_here {
+                    let start = Timestamp::from_day_hms(day, 17, 0, 0)
+                        + Duration::from_secs(c as u64 * 30);
+                    records.push(CdrRecord {
+                        car: CarId(car + c),
+                        cell,
+                        start,
+                        end: start + Duration::from_mins(10),
+                    });
+                }
+            }
+            car += cars_here;
+        }
+        let ds = CdrDataset::new(period, records);
+        let idx = ConcurrencyIndex::build(&ds);
+        let model = NetworkLoadModel::new(&ledger, &bg, region.deployment());
+        let result = cluster_busy_cells(&idx, &model, 0.7, 2, 42).unwrap();
+        assert_eq!(result.qualifying_cells, 8);
+        assert_eq!(result.clusters.len(), 2);
+        let low = &result.clusters[0];
+        let high = &result.clusters[1];
+        assert_eq!(low.cells.len(), 4);
+        assert_eq!(high.cells.len(), 4);
+        // The paper's five-fold concurrency gap.
+        assert!(
+            high.peak_cars > 3.0 * low.peak_cars,
+            "high {} vs low {}",
+            high.peak_cars,
+            low.peak_cars
+        );
+        assert_eq!(low.mean_profile.len(), 96);
+    }
+
+    #[test]
+    fn busy_cell_clustering_empty_input_errors() {
+        use crate::concurrency::ConcurrencyIndex;
+        use conncar_cdr::CdrDataset;
+        use conncar_geo::{Region, RegionConfig};
+        use conncar_radio::{BackgroundLoad, BackgroundLoadConfig, PrbLedger};
+        use conncar_types::{DayOfWeek, StudyPeriod};
+
+        let region = Region::generate(&RegionConfig::small(), 42);
+        let period = StudyPeriod::new(DayOfWeek::Monday, 7).unwrap();
+        let ledger = PrbLedger::new(period);
+        let bg = BackgroundLoad::new(BackgroundLoadConfig::default(), period, -5);
+        let ds = CdrDataset::new(period, Vec::new());
+        let idx = ConcurrencyIndex::build(&ds);
+        let model = NetworkLoadModel::new(&ledger, &bg, region.deployment());
+        assert!(cluster_busy_cells(&idx, &model, 0.7, 2, 1).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Spatial concentration of cars: §4.4's warning quantified.
+//!
+//! *"Even with relatively short time spent in each cell, it is still
+//! possible to encounter high concentration of cars in the same cell …
+//! in highway traffic during commute times, at shopping malls, or event
+//! parking lots."* This module measures how unevenly the fleet piles
+//! onto cells: the distribution of peak concurrent cars per cell, the
+//! share of car-time carried by the top cells, and a Gini coefficient
+//! over per-cell load — the inputs a capacity planner needs to know
+//! *where* FOTA traffic would stack.
+
+use crate::concurrency::ConcurrencyIndex;
+use crate::stats::Ecdf;
+use conncar_cdr::CdrDataset;
+use conncar_types::{BinIndex, CellId, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Concentration summary over the study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConcentrationResult {
+    /// Distribution of each cell's *peak* concurrent-car count.
+    pub peak_concurrency: Ecdf,
+    /// Fraction of total connected car-seconds carried by the top 1% /
+    /// 5% / 10% of cells.
+    pub top_cell_share: [f64; 3],
+    /// Gini coefficient of per-cell connected-seconds (0 = uniform,
+    /// → 1 = all load on one cell).
+    pub gini: f64,
+    /// Number of cells that ever saw a car.
+    pub cells: usize,
+    /// The single most concentrated (cell, bin, concurrent cars).
+    pub hotspot: Option<(CellId, BinIndex, u32)>,
+}
+
+/// Compute the concentration summary.
+pub fn concentration(ds: &CdrDataset, idx: &ConcurrencyIndex) -> Result<ConcentrationResult> {
+    // Per-cell total connected seconds.
+    let mut secs: HashMap<CellId, u64> = HashMap::new();
+    for r in ds.records() {
+        *secs.entry(r.cell).or_default() += r.duration().as_secs();
+    }
+    let mut loads: Vec<f64> = secs.values().map(|&s| s as f64).collect();
+    loads.sort_by(f64::total_cmp);
+    let total: f64 = loads.iter().sum();
+
+    // Top-cell shares.
+    let share_of_top = |frac: f64| -> f64 {
+        if loads.is_empty() || total == 0.0 {
+            return 0.0;
+        }
+        let k = ((loads.len() as f64 * frac).ceil() as usize).clamp(1, loads.len());
+        loads[loads.len() - k..].iter().sum::<f64>() / total
+    };
+    let top_cell_share = [share_of_top(0.01), share_of_top(0.05), share_of_top(0.10)];
+
+    // Gini over sorted loads: G = (2·Σ i·x_i)/(n·Σ x) − (n+1)/n.
+    let gini = if loads.len() < 2 || total == 0.0 {
+        0.0
+    } else {
+        let n = loads.len() as f64;
+        let weighted: f64 = loads
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (i as f64 + 1.0) * x)
+            .sum();
+        (2.0 * weighted / (n * total) - (n + 1.0) / n).max(0.0)
+    };
+
+    // Peak concurrency per cell, plus the global hotspot.
+    let mut peaks: Vec<f64> = Vec::new();
+    let mut hotspot: Option<(CellId, BinIndex, u32)> = None;
+    let mut cells_sorted: Vec<CellId> = idx.cells().collect();
+    cells_sorted.sort();
+    for cell in cells_sorted {
+        if let Some((bin, count)) = idx.peak(cell) {
+            peaks.push(count as f64);
+            match hotspot {
+                Some((_, _, best)) if best >= count => {}
+                _ => hotspot = Some((cell, bin, count)),
+            }
+        }
+    }
+
+    Ok(ConcentrationResult {
+        peak_concurrency: Ecdf::new(peaks)?,
+        top_cell_share,
+        gini,
+        cells: secs.len(),
+        hotspot,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_cdr::CdrRecord;
+    use conncar_types::{
+        BaseStationId, CarId, Carrier, DayOfWeek, StudyPeriod, Timestamp,
+    };
+
+    fn cell(i: u32) -> CellId {
+        CellId::new(BaseStationId(i), 0, Carrier::C3)
+    }
+
+    fn rec(car: u32, cell_i: u32, start: u64, dur: u64) -> CdrRecord {
+        CdrRecord {
+            car: CarId(car),
+            cell: cell(cell_i),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(start + dur),
+        }
+    }
+
+    fn run(records: Vec<CdrRecord>) -> ConcentrationResult {
+        let ds = CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), records);
+        let idx = ConcurrencyIndex::build(&ds);
+        concentration(&ds, &idx).unwrap()
+    }
+
+    #[test]
+    fn uniform_load_has_low_gini() {
+        // 10 cells, one identical record each.
+        let records = (0..10).map(|i| rec(i, i, 0, 100)).collect();
+        let r = run(records);
+        assert!(r.gini < 1e-9, "gini {}", r.gini);
+        assert_eq!(r.cells, 10);
+        // Top 10% of cells (1 cell) carries exactly 10%.
+        assert!((r.top_cell_share[2] - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concentrated_load_has_high_gini_and_hotspot() {
+        // One mega-cell with 20 concurrent cars, nine quiet cells.
+        let mut records: Vec<CdrRecord> = (0..20).map(|c| rec(c, 0, 0, 800)).collect();
+        for i in 1..10 {
+            records.push(rec(100 + i, i, 0, 10));
+        }
+        let r = run(records);
+        assert!(r.gini > 0.7, "gini {}", r.gini);
+        let (hot_cell, _, peak) = r.hotspot.unwrap();
+        assert_eq!(hot_cell, cell(0));
+        assert_eq!(peak, 20);
+        // Top 10% of cells (1 of 10) carries nearly everything.
+        assert!(r.top_cell_share[2] > 0.9);
+        // Peak-concurrency distribution: median cell peaks at 1.
+        assert_eq!(r.peak_concurrency.median(), Some(1.0));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let r = run(Vec::new());
+        assert_eq!(r.cells, 0);
+        assert_eq!(r.gini, 0.0);
+        assert!(r.hotspot.is_none());
+        assert!(r.peak_concurrency.is_empty());
+        assert_eq!(r.top_cell_share, [0.0; 3]);
+    }
+
+    #[test]
+    fn shares_are_monotone() {
+        let records = (0..50)
+            .map(|i| rec(i, i % 7, (i as u64) * 50, 60 + (i as u64 % 13) * 40))
+            .collect();
+        let r = run(records);
+        assert!(r.top_cell_share[0] <= r.top_cell_share[1]);
+        assert!(r.top_cell_share[1] <= r.top_cell_share[2]);
+        assert!(r.top_cell_share[2] <= 1.0 + 1e-12);
+        assert!((0.0..=1.0).contains(&r.gini));
+    }
+}

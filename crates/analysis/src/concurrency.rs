@@ -1,0 +1,327 @@
+//! Concurrent cars per cell: Figures 8 and 10, and the profile vectors
+//! behind Figure 11.
+//!
+//! §4.4: *"We declare cars concurrent if their connections straddle a
+//! 15-minute time bin of the day."* The [`ConcurrencyIndex`] counts, for
+//! every (cell, bin), the distinct cars with a connection overlapping
+//! that bin. Storage is sparse per cell, so a quiet network costs
+//! nothing.
+
+use conncar_cdr::CdrDataset;
+use conncar_types::{
+    BinIndex, CarId, CellId, DayBin, StudyPeriod, Timestamp, BINS_PER_DAY, BINS_PER_WEEK,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Sparse per-cell concurrent-car counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConcurrencyIndex {
+    period: StudyPeriod,
+    /// Per cell: sorted `(bin, distinct car count)` pairs.
+    map: HashMap<CellId, Vec<(u64, u32)>>,
+}
+
+impl ConcurrencyIndex {
+    /// Build from a dataset's records.
+    pub fn build(ds: &CdrDataset) -> ConcurrencyIndex {
+        // (cell, bin, car) triples, deduplicated: a car straddling a bin
+        // with several short records still counts once.
+        let mut triples: Vec<(CellId, u64, CarId)> = Vec::new();
+        for r in ds.records() {
+            for bin in BinIndex::covering(r.start, r.end) {
+                if bin.0 < ds.period().total_bins() {
+                    triples.push((r.cell, bin.0, r.car));
+                }
+            }
+        }
+        triples.sort();
+        triples.dedup();
+        let mut map: HashMap<CellId, Vec<(u64, u32)>> = HashMap::new();
+        for (cell, bin, _car) in triples {
+            let v = map.entry(cell).or_default();
+            match v.last_mut() {
+                Some((b, c)) if *b == bin => *c += 1,
+                _ => v.push((bin, 1)),
+            }
+        }
+        ConcurrencyIndex {
+            period: ds.period(),
+            map,
+        }
+    }
+
+    /// The study period.
+    pub fn period(&self) -> StudyPeriod {
+        self.period
+    }
+
+    /// Distinct cars overlapping `bin` on `cell`.
+    pub fn count(&self, cell: CellId, bin: BinIndex) -> u32 {
+        self.map
+            .get(&cell)
+            .and_then(|v| {
+                v.binary_search_by_key(&bin.0, |(b, _)| *b)
+                    .ok()
+                    .map(|i| v[i].1)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Cells that ever saw a car.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Number of touched cells.
+    pub fn cell_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Average concurrent cars per bin-of-day over the study: the
+    /// 96-element profile vector Figure 11 clusters.
+    pub fn daily_profile(&self, cell: CellId) -> [f64; BINS_PER_DAY] {
+        let mut sums = [0.0f64; BINS_PER_DAY];
+        let days = self.period.days() as f64;
+        if let Some(v) = self.map.get(&cell) {
+            for (bin, count) in v {
+                sums[(*bin % BINS_PER_DAY as u64) as usize] += *count as f64;
+            }
+        }
+        for s in &mut sums {
+            *s /= days;
+        }
+        sums
+    }
+
+    /// Average concurrent cars per bin-of-week over the whole weeks of
+    /// the study (Figure 10's impulse series). Monday-00:00 first.
+    pub fn weekly_profile(&self, cell: CellId) -> Vec<f64> {
+        let weeks = self.period.whole_weeks() as f64;
+        let mut sums = vec![0.0f64; BINS_PER_WEEK];
+        if weeks == 0.0 {
+            return sums;
+        }
+        let week_bins = BINS_PER_WEEK as u64;
+        let total_whole = self.period.whole_weeks() as u64 * week_bins;
+        if let Some(v) = self.map.get(&cell) {
+            for (bin, count) in v {
+                if *bin < total_whole {
+                    let wb = BinIndex(*bin).week_bin(self.period.start_day());
+                    sums[wb.index()] += *count as f64;
+                }
+            }
+        }
+        for s in &mut sums {
+            *s /= weeks;
+        }
+        sums
+    }
+
+    /// The bin with the most concurrent cars on `cell`, with the count.
+    /// `None` for an untouched cell.
+    pub fn peak(&self, cell: CellId) -> Option<(BinIndex, u32)> {
+        self.map.get(&cell).and_then(|v| {
+            v.iter()
+                .max_by_key(|(bin, count)| (*count, std::cmp::Reverse(*bin)))
+                .map(|&(bin, count)| (BinIndex(bin), count))
+        })
+    }
+
+    /// The (cell, day) pair with the most distinct cars — Figure 8's
+    /// exemplar cell. `None` on an empty index.
+    pub fn busiest_cell_day(&self, ds: &CdrDataset) -> Option<(CellId, u64, usize)> {
+        let mut per_cell_day: HashMap<(CellId, u64), Vec<CarId>> = HashMap::new();
+        for r in ds.records() {
+            let last_day = (r.end.as_secs().saturating_sub(1)) / 86_400;
+            for d in r.start.day()..=last_day.min(self.period.days() as u64 - 1) {
+                per_cell_day.entry((r.cell, d)).or_default().push(r.car);
+            }
+        }
+        per_cell_day
+            .into_iter()
+            .map(|((cell, day), mut cars)| {
+                cars.sort();
+                cars.dedup();
+                (cell, day, cars.len())
+            })
+            .max_by_key(|&(cell, day, n)| (n, std::cmp::Reverse(day), cell))
+    }
+}
+
+/// Figure 8's view of one cell over one day.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellDayGantt {
+    /// The cell.
+    pub cell: CellId,
+    /// The study day.
+    pub day: u64,
+    /// Per-car connection spans clipped to the day, sorted by start:
+    /// `(car, start_sec_of_day, end_sec_of_day)`.
+    pub spans: Vec<(CarId, u32, u32)>,
+    /// Number of distinct cars.
+    pub distinct_cars: usize,
+    /// The 15-minute bin of the day with the most concurrent cars, and
+    /// that count.
+    pub peak: (DayBin, u32),
+}
+
+/// Build Figure 8 for a chosen cell and day.
+pub fn cell_day_gantt(ds: &CdrDataset, cell: CellId, day: u64) -> CellDayGantt {
+    let day_start = Timestamp::from_day_and_secs(day, 0);
+    let day_end = day_start.plus_days(1);
+    let mut spans: Vec<(CarId, u32, u32)> = Vec::new();
+    let mut per_bin: [Vec<CarId>; BINS_PER_DAY] = std::array::from_fn(|_| Vec::new());
+    for r in ds.records() {
+        if r.cell != cell || r.end <= day_start || r.start >= day_end {
+            continue;
+        }
+        let s = r.start.max(day_start);
+        let e = r.end.min(day_end);
+        spans.push((
+            r.car,
+            (s - day_start).as_secs() as u32,
+            (e - day_start).as_secs() as u32,
+        ));
+        for bin in BinIndex::covering(s, e) {
+            per_bin[bin.day_bin().index()].push(r.car);
+        }
+    }
+    spans.sort_by_key(|&(car, s, _)| (s, car));
+    let mut distinct: Vec<CarId> = spans.iter().map(|&(c, _, _)| c).collect();
+    distinct.sort();
+    distinct.dedup();
+    let peak = per_bin
+        .iter_mut()
+        .enumerate()
+        .map(|(i, cars)| {
+            cars.sort();
+            cars.dedup();
+            (DayBin::new(i as u16), cars.len() as u32)
+        })
+        .max_by_key(|&(b, n)| (n, std::cmp::Reverse(b.index())))
+        .unwrap_or((DayBin::new(0), 0));
+    CellDayGantt {
+        cell,
+        day,
+        distinct_cars: distinct.len(),
+        spans,
+        peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_cdr::CdrRecord;
+    use conncar_types::{BaseStationId, Carrier, DayOfWeek};
+
+    fn cell(i: u32) -> CellId {
+        CellId::new(BaseStationId(i), 0, Carrier::C3)
+    }
+
+    fn rec(car: u32, cell_i: u32, start: u64, end: u64) -> CdrRecord {
+        CdrRecord {
+            car: CarId(car),
+            cell: cell(cell_i),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(end),
+        }
+    }
+
+    fn ds(records: Vec<CdrRecord>) -> CdrDataset {
+        CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 14).unwrap(), records)
+    }
+
+    #[test]
+    fn counts_distinct_cars_per_bin() {
+        let d = ds(vec![
+            rec(1, 1, 0, 100),
+            rec(1, 1, 200, 300), // same car, same bin: counts once
+            rec(2, 1, 850, 950), // straddles bins 0 and 1
+            rec(3, 2, 0, 100),   // different cell
+        ]);
+        let idx = ConcurrencyIndex::build(&d);
+        assert_eq!(idx.count(cell(1), BinIndex(0)), 2);
+        assert_eq!(idx.count(cell(1), BinIndex(1)), 1);
+        assert_eq!(idx.count(cell(2), BinIndex(0)), 1);
+        assert_eq!(idx.count(cell(2), BinIndex(1)), 0);
+        assert_eq!(idx.count(cell(9), BinIndex(0)), 0);
+        assert_eq!(idx.cell_count(), 2);
+    }
+
+    #[test]
+    fn daily_profile_averages_over_days() {
+        // One car in bin 4 of every one of the 14 days.
+        let records = (0..14u64)
+            .map(|d| rec(1, 1, d * 86_400 + 4 * 900 + 10, d * 86_400 + 4 * 900 + 100))
+            .collect();
+        let idx = ConcurrencyIndex::build(&ds(records));
+        let prof = idx.daily_profile(cell(1));
+        assert!((prof[4] - 1.0).abs() < 1e-12);
+        assert_eq!(prof[5], 0.0);
+    }
+
+    #[test]
+    fn weekly_profile_respects_weekday() {
+        // Study starts Monday; a car appears Tuesday 00:07 both weeks.
+        let records = vec![
+            rec(1, 1, 86_400 + 420, 86_400 + 500),
+            rec(1, 1, 8 * 86_400 + 420, 8 * 86_400 + 500),
+        ];
+        let idx = ConcurrencyIndex::build(&ds(records));
+        let prof = idx.weekly_profile(cell(1));
+        assert_eq!(prof.len(), BINS_PER_WEEK);
+        // Tuesday 00:00 bin = index 96.
+        assert!((prof[96] - 1.0).abs() < 1e-12);
+        assert_eq!(prof.iter().filter(|&&v| v > 0.0).count(), 1);
+    }
+
+    #[test]
+    fn busiest_cell_day_finds_the_hotspot() {
+        let mut records = vec![rec(9, 2, 86_400 * 3 + 100, 86_400 * 3 + 200)];
+        for car in 0..5 {
+            records.push(rec(car, 1, 86_400 * 2 + 100 * car as u64, 86_400 * 2 + 100 * car as u64 + 50));
+        }
+        let d = ds(records);
+        let idx = ConcurrencyIndex::build(&d);
+        let (c, day, n) = idx.busiest_cell_day(&d).unwrap();
+        assert_eq!(c, cell(1));
+        assert_eq!(day, 2);
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn gantt_clips_and_peaks() {
+        let d = ds(vec![
+            rec(1, 1, 86_400 - 100, 86_400 + 200), // straddles midnight into day 1
+            rec(2, 1, 86_400 + 100, 86_400 + 300),
+            rec(3, 1, 86_400 + 50_000, 86_400 + 50_100),
+            rec(4, 2, 86_400 + 100, 86_400 + 200), // other cell
+        ]);
+        let g = cell_day_gantt(&d, cell(1), 1);
+        assert_eq!(g.distinct_cars, 3);
+        assert_eq!(g.spans.len(), 3);
+        // First span clipped to day start.
+        assert_eq!(g.spans[0].1, 0);
+        assert_eq!(g.spans[0].2, 200);
+        // Peak bin is 00:00 with cars 1 and 2.
+        assert_eq!(g.peak.0.index(), 0);
+        assert_eq!(g.peak.1, 2);
+    }
+
+    #[test]
+    fn gantt_empty_cell() {
+        let d = ds(vec![rec(1, 1, 0, 100)]);
+        let g = cell_day_gantt(&d, cell(5), 0);
+        assert_eq!(g.distinct_cars, 0);
+        assert_eq!(g.peak.1, 0);
+    }
+
+    #[test]
+    fn empty_dataset_busiest_is_none() {
+        let d = ds(vec![]);
+        let idx = ConcurrencyIndex::build(&d);
+        assert!(idx.busiest_cell_day(&d).is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! Per-cell connection durations: Figure 9.
+//!
+//! §4.4 reports the distribution of "cars' connections per radio cell":
+//! median 105 s, 73rd percentile at 600 s, means of 625 s (as reported)
+//! and 238 s (truncated at 600 s). The truncated view removes the
+//! sticky-modem tail; both are computed here from the same records.
+
+use crate::stats::Ecdf;
+use conncar_cdr::{truncate_records, CdrDataset};
+use conncar_types::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Figure 9's duration distributions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConnectionDurationResult {
+    /// ECDF over record durations in seconds, as reported.
+    pub full: Ecdf,
+    /// Same with durations capped.
+    pub truncated: Ecdf,
+    /// The cap used.
+    pub cap: Duration,
+}
+
+impl ConnectionDurationResult {
+    /// Median of the full distribution.
+    pub fn median_secs(&self) -> Option<f64> {
+        self.full.median()
+    }
+
+    /// The percentile (0–1) at which the full distribution crosses the
+    /// cap — the paper's "73rd percentile at 600 seconds".
+    pub fn percentile_at_cap(&self) -> f64 {
+        self.full.fraction_le(self.cap.as_secs() as f64)
+    }
+
+    /// Means `(full, truncated)`.
+    pub fn means(&self) -> (f64, f64) {
+        (self.full.mean(), self.truncated.mean())
+    }
+}
+
+/// Compute Figure 9 over every record of the dataset.
+pub fn connection_durations(
+    ds: &CdrDataset,
+    cap: Duration,
+) -> conncar_types::Result<ConnectionDurationResult> {
+    let full: Vec<f64> = ds
+        .records()
+        .iter()
+        .map(|r| r.duration().as_secs() as f64)
+        .collect();
+    let truncated: Vec<f64> = truncate_records(ds.records(), cap)
+        .iter()
+        .map(|r| r.duration().as_secs() as f64)
+        .collect();
+    Ok(ConnectionDurationResult {
+        full: Ecdf::new(full)?,
+        truncated: Ecdf::new(truncated)?,
+        cap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_cdr::CdrRecord;
+    use conncar_types::{
+        BaseStationId, CarId, Carrier, CellId, DayOfWeek, StudyPeriod, Timestamp,
+    };
+
+    fn ds(durations: &[u64]) -> CdrDataset {
+        let records = durations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                let start = Timestamp::from_secs(i as u64 * 10_000);
+                CdrRecord {
+                    car: CarId(1),
+                    cell: CellId::new(BaseStationId(1), 0, Carrier::C3),
+                    start,
+                    end: start + Duration::from_secs(d),
+                }
+            })
+            .collect();
+        CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 90).unwrap(), records)
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let r = connection_durations(&ds(&[100, 200, 300, 5_000]), Duration::from_secs(600))
+            .unwrap();
+        assert_eq!(r.median_secs(), Some(250.0));
+        let (mf, mt) = r.means();
+        assert_eq!(mf, (100.0 + 200.0 + 300.0 + 5_000.0) / 4.0);
+        assert_eq!(mt, (100.0 + 200.0 + 300.0 + 600.0) / 4.0);
+        // 3 of 4 records are ≤ 600 s.
+        assert_eq!(r.percentile_at_cap(), 0.75);
+    }
+
+    #[test]
+    fn truncated_never_exceeds_cap() {
+        let r = connection_durations(&ds(&[50, 700, 900, 10_000]), Duration::from_secs(600))
+            .unwrap();
+        for &v in r.truncated.values() {
+            assert!(v <= 600.0);
+        }
+        // Full view keeps the tail.
+        assert!(r.full.values().iter().any(|&v| v > 600.0));
+    }
+
+    #[test]
+    fn all_short_records_equal_views() {
+        let r = connection_durations(&ds(&[10, 20, 30]), Duration::from_secs(600)).unwrap();
+        assert_eq!(r.full.values(), r.truncated.values());
+        assert_eq!(r.percentile_at_cap(), 1.0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let r = connection_durations(&ds(&[]), Duration::from_secs(600)).unwrap();
+        assert!(r.full.is_empty());
+        assert_eq!(r.median_secs(), None);
+    }
+}

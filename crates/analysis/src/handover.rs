@@ -1,0 +1,174 @@
+//! Handover analysis: §4.5 (spatial behaviour).
+//!
+//! The radio logs cannot see every cell a car traverses — idle cars
+//! don't connect — so the paper bounds handovers from below using
+//! *mobility sessions*: runs of connections with gaps ≤ 10 minutes. The
+//! cell-sequence transitions inside those sessions are classified by the
+//! hierarchy taxonomy (inter-base-station / inter-sector / inter-carrier
+//! / inter-RAT) and summarized as percentiles.
+
+use crate::stats::Ecdf;
+use conncar_cdr::{CdrDataset, SessionConfig, Sessionizer};
+use conncar_types::id::HandoverKind;
+use serde::{Deserialize, Serialize};
+
+/// §4.5's summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HandoverResult {
+    /// Distribution of handovers per mobility session.
+    pub per_session: Ecdf,
+    /// Counts by handover kind, indexed like [`HandoverKind::ALL`].
+    pub by_kind: [u64; 4],
+    /// Number of mobility sessions analyzed.
+    pub sessions: usize,
+}
+
+impl HandoverResult {
+    /// Median handovers per session.
+    pub fn median(&self) -> Option<f64> {
+        self.per_session.median()
+    }
+
+    /// The 70th and 90th percentiles the paper quotes.
+    pub fn p70_p90(&self) -> (Option<f64>, Option<f64>) {
+        (
+            self.per_session.quantile(0.70),
+            self.per_session.quantile(0.90),
+        )
+    }
+
+    /// Fraction of handovers of a kind (0 when none at all).
+    pub fn kind_fraction(&self, kind: HandoverKind) -> f64 {
+        let total: u64 = self.by_kind.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let idx = HandoverKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind in ALL");
+        self.by_kind[idx] as f64 / total as f64
+    }
+}
+
+/// Run the §4.5 analysis with a configurable session gap (paper: 10
+/// minutes).
+pub fn handover_analysis(
+    ds: &CdrDataset,
+    gap: SessionConfig,
+) -> conncar_types::Result<HandoverResult> {
+    let sessions = Sessionizer::new(gap).sessions(ds);
+    let mut per_session: Vec<f64> = Vec::with_capacity(sessions.len());
+    let mut by_kind = [0u64; 4];
+    for s in &sessions {
+        per_session.push(s.handover_count() as f64);
+        for w in s.cells.windows(2) {
+            if let Some(kind) = w[0].handover_kind(w[1]) {
+                let idx = HandoverKind::ALL
+                    .iter()
+                    .position(|k| *k == kind)
+                    .expect("kind in ALL");
+                by_kind[idx] += 1;
+            }
+        }
+    }
+    Ok(HandoverResult {
+        per_session: Ecdf::new(per_session)?,
+        by_kind,
+        sessions: sessions.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_cdr::CdrRecord;
+    use conncar_types::{
+        BaseStationId, CarId, Carrier, CellId, DayOfWeek, StudyPeriod, Timestamp,
+    };
+
+    fn rec(car: u32, cell: CellId, start: u64, end: u64) -> CdrRecord {
+        CdrRecord {
+            car: CarId(car),
+            cell,
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(end),
+        }
+    }
+
+    fn cell(st: u32, sector: u8, carrier: Carrier) -> CellId {
+        CellId::new(BaseStationId(st), sector, carrier)
+    }
+
+    fn ds(records: Vec<CdrRecord>) -> CdrDataset {
+        CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), records)
+    }
+
+    #[test]
+    fn drive_chain_counts_inter_bs_handovers() {
+        // Car hands across 4 stations with small gaps.
+        let records = (0..4u32)
+            .map(|i| {
+                rec(
+                    1,
+                    cell(i, 0, Carrier::C3),
+                    i as u64 * 200,
+                    i as u64 * 200 + 150,
+                )
+            })
+            .collect();
+        let r = handover_analysis(&ds(records), SessionConfig::MOBILITY).unwrap();
+        assert_eq!(r.sessions, 1);
+        assert_eq!(r.median(), Some(3.0));
+        assert_eq!(r.by_kind[0], 3); // all inter-base-station
+        assert_eq!(r.kind_fraction(HandoverKind::InterBaseStation), 1.0);
+        assert_eq!(r.kind_fraction(HandoverKind::InterSector), 0.0);
+    }
+
+    #[test]
+    fn taxonomy_is_classified() {
+        let records = vec![
+            rec(1, cell(1, 0, Carrier::C3), 0, 100),
+            rec(1, cell(1, 1, Carrier::C3), 100, 200), // inter-sector
+            rec(1, cell(1, 1, Carrier::C4), 200, 300), // inter-carrier
+            rec(1, cell(1, 1, Carrier::C2), 300, 400), // inter-RAT
+            rec(1, cell(2, 0, Carrier::C2), 400, 500), // inter-BS
+        ];
+        let r = handover_analysis(&ds(records), SessionConfig::MOBILITY).unwrap();
+        assert_eq!(r.by_kind, [1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn long_gaps_split_sessions_and_reset_counts() {
+        let records = vec![
+            rec(1, cell(1, 0, Carrier::C3), 0, 100),
+            rec(1, cell(2, 0, Carrier::C3), 100, 200),
+            // > 10 minutes of silence.
+            rec(1, cell(3, 0, Carrier::C3), 2_000, 2_100),
+        ];
+        let r = handover_analysis(&ds(records), SessionConfig::MOBILITY).unwrap();
+        assert_eq!(r.sessions, 2);
+        // Sessions have 1 and 0 handovers; the 2→3 jump is not counted.
+        assert_eq!(r.by_kind.iter().sum::<u64>(), 1);
+        assert_eq!(r.per_session.quantile(1.0), Some(1.0));
+    }
+
+    #[test]
+    fn stationary_car_has_zero_handovers() {
+        let records = (0..5u64)
+            .map(|i| rec(1, cell(1, 0, Carrier::C3), i * 700, i * 700 + 100))
+            .collect();
+        let r = handover_analysis(&ds(records), SessionConfig::MOBILITY).unwrap();
+        assert_eq!(r.sessions, 1);
+        assert_eq!(r.median(), Some(0.0));
+        assert_eq!(r.by_kind, [0; 4]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let r = handover_analysis(&ds(vec![]), SessionConfig::MOBILITY).unwrap();
+        assert_eq!(r.sessions, 0);
+        assert_eq!(r.median(), None);
+        assert_eq!(r.kind_fraction(HandoverKind::InterBaseStation), 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # conncar-analysis
+//!
+//! The paper's analysis pipeline, one module per section of §4:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`stats`] | shared statistics kit (CDFs, histograms, OLS, percentiles) |
+//! | [`busy`] | `U_PRB > 80%` busy-bin classification used everywhere |
+//! | [`temporal`] | Figure 2, Table 1, Figure 3 (macro temporal behaviour) |
+//! | [`matrix`] | Figures 4–5 (24×7 weekly usage matrices) |
+//! | [`segmentation`] | Figure 6, Table 2, Figure 7 (rare/common × busy) |
+//! | [`duration`] | Figure 9 (per-cell connection durations) |
+//! | [`concurrency`] | Figures 8, 10 and the vectors behind Figure 11 |
+//! | [`concentration`] | §4.4's car-concentration claims (Gini, hotspots) |
+//! | [`cluster`] | Figure 11 (k-means over busy-cell daily profiles) |
+//! | [`handover`] | §4.5 (handover counts and taxonomy) |
+//! | [`carrier`] | Table 3 (frequency-band usage) |
+//! | [`predict`] | §4.7's "per-car prediction models" extension |
+//! | [`carclusters`] | §5's "classify cars" claim: behaviour clustering |
+//!
+//! Every analysis consumes the cleaned [`conncar_cdr::CdrDataset`] (plus
+//! the network-load model where busy-hours matter) and produces a plain
+//! result struct that the `conncar` core crate renders into the paper's
+//! tables and figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod busy;
+pub mod carclusters;
+pub mod carrier;
+pub mod cluster;
+pub mod concentration;
+pub mod concurrency;
+pub mod duration;
+pub mod handover;
+pub mod matrix;
+pub mod predict;
+pub mod segmentation;
+pub mod stats;
+pub mod temporal;
+
+pub use busy::NetworkLoadModel;
+pub use stats::{Ecdf, Histogram, LinearFit, StreamingStats};

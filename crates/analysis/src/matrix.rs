@@ -1,0 +1,306 @@
+//! 24×7 weekly usage matrices: Figures 4 and 5.
+//!
+//! §4.2 encodes "important periods during the week in 24×7 matrices,
+//! where each hour of the day for 7 days is represented by a shaded
+//! box", and renders each car's connection frequency the same way, in
+//! the car's local time. Aggregating a car's whole study onto one weekly
+//! matrix is what surfaces its habitual pattern through day-to-day
+//! noise.
+
+use conncar_cdr::CdrRecord;
+use conncar_types::{DayOfWeek, StudyPeriod, TimeZone, SECONDS_PER_HOUR};
+use serde::{Deserialize, Serialize};
+
+/// A 7×24 matrix of per-hour-of-week values. Row = weekday (Monday
+/// first), column = local hour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeeklyMatrix {
+    /// Row-major values: `values[day][hour]`.
+    pub values: [[f64; 24]; 7],
+}
+
+impl WeeklyMatrix {
+    /// All-zero matrix.
+    pub fn zero() -> WeeklyMatrix {
+        WeeklyMatrix {
+            values: [[0.0; 24]; 7],
+        }
+    }
+
+    /// Value at (weekday, hour).
+    pub fn get(&self, day: DayOfWeek, hour: u8) -> f64 {
+        self.values[day.index()][hour as usize]
+    }
+
+    /// Mutable cell access.
+    pub fn get_mut(&mut self, day: DayOfWeek, hour: u8) -> &mut f64 {
+        &mut self.values[day.index()][hour as usize]
+    }
+
+    /// Largest value (0 for an all-zero matrix).
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .flatten()
+            .copied()
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Sum of all cells.
+    pub fn total(&self) -> f64 {
+        self.values.iter().flatten().sum()
+    }
+
+    /// Scale so the maximum becomes 1 (no-op for an all-zero matrix).
+    pub fn normalized(&self) -> WeeklyMatrix {
+        let m = self.max();
+        if m == 0.0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        for row in &mut out.values {
+            for v in row.iter_mut() {
+                *v /= m;
+            }
+        }
+        out
+    }
+
+    /// Fraction of total mass that falls inside a reference mask (used
+    /// to score how "commute-like" or "busy-hour" a car is).
+    pub fn mass_within(&self, mask: &WeeklyMatrix) -> f64 {
+        let total = self.total();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let mut inside = 0.0;
+        for d in 0..7 {
+            for h in 0..24 {
+                if mask.values[d][h] > 0.0 {
+                    inside += self.values[d][h];
+                }
+            }
+        }
+        inside / total
+    }
+
+    /// Regularity score in `[0, 1]`: concentration of mass in few cells
+    /// (normalized inverse entropy). A car that always connects in the
+    /// same hours scores high; diffuse usage scores low.
+    pub fn regularity(&self) -> f64 {
+        let total = self.total();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let mut entropy = 0.0;
+        for v in self.values.iter().flatten() {
+            if *v > 0.0 {
+                let p = v / total;
+                entropy -= p * p.ln();
+            }
+        }
+        let max_entropy = (168.0f64).ln();
+        1.0 - entropy / max_entropy
+    }
+}
+
+/// Build one car's 24×7 connection-frequency matrix (Figure 5).
+///
+/// Each record increments every local hour-of-week cell it overlaps,
+/// once per record per hour — the paper counts *connections*, not
+/// seconds, so a long session shades each hour it touches.
+pub fn car_matrix(
+    records: &[CdrRecord],
+    period: StudyPeriod,
+    tz: TimeZone,
+) -> WeeklyMatrix {
+    let mut m = WeeklyMatrix::zero();
+    for r in records {
+        let start_local = tz.to_local(r.start);
+        let end_local = tz.to_local(r.end);
+        let first_hour = start_local.as_secs() / SECONDS_PER_HOUR;
+        // Exclusive end: a record ending exactly on the hour does not
+        // touch the next hour.
+        let last_hour = (end_local.as_secs().saturating_sub(1)) / SECONDS_PER_HOUR;
+        for hour_abs in first_hour..=last_hour {
+            let day = hour_abs / 24;
+            let weekday = period.start_day().plus(day as usize);
+            let hour = (hour_abs % 24) as u8;
+            *m.get_mut(weekday, hour) += 1.0;
+        }
+    }
+    m
+}
+
+/// The three reference masks of Figure 4.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReferenceMatrices {
+    /// Weekday commute peaks (7–9 and 16–19 local, Mon–Fri).
+    pub commute_peaks: WeeklyMatrix,
+    /// Network busy hours (14–24 local, Mon–Fri; 12–23 weekends).
+    pub network_peaks: WeeklyMatrix,
+    /// The weekend (all hours, Sat–Sun).
+    pub weekend: WeeklyMatrix,
+}
+
+/// Build Figure 4's reference matrices.
+pub fn reference_matrices() -> ReferenceMatrices {
+    let mut commute = WeeklyMatrix::zero();
+    let mut network = WeeklyMatrix::zero();
+    let mut weekend = WeeklyMatrix::zero();
+    for day in DayOfWeek::ALL {
+        for hour in 0u8..24 {
+            if day.is_weekday() {
+                if (7..9).contains(&hour) || (16..19).contains(&hour) {
+                    *commute.get_mut(day, hour) = 1.0;
+                }
+                if hour >= 14 {
+                    *network.get_mut(day, hour) = 1.0;
+                }
+            } else {
+                *weekend.get_mut(day, hour) = 1.0;
+                if (12..23).contains(&hour) {
+                    *network.get_mut(day, hour) = 1.0;
+                }
+            }
+        }
+    }
+    ReferenceMatrices {
+        commute_peaks: commute,
+        network_peaks: network,
+        weekend,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_types::{
+        BaseStationId, CarId, Carrier, CellId, Duration, Timestamp,
+    };
+
+    fn rec(day: u64, hour: u64, min: u64, dur_secs: u64) -> CdrRecord {
+        let start = Timestamp::from_day_hms(day, hour, min, 0);
+        CdrRecord {
+            car: CarId(1),
+            cell: CellId::new(BaseStationId(1), 0, Carrier::C3),
+            start,
+            end: start + Duration::from_secs(dur_secs),
+        }
+    }
+
+    fn period() -> StudyPeriod {
+        StudyPeriod::new(DayOfWeek::Monday, 14).unwrap()
+    }
+
+    #[test]
+    fn single_record_shades_its_hour() {
+        let m = car_matrix(&[rec(0, 8, 10, 600)], period(), TimeZone::UTC);
+        assert_eq!(m.get(DayOfWeek::Monday, 8), 1.0);
+        assert_eq!(m.total(), 1.0);
+    }
+
+    #[test]
+    fn long_record_shades_every_hour_it_touches() {
+        // 7:30 → 10:30 on a Tuesday: hours 7, 8, 9, 10.
+        let m = car_matrix(&[rec(1, 7, 30, 3 * 3_600)], period(), TimeZone::UTC);
+        for h in 7..=10 {
+            assert_eq!(m.get(DayOfWeek::Tuesday, h), 1.0, "hour {h}");
+        }
+        assert_eq!(m.total(), 4.0);
+    }
+
+    #[test]
+    fn record_ending_on_the_hour_excludes_next_hour() {
+        let m = car_matrix(&[rec(0, 8, 0, 3_600)], period(), TimeZone::UTC);
+        assert_eq!(m.get(DayOfWeek::Monday, 8), 1.0);
+        assert_eq!(m.get(DayOfWeek::Monday, 9), 0.0);
+    }
+
+    #[test]
+    fn timezone_shifts_cells() {
+        // 13:00 UTC on Monday = 08:00 US Eastern Monday.
+        let m = car_matrix(&[rec(0, 13, 0, 600)], period(), TimeZone::US_EASTERN);
+        assert_eq!(m.get(DayOfWeek::Monday, 8), 1.0);
+        // 02:00 UTC on Tuesday = 21:00 Eastern Monday.
+        let m = car_matrix(&[rec(1, 2, 0, 600)], period(), TimeZone::US_EASTERN);
+        assert_eq!(m.get(DayOfWeek::Monday, 21), 1.0);
+    }
+
+    #[test]
+    fn weeks_aggregate_onto_one_matrix() {
+        // Same Monday hour in weeks 1 and 2.
+        let m = car_matrix(
+            &[rec(0, 8, 0, 600), rec(7, 8, 0, 600)],
+            period(),
+            TimeZone::UTC,
+        );
+        assert_eq!(m.get(DayOfWeek::Monday, 8), 2.0);
+    }
+
+    #[test]
+    fn normalization_and_max() {
+        let m = car_matrix(
+            &[rec(0, 8, 0, 600), rec(7, 8, 0, 600), rec(2, 20, 0, 600)],
+            period(),
+            TimeZone::UTC,
+        );
+        assert_eq!(m.max(), 2.0);
+        let n = m.normalized();
+        assert_eq!(n.get(DayOfWeek::Monday, 8), 1.0);
+        assert_eq!(n.get(DayOfWeek::Wednesday, 20), 0.5);
+        // Zero matrix normalizes to itself.
+        assert_eq!(WeeklyMatrix::zero().normalized(), WeeklyMatrix::zero());
+    }
+
+    #[test]
+    fn reference_masks_have_expected_shape() {
+        let refs = reference_matrices();
+        assert_eq!(refs.commute_peaks.get(DayOfWeek::Monday, 8), 1.0);
+        assert_eq!(refs.commute_peaks.get(DayOfWeek::Monday, 12), 0.0);
+        assert_eq!(refs.commute_peaks.get(DayOfWeek::Saturday, 8), 0.0);
+        assert_eq!(refs.network_peaks.get(DayOfWeek::Friday, 20), 1.0);
+        assert_eq!(refs.network_peaks.get(DayOfWeek::Friday, 10), 0.0);
+        assert_eq!(refs.weekend.get(DayOfWeek::Sunday, 3), 1.0);
+        assert_eq!(refs.weekend.get(DayOfWeek::Thursday, 3), 0.0);
+        // Commute mask: 5 days × 5 hours.
+        assert_eq!(refs.commute_peaks.total(), 25.0);
+    }
+
+    #[test]
+    fn mass_within_mask() {
+        let refs = reference_matrices();
+        // A pure commuter: all mass in commute hours.
+        let m = car_matrix(
+            &[rec(0, 7, 30, 1_800), rec(0, 17, 0, 1_800)],
+            period(),
+            TimeZone::UTC,
+        );
+        assert!(m.mass_within(&refs.commute_peaks) > 0.99);
+        // A 3 a.m. driver: none.
+        let night = car_matrix(&[rec(0, 3, 0, 600)], period(), TimeZone::UTC);
+        assert_eq!(night.mass_within(&refs.commute_peaks), 0.0);
+        assert_eq!(WeeklyMatrix::zero().mass_within(&refs.weekend), 0.0);
+    }
+
+    #[test]
+    fn regularity_orders_habitual_vs_diffuse() {
+        // Habitual: 20 connections all in one hour cell.
+        let habitual = car_matrix(
+            &(0..20).map(|w| rec(w % 14, 8, 0, 600)).collect::<Vec<_>>(),
+            period(),
+            TimeZone::UTC,
+        );
+        // Diffuse: 21 connections spread across all week.
+        let diffuse = car_matrix(
+            &(0..21u64)
+                .map(|i| rec(i % 7, (i * 5) % 24, 0, 600))
+                .collect::<Vec<_>>(),
+            period(),
+            TimeZone::UTC,
+        );
+        assert!(habitual.regularity() > diffuse.regularity());
+        assert_eq!(WeeklyMatrix::zero().regularity(), 0.0);
+        assert!(habitual.regularity() <= 1.0);
+    }
+}

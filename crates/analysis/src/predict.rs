@@ -1,0 +1,497 @@
+//! Per-car appearance prediction — the §4.7 extension.
+//!
+//! The paper's discussion calls for "possible per-car prediction models
+//! for efficient content delivery": if a car's 24×7 matrix says it
+//! reliably appears Tuesday 07:00–08:00, a FOTA scheduler can plan for
+//! that window. This module implements the natural baseline: estimate
+//! `P(car connects in hour-of-week h)` from the training weeks'
+//! frequency matrix and threshold it, then score the forecast on
+//! held-out weeks. The same train/test split quantifies the paper's
+//! claim that "cars can be clustered according to predictability in
+//! their behavior".
+
+use crate::matrix::WeeklyMatrix;
+use conncar_cdr::CdrRecord;
+use conncar_types::{DayOfWeek, StudyPeriod, TimeZone, Timestamp, SECONDS_PER_HOUR};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A trained per-car predictor: the estimated probability the car
+/// connects in each hour of the week.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CarPredictor {
+    /// `P(connect)` per (weekday, hour) cell.
+    pub probabilities: WeeklyMatrix,
+    /// Weeks of training data behind the estimate.
+    pub training_weeks: u32,
+}
+
+impl CarPredictor {
+    /// Train on the records of `[0, split_week)` weeks.
+    ///
+    /// Hours-of-week where the car appeared in `w` of `n` training weeks
+    /// get probability `w / n`.
+    pub fn train(
+        records: &[CdrRecord],
+        period: StudyPeriod,
+        tz: TimeZone,
+        split_week: u32,
+    ) -> CarPredictor {
+        let cutoff = Timestamp::from_secs(split_week as u64 * 7 * 86_400);
+        // Distinct (week, hour-of-week) appearances.
+        let mut seen: HashSet<(u32, usize)> = HashSet::new();
+        for r in records.iter().filter(|r| r.start < cutoff) {
+            let end = r.end.min(cutoff);
+            for (week, how) in hours_of_week(r.start, end, period, tz) {
+                seen.insert((week, how));
+            }
+        }
+        let mut probabilities = WeeklyMatrix::zero();
+        for (_, how) in &seen {
+            let day = DayOfWeek::from_index(how / 24);
+            *probabilities.get_mut(day, (how % 24) as u8) += 1.0;
+        }
+        let n = split_week.max(1) as f64;
+        for row in &mut probabilities.values {
+            for v in row.iter_mut() {
+                *v /= n;
+            }
+        }
+        CarPredictor {
+            probabilities,
+            training_weeks: split_week,
+        }
+    }
+
+    /// Predicted presence for one hour-of-week at a probability
+    /// threshold.
+    pub fn predicts(&self, day: DayOfWeek, hour: u8, threshold: f64) -> bool {
+        self.probabilities.get(day, hour) >= threshold
+    }
+
+    /// Evaluate on the weeks from `eval_week` to the end of the period.
+    pub fn evaluate(
+        &self,
+        records: &[CdrRecord],
+        period: StudyPeriod,
+        tz: TimeZone,
+        eval_week: u32,
+        threshold: f64,
+    ) -> PredictionScore {
+        let start = Timestamp::from_secs(eval_week as u64 * 7 * 86_400);
+        let total_weeks = period.days() / 7;
+        if total_weeks <= eval_week {
+            return PredictionScore::default();
+        }
+        // Actual appearances per (week, hour-of-week).
+        let mut actual: HashSet<(u32, usize)> = HashSet::new();
+        for r in records.iter().filter(|r| r.end > start) {
+            let s = r.start.max(start);
+            for (week, how) in hours_of_week(s, r.end, period, tz) {
+                if week >= eval_week && week < total_weeks {
+                    actual.insert((week, how));
+                }
+            }
+        }
+        let mut score = PredictionScore::default();
+        for week in eval_week..total_weeks {
+            for how in 0..168usize {
+                let day = DayOfWeek::from_index(how / 24);
+                let predicted = self.predicts(day, (how % 24) as u8, threshold);
+                let observed = actual.contains(&(week, how));
+                match (predicted, observed) {
+                    (true, true) => score.true_positives += 1,
+                    (true, false) => score.false_positives += 1,
+                    (false, true) => score.false_negatives += 1,
+                    (false, false) => score.true_negatives += 1,
+                }
+            }
+        }
+        score
+    }
+}
+
+/// A fleet-level prior blended into each car's own matrix.
+///
+/// Rare cars have too little history for a pure per-car estimate (two
+/// training weeks of a 5-days-per-study car is mostly zeros). The
+/// standard fix is shrinkage: blend the car's empirical matrix with the
+/// fleet-average matrix, weighting the personal signal by how much
+/// history backs it.
+#[derive(Debug, Clone)]
+pub struct BlendedPredictor {
+    /// Fleet-average appearance probability per hour-of-week.
+    pub population: WeeklyMatrix,
+}
+
+impl BlendedPredictor {
+    /// Build the fleet prior from every car's training-window records.
+    pub fn fit_population<'a>(
+        cars: impl Iterator<Item = &'a [CdrRecord]>,
+        period: StudyPeriod,
+        tz: TimeZone,
+        split_week: u32,
+    ) -> BlendedPredictor {
+        let mut sum = WeeklyMatrix::zero();
+        let mut n = 0usize;
+        for records in cars {
+            let p = CarPredictor::train(records, period, tz, split_week);
+            for (srow, prow) in sum.values.iter_mut().zip(&p.probabilities.values) {
+                for (sv, pv) in srow.iter_mut().zip(prow) {
+                    *sv += pv;
+                }
+            }
+            n += 1;
+        }
+        if n > 0 {
+            for row in &mut sum.values {
+                for v in row.iter_mut() {
+                    *v /= n as f64;
+                }
+            }
+        }
+        BlendedPredictor { population: sum }
+    }
+
+    /// Personal predictor for one car, shrunk toward the fleet prior.
+    ///
+    /// `strength` plays the role of a pseudo-count: with `a` active
+    /// training appearances, the personal weight is `a / (a + strength)`.
+    pub fn for_car(
+        &self,
+        records: &[CdrRecord],
+        period: StudyPeriod,
+        tz: TimeZone,
+        split_week: u32,
+        strength: f64,
+    ) -> CarPredictor {
+        let personal = CarPredictor::train(records, period, tz, split_week);
+        let evidence = personal.probabilities.total() * split_week.max(1) as f64;
+        let w = evidence / (evidence + strength.max(1e-9));
+        let mut blended = WeeklyMatrix::zero();
+        for d in 0..7 {
+            for h in 0..24 {
+                blended.values[d][h] =
+                    w * personal.probabilities.values[d][h] + (1.0 - w) * self.population.values[d][h];
+            }
+        }
+        CarPredictor {
+            probabilities: blended,
+            training_weeks: split_week,
+        }
+    }
+}
+
+/// Trivial reference predictors that contextualize the matrix
+/// predictor's scores: a learned model must beat these to be worth the
+/// training data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// Predict the car present in every hour of every week.
+    AlwaysPresent,
+    /// Predict the car absent everywhere.
+    NeverPresent,
+    /// Predict presence in the classic weekday commute windows
+    /// (7–9 and 16–19 local) regardless of the car's history.
+    WeekdayCommute,
+}
+
+impl Baseline {
+    /// The equivalent probability matrix.
+    pub fn matrix(self) -> WeeklyMatrix {
+        let mut m = WeeklyMatrix::zero();
+        match self {
+            Baseline::AlwaysPresent => {
+                for row in &mut m.values {
+                    for v in row.iter_mut() {
+                        *v = 1.0;
+                    }
+                }
+            }
+            Baseline::NeverPresent => {}
+            Baseline::WeekdayCommute => {
+                for day in DayOfWeek::ALL.iter().filter(|d| d.is_weekday()) {
+                    for hour in [7u8, 8, 16, 17, 18] {
+                        *m.get_mut(*day, hour) = 1.0;
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Score this baseline on the evaluation weeks.
+    pub fn evaluate(
+        self,
+        records: &[CdrRecord],
+        period: StudyPeriod,
+        tz: TimeZone,
+        eval_week: u32,
+    ) -> PredictionScore {
+        let predictor = CarPredictor {
+            probabilities: self.matrix(),
+            training_weeks: 0,
+        };
+        predictor.evaluate(records, period, tz, eval_week, 0.5)
+    }
+}
+
+/// Iterate `(week, hour_of_week)` cells a record overlaps, in the car's
+/// local time.
+fn hours_of_week(
+    start: Timestamp,
+    end: Timestamp,
+    period: StudyPeriod,
+    tz: TimeZone,
+) -> Vec<(u32, usize)> {
+    if end <= start {
+        return Vec::new();
+    }
+    let sl = tz.to_local(start).as_secs();
+    let el = tz.to_local(end).as_secs();
+    let first = sl / SECONDS_PER_HOUR;
+    let last = (el.saturating_sub(1)) / SECONDS_PER_HOUR;
+    (first..=last)
+        .map(|habs| {
+            let day = habs / 24;
+            let week = (day / 7) as u32;
+            let weekday = period.start_day().plus(day as usize);
+            (week, weekday.index() * 24 + (habs % 24) as usize)
+        })
+        .collect()
+}
+
+/// Confusion-matrix counts over (week × hour-of-week) slots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictionScore {
+    /// Predicted present, was present.
+    pub true_positives: u64,
+    /// Predicted present, was absent.
+    pub false_positives: u64,
+    /// Predicted absent, was present.
+    pub false_negatives: u64,
+    /// Predicted absent, was absent.
+    pub true_negatives: u64,
+}
+
+impl PredictionScore {
+    /// Precision (`None` when nothing was predicted present).
+    pub fn precision(&self) -> Option<f64> {
+        let p = self.true_positives + self.false_positives;
+        (p > 0).then(|| self.true_positives as f64 / p as f64)
+    }
+
+    /// Recall (`None` when the car never appeared).
+    pub fn recall(&self) -> Option<f64> {
+        let p = self.true_positives + self.false_negatives;
+        (p > 0).then(|| self.true_positives as f64 / p as f64)
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> Option<f64> {
+        match (self.precision(), self.recall()) {
+            (Some(p), Some(r)) if p + r > 0.0 => Some(2.0 * p * r / (p + r)),
+            _ => None,
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total =
+            self.true_positives + self.false_positives + self.false_negatives + self.true_negatives;
+        if total == 0 {
+            0.0
+        } else {
+            (self.true_positives + self.true_negatives) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_types::{BaseStationId, CarId, Carrier, CellId, Duration};
+
+    fn rec(day: u64, hour: u64, dur_mins: u64) -> CdrRecord {
+        let start = Timestamp::from_day_hms(day, hour, 15, 0);
+        CdrRecord {
+            car: CarId(1),
+            cell: CellId::new(BaseStationId(1), 0, Carrier::C3),
+            start,
+            end: start + Duration::from_mins(dur_mins),
+        }
+    }
+
+    fn period() -> StudyPeriod {
+        StudyPeriod::new(DayOfWeek::Monday, 28).unwrap() // 4 weeks
+    }
+
+    /// A perfectly regular commuter: Mon & Wed 8 h, every week.
+    fn regular_records(weeks: u64) -> Vec<CdrRecord> {
+        let mut out = Vec::new();
+        for w in 0..weeks {
+            out.push(rec(w * 7, 8, 30)); // Monday 08:15
+            out.push(rec(w * 7 + 2, 8, 30)); // Wednesday 08:15
+        }
+        out
+    }
+
+    #[test]
+    fn regular_car_is_perfectly_predictable() {
+        let records = regular_records(4);
+        let p = CarPredictor::train(&records, period(), TimeZone::UTC, 2);
+        assert_eq!(p.probabilities.get(DayOfWeek::Monday, 8), 1.0);
+        assert_eq!(p.probabilities.get(DayOfWeek::Tuesday, 8), 0.0);
+        let score = p.evaluate(&records, period(), TimeZone::UTC, 2, 0.5);
+        assert_eq!(score.false_positives, 0);
+        assert_eq!(score.false_negatives, 0);
+        assert_eq!(score.true_positives, 4); // 2 hours × 2 eval weeks
+        assert_eq!(score.f1(), Some(1.0));
+        assert_eq!(score.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn training_never_sees_eval_weeks() {
+        // Car changes habit in week 3: predictor trained on weeks 0–1
+        // must miss the new Friday slot (false negative), not know it.
+        let mut records = regular_records(4);
+        records.push(rec(3 * 7 + 4, 19, 30)); // Friday evening, week 3
+        let p = CarPredictor::train(&records, period(), TimeZone::UTC, 2);
+        assert_eq!(p.probabilities.get(DayOfWeek::Friday, 19), 0.0);
+        let score = p.evaluate(&records, period(), TimeZone::UTC, 2, 0.5);
+        assert_eq!(score.false_negatives, 1);
+    }
+
+    #[test]
+    fn threshold_trades_precision_for_recall() {
+        // Monday every week; Wednesday only in week 0 (probability 0.5
+        // over 2 training weeks).
+        let records = vec![rec(0, 8, 30), rec(2, 8, 30), rec(7, 8, 30), rec(14, 8, 30), rec(21, 8, 30)];
+        let p = CarPredictor::train(&records, period(), TimeZone::UTC, 2);
+        // Low threshold predicts both Monday and Wednesday.
+        assert!(p.predicts(DayOfWeek::Wednesday, 8, 0.4));
+        // High threshold keeps only the certain Monday.
+        assert!(!p.predicts(DayOfWeek::Wednesday, 8, 0.9));
+        assert!(p.predicts(DayOfWeek::Monday, 8, 0.9));
+        let strict = p.evaluate(&records, period(), TimeZone::UTC, 2, 0.9);
+        let loose = p.evaluate(&records, period(), TimeZone::UTC, 2, 0.4);
+        assert!(loose.false_positives >= strict.false_positives);
+    }
+
+    #[test]
+    fn empty_history_predicts_nothing() {
+        let p = CarPredictor::train(&[], period(), TimeZone::UTC, 2);
+        assert_eq!(p.probabilities.total(), 0.0);
+        let score = p.evaluate(&[], period(), TimeZone::UTC, 2, 0.5);
+        assert_eq!(score.true_positives, 0);
+        assert_eq!(score.precision(), None);
+        assert_eq!(score.recall(), None);
+        assert_eq!(score.f1(), None);
+        // All slots are true negatives.
+        assert_eq!(score.true_negatives, 2 * 168);
+        assert_eq!(score.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn local_time_alignment() {
+        // 13:15 UTC Monday = 08:15 Eastern Monday.
+        let records = vec![
+            rec(0, 13, 30),
+            rec(7, 13, 30),
+            rec(14, 13, 30),
+            rec(21, 13, 30),
+        ];
+        let p = CarPredictor::train(&records, period(), TimeZone::US_EASTERN, 2);
+        assert_eq!(p.probabilities.get(DayOfWeek::Monday, 8), 1.0);
+        let score = p.evaluate(&records, period(), TimeZone::US_EASTERN, 2, 0.5);
+        assert_eq!(score.true_positives, 2);
+        assert_eq!(score.false_negatives, 0);
+    }
+
+    #[test]
+    fn blending_shrinks_toward_population() {
+        // Fleet of one very active car; a sparse car with no history
+        // inherits the population pattern.
+        let active = regular_records(4);
+        let blender = BlendedPredictor::fit_population(
+            [active.as_slice()].into_iter(),
+            period(),
+            TimeZone::UTC,
+            2,
+        );
+        assert!(blender.population.get(DayOfWeek::Monday, 8) > 0.9);
+        // Sparse car (no records): predictor equals the prior.
+        let sparse = blender.for_car(&[], period(), TimeZone::UTC, 2, 4.0);
+        assert!((sparse.probabilities.get(DayOfWeek::Monday, 8)
+            - blender.population.get(DayOfWeek::Monday, 8))
+        .abs()
+            < 1e-9);
+        // A car with strong conflicting history keeps most of its own
+        // signal: Friday-only car stays Friday-dominant.
+        let friday: Vec<CdrRecord> = (0..2).map(|w| rec(w * 7 + 4, 20, 30)).collect();
+        let fri_pred = blender.for_car(&friday, period(), TimeZone::UTC, 2, 1.0);
+        assert!(
+            fri_pred.probabilities.get(DayOfWeek::Friday, 20)
+                > fri_pred.probabilities.get(DayOfWeek::Monday, 8)
+        );
+    }
+
+    #[test]
+    fn blended_weight_grows_with_evidence() {
+        let active = regular_records(4);
+        let blender = BlendedPredictor::fit_population(
+            [active.as_slice()].into_iter(),
+            period(),
+            TimeZone::UTC,
+            2,
+        );
+        // One observed hour vs four: personal weight increases, so the
+        // personal-only cell probability rises toward 1.
+        let one: Vec<CdrRecord> = vec![rec(4, 20, 30)];
+        let four: Vec<CdrRecord> = (0..2)
+            .flat_map(|w| vec![rec(w * 7 + 4, 20, 30), rec(w * 7 + 5, 20, 30)])
+            .collect();
+        let p1 = blender.for_car(&one, period(), TimeZone::UTC, 2, 4.0);
+        let p4 = blender.for_car(&four, period(), TimeZone::UTC, 2, 4.0);
+        // The Monday-8 prior cell (never seen by either car) shrinks as
+        // evidence grows.
+        assert!(
+            p4.probabilities.get(DayOfWeek::Monday, 8)
+                < p1.probabilities.get(DayOfWeek::Monday, 8) + 1e-12
+        );
+    }
+
+    #[test]
+    fn baselines_bracket_the_matrix_predictor() {
+        let records = regular_records(4);
+        let matrix = CarPredictor::train(&records, period(), TimeZone::UTC, 2)
+            .evaluate(&records, period(), TimeZone::UTC, 2, 0.5);
+        let always =
+            Baseline::AlwaysPresent.evaluate(&records, period(), TimeZone::UTC, 2);
+        let never = Baseline::NeverPresent.evaluate(&records, period(), TimeZone::UTC, 2);
+        // Always: perfect recall, terrible precision.
+        assert_eq!(always.recall(), Some(1.0));
+        assert!(always.precision().unwrap() < 0.05);
+        // Never: no predictions at all.
+        assert_eq!(never.true_positives + never.false_positives, 0);
+        assert_eq!(never.recall(), Some(0.0));
+        // The learned predictor beats both on F1.
+        assert!(matrix.f1().unwrap() > always.f1().unwrap());
+        assert!(never.f1().is_none());
+    }
+
+    #[test]
+    fn commute_baseline_catches_commuters_only() {
+        let records = regular_records(4); // Mon & Wed 08:15
+        let commute =
+            Baseline::WeekdayCommute.evaluate(&records, period(), TimeZone::UTC, 2);
+        // The 08:00 slot is inside the commute window: full recall.
+        assert_eq!(commute.recall(), Some(1.0));
+        // But it fires on 25 slots/week while the car uses 2.
+        assert!(commute.precision().unwrap() < 0.2);
+        // A night-shift car is missed entirely.
+        let night: Vec<CdrRecord> = (0..4).map(|w| rec(w * 7, 2, 30)).collect();
+        let miss = Baseline::WeekdayCommute.evaluate(&night, period(), TimeZone::UTC, 2);
+        assert_eq!(miss.recall(), Some(0.0));
+    }
+}

@@ -1,0 +1,305 @@
+//! Car segmentation: Figure 6 (days on network), Table 2 (rare/common ×
+//! busy/non-busy/both) and Figure 7 (time spent in busy cells).
+//!
+//! §4.3's recipe combines three ingredients: per-car usage, per-bin
+//! busy-cell classification, and per-car day counts. The
+//! [`CarBusyProfile`] computed here is that joined view; the table and
+//! both figures are projections of it.
+
+use crate::busy::NetworkLoadModel;
+use crate::stats::Ecdf;
+use conncar_cdr::CdrDataset;
+use conncar_types::CarId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Per-car summary joining usage and network conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CarBusyProfile {
+    /// The car.
+    pub car: CarId,
+    /// Number of distinct study days with at least one connection.
+    pub days_active: u32,
+    /// Connected seconds spent in bins where the serving cell was busy.
+    pub busy_secs: u64,
+    /// Total connected seconds.
+    pub total_secs: u64,
+}
+
+impl CarBusyProfile {
+    /// Fraction of connected time in busy cells (0 for a silent car).
+    pub fn busy_fraction(&self) -> f64 {
+        if self.total_secs == 0 {
+            0.0
+        } else {
+            self.busy_secs as f64 / self.total_secs as f64
+        }
+    }
+}
+
+/// Compute every connected car's profile.
+pub fn car_profiles(ds: &CdrDataset, model: &NetworkLoadModel<'_>) -> Vec<CarBusyProfile> {
+    let mut out = Vec::new();
+    for (car, records) in ds.by_car() {
+        let mut days: HashSet<u64> = HashSet::new();
+        let mut busy = 0u64;
+        let mut total = 0u64;
+        for r in records {
+            let last_day = (r.end.as_secs().saturating_sub(1)) / 86_400;
+            for d in r.start.day()..=last_day {
+                days.insert(d);
+            }
+            let (b, t) = model.busy_split_secs(r);
+            busy += b;
+            total += t;
+        }
+        out.push(CarBusyProfile {
+            car,
+            days_active: days.len() as u32,
+            busy_secs: busy,
+            total_secs: total,
+        });
+    }
+    out
+}
+
+/// Figure 6: histogram of days-on-network. `counts[d]` = number of cars
+/// active on exactly `d` days; index 0 counts cars with records on zero
+/// days (possible only when profiles are synthesized externally).
+pub fn days_histogram(profiles: &[CarBusyProfile], study_days: u32) -> Vec<u64> {
+    let mut counts = vec![0u64; study_days as usize + 1];
+    for p in profiles {
+        let d = (p.days_active as usize).min(study_days as usize);
+        counts[d] += 1;
+    }
+    counts
+}
+
+/// Busy-hour affinity classes of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BusyAffinity {
+    /// ≥ 65% of connected time in busy cells.
+    Busy,
+    /// ≤ 35% of connected time in busy cells.
+    NonBusy,
+    /// In between: balanced across both.
+    Both,
+}
+
+/// Classify one car per §4.3's 65%/35% rule.
+pub fn busy_affinity(profile: &CarBusyProfile, hi: f64, lo: f64) -> BusyAffinity {
+    let f = profile.busy_fraction();
+    if f >= hi {
+        BusyAffinity::Busy
+    } else if f <= lo {
+        BusyAffinity::NonBusy
+    } else {
+        BusyAffinity::Both
+    }
+}
+
+/// One Table 2 row pair (for one rarity cutoff): fractions of the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentRow {
+    /// The rarity cutoff in days (≤ cutoff ⇒ rare).
+    pub cutoff_days: u32,
+    /// Rare × (busy, non-busy, both) fleet fractions.
+    pub rare: [f64; 3],
+    /// Common × (busy, non-busy, both) fleet fractions.
+    pub common: [f64; 3],
+}
+
+impl SegmentRow {
+    /// Total rare fraction.
+    pub fn rare_total(&self) -> f64 {
+        self.rare.iter().sum()
+    }
+
+    /// Total common fraction.
+    pub fn common_total(&self) -> f64 {
+        self.common.iter().sum()
+    }
+}
+
+/// Table 2: segment the fleet at a rarity cutoff with the 65%/35% rule.
+///
+/// Fractions are over the *connected* car population (cars present in
+/// the data set, as in the paper).
+pub fn segment(profiles: &[CarBusyProfile], cutoff_days: u32, hi: f64, lo: f64) -> SegmentRow {
+    let n = profiles.len().max(1) as f64;
+    let mut rare = [0usize; 3];
+    let mut common = [0usize; 3];
+    for p in profiles {
+        let idx = match busy_affinity(p, hi, lo) {
+            BusyAffinity::Busy => 0,
+            BusyAffinity::NonBusy => 1,
+            BusyAffinity::Both => 2,
+        };
+        if p.days_active <= cutoff_days {
+            rare[idx] += 1;
+        } else {
+            common[idx] += 1;
+        }
+    }
+    SegmentRow {
+        cutoff_days,
+        rare: rare.map(|c| c as f64 / n),
+        common: common.map(|c| c as f64 / n),
+    }
+}
+
+/// Figure 7: the distribution of per-car busy-time fraction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BusyTimeResult {
+    /// ECDF over per-car busy fraction.
+    pub ecdf: Ecdf,
+    /// Fraction of cars with > 50% of time in busy cells.
+    pub over_half: f64,
+    /// Fraction of cars with ≥ 99% of time in busy cells ("all their
+    /// time on busy radios").
+    pub always_busy: f64,
+}
+
+/// Compute Figure 7 from the profiles.
+pub fn busy_time_distribution(
+    profiles: &[CarBusyProfile],
+) -> conncar_types::Result<BusyTimeResult> {
+    let fracs: Vec<f64> = profiles.iter().map(|p| p.busy_fraction()).collect();
+    let n = fracs.len().max(1) as f64;
+    let over_half = fracs.iter().filter(|&&f| f > 0.5).count() as f64 / n;
+    let always_busy = fracs.iter().filter(|&&f| f >= 0.99).count() as f64 / n;
+    Ok(BusyTimeResult {
+        ecdf: Ecdf::new(fracs)?,
+        over_half,
+        always_busy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(car: u32, days: u32, busy: u64, total: u64) -> CarBusyProfile {
+        CarBusyProfile {
+            car: CarId(car),
+            days_active: days,
+            busy_secs: busy,
+            total_secs: total,
+        }
+    }
+
+    #[test]
+    fn busy_fraction_handles_silence() {
+        assert_eq!(profile(1, 0, 0, 0).busy_fraction(), 0.0);
+        assert_eq!(profile(1, 1, 50, 100).busy_fraction(), 0.5);
+    }
+
+    #[test]
+    fn affinity_rule_thresholds() {
+        assert_eq!(
+            busy_affinity(&profile(1, 1, 65, 100), 0.65, 0.35),
+            BusyAffinity::Busy
+        );
+        assert_eq!(
+            busy_affinity(&profile(1, 1, 35, 100), 0.65, 0.35),
+            BusyAffinity::NonBusy
+        );
+        assert_eq!(
+            busy_affinity(&profile(1, 1, 50, 100), 0.65, 0.35),
+            BusyAffinity::Both
+        );
+    }
+
+    #[test]
+    fn histogram_counts_days() {
+        let profiles = vec![
+            profile(1, 5, 0, 10),
+            profile(2, 5, 0, 10),
+            profile(3, 90, 0, 10),
+            profile(4, 200, 0, 10), // clamps to study length
+        ];
+        let h = days_histogram(&profiles, 90);
+        assert_eq!(h.len(), 91);
+        assert_eq!(h[5], 2);
+        assert_eq!(h[90], 2);
+        assert_eq!(h.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn segmentation_partitions_fleet() {
+        let profiles = vec![
+            profile(1, 5, 90, 100),   // rare, busy
+            profile(2, 8, 0, 100),    // rare, non-busy
+            profile(3, 50, 50, 100),  // common, both
+            profile(4, 80, 10, 100),  // common, non-busy
+        ];
+        let row = segment(&profiles, 10, 0.65, 0.35);
+        assert_eq!(row.cutoff_days, 10);
+        assert!((row.rare_total() - 0.5).abs() < 1e-12);
+        assert!((row.common_total() - 0.5).abs() < 1e-12);
+        assert!((row.rare[0] - 0.25).abs() < 1e-12);
+        assert!((row.rare[1] - 0.25).abs() < 1e-12);
+        assert_eq!(row.rare[2], 0.0);
+        assert!((row.common[2] - 0.25).abs() < 1e-12);
+        // Fractions always sum to 1.
+        assert!((row.rare_total() + row.common_total() - 1.0).abs() < 1e-12);
+        // Raising the cutoff moves cars from common to rare.
+        let row30 = segment(&profiles, 60, 0.65, 0.35);
+        assert!(row30.rare_total() > row.rare_total());
+    }
+
+    #[test]
+    fn busy_time_distribution_tail_counts() {
+        let mut profiles: Vec<CarBusyProfile> =
+            (0..96).map(|i| profile(i, 10, 10, 100)).collect(); // 10% busy
+        profiles.push(profile(96, 10, 60, 100)); // 60%
+        profiles.push(profile(97, 10, 70, 100)); // 70%
+        profiles.push(profile(98, 10, 99, 100)); // 99%
+        profiles.push(profile(99, 10, 100, 100)); // 100%
+        let r = busy_time_distribution(&profiles).unwrap();
+        assert!((r.over_half - 0.04).abs() < 1e-12);
+        assert!((r.always_busy - 0.02).abs() < 1e-12);
+        assert_eq!(r.ecdf.len(), 100);
+    }
+
+    #[test]
+    fn profiles_integrate_with_model() {
+        // End-to-end smoke: build a tiny dataset over a real region and
+        // check accounting identities.
+        use conncar_cdr::CdrRecord;
+        use conncar_geo::{Region, RegionConfig};
+        use conncar_radio::{BackgroundLoad, BackgroundLoadConfig, PrbLedger};
+        use conncar_types::{Carrier, CellId, DayOfWeek, Duration, StudyPeriod, Timestamp};
+
+        let region = Region::generate(&RegionConfig::small(), 42);
+        let period = StudyPeriod::new(DayOfWeek::Monday, 7).unwrap();
+        let ledger = PrbLedger::new(period);
+        let bg = BackgroundLoad::new(BackgroundLoadConfig::default(), period, -5);
+        let model = NetworkLoadModel::new(&ledger, &bg, region.deployment());
+        let cell = CellId::new(region.deployment().stations()[0].id, 0, Carrier::C3);
+        let start = Timestamp::from_day_hms(1, 18, 0, 0);
+        let ds = CdrDataset::new(
+            period,
+            vec![
+                CdrRecord {
+                    car: CarId(1),
+                    cell,
+                    start,
+                    end: start + Duration::from_mins(30),
+                },
+                CdrRecord {
+                    car: CarId(1),
+                    cell,
+                    start: Timestamp::from_day_hms(3, 9, 0, 0),
+                    end: Timestamp::from_day_hms(3, 9, 10, 0),
+                },
+            ],
+        );
+        let profiles = car_profiles(&ds, &model);
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        assert_eq!(p.days_active, 2);
+        assert_eq!(p.total_secs, 30 * 60 + 10 * 60);
+        assert!(p.busy_secs <= p.total_secs);
+    }
+}

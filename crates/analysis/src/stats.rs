@@ -1,0 +1,554 @@
+//! Shared statistics kit.
+//!
+//! Everything here is textbook; the value is having one audited
+//! implementation used by all analyses so that "median", "decile" and
+//! "R²" mean the same thing in every table.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford streaming mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamingStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// Fresh accumulator.
+    pub fn new() -> StreamingStats {
+        StreamingStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for < 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample (n−1) standard deviation, matching what spreadsheet STDEV
+    /// and the paper's Table 1 report.
+    pub fn sample_stdev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stdev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator (parallel reduction).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Empirical cumulative distribution over a sorted sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from any sample; non-finite values are rejected.
+    pub fn new(mut values: Vec<f64>) -> conncar_types::Result<Ecdf> {
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(conncar_types::Error::InvalidConfig {
+                what: "ecdf",
+                why: "non-finite sample value".into(),
+            });
+        }
+        values.sort_by(f64::total_cmp);
+        Ok(Ecdf { sorted: values })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)`: fraction of the sample ≤ `x`.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|v| *v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Quantile by linear interpolation (the common "type 7" estimator).
+    /// `q` is clamped to `[0, 1]`. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let h = q * (self.sorted.len() - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = h.ceil() as usize;
+        let frac = h - lo as f64;
+        Some(self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac)
+    }
+
+    /// Median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+
+    /// The deciles `q10..=q90` plus min and max: 11 values.
+    pub fn deciles(&self) -> Option<[f64; 11]> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let mut out = [0.0; 11];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.quantile(i as f64 / 10.0).expect("non-empty");
+        }
+        Some(out)
+    }
+
+    /// Evenly spaced `(x, F(x))` points for plotting, including both
+    /// extremes. `points >= 2`.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points < 2 {
+            return Vec::new();
+        }
+        (0..points)
+            .map(|i| {
+                let q = i as f64 / (points - 1) as f64;
+                let x = self.quantile(q).expect("non-empty");
+                (x, q)
+            })
+            .collect()
+    }
+
+    /// The underlying sorted sample.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Fixed-width histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    counts: Vec<u64>,
+    /// Observations below `lo`.
+    underflow: u64,
+    /// Observations at or above the top edge.
+    overflow: u64,
+}
+
+impl Histogram {
+    /// `bins` equal-width bins covering `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> conncar_types::Result<Histogram> {
+        if hi <= lo || bins == 0 {
+            return Err(conncar_types::Error::InvalidConfig {
+                what: "histogram",
+                why: format!("bad range [{lo}, {hi}) with {bins} bins"),
+            });
+        }
+        Ok(Histogram {
+            lo,
+            width: (hi - lo) / bins as f64,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.width
+    }
+
+    /// `(underflow, overflow)` counts.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Total observations including out-of-range.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+/// Ordinary-least-squares line fit `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+impl LinearFit {
+    /// Fit over `(x, y)` pairs. `None` for fewer than 2 points or
+    /// degenerate x.
+    pub fn fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+        let n = points.len() as f64;
+        if points.len() < 2 {
+            return None;
+        }
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let mx = sx / n;
+        let my = sy / n;
+        let sxx: f64 = points.iter().map(|p| (p.0 - mx).powi(2)).sum();
+        if sxx == 0.0 {
+            return None;
+        }
+        let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let ss_tot: f64 = points.iter().map(|p| (p.1 - my).powi(2)).sum();
+        let ss_res: f64 = points
+            .iter()
+            .map(|p| (p.1 - (intercept + slope * p.0)).powi(2))
+            .sum();
+        let r2 = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Some(LinearFit {
+            slope,
+            intercept,
+            r2,
+        })
+    }
+
+    /// Predicted y at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = StreamingStats::new();
+        for x in xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stdev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        // Sample stdev uses n−1.
+        assert!((s.sample_stdev() - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = StreamingStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        // Merging with empty is identity.
+        let mut c = whole;
+        c.merge(&StreamingStats::new());
+        assert_eq!(c, whole);
+        let mut e = StreamingStats::new();
+        e.merge(&whole);
+        assert_eq!(e.count(), whole.count());
+    }
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let s = StreamingStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn ecdf_basics() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.fraction_le(0.5), 0.0);
+        assert_eq!(e.fraction_le(2.0), 0.5);
+        assert_eq!(e.fraction_le(99.0), 1.0);
+        assert_eq!(e.median(), Some(2.5));
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        assert_eq!(e.quantile(1.0), Some(4.0));
+        assert!((e.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_rejects_nan() {
+        assert!(Ecdf::new(vec![1.0, f64::NAN]).is_err());
+        assert!(Ecdf::new(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn ecdf_quantile_interpolates() {
+        let e = Ecdf::new(vec![0.0, 10.0]).unwrap();
+        assert_eq!(e.quantile(0.25), Some(2.5));
+        assert_eq!(e.quantile(0.73), Some(7.3));
+    }
+
+    #[test]
+    fn ecdf_empty() {
+        let e = Ecdf::new(vec![]).unwrap();
+        assert!(e.is_empty());
+        assert_eq!(e.quantile(0.5), None);
+        assert_eq!(e.deciles(), None);
+        assert!(e.curve(10).is_empty());
+        assert_eq!(e.fraction_le(0.0), 0.0);
+    }
+
+    #[test]
+    fn ecdf_deciles_monotone() {
+        let e = Ecdf::new((0..1_000).map(|i| (i as f64).sqrt()).collect()).unwrap();
+        let d = e.deciles().unwrap();
+        for w in d.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(d[0], e.quantile(0.0).unwrap());
+        assert_eq!(d[10], e.quantile(1.0).unwrap());
+    }
+
+    #[test]
+    fn ecdf_curve_endpoints() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0]).unwrap();
+        let c = e.curve(5);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c[0], (1.0, 0.0));
+        assert_eq!(c[4], (3.0, 1.0));
+        for w in c.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        for x in [0.0, 1.9, 2.0, 9.99, 10.0, -0.1, 55.0] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.out_of_range(), (1, 2));
+        assert_eq!(h.total(), 7);
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_config() {
+        assert!(Histogram::new(1.0, 1.0, 5).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(2.0, 1.0, 5).is_err());
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let f = LinearFit::fit(&pts).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 3.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert!((f.predict(20.0) - 43.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_noisy_flatline_has_low_r2() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| (i as f64, if i % 2 == 0 { 1.0 } else { -1.0 }))
+            .collect();
+        let f = LinearFit::fit(&pts).unwrap();
+        assert!(f.r2 < 0.1, "r2 {}", f.r2);
+        assert!(f.slope.abs() < 0.05);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_inputs() {
+        assert!(LinearFit::fit(&[]).is_none());
+        assert!(LinearFit::fit(&[(1.0, 2.0)]).is_none());
+        assert!(LinearFit::fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+        // Constant y: perfect fit by convention.
+        let f = LinearFit::fit(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r2, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ecdf_quantile_within_sample_bounds(
+            mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+            q in 0.0f64..=1.0,
+        ) {
+            let e = Ecdf::new(xs.clone()).unwrap();
+            let v = e.quantile(q).unwrap();
+            xs.sort_by(f64::total_cmp);
+            prop_assert!(v >= xs[0] - 1e-9);
+            prop_assert!(v <= xs[xs.len() - 1] + 1e-9);
+        }
+
+        #[test]
+        fn ecdf_fraction_is_monotone(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+            a in -2e3f64..2e3,
+            b in -2e3f64..2e3,
+        ) {
+            let e = Ecdf::new(xs).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(e.fraction_le(lo) <= e.fraction_le(hi));
+        }
+
+        #[test]
+        fn streaming_merge_associative(
+            xs in proptest::collection::vec(-1e3f64..1e3, 0..60),
+            ys in proptest::collection::vec(-1e3f64..1e3, 0..60),
+        ) {
+            let mut a = StreamingStats::new();
+            for &x in &xs { a.push(x); }
+            let mut b = StreamingStats::new();
+            for &y in &ys { b.push(y); }
+            let mut merged = a;
+            merged.merge(&b);
+            let mut seq = StreamingStats::new();
+            for &x in xs.iter().chain(&ys) { seq.push(x); }
+            prop_assert_eq!(merged.count(), seq.count());
+            prop_assert!((merged.mean() - seq.mean()).abs() < 1e-6);
+            prop_assert!((merged.variance() - seq.variance()).abs() < 1e-5);
+        }
+
+        #[test]
+        fn histogram_conserves_count(
+            xs in proptest::collection::vec(-10.0f64..20.0, 0..300),
+        ) {
+            let mut h = Histogram::new(0.0, 10.0, 7).unwrap();
+            for &x in &xs { h.push(x); }
+            prop_assert_eq!(h.total(), xs.len() as u64);
+        }
+    }
+}

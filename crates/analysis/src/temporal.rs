@@ -1,0 +1,320 @@
+//! Macro-level temporal behaviour: Figure 2, Table 1 and Figure 3.
+
+use crate::stats::{Ecdf, LinearFit, StreamingStats};
+use conncar_cdr::{truncate_records, CdrDataset};
+use conncar_types::{CarId, CellId, DayOfWeek, Duration};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One day's presence numbers (Figure 2's two series).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DailyPresence {
+    /// Study day index.
+    pub day: u64,
+    /// Weekday.
+    pub weekday: DayOfWeek,
+    /// Distinct cars seen on the network this day.
+    pub cars: usize,
+    /// Distinct cells that saw at least one car this day.
+    pub cells: usize,
+}
+
+/// Figure 2: per-day presence percentages with OLS trend lines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DailyPresenceResult {
+    /// One entry per study day.
+    pub days: Vec<DailyPresence>,
+    /// Total cars in the population (denominator for `% cars`).
+    pub total_cars: usize,
+    /// Total cells that ever saw a car (the paper's denominator: "out of
+    /// all the cells that had cars connect to them in our data set").
+    pub total_cells: usize,
+    /// Trend over `% cars` by day.
+    pub cars_trend: Option<LinearFit>,
+    /// Trend over `% cells` by day.
+    pub cells_trend: Option<LinearFit>,
+}
+
+impl DailyPresenceResult {
+    /// `% cars` series (0–1 fractions).
+    pub fn car_fractions(&self) -> Vec<f64> {
+        self.days
+            .iter()
+            .map(|d| d.cars as f64 / self.total_cars.max(1) as f64)
+            .collect()
+    }
+
+    /// `% cells` series (0–1 fractions).
+    pub fn cell_fractions(&self) -> Vec<f64> {
+        self.days
+            .iter()
+            .map(|d| d.cells as f64 / self.total_cells.max(1) as f64)
+            .collect()
+    }
+}
+
+/// Compute Figure 2 from a cleaned dataset.
+///
+/// `total_cars` is the fleet size (cars that never connected still count
+/// in the denominator, as in the paper's random 1M sample).
+pub fn daily_presence(ds: &CdrDataset, total_cars: usize) -> DailyPresenceResult {
+    let days_n = ds.period().days() as usize;
+    let mut cars_per_day: Vec<HashSet<CarId>> = vec![HashSet::new(); days_n];
+    let mut cells_per_day: Vec<HashSet<CellId>> = vec![HashSet::new(); days_n];
+    let mut all_cells: HashSet<CellId> = HashSet::new();
+    for r in ds.records() {
+        all_cells.insert(r.cell);
+        // A record can straddle midnight; credit every day it touches.
+        let last_day = (r.end.as_secs().saturating_sub(1)) / 86_400;
+        for day in r.start.day()..=last_day {
+            if (day as usize) < days_n {
+                cars_per_day[day as usize].insert(r.car);
+                cells_per_day[day as usize].insert(r.cell);
+            }
+        }
+    }
+    let total_cells = all_cells.len();
+    let days: Vec<DailyPresence> = ds
+        .period()
+        .iter_days()
+        .map(|(d, weekday)| DailyPresence {
+            day: d,
+            weekday,
+            cars: cars_per_day[d as usize].len(),
+            cells: cells_per_day[d as usize].len(),
+        })
+        .collect();
+    let car_pts: Vec<(f64, f64)> = days
+        .iter()
+        .map(|d| (d.day as f64, d.cars as f64 / total_cars.max(1) as f64))
+        .collect();
+    let cell_pts: Vec<(f64, f64)> = days
+        .iter()
+        .map(|d| (d.day as f64, d.cells as f64 / total_cells.max(1) as f64))
+        .collect();
+    DailyPresenceResult {
+        cars_trend: LinearFit::fit(&car_pts),
+        cells_trend: LinearFit::fit(&cell_pts),
+        days,
+        total_cars,
+        total_cells,
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeekdayRow {
+    /// The weekday (`None` = the "Overall" row).
+    pub weekday: Option<DayOfWeek>,
+    /// Mean of `% cells with cars`.
+    pub cells_mean: f64,
+    /// Sample st. dev. of `% cells with cars`.
+    pub cells_stdev: f64,
+    /// Mean of `% cars on network`.
+    pub cars_mean: f64,
+    /// Sample st. dev. of `% cars on network`.
+    pub cars_stdev: f64,
+}
+
+/// Table 1: per-weekday means and standard deviations of the Figure 2
+/// series. Eight rows: Monday..Sunday then Overall.
+pub fn weekday_table(presence: &DailyPresenceResult) -> Vec<WeekdayRow> {
+    let mut rows = Vec::with_capacity(8);
+    let mut overall_cells = StreamingStats::new();
+    let mut overall_cars = StreamingStats::new();
+    for target in DayOfWeek::ALL {
+        let mut cells = StreamingStats::new();
+        let mut cars = StreamingStats::new();
+        for d in presence.days.iter().filter(|d| d.weekday == target) {
+            let cell_frac = d.cells as f64 / presence.total_cells.max(1) as f64;
+            let car_frac = d.cars as f64 / presence.total_cars.max(1) as f64;
+            cells.push(cell_frac);
+            cars.push(car_frac);
+            overall_cells.push(cell_frac);
+            overall_cars.push(car_frac);
+        }
+        rows.push(WeekdayRow {
+            weekday: Some(target),
+            cells_mean: cells.mean(),
+            cells_stdev: cells.sample_stdev(),
+            cars_mean: cars.mean(),
+            cars_stdev: cars.sample_stdev(),
+        });
+    }
+    rows.push(WeekdayRow {
+        weekday: None,
+        cells_mean: overall_cells.mean(),
+        cells_stdev: overall_cells.sample_stdev(),
+        cars_mean: overall_cars.mean(),
+        cars_stdev: overall_cars.sample_stdev(),
+    });
+    rows
+}
+
+/// Figure 3: distribution of per-car total connected time as a fraction
+/// of the study period, full and truncated views.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConnectedTimeResult {
+    /// ECDF over per-car connected fraction, durations as reported.
+    pub full: Ecdf,
+    /// Same with every record truncated at the cap.
+    pub truncated: Ecdf,
+    /// The truncation cap used.
+    pub cap: Duration,
+}
+
+impl ConnectedTimeResult {
+    /// Means of the two distributions `(full, truncated)`.
+    pub fn means(&self) -> (f64, f64) {
+        (self.full.mean(), self.truncated.mean())
+    }
+
+    /// 99.5th percentiles `(full, truncated)`.
+    pub fn p995(&self) -> (Option<f64>, Option<f64>) {
+        (self.full.quantile(0.995), self.truncated.quantile(0.995))
+    }
+}
+
+/// Compute Figure 3. Cars with zero connections contribute 0 when
+/// `total_cars` exceeds the connected population, matching a CDF over
+/// the whole fleet.
+pub fn connected_time_cdf(
+    ds: &CdrDataset,
+    total_cars: usize,
+    cap: Duration,
+) -> conncar_types::Result<ConnectedTimeResult> {
+    let study_secs = ds.period().duration().as_secs() as f64;
+    let mut full: Vec<f64> = Vec::new();
+    let mut truncated: Vec<f64> = Vec::new();
+    for (_car, records) in ds.by_car() {
+        let f: u64 = records.iter().map(|r| r.duration().as_secs()).sum();
+        let t: u64 = truncate_records(records, cap)
+            .iter()
+            .map(|r| r.duration().as_secs())
+            .sum();
+        full.push(f as f64 / study_secs);
+        truncated.push(t as f64 / study_secs);
+    }
+    // Never-connected remainder of the fleet.
+    for _ in full.len()..total_cars {
+        full.push(0.0);
+        truncated.push(0.0);
+    }
+    Ok(ConnectedTimeResult {
+        full: Ecdf::new(full)?,
+        truncated: Ecdf::new(truncated)?,
+        cap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_cdr::CdrRecord;
+    use conncar_types::{BaseStationId, Carrier, StudyPeriod, Timestamp};
+
+    fn rec(car: u32, station: u32, day: u64, hour: u64, dur: u64) -> CdrRecord {
+        let start = Timestamp::from_day_hms(day, hour, 0, 0);
+        CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(BaseStationId(station), 0, Carrier::C3),
+            start,
+            end: start + Duration::from_secs(dur),
+        }
+    }
+
+    fn week_ds(records: Vec<CdrRecord>) -> CdrDataset {
+        CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), records)
+    }
+
+    #[test]
+    fn presence_counts_distinct_cars_and_cells() {
+        let ds = week_ds(vec![
+            rec(1, 1, 0, 8, 100),
+            rec(1, 1, 0, 9, 100), // same car+cell, same day: no double count
+            rec(2, 2, 0, 8, 100),
+            rec(1, 3, 3, 8, 100),
+        ]);
+        let p = daily_presence(&ds, 10);
+        assert_eq!(p.days[0].cars, 2);
+        assert_eq!(p.days[0].cells, 2);
+        assert_eq!(p.days[3].cars, 1);
+        assert_eq!(p.days[1].cars, 0);
+        assert_eq!(p.total_cells, 3);
+        assert_eq!(p.car_fractions()[0], 0.2);
+    }
+
+    #[test]
+    fn presence_credits_midnight_straddlers() {
+        let start = Timestamp::from_day_hms(0, 23, 59, 0);
+        let ds = week_ds(vec![CdrRecord {
+            car: CarId(1),
+            cell: CellId::new(BaseStationId(1), 0, Carrier::C1),
+            start,
+            end: start + Duration::from_mins(2),
+        }]);
+        let p = daily_presence(&ds, 1);
+        assert_eq!(p.days[0].cars, 1);
+        assert_eq!(p.days[1].cars, 1);
+    }
+
+    #[test]
+    fn presence_trend_detects_growth() {
+        // Cars grow linearly over 7 days: 1, 2, ... 7 cars.
+        let mut records = Vec::new();
+        for day in 0..7u64 {
+            for car in 0..=day {
+                records.push(rec(car as u32, 1, day, 10, 60));
+            }
+        }
+        let p = daily_presence(&week_ds(records), 10);
+        let t = p.cars_trend.unwrap();
+        assert!(t.slope > 0.0);
+        assert!(t.r2 > 0.95);
+    }
+
+    #[test]
+    fn weekday_table_has_eight_rows_and_sane_values() {
+        let ds = week_ds(vec![
+            rec(1, 1, 0, 8, 100), // Monday
+            rec(2, 1, 0, 9, 100),
+            rec(1, 1, 5, 8, 100), // Saturday
+        ]);
+        let p = daily_presence(&ds, 4);
+        let rows = weekday_table(&p);
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[0].weekday, Some(DayOfWeek::Monday));
+        assert_eq!(rows[7].weekday, None);
+        assert!((rows[0].cars_mean - 0.5).abs() < 1e-12); // 2 of 4 cars
+        assert!((rows[5].cars_mean - 0.25).abs() < 1e-12); // 1 of 4
+        assert_eq!(rows[1].cars_mean, 0.0); // Tuesday: nobody
+                                            // Overall mean over 7 days: (0.5 + 0.25) / 7.
+        assert!((rows[7].cars_mean - 0.75 / 7.0).abs() < 1e-12);
+        // Single observation per weekday in a 1-week study: stdev 0.
+        assert_eq!(rows[0].cars_stdev, 0.0);
+    }
+
+    #[test]
+    fn connected_time_full_vs_truncated() {
+        let ds = week_ds(vec![
+            rec(1, 1, 0, 8, 1_200), // truncates to 600
+            rec(2, 1, 0, 8, 300),
+        ]);
+        let r = connected_time_cdf(&ds, 3, Duration::from_secs(600)).unwrap();
+        let study = 7.0 * 86_400.0;
+        let (mf, mt) = r.means();
+        assert!((mf - (1_200.0 + 300.0 + 0.0) / 3.0 / study).abs() < 1e-12);
+        assert!((mt - (600.0 + 300.0 + 0.0) / 3.0 / study).abs() < 1e-12);
+        assert!(mt <= mf);
+        assert_eq!(r.full.len(), 3); // includes the never-connected car
+    }
+
+    #[test]
+    fn connected_time_never_exceeds_study() {
+        let ds = week_ds((0..50).map(|i| rec(1, 1, i as u64 % 7, 2, 3_000)).collect());
+        let r = connected_time_cdf(&ds, 1, Duration::from_secs(600)).unwrap();
+        for &v in r.full.values() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

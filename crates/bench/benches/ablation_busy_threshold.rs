@@ -1,0 +1,57 @@
+//! Ablation: the `U_PRB > 80%` busy threshold and the 65%/35% car rule
+//! of §4.3. Sweeps the threshold and reports how Table 2's segments and
+//! Figure 7's tail move.
+
+use conncar::analyses::{BUSY_CAR_HI, BUSY_CAR_LO};
+use conncar_analysis::busy::NetworkLoadModel;
+use conncar_analysis::segmentation::{busy_time_distribution, car_profiles, segment};
+use conncar_bench::{criterion, fixture};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (study, _) = fixture();
+    println!("\n=== ablation: busy-threshold sweep ===");
+    println!(
+        "{:<12} {:>12} {:>14} {:>16}",
+        "threshold", "busy cars", "both cars", "cars >50% busy"
+    );
+    for threshold in [0.6, 0.7, 0.8, 0.9] {
+        let model = NetworkLoadModel::new(
+            &study.ledger,
+            &study.background,
+            study.region.deployment(),
+        )
+        .with_threshold(threshold);
+        let profiles = car_profiles(&study.clean, &model);
+        let row = segment(&profiles, 3, BUSY_CAR_HI, BUSY_CAR_LO);
+        let busy = busy_time_distribution(&profiles).expect("distribution");
+        println!(
+            "{:<12.2} {:>11.2}% {:>13.2}% {:>15.2}%",
+            threshold,
+            (row.rare[0] + row.common[0]) * 100.0,
+            (row.rare[2] + row.common[2]) * 100.0,
+            busy.over_half * 100.0,
+        );
+    }
+    let mut g = c.benchmark_group("ablation_busy_threshold");
+    g.sample_size(10);
+    for threshold in [0.7f64, 0.8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &t| {
+                let model = NetworkLoadModel::new(
+                    &study.ledger,
+                    &study.background,
+                    study.region.deployment(),
+                )
+                .with_threshold(t);
+                b.iter(|| car_profiles(&study.clean, &model))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

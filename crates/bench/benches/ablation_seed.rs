@@ -1,0 +1,39 @@
+//! Ablation: seed sensitivity. Re-runs a small study under several
+//! seeds and reports the spread of the headline statistics — the check
+//! that the reproduction's claims are not one lucky draw.
+
+use conncar::{StudyAnalyses, StudyData};
+use conncar_bench::{bench_config, criterion};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== ablation: seed sensitivity ===");
+    println!(
+        "{:<12} {:>12} {:>14} {:>14} {:>12}",
+        "seed", "% cars/day", "fig9 median", "HO median", "C3 time %"
+    );
+    let mut cfg = bench_config();
+    cfg.fleet.cars = 120;
+    for seed in [1u64, 2, 3, 4, 5] {
+        cfg.seed = seed;
+        let study = StudyData::generate(&cfg).expect("study");
+        let analyses = StudyAnalyses::run(&study).expect("analyses");
+        let cars_frac = analyses.presence.car_fractions();
+        let mean_cars = cars_frac.iter().sum::<f64>() / cars_frac.len() as f64;
+        println!(
+            "{:<12} {:>11.1}% {:>13.0}s {:>14.0} {:>11.1}%",
+            seed,
+            mean_cars * 100.0,
+            analyses.durations.median_secs().unwrap_or(0.0),
+            analyses.handovers.median().unwrap_or(0.0),
+            analyses.carriers.time_frac[2] * 100.0,
+        );
+    }
+    // Time one full small-study regeneration.
+    c.bench_function("ablation_seed/regenerate_120cars", |b| {
+        b.iter(|| StudyData::generate(&cfg).expect("study"))
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

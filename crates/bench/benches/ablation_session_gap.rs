@@ -1,0 +1,47 @@
+//! Ablation: the session-gap parameters of §3 (30 s concatenation) and
+//! §4.5 (10-minute mobility sessions). Sweeps the gap and reports
+//! session counts and handover percentiles.
+
+use conncar_analysis::handover::handover_analysis;
+use conncar_bench::{criterion, fixture};
+use conncar_cdr::{SessionConfig, Sessionizer};
+use conncar_types::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (study, _) = fixture();
+    println!("\n=== ablation: session-gap sweep ===");
+    println!(
+        "{:<10} {:>10} {:>14} {:>10} {:>10}",
+        "gap (s)", "sessions", "median HOs", "p70", "p90"
+    );
+    for gap_secs in [10u64, 30, 120, 600, 1_800] {
+        let cfg = SessionConfig {
+            max_gap: Duration::from_secs(gap_secs),
+        };
+        let sessions = Sessionizer::new(cfg).sessions(&study.clean);
+        let r = handover_analysis(&study.clean, cfg).expect("handovers");
+        let (p70, p90) = r.p70_p90();
+        println!(
+            "{:<10} {:>10} {:>14.0} {:>10.0} {:>10.0}",
+            gap_secs,
+            sessions.len(),
+            r.median().unwrap_or(0.0),
+            p70.unwrap_or(0.0),
+            p90.unwrap_or(0.0),
+        );
+    }
+    let mut g = c.benchmark_group("ablation_session_gap");
+    for gap_secs in [30u64, 600] {
+        g.bench_with_input(BenchmarkId::from_parameter(gap_secs), &gap_secs, |b, &s| {
+            let cfg = SessionConfig {
+                max_gap: Duration::from_secs(s),
+            };
+            b.iter(|| Sessionizer::new(cfg).sessions(&study.clean))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

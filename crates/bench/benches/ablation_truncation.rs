@@ -1,0 +1,42 @@
+//! Ablation: the 600 s truncation cap of §3. Sweeps the cap and reports
+//! how the Figure 3 / Figure 9 means move — the justification for the
+//! paper's conservative choice.
+
+use conncar_analysis::duration::connection_durations;
+use conncar_analysis::temporal::connected_time_cdf;
+use conncar_bench::{criterion, fixture};
+use conncar_types::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (study, _) = fixture();
+    println!("\n=== ablation: truncation cap sweep ===");
+    println!(
+        "{:<10} {:>16} {:>16} {:>16}",
+        "cap (s)", "fig3 mean", "fig9 mean (s)", "fig9 p73 (s)"
+    );
+    for cap_secs in [150u64, 300, 600, 1_200, 2_400] {
+        let cap = Duration::from_secs(cap_secs);
+        let f3 = connected_time_cdf(&study.clean, study.total_cars(), cap).expect("cdf");
+        let f9 = connection_durations(&study.clean, cap).expect("cdf");
+        println!(
+            "{:<10} {:>15.3}% {:>16.0} {:>16.0}",
+            cap_secs,
+            f3.truncated.mean() * 100.0,
+            f9.truncated.mean(),
+            f9.truncated.quantile(0.73).unwrap_or(0.0),
+        );
+    }
+    let mut g = c.benchmark_group("ablation_truncation");
+    for cap_secs in [300u64, 600, 1_200] {
+        g.bench_with_input(BenchmarkId::from_parameter(cap_secs), &cap_secs, |b, &s| {
+            b.iter(|| {
+                connection_durations(&study.clean, Duration::from_secs(s)).expect("cdf")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 10: weekly concurrent-car and PRB profiles of two sample
+//! radios.
+
+use conncar::Experiment;
+use conncar_bench::{criterion, fixture, print_artifact};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_artifact(Experiment::Fig10);
+    let (_, analyses) = fixture();
+    let cell = analyses.concurrency.cells().next().expect("cells");
+    c.bench_function("fig10/weekly_profile", |b| {
+        b.iter(|| analyses.concurrency.weekly_profile(cell))
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

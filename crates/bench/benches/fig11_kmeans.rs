@@ -1,0 +1,36 @@
+//! Figure 11: k-means clustering of busy radios by their daily
+//! concurrent-car profiles.
+
+use conncar::Experiment;
+use conncar_analysis::cluster::{choose_k, cluster_busy_cells, kmeans};
+use conncar_bench::{criterion, fixture, print_artifact};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_artifact(Experiment::Fig11);
+    let (study, analyses) = fixture();
+    let model = study.load_model();
+    c.bench_function("fig11/cluster_busy_cells", |b| {
+        b.iter(|| {
+            // Relaxed threshold so the bench study always qualifies
+            // some cells.
+            cluster_busy_cells(&analyses.concurrency, &model, 0.4, 2, 42)
+        })
+    });
+    // Raw k-means on the profile vectors.
+    let points: Vec<Vec<f64>> = analyses
+        .concurrency
+        .cells()
+        .take(64)
+        .map(|c| analyses.concurrency.daily_profile(c).to_vec())
+        .collect();
+    c.bench_function("fig11/kmeans_k2", |b| {
+        b.iter(|| kmeans(&points, 2, 100, 7).expect("kmeans"))
+    });
+    c.bench_function("fig11/choose_k", |b| {
+        b.iter(|| choose_k(&points, 5, 50, 7).expect("choose_k"))
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 1: a single greedy download saturates two radio cells.
+//! Regenerates the test-day vs average-day PRB series, then times the
+//! saturation experiment.
+
+use conncar::Experiment;
+use conncar_bench::{criterion, fixture, print_artifact};
+use conncar_fota::{greedy_saturation, GreedyExperiment};
+use conncar_radio::CellClass;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_artifact(Experiment::Fig1);
+    let (study, analyses) = fixture();
+    // Two car-visited cells (any two; the bench measures runtime, the
+    // artifact above used the hottest pair).
+    let mut cells = analyses.concurrency.cells();
+    let a = cells.next().expect("cells");
+    let b = cells.next().unwrap_or(a);
+    let exp = GreedyExperiment::paper([a, b], 7);
+    c.bench_function("fig1/greedy_saturation", |bch| {
+        bch.iter(|| {
+            greedy_saturation(
+                &exp,
+                &study.ledger,
+                &study.background,
+                [CellClass::Business, CellClass::Residential],
+            )
+        })
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

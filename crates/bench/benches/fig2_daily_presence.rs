@@ -1,0 +1,18 @@
+//! Figure 2: % of cars and % of cells on the network per study day,
+//! with OLS trend lines.
+
+use conncar::Experiment;
+use conncar_analysis::temporal::daily_presence;
+use conncar_bench::{criterion, fixture, print_artifact};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_artifact(Experiment::Fig2);
+    let (study, _) = fixture();
+    c.bench_function("fig2/daily_presence", |b| {
+        b.iter(|| daily_presence(&study.clean, study.total_cars()))
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

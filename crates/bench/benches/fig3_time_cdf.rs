@@ -1,0 +1,20 @@
+//! Figure 3: CDF of per-car total connected time (full vs truncated).
+
+use conncar::Experiment;
+use conncar_analysis::temporal::connected_time_cdf;
+use conncar_bench::{criterion, fixture, print_artifact};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_artifact(Experiment::Fig3);
+    let (study, _) = fixture();
+    c.bench_function("fig3/connected_time_cdf", |b| {
+        b.iter(|| {
+            connected_time_cdf(&study.clean, study.total_cars(), study.config.truncation)
+                .expect("cdf")
+        })
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

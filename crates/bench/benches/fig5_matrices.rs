@@ -1,0 +1,30 @@
+//! Figures 4 and 5: the reference 24×7 matrices and three sample cars'
+//! weekly usage matrices.
+
+use conncar::analyses::sample_car_matrices;
+use conncar::Experiment;
+use conncar_analysis::matrix::{car_matrix, reference_matrices};
+use conncar_bench::{criterion, fixture, print_artifact};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_artifact(Experiment::Fig4);
+    print_artifact(Experiment::Fig5);
+    let (study, _) = fixture();
+    c.bench_function("fig4/reference_matrices", |b| b.iter(reference_matrices));
+    c.bench_function("fig5/sample_car_matrices", |b| {
+        b.iter(|| sample_car_matrices(study))
+    });
+    // Single-car matrix build over the busiest car.
+    let (_car, records) = study
+        .clean
+        .by_car()
+        .max_by_key(|(_, r)| r.len())
+        .expect("cars");
+    c.bench_function("fig5/one_car_matrix", |b| {
+        b.iter(|| car_matrix(records, study.config.period, study.region.timezone()))
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

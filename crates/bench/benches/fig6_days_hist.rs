@@ -1,0 +1,18 @@
+//! Figure 6: histogram of the number of days each car was on the
+//! network.
+
+use conncar::Experiment;
+use conncar_analysis::segmentation::days_histogram;
+use conncar_bench::{criterion, fixture, print_artifact};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_artifact(Experiment::Fig6);
+    let (study, analyses) = fixture();
+    c.bench_function("fig6/days_histogram", |b| {
+        b.iter(|| days_histogram(&analyses.profiles, study.config.period.days()))
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

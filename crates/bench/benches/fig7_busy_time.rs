@@ -1,0 +1,17 @@
+//! Figure 7: distribution of per-car time spent in busy cells.
+
+use conncar::Experiment;
+use conncar_analysis::segmentation::busy_time_distribution;
+use conncar_bench::{criterion, fixture, print_artifact};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_artifact(Experiment::Fig7);
+    let (_, analyses) = fixture();
+    c.bench_function("fig7/busy_time_distribution", |b| {
+        b.iter(|| busy_time_distribution(&analyses.profiles).expect("distribution"))
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

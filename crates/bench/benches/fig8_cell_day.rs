@@ -1,0 +1,21 @@
+//! Figure 8: per-car connections in the busiest cell over 24 hours.
+
+use conncar::Experiment;
+use conncar_analysis::concurrency::cell_day_gantt;
+use conncar_bench::{criterion, fixture, print_artifact};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_artifact(Experiment::Fig8);
+    let (study, analyses) = fixture();
+    let (cell, day, _) = analyses
+        .concurrency
+        .busiest_cell_day(&study.clean)
+        .expect("non-empty study");
+    c.bench_function("fig8/cell_day_gantt", |b| {
+        b.iter(|| cell_day_gantt(&study.clean, cell, day))
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

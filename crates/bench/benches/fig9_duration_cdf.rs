@@ -1,0 +1,17 @@
+//! Figure 9: CDF of per-cell connection durations (full vs truncated).
+
+use conncar::Experiment;
+use conncar_analysis::duration::connection_durations;
+use conncar_bench::{criterion, fixture, print_artifact};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_artifact(Experiment::Fig9);
+    let (study, _) = fixture();
+    c.bench_function("fig9/connection_durations", |b| {
+        b.iter(|| connection_durations(&study.clean, study.config.truncation).expect("cdf"))
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! §4.5: handovers per mobility session and the handover-type taxonomy.
+
+use conncar::Experiment;
+use conncar_analysis::handover::handover_analysis;
+use conncar_bench::{criterion, fixture, print_artifact};
+use conncar_cdr::SessionConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_artifact(Experiment::Sec45);
+    let (study, _) = fixture();
+    c.bench_function("sec4.5/handover_analysis", |b| {
+        b.iter(|| handover_analysis(&study.clean, SessionConfig::MOBILITY).expect("handovers"))
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

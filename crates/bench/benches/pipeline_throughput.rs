@@ -1,0 +1,54 @@
+//! Pipeline throughput: the data-plane costs a production deployment
+//! would care about — trace generation, codec round trips,
+//! sessionization, concurrency indexing.
+
+use conncar_analysis::concurrency::ConcurrencyIndex;
+use conncar_bench::{criterion, fixture};
+use conncar_cdr::{BinaryCodec, CsvCodec, SessionConfig, Sessionizer};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let (study, _) = fixture();
+    let records = study.clean.records();
+    println!(
+        "pipeline fixture: {} records, {} cars, {} cells",
+        records.len(),
+        study.clean.car_count(),
+        study.clean.cell_count()
+    );
+
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("binary_encode", |b| b.iter(|| BinaryCodec::encode(records)));
+    let encoded = BinaryCodec::encode(records);
+    g.bench_function("binary_decode", |b| {
+        b.iter(|| BinaryCodec::decode(&encoded).expect("decode"))
+    });
+    g.bench_function("csv_encode", |b| b.iter(|| CsvCodec::encode(records)));
+    let csv = CsvCodec::encode(records);
+    g.bench_function("csv_decode", |b| {
+        b.iter(|| CsvCodec::decode(&csv).expect("decode"))
+    });
+    g.bench_function("sessionize_30s", |b| {
+        b.iter(|| Sessionizer::new(SessionConfig::AGGREGATE).sessions(&study.clean))
+    });
+    g.bench_function("sessionize_10min", |b| {
+        b.iter(|| Sessionizer::new(SessionConfig::MOBILITY).sessions(&study.clean))
+    });
+    g.bench_function("concurrency_index", |b| {
+        b.iter(|| ConcurrencyIndex::build(&study.clean))
+    });
+    g.finish();
+
+    // Whole-study generation at a reduced scale (the expensive path).
+    let mut small = conncar_bench::bench_config();
+    small.fleet.cars = 40;
+    small.period =
+        conncar_types::StudyPeriod::new(conncar_types::DayOfWeek::Monday, 7).expect("days");
+    c.bench_function("pipeline/generate_40cars_7days", |b| {
+        b.iter(|| conncar::StudyData::generate(&small).expect("study"))
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

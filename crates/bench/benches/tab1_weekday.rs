@@ -1,0 +1,17 @@
+//! Table 1: per-weekday means and standard deviations of cell usage and
+//! car occurrence.
+
+use conncar::Experiment;
+use conncar_analysis::temporal::{daily_presence, weekday_table};
+use conncar_bench::{criterion, fixture, print_artifact};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_artifact(Experiment::Tab1);
+    let (study, _) = fixture();
+    let presence = daily_presence(&study.clean, study.total_cars());
+    c.bench_function("tab1/weekday_table", |b| b.iter(|| weekday_table(&presence)));
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Table 2: car segmentation (rare/common × busy/non-busy/both).
+
+use conncar::analyses::{BUSY_CAR_HI, BUSY_CAR_LO};
+use conncar::Experiment;
+use conncar_analysis::segmentation::{car_profiles, segment};
+use conncar_bench::{criterion, fixture, print_artifact};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_artifact(Experiment::Tab2);
+    let (study, analyses) = fixture();
+    c.bench_function("tab2/segment", |b| {
+        b.iter(|| segment(&analyses.profiles, 3, BUSY_CAR_HI, BUSY_CAR_LO))
+    });
+    // The expensive upstream join: per-car busy profiles.
+    let model = study.load_model();
+    c.bench_function("tab2/car_profiles", |b| {
+        b.iter(|| car_profiles(&study.clean, &model))
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

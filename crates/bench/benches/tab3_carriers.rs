@@ -1,0 +1,17 @@
+//! Table 3: carrier use of connected cars (reach and time share).
+
+use conncar::Experiment;
+use conncar_analysis::carrier::carrier_usage;
+use conncar_bench::{criterion, fixture, print_artifact};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_artifact(Experiment::Tab3);
+    let (study, _) = fixture();
+    c.bench_function("tab3/carrier_usage", |b| {
+        b.iter(|| carrier_usage(&study.clean))
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Shared fixture for the benchmark harness.
+//!
+//! Every bench binary regenerates its paper artifact from the same
+//! bench-scale study (deterministic, seed-fixed), prints the artifact
+//! once — so `cargo bench` output can be compared against the paper —
+//! and then measures the analysis runtime.
+
+use conncar::{StudyAnalyses, StudyConfig, StudyData};
+use conncar_types::{DayOfWeek, StudyPeriod};
+use std::sync::OnceLock;
+
+/// Bench study scale: big enough for every distribution to be non-
+/// degenerate, small enough that `cargo bench` stays minutes, not hours.
+pub fn bench_config() -> StudyConfig {
+    let mut cfg = StudyConfig::default();
+    cfg.fleet.cars = 250;
+    cfg.period = StudyPeriod::new(DayOfWeek::Monday, 14).expect("nonzero");
+    cfg.faults.loss_days = vec![9, 10, 12];
+    cfg
+}
+
+/// The shared study + analyses, generated once per bench process.
+pub fn fixture() -> &'static (StudyData, StudyAnalyses) {
+    static FIXTURE: OnceLock<(StudyData, StudyAnalyses)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let study = StudyData::generate(&bench_config()).expect("bench study");
+        let analyses = StudyAnalyses::run(&study).expect("bench analyses");
+        (study, analyses)
+    })
+}
+
+/// Standard criterion configuration: modest sample counts, the work
+/// under test is milliseconds-scale.
+pub fn criterion() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .configure_from_args()
+}
+
+/// Print one experiment's regenerated artifact (the rows/series the
+/// paper reports) before timing it.
+pub fn print_artifact(e: conncar::Experiment) {
+    let (study, analyses) = fixture();
+    match e.run(study, analyses) {
+        Ok(out) => println!("\n=== {} — {} ===\n{}", e.id(), e.title(), out.text),
+        Err(err) => println!("\n=== {} failed: {err} ===", e.id()),
+    }
+}

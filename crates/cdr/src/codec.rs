@@ -1,0 +1,311 @@
+//! CDR codecs: compact binary and CSV.
+//!
+//! The binary format is what a production collection pipeline would
+//! stream: a fixed magic + version header, then fixed-width records.
+//! All integers are little-endian. The decoder validates the magic,
+//! version, record-size field and every record's time ordering, and
+//! reports byte offsets on failure — a malformed feed must never panic
+//! the pipeline.
+//!
+//! ```text
+//! header:  "CDR1" | u8 version | u8 record_len (26)
+//! record:  u32 car | u32 station | u8 sector | u8 carrier
+//!          | u64 start_secs | u64 end_secs
+//! ```
+
+use crate::record::CdrRecord;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use conncar_types::{BaseStationId, CarId, Carrier, CellId, Error, Result, Timestamp};
+
+/// Binary codec for CDR streams.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinaryCodec;
+
+const MAGIC: &[u8; 4] = b"CDR1";
+const VERSION: u8 = 1;
+const RECORD_LEN: usize = 26;
+
+impl BinaryCodec {
+    /// Encode records into a self-describing byte buffer.
+    pub fn encode(records: &[CdrRecord]) -> Bytes {
+        let mut buf = BytesMut::with_capacity(6 + records.len() * RECORD_LEN);
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(RECORD_LEN as u8);
+        for r in records {
+            buf.put_u32_le(r.car.0);
+            buf.put_u32_le(r.cell.station.0);
+            buf.put_u8(r.cell.sector);
+            buf.put_u8(r.cell.carrier.index() as u8);
+            buf.put_u64_le(r.start.as_secs());
+            buf.put_u64_le(r.end.as_secs());
+        }
+        buf.freeze()
+    }
+
+    /// Decode a buffer produced by [`BinaryCodec::encode`].
+    pub fn decode(mut data: &[u8]) -> Result<Vec<CdrRecord>> {
+        let total = data.len() as u64;
+        if data.len() < 6 {
+            return Err(Error::Decode {
+                offset: Some(0),
+                why: format!("stream too short for header: {} bytes", data.len()),
+            });
+        }
+        if &data[..4] != MAGIC {
+            return Err(Error::Decode {
+                offset: Some(0),
+                why: "bad magic (expected CDR1)".into(),
+            });
+        }
+        data.advance(4);
+        let version = data.get_u8();
+        if version != VERSION {
+            return Err(Error::Decode {
+                offset: Some(4),
+                why: format!("unsupported version {version}"),
+            });
+        }
+        let rec_len = data.get_u8() as usize;
+        if rec_len != RECORD_LEN {
+            return Err(Error::Decode {
+                offset: Some(5),
+                why: format!("record length {rec_len}, expected {RECORD_LEN}"),
+            });
+        }
+        if !data.len().is_multiple_of(RECORD_LEN) {
+            return Err(Error::Decode {
+                offset: Some(total),
+                why: format!("truncated stream: {} trailing bytes", data.len() % RECORD_LEN),
+            });
+        }
+        let mut out = Vec::with_capacity(data.len() / RECORD_LEN);
+        while data.has_remaining() {
+            let offset = total - data.len() as u64;
+            let car = CarId(data.get_u32_le());
+            let station = BaseStationId(data.get_u32_le());
+            let sector = data.get_u8();
+            let carrier_idx = data.get_u8();
+            let start = data.get_u64_le();
+            let end = data.get_u64_le();
+            let carrier = Carrier::from_index(carrier_idx as usize).ok_or(Error::Decode {
+                offset: Some(offset),
+                why: format!("carrier index {carrier_idx} out of range"),
+            })?;
+            if end <= start {
+                return Err(Error::Decode {
+                    offset: Some(offset),
+                    why: format!("non-positive duration: start {start} end {end}"),
+                });
+            }
+            out.push(CdrRecord {
+                car,
+                cell: CellId::new(station, sector, carrier),
+                start: Timestamp::from_secs(start),
+                end: Timestamp::from_secs(end),
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// CSV codec (header + one record per line) for interchange with
+/// spreadsheet/pandas-style tooling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CsvCodec;
+
+impl CsvCodec {
+    /// Header line.
+    pub const HEADER: &'static str = "car,station,sector,carrier,start_secs,end_secs";
+
+    /// Encode to CSV text.
+    pub fn encode(records: &[CdrRecord]) -> String {
+        let mut s = String::with_capacity(32 + records.len() * 32);
+        s.push_str(Self::HEADER);
+        s.push('\n');
+        for r in records {
+            use std::fmt::Write;
+            writeln!(
+                s,
+                "{},{},{},{},{},{}",
+                r.car.0,
+                r.cell.station.0,
+                r.cell.sector,
+                r.cell.carrier.index() + 1,
+                r.start.as_secs(),
+                r.end.as_secs()
+            )
+            .expect("write to String cannot fail");
+        }
+        s
+    }
+
+    /// Decode CSV text produced by [`CsvCodec::encode`].
+    pub fn decode(text: &str) -> Result<Vec<CdrRecord>> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, h)) if h.trim() == Self::HEADER => {}
+            Some((_, h)) => {
+                return Err(Error::Decode {
+                    offset: Some(0),
+                    why: format!("unexpected header: {h:?}"),
+                })
+            }
+            None => return Ok(Vec::new()),
+        }
+        let mut out = Vec::new();
+        for (lineno, line) in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split(',');
+            let mut next_u64 = |name: &str| -> Result<u64> {
+                fields
+                    .next()
+                    .ok_or_else(|| Error::Decode {
+                        offset: Some(lineno as u64),
+                        why: format!("missing field {name}"),
+                    })?
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|e| Error::Decode {
+                        offset: Some(lineno as u64),
+                        why: format!("bad {name}: {e}"),
+                    })
+            };
+            let car = next_u64("car")? as u32;
+            let station = next_u64("station")? as u32;
+            let sector = next_u64("sector")? as u8;
+            let carrier_1 = next_u64("carrier")?;
+            let start = next_u64("start_secs")?;
+            let end = next_u64("end_secs")?;
+            let carrier = carrier_1
+                .checked_sub(1)
+                .and_then(|i| Carrier::from_index(i as usize))
+                .ok_or(Error::Decode {
+                    offset: Some(lineno as u64),
+                    why: format!("carrier {carrier_1} out of range 1..=5"),
+                })?;
+            if end <= start {
+                return Err(Error::Decode {
+                    offset: Some(lineno as u64),
+                    why: "non-positive duration".into(),
+                });
+            }
+            out.push(CdrRecord {
+                car: CarId(car),
+                cell: CellId::new(BaseStationId(station), sector, carrier),
+                start: Timestamp::from_secs(start),
+                end: Timestamp::from_secs(end),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<CdrRecord> {
+        vec![
+            CdrRecord {
+                car: CarId(1),
+                cell: CellId::new(BaseStationId(10), 2, Carrier::C3),
+                start: Timestamp::from_secs(100),
+                end: Timestamp::from_secs(250),
+            },
+            CdrRecord {
+                car: CarId(u32::MAX),
+                cell: CellId::new(BaseStationId(0), 0, Carrier::C5),
+                start: Timestamp::from_secs(0),
+                end: Timestamp::from_secs(1),
+            },
+        ]
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let recs = sample();
+        let bytes = BinaryCodec::encode(&recs);
+        assert_eq!(bytes.len(), 6 + 2 * 26);
+        let back = BinaryCodec::decode(&bytes).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut bytes = BinaryCodec::encode(&sample()).to_vec();
+        bytes[0] = b'X';
+        let err = BinaryCodec::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let bytes = BinaryCodec::encode(&sample());
+        let err = BinaryCodec::decode(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+        let err = BinaryCodec::decode(&bytes[..3]).unwrap_err();
+        assert!(err.to_string().contains("too short"));
+    }
+
+    #[test]
+    fn binary_rejects_bad_carrier_and_times() {
+        let mut bytes = BinaryCodec::encode(&sample()).to_vec();
+        bytes[6 + 9] = 9; // carrier byte of first record
+        assert!(BinaryCodec::decode(&bytes).is_err());
+        let recs = vec![CdrRecord {
+            start: Timestamp::from_secs(10),
+            end: Timestamp::from_secs(10),
+            ..sample()[0]
+        }];
+        let bytes = BinaryCodec::encode(&recs);
+        assert!(BinaryCodec::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_wrong_version() {
+        let mut bytes = BinaryCodec::encode(&sample()).to_vec();
+        bytes[4] = 2;
+        assert!(BinaryCodec::decode(&bytes)
+            .unwrap_err()
+            .to_string()
+            .contains("version"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let recs = sample();
+        let text = CsvCodec::encode(&recs);
+        assert!(text.starts_with("car,station"));
+        let back = CsvCodec::decode(&text).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(CsvCodec::decode("nope\n1,2,3").is_err());
+        let text = format!("{}\n1,2,3\n", CsvCodec::HEADER);
+        assert!(CsvCodec::decode(&text).is_err()); // missing fields
+        let text = format!("{}\n1,2,3,9,0,10\n", CsvCodec::HEADER);
+        assert!(CsvCodec::decode(&text).is_err()); // carrier out of range
+    }
+
+    #[test]
+    fn csv_tolerates_blank_lines_and_empty_input() {
+        let text = format!("{}\n\n1,10,2,3,100,250\n\n", CsvCodec::HEADER);
+        let recs = CsvCodec::decode(&text).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(CsvCodec::decode("").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn empty_record_sets() {
+        let bytes = BinaryCodec::encode(&[]);
+        assert_eq!(BinaryCodec::decode(&bytes).unwrap(), Vec::new());
+        let text = CsvCodec::encode(&[]);
+        assert_eq!(CsvCodec::decode(&text).unwrap(), Vec::new());
+    }
+}

@@ -1,0 +1,262 @@
+//! Injection of the measurement artifacts the paper pre-processes away.
+//!
+//! §3 names three kinds of dirt in the production feed:
+//!
+//! 1. *"connections \[that\] appear to have lasted exactly 1 hour …
+//!    presumably caused by an automatic periodic reporting feature of
+//!    the network, where disconnections at the radio level were not
+//!    recorded correctly"* — a fraction of records get their duration
+//!    rewritten to exactly 3600 s;
+//! 2. *"some data loss during 3 days in the second half of the study
+//!    period"* (Figure 2's dip) — on the loss days a share of records
+//!    vanishes;
+//! 3. *"some modems['] tendency to improperly disconnect"* — the reason
+//!    the paper truncates per-cell connections at 600 s — a fraction of
+//!    records become *sticky*: their recorded end is stretched far past
+//!    the true disconnect.
+//!
+//! Injection is deterministic in the seed and returns a [`FaultReport`]
+//! of exactly what was done, so cleaning can be tested against ground
+//! truth.
+
+use crate::record::CdrDataset;
+use conncar_types::{Duration, SeedSplitter};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Fault-injection parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Fraction of records rewritten to exactly one hour.
+    pub hour_glitch_p: f64,
+    /// Study days that suffer partial data loss.
+    pub loss_days: Vec<u64>,
+    /// Fraction of records dropped on a loss day.
+    pub loss_fraction: f64,
+    /// Fraction of records whose end time goes sticky.
+    pub sticky_p: f64,
+    /// Mean extra seconds appended to a sticky record (exponential).
+    pub sticky_mean_extra_secs: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            hour_glitch_p: 0.004,
+            // The paper saw loss on 3 days in the second half of its
+            // 90-day window; these defaults assume ≥ 67 study days and
+            // are clamped to the period at injection time.
+            loss_days: vec![55, 56, 66],
+            loss_fraction: 0.35,
+            sticky_p: 0.07,
+            sticky_mean_extra_secs: 3_200.0,
+        }
+    }
+}
+
+/// What the injector actually did.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Records rewritten to exactly one hour.
+    pub hour_glitches: usize,
+    /// Records dropped on loss days.
+    pub lost: usize,
+    /// Records stretched sticky.
+    pub sticky: usize,
+}
+
+/// Deterministic fault injector.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    seed: u64,
+}
+
+impl FaultInjector {
+    /// Build an injector.
+    pub fn new(cfg: FaultConfig, seed: u64) -> FaultInjector {
+        FaultInjector { cfg, seed }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Produce the dirty dataset the "collection pipeline" would have
+    /// delivered, plus a report of the injected damage.
+    pub fn inject(&self, clean: &CdrDataset) -> (CdrDataset, FaultReport) {
+        let seeds = SeedSplitter::new(self.seed).child("faults");
+        let mut rng = ChaCha8Rng::seed_from_u64(seeds.domain("stream"));
+        let mut report = FaultReport::default();
+        let period = clean.period();
+        let loss_days: Vec<u64> = self
+            .cfg
+            .loss_days
+            .iter()
+            .copied()
+            .filter(|d| *d < period.days() as u64)
+            .collect();
+
+        let mut dirty = Vec::with_capacity(clean.len());
+        for r in clean.records() {
+            // Day-loss first: a record that was never delivered can't
+            // also glitch.
+            if loss_days.contains(&r.start.day()) && rng.gen_bool(self.cfg.loss_fraction) {
+                report.lost += 1;
+                continue;
+            }
+            let mut r = *r;
+            if rng.gen_bool(self.cfg.hour_glitch_p) {
+                r.end = r.start + Duration::from_hours(1);
+                report.hour_glitches += 1;
+            } else if rng.gen_bool(self.cfg.sticky_p) {
+                let extra = exponential(&mut rng, self.cfg.sticky_mean_extra_secs);
+                // A sticky record never outlives the study window by
+                // more than it must; the collection system closes the
+                // books at period end.
+                let stretched = r.end + Duration::from_secs(extra as u64);
+                r.end = stretched.min(period.end());
+                if r.end <= r.start {
+                    r.end = r.start + Duration::from_secs(1);
+                }
+                report.sticky += 1;
+            }
+            dirty.push(r);
+        }
+        (clean.with_records(dirty), report)
+    }
+}
+
+/// Exponential variate with the given mean.
+fn exponential(rng: &mut impl Rng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_types::{BaseStationId, CarId, Carrier, CellId, DayOfWeek, StudyPeriod, Timestamp};
+    use crate::record::CdrRecord;
+
+    fn dataset() -> CdrDataset {
+        let period = StudyPeriod::new(DayOfWeek::Monday, 90).unwrap();
+        let mut records = Vec::new();
+        for car in 0..200u32 {
+            for day in 0..90u64 {
+                let start = Timestamp::from_day_hms(day, 8, 0, 0);
+                records.push(CdrRecord {
+                    car: CarId(car),
+                    cell: CellId::new(BaseStationId(car % 37), 0, Carrier::C3),
+                    start,
+                    end: start + Duration::from_secs(120),
+                });
+            }
+        }
+        CdrDataset::new(period, records)
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let ds = dataset();
+        let inj = FaultInjector::new(FaultConfig::default(), 7);
+        let (a, ra) = inj.inject(&ds);
+        let (b, rb) = inj.inject(&ds);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn loss_days_lose_records() {
+        let ds = dataset();
+        let inj = FaultInjector::new(FaultConfig::default(), 7);
+        let (dirty, report) = inj.inject(&ds);
+        assert!(report.lost > 0);
+        // 200 cars × 3 loss days × 35% ≈ 210 records gone.
+        let expected = 200.0 * 3.0 * 0.35;
+        assert!((report.lost as f64 - expected).abs() < expected * 0.35);
+        let count_day = |ds: &CdrDataset, d: u64| {
+            ds.records().iter().filter(|r| r.start.day() == d).count()
+        };
+        assert!(count_day(&dirty, 55) < count_day(&dirty, 54));
+    }
+
+    #[test]
+    fn hour_glitches_last_exactly_one_hour() {
+        let ds = dataset();
+        let inj = FaultInjector::new(FaultConfig::default(), 7);
+        let (dirty, report) = inj.inject(&ds);
+        let exact_hours = dirty
+            .records()
+            .iter()
+            .filter(|r| r.duration().as_secs() == 3_600)
+            .count();
+        assert_eq!(exact_hours, report.hour_glitches);
+        assert!(report.hour_glitches > 10);
+    }
+
+    #[test]
+    fn sticky_records_get_longer_but_stay_in_period() {
+        let ds = dataset();
+        let cfg = FaultConfig {
+            sticky_p: 0.5,
+            hour_glitch_p: 0.0,
+            loss_fraction: 0.0,
+            ..Default::default()
+        };
+        let inj = FaultInjector::new(cfg, 7);
+        let (dirty, report) = inj.inject(&ds);
+        assert!(report.sticky > ds.len() / 3);
+        let end = ds.period().end();
+        let mut longer = 0;
+        for r in dirty.records() {
+            assert!(r.end <= end);
+            assert!(r.is_valid());
+            if r.duration().as_secs() > 120 {
+                longer += 1;
+            }
+        }
+        assert!(longer >= report.sticky / 2);
+    }
+
+    #[test]
+    fn zero_config_is_identity() {
+        let ds = dataset();
+        let cfg = FaultConfig {
+            hour_glitch_p: 0.0,
+            loss_days: vec![],
+            loss_fraction: 0.0,
+            sticky_p: 0.0,
+            sticky_mean_extra_secs: 0.0,
+        };
+        let (dirty, report) = FaultInjector::new(cfg, 7).inject(&ds);
+        assert_eq!(dirty, ds);
+        assert_eq!(report, FaultReport::default());
+    }
+
+    #[test]
+    fn loss_days_outside_period_ignored() {
+        let period = StudyPeriod::new(DayOfWeek::Monday, 7).unwrap();
+        let ds = CdrDataset::new(
+            period,
+            vec![CdrRecord {
+                car: CarId(1),
+                cell: CellId::new(BaseStationId(1), 0, Carrier::C1),
+                start: Timestamp::from_secs(100),
+                end: Timestamp::from_secs(200),
+            }],
+        );
+        // Default loss days (55, 56, 66) are all outside a 7-day period.
+        let cfg = FaultConfig {
+            loss_fraction: 1.0,
+            hour_glitch_p: 0.0,
+            sticky_p: 0.0,
+            ..Default::default()
+        };
+        let (dirty, report) = FaultInjector::new(cfg, 7).inject(&ds);
+        assert_eq!(report.lost, 0);
+        assert_eq!(dirty.len(), 1);
+    }
+}

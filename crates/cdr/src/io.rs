@@ -1,0 +1,326 @@
+//! Streaming CDR I/O over `std::io` readers and writers.
+//!
+//! The in-memory codecs in [`crate::codec`] are fine for test-sized
+//! traces; a 90-day million-car study is tens of gigabytes, which must
+//! stream. This module frames the binary format into length-prefixed
+//! chunks so a reader can process a trace of any size with bounded
+//! memory, and tolerates (reports, does not panic on) truncated tails —
+//! collection pipelines get cut off mid-write all the time.
+//!
+//! ```text
+//! file   := header chunk*
+//! header := "CDRS" u8 version
+//! chunk  := u32 record_count | record_count × record   (26 B each)
+//! ```
+
+use crate::codec::BinaryCodec;
+use crate::record::CdrRecord;
+use bytes::Bytes;
+use conncar_types::{Error, Result};
+use std::io::{Read, Write};
+
+const STREAM_MAGIC: &[u8; 4] = b"CDRS";
+const STREAM_VERSION: u8 = 1;
+/// Records per chunk: ~64 k records ≈ 1.7 MB buffered.
+const DEFAULT_CHUNK: usize = 65_536;
+
+/// Writes a CDR stream chunk by chunk.
+pub struct CdrWriter<W: Write> {
+    inner: W,
+    buffer: Vec<CdrRecord>,
+    chunk_records: usize,
+    records_written: u64,
+    header_written: bool,
+}
+
+impl<W: Write> CdrWriter<W> {
+    /// Wrap a writer with the default chunk size.
+    pub fn new(inner: W) -> CdrWriter<W> {
+        CdrWriter {
+            inner,
+            buffer: Vec::with_capacity(DEFAULT_CHUNK),
+            chunk_records: DEFAULT_CHUNK,
+            records_written: 0,
+            header_written: false,
+        }
+    }
+
+    /// Override the chunk size (testing / memory tuning). Must be ≥ 1.
+    pub fn with_chunk_records(mut self, n: usize) -> CdrWriter<W> {
+        self.chunk_records = n.max(1);
+        self
+    }
+
+    /// Queue one record; flushes a chunk when the buffer fills.
+    pub fn write_record(&mut self, record: CdrRecord) -> Result<()> {
+        self.buffer.push(record);
+        if self.buffer.len() >= self.chunk_records {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Queue many records.
+    pub fn write_all(&mut self, records: &[CdrRecord]) -> Result<()> {
+        for r in records {
+            self.write_record(*r)?;
+        }
+        Ok(())
+    }
+
+    /// Flush remaining records and return the inner writer plus the
+    /// total record count.
+    pub fn finish(mut self) -> Result<(W, u64)> {
+        self.flush_chunk()?;
+        self.inner.flush()?;
+        Ok((self.inner, self.records_written))
+    }
+
+    fn flush_chunk(&mut self) -> Result<()> {
+        if !self.header_written {
+            self.inner.write_all(STREAM_MAGIC)?;
+            self.inner.write_all(&[STREAM_VERSION])?;
+            self.header_written = true;
+        }
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        // Reuse the in-memory codec for the chunk body; strip its own
+        // 6-byte header (the stream header replaces it).
+        let body: Bytes = BinaryCodec::encode(&self.buffer);
+        self.inner
+            .write_all(&(self.buffer.len() as u32).to_le_bytes())?;
+        self.inner.write_all(&body[6..])?;
+        self.records_written += self.buffer.len() as u64;
+        self.buffer.clear();
+        Ok(())
+    }
+}
+
+/// Reads a CDR stream chunk by chunk.
+pub struct CdrReader<R: Read> {
+    inner: R,
+    header_read: bool,
+    /// Records decoded so far.
+    records_read: u64,
+}
+
+impl<R: Read> CdrReader<R> {
+    /// Wrap a reader.
+    pub fn new(inner: R) -> CdrReader<R> {
+        CdrReader {
+            inner,
+            header_read: false,
+            records_read: 0,
+        }
+    }
+
+    /// Total records decoded so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Read the next chunk. `Ok(None)` at a clean end of stream;
+    /// `Err(Error::Decode { .. })` on a corrupt or truncated stream.
+    pub fn read_chunk(&mut self) -> Result<Option<Vec<CdrRecord>>> {
+        if !self.header_read {
+            let mut header = [0u8; 5];
+            match read_exact_or_eof(&mut self.inner, &mut header)? {
+                0 => return Ok(None), // empty stream = empty trace
+                5 => {}
+                n => {
+                    return Err(Error::Decode {
+                        offset: Some(n as u64),
+                        why: "truncated stream header".into(),
+                    })
+                }
+            }
+            if &header[..4] != STREAM_MAGIC {
+                return Err(Error::Decode {
+                    offset: Some(0),
+                    why: "bad stream magic (expected CDRS)".into(),
+                });
+            }
+            if header[4] != STREAM_VERSION {
+                return Err(Error::Decode {
+                    offset: Some(4),
+                    why: format!("unsupported stream version {}", header[4]),
+                });
+            }
+            self.header_read = true;
+        }
+        let mut len_buf = [0u8; 4];
+        match read_exact_or_eof(&mut self.inner, &mut len_buf)? {
+            0 => return Ok(None),
+            4 => {}
+            n => {
+                return Err(Error::Decode {
+                    offset: Some(self.records_read),
+                    why: format!("truncated chunk length ({n} of 4 bytes)"),
+                })
+            }
+        }
+        let count = u32::from_le_bytes(len_buf) as usize;
+        // Reconstruct an in-memory-codec buffer: header + body.
+        let mut buf = Vec::with_capacity(6 + count * 26);
+        buf.extend_from_slice(b"CDR1");
+        buf.push(1);
+        buf.push(26);
+        let body_len = count * 26;
+        let mut body = vec![0u8; body_len];
+        let got = read_exact_or_eof(&mut self.inner, &mut body)?;
+        if got != body_len {
+            return Err(Error::Decode {
+                offset: Some(self.records_read),
+                why: format!("truncated chunk body ({got} of {body_len} bytes)"),
+            });
+        }
+        buf.extend_from_slice(&body);
+        let records = BinaryCodec::decode(&buf)?;
+        self.records_read += records.len() as u64;
+        Ok(Some(records))
+    }
+
+    /// Drain the whole stream into memory.
+    pub fn read_to_end(&mut self) -> Result<Vec<CdrRecord>> {
+        let mut out = Vec::new();
+        while let Some(chunk) = self.read_chunk()? {
+            out.extend(chunk);
+        }
+        Ok(out)
+    }
+}
+
+/// Read as many bytes as available up to `buf.len()`; returns the byte
+/// count (0 = clean EOF before anything was read).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(filled)
+}
+
+/// Convenience: write a whole record slice to a file.
+pub fn write_file(path: &std::path::Path, records: &[CdrRecord]) -> Result<u64> {
+    let file = std::fs::File::create(path)?;
+    let mut w = CdrWriter::new(std::io::BufWriter::new(file));
+    w.write_all(records)?;
+    let (_, n) = w.finish()?;
+    Ok(n)
+}
+
+/// Convenience: read a whole trace file into memory.
+pub fn read_file(path: &std::path::Path) -> Result<Vec<CdrRecord>> {
+    let file = std::fs::File::open(path)?;
+    CdrReader::new(std::io::BufReader::new(file)).read_to_end()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_types::{BaseStationId, CarId, Carrier, CellId, Timestamp};
+
+    fn records(n: usize) -> Vec<CdrRecord> {
+        (0..n)
+            .map(|i| CdrRecord {
+                car: CarId(i as u32 % 97),
+                cell: CellId::new(
+                    BaseStationId(i as u32 % 13),
+                    (i % 3) as u8,
+                    Carrier::from_index(i % 5).expect("valid"),
+                ),
+                start: Timestamp::from_secs(i as u64 * 100),
+                end: Timestamp::from_secs(i as u64 * 100 + 60),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_in_memory() {
+        let recs = records(1_000);
+        let mut w = CdrWriter::new(Vec::new()).with_chunk_records(128);
+        w.write_all(&recs).unwrap();
+        let (bytes, n) = w.finish().unwrap();
+        assert_eq!(n, 1_000);
+        // 5 header + 8 chunks × (4 + k*26).
+        assert_eq!(bytes.len(), 5 + 8 * 4 + 1_000 * 26);
+        let back = CdrReader::new(&bytes[..]).read_to_end().unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn chunked_reading_yields_all_records() {
+        let recs = records(300);
+        let mut w = CdrWriter::new(Vec::new()).with_chunk_records(100);
+        w.write_all(&recs).unwrap();
+        let (bytes, _) = w.finish().unwrap();
+        let mut r = CdrReader::new(&bytes[..]);
+        let mut chunks = 0;
+        let mut total = 0;
+        while let Some(chunk) = r.read_chunk().unwrap() {
+            chunks += 1;
+            total += chunk.len();
+        }
+        assert_eq!(chunks, 3);
+        assert_eq!(total, 300);
+        assert_eq!(r.records_read(), 300);
+    }
+
+    #[test]
+    fn empty_stream_and_empty_trace() {
+        // Nothing written at all: clean empty trace.
+        let back = CdrReader::new(&[][..]).read_to_end().unwrap();
+        assert!(back.is_empty());
+        // Writer with zero records still emits a valid (header-only)
+        // stream.
+        let w = CdrWriter::new(Vec::new());
+        let (bytes, n) = w.finish().unwrap();
+        assert_eq!(n, 0);
+        let back = CdrReader::new(&bytes[..]).read_to_end().unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn truncated_stream_errors_cleanly() {
+        let recs = records(100);
+        let mut w = CdrWriter::new(Vec::new());
+        w.write_all(&recs).unwrap();
+        let (bytes, _) = w.finish().unwrap();
+        // Chop mid-chunk.
+        let cut = &bytes[..bytes.len() - 13];
+        let err = CdrReader::new(cut).read_to_end().unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        // Chop mid-header.
+        let err = CdrReader::new(&bytes[..3]).read_to_end().unwrap_err();
+        assert!(err.to_string().contains("header"), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut w = CdrWriter::new(Vec::new());
+        w.write_all(&records(10)).unwrap();
+        let (mut bytes, _) = w.finish().unwrap();
+        bytes[0] = b'X';
+        assert!(CdrReader::new(&bytes[..]).read_to_end().is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let recs = records(500);
+        let path = std::env::temp_dir().join(format!(
+            "conncar-io-test-{}.cdrs",
+            std::process::id()
+        ));
+        let n = write_file(&path, &recs).unwrap();
+        assert_eq!(n, 500);
+        let back = read_file(&path).unwrap();
+        assert_eq!(back, recs);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,44 @@
+//! # conncar-cdr
+//!
+//! The Call Detail Record pipeline — the data plane of the study.
+//!
+//! The paper works from "anonymized call detail records" describing
+//! radio-level connections: which (anonymized) car connected to which
+//! cell, when, and for how long — *not* data volumes (§3). This crate
+//! provides that representation and everything the paper's methodology
+//! section does to it:
+//!
+//! * [`record`] — the typed CDR and the dataset container;
+//! * [`anonymize`] — salted pseudonymization of car identities;
+//! * [`codec`] — a compact binary codec (length-checked, versioned
+//!   magic) and a CSV codec for interchange;
+//! * [`faults`] — injection of the *real-world artifacts the paper had
+//!   to clean*: records lasting exactly one hour (broken periodic
+//!   reporting), whole days of partial data loss, and sticky modems
+//!   whose disconnects never got recorded;
+//! * [`clean`] — §3's pre-processing: drop the exact-1-hour records;
+//!   truncate per-cell connections at 600 s during analysis;
+//! * [`session`] — §3's session aggregation: concatenate connections
+//!   ≤ 30 s apart into aggregate sessions, and the looser 10-minute-gap
+//!   *mobility sessions* used for the handover analysis of §4.5;
+//! * [`io`] — chunked streaming reader/writer so traces larger than
+//!   memory can be produced and consumed with bounded buffering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anonymize;
+pub mod clean;
+pub mod codec;
+pub mod faults;
+pub mod io;
+pub mod record;
+pub mod session;
+
+pub use anonymize::{AnonId, Anonymizer};
+pub use clean::{truncate_records, CleanConfig, CleanReport, Cleaner};
+pub use codec::{BinaryCodec, CsvCodec};
+pub use faults::{FaultConfig, FaultInjector, FaultReport};
+pub use io::{CdrReader, CdrWriter};
+pub use record::{CdrDataset, CdrRecord};
+pub use session::{AggregateSession, SessionConfig, Sessionizer};

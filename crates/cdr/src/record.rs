@@ -1,0 +1,209 @@
+//! The Call Detail Record and the dataset container.
+
+use conncar_radio::RadioConnection;
+use conncar_types::{CarId, CellId, Duration, StudyPeriod, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// One radio-level connection record.
+///
+/// Field-for-field what the paper's data provides: "times and durations
+/// of connections, as well as radio cells that they connect to, but not
+/// data volumes" (§3). The carrier and radio technology are recoverable
+/// from [`CellId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CdrRecord {
+    /// Anonymized car identity (stable pseudonym).
+    pub car: CarId,
+    /// The serving cell.
+    pub cell: CellId,
+    /// Connection setup time.
+    pub start: Timestamp,
+    /// Connection release time (exclusive).
+    pub end: Timestamp,
+}
+
+impl CdrRecord {
+    /// Record duration.
+    #[inline]
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+
+    /// Whether the record is well-formed (positive duration).
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.end > self.start
+    }
+}
+
+impl From<RadioConnection> for CdrRecord {
+    fn from(c: RadioConnection) -> CdrRecord {
+        CdrRecord {
+            car: c.car,
+            cell: c.cell,
+            start: c.start,
+            end: c.end,
+        }
+    }
+}
+
+/// An in-memory CDR dataset: records in canonical (car, start, cell)
+/// order plus the study period they cover.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CdrDataset {
+    period: StudyPeriod,
+    records: Vec<CdrRecord>,
+}
+
+impl CdrDataset {
+    /// Build a dataset, sorting records into canonical order.
+    pub fn new(period: StudyPeriod, mut records: Vec<CdrRecord>) -> CdrDataset {
+        records.sort_by_key(|r| (r.car, r.start, r.cell));
+        CdrDataset { period, records }
+    }
+
+    /// Build from radio connections.
+    pub fn from_connections(period: StudyPeriod, conns: Vec<RadioConnection>) -> CdrDataset {
+        CdrDataset::new(period, conns.into_iter().map(CdrRecord::from).collect())
+    }
+
+    /// The study period.
+    pub fn period(&self) -> StudyPeriod {
+        self.period
+    }
+
+    /// All records in canonical order.
+    pub fn records(&self) -> &[CdrRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterate per-car slices (records are grouped by car in canonical
+    /// order).
+    pub fn by_car(&self) -> impl Iterator<Item = (CarId, &[CdrRecord])> {
+        ByCar {
+            records: &self.records,
+        }
+    }
+
+    /// Number of distinct cars present.
+    pub fn car_count(&self) -> usize {
+        self.by_car().count()
+    }
+
+    /// Number of distinct cells present.
+    pub fn cell_count(&self) -> usize {
+        let mut cells: Vec<CellId> = self.records.iter().map(|r| r.cell).collect();
+        cells.sort();
+        cells.dedup();
+        cells.len()
+    }
+
+    /// Replace the record vector (used by cleaning/fault stages), which
+    /// re-sorts into canonical order.
+    pub fn with_records(&self, records: Vec<CdrRecord>) -> CdrDataset {
+        CdrDataset::new(self.period, records)
+    }
+}
+
+struct ByCar<'a> {
+    records: &'a [CdrRecord],
+}
+
+impl<'a> Iterator for ByCar<'a> {
+    type Item = (CarId, &'a [CdrRecord]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let first = self.records.first()?;
+        let car = first.car;
+        let end = self
+            .records
+            .iter()
+            .position(|r| r.car != car)
+            .unwrap_or(self.records.len());
+        let (head, tail) = self.records.split_at(end);
+        self.records = tail;
+        Some((car, head))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_types::{BaseStationId, Carrier, DayOfWeek};
+
+    fn rec(car: u32, station: u32, start: u64, end: u64) -> CdrRecord {
+        CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(BaseStationId(station), 0, Carrier::C3),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(end),
+        }
+    }
+
+    fn period() -> StudyPeriod {
+        StudyPeriod::new(DayOfWeek::Monday, 7).unwrap()
+    }
+
+    #[test]
+    fn canonical_ordering() {
+        let ds = CdrDataset::new(
+            period(),
+            vec![rec(2, 1, 0, 10), rec(1, 1, 100, 110), rec(1, 2, 0, 10)],
+        );
+        let cars: Vec<u32> = ds.records().iter().map(|r| r.car.0).collect();
+        assert_eq!(cars, vec![1, 1, 2]);
+        assert_eq!(ds.records()[0].start.as_secs(), 0);
+    }
+
+    #[test]
+    fn by_car_groups() {
+        let ds = CdrDataset::new(
+            period(),
+            vec![
+                rec(1, 1, 0, 10),
+                rec(1, 2, 20, 30),
+                rec(3, 1, 0, 10),
+                rec(7, 9, 5, 6),
+            ],
+        );
+        let groups: Vec<(u32, usize)> = ds.by_car().map(|(c, rs)| (c.0, rs.len())).collect();
+        assert_eq!(groups, vec![(1, 2), (3, 1), (7, 1)]);
+        assert_eq!(ds.car_count(), 3);
+    }
+
+    #[test]
+    fn cell_count_dedups() {
+        let ds = CdrDataset::new(
+            period(),
+            vec![rec(1, 1, 0, 10), rec(2, 1, 0, 10), rec(3, 4, 0, 10)],
+        );
+        assert_eq!(ds.cell_count(), 2);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = CdrDataset::new(period(), Vec::new());
+        assert!(ds.is_empty());
+        assert_eq!(ds.by_car().count(), 0);
+        assert_eq!(ds.cell_count(), 0);
+    }
+
+    #[test]
+    fn record_validity_and_duration() {
+        let r = rec(1, 1, 10, 130);
+        assert!(r.is_valid());
+        assert_eq!(r.duration().as_secs(), 120);
+        let bad = rec(1, 1, 10, 10);
+        assert!(!bad.is_valid());
+    }
+}

@@ -1,0 +1,232 @@
+//! Session aggregation.
+//!
+//! §3: *"We concatenate all connections that are up to 30 seconds apart
+//! into aggregate sessions where appropriate."* And for mobility, §4.5
+//! builds looser sessions — *"sessions on the network during which the
+//! longest connection gap is 10 minutes"* — whose cell sequences bound
+//! the handover counts.
+//!
+//! One [`Sessionizer`] serves both: the gap is a parameter.
+
+use crate::record::{CdrDataset, CdrRecord};
+use conncar_types::{CarId, CellId, Duration, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Sessionization parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Maximum idle gap between consecutive records that still belong to
+    /// the same session.
+    pub max_gap: Duration,
+}
+
+impl SessionConfig {
+    /// The paper's aggregate-session gap: 30 s.
+    pub const AGGREGATE: SessionConfig = SessionConfig {
+        max_gap: Duration::from_secs(30),
+    };
+
+    /// The paper's mobility-session gap: 10 minutes.
+    pub const MOBILITY: SessionConfig = SessionConfig {
+        max_gap: Duration::from_mins(10),
+    };
+}
+
+/// A run of connection records belonging to one car with no gap larger
+/// than the configured maximum.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggregateSession {
+    /// The car.
+    pub car: CarId,
+    /// First record's start.
+    pub start: Timestamp,
+    /// Last record's end.
+    pub end: Timestamp,
+    /// Sum of record durations (excludes the gaps).
+    pub connected: Duration,
+    /// Number of raw records aggregated.
+    pub record_count: usize,
+    /// Cell visit sequence with consecutive duplicates collapsed; its
+    /// transitions are the session's handovers.
+    pub cells: Vec<CellId>,
+}
+
+impl AggregateSession {
+    /// Wall-clock span of the session including idle gaps.
+    pub fn span(&self) -> Duration {
+        self.end - self.start
+    }
+
+    /// Number of cell transitions (lower-bound handover count, §4.5).
+    pub fn handover_count(&self) -> usize {
+        self.cells.len().saturating_sub(1)
+    }
+}
+
+/// Groups per-car records into sessions.
+#[derive(Debug, Clone, Copy)]
+pub struct Sessionizer {
+    cfg: SessionConfig,
+}
+
+impl Sessionizer {
+    /// Build with a gap configuration.
+    pub fn new(cfg: SessionConfig) -> Sessionizer {
+        Sessionizer { cfg }
+    }
+
+    /// Sessionize a whole dataset (canonical order assumed, which
+    /// [`CdrDataset`] guarantees).
+    pub fn sessions(&self, ds: &CdrDataset) -> Vec<AggregateSession> {
+        let mut out = Vec::new();
+        for (_car, records) in ds.by_car() {
+            self.sessions_for_car(records, &mut out);
+        }
+        out
+    }
+
+    /// Sessionize one car's already-sorted records, appending to `out`.
+    pub fn sessions_for_car(&self, records: &[CdrRecord], out: &mut Vec<AggregateSession>) {
+        let mut iter = records.iter();
+        let Some(first) = iter.next() else {
+            return;
+        };
+        let mut cur = AggregateSession {
+            car: first.car,
+            start: first.start,
+            end: first.end,
+            connected: first.duration(),
+            record_count: 1,
+            cells: vec![first.cell],
+        };
+        for r in iter {
+            debug_assert_eq!(r.car, cur.car, "records not grouped by car");
+            // Overlapping records (sticky-modem dirt) count as gap 0.
+            let gap = r.start.saturating_since(cur.end);
+            if gap <= self.cfg.max_gap {
+                cur.end = cur.end.max(r.end);
+                cur.connected += r.duration();
+                cur.record_count += 1;
+                if cur.cells.last() != Some(&r.cell) {
+                    cur.cells.push(r.cell);
+                }
+            } else {
+                out.push(std::mem::replace(
+                    &mut cur,
+                    AggregateSession {
+                        car: r.car,
+                        start: r.start,
+                        end: r.end,
+                        connected: r.duration(),
+                        record_count: 1,
+                        cells: vec![r.cell],
+                    },
+                ));
+            }
+        }
+        out.push(cur);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_types::{BaseStationId, Carrier, DayOfWeek, StudyPeriod};
+
+    fn rec(car: u32, station: u32, start: u64, end: u64) -> CdrRecord {
+        CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(BaseStationId(station), 0, Carrier::C3),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(end),
+        }
+    }
+
+    fn ds(records: Vec<CdrRecord>) -> CdrDataset {
+        CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), records)
+    }
+
+    #[test]
+    fn gap_at_threshold_merges_beyond_splits() {
+        let s = Sessionizer::new(SessionConfig::AGGREGATE);
+        // Gap of exactly 30 s merges.
+        let merged = s.sessions(&ds(vec![rec(1, 1, 0, 100), rec(1, 1, 130, 200)]));
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].record_count, 2);
+        assert_eq!(merged[0].connected.as_secs(), 170);
+        assert_eq!(merged[0].span().as_secs(), 200);
+        // Gap of 31 s splits.
+        let split = s.sessions(&ds(vec![rec(1, 1, 0, 100), rec(1, 1, 131, 200)]));
+        assert_eq!(split.len(), 2);
+    }
+
+    #[test]
+    fn cars_never_share_sessions() {
+        let s = Sessionizer::new(SessionConfig::AGGREGATE);
+        let sessions = s.sessions(&ds(vec![rec(1, 1, 0, 100), rec(2, 1, 100, 200)]));
+        assert_eq!(sessions.len(), 2);
+        assert_ne!(sessions[0].car, sessions[1].car);
+    }
+
+    #[test]
+    fn cell_sequence_collapses_duplicates() {
+        let s = Sessionizer::new(SessionConfig::MOBILITY);
+        let sessions = s.sessions(&ds(vec![
+            rec(1, 1, 0, 100),
+            rec(1, 2, 100, 200),
+            rec(1, 2, 210, 300),
+            rec(1, 3, 300, 400),
+        ]));
+        assert_eq!(sessions.len(), 1);
+        let sess = &sessions[0];
+        assert_eq!(sess.cells.len(), 3);
+        assert_eq!(sess.handover_count(), 2);
+        assert_eq!(sess.record_count, 4);
+    }
+
+    #[test]
+    fn overlapping_records_merge_with_zero_gap() {
+        let s = Sessionizer::new(SessionConfig::AGGREGATE);
+        // Sticky record overlaps the next one.
+        let sessions = s.sessions(&ds(vec![rec(1, 1, 0, 500), rec(1, 2, 100, 200)]));
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].end.as_secs(), 500);
+        assert_eq!(sessions[0].connected.as_secs(), 600);
+    }
+
+    #[test]
+    fn empty_dataset_no_sessions() {
+        let s = Sessionizer::new(SessionConfig::AGGREGATE);
+        assert!(s.sessions(&ds(Vec::new())).is_empty());
+    }
+
+    #[test]
+    fn ping_pong_handovers_all_count() {
+        let s = Sessionizer::new(SessionConfig::MOBILITY);
+        let sessions = s.sessions(&ds(vec![
+            rec(1, 1, 0, 10),
+            rec(1, 2, 10, 20),
+            rec(1, 1, 20, 30),
+        ]));
+        assert_eq!(sessions[0].cells.len(), 3);
+        assert_eq!(sessions[0].handover_count(), 2);
+    }
+
+    #[test]
+    fn mobility_gap_keeps_commute_together() {
+        let s = Sessionizer::new(SessionConfig::MOBILITY);
+        // Records 5 minutes apart (telemetry pings while driving).
+        let recs: Vec<CdrRecord> = (0..6)
+            .map(|i| rec(1, i, i as u64 * 300, i as u64 * 300 + 60))
+            .collect();
+        let sessions = s.sessions(&ds(recs));
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].handover_count(), 5);
+        // Aggregate gap (30 s) splits them all.
+        let s30 = Sessionizer::new(SessionConfig::AGGREGATE);
+        let recs: Vec<CdrRecord> = (0..6)
+            .map(|i| rec(1, i, i as u64 * 300, i as u64 * 300 + 60))
+            .collect();
+        assert_eq!(s30.sessions(&ds(recs)).len(), 6);
+    }
+}

@@ -1,0 +1,71 @@
+//! # conncar
+//!
+//! End-to-end reproduction toolkit for *"Connected cars in cellular
+//! network: A measurement study"* (IMC 2017).
+//!
+//! The paper measured one million real connected cars on a production
+//! US cellular network. That substrate is proprietary, so this
+//! workspace rebuilds it: a synthetic metro region
+//! ([`conncar_geo`]), a radio network with PRB-utilization accounting
+//! ([`conncar_radio`]), an archetype-driven car fleet
+//! ([`conncar_fleet`]), a CDR pipeline with the paper's measurement
+//! artifacts and cleaning ([`conncar_cdr`]), the full §4 analysis suite
+//! ([`conncar_analysis`]) and the FOTA campaign planner the findings
+//! motivate ([`conncar_fota`]).
+//!
+//! This crate is the front door:
+//!
+//! * [`study`] — configure and run a complete study: generate the
+//!   region, fleet and trace; inject and clean the measurement dirt;
+//!   everything deterministic in one seed.
+//! * [`analyses`] — run every analysis of §4 over the study in one call.
+//! * [`experiments`] — the registry mapping each paper artifact
+//!   (Figure 1 … Figure 11, Tables 1–3, §4.5) to a runner that
+//!   regenerates it.
+//! * [`report`] — text rendering: the paper's tables as aligned text,
+//!   its figures as unicode plots.
+//! * [`export`] — write every artifact (text + JSON + manifest) to a
+//!   directory for external tooling.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use conncar::study::{StudyConfig, StudyData};
+//!
+//! let cfg = StudyConfig::tiny(); // 120 cars × 7 days: doc-test sized
+//! let study = StudyData::generate(&cfg).expect("valid config");
+//! assert!(study.clean.len() > 0);
+//! let analyses = conncar::analyses::StudyAnalyses::run(&study).expect("analyses");
+//! println!("{}", conncar::report::render_table1(&analyses.weekday_table));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyses;
+pub mod experiments;
+pub mod export;
+pub mod render;
+pub mod report;
+pub mod study;
+
+pub use analyses::StudyAnalyses;
+pub use experiments::{Experiment, ExperimentOutput};
+pub use study::{StudyConfig, StudyData};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared test fixture: generating even a tiny study costs seconds,
+    //! so the crate's tests share one.
+    use crate::{StudyAnalyses, StudyConfig, StudyData};
+    use std::sync::OnceLock;
+
+    pub fn tiny_fixture() -> &'static (StudyData, StudyAnalyses) {
+        static FIXTURE: OnceLock<(StudyData, StudyAnalyses)> = OnceLock::new();
+        FIXTURE.get_or_init(|| {
+            let study = StudyData::generate(&StudyConfig::tiny()).expect("tiny study");
+            let analyses = StudyAnalyses::run(&study).expect("analyses");
+            (study, analyses)
+        })
+    }
+}

@@ -1,0 +1,234 @@
+//! Text rendering primitives: unicode bars, sparklines, heatmaps and
+//! aligned tables. Everything the report module needs to draw the
+//! paper's figures in a terminal.
+
+/// Shade characters from empty to full.
+const SHADES: [char; 5] = [' ', '░', '▒', '▓', '█'];
+
+/// Eight-level sparkline glyphs.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// A horizontal bar of `width` cells filled proportionally to
+/// `value / max` (empty when `max <= 0`).
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || width == 0 {
+        return " ".repeat(width);
+    }
+    let frac = (value / max).clamp(0.0, 1.0);
+    let filled = (frac * width as f64).round() as usize;
+    let mut s = String::with_capacity(width * 3);
+    for _ in 0..filled.min(width) {
+        s.push('█');
+    }
+    for _ in filled.min(width)..width {
+        s.push(' ');
+    }
+    s
+}
+
+/// One sparkline character per value, scaled to the slice maximum.
+pub fn sparkline(values: &[f64]) -> String {
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return SPARKS[0].to_string().repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|v| {
+            let level = ((v / max) * (SPARKS.len() - 1) as f64).round() as usize;
+            SPARKS[level.min(SPARKS.len() - 1)]
+        })
+        .collect()
+}
+
+/// A shade character for an intensity in `[0, 1]`.
+pub fn shade(intensity: f64) -> char {
+    let i = (intensity.clamp(0.0, 1.0) * (SHADES.len() - 1) as f64).round() as usize;
+    SHADES[i.min(SHADES.len() - 1)]
+}
+
+/// Render a 7×24 matrix as the paper's weekly grid: one row per hour,
+/// one column per day (Monday first), shaded by normalized value.
+pub fn weekly_heatmap(values: &[[f64; 24]; 7]) -> String {
+    let max = values.iter().flatten().copied().fold(0.0f64, f64::max);
+    let mut out = String::new();
+    out.push_str("      M T W T F S S\n");
+    for hour in 0..24 {
+        out.push_str(&format!("{hour:>4}  "));
+        for day in values.iter() {
+            let v = if max > 0.0 { day[hour] / max } else { 0.0 };
+            out.push(shade(v));
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A compact two-column ASCII plot of `(x, y)` points: `rows` lines,
+/// y scaled to `[0, max_y]`, drawn left-to-right. Meant for CDFs and
+/// diurnal curves where shape, not precision, matters.
+pub fn line_plot(points: &[(f64, f64)], rows: usize, cols: usize) -> String {
+    if points.is_empty() || rows == 0 || cols == 0 {
+        return String::new();
+    }
+    let x_min = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let x_max = points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let y_min = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let y_max = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let x_span = (x_max - x_min).max(f64::MIN_POSITIVE);
+    let y_span = (y_max - y_min).max(f64::MIN_POSITIVE);
+    let mut grid = vec![vec![' '; cols]; rows];
+    for &(x, y) in points {
+        let c = (((x - x_min) / x_span) * (cols - 1) as f64).round() as usize;
+        let r = (((y - y_min) / y_span) * (rows - 1) as f64).round() as usize;
+        grid[rows - 1 - r][c.min(cols - 1)] = '•';
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>8.3} ")
+        } else if i == rows - 1 {
+            format!("{y_min:>8.3} ")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&label);
+        out.push('│');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push('└');
+    out.push_str(&"─".repeat(cols));
+    out.push('\n');
+    out.push_str(&format!(
+        "{}{:<12.3}{:>width$.3}\n",
+        " ".repeat(10),
+        x_min,
+        x_max,
+        width = cols.saturating_sub(12)
+    ));
+    out
+}
+
+/// An aligned text table. `headers.len()` fixes the column count; rows
+/// shorter than that are right-padded with empty cells.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().take(cols).enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, width) in widths.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            let pad = width - cell.chars().count();
+            line.push_str(cell);
+            line.push_str(&" ".repeat(pad));
+            if i + 1 < cols {
+                line.push_str("  ");
+            }
+        }
+        line.trim_end().to_string()
+    };
+    let mut out = String::new();
+    out.push_str(&render_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&"─".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_fills_proportionally() {
+        assert_eq!(bar(5.0, 10.0, 10), "█████     ");
+        assert_eq!(bar(10.0, 10.0, 4), "████");
+        assert_eq!(bar(0.0, 10.0, 4), "    ");
+        assert_eq!(bar(99.0, 10.0, 4), "████"); // clamped
+        assert_eq!(bar(1.0, 0.0, 3), "   "); // degenerate max
+    }
+
+    #[test]
+    fn sparkline_levels() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[2], '█');
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn shade_clamps() {
+        assert_eq!(shade(-1.0), ' ');
+        assert_eq!(shade(0.0), ' ');
+        assert_eq!(shade(1.0), '█');
+        assert_eq!(shade(2.0), '█');
+        assert_eq!(shade(0.5), '▒');
+    }
+
+    #[test]
+    fn heatmap_layout() {
+        let mut values = [[0.0; 24]; 7];
+        values[0][8] = 1.0; // Monday 08
+        let out = weekly_heatmap(&values);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 25); // header + 24 hours
+        assert!(lines[0].contains("M T W T F S S"));
+        // Hour-8 line has the full shade in the Monday column.
+        assert!(lines[9].starts_with("   8"));
+        assert!(lines[9].contains('█'));
+    }
+
+    #[test]
+    fn table_alignment_and_padding() {
+        let out = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into()], // short row padded
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert_eq!(lines[3].trim_end(), "longer");
+    }
+
+    #[test]
+    fn line_plot_shape() {
+        let pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, i as f64 * 2.0)).collect();
+        let out = line_plot(&pts, 5, 40);
+        assert!(out.contains('•'));
+        assert!(out.contains('└'));
+        assert_eq!(line_plot(&[], 5, 40), "");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.785), "78.5%");
+        assert_eq!(pct(0.0), "0.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

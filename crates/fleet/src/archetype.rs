@@ -1,0 +1,282 @@
+//! Driver archetypes and the fleet mixture.
+//!
+//! §4.2's three sample cars — a strict busy-hour commuter, a heavy
+//! all-week user, and a predictable off-peak commuter — plus the
+//! segmentation of Table 2 (rare vs common cars) imply a population made
+//! of behaviorally distinct groups. We model six:
+//!
+//! | archetype | share | behaviour |
+//! |---|---|---|
+//! | `RegularCommuter` | 36% | strict M–F commute in rush hours |
+//! | `FlexCommuter` | 15% | commutes most weekdays, loose timing |
+//! | `ErrandDriver` | 18% | daily short trips, mostly off-peak |
+//! | `WeekendDriver` | 10% | quiet weekdays, busy weekends |
+//! | `RareDriver` | 8% | appears a handful of days over the study |
+//! | `HeavyFleet` | 13% | commercial/rideshare, on the road all day |
+//!
+//! The share vector and each archetype's activity probabilities are the
+//! *calibration knobs* for Figures 2, 3, 5, 6 and Tables 1–2; they are
+//! plain data, so ablation benches can sweep them.
+
+use conncar_types::DayOfWeek;
+use serde::{Deserialize, Serialize};
+
+/// One behavioural class of connected car.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Archetype {
+    /// Strict Monday–Friday rush-hour commuter.
+    RegularCommuter,
+    /// Weekday commuter with loose, variable timing.
+    FlexCommuter,
+    /// Short daily errands, spread across the day.
+    ErrandDriver,
+    /// Mostly parked on weekdays, active on weekends.
+    WeekendDriver,
+    /// On the network only a handful of days over the study.
+    RareDriver,
+    /// Commercial / rideshare duty cycle: many trips, long hours.
+    HeavyFleet,
+}
+
+impl Archetype {
+    /// All archetypes in mixture order.
+    pub const ALL: [Archetype; 6] = [
+        Archetype::RegularCommuter,
+        Archetype::FlexCommuter,
+        Archetype::ErrandDriver,
+        Archetype::WeekendDriver,
+        Archetype::RareDriver,
+        Archetype::HeavyFleet,
+    ];
+
+    /// Short label for reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Archetype::RegularCommuter => "regular-commuter",
+            Archetype::FlexCommuter => "flex-commuter",
+            Archetype::ErrandDriver => "errand-driver",
+            Archetype::WeekendDriver => "weekend-driver",
+            Archetype::RareDriver => "rare-driver",
+            Archetype::HeavyFleet => "heavy-fleet",
+        }
+    }
+
+    /// Probability the car is used at all on a day of the given weekday.
+    ///
+    /// `RareDriver` ignores this table and uses its per-car propensity.
+    pub fn activity_probability(self, day: DayOfWeek) -> f64 {
+        use DayOfWeek::*;
+        match self {
+            Archetype::RegularCommuter => match day {
+                Saturday => 0.62,
+                Sunday => 0.58,
+                _ => 0.97,
+            },
+            Archetype::FlexCommuter => match day {
+                Saturday => 0.60,
+                Sunday => 0.55,
+                _ => 0.80,
+            },
+            Archetype::ErrandDriver => match day {
+                Saturday => 0.76,
+                Sunday => 0.72,
+                _ => 0.72,
+            },
+            Archetype::WeekendDriver => match day {
+                Saturday => 0.92,
+                Sunday => 0.88,
+                _ => 0.32,
+            },
+            Archetype::RareDriver => 0.20, // placeholder; persona overrides
+            Archetype::HeavyFleet => match day {
+                Saturday => 0.95,
+                Sunday => 0.92,
+                _ => 0.97,
+            },
+        }
+    }
+
+    /// Whether this archetype commutes (home→work→home) on weekdays.
+    pub const fn commutes(self) -> bool {
+        matches!(
+            self,
+            Archetype::RegularCommuter | Archetype::FlexCommuter | Archetype::HeavyFleet
+        )
+    }
+
+    /// Standard deviation of day-to-day departure jitter, minutes.
+    /// Small = the very regular dark rows of Figure 5's left car.
+    pub const fn departure_jitter_min(self) -> f64 {
+        match self {
+            Archetype::RegularCommuter => 12.0,
+            Archetype::FlexCommuter => 50.0,
+            Archetype::ErrandDriver => 90.0,
+            Archetype::WeekendDriver => 75.0,
+            Archetype::RareDriver => 120.0,
+            Archetype::HeavyFleet => 25.0,
+        }
+    }
+
+    /// Mean number of extra (non-commute) trips on an active day.
+    pub const fn extra_trips_mean(self) -> f64 {
+        match self {
+            Archetype::RegularCommuter => 0.35,
+            Archetype::FlexCommuter => 0.55,
+            Archetype::ErrandDriver => 1.9,
+            Archetype::WeekendDriver => 1.6,
+            Archetype::RareDriver => 1.1,
+            Archetype::HeavyFleet => 6.5,
+        }
+    }
+
+    /// Probability the car's head unit runs infotainment streams while
+    /// driving (long-lived connections).
+    pub const fn infotainment_propensity(self) -> f64 {
+        match self {
+            Archetype::RegularCommuter => 0.80,
+            Archetype::FlexCommuter => 0.75,
+            Archetype::ErrandDriver => 0.60,
+            Archetype::WeekendDriver => 0.70,
+            Archetype::RareDriver => 0.35,
+            Archetype::HeavyFleet => 0.90,
+        }
+    }
+
+    /// Probability a trip carries an in-car WiFi hotspot session.
+    pub const fn hotspot_propensity(self) -> f64 {
+        match self {
+            Archetype::RegularCommuter => 0.10,
+            Archetype::FlexCommuter => 0.10,
+            Archetype::ErrandDriver => 0.06,
+            Archetype::WeekendDriver => 0.25,
+            Archetype::RareDriver => 0.02,
+            Archetype::HeavyFleet => 0.45,
+        }
+    }
+}
+
+/// Mixture weights over archetypes. Must sum to ~1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArchetypeMix {
+    /// Weight per archetype, indexed like [`Archetype::ALL`].
+    pub weights: [f64; 6],
+}
+
+impl Default for ArchetypeMix {
+    fn default() -> Self {
+        ArchetypeMix {
+            weights: [0.36, 0.15, 0.18, 0.10, 0.08, 0.13],
+        }
+    }
+}
+
+impl ArchetypeMix {
+    /// Validate the weights: nonnegative, summing to 1 ± 1e-6.
+    pub fn validate(&self) -> conncar_types::Result<()> {
+        if self.weights.iter().any(|w| *w < 0.0) {
+            return Err(conncar_types::Error::InvalidConfig {
+                what: "archetype_mix",
+                why: "negative weight".into(),
+            });
+        }
+        let sum: f64 = self.weights.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(conncar_types::Error::InvalidConfig {
+                what: "archetype_mix",
+                why: format!("weights sum to {sum}, expected 1"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Pick an archetype from a uniform draw `u ∈ [0, 1)`.
+    pub fn pick(&self, u: f64) -> Archetype {
+        let mut acc = 0.0;
+        for (a, w) in Archetype::ALL.iter().zip(self.weights) {
+            acc += w;
+            if u < acc {
+                return *a;
+            }
+        }
+        *Archetype::ALL.last().expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mix_is_valid() {
+        ArchetypeMix::default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_mixes_rejected() {
+        let mut m = ArchetypeMix::default();
+        m.weights[0] = -0.1;
+        assert!(m.validate().is_err());
+        let m = ArchetypeMix { weights: [0.5; 6] };
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn pick_covers_all_archetypes() {
+        let m = ArchetypeMix::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1_000 {
+            seen.insert(m.pick(i as f64 / 1_000.0));
+        }
+        assert_eq!(seen.len(), 6);
+        // Boundary draws are safe.
+        assert_eq!(m.pick(0.0), Archetype::RegularCommuter);
+        assert_eq!(m.pick(0.999_999_9), Archetype::HeavyFleet);
+    }
+
+    #[test]
+    fn pick_respects_weights() {
+        let m = ArchetypeMix::default();
+        let n = 100_000;
+        let commuters = (0..n)
+            .filter(|i| m.pick(*i as f64 / n as f64) == Archetype::RegularCommuter)
+            .count();
+        let frac = commuters as f64 / n as f64;
+        assert!((frac - 0.36).abs() < 0.01, "commuter share {frac}");
+    }
+
+    #[test]
+    fn weekday_activity_shape() {
+        // Fleet-wide weekday activity should exceed Sunday activity —
+        // the Figure 2 / Table 1 weekly pattern.
+        let m = ArchetypeMix::default();
+        let avg = |d: DayOfWeek| -> f64 {
+            Archetype::ALL
+                .iter()
+                .zip(m.weights)
+                .map(|(a, w)| w * a.activity_probability(d))
+                .sum()
+        };
+        let wed = avg(DayOfWeek::Wednesday);
+        let sat = avg(DayOfWeek::Saturday);
+        let sun = avg(DayOfWeek::Sunday);
+        assert!(wed > sat, "wed {wed} sat {sat}");
+        assert!(sat > sun, "sat {sat} sun {sun}");
+        assert!((0.70..0.85).contains(&wed), "weekday activity {wed}");
+        assert!((0.55..0.75).contains(&sun), "sunday activity {sun}");
+    }
+
+    #[test]
+    fn heavy_fleet_drives_most() {
+        assert!(
+            Archetype::HeavyFleet.extra_trips_mean()
+                > 3.0 * Archetype::RegularCommuter.extra_trips_mean()
+        );
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            Archetype::ALL.iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), 6);
+    }
+}

@@ -1,0 +1,266 @@
+//! Per-car personas.
+//!
+//! A persona is everything time-invariant about one car: its archetype,
+//! where it lives and works, its habitual departure times, how noisy its
+//! habits are, what its head unit does with the network, and what its
+//! modem hardware supports. Personas are derived deterministically from
+//! the study seed and the car index, so car `k` is the same car in every
+//! run.
+
+use crate::archetype::{Archetype, ArchetypeMix};
+use conncar_geo::{NodeId, Region};
+use conncar_types::{CarId, ModemCapability, SeedSplitter};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Time-invariant description of one car.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Persona {
+    /// The car's id.
+    pub car: CarId,
+    /// Behavioural class.
+    pub archetype: Archetype,
+    /// Home road node.
+    pub home: NodeId,
+    /// Work / depot road node.
+    pub work: NodeId,
+    /// Habitual morning departure, seconds after local midnight.
+    pub commute_out_secs: u32,
+    /// Habitual evening return departure, seconds after local midnight.
+    pub commute_back_secs: u32,
+    /// Day-to-day departure jitter σ, seconds.
+    pub jitter_secs: f64,
+    /// For `RareDriver`: per-car daily activity probability. Zero for
+    /// other archetypes (they use the archetype table).
+    pub rare_propensity: f64,
+    /// Whether this car streams infotainment while driving.
+    pub infotainment: bool,
+    /// Per-trip probability of a passenger hotspot session.
+    pub hotspot_p: f64,
+    /// Modem hardware capability.
+    pub capability: ModemCapability,
+}
+
+impl Persona {
+    /// Daily activity probability for a given weekday.
+    pub fn activity_probability(&self, day: conncar_types::DayOfWeek) -> f64 {
+        if self.archetype == Archetype::RareDriver {
+            self.rare_propensity
+        } else {
+            self.archetype.activity_probability(day)
+        }
+    }
+}
+
+/// Deterministic persona generator.
+#[derive(Debug, Clone)]
+pub struct PersonaFactory {
+    mix: ArchetypeMix,
+    seeds: SeedSplitter,
+    /// Fraction of cars with the newer C5-capable modem revision.
+    full_modem_share: f64,
+    /// Fraction of cars still on the earliest 3G-only modem.
+    umts_only_share: f64,
+    /// Fraction of cars on the older LTE modem revision that lacks the
+    /// C4 band (Table 3: only ~81% of cars ever used C4).
+    no_c4_share: f64,
+}
+
+impl PersonaFactory {
+    /// Paper-calibrated modem shares: C5-capable cars are vanishingly
+    /// rare (0.006% of the population ever used C5, Table 3); a sliver
+    /// of first-generation 3G-only units persists.
+    pub fn new(mix: ArchetypeMix, study_seed: u64) -> PersonaFactory {
+        PersonaFactory {
+            mix,
+            seeds: SeedSplitter::new(study_seed).child("personas"),
+            full_modem_share: 0.000_2,
+            umts_only_share: 0.003,
+            no_c4_share: 0.18,
+        }
+    }
+
+    /// Override modem shares (testing / ablations).
+    pub fn with_modem_shares(mut self, full: f64, umts_only: f64) -> PersonaFactory {
+        self.full_modem_share = full;
+        self.umts_only_share = umts_only;
+        self
+    }
+
+    /// Build the persona of car `index` living in `region`.
+    pub fn create(&self, index: u32, region: &Region) -> Persona {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seeds.domain_indexed("car", index as u64));
+        let archetype = self.mix.pick(rng.gen::<f64>());
+
+        let home_seed = self.seeds.domain_indexed("home", index as u64);
+        let home = region.random_home(home_seed);
+        let work = match archetype {
+            // Errand/weekend/rare cars still *have* a frequent
+            // destination (school, gym, relatives) — drawn like an
+            // errand spot rather than a downtown office.
+            Archetype::ErrandDriver | Archetype::WeekendDriver | Archetype::RareDriver => {
+                region.random_errand(self.seeds.domain_indexed("work", index as u64))
+            }
+            _ => region.random_work(self.seeds.domain_indexed("work", index as u64)),
+        };
+
+        // Morning anchor: 6:00–9:30, biased toward 7–8.
+        let out_h = 6.0 + 3.5 * beta_ish(&mut rng);
+        // Evening anchor: 8–11 h after the morning departure.
+        let back_h = out_h + rng.gen_range(8.0..11.0);
+        let jitter_secs = archetype.departure_jitter_min() * 60.0;
+
+        let rare_propensity = if archetype == Archetype::RareDriver {
+            // Most rare cars show up well under 30 days / 90; a few land
+            // in the 10–30 day band (Table 2's two rarity cuts).
+            rng.gen_range(0.03..0.32)
+        } else {
+            0.0
+        };
+
+        let infotainment = rng.gen_bool(archetype.infotainment_propensity());
+        let hotspot_p = archetype.hotspot_propensity();
+
+        let cap_draw: f64 = rng.gen();
+        let capability = if cap_draw < self.full_modem_share {
+            ModemCapability::FULL
+        } else if cap_draw < self.full_modem_share + self.umts_only_share {
+            ModemCapability::UMTS_ONLY
+        } else if cap_draw < self.full_modem_share + self.umts_only_share + self.no_c4_share {
+            // Older LTE revision: C1–C3 only.
+            ModemCapability::from_carriers([
+                conncar_types::Carrier::C1,
+                conncar_types::Carrier::C2,
+                conncar_types::Carrier::C3,
+            ])
+        } else {
+            ModemCapability::STANDARD
+        };
+
+        Persona {
+            car: CarId(index),
+            archetype,
+            home,
+            work,
+            commute_out_secs: (out_h * 3_600.0) as u32,
+            commute_back_secs: ((back_h * 3_600.0) as u32).min(24 * 3_600 - 1),
+            jitter_secs,
+            rare_propensity,
+            infotainment,
+            hotspot_p,
+            capability,
+        }
+    }
+}
+
+/// A cheap bell-ish variate in [0,1): mean of two uniforms.
+fn beta_ish(rng: &mut impl Rng) -> f64 {
+    (rng.gen::<f64>() + rng.gen::<f64>()) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_geo::RegionConfig;
+
+    fn region() -> Region {
+        Region::generate(&RegionConfig::small(), 42)
+    }
+
+    fn factory() -> PersonaFactory {
+        PersonaFactory::new(ArchetypeMix::default(), 42)
+    }
+
+    #[test]
+    fn personas_are_deterministic() {
+        let r = region();
+        let f = factory();
+        let a = f.create(17, &r);
+        let b = f.create(17, &r);
+        assert_eq!(a.archetype, b.archetype);
+        assert_eq!(a.home, b.home);
+        assert_eq!(a.commute_out_secs, b.commute_out_secs);
+        assert_eq!(a.capability, b.capability);
+    }
+
+    #[test]
+    fn cars_differ() {
+        let r = region();
+        let f = factory();
+        let a = f.create(1, &r);
+        let b = f.create(2, &r);
+        // Two cars agreeing on *everything* would indicate a broken
+        // seed-split.
+        assert!(
+            a.home != b.home
+                || a.commute_out_secs != b.commute_out_secs
+                || a.archetype != b.archetype
+        );
+    }
+
+    #[test]
+    fn commute_anchors_plausible() {
+        let r = region();
+        let f = factory();
+        for i in 0..200 {
+            let p = f.create(i, &r);
+            let out_h = p.commute_out_secs as f64 / 3_600.0;
+            let back_h = p.commute_back_secs as f64 / 3_600.0;
+            assert!((6.0..=9.5).contains(&out_h), "out {out_h}");
+            assert!(back_h > out_h + 7.9, "back {back_h} out {out_h}");
+            assert!(back_h < 24.0);
+        }
+    }
+
+    #[test]
+    fn rare_propensity_only_for_rare_drivers() {
+        let r = region();
+        let f = factory();
+        for i in 0..300 {
+            let p = f.create(i, &r);
+            if p.archetype == Archetype::RareDriver {
+                assert!((0.03..0.32).contains(&p.rare_propensity));
+                assert!(p.activity_probability(conncar_types::DayOfWeek::Monday) < 0.35);
+            } else {
+                assert_eq!(p.rare_propensity, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn modem_shares_respected() {
+        let r = region();
+        // Exaggerated shares so a small sample shows all three kinds.
+        let f = factory().with_modem_shares(0.10, 0.10);
+        let mut full = 0;
+        let mut umts = 0;
+        let n = 2_000;
+        for i in 0..n {
+            match f.create(i, &r).capability {
+                ModemCapability::FULL => full += 1,
+                ModemCapability::UMTS_ONLY => umts += 1,
+                _ => {}
+            }
+        }
+        let ff = full as f64 / n as f64;
+        let uf = umts as f64 / n as f64;
+        assert!((ff - 0.10).abs() < 0.03, "full share {ff}");
+        assert!((uf - 0.10).abs() < 0.03, "umts share {uf}");
+    }
+
+    #[test]
+    fn archetype_shares_roughly_match_mix() {
+        let r = region();
+        let f = factory();
+        let n = 3_000;
+        let mut heavy = 0;
+        for i in 0..n {
+            if f.create(i, &r).archetype == Archetype::HeavyFleet {
+                heavy += 1;
+            }
+        }
+        let frac = heavy as f64 / n as f64;
+        assert!((frac - 0.13).abs() < 0.03, "heavy share {frac}");
+    }
+}

@@ -1,0 +1,405 @@
+//! Day plans: which trips a car makes on one study day.
+//!
+//! A plan is a sorted, non-overlapping list of [`PlannedTrip`]s in local
+//! civil time. Commuting archetypes get their out/back pair anchored on
+//! the persona's habitual times with per-day jitter (the regularity knob
+//! behind Figure 5's dark stripes); extra errand trips are sprinkled
+//! through the day; heavy-fleet cars chain many short hops.
+
+use crate::persona::Persona;
+use conncar_geo::{NodeId, Region};
+use conncar_types::DayOfWeek;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Why a trip happens; matters only for destination choice and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TripPurpose {
+    /// Home → work.
+    CommuteOut,
+    /// Work → home.
+    CommuteBack,
+    /// Home → somewhere → (separately planned) back.
+    Errand,
+    /// Return leg of an errand.
+    ErrandReturn,
+    /// Heavy-fleet duty hop.
+    Duty,
+}
+
+/// One planned trip in local time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannedTrip {
+    /// Departure, seconds after local midnight. May exceed 86 400 for
+    /// late-evening returns that spill past midnight.
+    pub depart_local_secs: u64,
+    /// Origin road node.
+    pub origin: NodeId,
+    /// Destination road node.
+    pub dest: NodeId,
+    /// Purpose tag.
+    pub purpose: TripPurpose,
+}
+
+/// A car's plan for one day.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DayPlan {
+    /// Sorted trips; later trips are dropped rather than overlapped when
+    /// the day gets crowded.
+    pub trips: Vec<PlannedTrip>,
+}
+
+impl DayPlan {
+    /// An empty (inactive) day.
+    pub fn inactive() -> DayPlan {
+        DayPlan { trips: Vec::new() }
+    }
+
+    /// Whether the car drives at all.
+    pub fn is_active(&self) -> bool {
+        !self.trips.is_empty()
+    }
+
+    /// Generate the plan for `persona` on a day of weekday `weekday`.
+    ///
+    /// `activity_scale` is the fleet-wide day factor (weather, holidays,
+    /// slow adoption trend) multiplying the persona's base activity
+    /// probability.
+    pub fn generate(
+        persona: &Persona,
+        weekday: DayOfWeek,
+        activity_scale: f64,
+        region: &Region,
+        rng: &mut impl Rng,
+    ) -> DayPlan {
+        let p_active = (persona.activity_probability(weekday) * activity_scale).clamp(0.0, 1.0);
+        if !rng.gen_bool(p_active) {
+            return DayPlan::inactive();
+        }
+
+        let mut trips: Vec<PlannedTrip> = Vec::new();
+        let commuting = persona.archetype.commutes() && weekday.is_weekday();
+
+        if commuting {
+            let out = jittered(persona.commute_out_secs as f64, persona.jitter_secs, rng);
+            let back = jittered(persona.commute_back_secs as f64, persona.jitter_secs, rng);
+            trips.push(PlannedTrip {
+                depart_local_secs: out,
+                origin: persona.home,
+                dest: persona.work,
+                purpose: TripPurpose::CommuteOut,
+            });
+            trips.push(PlannedTrip {
+                depart_local_secs: back.max(out + 3_600),
+                origin: persona.work,
+                dest: persona.home,
+                purpose: TripPurpose::CommuteBack,
+            });
+        }
+
+        // Extra trips. Heavy fleet gets duty hops chained between random
+        // points; everyone else gets errand out-and-back pairs.
+        let extra_mean = persona.archetype.extra_trips_mean();
+        let n_extra = sample_poisson(extra_mean, rng);
+        if persona.archetype == crate::archetype::Archetype::HeavyFleet {
+            // Duty hops spread over the working span of the day.
+            let mut cursor = persona.commute_out_secs as u64 + 1_800;
+            let mut from = persona.work;
+            for _ in 0..n_extra {
+                cursor += rng.gen_range(900..5_400);
+                if cursor > 22 * 3_600 {
+                    break;
+                }
+                let dest = region.random_errand(rng.gen());
+                trips.push(PlannedTrip {
+                    depart_local_secs: cursor,
+                    origin: from,
+                    dest,
+                    purpose: TripPurpose::Duty,
+                });
+                from = dest;
+                cursor += 1_200; // rough hop time before next departure
+            }
+        } else {
+            for _ in 0..n_extra {
+                // Errands happen 9:00–20:00, weighted midday/evening.
+                let t = rng.gen_range(9.0_f64..20.0) * 3_600.0;
+                let dest = region.random_errand(rng.gen());
+                let dwell = rng.gen_range(900..5_400);
+                trips.push(PlannedTrip {
+                    depart_local_secs: t as u64,
+                    origin: persona.home,
+                    dest,
+                    purpose: TripPurpose::Errand,
+                });
+                trips.push(PlannedTrip {
+                    depart_local_secs: t as u64 + dwell,
+                    origin: dest,
+                    dest: persona.home,
+                    purpose: TripPurpose::ErrandReturn,
+                });
+            }
+        }
+
+        // An active day means the car was *used*: guarantee at least one
+        // out-and-back errand on days where the draws produced nothing
+        // (typical for commuters on weekends).
+        if trips.is_empty() {
+            let t = rng.gen_range(8.5_f64..19.0) * 3_600.0;
+            let dest = region.random_errand(rng.gen());
+            let dwell = rng.gen_range(900..5_400);
+            trips.push(PlannedTrip {
+                depart_local_secs: t as u64,
+                origin: persona.home,
+                dest,
+                purpose: TripPurpose::Errand,
+            });
+            trips.push(PlannedTrip {
+                depart_local_secs: t as u64 + dwell,
+                origin: dest,
+                dest: persona.home,
+                purpose: TripPurpose::ErrandReturn,
+            });
+        }
+
+        trips.sort_by_key(|t| t.depart_local_secs);
+        // Drop trips that would depart before the previous one plausibly
+        // ends (90 s minimum turnaround; actual route times are resolved
+        // later, so this is a coarse de-overlap).
+        let mut cleaned: Vec<PlannedTrip> = Vec::with_capacity(trips.len());
+        for t in trips {
+            match cleaned.last() {
+                Some(prev) if t.depart_local_secs < prev.depart_local_secs + 600 => {
+                    // too tight — skip
+                }
+                _ => cleaned.push(t),
+            }
+        }
+        DayPlan { trips: cleaned }
+    }
+}
+
+/// Anchor + zero-mean normal-ish jitter (sum of 3 uniforms), clamped to
+/// the day.
+fn jittered(anchor_secs: f64, sigma_secs: f64, rng: &mut impl Rng) -> u64 {
+    let z = (rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() - 1.5) / 0.5;
+    (anchor_secs + z * sigma_secs).clamp(0.0, 86_399.0) as u64
+}
+
+/// Small-mean Poisson sampler (Knuth's multiplication method — exact and
+/// fast for the means ≤ ~7 used here; avoids a `rand_distr` dependency).
+fn sample_poisson(mean: f64, rng: &mut impl Rng) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let l = (-mean).exp();
+    let mut k: u64 = 0;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p < l || k > 64 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archetype::{Archetype, ArchetypeMix};
+    use crate::persona::PersonaFactory;
+    use conncar_geo::RegionConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (Region, Vec<Persona>) {
+        let region = Region::generate(&RegionConfig::small(), 42);
+        let f = PersonaFactory::new(ArchetypeMix::default(), 42);
+        let personas = (0..400).map(|i| f.create(i, &region)).collect();
+        (region, personas)
+    }
+
+    fn find(personas: &[Persona], a: Archetype) -> &Persona {
+        personas.iter().find(|p| p.archetype == a).expect("archetype present")
+    }
+
+    #[test]
+    fn commuter_weekday_has_out_and_back() {
+        let (region, personas) = setup();
+        let p = find(&personas, Archetype::RegularCommuter);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        // Try a few days; activity is 0.97 so the first active day comes
+        // fast.
+        for _ in 0..10 {
+            let plan = DayPlan::generate(p, DayOfWeek::Tuesday, 1.0, &region, &mut rng);
+            if plan.is_active() {
+                let purposes: Vec<_> = plan.trips.iter().map(|t| t.purpose).collect();
+                assert!(purposes.contains(&TripPurpose::CommuteOut));
+                assert!(purposes.contains(&TripPurpose::CommuteBack));
+                // Sorted and separated.
+                for w in plan.trips.windows(2) {
+                    assert!(w[1].depart_local_secs >= w[0].depart_local_secs + 600);
+                }
+                return;
+            }
+        }
+        panic!("commuter never active in 10 tries");
+    }
+
+    #[test]
+    fn commuter_weekend_has_no_commute() {
+        let (region, personas) = setup();
+        let p = find(&personas, Archetype::RegularCommuter);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..30 {
+            let plan = DayPlan::generate(p, DayOfWeek::Sunday, 1.0, &region, &mut rng);
+            for t in &plan.trips {
+                assert!(!matches!(
+                    t.purpose,
+                    TripPurpose::CommuteOut | TripPurpose::CommuteBack
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_activity_scale_grounds_everyone() {
+        let (region, personas) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for p in personas.iter().take(50) {
+            let plan = DayPlan::generate(p, DayOfWeek::Monday, 0.0, &region, &mut rng);
+            assert!(!plan.is_active());
+        }
+    }
+
+    #[test]
+    fn heavy_fleet_makes_many_trips() {
+        let (region, personas) = setup();
+        let p = find(&personas, Archetype::HeavyFleet);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut best = 0;
+        for _ in 0..10 {
+            let plan = DayPlan::generate(p, DayOfWeek::Wednesday, 1.0, &region, &mut rng);
+            best = best.max(plan.trips.len());
+        }
+        assert!(best >= 4, "heavy fleet max trips {best}");
+    }
+
+    #[test]
+    fn rare_driver_is_mostly_inactive() {
+        let (region, personas) = setup();
+        let p = find(&personas, Archetype::RareDriver);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let active_days = (0..200)
+            .filter(|_| {
+                DayPlan::generate(p, DayOfWeek::Monday, 1.0, &region, &mut rng).is_active()
+            })
+            .count();
+        assert!(
+            active_days < 80,
+            "rare driver active {active_days}/200 days"
+        );
+    }
+
+    #[test]
+    fn commute_jitter_varies_departures() {
+        let (region, personas) = setup();
+        let p = find(&personas, Archetype::RegularCommuter);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut departures = Vec::new();
+        for _ in 0..40 {
+            let plan = DayPlan::generate(p, DayOfWeek::Thursday, 1.0, &region, &mut rng);
+            if let Some(t) = plan
+                .trips
+                .iter()
+                .find(|t| t.purpose == TripPurpose::CommuteOut)
+            {
+                departures.push(t.depart_local_secs as f64);
+            }
+        }
+        assert!(departures.len() > 20);
+        let mean = departures.iter().sum::<f64>() / departures.len() as f64;
+        let var =
+            departures.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / departures.len() as f64;
+        let sd = var.sqrt();
+        // σ configured to 12 min for regular commuters; allow slack.
+        assert!(
+            (200.0..1_800.0).contains(&sd),
+            "departure σ {sd} s, mean {mean}"
+        );
+        // Anchored near the persona's habitual time.
+        assert!((mean - p.commute_out_secs as f64).abs() < 900.0);
+    }
+
+    #[test]
+    fn errands_come_in_pairs_when_not_crowded() {
+        let (region, personas) = setup();
+        let p = find(&personas, Archetype::ErrandDriver);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..30 {
+            let plan = DayPlan::generate(p, DayOfWeek::Saturday, 1.0, &region, &mut rng);
+            for t in &plan.trips {
+                // Errand trips start from home or return to it.
+                match t.purpose {
+                    TripPurpose::Errand => assert_eq!(t.origin, p.home),
+                    TripPurpose::ErrandReturn => assert_eq!(t.dest, p.home),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::archetype::ArchetypeMix;
+    use crate::persona::PersonaFactory;
+    use conncar_geo::{Region, RegionConfig};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::sync::OnceLock;
+
+    fn region() -> &'static Region {
+        static REGION: OnceLock<Region> = OnceLock::new();
+        REGION.get_or_init(|| Region::generate(&RegionConfig::small(), 42))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn plans_are_sorted_and_separated(
+            car in 0u32..500,
+            day_idx in 0usize..7,
+            seed in any::<u64>(),
+            scale in 0.0f64..1.5,
+        ) {
+            let r = region();
+            let persona = PersonaFactory::new(ArchetypeMix::default(), 42).create(car, r);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let plan = DayPlan::generate(
+                &persona,
+                DayOfWeek::from_index(day_idx),
+                scale,
+                r,
+                &mut rng,
+            );
+            for w in plan.trips.windows(2) {
+                prop_assert!(w[1].depart_local_secs >= w[0].depart_local_secs + 600);
+            }
+            for t in &plan.trips {
+                // Departures stay within (extended) civil day bounds.
+                prop_assert!(t.depart_local_secs < 2 * 86_400);
+                prop_assert!(t.origin.index() < r.roads().node_count());
+                prop_assert!(t.dest.index() < r.roads().node_count());
+            }
+            // An active plan is never empty (the guaranteed-errand rule).
+            if plan.is_active() {
+                prop_assert!(!plan.trips.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The Figure 1 experiment: a single greedy download saturates a cell.
+//!
+//! The paper opens §4 with a field test: at 20:45 UTC one device starts
+//! a continuous download in each of two cells and keeps it up for four
+//! hours; PRB utilization pins at ~100% for the duration, against the
+//! cells' ordinary diurnal average. We reproduce it against the
+//! simulated RAN: inject a [`TransferKind::Greedy`] load into two busy
+//! cells on a chosen day and report both the test-day series and the
+//! average-day baseline.
+
+use conncar_analysis::busy::NetworkLoadModel;
+use conncar_radio::{BackgroundLoad, CellClass, PrbLedger, TransferKind};
+use conncar_types::{BinIndex, CellId, Duration, TimeOfDay, Timestamp, BINS_PER_DAY};
+use serde::{Deserialize, Serialize};
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GreedyExperiment {
+    /// The two cells under test.
+    pub cells: [CellId; 2],
+    /// Day the test runs on.
+    pub test_day: u64,
+    /// Download start time (paper: 20:45 UTC).
+    pub start: TimeOfDay,
+    /// Download duration (paper: 4 hours).
+    pub duration: Duration,
+}
+
+impl GreedyExperiment {
+    /// The paper's configuration on a given pair of cells and day.
+    pub fn paper(cells: [CellId; 2], test_day: u64) -> GreedyExperiment {
+        GreedyExperiment {
+            cells,
+            test_day,
+            start: TimeOfDay::new(20, 45, 0).expect("valid"),
+            duration: Duration::from_hours(4),
+        }
+    }
+}
+
+/// Figure 1's two series per cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GreedyResult {
+    /// The experiment parameters.
+    pub experiment: GreedyExperiment,
+    /// Per cell: `U_PRB` over the 96 bins of the test day.
+    pub test_series: [Vec<f64>; 2],
+    /// Per cell: `U_PRB` averaged over every *other* day of the study.
+    pub average_series: [Vec<f64>; 2],
+}
+
+impl GreedyResult {
+    /// Mean test-window utilization of cell `i` on the test day.
+    pub fn test_window_mean(&self, i: usize) -> f64 {
+        let first = (self.experiment.start.as_secs() as usize) / 900;
+        let bins = (self.experiment.duration.as_secs() as usize / 900)
+            .min(BINS_PER_DAY - first);
+        if bins == 0 {
+            return 0.0;
+        }
+        self.test_series[i][first..first + bins].iter().sum::<f64>() / bins as f64
+    }
+
+    /// Mean utilization of the same window on an average day.
+    pub fn baseline_window_mean(&self, i: usize) -> f64 {
+        let first = (self.experiment.start.as_secs() as usize) / 900;
+        let bins = (self.experiment.duration.as_secs() as usize / 900)
+            .min(BINS_PER_DAY - first);
+        if bins == 0 {
+            return 0.0;
+        }
+        self.average_series[i][first..first + bins].iter().sum::<f64>() / bins as f64
+    }
+}
+
+/// Run the experiment: inject the greedy download on top of the existing
+/// car load and background, then extract the two series.
+///
+/// `ledger` is cloned internally — the caller's trace is untouched.
+pub fn greedy_saturation(
+    exp: &GreedyExperiment,
+    ledger: &PrbLedger,
+    background: &BackgroundLoad,
+    classes: [CellClass; 2],
+) -> GreedyResult {
+    let mut loaded = ledger.clone();
+    let t0 = Timestamp::from_day_and_secs(exp.test_day, exp.start.as_secs() as u64);
+    let t1 = t0 + exp.duration;
+    for cell in exp.cells {
+        loaded.add_transfer_load(cell, t0, t1, TransferKind::Greedy);
+    }
+    let period = ledger.period();
+    let days = period.days() as u64;
+    let mut test_series: [Vec<f64>; 2] = [vec![0.0; BINS_PER_DAY], vec![0.0; BINS_PER_DAY]];
+    let mut average_series: [Vec<f64>; 2] = [vec![0.0; BINS_PER_DAY], vec![0.0; BINS_PER_DAY]];
+    for (i, cell) in exp.cells.into_iter().enumerate() {
+        for db in 0..BINS_PER_DAY {
+            let mut other_sum = 0.0;
+            for day in 0..days {
+                let bin = BinIndex(day * BINS_PER_DAY as u64 + db as u64);
+                let u = loaded.utilization(cell, classes[i], bin, background);
+                if day == exp.test_day {
+                    test_series[i][db] = u;
+                } else {
+                    other_sum += u;
+                }
+            }
+            average_series[i][db] = if days > 1 {
+                other_sum / (days - 1) as f64
+            } else {
+                0.0
+            };
+        }
+    }
+    GreedyResult {
+        experiment: exp.clone(),
+        test_series,
+        average_series,
+    }
+}
+
+/// Helper used by the harness: a [`NetworkLoadModel`] already knows each
+/// cell's class; pull the pair out for [`greedy_saturation`].
+pub fn classes_for(model: &NetworkLoadModel<'_>, cells: [CellId; 2]) -> [CellClass; 2] {
+    [model.class_of(cells[0]), model.class_of(cells[1])]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_radio::BackgroundLoadConfig;
+    use conncar_types::{BaseStationId, Carrier, DayOfWeek, StudyPeriod};
+
+    fn setup() -> (PrbLedger, BackgroundLoad, [CellId; 2]) {
+        let period = StudyPeriod::new(DayOfWeek::Monday, 14).unwrap();
+        let ledger = PrbLedger::new(period);
+        let bg = BackgroundLoad::new(BackgroundLoadConfig::default(), period, 0);
+        let cells = [
+            CellId::new(BaseStationId(3), 0, Carrier::C3),
+            CellId::new(BaseStationId(7), 1, Carrier::C1),
+        ];
+        (ledger, bg, cells)
+    }
+
+    #[test]
+    fn greedy_window_saturates_both_cells() {
+        let (ledger, bg, cells) = setup();
+        let exp = GreedyExperiment::paper(cells, 2);
+        let r = greedy_saturation(
+            &exp,
+            &ledger,
+            &bg,
+            [CellClass::Business, CellClass::Residential],
+        );
+        for i in 0..2 {
+            let test = r.test_window_mean(i);
+            let base = r.baseline_window_mean(i);
+            assert!(test > 0.99, "cell {i} test-window mean {test}");
+            assert!(base < 0.95, "cell {i} baseline {base}");
+            assert!(test > base + 0.1);
+        }
+    }
+
+    #[test]
+    fn outside_the_window_test_day_matches_ordinary_load() {
+        let (ledger, bg, cells) = setup();
+        let exp = GreedyExperiment::paper(cells, 2);
+        let r = greedy_saturation(
+            &exp,
+            &ledger,
+            &bg,
+            [CellClass::Business, CellClass::Business],
+        );
+        // 10:00 bin (index 40) is far from the 20:45 window; the test
+        // day should look like any other day there (within noise).
+        let diff = (r.test_series[0][40] - r.average_series[0][40]).abs();
+        assert!(diff < 0.15, "off-window divergence {diff}");
+    }
+
+    #[test]
+    fn series_shapes() {
+        let (ledger, bg, cells) = setup();
+        let exp = GreedyExperiment::paper(cells, 0);
+        let r = greedy_saturation(
+            &exp,
+            &ledger,
+            &bg,
+            [CellClass::Business, CellClass::Business],
+        );
+        for s in r.test_series.iter().chain(r.average_series.iter()) {
+            assert_eq!(s.len(), 96);
+            for &v in s {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        // 20:45 is bin 83; saturation starts there.
+        assert!(r.test_series[0][83] > 0.99);
+        assert!(r.test_series[0][82] < 1.0);
+    }
+
+    #[test]
+    fn caller_ledger_is_untouched() {
+        let (ledger, bg, cells) = setup();
+        let exp = GreedyExperiment::paper(cells, 2);
+        let _ = greedy_saturation(
+            &exp,
+            &ledger,
+            &bg,
+            [CellClass::Business, CellClass::Business],
+        );
+        assert_eq!(ledger.touched_count(), 0);
+    }
+}

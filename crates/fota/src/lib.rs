@@ -1,0 +1,32 @@
+//! # conncar-fota
+//!
+//! Firmware-over-the-air campaign planning — the application the paper's
+//! measurements exist to inform.
+//!
+//! The introduction frames the problem: updates are large (megabytes to
+//! gigabytes), time-critical (safety recalls), and must reach cars whose
+//! network windows are short and commute-peaked; pushing them carelessly
+//! "during peak hours" harms everyone sharing the cell. §4.3 sketches
+//! the managed answer: prioritize *rare* cars whenever they appear,
+//! schedule *common* cars around busy hours, and treat busy-hour-bound
+//! cars specially.
+//!
+//! This crate turns those sketches into executable policies and measures
+//! them against the synthetic trace:
+//!
+//! * [`policy`] — when may a given car download in a given cell/bin;
+//! * [`sim`] — replay a campaign over the CDR trace, metering download
+//!   progress by each serving cell's free capacity;
+//! * [`greedy`] — the Figure 1 field experiment: one greedy device
+//!   saturating a production cell for four hours.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod greedy;
+pub mod policy;
+pub mod sim;
+
+pub use greedy::{greedy_saturation, GreedyExperiment, GreedyResult};
+pub use policy::{CampaignPolicy, PolicyContext};
+pub use sim::{CampaignConfig, CampaignResult, CampaignSimulator, RolloutPlan};

@@ -1,0 +1,264 @@
+//! Campaign scheduling policies.
+//!
+//! A policy answers one question, record by record: *may this car pull
+//! update bytes right now, through this cell?* Policies see the same
+//! observables the operator would have: current cell utilization, the
+//! car's rarity segment, and its learned weekly pattern.
+
+use conncar_analysis::predict::CarPredictor;
+use conncar_analysis::segmentation::CarBusyProfile;
+use conncar_types::{CarId, CellId, DayOfWeek, Timestamp, TimeZone};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Everything a policy may consult for one allow/deny decision.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyContext<'a> {
+    /// The car asking to download.
+    pub car: CarId,
+    /// The serving cell.
+    pub cell: CellId,
+    /// Decision instant.
+    pub now: Timestamp,
+    /// Serving cell's `U_PRB` in the current 15-minute bin.
+    pub utilization: f64,
+    /// The car's rarity/busy profile from the measurement study, when
+    /// known.
+    pub profile: Option<&'a CarBusyProfile>,
+    /// The car's trained appearance predictor, when the policy uses one.
+    pub predictor: Option<&'a CarPredictor>,
+    /// The car's local time zone.
+    pub tz: TimeZone,
+    /// Weekday of study day 0 (to resolve `now` to a weekday).
+    pub start_day: DayOfWeek,
+}
+
+impl PolicyContext<'_> {
+    /// Local (weekday, hour) of the decision instant.
+    pub fn local_slot(&self) -> (DayOfWeek, u8) {
+        let local = self.tz.to_local(self.now);
+        let weekday = self.start_day.plus(local.day() as usize);
+        (weekday, local.hour())
+    }
+}
+
+/// The campaign policies of §4.3's design space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum CampaignPolicy {
+    /// Push bytes whenever the car is connected — the naive baseline
+    /// whose busy-hour impact Figure 1 warns about.
+    Immediate,
+    /// Only download through cells below a utilization ceiling.
+    OffPeak {
+        /// Maximum cell utilization at which downloads proceed.
+        max_utilization: f64,
+    },
+    /// Rare cars (≤ `rare_cutoff_days` active days) download whenever
+    /// they appear — their windows are precious; common cars defer to
+    /// off-peak cells.
+    RareFirst {
+        /// Rarity cutoff in active days.
+        rare_cutoff_days: u32,
+        /// Utilization ceiling applied to common cars.
+        max_utilization: f64,
+    },
+    /// Download only in hours the car's predictor marks as reliable
+    /// *and* through non-busy cells; cars with no usable prediction
+    /// fall back to the off-peak rule.
+    Predictive {
+        /// Minimum predicted appearance probability for a planned slot.
+        min_probability: f64,
+        /// Utilization ceiling.
+        max_utilization: f64,
+    },
+}
+
+impl CampaignPolicy {
+    /// Short label for reports and benches.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CampaignPolicy::Immediate => "immediate",
+            CampaignPolicy::OffPeak { .. } => "off-peak",
+            CampaignPolicy::RareFirst { .. } => "rare-first",
+            CampaignPolicy::Predictive { .. } => "predictive",
+        }
+    }
+
+    /// The allow/deny decision.
+    pub fn allows(&self, ctx: &PolicyContext<'_>) -> bool {
+        match self {
+            CampaignPolicy::Immediate => true,
+            CampaignPolicy::OffPeak { max_utilization } => ctx.utilization <= *max_utilization,
+            CampaignPolicy::RareFirst {
+                rare_cutoff_days,
+                max_utilization,
+            } => {
+                let rare = ctx
+                    .profile
+                    .map(|p| p.days_active <= *rare_cutoff_days)
+                    // Unknown cars are treated as rare: missing them is
+                    // worse than a little peak traffic.
+                    .unwrap_or(true);
+                rare || ctx.utilization <= *max_utilization
+            }
+            CampaignPolicy::Predictive {
+                min_probability,
+                max_utilization,
+            } => {
+                if ctx.utilization > *max_utilization {
+                    return false;
+                }
+                match ctx.predictor {
+                    Some(pred) => {
+                        let (day, hour) = ctx.local_slot();
+                        // Reliable slot: the car is expected here, so the
+                        // operator pre-staged capacity for it. Unreliable
+                        // slot: skip, a better window is predicted.
+                        pred.predicts(day, hour, *min_probability)
+                            // A car with no reliable slots at all must
+                            // not starve: serve it opportunistically.
+                            || pred.probabilities.max() < *min_probability
+                    }
+                    None => true,
+                }
+            }
+        }
+    }
+}
+
+/// Per-car lookup tables handed to the simulator.
+#[derive(Debug, Default)]
+pub struct PolicyInputs {
+    /// Profiles by car.
+    pub profiles: HashMap<CarId, CarBusyProfile>,
+    /// Predictors by car.
+    pub predictors: HashMap<CarId, CarPredictor>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_types::{BaseStationId, Carrier};
+
+    fn ctx<'a>(
+        util: f64,
+        profile: Option<&'a CarBusyProfile>,
+        predictor: Option<&'a CarPredictor>,
+    ) -> PolicyContext<'a> {
+        PolicyContext {
+            car: CarId(1),
+            cell: CellId::new(BaseStationId(1), 0, Carrier::C3),
+            now: Timestamp::from_day_hms(0, 13, 0, 0),
+            utilization: util,
+            profile,
+            predictor,
+            tz: TimeZone::UTC,
+            start_day: DayOfWeek::Monday,
+        }
+    }
+
+    fn profile(days: u32) -> CarBusyProfile {
+        CarBusyProfile {
+            car: CarId(1),
+            days_active: days,
+            busy_secs: 0,
+            total_secs: 100,
+        }
+    }
+
+    #[test]
+    fn immediate_always_allows() {
+        assert!(CampaignPolicy::Immediate.allows(&ctx(0.99, None, None)));
+    }
+
+    #[test]
+    fn off_peak_gates_on_utilization() {
+        let p = CampaignPolicy::OffPeak {
+            max_utilization: 0.7,
+        };
+        assert!(p.allows(&ctx(0.5, None, None)));
+        assert!(!p.allows(&ctx(0.9, None, None)));
+        assert!(p.allows(&ctx(0.7, None, None)));
+    }
+
+    #[test]
+    fn rare_first_lets_rare_cars_through_peaks() {
+        let p = CampaignPolicy::RareFirst {
+            rare_cutoff_days: 10,
+            max_utilization: 0.7,
+        };
+        let rare = profile(5);
+        let common = profile(60);
+        assert!(p.allows(&ctx(0.95, Some(&rare), None)));
+        assert!(!p.allows(&ctx(0.95, Some(&common), None)));
+        assert!(p.allows(&ctx(0.5, Some(&common), None)));
+        // Unknown car defaults to rare treatment.
+        assert!(p.allows(&ctx(0.95, None, None)));
+    }
+
+    #[test]
+    fn predictive_gates_on_slot_and_load() {
+        use conncar_cdr::CdrRecord;
+        use conncar_types::{Duration, StudyPeriod};
+        // Car appears Monday 13:00 both training weeks.
+        let records: Vec<CdrRecord> = (0..2u64)
+            .map(|w| {
+                let start = Timestamp::from_day_hms(w * 7, 13, 10, 0);
+                CdrRecord {
+                    car: CarId(1),
+                    cell: CellId::new(BaseStationId(1), 0, Carrier::C3),
+                    start,
+                    end: start + Duration::from_mins(20),
+                }
+            })
+            .collect();
+        let period = StudyPeriod::new(DayOfWeek::Monday, 28).unwrap();
+        let pred = CarPredictor::train(&records, period, TimeZone::UTC, 2);
+        let p = CampaignPolicy::Predictive {
+            min_probability: 0.8,
+            max_utilization: 0.7,
+        };
+        // ctx() is Monday 13:00: reliable slot, low load → allow.
+        assert!(p.allows(&ctx(0.4, None, Some(&pred))));
+        // Busy cell vetoes regardless of slot.
+        assert!(!p.allows(&ctx(0.9, None, Some(&pred))));
+        // A different hour is not a reliable slot.
+        let mut off_ctx = ctx(0.4, None, Some(&pred));
+        off_ctx.now = Timestamp::from_day_hms(0, 3, 0, 0);
+        assert!(!p.allows(&off_ctx));
+        // No predictor: fall back to load-only gating.
+        assert!(p.allows(&ctx(0.4, None, None)));
+    }
+
+    #[test]
+    fn predictive_serves_unpredictable_cars_opportunistically() {
+        let pred =
+            CarPredictor::train(&[], conncar_types::StudyPeriod::PAPER, TimeZone::UTC, 2);
+        let p = CampaignPolicy::Predictive {
+            min_probability: 0.8,
+            max_utilization: 0.7,
+        };
+        // No reliable slots at all → any quiet moment is fine.
+        assert!(p.allows(&ctx(0.4, None, Some(&pred))));
+    }
+
+    #[test]
+    fn local_slot_resolves_timezone() {
+        let mut c = ctx(0.0, None, None);
+        c.tz = TimeZone::US_EASTERN;
+        // 13:00 UTC Monday = 08:00 Eastern Monday.
+        assert_eq!(c.local_slot(), (DayOfWeek::Monday, 8));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(CampaignPolicy::Immediate.label(), "immediate");
+        assert_eq!(
+            CampaignPolicy::OffPeak {
+                max_utilization: 0.5
+            }
+            .label(),
+            "off-peak"
+        );
+    }
+}

@@ -1,0 +1,565 @@
+//! Campaign simulation over a CDR trace.
+//!
+//! Replays the study's connection records in time order. Whenever a car
+//! with an unfinished download is connected and its policy allows, it
+//! pulls bytes at the serving cell's free capacity
+//! ([`conncar_radio::available_throughput_mbps`]); progress accumulates
+//! until the image is complete. The simulator meters the two costs the
+//! paper cares about: *how fast the campaign completes* (rare cars'
+//! windows are short) and *how many bytes land in busy cells* (pouring
+//! oil onto the fire, §4.3).
+
+use crate::policy::{CampaignPolicy, PolicyContext, PolicyInputs};
+use conncar_analysis::busy::NetworkLoadModel;
+use conncar_analysis::stats::Ecdf;
+use conncar_cdr::CdrDataset;
+use conncar_radio::available_throughput_mbps;
+use conncar_types::{BinIndex, CarId, DayOfWeek, TimeZone};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Update image size, megabytes.
+    pub image_mb: f64,
+    /// The scheduling policy.
+    pub policy: CampaignPolicy,
+    /// Local time zone used for predictive slots.
+    pub tz: TimeZone,
+    /// Cap on a single car's share of a cell while updating (a scheduler
+    /// never hands one UE the whole carrier when others are active).
+    pub per_car_cap_mbps: f64,
+    /// Wave plan deciding when each car becomes eligible.
+    pub rollout: RolloutPlan,
+    /// Whether delivered campaign bytes feed back into cell load:
+    /// earlier downloads raise `U_PRB`, slowing later ones and flipping
+    /// borderline bins busy. Costs one extra ledger clone per run.
+    pub load_feedback: bool,
+}
+
+impl CampaignConfig {
+    /// A typical map+firmware bundle on the default policy.
+    pub fn new(image_mb: f64, policy: CampaignPolicy) -> CampaignConfig {
+        CampaignConfig {
+            image_mb,
+            policy,
+            tz: TimeZone::US_EASTERN,
+            per_car_cap_mbps: 20.0,
+            rollout: RolloutPlan::AllAtOnce,
+            load_feedback: false,
+        }
+    }
+
+    /// Enable campaign-load feedback.
+    pub fn with_load_feedback(mut self) -> CampaignConfig {
+        self.load_feedback = true;
+        self
+    }
+
+    /// Replace the rollout plan.
+    pub fn with_rollout(mut self, rollout: RolloutPlan) -> CampaignConfig {
+        self.rollout = rollout;
+        self
+    }
+}
+
+/// When each car becomes *eligible* to start downloading.
+///
+/// Real FOTA campaigns never blast the whole fleet at once: a canary
+/// wave catches bricking bugs, later waves spread the network load.
+/// Cars are assigned a stable percentile by hashing their id; a stage
+/// with `cumulative_fraction f` starting at `start_day d` makes every
+/// car with percentile ≤ f eligible from day d on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum RolloutPlan {
+    /// Everyone is eligible immediately.
+    AllAtOnce,
+    /// Staged waves: `(start_day, cumulative_fraction)` pairs, sorted by
+    /// day, fractions non-decreasing.
+    Staged(Vec<(f64, f64)>),
+}
+
+impl RolloutPlan {
+    /// A conventional three-wave plan: 2% canary immediately, 25% from
+    /// `wave2_day`, everyone from `wave3_day`.
+    pub fn canary(wave2_day: f64, wave3_day: f64) -> RolloutPlan {
+        RolloutPlan::Staged(vec![(0.0, 0.02), (wave2_day, 0.25), (wave3_day, 1.0)])
+    }
+
+    /// First study day (fractional) on which a car at `percentile`
+    /// (in `[0,1)`) may download; `None` if the plan never reaches it.
+    pub fn eligible_from(&self, percentile: f64) -> Option<f64> {
+        match self {
+            RolloutPlan::AllAtOnce => Some(0.0),
+            RolloutPlan::Staged(stages) => stages
+                .iter()
+                .find(|(_, frac)| percentile < *frac)
+                .map(|(day, _)| *day),
+        }
+    }
+}
+
+/// Stable per-car rollout percentile in `[0, 1)`.
+pub fn rollout_percentile(car: CarId) -> f64 {
+    let mut z = (car.0 as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+    z ^= z >> 29;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 32;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Campaign outcome metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Policy label.
+    pub policy: String,
+    /// Cars that completed the download within the study window.
+    pub completed: usize,
+    /// Cars targeted (every car that appears in the trace).
+    pub targeted: usize,
+    /// Days-to-completion distribution over completed cars.
+    pub completion_days: Ecdf,
+    /// Megabytes delivered through busy bins (`U_PRB >` model threshold).
+    pub busy_mb: f64,
+    /// Total megabytes delivered.
+    pub total_mb: f64,
+    /// Completions per study day (campaign progress curve).
+    pub completions_per_day: Vec<u64>,
+}
+
+impl CampaignResult {
+    /// Completion rate over targeted cars.
+    pub fn completion_rate(&self) -> f64 {
+        if self.targeted == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.targeted as f64
+        }
+    }
+
+    /// Fraction of delivered bytes that landed in busy cells.
+    pub fn busy_byte_fraction(&self) -> f64 {
+        if self.total_mb == 0.0 {
+            0.0
+        } else {
+            self.busy_mb / self.total_mb
+        }
+    }
+
+    /// Median days to complete, over completed cars.
+    pub fn median_days(&self) -> Option<f64> {
+        self.completion_days.median()
+    }
+}
+
+/// Replays campaigns over a dataset.
+#[derive(Debug)]
+pub struct CampaignSimulator<'a> {
+    ds: &'a CdrDataset,
+    load: &'a NetworkLoadModel<'a>,
+    inputs: &'a PolicyInputs,
+    start_day: DayOfWeek,
+}
+
+impl<'a> CampaignSimulator<'a> {
+    /// Build a simulator over a cleaned dataset and its load model.
+    pub fn new(
+        ds: &'a CdrDataset,
+        load: &'a NetworkLoadModel<'a>,
+        inputs: &'a PolicyInputs,
+    ) -> CampaignSimulator<'a> {
+        CampaignSimulator {
+            ds,
+            load,
+            inputs,
+            start_day: ds.period().start_day(),
+        }
+    }
+
+    /// Run one campaign.
+    pub fn run(&self, cfg: &CampaignConfig) -> conncar_types::Result<CampaignResult> {
+        let mut remaining: HashMap<CarId, f64> = HashMap::new();
+        let mut completion_days: Vec<f64> = Vec::new();
+        let mut completions_per_day = vec![0u64; self.ds.period().days() as usize];
+        let mut busy_mb = 0.0;
+        let mut total_mb = 0.0;
+        let mut targeted = 0usize;
+        // Campaign-added utilization per (cell, bin) when feedback is on.
+        let mut campaign_load: HashMap<(conncar_types::CellId, u64), f64> = HashMap::new();
+
+        for (car, records) in self.ds.by_car() {
+            targeted += 1;
+            remaining.insert(car, cfg.image_mb);
+            let mut left = cfg.image_mb;
+            let Some(eligible_day) = cfg.rollout.eligible_from(rollout_percentile(car)) else {
+                continue; // never reached by the wave plan
+            };
+            let eligible_secs = (eligible_day * 86_400.0) as u64;
+            'records: for r in records {
+                if r.end.as_secs() <= eligible_secs {
+                    continue;
+                }
+                // Walk the record bin by bin: utilization (and thus both
+                // the policy decision and the rate) is per-bin.
+                for bin in BinIndex::covering(r.start, r.end) {
+                    if bin.end().as_secs() <= eligible_secs {
+                        continue;
+                    }
+                    let overlap = bin.overlap_secs(r.start, r.end);
+                    if overlap == 0 {
+                        continue;
+                    }
+                    let mut util = self.load.utilization(r.cell, bin);
+                    if cfg.load_feedback {
+                        if let Some(extra) = campaign_load.get(&(r.cell, bin.0)) {
+                            util = (util + extra).min(1.0);
+                        }
+                    }
+                    let ctx = PolicyContext {
+                        car,
+                        cell: r.cell,
+                        now: bin.start().max(r.start),
+                        utilization: util,
+                        profile: self.inputs.profiles.get(&car),
+                        predictor: self.inputs.predictors.get(&car),
+                        tz: cfg.tz,
+                        start_day: self.start_day,
+                    };
+                    if !cfg.policy.allows(&ctx) {
+                        continue;
+                    }
+                    let rate_mbps =
+                        available_throughput_mbps(r.cell.carrier, util).min(cfg.per_car_cap_mbps);
+                    let mb = (rate_mbps / 8.0) * overlap as f64;
+                    let delivered = mb.min(left);
+                    left -= delivered;
+                    total_mb += delivered;
+                    if cfg.load_feedback && delivered > 0.0 {
+                        // Convert delivered megabytes back into the
+                        // fraction of the cell-bin's capacity they used.
+                        let cap_mb =
+                            r.cell.carrier.peak_throughput_mbps() as f64 / 8.0 * 900.0;
+                        if cap_mb > 0.0 {
+                            *campaign_load.entry((r.cell, bin.0)).or_default() +=
+                                delivered / cap_mb;
+                        }
+                    }
+                    if util > self.load.threshold() {
+                        busy_mb += delivered;
+                    }
+                    if left <= 0.0 {
+                        // Completion instant within this bin.
+                        let secs_needed = delivered / (rate_mbps / 8.0);
+                        let t = bin.start().max(r.start).as_secs() as f64 + secs_needed;
+                        completion_days.push(t / 86_400.0);
+                        let day_idx = ((t / 86_400.0) as usize)
+                            .min(completions_per_day.len().saturating_sub(1));
+                        if !completions_per_day.is_empty() {
+                            completions_per_day[day_idx] += 1;
+                        }
+                        remaining.insert(car, 0.0);
+                        break 'records;
+                    }
+                }
+            }
+            if left > 0.0 {
+                remaining.insert(car, left);
+            }
+        }
+        Ok(CampaignResult {
+            policy: cfg.policy.label().to_string(),
+            completed: completion_days.len(),
+            targeted,
+            completion_days: Ecdf::new(completion_days)?,
+            busy_mb,
+            total_mb,
+            completions_per_day,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_cdr::CdrRecord;
+    use conncar_geo::{Region, RegionConfig};
+    use conncar_radio::{BackgroundLoad, BackgroundLoadConfig, PrbLedger};
+    use conncar_types::{Carrier, CellId, Duration, StudyPeriod, Timestamp};
+
+    struct Fixture {
+        region: Region,
+        ledger: PrbLedger,
+        bg: BackgroundLoad,
+        ds: CdrDataset,
+    }
+
+    fn fixture() -> Fixture {
+        let region = Region::generate(&RegionConfig::small(), 42);
+        let period = StudyPeriod::new(DayOfWeek::Monday, 14).unwrap();
+        let ledger = PrbLedger::new(period);
+        let bg = BackgroundLoad::new(BackgroundLoadConfig::default(), period, -5);
+        // Three cars with daily half-hour overnight sessions on a C3
+        // cell (quiet hours → off-peak friendly).
+        let cell = CellId::new(region.deployment().stations()[0].id, 0, Carrier::C3);
+        let mut records = Vec::new();
+        for car in 0..3u32 {
+            for day in 0..14u64 {
+                let start = Timestamp::from_day_hms(day, 7 + car as u64, 0, 0);
+                records.push(CdrRecord {
+                    car: CarId(car),
+                    cell,
+                    start,
+                    end: start + Duration::from_mins(30),
+                });
+            }
+        }
+        let ds = CdrDataset::new(period, records);
+        Fixture {
+            region,
+            ledger,
+            bg,
+            ds,
+        }
+    }
+
+    #[test]
+    fn immediate_campaign_completes_everyone() {
+        let f = fixture();
+        let load = NetworkLoadModel::new(&f.ledger, &f.bg, f.region.deployment());
+        let inputs = PolicyInputs::default();
+        let sim = CampaignSimulator::new(&f.ds, &load, &inputs);
+        let r = sim
+            .run(&CampaignConfig::new(500.0, CampaignPolicy::Immediate))
+            .unwrap();
+        assert_eq!(r.targeted, 3);
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.completion_rate(), 1.0);
+        assert!(r.total_mb >= 1_499.0, "delivered {}", r.total_mb);
+        // 500 MB at ≤20 Mbps needs ≥200 s: not instantaneous, completes
+        // within the first day's session.
+        assert!(r.median_days().unwrap() < 1.0);
+    }
+
+    #[test]
+    fn bigger_images_take_longer() {
+        let f = fixture();
+        let load = NetworkLoadModel::new(&f.ledger, &f.bg, f.region.deployment());
+        let inputs = PolicyInputs::default();
+        let sim = CampaignSimulator::new(&f.ds, &load, &inputs);
+        let small = sim
+            .run(&CampaignConfig::new(100.0, CampaignPolicy::Immediate))
+            .unwrap();
+        let huge = sim
+            .run(&CampaignConfig::new(20_000.0, CampaignPolicy::Immediate))
+            .unwrap();
+        assert!(huge.median_days().unwrap_or(99.0) > small.median_days().unwrap());
+    }
+
+    #[test]
+    fn off_peak_avoids_busy_bytes() {
+        let f = fixture();
+        // Saturate the serving cell during the cars' sessions on days
+        // 0–6 so Immediate pushes bytes into a busy cell but OffPeak
+        // waits.
+        let cell = f.ds.records()[0].cell;
+        let mut ledger = f.ledger.clone();
+        for day in 0..7u64 {
+            ledger.add_load_fraction(
+                cell,
+                Timestamp::from_day_hms(day, 6, 0, 0),
+                Timestamp::from_day_hms(day, 11, 0, 0),
+                0.95,
+            );
+        }
+        let load = NetworkLoadModel::new(&ledger, &f.bg, f.region.deployment());
+        let inputs = PolicyInputs::default();
+        let sim = CampaignSimulator::new(&f.ds, &load, &inputs);
+        let immediate = sim
+            .run(&CampaignConfig::new(200.0, CampaignPolicy::Immediate))
+            .unwrap();
+        let off_peak = sim
+            .run(&CampaignConfig::new(
+                200.0,
+                CampaignPolicy::OffPeak {
+                    max_utilization: 0.8,
+                },
+            ))
+            .unwrap();
+        assert!(immediate.busy_byte_fraction() > 0.0);
+        assert_eq!(off_peak.busy_mb, 0.0);
+        // The price: off-peak completes later (or not at all).
+        if let (Some(im), Some(op)) = (immediate.median_days(), off_peak.median_days()) {
+            assert!(op >= im);
+        }
+    }
+
+    #[test]
+    fn rare_first_beats_off_peak_for_rare_cars() {
+        use conncar_analysis::segmentation::CarBusyProfile;
+        let f = fixture();
+        let cell = f.ds.records()[0].cell;
+        // Busy every session hour of the whole study: off-peak starves.
+        let mut ledger = f.ledger.clone();
+        for day in 0..14u64 {
+            ledger.add_load_fraction(
+                cell,
+                Timestamp::from_day_hms(day, 6, 0, 0),
+                Timestamp::from_day_hms(day, 11, 0, 0),
+                0.95,
+            );
+        }
+        let load = NetworkLoadModel::new(&ledger, &f.bg, f.region.deployment());
+        let mut inputs = PolicyInputs::default();
+        // Car 0 is rare; cars 1, 2 are common.
+        for (car, days) in [(0u32, 5u32), (1, 60), (2, 60)] {
+            inputs.profiles.insert(
+                CarId(car),
+                CarBusyProfile {
+                    car: CarId(car),
+                    days_active: days,
+                    busy_secs: 0,
+                    total_secs: 1,
+                },
+            );
+        }
+        let sim = CampaignSimulator::new(&f.ds, &load, &inputs);
+        let rare_first = sim
+            .run(&CampaignConfig::new(
+                200.0,
+                CampaignPolicy::RareFirst {
+                    rare_cutoff_days: 10,
+                    max_utilization: 0.8,
+                },
+            ))
+            .unwrap();
+        let off_peak = sim
+            .run(&CampaignConfig::new(
+                200.0,
+                CampaignPolicy::OffPeak {
+                    max_utilization: 0.8,
+                },
+            ))
+            .unwrap();
+        // The rare car completes under rare-first; off-peak strands
+        // everyone in this always-busy scenario.
+        assert_eq!(rare_first.completed, 1);
+        assert_eq!(off_peak.completed, 0);
+    }
+
+    #[test]
+    fn staged_rollout_delays_late_waves() {
+        let f = fixture();
+        let load = NetworkLoadModel::new(&f.ledger, &f.bg, f.region.deployment());
+        let inputs = PolicyInputs::default();
+        let sim = CampaignSimulator::new(&f.ds, &load, &inputs);
+        let all_at_once = sim
+            .run(&CampaignConfig::new(300.0, CampaignPolicy::Immediate))
+            .unwrap();
+        let staged = sim
+            .run(
+                &CampaignConfig::new(300.0, CampaignPolicy::Immediate)
+                    .with_rollout(RolloutPlan::Staged(vec![(0.0, 0.01), (7.0, 1.0)])),
+            )
+            .unwrap();
+        // Staged completes no more cars, and its median completion is
+        // later (almost everyone waits for day 7).
+        assert!(staged.completed <= all_at_once.completed);
+        if let (Some(a), Some(st)) = (all_at_once.median_days(), staged.median_days()) {
+            assert!(st >= a, "staged median {st} vs all-at-once {a}");
+            assert!(st >= 6.9, "staged median {st} should be past the wave");
+        }
+        // Progress curve exists and sums to the completion count.
+        assert_eq!(
+            staged.completions_per_day.iter().sum::<u64>() as usize,
+            staged.completed
+        );
+        // Nothing completes in the gap days 1..7 for the 99% wave.
+        let early: u64 = staged.completions_per_day[1..7].iter().sum();
+        assert!(early <= 1, "early completions {early}");
+    }
+
+    #[test]
+    fn rollout_percentile_is_stable_and_uniformish() {
+        let a = rollout_percentile(CarId(7));
+        assert_eq!(a, rollout_percentile(CarId(7)));
+        let n = 10_000;
+        let below_half = (0..n)
+            .filter(|i| rollout_percentile(CarId(*i)) < 0.5)
+            .count();
+        let frac = below_half as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "median split {frac}");
+        for i in 0..100 {
+            let p = rollout_percentile(CarId(i));
+            assert!((0.0..1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn canary_plan_shape() {
+        let plan = RolloutPlan::canary(3.0, 7.0);
+        assert_eq!(plan.eligible_from(0.01), Some(0.0));
+        assert_eq!(plan.eligible_from(0.10), Some(3.0));
+        assert_eq!(plan.eligible_from(0.90), Some(7.0));
+        let partial = RolloutPlan::Staged(vec![(0.0, 0.5)]);
+        assert_eq!(partial.eligible_from(0.9), None);
+        assert_eq!(RolloutPlan::AllAtOnce.eligible_from(0.99), Some(0.0));
+    }
+
+    #[test]
+    fn load_feedback_slows_the_campaign() {
+        // Many cars sharing one cell simultaneously: with feedback on,
+        // the delivered bytes congest the cell and completions slip.
+        let region = Region::generate(&RegionConfig::small(), 42);
+        let period = StudyPeriod::new(DayOfWeek::Monday, 7).unwrap();
+        let ledger = PrbLedger::new(period);
+        let bg = BackgroundLoad::new(BackgroundLoadConfig::default(), period, -5);
+        let cell = CellId::new(region.deployment().stations()[0].id, 0, Carrier::C3);
+        let mut records = Vec::new();
+        for car in 0..40u32 {
+            // Everyone connected through the same two hours each day.
+            for day in 0..7u64 {
+                let start = Timestamp::from_day_hms(day, 9, 0, 0);
+                records.push(CdrRecord {
+                    car: CarId(car),
+                    cell,
+                    start,
+                    end: start + Duration::from_hours(2),
+                });
+            }
+        }
+        let ds = CdrDataset::new(period, records);
+        let load = NetworkLoadModel::new(&ledger, &bg, region.deployment());
+        let inputs = PolicyInputs::default();
+        let sim = CampaignSimulator::new(&ds, &load, &inputs);
+        let free = sim
+            .run(&CampaignConfig::new(2_000.0, CampaignPolicy::Immediate))
+            .unwrap();
+        let fed = sim
+            .run(&CampaignConfig::new(2_000.0, CampaignPolicy::Immediate).with_load_feedback())
+            .unwrap();
+        assert_eq!(free.targeted, fed.targeted);
+        // Feedback can only slow delivery.
+        assert!(fed.total_mb <= free.total_mb + 1e-6);
+        if let (Some(a), Some(b)) = (free.median_days(), fed.median_days()) {
+            assert!(b >= a, "feedback median {b} vs free {a}");
+        }
+        // And it marks bytes as busy that the free run did not.
+        assert!(fed.busy_mb >= free.busy_mb);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let f = fixture();
+        let empty = CdrDataset::new(f.ds.period(), Vec::new());
+        let load = NetworkLoadModel::new(&f.ledger, &f.bg, f.region.deployment());
+        let inputs = PolicyInputs::default();
+        let sim = CampaignSimulator::new(&empty, &load, &inputs);
+        let r = sim
+            .run(&CampaignConfig::new(100.0, CampaignPolicy::Immediate))
+            .unwrap();
+        assert_eq!(r.targeted, 0);
+        assert_eq!(r.completion_rate(), 0.0);
+        assert_eq!(r.busy_byte_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Uniform-grid spatial index over base stations.
+//!
+//! Cell selection evaluates candidate stations near a car position many
+//! millions of times per study; a bucket grid turns that from O(stations)
+//! into O(stations within the search radius).
+
+use crate::layout::{Deployment, StationInfo};
+use crate::point::Point;
+
+/// Spatial bucket index over the stations of a [`Deployment`].
+#[derive(Debug, Clone)]
+pub struct StationIndex {
+    bucket_m: f64,
+    cols: usize,
+    rows: usize,
+    /// Station indices per bucket (row-major).
+    buckets: Vec<Vec<u32>>,
+}
+
+impl StationIndex {
+    /// Build an index with the given bucket edge length.
+    pub fn build(deployment: &Deployment, width_m: f64, height_m: f64, bucket_m: f64) -> Self {
+        assert!(bucket_m > 0.0, "bucket size must be positive");
+        let cols = (width_m / bucket_m).ceil().max(1.0) as usize;
+        let rows = (height_m / bucket_m).ceil().max(1.0) as usize;
+        let mut buckets = vec![Vec::new(); cols * rows];
+        for (i, s) in deployment.stations().iter().enumerate() {
+            let c = ((s.position.x / bucket_m) as usize).min(cols - 1);
+            let r = ((s.position.y / bucket_m) as usize).min(rows - 1);
+            buckets[r * cols + c].push(i as u32);
+        }
+        StationIndex {
+            bucket_m,
+            cols,
+            rows,
+            buckets,
+        }
+    }
+
+    /// Visit every station within `radius_m` of `p`.
+    ///
+    /// The callback receives the station's index within the deployment's
+    /// station slice, its record, and the exact distance.
+    pub fn for_each_within<'d>(
+        &self,
+        deployment: &'d Deployment,
+        p: Point,
+        radius_m: f64,
+        mut f: impl FnMut(u32, &'d StationInfo, f64),
+    ) {
+        let stations = deployment.stations();
+        let r_buckets = (radius_m / self.bucket_m).ceil() as isize;
+        let pc = (p.x / self.bucket_m) as isize;
+        let pr = (p.y / self.bucket_m) as isize;
+        let r2 = radius_m * radius_m;
+        for br in (pr - r_buckets)..=(pr + r_buckets) {
+            if br < 0 || br as usize >= self.rows {
+                continue;
+            }
+            for bc in (pc - r_buckets)..=(pc + r_buckets) {
+                if bc < 0 || bc as usize >= self.cols {
+                    continue;
+                }
+                for &si in &self.buckets[br as usize * self.cols + bc as usize] {
+                    let s = &stations[si as usize];
+                    let d2 = s.position.distance_sq(p);
+                    if d2 <= r2 {
+                        f(si, s, d2.sqrt());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Count stations within `radius_m` of `p` (testing/diagnostics).
+    pub fn count_within(&self, deployment: &Deployment, p: Point, radius_m: f64) -> usize {
+        let mut n = 0;
+        self.for_each_within(deployment, p, radius_m, |_, _, _| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::DeploymentConfig;
+    use crate::road::{RoadNetwork, RoadNetworkConfig};
+    use crate::zone::ZoneMap;
+
+    fn deployment() -> Deployment {
+        let zones = ZoneMap {
+            center: Point::from_km(30.0, 30.0),
+            urban_radius_m: 6_000.0,
+            suburban_radius_m: 18_000.0,
+        };
+        let roads = RoadNetwork::generate(&RoadNetworkConfig::default(), &zones);
+        Deployment::generate(
+            &DeploymentConfig::default(),
+            &zones,
+            &roads,
+            60_000.0,
+            60_000.0,
+            7,
+        )
+    }
+
+    #[test]
+    fn index_matches_brute_force() {
+        let d = deployment();
+        let idx = StationIndex::build(&d, 60_000.0, 60_000.0, 2_000.0);
+        for (px, py, r) in [
+            (30.0, 30.0, 3_000.0),
+            (5.0, 55.0, 10_000.0),
+            (59.9, 0.1, 8_000.0),
+            (30.0, 30.0, 0.0),
+        ] {
+            let p = Point::from_km(px, py);
+            let brute = d
+                .stations()
+                .iter()
+                .filter(|s| s.position.distance_m(p) <= r)
+                .count();
+            assert_eq!(idx.count_within(&d, p, r), brute, "at {p} r={r}");
+        }
+    }
+
+    #[test]
+    fn callback_distances_are_exact() {
+        let d = deployment();
+        let idx = StationIndex::build(&d, 60_000.0, 60_000.0, 2_000.0);
+        let p = Point::from_km(30.0, 30.0);
+        idx.for_each_within(&d, p, 5_000.0, |si, s, dist| {
+            assert_eq!(d.stations()[si as usize].id, s.id);
+            assert!((dist - s.position.distance_m(p)).abs() < 1e-9);
+            assert!(dist <= 5_000.0);
+        });
+    }
+
+    #[test]
+    fn queries_outside_region_are_safe() {
+        let d = deployment();
+        let idx = StationIndex::build(&d, 60_000.0, 60_000.0, 2_000.0);
+        // Far outside: no panic, possibly zero results.
+        let n = idx.count_within(&d, Point::from_km(-100.0, 500.0), 5_000.0);
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,407 @@
+//! Base-station deployment.
+//!
+//! Stations are laid out on jittered lattices whose density follows the
+//! zone map (§3 of the paper: "hundreds of thousands of cells", densest
+//! where people are), with extra sites strung along highway corridors the
+//! way US operators actually deploy. Each station radiates 3 sectors;
+//! each sector carries a zone-dependent subset of the five frequency
+//! carriers, so a station hosts anywhere from 3 to 12+ cells — matching
+//! the paper's "typically multiple cells per base station, anywhere from
+//! 3 to 12, sometimes even more".
+
+use crate::point::Point;
+use crate::road::RoadNetwork;
+use crate::zone::{Zone, ZoneMap};
+use conncar_types::{BaseStationId, Carrier, CellId, ALL_CARRIERS};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-zone probability that a station deploys each carrier.
+///
+/// Defaults are calibrated so the fleet-wide carrier mix lands near
+/// Table 3: C1 is the ubiquitous coverage layer, C3 the mid-band
+/// workhorse, C4 a partial overlay, C2 the fading 3G layer, and C5 a
+/// brand-new band present only downtown.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CarrierDeployment {
+    /// Deployment probability of each carrier (indexed by
+    /// [`Carrier::index`]) in urban stations.
+    pub urban: [f64; 5],
+    /// Same for suburban stations.
+    pub suburban: [f64; 5],
+    /// Same for rural stations.
+    pub rural: [f64; 5],
+}
+
+impl Default for CarrierDeployment {
+    fn default() -> Self {
+        CarrierDeployment {
+            //        C1    C2    C3    C4    C5
+            urban: [1.00, 0.60, 1.00, 0.90, 0.08],
+            suburban: [0.97, 0.70, 0.80, 0.60, 0.00],
+            rural: [0.90, 0.80, 0.30, 0.08, 0.00],
+        }
+    }
+}
+
+impl CarrierDeployment {
+    /// The probability vector for a zone.
+    pub fn for_zone(&self, z: Zone) -> &[f64; 5] {
+        match z {
+            Zone::Urban => &self.urban,
+            Zone::Suburban => &self.suburban,
+            Zone::Rural => &self.rural,
+        }
+    }
+}
+
+/// Deployment generation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeploymentConfig {
+    /// Sectors per station (the common macro configuration is 3).
+    pub sectors_per_station: u8,
+    /// Lattice jitter as a fraction of local site spacing.
+    pub jitter_frac: f64,
+    /// Spacing of extra highway-corridor sites, metres.
+    pub highway_site_spacing_m: f64,
+    /// Carrier deployment probabilities.
+    pub carriers: CarrierDeployment,
+    /// First base-station id to allocate (lets multiple regions coexist
+    /// with globally unique ids).
+    pub station_id_base: u32,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            sectors_per_station: 3,
+            jitter_frac: 0.25,
+            highway_site_spacing_m: 3_000.0,
+            carriers: CarrierDeployment::default(),
+            station_id_base: 0,
+        }
+    }
+}
+
+/// A deployed base station.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StationInfo {
+    /// Identifier, unique across the whole study.
+    pub id: BaseStationId,
+    /// Site position.
+    pub position: Point,
+    /// Zone the site sits in (drives propagation and background load).
+    pub zone: Zone,
+    /// Whether the site was placed to cover a highway corridor.
+    pub highway_site: bool,
+    /// Azimuth of sector 0 in degrees; sector `k` points at
+    /// `azimuth0 + k * 360/sectors`.
+    pub azimuth0_deg: f64,
+    /// Number of sectors.
+    pub sectors: u8,
+    /// Carriers deployed at this site (same set on every sector).
+    pub carriers: Vec<Carrier>,
+}
+
+impl StationInfo {
+    /// Azimuth of sector `k`, degrees clockwise from north.
+    pub fn sector_azimuth_deg(&self, sector: u8) -> f64 {
+        (self.azimuth0_deg + sector as f64 * 360.0 / self.sectors as f64).rem_euclid(360.0)
+    }
+
+    /// Iterate over every cell of this station.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.sectors).flat_map(move |s| {
+            self.carriers
+                .iter()
+                .map(move |&c| CellId::new(self.id, s, c))
+        })
+    }
+}
+
+/// The full station deployment of a region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Deployment {
+    stations: Vec<StationInfo>,
+}
+
+/// One cell plus the station data needed to evaluate it radio-wise.
+#[derive(Debug, Clone, Copy)]
+pub struct CellInfo<'a> {
+    /// The cell identifier.
+    pub cell: CellId,
+    /// Its station record.
+    pub station: &'a StationInfo,
+}
+
+impl Deployment {
+    /// Generate the deployment for a region.
+    pub fn generate(
+        cfg: &DeploymentConfig,
+        zones: &ZoneMap,
+        roads: &RoadNetwork,
+        width_m: f64,
+        height_m: f64,
+        seed: u64,
+    ) -> Deployment {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut positions: Vec<(Point, bool)> = Vec::new();
+
+        // Three overlapping lattices; a candidate is kept when the local
+        // zone matches the lattice's density class, so each zone gets its
+        // own spacing without seams.
+        for z in [Zone::Rural, Zone::Suburban, Zone::Urban] {
+            let spacing = z.site_spacing_m();
+            let jitter = spacing * cfg.jitter_frac;
+            let mut y = spacing / 2.0;
+            let mut row = 0u32;
+            while y < height_m {
+                // Offset alternate rows for a roughly hexagonal packing.
+                let x0 = if row.is_multiple_of(2) {
+                    spacing / 2.0
+                } else {
+                    spacing
+                };
+                let mut x = x0;
+                while x < width_m {
+                    let jx = rng.gen_range(-jitter..=jitter);
+                    let jy = rng.gen_range(-jitter..=jitter);
+                    let p = Point::new(
+                        (x + jx).clamp(0.0, width_m),
+                        (y + jy).clamp(0.0, height_m),
+                    );
+                    if zones.zone_of(p) == z {
+                        positions.push((p, false));
+                    }
+                    x += spacing;
+                }
+                y += spacing * 0.9; // slight vertical compression ≈ hex
+                row += 1;
+            }
+        }
+
+        // Highway corridor sites: walk highway nodes and add a site
+        // wherever existing coverage is sparser than the corridor spacing.
+        let (rows, cols) = roads.dims();
+        for r in 0..rows {
+            for c in 0..cols {
+                let n = roads.node_at(r, c).expect("in range");
+                if !roads.is_highway_node(n) {
+                    continue;
+                }
+                let p = roads.position(n);
+                let near = positions
+                    .iter()
+                    .any(|(q, _)| q.distance_m(p) < cfg.highway_site_spacing_m);
+                if !near {
+                    let jitter = 300.0;
+                    let q = Point::new(
+                        (p.x + rng.gen_range(-jitter..=jitter)).clamp(0.0, width_m),
+                        (p.y + rng.gen_range(-jitter..=jitter)).clamp(0.0, height_m),
+                    );
+                    positions.push((q, true));
+                }
+            }
+        }
+
+        // Materialize stations.
+        let mut stations = Vec::with_capacity(positions.len());
+        for (i, (p, highway_site)) in positions.into_iter().enumerate() {
+            let zone = zones.zone_of(p);
+            let probs = cfg.carriers.for_zone(zone);
+            let mut carriers: Vec<Carrier> = ALL_CARRIERS
+                .into_iter()
+                .filter(|c| rng.gen_bool(probs[c.index()].clamp(0.0, 1.0)))
+                .collect();
+            if carriers.is_empty() {
+                // Every real site has at least the coverage layer.
+                carriers.push(Carrier::C1);
+            }
+            stations.push(StationInfo {
+                id: BaseStationId(cfg.station_id_base + i as u32),
+                position: p,
+                zone,
+                highway_site,
+                azimuth0_deg: rng.gen_range(0.0..120.0),
+                sectors: cfg.sectors_per_station,
+                carriers,
+            });
+        }
+        Deployment { stations }
+    }
+
+    /// All stations.
+    pub fn stations(&self) -> &[StationInfo] {
+        &self.stations
+    }
+
+    /// Look up a station by id; `None` for ids outside this region.
+    pub fn station(&self, id: BaseStationId) -> Option<&StationInfo> {
+        let base = self.stations.first()?.id.0;
+        let idx = id.0.checked_sub(base)? as usize;
+        self.stations.get(idx).filter(|s| s.id == id)
+    }
+
+    /// Total number of cells across all stations.
+    pub fn cell_count(&self) -> usize {
+        self.stations
+            .iter()
+            .map(|s| s.sectors as usize * s.carriers.len())
+            .sum()
+    }
+
+    /// Iterate over every cell in the deployment.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.stations.iter().flat_map(|s| s.cells())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::road::RoadNetworkConfig;
+
+    fn make() -> (Deployment, ZoneMap) {
+        let zones = ZoneMap {
+            center: Point::from_km(30.0, 30.0),
+            urban_radius_m: 6_000.0,
+            suburban_radius_m: 18_000.0,
+        };
+        let rcfg = RoadNetworkConfig::default();
+        let roads = RoadNetwork::generate(&rcfg, &zones);
+        let d = Deployment::generate(
+            &DeploymentConfig::default(),
+            &zones,
+            &roads,
+            60_000.0,
+            60_000.0,
+            7,
+        );
+        (d, zones)
+    }
+
+    #[test]
+    fn deployment_is_deterministic() {
+        let (a, _) = make();
+        let (b, _) = make();
+        assert_eq!(a.stations().len(), b.stations().len());
+        for (x, y) in a.stations().iter().zip(b.stations()) {
+            assert_eq!(x.position, y.position);
+            assert_eq!(x.carriers, y.carriers);
+        }
+    }
+
+    #[test]
+    fn station_count_plausible() {
+        let (d, _) = make();
+        let n = d.stations().len();
+        // 60×60 km mixed-density metro: order hundreds of sites.
+        assert!(n > 100, "only {n} stations");
+        assert!(n < 2_000, "{n} stations is implausible");
+    }
+
+    #[test]
+    fn urban_sites_denser_than_rural() {
+        let (d, zones) = make();
+        let urban_area = std::f64::consts::PI * 6.0_f64.powi(2);
+        let total_area = 60.0 * 60.0;
+        let suburban_area = std::f64::consts::PI * 18.0_f64.powi(2) - urban_area;
+        let rural_area = total_area - urban_area - suburban_area;
+        let mut per_zone = [0usize; 3];
+        for s in d.stations() {
+            per_zone[match zones.zone_of(s.position) {
+                Zone::Urban => 0,
+                Zone::Suburban => 1,
+                Zone::Rural => 2,
+            }] += 1;
+        }
+        let urban_density = per_zone[0] as f64 / urban_area;
+        let rural_density = per_zone[2] as f64 / rural_area;
+        assert!(
+            urban_density > 3.0 * rural_density,
+            "urban {urban_density:.2}/km² vs rural {rural_density:.2}/km²"
+        );
+    }
+
+    #[test]
+    fn every_station_has_coverage_layer_or_more() {
+        let (d, _) = make();
+        for s in d.stations() {
+            assert!(!s.carriers.is_empty());
+            assert!(s.sectors >= 1);
+        }
+        // C1 is the coverage layer: deployed at the vast majority of
+        // sites (not literally all — some rural legacy sites lack it).
+        let with_c1 = d
+            .stations()
+            .iter()
+            .filter(|s| s.carriers.contains(&Carrier::C1))
+            .count();
+        assert!(with_c1 * 10 >= d.stations().len() * 8, "{with_c1} C1 sites");
+    }
+
+    #[test]
+    fn c5_only_downtown() {
+        let (d, zones) = make();
+        for s in d.stations() {
+            if s.carriers.contains(&Carrier::C5) {
+                assert_eq!(zones.zone_of(s.position), Zone::Urban);
+            }
+        }
+    }
+
+    #[test]
+    fn sector_azimuths_spread() {
+        let (d, _) = make();
+        let s = &d.stations()[0];
+        let a0 = s.sector_azimuth_deg(0);
+        let a1 = s.sector_azimuth_deg(1);
+        let a2 = s.sector_azimuth_deg(2);
+        assert!((crate::point::angle_diff_deg(a0, a1) - 120.0).abs() < 1e-9);
+        assert!((crate::point::angle_diff_deg(a1, a2) - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_enumeration_matches_count() {
+        let (d, _) = make();
+        assert_eq!(d.cells().count(), d.cell_count());
+        // 3 sectors × 1..=5 carriers each.
+        for s in d.stations() {
+            let n = s.cells().count();
+            assert_eq!(n, 3 * s.carriers.len());
+            assert!((3..=15).contains(&n));
+        }
+    }
+
+    #[test]
+    fn station_lookup() {
+        let (d, _) = make();
+        let s = &d.stations()[5];
+        assert_eq!(d.station(s.id).unwrap().id, s.id);
+        assert!(d.station(BaseStationId(999_999)).is_none());
+    }
+
+    #[test]
+    fn station_id_base_offsets_ids() {
+        let zones = ZoneMap {
+            center: Point::from_km(5.0, 5.0),
+            urban_radius_m: 2_000.0,
+            suburban_radius_m: 4_000.0,
+        };
+        let rcfg = RoadNetworkConfig {
+            width_m: 10_000.0,
+            height_m: 10_000.0,
+            ..Default::default()
+        };
+        let roads = RoadNetwork::generate(&rcfg, &zones);
+        let cfg = DeploymentConfig {
+            station_id_base: 1_000,
+            ..Default::default()
+        };
+        let d = Deployment::generate(&cfg, &zones, &roads, 10_000.0, 10_000.0, 7);
+        assert!(d.stations().iter().all(|s| s.id.0 >= 1_000));
+        let s = &d.stations()[2];
+        assert_eq!(d.station(s.id).unwrap().position, s.position);
+    }
+}

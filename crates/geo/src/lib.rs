@@ -1,0 +1,53 @@
+//! # conncar-geo
+//!
+//! The spatial substrate under the connected-car study: a synthetic
+//! metropolitan region with a road network, a cellular base-station
+//! deployment, a radio propagation model and strongest-server cell
+//! selection.
+//!
+//! The IMC'17 paper measured cars on a production radio access network.
+//! That network is proprietary, so this crate builds the *minimum
+//! physically-plausible* replacement that produces the observables the
+//! study consumes:
+//!
+//! * cars move along roads at realistic speeds (→ handover chains across
+//!   base stations, §4.5);
+//! * base stations are densest downtown and sparse in the countryside
+//!   (→ short per-cell connections in town, longer on rural highways,
+//!   Figure 9);
+//! * each station carries a subset of the five frequency carriers
+//!   (→ the carrier usage mix of Table 3);
+//! * signal strength decides which cell a car attaches to, with
+//!   hysteresis (→ realistic handover counts rather than flapping).
+//!
+//! Everything is deterministic given the layout seed.
+//!
+//! ```
+//! use conncar_geo::{Region, RegionConfig};
+//!
+//! let region = Region::generate(&RegionConfig::default(), 42);
+//! let home = region.random_home(7);
+//! let work = region.random_work(7);
+//! let route = region.roads().route(home, work).expect("connected road grid");
+//! assert!(route.total_time_secs() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod layout;
+pub mod point;
+pub mod propagation;
+pub mod region;
+pub mod road;
+pub mod selection;
+pub mod zone;
+
+pub use layout::{CellInfo, Deployment, DeploymentConfig, StationInfo};
+pub use point::Point;
+pub use propagation::{PropagationModel, RxPower};
+pub use region::{Region, RegionConfig};
+pub use road::{NodeId, Route, RoadNetwork, RoadNetworkConfig};
+pub use selection::{CellSelector, SelectionConfig};
+pub use zone::Zone;

@@ -1,0 +1,140 @@
+//! Planar points and distances.
+//!
+//! The region is small enough (tens of kilometres) that a flat Cartesian
+//! plane in metres is exact for our purposes; no geodesy needed.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A position in the region, metres from the south-west corner.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Eastings in metres.
+    pub x: f64,
+    /// Northings in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct from metre coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Construct from kilometre coordinates.
+    #[inline]
+    pub fn from_km(x_km: f64, y_km: f64) -> Point {
+        Point {
+            x: x_km * 1_000.0,
+            y: y_km * 1_000.0,
+        }
+    }
+
+    /// Euclidean distance to `other`, metres.
+    #[inline]
+    pub fn distance_m(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared distance, for comparisons without the square root.
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Manhattan (L1) distance, metres — matches travel distance on a
+    /// grid road network.
+    #[inline]
+    pub fn manhattan_m(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Azimuth from this point to `other` in degrees, clockwise from
+    /// north, `[0, 360)`. Matches antenna-bearing conventions.
+    pub fn azimuth_deg_to(self, other: Point) -> f64 {
+        let dx = other.x - self.x;
+        let dy = other.y - self.y;
+        if dx == 0.0 && dy == 0.0 {
+            return 0.0;
+        }
+        let deg = dx.atan2(dy).to_degrees();
+        if deg < 0.0 {
+            deg + 360.0
+        } else {
+            deg
+        }
+    }
+
+    /// Linear interpolation: the point a fraction `t ∈ [0,1]` of the way
+    /// to `other`.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.0} m, {:.0} m)", self.x, self.y)
+    }
+}
+
+/// Smallest absolute angular difference between two bearings, degrees,
+/// in `[0, 180]`.
+#[inline]
+pub fn angle_diff_deg(a: f64, b: f64) -> f64 {
+    let d = (a - b).rem_euclid(360.0);
+    if d > 180.0 {
+        360.0 - d
+    } else {
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance_m(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+        assert_eq!(a.manhattan_m(b), 7.0);
+        assert_eq!(Point::from_km(1.0, 2.0), Point::new(1_000.0, 2_000.0));
+    }
+
+    #[test]
+    fn azimuths() {
+        let o = Point::new(0.0, 0.0);
+        assert_eq!(o.azimuth_deg_to(Point::new(0.0, 1.0)), 0.0); // north
+        assert_eq!(o.azimuth_deg_to(Point::new(1.0, 0.0)), 90.0); // east
+        assert_eq!(o.azimuth_deg_to(Point::new(0.0, -1.0)), 180.0); // south
+        assert_eq!(o.azimuth_deg_to(Point::new(-1.0, 0.0)), 270.0); // west
+        assert_eq!(o.azimuth_deg_to(o), 0.0); // degenerate
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn angle_diff_wraps() {
+        assert_eq!(angle_diff_deg(10.0, 350.0), 20.0);
+        assert_eq!(angle_diff_deg(350.0, 10.0), 20.0);
+        assert_eq!(angle_diff_deg(0.0, 180.0), 180.0);
+        assert_eq!(angle_diff_deg(90.0, 90.0), 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Radio propagation: log-distance path loss, sector antenna pattern,
+//! deterministic shadow fading.
+//!
+//! The model is the standard macro-cell textbook chain
+//!
+//! ```text
+//! RSRP = EIRP − PL(d, f, zone) + G(Δazimuth) − X(shadow)
+//! ```
+//!
+//! It is intentionally simple — the study only needs *relative* signal
+//! ordering (which cell is strongest, when does a moving car cross a
+//! cell boundary), not absolute link budgets. Shadow fading is a
+//! deterministic hash of (station, quantized position): the same car at
+//! the same spot always sees the same shadowing, so traces are exactly
+//! reproducible and spatially coherent at the ~50 m scale.
+
+use crate::point::{angle_diff_deg, Point};
+use crate::zone::{Zone, ZoneMap};
+use conncar_types::Carrier;
+use serde::{Deserialize, Serialize};
+
+/// Received power in dBm (RSRP-like).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct RxPower(pub f64);
+
+impl RxPower {
+    /// The dBm value.
+    #[inline]
+    pub const fn dbm(self) -> f64 {
+        self.0
+    }
+}
+
+/// Propagation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PropagationModel {
+    /// Sector EIRP in dBm (transmit power + antenna boresight gain).
+    pub eirp_dbm: f64,
+    /// Reference path loss at 1 km, 700 MHz, free-ish space, dB.
+    pub pl_ref_db: f64,
+    /// Antenna horizontal half-power beamwidth, degrees.
+    pub hpbw_deg: f64,
+    /// Maximum front-to-back attenuation, dB.
+    pub max_attenuation_db: f64,
+    /// Quantization of shadow-fading texture, metres.
+    pub shadow_grid_m: f64,
+}
+
+impl Default for PropagationModel {
+    fn default() -> Self {
+        PropagationModel {
+            eirp_dbm: 58.0,
+            pl_ref_db: 100.0,
+            hpbw_deg: 65.0,
+            max_attenuation_db: 20.0,
+            shadow_grid_m: 400.0,
+        }
+    }
+}
+
+impl PropagationModel {
+    /// Path loss in dB from a station at `site` to a terminal at `ue`,
+    /// on `carrier`, through `zone` clutter.
+    pub fn path_loss_db(&self, site: Point, ue: Point, carrier: Carrier, zone: Zone) -> f64 {
+        let d_km = (site.distance_m(ue) / 1_000.0).max(0.02); // clamp at 20 m
+        let n = zone.path_loss_exponent();
+        let f_term = 20.0 * (carrier.frequency_mhz() as f64 / 700.0).log10();
+        self.pl_ref_db + 10.0 * n * d_km.log10() + f_term
+    }
+
+    /// Horizontal antenna gain relative to boresight, dB (≤ 0), using the
+    /// 3GPP parabolic pattern `-min(12 (Δ/HPBW)², A_max)`.
+    pub fn antenna_gain_db(&self, sector_azimuth_deg: f64, bearing_deg: f64) -> f64 {
+        let delta = angle_diff_deg(sector_azimuth_deg, bearing_deg);
+        -(12.0 * (delta / self.hpbw_deg).powi(2)).min(self.max_attenuation_db)
+    }
+
+    /// Deterministic shadow-fading term in dB for (station, position).
+    ///
+    /// A hash of the station id and the position quantized to
+    /// `shadow_grid_m` drives a zero-mean approximately normal variate
+    /// (sum of three uniforms), scaled by the zone's sigma.
+    pub fn shadow_db(&self, station_id: u32, ue: Point, zone: Zone) -> f64 {
+        let qx = (ue.x / self.shadow_grid_m).floor() as i64;
+        let qy = (ue.y / self.shadow_grid_m).floor() as i64;
+        let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ (station_id as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+        h ^= (qx as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25);
+        h = h.rotate_left(23);
+        h ^= (qy as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        // Three 21-bit uniforms → Irwin–Hall(3), mean 1.5, var 3/12.
+        let u1 = (h & 0x1F_FFFF) as f64 / 0x1F_FFFF as f64;
+        let u2 = ((h >> 21) & 0x1F_FFFF) as f64 / 0x1F_FFFF as f64;
+        let u3 = ((h >> 42) & 0x1F_FFFF) as f64 / 0x1F_FFFF as f64;
+        let z = (u1 + u2 + u3 - 1.5) / 0.5; // ≈ N(0,1)
+        z * zone.shadow_sigma_db()
+    }
+
+    /// Full received power for one cell at one terminal position.
+    pub fn rx_power(
+        &self,
+        station_id: u32,
+        site: Point,
+        sector_azimuth_deg: f64,
+        carrier: Carrier,
+        ue: Point,
+        zones: &ZoneMap,
+    ) -> RxPower {
+        let zone = zones.zone_of(ue);
+        let bearing = site.azimuth_deg_to(ue);
+        let pl = self.path_loss_db(site, ue, carrier, zone);
+        let g = self.antenna_gain_db(sector_azimuth_deg, bearing);
+        let x = self.shadow_db(station_id, ue, zone);
+        RxPower(self.eirp_dbm - pl + g - x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zones() -> ZoneMap {
+        ZoneMap {
+            center: Point::from_km(30.0, 30.0),
+            urban_radius_m: 6_000.0,
+            suburban_radius_m: 18_000.0,
+        }
+    }
+
+    #[test]
+    fn path_loss_increases_with_distance() {
+        let m = PropagationModel::default();
+        let site = Point::from_km(0.0, 0.0);
+        let near = m.path_loss_db(site, Point::from_km(0.5, 0.0), Carrier::C1, Zone::Rural);
+        let far = m.path_loss_db(site, Point::from_km(5.0, 0.0), Carrier::C1, Zone::Rural);
+        assert!(far > near + 20.0, "decade of distance ≈ 28 dB at n=2.8");
+    }
+
+    #[test]
+    fn path_loss_increases_with_frequency() {
+        let m = PropagationModel::default();
+        let site = Point::from_km(0.0, 0.0);
+        let ue = Point::from_km(2.0, 0.0);
+        let low = m.path_loss_db(site, ue, Carrier::C1, Zone::Suburban);
+        let high = m.path_loss_db(site, ue, Carrier::C5, Zone::Suburban);
+        // 700 → 2300 MHz is +10.3 dB with the 20 log10(f) term.
+        assert!((high - low - 20.0 * (2_300.0f64 / 700.0).log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn urban_clutter_attenuates_more() {
+        let m = PropagationModel::default();
+        let site = Point::from_km(0.0, 0.0);
+        let ue = Point::from_km(3.0, 0.0);
+        let u = m.path_loss_db(site, ue, Carrier::C3, Zone::Urban);
+        let r = m.path_loss_db(site, ue, Carrier::C3, Zone::Rural);
+        assert!(u > r);
+    }
+
+    #[test]
+    fn antenna_pattern() {
+        let m = PropagationModel::default();
+        assert_eq!(m.antenna_gain_db(90.0, 90.0), 0.0);
+        // At the half-power beamwidth edge: -3 dB by construction.
+        let g = m.antenna_gain_db(90.0, 90.0 + m.hpbw_deg / 2.0);
+        assert!((g + 3.0).abs() < 1e-9);
+        // Behind the antenna: floor at max attenuation.
+        assert_eq!(m.antenna_gain_db(0.0, 180.0), -m.max_attenuation_db);
+    }
+
+    #[test]
+    fn shadow_is_deterministic_and_coherent() {
+        let m = PropagationModel::default();
+        // Point chosen in the middle of a 50 m quantum so a 10 m nudge
+        // stays within it.
+        let p = Point::new(12_325.0, 23_425.0);
+        let a = m.shadow_db(7, p, Zone::Suburban);
+        let b = m.shadow_db(7, p, Zone::Suburban);
+        assert_eq!(a, b);
+        // Within the same 50 m quantum: identical (spatial coherence).
+        let q = Point::new(p.x + 10.0, p.y + 10.0);
+        assert_eq!(m.shadow_db(7, q, Zone::Suburban), a);
+        // Different station decorrelates.
+        assert_ne!(m.shadow_db(8, p, Zone::Suburban), a);
+    }
+
+    #[test]
+    fn shadow_is_roughly_zero_mean_and_bounded() {
+        let m = PropagationModel::default();
+        let mut sum = 0.0;
+        let mut n = 0;
+        for sx in 0..40 {
+            for sy in 0..40 {
+                let p = Point::new(sx as f64 * 73.0, sy as f64 * 91.0);
+                let v = m.shadow_db(3, p, Zone::Suburban);
+                assert!(v.abs() <= 3.0 * Zone::Suburban.shadow_sigma_db() + 1e-9);
+                sum += v;
+                n += 1;
+            }
+        }
+        let mean: f64 = sum / n as f64;
+        assert!(mean.abs() < 1.0, "shadow mean {mean} should be ≈ 0");
+    }
+
+    #[test]
+    fn rx_power_prefers_facing_sector() {
+        let m = PropagationModel::default();
+        let z = zones();
+        let site = Point::from_km(30.0, 30.0);
+        let ue = Point::from_km(31.0, 30.0); // due east
+        let facing = m.rx_power(1, site, 90.0, Carrier::C3, ue, &z);
+        let away = m.rx_power(1, site, 270.0, Carrier::C3, ue, &z);
+        assert!(facing.dbm() > away.dbm());
+    }
+}

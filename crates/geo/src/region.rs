@@ -1,0 +1,285 @@
+//! The assembled region: zones + roads + deployment + radio model.
+//!
+//! A [`Region`] is one synthetic metropolitan area. A study may span
+//! several regions (e.g. one per US time zone) — their station id ranges
+//! are kept disjoint via [`DeploymentConfig::station_id_base`].
+
+use crate::index::StationIndex;
+use crate::layout::{Deployment, DeploymentConfig, StationInfo};
+use crate::point::Point;
+use crate::propagation::PropagationModel;
+use crate::road::{NodeId, RoadNetwork, RoadNetworkConfig};
+use crate::selection::{CellSelector, SelectionConfig, ServingCell};
+use crate::zone::{Zone, ZoneMap};
+use conncar_types::{BaseStationId, CellId, ModemCapability, SeedSplitter, TimeZone};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of one region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionConfig {
+    /// Region width, metres.
+    pub width_m: f64,
+    /// Region height, metres.
+    pub height_m: f64,
+    /// Urban core radius, metres.
+    pub urban_radius_m: f64,
+    /// Suburban ring outer radius, metres.
+    pub suburban_radius_m: f64,
+    /// Road network parameters.
+    pub roads: RoadNetworkConfig,
+    /// Station deployment parameters.
+    pub deployment: DeploymentConfig,
+    /// Propagation model.
+    pub propagation: PropagationModel,
+    /// Cell selection parameters.
+    pub selection: SelectionConfig,
+    /// Civil time zone of the region.
+    pub timezone: TimeZone,
+    /// Spatial index bucket size, metres.
+    pub index_bucket_m: f64,
+}
+
+impl Default for RegionConfig {
+    fn default() -> Self {
+        RegionConfig {
+            width_m: 60_000.0,
+            height_m: 60_000.0,
+            urban_radius_m: 6_000.0,
+            suburban_radius_m: 18_000.0,
+            roads: RoadNetworkConfig::default(),
+            deployment: DeploymentConfig::default(),
+            propagation: PropagationModel::default(),
+            selection: SelectionConfig::default(),
+            timezone: TimeZone::US_EASTERN,
+            index_bucket_m: 2_000.0,
+        }
+    }
+}
+
+impl RegionConfig {
+    /// A small configuration for tests: quarter-size region, fewer sites.
+    pub fn small() -> RegionConfig {
+        RegionConfig {
+            width_m: 24_000.0,
+            height_m: 24_000.0,
+            urban_radius_m: 3_500.0,
+            suburban_radius_m: 9_000.0,
+            roads: RoadNetworkConfig {
+                width_m: 24_000.0,
+                height_m: 24_000.0,
+                grid_spacing_m: 2_000.0,
+                highway_rows: vec![6],
+                highway_cols: vec![6],
+                highway_speed_kmh: 110.0,
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// One synthetic metropolitan region.
+#[derive(Debug, Clone)]
+pub struct Region {
+    cfg: RegionConfig,
+    zones: ZoneMap,
+    roads: RoadNetwork,
+    deployment: Deployment,
+    index: StationIndex,
+    selector: CellSelector,
+}
+
+impl Region {
+    /// Generate the region deterministically from a seed.
+    pub fn generate(cfg: &RegionConfig, seed: u64) -> Region {
+        let seeds = SeedSplitter::new(seed);
+        let zones = ZoneMap {
+            center: Point::new(cfg.width_m / 2.0, cfg.height_m / 2.0),
+            urban_radius_m: cfg.urban_radius_m,
+            suburban_radius_m: cfg.suburban_radius_m,
+        };
+        let roads = RoadNetwork::generate(&cfg.roads, &zones);
+        let deployment = Deployment::generate(
+            &cfg.deployment,
+            &zones,
+            &roads,
+            cfg.width_m,
+            cfg.height_m,
+            seeds.domain("deployment"),
+        );
+        let index = StationIndex::build(&deployment, cfg.width_m, cfg.height_m, cfg.index_bucket_m);
+        let selector = CellSelector::new(cfg.selection.clone());
+        Region {
+            cfg: cfg.clone(),
+            zones,
+            roads,
+            deployment,
+            index,
+            selector,
+        }
+    }
+
+    /// The configuration this region was built from.
+    pub fn config(&self) -> &RegionConfig {
+        &self.cfg
+    }
+
+    /// The zone map.
+    pub fn zones(&self) -> &ZoneMap {
+        &self.zones
+    }
+
+    /// The road network.
+    pub fn roads(&self) -> &RoadNetwork {
+        &self.roads
+    }
+
+    /// The station deployment.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// The region's civil time zone.
+    pub fn timezone(&self) -> TimeZone {
+        self.cfg.timezone
+    }
+
+    /// Serving-cell decision at a position.
+    pub fn serving_cell(
+        &self,
+        ue: Point,
+        cap: ModemCapability,
+        current: Option<CellId>,
+    ) -> Option<ServingCell> {
+        self.selector.select(
+            &self.deployment,
+            &self.index,
+            &self.cfg.propagation,
+            &self.zones,
+            ue,
+            cap,
+            current,
+        )
+    }
+
+    /// Station record for a cell, if it belongs to this region.
+    pub fn station_of(&self, cell: CellId) -> Option<&StationInfo> {
+        self.deployment.station(cell.station)
+    }
+
+    /// Zone a station sits in; `None` for foreign ids.
+    pub fn station_zone(&self, id: BaseStationId) -> Option<Zone> {
+        self.deployment.station(id).map(|s| s.zone)
+    }
+
+    /// Sample a home location: population lives mostly in the suburban
+    /// ring, some downtown, some rural. Returns the nearest road node.
+    pub fn random_home(&self, seed: u64) -> NodeId {
+        self.sample_node(seed, [0.15, 0.62, 0.23])
+    }
+
+    /// Sample a work location: jobs concentrate downtown.
+    pub fn random_work(&self, seed: u64) -> NodeId {
+        self.sample_node(seed ^ 0x57AB_11E5, [0.52, 0.38, 0.10])
+    }
+
+    /// Sample a leisure/errand destination: mixed.
+    pub fn random_errand(&self, seed: u64) -> NodeId {
+        self.sample_node(seed ^ 0x0E44_A4D0, [0.30, 0.50, 0.20])
+    }
+
+    /// Sample a road node with zone weights `[urban, suburban, rural]`.
+    fn sample_node(&self, seed: u64, weights: [f64; 3]) -> NodeId {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let r: f64 = rng.gen();
+        let target = if r < weights[0] {
+            Zone::Urban
+        } else if r < weights[0] + weights[1] {
+            Zone::Suburban
+        } else {
+            Zone::Rural
+        };
+        // Rejection-sample a point in the target zone; fall back to any
+        // point after a bounded number of tries (tiny zones).
+        for _ in 0..64 {
+            let p = Point::new(
+                rng.gen_range(0.0..self.cfg.width_m),
+                rng.gen_range(0.0..self.cfg.height_m),
+            );
+            if self.zones.zone_of(p) == target {
+                return self.roads.nearest_node(p);
+            }
+        }
+        let p = Point::new(
+            rng.gen_range(0.0..self.cfg.width_m),
+            rng.gen_range(0.0..self.cfg.height_m),
+        );
+        self.roads.nearest_node(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_default_region() {
+        let r = Region::generate(&RegionConfig::default(), 42);
+        assert!(r.deployment().stations().len() > 100);
+        assert!(r.deployment().cell_count() > r.deployment().stations().len() * 3);
+        assert_eq!(r.timezone(), TimeZone::US_EASTERN);
+    }
+
+    #[test]
+    fn small_region_is_smaller() {
+        let big = Region::generate(&RegionConfig::default(), 42);
+        let small = Region::generate(&RegionConfig::small(), 42);
+        assert!(small.deployment().stations().len() < big.deployment().stations().len());
+    }
+
+    #[test]
+    fn homes_and_works_are_distributed() {
+        let r = Region::generate(&RegionConfig::small(), 42);
+        let mut home_zones = [0usize; 3];
+        let mut work_zones = [0usize; 3];
+        for i in 0..300 {
+            let h = r.roads().position(r.random_home(i));
+            let w = r.roads().position(r.random_work(i));
+            home_zones[zone_idx(r.zones().zone_of(h))] += 1;
+            work_zones[zone_idx(r.zones().zone_of(w))] += 1;
+        }
+        // Work skews urban relative to home.
+        assert!(work_zones[0] > home_zones[0]);
+        // All zones are inhabited.
+        assert!(home_zones.iter().all(|&n| n > 0));
+    }
+
+    fn zone_idx(z: Zone) -> usize {
+        match z {
+            Zone::Urban => 0,
+            Zone::Suburban => 1,
+            Zone::Rural => 2,
+        }
+    }
+
+    #[test]
+    fn serving_cell_end_to_end() {
+        let r = Region::generate(&RegionConfig::small(), 42);
+        let center = Point::new(r.config().width_m / 2.0, r.config().height_m / 2.0);
+        let s = r
+            .serving_cell(center, ModemCapability::STANDARD, None)
+            .expect("downtown coverage");
+        assert!(r.station_of(s.cell).is_some());
+        assert_eq!(r.station_zone(s.cell.station), Some(Zone::Urban));
+    }
+
+    #[test]
+    fn regeneration_is_identical() {
+        let a = Region::generate(&RegionConfig::small(), 9);
+        let b = Region::generate(&RegionConfig::small(), 9);
+        let pa: Vec<_> = a.deployment().stations().iter().map(|s| s.position).collect();
+        let pb: Vec<_> = b.deployment().stations().iter().map(|s| s.position).collect();
+        assert_eq!(pa, pb);
+    }
+}

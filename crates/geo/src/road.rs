@@ -1,0 +1,477 @@
+//! Road network and routing.
+//!
+//! The region's roads are a surface-street grid (nodes every couple of
+//! kilometres, travel at the local zone's street speed) overlaid with
+//! highway corridors (straight rows/columns of the grid where travel is
+//! much faster). Commutes route over this graph by travel time with
+//! Dijkstra, which naturally prefers highways for long trips — exactly
+//! the mobility that produces the inter-base-station handover chains of
+//! §4.5 and the "cars concentrated on highway cells" effect of §4.4.
+
+use crate::point::Point;
+use crate::zone::ZoneMap;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Index of a road-grid node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Configuration of the road grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoadNetworkConfig {
+    /// Region width, metres.
+    pub width_m: f64,
+    /// Region height, metres.
+    pub height_m: f64,
+    /// Grid spacing between adjacent road nodes, metres.
+    pub grid_spacing_m: f64,
+    /// Grid row indices (south→north) that carry an east–west highway.
+    pub highway_rows: Vec<u32>,
+    /// Grid column indices (west→east) that carry a north–south highway.
+    pub highway_cols: Vec<u32>,
+    /// Highway speed, km/h.
+    pub highway_speed_kmh: f64,
+}
+
+impl Default for RoadNetworkConfig {
+    fn default() -> Self {
+        RoadNetworkConfig {
+            width_m: 60_000.0,
+            height_m: 60_000.0,
+            grid_spacing_m: 2_000.0,
+            // Two crossing highways through the middle plus a beltway-ish
+            // pair offset from the core.
+            highway_rows: vec![15, 22],
+            highway_cols: vec![15, 8],
+            highway_speed_kmh: 110.0,
+        }
+    }
+}
+
+/// One directed edge of the road graph.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Edge {
+    to: NodeId,
+    /// Traversal time, seconds.
+    time_secs: f64,
+    /// Length, metres.
+    length_m: f64,
+    /// Whether this edge is a highway segment.
+    highway: bool,
+}
+
+/// The road graph: grid nodes, directed edges, travel-time routing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    cols: u32,
+    rows: u32,
+    spacing_m: f64,
+    nodes: Vec<Point>,
+    /// Adjacency list, indexed by node.
+    edges: Vec<Vec<Edge>>,
+    /// Per-node highway membership (used by station layout to densify
+    /// coverage along corridors).
+    on_highway: Vec<bool>,
+}
+
+impl RoadNetwork {
+    /// Build the grid network for a region.
+    pub fn generate(cfg: &RoadNetworkConfig, zones: &ZoneMap) -> RoadNetwork {
+        let cols = (cfg.width_m / cfg.grid_spacing_m).floor() as u32 + 1;
+        let rows = (cfg.height_m / cfg.grid_spacing_m).floor() as u32 + 1;
+        let mut nodes = Vec::with_capacity((cols * rows) as usize);
+        for r in 0..rows {
+            for c in 0..cols {
+                nodes.push(Point::new(
+                    c as f64 * cfg.grid_spacing_m,
+                    r as f64 * cfg.grid_spacing_m,
+                ));
+            }
+        }
+        let idx = |r: u32, c: u32| NodeId(r * cols + c);
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+        let mut on_highway = vec![false; nodes.len()];
+        for r in 0..rows {
+            for c in 0..cols {
+                let here = idx(r, c);
+                if cfg.highway_rows.contains(&r) || cfg.highway_cols.contains(&c) {
+                    on_highway[here.index()] = true;
+                }
+                let mut connect = |to_r: u32, to_c: u32, horizontal: bool| {
+                    let to = idx(to_r, to_c);
+                    let a = nodes[here.index()];
+                    let b = nodes[to.index()];
+                    let len = a.distance_m(b);
+                    // A segment is highway when it lies *along* a highway
+                    // row/column, not merely crossing one.
+                    let highway = if horizontal {
+                        cfg.highway_rows.contains(&r)
+                    } else {
+                        cfg.highway_cols.contains(&c)
+                    };
+                    let speed_kmh = if highway {
+                        cfg.highway_speed_kmh
+                    } else {
+                        // Street speed of the slower endpoint's zone.
+                        zones
+                            .zone_of(a)
+                            .street_speed_kmh()
+                            .min(zones.zone_of(b).street_speed_kmh())
+                    };
+                    let time = len / (speed_kmh / 3.6);
+                    edges[here.index()].push(Edge {
+                        to,
+                        time_secs: time,
+                        length_m: len,
+                        highway,
+                    });
+                    edges[to.index()].push(Edge {
+                        to: here,
+                        time_secs: time,
+                        length_m: len,
+                        highway,
+                    });
+                };
+                if c + 1 < cols {
+                    connect(r, c + 1, true);
+                }
+                if r + 1 < rows {
+                    connect(r + 1, c, false);
+                }
+            }
+        }
+        RoadNetwork {
+            cols,
+            rows,
+            spacing_m: cfg.grid_spacing_m,
+            nodes,
+            edges,
+            on_highway,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Position of a node.
+    pub fn position(&self, n: NodeId) -> Point {
+        self.nodes[n.index()]
+    }
+
+    /// Whether a node sits on a highway corridor.
+    pub fn is_highway_node(&self, n: NodeId) -> bool {
+        self.on_highway[n.index()]
+    }
+
+    /// The grid node nearest to an arbitrary point.
+    pub fn nearest_node(&self, p: Point) -> NodeId {
+        let c = (p.x / self.spacing_m).round().clamp(0.0, (self.cols - 1) as f64) as u32;
+        let r = (p.y / self.spacing_m).round().clamp(0.0, (self.rows - 1) as f64) as u32;
+        NodeId(r * self.cols + c)
+    }
+
+    /// Node at grid coordinates (row, col), if in range.
+    pub fn node_at(&self, row: u32, col: u32) -> Option<NodeId> {
+        (row < self.rows && col < self.cols).then(|| NodeId(row * self.cols + col))
+    }
+
+    /// Grid dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (u32, u32) {
+        (self.rows, self.cols)
+    }
+
+    /// Fastest route between two nodes (Dijkstra on travel time).
+    ///
+    /// Returns `None` only if the graph were disconnected, which the grid
+    /// construction precludes; still surfaced as an `Option` so callers
+    /// handle custom networks gracefully.
+    pub fn route(&self, from: NodeId, to: NodeId) -> Option<Route> {
+        if from == to {
+            return Some(Route {
+                waypoints: vec![RouteLeg {
+                    point: self.position(from),
+                    cumulative_secs: 0.0,
+                    cumulative_m: 0.0,
+                    highway: false,
+                }],
+            });
+        }
+        let n = self.nodes.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        // BinaryHeap over ordered-float-by-bits: times are finite and
+        // non-negative, so total order by bit pattern is safe.
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        dist[from.index()] = 0.0;
+        heap.push(Reverse((0u64, from.0)));
+        while let Some(Reverse((dbits, u))) = heap.pop() {
+            let d = f64::from_bits(dbits);
+            if d > dist[u as usize] {
+                continue;
+            }
+            if u == to.0 {
+                break;
+            }
+            for e in &self.edges[u as usize] {
+                let nd = d + e.time_secs;
+                if nd < dist[e.to.index()] {
+                    dist[e.to.index()] = nd;
+                    prev[e.to.index()] = Some(NodeId(u));
+                    heap.push(Reverse((nd.to_bits(), e.to.0)));
+                }
+            }
+        }
+        if dist[to.index()].is_infinite() {
+            return None;
+        }
+        // Reconstruct node chain.
+        let mut chain = vec![to];
+        let mut cur = to;
+        while let Some(p) = prev[cur.index()] {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        debug_assert_eq!(chain[0], from);
+        // Convert to waypoints with cumulative time/distance.
+        let mut waypoints = Vec::with_capacity(chain.len());
+        let mut t = 0.0;
+        let mut m = 0.0;
+        waypoints.push(RouteLeg {
+            point: self.position(from),
+            cumulative_secs: 0.0,
+            cumulative_m: 0.0,
+            highway: false,
+        });
+        for w in chain.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let e = self.edges[a.index()]
+                .iter()
+                .find(|e| e.to == b)
+                .expect("edge on reconstructed path");
+            t += e.time_secs;
+            m += e.length_m;
+            waypoints.push(RouteLeg {
+                point: self.position(b),
+                cumulative_secs: t,
+                cumulative_m: m,
+                highway: e.highway,
+            });
+        }
+        Some(Route { waypoints })
+    }
+}
+
+/// One waypoint of a [`Route`] with cumulative travel time/distance.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RouteLeg {
+    /// Waypoint position.
+    pub point: Point,
+    /// Seconds of travel from the route start to this waypoint.
+    pub cumulative_secs: f64,
+    /// Metres of travel from the route start to this waypoint.
+    pub cumulative_m: f64,
+    /// Whether the segment *arriving* at this waypoint is highway.
+    pub highway: bool,
+}
+
+/// A fastest-path route: waypoints with cumulative timing, supporting
+/// position interpolation at any elapsed time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Route {
+    waypoints: Vec<RouteLeg>,
+}
+
+impl Route {
+    /// Total travel time, whole seconds (rounded up).
+    pub fn total_time_secs(&self) -> u64 {
+        self.waypoints
+            .last()
+            .map(|w| w.cumulative_secs.ceil() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Total length in metres.
+    pub fn total_length_m(&self) -> f64 {
+        self.waypoints.last().map(|w| w.cumulative_m).unwrap_or(0.0)
+    }
+
+    /// The waypoints.
+    pub fn legs(&self) -> &[RouteLeg] {
+        &self.waypoints
+    }
+
+    /// Position after `elapsed` seconds of driving; clamps to the
+    /// endpoints outside `[0, total]`.
+    pub fn position_at(&self, elapsed_secs: f64) -> Point {
+        let ws = &self.waypoints;
+        if ws.is_empty() {
+            return Point::default();
+        }
+        if elapsed_secs <= 0.0 {
+            return ws[0].point;
+        }
+        let last = ws[ws.len() - 1];
+        if elapsed_secs >= last.cumulative_secs {
+            return last.point;
+        }
+        // Binary search for the segment containing `elapsed`.
+        let i = ws.partition_point(|w| w.cumulative_secs <= elapsed_secs);
+        let a = ws[i - 1];
+        let b = ws[i];
+        let span = b.cumulative_secs - a.cumulative_secs;
+        let t = if span > 0.0 {
+            (elapsed_secs - a.cumulative_secs) / span
+        } else {
+            0.0
+        };
+        a.point.lerp(b.point, t)
+    }
+
+    /// Whether the car is on a highway segment at `elapsed` seconds.
+    pub fn on_highway_at(&self, elapsed_secs: f64) -> bool {
+        let ws = &self.waypoints;
+        if ws.len() < 2 || elapsed_secs <= 0.0 {
+            return false;
+        }
+        let i = ws
+            .partition_point(|w| w.cumulative_secs <= elapsed_secs)
+            .min(ws.len() - 1);
+        ws[i].highway
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_net() -> RoadNetwork {
+        let cfg = RoadNetworkConfig {
+            width_m: 10_000.0,
+            height_m: 10_000.0,
+            grid_spacing_m: 1_000.0,
+            highway_rows: vec![5],
+            highway_cols: vec![],
+            highway_speed_kmh: 110.0,
+        };
+        let zones = ZoneMap {
+            center: Point::from_km(5.0, 5.0),
+            urban_radius_m: 2_000.0,
+            suburban_radius_m: 4_000.0,
+        };
+        RoadNetwork::generate(&cfg, &zones)
+    }
+
+    #[test]
+    fn grid_shape() {
+        let net = small_net();
+        assert_eq!(net.dims(), (11, 11));
+        assert_eq!(net.node_count(), 121);
+    }
+
+    #[test]
+    fn nearest_node_snaps_and_clamps() {
+        let net = small_net();
+        let n = net.nearest_node(Point::new(2_400.0, 3_600.0));
+        assert_eq!(net.position(n), Point::new(2_000.0, 4_000.0));
+        // Outside the grid clamps to the border.
+        let n = net.nearest_node(Point::new(-5_000.0, 50_000.0));
+        assert_eq!(net.position(n), Point::new(0.0, 10_000.0));
+    }
+
+    #[test]
+    fn route_straight_line() {
+        let net = small_net();
+        let a = net.node_at(0, 0).unwrap();
+        let b = net.node_at(0, 3).unwrap();
+        let r = net.route(a, b).unwrap();
+        assert_eq!(r.total_length_m(), 3_000.0);
+        assert_eq!(r.legs().len(), 4);
+        // Row 0 is rural in this map (far from center): 75 km/h.
+        let expected = 3_000.0 / (75.0 / 3.6);
+        assert!((r.total_time_secs() as f64 - expected).abs() <= 1.0);
+    }
+
+    #[test]
+    fn route_prefers_highway_for_long_trips() {
+        let net = small_net();
+        // West edge to east edge at the highway row's latitude ±1:
+        // the fast path should use the row-5 highway.
+        let a = net.node_at(4, 0).unwrap();
+        let b = net.node_at(4, 10).unwrap();
+        let r = net.route(a, b).unwrap();
+        assert!(
+            r.legs().iter().any(|l| l.highway),
+            "long east-west trip should take the highway"
+        );
+    }
+
+    #[test]
+    fn route_same_node() {
+        let net = small_net();
+        let a = net.node_at(2, 2).unwrap();
+        let r = net.route(a, a).unwrap();
+        assert_eq!(r.total_time_secs(), 0);
+        assert_eq!(r.position_at(100.0), net.position(a));
+    }
+
+    #[test]
+    fn position_interpolates_monotonically() {
+        let net = small_net();
+        let a = net.node_at(0, 0).unwrap();
+        let b = net.node_at(3, 3).unwrap();
+        let r = net.route(a, b).unwrap();
+        let total = r.total_time_secs() as f64;
+        let mut last = r.position_at(0.0);
+        let mut moved = 0.0;
+        let mut t = 0.0;
+        while t <= total {
+            let p = r.position_at(t);
+            moved += last.distance_m(p);
+            last = p;
+            t += 10.0;
+        }
+        moved += last.distance_m(r.position_at(total));
+        // Chords sampled every 10 s can cut corners, so the measured
+        // length is a lower bound on the route length, and close to it.
+        assert!(moved <= r.total_length_m() + 1e-6);
+        assert!(moved >= 0.85 * r.total_length_m(), "moved {moved}");
+        // Clamping beyond the end.
+        assert_eq!(r.position_at(total + 999.0), net.position(b));
+    }
+
+    #[test]
+    fn highway_flag_at_time() {
+        let net = small_net();
+        let a = net.node_at(5, 0).unwrap();
+        let b = net.node_at(5, 10).unwrap();
+        let r = net.route(a, b).unwrap();
+        // Whole route runs along the highway row.
+        assert!(r.on_highway_at(r.total_time_secs() as f64 / 2.0));
+        assert!(!r.on_highway_at(0.0)); // before departure: not driving
+    }
+
+    #[test]
+    fn triangle_inequality_on_times() {
+        let net = small_net();
+        let a = net.node_at(0, 0).unwrap();
+        let b = net.node_at(9, 9).unwrap();
+        let c = net.node_at(0, 9).unwrap();
+        let ab = net.route(a, b).unwrap().total_time_secs();
+        let ac = net.route(a, c).unwrap().total_time_secs();
+        let cb = net.route(c, b).unwrap().total_time_secs();
+        assert!(ab <= ac + cb + 1);
+    }
+}

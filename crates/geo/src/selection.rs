@@ -1,0 +1,434 @@
+//! Strongest-server cell selection with carrier priority and hysteresis.
+//!
+//! A terminal attaches to the cell with the best *selection score*:
+//! received power plus a per-carrier priority bonus (operators steer
+//! traffic onto wide mid-band LTE carriers when coverage allows, and use
+//! low-band and 3G as coverage layers — the mechanism behind Table 3's
+//! time-share mix). A serving cell is only abandoned when a competitor
+//! beats it by a hysteresis margin or its own signal drops below the
+//! minimum, which keeps handover counts realistic instead of flapping on
+//! every shadow-fading ripple.
+
+use crate::index::StationIndex;
+use crate::layout::Deployment;
+use crate::point::Point;
+use crate::propagation::{PropagationModel, RxPower};
+use crate::zone::ZoneMap;
+use conncar_types::{Carrier, CellId, ModemCapability};
+use serde::{Deserialize, Serialize};
+
+/// Selection tuning parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelectionConfig {
+    /// Minimum usable received power, dBm.
+    pub min_rx_dbm: f64,
+    /// Score bonus per step of carrier selection priority, dB.
+    pub priority_bonus_db: f64,
+    /// Hysteresis a challenger must overcome to trigger handover, dB.
+    pub hysteresis_db: f64,
+    /// Initial candidate search radius, metres.
+    pub search_radius_m: f64,
+    /// Maximum search radius when initial search finds nothing, metres.
+    pub max_search_radius_m: f64,
+    /// Amplitude of the idle-mode load-balancing bias, dB. Operators
+    /// spread idle UEs across co-deployed carriers; we model it as a
+    /// deterministic static per-cell score offset in
+    /// `[-amplitude, +amplitude]`, which splits population-level time
+    /// between equally adequate carriers without per-drive flapping.
+    pub balance_jitter_db: f64,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        SelectionConfig {
+            min_rx_dbm: -118.0,
+            priority_bonus_db: 4.0,
+            hysteresis_db: 6.0,
+            search_radius_m: 9_000.0,
+            max_search_radius_m: 40_000.0,
+            balance_jitter_db: 4.0,
+        }
+    }
+}
+
+/// A selected serving cell with its link quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingCell {
+    /// The chosen cell.
+    pub cell: CellId,
+    /// Received power from that cell.
+    pub rx: RxPower,
+    /// Selection score (rx + priority bonus).
+    pub score: f64,
+}
+
+/// Deterministic load-balancing offset in dB for a cell.
+///
+/// Static per cell (not per position): a spatially varying offset would
+/// re-roll as a car drives and cause ping-pong handovers every sample;
+/// a fixed per-cell bias splits *population-level* time between
+/// co-deployed carriers while keeping each drive's serving chain smooth.
+fn balance_jitter_db(amplitude: f64, cell: CellId) -> f64 {
+    if amplitude <= 0.0 {
+        return 0.0;
+    }
+    let mut h = (cell.station.0 as u64) << 20
+        ^ (cell.sector as u64) << 12
+        ^ (cell.carrier.index() as u64) << 8;
+    h = h.wrapping_mul(0x9FB2_1C65_1E98_DF25);
+    h = h.rotate_left(19) ^ 0xC2B2_AE3D_27D4_EB4F;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+    (2.0 * u - 1.0) * amplitude
+}
+
+/// Evaluates serving-cell choices against a deployment.
+#[derive(Debug, Clone)]
+pub struct CellSelector {
+    cfg: SelectionConfig,
+    /// Per-carrier frequency path-loss term, precomputed.
+    freq_term_db: [f64; 5],
+    /// Per-carrier priority bonus, precomputed.
+    bonus_db: [f64; 5],
+}
+
+impl CellSelector {
+    /// Build a selector for a propagation model.
+    pub fn new(cfg: SelectionConfig) -> CellSelector {
+        let mut freq_term_db = [0.0; 5];
+        let mut bonus_db = [0.0; 5];
+        for c in conncar_types::ALL_CARRIERS {
+            freq_term_db[c.index()] = 20.0 * (c.frequency_mhz() as f64 / 700.0).log10();
+            bonus_db[c.index()] = c.selection_priority() as f64 * cfg.priority_bonus_db;
+        }
+        CellSelector {
+            cfg,
+            freq_term_db,
+            bonus_db,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SelectionConfig {
+        &self.cfg
+    }
+
+    /// Best cell at `ue` for a modem with `cap`, considering hysteresis
+    /// against `current`. Returns `None` when no usable signal exists
+    /// (deep rural gap) — the modem stays detached, which the CDR layer
+    /// records as a coverage gap.
+    #[allow(clippy::too_many_arguments)]
+    pub fn select(
+        &self,
+        deployment: &Deployment,
+        index: &StationIndex,
+        prop: &PropagationModel,
+        zones: &ZoneMap,
+        ue: Point,
+        cap: ModemCapability,
+        current: Option<CellId>,
+    ) -> Option<ServingCell> {
+        if cap.is_empty() {
+            return None;
+        }
+        let mut radius = self.cfg.search_radius_m;
+        loop {
+            if let Some(best) = self.scan(deployment, index, prop, zones, ue, cap, radius) {
+                // Hysteresis: keep the current cell unless the winner is
+                // decisively better or the current cell itself fails.
+                if let Some(cur) = current {
+                    if cur != best.cell {
+                        if let Some(cur_eval) = self.evaluate(deployment, prop, zones, ue, cur) {
+                            if cur_eval.rx.dbm() >= self.cfg.min_rx_dbm
+                                && best.score < cur_eval.score + self.cfg.hysteresis_db
+                            {
+                                return Some(cur_eval);
+                            }
+                        }
+                    }
+                }
+                return Some(best);
+            }
+            if radius >= self.cfg.max_search_radius_m {
+                return None;
+            }
+            radius = (radius * 2.0).min(self.cfg.max_search_radius_m);
+        }
+    }
+
+    /// Evaluate one specific cell at a position (used for hysteresis and
+    /// for diagnostics). `None` if the cell does not exist.
+    pub fn evaluate(
+        &self,
+        deployment: &Deployment,
+        prop: &PropagationModel,
+        zones: &ZoneMap,
+        ue: Point,
+        cell: CellId,
+    ) -> Option<ServingCell> {
+        let station = deployment.station(cell.station)?;
+        if cell.sector >= station.sectors || !station.carriers.contains(&cell.carrier) {
+            return None;
+        }
+        let rx = prop.rx_power(
+            station.id.0,
+            station.position,
+            station.sector_azimuth_deg(cell.sector),
+            cell.carrier,
+            ue,
+            zones,
+        );
+        Some(ServingCell {
+            cell,
+            rx,
+            score: rx.dbm()
+                + self.bonus_db[cell.carrier.index()]
+                + balance_jitter_db(self.cfg.balance_jitter_db, cell),
+        })
+    }
+
+    /// One scan pass at a fixed radius.
+    #[allow(clippy::too_many_arguments)]
+    fn scan(
+        &self,
+        deployment: &Deployment,
+        index: &StationIndex,
+        prop: &PropagationModel,
+        zones: &ZoneMap,
+        ue: Point,
+        cap: ModemCapability,
+        radius_m: f64,
+    ) -> Option<ServingCell> {
+        let zone = zones.zone_of(ue);
+        let n_exp = zone.path_loss_exponent();
+        let mut best: Option<ServingCell> = None;
+        index.for_each_within(deployment, ue, radius_m, |_, station, dist_m| {
+            // Distance/zone part of the path loss, shared by all cells of
+            // the station.
+            let d_km = (dist_m / 1_000.0).max(0.02);
+            let pl_base = prop.pl_ref_db + 10.0 * n_exp * d_km.log10();
+            let shadow = prop.shadow_db(station.id.0, ue, zone);
+            let bearing = station.position.azimuth_deg_to(ue);
+            for sector in 0..station.sectors {
+                let gain = prop.antenna_gain_db(station.sector_azimuth_deg(sector), bearing);
+                for &carrier in &station.carriers {
+                    if !cap.supports(carrier) {
+                        continue;
+                    }
+                    let rx_dbm =
+                        prop.eirp_dbm - pl_base - self.freq_term_db[carrier.index()] + gain
+                            - shadow;
+                    if rx_dbm < self.cfg.min_rx_dbm {
+                        continue;
+                    }
+                    let cell_id = CellId::new(station.id, sector, carrier);
+                    let score = rx_dbm
+                        + self.bonus_db[carrier.index()]
+                        + balance_jitter_db(self.cfg.balance_jitter_db, cell_id);
+                    let better = match &best {
+                        None => true,
+                        Some(b) => {
+                            score > b.score
+                                || (score == b.score && (station.id, sector, carrier) < {
+                                    (b.cell.station, b.cell.sector, b.cell.carrier)
+                                })
+                        }
+                    };
+                    if better {
+                        best = Some(ServingCell {
+                            cell: CellId::new(station.id, sector, carrier),
+                            rx: RxPower(rx_dbm),
+                            score,
+                        });
+                    }
+                }
+            }
+        });
+        best
+    }
+
+    /// Convenience: which carrier a capability-limited modem would pick
+    /// when all carriers are equally strong — the highest priority one,
+    /// ties broken by label order (C3 over C4).
+    pub fn preferred_carrier(cap: ModemCapability) -> Option<Carrier> {
+        let mut best: Option<Carrier> = None;
+        for c in cap.iter() {
+            if best
+                .map(|b| c.selection_priority() > b.selection_priority())
+                .unwrap_or(true)
+            {
+                best = Some(c);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::DeploymentConfig;
+    use crate::road::{RoadNetwork, RoadNetworkConfig};
+
+    struct World {
+        deployment: Deployment,
+        index: StationIndex,
+        prop: PropagationModel,
+        zones: ZoneMap,
+        selector: CellSelector,
+    }
+
+    fn world() -> World {
+        let zones = ZoneMap {
+            center: Point::from_km(30.0, 30.0),
+            urban_radius_m: 6_000.0,
+            suburban_radius_m: 18_000.0,
+        };
+        let roads = RoadNetwork::generate(&RoadNetworkConfig::default(), &zones);
+        let deployment = Deployment::generate(
+            &DeploymentConfig::default(),
+            &zones,
+            &roads,
+            60_000.0,
+            60_000.0,
+            7,
+        );
+        let index = StationIndex::build(&deployment, 60_000.0, 60_000.0, 2_000.0);
+        World {
+            deployment,
+            index,
+            prop: PropagationModel::default(),
+            zones,
+            selector: CellSelector::new(SelectionConfig::default()),
+        }
+    }
+
+    impl World {
+        fn select(&self, ue: Point, cap: ModemCapability, cur: Option<CellId>) -> Option<ServingCell> {
+            self.selector.select(
+                &self.deployment,
+                &self.index,
+                &self.prop,
+                &self.zones,
+                ue,
+                cap,
+                cur,
+            )
+        }
+    }
+
+    #[test]
+    fn downtown_always_has_service() {
+        let w = world();
+        for (x, y) in [(30.0, 30.0), (28.0, 31.0), (33.0, 29.0)] {
+            let s = w
+                .select(Point::from_km(x, y), ModemCapability::STANDARD, None)
+                .expect("urban coverage");
+            assert!(s.rx.dbm() >= w.selector.config().min_rx_dbm);
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let w = world();
+        let p = Point::from_km(25.0, 40.0);
+        let a = w.select(p, ModemCapability::STANDARD, None);
+        let b = w.select(p, ModemCapability::STANDARD, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn capability_limits_carrier() {
+        let w = world();
+        let p = Point::from_km(30.0, 30.0);
+        let only_c2 = w.select(p, ModemCapability::UMTS_ONLY, None);
+        if let Some(s) = only_c2 {
+            assert_eq!(s.cell.carrier, Carrier::C2);
+        }
+        let none = w.select(p, ModemCapability::NONE, None);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn hysteresis_keeps_current_cell() {
+        let w = world();
+        let p = Point::from_km(30.0, 30.0);
+        let first = w.select(p, ModemCapability::STANDARD, None).unwrap();
+        // Tiny move: the winner from 5 m away must not displace the
+        // current serving cell thanks to hysteresis.
+        let p2 = Point::new(p.x + 5.0, p.y);
+        let second = w
+            .select(p2, ModemCapability::STANDARD, Some(first.cell))
+            .unwrap();
+        assert_eq!(second.cell, first.cell);
+    }
+
+    #[test]
+    fn long_drive_hands_over() {
+        let w = world();
+        let mut cur: Option<CellId> = None;
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..60 {
+            let p = Point::from_km(10.0 + i as f64 * 0.666, 30.0);
+            if let Some(s) = w.select(p, ModemCapability::STANDARD, cur) {
+                distinct.insert(s.cell);
+                cur = Some(s.cell);
+            }
+        }
+        assert!(
+            distinct.len() >= 5,
+            "40 km drive should cross several cells, saw {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn evaluate_rejects_nonexistent_cells() {
+        let w = world();
+        let p = Point::from_km(30.0, 30.0);
+        let s = w.select(p, ModemCapability::STANDARD, None).unwrap();
+        let station = w.deployment.station(s.cell.station).unwrap();
+        // A sector index beyond the station's sector count.
+        let bogus = CellId::new(station.id, station.sectors, s.cell.carrier);
+        assert!(w
+            .selector
+            .evaluate(&w.deployment, &w.prop, &w.zones, p, bogus)
+            .is_none());
+    }
+
+    #[test]
+    fn preferred_carrier_follows_priority() {
+        assert_eq!(
+            CellSelector::preferred_carrier(ModemCapability::STANDARD),
+            Some(Carrier::C3)
+        );
+        assert_eq!(
+            CellSelector::preferred_carrier(ModemCapability::UMTS_ONLY),
+            Some(Carrier::C2)
+        );
+        assert_eq!(CellSelector::preferred_carrier(ModemCapability::NONE), None);
+    }
+
+    #[test]
+    fn mid_band_preferred_where_deployed() {
+        // Aggregate preference: downtown selections should be dominated
+        // by the high-priority C3 carrier.
+        let w = world();
+        let mut c3 = 0;
+        let mut total = 0;
+        for i in 0..50 {
+            let p = Point::from_km(27.0 + (i % 10) as f64 * 0.6, 27.0 + (i / 10) as f64 * 1.2);
+            if let Some(s) = w.select(p, ModemCapability::STANDARD, None) {
+                total += 1;
+                if s.cell.carrier == Carrier::C3 {
+                    c3 += 1;
+                }
+            }
+        }
+        assert!(total > 40);
+        assert!(
+            c3 * 2 > total,
+            "C3 should serve most of downtown, got {c3}/{total}"
+        );
+    }
+}

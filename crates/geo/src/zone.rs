@@ -1,0 +1,114 @@
+//! Land-use zones of the synthetic region.
+//!
+//! The region is a classic monocentric metro: an urban core, a suburban
+//! ring, and rural land beyond, crossed by highways. Zones drive base
+//! station density (capacity follows people), propagation exponents
+//! (clutter), road speeds and where cars live and work.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// Land-use classification of a location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Zone {
+    /// Dense downtown core.
+    Urban,
+    /// Residential/commercial ring.
+    Suburban,
+    /// Countryside and exurbs.
+    Rural,
+}
+
+impl Zone {
+    /// Path-loss exponent for log-distance propagation in this clutter.
+    pub const fn path_loss_exponent(self) -> f64 {
+        match self {
+            Zone::Urban => 3.5,
+            Zone::Suburban => 3.2,
+            Zone::Rural => 2.8,
+        }
+    }
+
+    /// Lognormal shadow-fading standard deviation, dB.
+    pub const fn shadow_sigma_db(self) -> f64 {
+        match self {
+            Zone::Urban => 5.0,
+            Zone::Suburban => 4.5,
+            Zone::Rural => 3.5,
+        }
+    }
+
+    /// Typical inter-site distance for the station lattice, metres.
+    pub const fn site_spacing_m(self) -> f64 {
+        match self {
+            Zone::Urban => 1_200.0,
+            Zone::Suburban => 2_600.0,
+            Zone::Rural => 7_000.0,
+        }
+    }
+
+    /// Surface street speed, km/h.
+    pub const fn street_speed_kmh(self) -> f64 {
+        match self {
+            Zone::Urban => 35.0,
+            Zone::Suburban => 55.0,
+            Zone::Rural => 75.0,
+        }
+    }
+}
+
+/// The concentric-zone map of the region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZoneMap {
+    /// Centre of the urban core.
+    pub center: Point,
+    /// Radius of the urban core, metres.
+    pub urban_radius_m: f64,
+    /// Outer radius of the suburban ring, metres.
+    pub suburban_radius_m: f64,
+}
+
+impl ZoneMap {
+    /// Classify a point.
+    pub fn zone_of(&self, p: Point) -> Zone {
+        let d = self.center.distance_m(p);
+        if d <= self.urban_radius_m {
+            Zone::Urban
+        } else if d <= self.suburban_radius_m {
+            Zone::Suburban
+        } else {
+            Zone::Rural
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> ZoneMap {
+        ZoneMap {
+            center: Point::from_km(30.0, 30.0),
+            urban_radius_m: 6_000.0,
+            suburban_radius_m: 18_000.0,
+        }
+    }
+
+    #[test]
+    fn concentric_classification() {
+        let m = map();
+        assert_eq!(m.zone_of(Point::from_km(30.0, 30.0)), Zone::Urban);
+        assert_eq!(m.zone_of(Point::from_km(30.0, 35.9)), Zone::Urban);
+        assert_eq!(m.zone_of(Point::from_km(30.0, 40.0)), Zone::Suburban);
+        assert_eq!(m.zone_of(Point::from_km(30.0, 55.0)), Zone::Rural);
+        assert_eq!(m.zone_of(Point::from_km(0.0, 0.0)), Zone::Rural);
+    }
+
+    #[test]
+    fn parameters_are_ordered_by_density() {
+        assert!(Zone::Urban.site_spacing_m() < Zone::Suburban.site_spacing_m());
+        assert!(Zone::Suburban.site_spacing_m() < Zone::Rural.site_spacing_m());
+        assert!(Zone::Urban.path_loss_exponent() > Zone::Rural.path_loss_exponent());
+        assert!(Zone::Urban.street_speed_kmh() < Zone::Rural.street_speed_kmh());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the spatial substrate: routing laws and
+//! cell-selection invariants that the trace generator depends on.
+
+use conncar_geo::{NodeId, Point, Region, RegionConfig};
+use conncar_types::ModemCapability;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn region() -> &'static Region {
+    static REGION: OnceLock<Region> = OnceLock::new();
+    REGION.get_or_init(|| Region::generate(&RegionConfig::small(), 42))
+}
+
+fn node(r: &Region, raw: u32) -> NodeId {
+    let n = r.roads().node_count() as u32;
+    NodeId(raw % n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn routes_connect_and_interpolate(a_raw in any::<u32>(), b_raw in any::<u32>()) {
+        let r = region();
+        let a = node(r, a_raw);
+        let b = node(r, b_raw);
+        let route = r.roads().route(a, b).expect("grid is connected");
+        let total = route.total_time_secs();
+        // Endpoints are exact.
+        prop_assert_eq!(route.position_at(0.0), r.roads().position(a));
+        prop_assert_eq!(route.position_at(total as f64 + 1e9), r.roads().position(b));
+        // Every sampled position stays inside the region bounds.
+        let w = r.config().width_m;
+        let h = r.config().height_m;
+        for i in 0..=10 {
+            let p = route.position_at(total as f64 * i as f64 / 10.0);
+            prop_assert!((-1e-6..=w + 1e-6).contains(&p.x));
+            prop_assert!((-1e-6..=h + 1e-6).contains(&p.y));
+        }
+        // Route length is at least the straight-line distance.
+        let crow = r.roads().position(a).distance_m(r.roads().position(b));
+        prop_assert!(route.total_length_m() + 1e-6 >= crow);
+    }
+
+    #[test]
+    fn route_time_is_symmetric(a_raw in any::<u32>(), b_raw in any::<u32>()) {
+        // The grid's edges are undirected with symmetric speeds.
+        let r = region();
+        let a = node(r, a_raw);
+        let b = node(r, b_raw);
+        let ab = r.roads().route(a, b).expect("connected").total_time_secs();
+        let ba = r.roads().route(b, a).expect("connected").total_time_secs();
+        prop_assert!(ab.abs_diff(ba) <= 1);
+    }
+
+    #[test]
+    fn nearest_node_is_idempotent(x in 0.0f64..24_000.0, y in 0.0f64..24_000.0) {
+        let r = region();
+        let n = r.roads().nearest_node(Point::new(x, y));
+        let p = r.roads().position(n);
+        prop_assert_eq!(r.roads().nearest_node(p), n);
+    }
+
+    #[test]
+    fn selection_is_pure_and_capability_respecting(
+        x in 0.0f64..24_000.0,
+        y in 0.0f64..24_000.0,
+    ) {
+        let r = region();
+        let p = Point::new(x, y);
+        let a = r.serving_cell(p, ModemCapability::STANDARD, None);
+        let b = r.serving_cell(p, ModemCapability::STANDARD, None);
+        prop_assert_eq!(a.map(|s| s.cell), b.map(|s| s.cell));
+        if let Some(s) = a {
+            prop_assert!(ModemCapability::STANDARD.supports(s.cell.carrier));
+            // The chosen cell really exists in the deployment.
+            prop_assert!(r.station_of(s.cell).is_some());
+        }
+        // A 3G-only modem never lands on LTE.
+        if let Some(s) = r.serving_cell(p, ModemCapability::UMTS_ONLY, None) {
+            prop_assert_eq!(s.cell.carrier, conncar_types::Carrier::C2);
+        }
+    }
+
+    #[test]
+    fn hysteresis_never_picks_a_worse_scoring_cell_without_reason(
+        x in 2_000.0f64..22_000.0,
+        y in 2_000.0f64..22_000.0,
+    ) {
+        let r = region();
+        let p = Point::new(x, y);
+        let Some(first) = r.serving_cell(p, ModemCapability::STANDARD, None) else {
+            return Ok(());
+        };
+        // Re-selecting with the current cell as context returns the
+        // same cell (no spurious handover when stationary).
+        let second = r
+            .serving_cell(p, ModemCapability::STANDARD, Some(first.cell))
+            .expect("still covered");
+        prop_assert_eq!(second.cell, first.cell);
+    }
+}
+
+#[test]
+fn sampled_homes_are_valid_nodes() {
+    let r = region();
+    for seed in 0..50 {
+        let h = r.random_home(seed);
+        assert!(h.index() < r.roads().node_count());
+    }
+}

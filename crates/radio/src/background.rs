@@ -1,0 +1,389 @@
+//! Background PRB utilization: the load all *other* users put on each
+//! cell.
+//!
+//! The paper's busy-hour machinery (Figures 1, 10, 11; Table 2) needs a
+//! per-cell, per-15-minute-bin utilization series `U_PRB`. Car traffic is
+//! a small fraction of total network load, so the dominant term is
+//! background: smartphones following the well-known diurnal pattern.
+//!
+//! The model is multiplicative:
+//!
+//! ```text
+//! U_bg(cell, bin) = clamp( peak(zone) · busyness(cell) · shape(class, weekbin) · noise(cell, bin) )
+//! ```
+//!
+//! * `shape` — a normalized (≤ 1) weekly curve per land-use class:
+//!   residential cells peak in the evening, business cells during office
+//!   hours, highway cells at commute times, rural cells stay flat.
+//!   Weekends damp business load and lift daytime residential load.
+//! * `busyness` — a deterministic per-cell factor (hash-driven,
+//!   0.35–1.70) giving the heavy-tailed cell population of a real
+//!   network: most cells moderate, a few hot. The hot tail is what makes
+//!   "busy cells" (`U_PRB > 80%`) exist.
+//! * `noise` — ±8% multiplicative per-bin texture so two days are never
+//!   identical.
+//!
+//! Everything is a pure function of (cell id, bin, seed): no state, so
+//! analyses can evaluate arbitrary slices cheaply and in parallel.
+
+use conncar_geo::{StationInfo, Zone};
+use conncar_types::{BinIndex, CellId, DayOfWeek, StudyPeriod, BINS_PER_DAY};
+use serde::{Deserialize, Serialize};
+
+/// Land-use class of a cell, driving its diurnal shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellClass {
+    /// Evening-peaked neighborhood cell.
+    Residential,
+    /// Office-hours-peaked downtown cell.
+    Business,
+    /// Commute-peaked corridor cell.
+    Highway,
+    /// Flat, lightly loaded countryside cell.
+    Rural,
+}
+
+impl CellClass {
+    /// Derive the class of a station's cells from its zone and siting.
+    ///
+    /// Urban stations split ~70/30 business/residential, suburban ~25/75;
+    /// the split is a deterministic hash of the station id.
+    pub fn of_station(station: &StationInfo) -> CellClass {
+        if station.highway_site {
+            return CellClass::Highway;
+        }
+        let h = mix(station.id.0 as u64);
+        let frac = (h & 0xFFFF) as f64 / 65_536.0;
+        match station.zone {
+            Zone::Urban => {
+                if frac < 0.70 {
+                    CellClass::Business
+                } else {
+                    CellClass::Residential
+                }
+            }
+            Zone::Suburban => {
+                if frac < 0.25 {
+                    CellClass::Business
+                } else {
+                    CellClass::Residential
+                }
+            }
+            Zone::Rural => CellClass::Rural,
+        }
+    }
+
+    /// Normalized weekly shape value for one 15-minute bin.
+    ///
+    /// `hour_frac` is the local hour as a fraction (e.g. 17.25 = 17:15).
+    pub fn shape(self, day: DayOfWeek, hour_frac: f64) -> f64 {
+        let weekend = day.is_weekend();
+        match self {
+            CellClass::Residential => {
+                // Overnight trough, small morning shoulder, evening peak.
+                let base = 0.18
+                    + 0.25 * bump(hour_frac, 7.5, 2.0)
+                    + 0.55 * bump(hour_frac, 13.0, 4.5)
+                    + 1.00 * bump(hour_frac, 20.0, 3.0);
+                let scale = if weekend { 1.08 } else { 1.0 };
+                (base * scale).min(1.0)
+            }
+            CellClass::Business => {
+                let base = 0.12
+                    + 0.95 * bump(hour_frac, 13.0, 3.8)
+                    + 0.35 * bump(hour_frac, 18.5, 2.0);
+                let scale = if weekend { 0.45 } else { 1.0 };
+                (base * scale).min(1.0)
+            }
+            CellClass::Highway => {
+                // Weekends lose the commute spikes but keep midday trips.
+                let base = if weekend {
+                    0.10 + 0.75 * bump(hour_frac, 13.5, 4.0)
+                } else {
+                    let commute =
+                        0.95 * bump(hour_frac, 8.0, 1.6) + 1.0 * bump(hour_frac, 17.5, 2.0);
+                    let midday = 0.55 * bump(hour_frac, 12.5, 3.0);
+                    0.10 + commute + midday
+                };
+                base.min(1.0)
+            }
+            CellClass::Rural => {
+                let base = 0.25 + 0.45 * bump(hour_frac, 14.0, 5.0);
+                (base * if weekend { 1.05 } else { 1.0 }).min(1.0)
+            }
+        }
+    }
+
+    /// Peak utilization scale for the zone this class typically sits in.
+    pub const fn peak_utilization(self) -> f64 {
+        match self {
+            CellClass::Residential => 0.72,
+            CellClass::Business => 0.85,
+            CellClass::Highway => 0.78,
+            CellClass::Rural => 0.30,
+        }
+    }
+}
+
+/// Gaussian bump centred at `center` hours with width `sigma` hours,
+/// wrapping around midnight.
+fn bump(hour: f64, center: f64, sigma: f64) -> f64 {
+    let mut d = (hour - center).abs();
+    if d > 12.0 {
+        d = 24.0 - d;
+    }
+    (-0.5 * (d / sigma).powi(2)).exp()
+}
+
+/// SplitMix-style integer mix (local copy; cheap and dependency-free).
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash a cell id to a stable u64.
+#[inline]
+fn cell_hash(cell: CellId) -> u64 {
+    mix((cell.station.0 as u64) << 16
+        ^ (cell.sector as u64) << 8
+        ^ cell.carrier.index() as u64)
+}
+
+/// Background-load model configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BackgroundLoadConfig {
+    /// Root seed decorrelating this model from everything else.
+    pub seed: u64,
+    /// Lower bound of the per-cell busyness factor.
+    pub busyness_min: f64,
+    /// Upper bound of the per-cell busyness factor.
+    pub busyness_max: f64,
+    /// Exponent skewing busyness towards the low end (heavy tail of hot
+    /// cells appears as the exponent drops below 1… we use >1 to skew
+    /// *most* cells cool).
+    pub busyness_skew: f64,
+    /// Amplitude of per-bin multiplicative noise (0.08 = ±8%).
+    pub noise_amplitude: f64,
+    /// Hard ceiling on background utilization, leaving headroom that car
+    /// traffic and the Figure-1 greedy download can consume.
+    pub ceiling: f64,
+    /// Per-carrier utilization multiplier (traffic steering means the 3G
+    /// layer and new bands run cooler), indexed by `Carrier::index`.
+    pub carrier_scale: [f64; 5],
+}
+
+impl Default for BackgroundLoadConfig {
+    fn default() -> Self {
+        BackgroundLoadConfig {
+            seed: 0xBACC_0FFE,
+            busyness_min: 0.35,
+            busyness_max: 1.70,
+            busyness_skew: 1.15,
+            noise_amplitude: 0.08,
+            ceiling: 0.97,
+            //              C1    C2    C3    C4    C5
+            carrier_scale: [1.05, 0.55, 1.00, 0.90, 0.30],
+        }
+    }
+}
+
+/// The background utilization model. Pure and `Sync`; share freely.
+#[derive(Debug, Clone)]
+pub struct BackgroundLoad {
+    cfg: BackgroundLoadConfig,
+    period: StudyPeriod,
+    /// Local-time offset of the region in hours (diurnal shapes are
+    /// civil-time phenomena).
+    tz_offset_hours: i8,
+}
+
+impl BackgroundLoad {
+    /// Build the model for a study period and region time zone.
+    pub fn new(
+        cfg: BackgroundLoadConfig,
+        period: StudyPeriod,
+        tz_offset_hours: i8,
+    ) -> BackgroundLoad {
+        BackgroundLoad {
+            cfg,
+            period,
+            tz_offset_hours,
+        }
+    }
+
+    /// The per-cell busyness factor in `[busyness_min, busyness_max]`.
+    pub fn busyness(&self, cell: CellId) -> f64 {
+        let h = mix(cell_hash(cell) ^ self.cfg.seed);
+        let u = (h & 0xFFFF_FFFF) as f64 / u32::MAX as f64;
+        let skewed = u.powf(self.cfg.busyness_skew);
+        self.cfg.busyness_min + skewed * (self.cfg.busyness_max - self.cfg.busyness_min)
+    }
+
+    /// Background utilization of `cell` (class `class`) in `bin`,
+    /// in `[0, ceiling]`.
+    pub fn utilization(&self, cell: CellId, class: CellClass, bin: BinIndex) -> f64 {
+        // Local civil time of the bin's midpoint.
+        let mid_secs = bin.start().as_secs() as i64 + 450 + self.tz_offset_hours as i64 * 3_600;
+        let mid = mid_secs.max(0) as u64;
+        let day_idx = mid / 86_400;
+        let weekday = self.period.start_day().plus(day_idx as usize);
+        let hour_frac = (mid % 86_400) as f64 / 3_600.0;
+        let shape = class.shape(weekday, hour_frac);
+        let noise = {
+            let h = mix(cell_hash(cell) ^ mix(bin.0) ^ self.cfg.seed.rotate_left(17));
+            let u = (h & 0xFFFF_FFFF) as f64 / u32::MAX as f64;
+            1.0 + self.cfg.noise_amplitude * (2.0 * u - 1.0)
+        };
+        let carrier_scale = self.cfg.carrier_scale[cell.carrier.index()];
+        (class.peak_utilization() * self.busyness(cell) * shape * noise * carrier_scale)
+            .clamp(0.0, self.cfg.ceiling)
+    }
+
+    /// Average background utilization of a cell over one day.
+    pub fn daily_average(&self, cell: CellId, class: CellClass, day: u64) -> f64 {
+        let first = day * BINS_PER_DAY as u64;
+        let sum: f64 = (first..first + BINS_PER_DAY as u64)
+            .map(|b| self.utilization(cell, class, BinIndex(b)))
+            .sum();
+        sum / BINS_PER_DAY as f64
+    }
+
+    /// The study period the model is anchored to.
+    pub fn period(&self) -> StudyPeriod {
+        self.period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_types::{BaseStationId, Carrier};
+
+    fn cell(st: u32) -> CellId {
+        CellId::new(BaseStationId(st), 0, Carrier::C3)
+    }
+
+    fn model() -> BackgroundLoad {
+        BackgroundLoad::new(BackgroundLoadConfig::default(), StudyPeriod::PAPER, 0)
+    }
+
+    #[test]
+    fn shapes_are_normalized() {
+        for class in [
+            CellClass::Residential,
+            CellClass::Business,
+            CellClass::Highway,
+            CellClass::Rural,
+        ] {
+            for day in DayOfWeek::ALL {
+                for q in 0..96 {
+                    let s = class.shape(day, q as f64 / 4.0);
+                    assert!((0.0..=1.0).contains(&s), "{class:?} {day} {q}: {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn business_peaks_midday_residential_evening() {
+        let b_noon = CellClass::Business.shape(DayOfWeek::Tuesday, 13.0);
+        let b_night = CellClass::Business.shape(DayOfWeek::Tuesday, 3.0);
+        assert!(b_noon > 3.0 * b_night);
+        let r_evening = CellClass::Residential.shape(DayOfWeek::Tuesday, 20.0);
+        let r_noon = CellClass::Residential.shape(DayOfWeek::Tuesday, 12.0);
+        assert!(r_evening > r_noon);
+    }
+
+    #[test]
+    fn highway_commute_peaks_vanish_on_weekend() {
+        let rush = CellClass::Highway.shape(DayOfWeek::Wednesday, 8.0);
+        let sat_morning = CellClass::Highway.shape(DayOfWeek::Saturday, 8.0);
+        assert!(rush > 1.5 * sat_morning);
+    }
+
+    #[test]
+    fn business_damps_on_weekend() {
+        let wk = CellClass::Business.shape(DayOfWeek::Thursday, 13.0);
+        let we = CellClass::Business.shape(DayOfWeek::Sunday, 13.0);
+        assert!(we < 0.6 * wk);
+    }
+
+    #[test]
+    fn utilization_bounded_and_deterministic() {
+        let m = model();
+        for st in 0..50 {
+            for b in [0u64, 40, 96 * 45 + 70] {
+                let u1 = m.utilization(cell(st), CellClass::Business, BinIndex(b));
+                let u2 = m.utilization(cell(st), CellClass::Business, BinIndex(b));
+                assert_eq!(u1, u2);
+                assert!((0.0..=0.97).contains(&u1));
+            }
+        }
+    }
+
+    #[test]
+    fn busyness_spread_produces_hot_and_cool_cells() {
+        let m = model();
+        let vals: Vec<f64> = (0..500).map(|i| m.busyness(cell(i))).collect();
+        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(min < 0.6, "coolest cell {min}");
+        assert!(max > 1.3, "hottest cell {max}");
+        // Skew >1 pushes the median below the midpoint.
+        let mut sorted = vals.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert!(sorted[250] < (0.35 + 1.70) / 2.0);
+    }
+
+    #[test]
+    fn some_cells_get_busy_at_peak() {
+        // Hot business cells at midday should exceed the 80% busy bar.
+        let m = model();
+        let midday_bin = BinIndex((13 * 4) as u64); // 13:00, day 0 (Monday)
+        let busy = (0..2_000)
+            .filter(|&st| m.utilization(cell(st), CellClass::Business, midday_bin) > 0.80)
+            .count();
+        assert!(busy > 20, "only {busy}/2000 busy at peak");
+        // And overnight almost nothing is.
+        let night_bin = BinIndex(12); // 03:00
+        let busy_night = (0..2_000)
+            .filter(|&st| m.utilization(cell(st), CellClass::Business, night_bin) > 0.80)
+            .count();
+        assert!(busy_night < busy / 10);
+    }
+
+    #[test]
+    fn carrier_scaling_cools_legacy_layers() {
+        let m = model();
+        let st = BaseStationId(9);
+        let b = BinIndex(52);
+        let c3 = m.utilization(CellId::new(st, 0, Carrier::C3), CellClass::Business, b);
+        let c2 = m.utilization(CellId::new(st, 0, Carrier::C2), CellClass::Business, b);
+        // Same site/sector: 3G layer is cooler on average. Noise and
+        // busyness are per-cell, so compare with margin.
+        assert!(c2 < c3 + 0.25);
+    }
+
+    #[test]
+    fn daily_average_in_range() {
+        let m = model();
+        let avg = m.daily_average(cell(3), CellClass::Residential, 2);
+        assert!((0.0..=0.97).contains(&avg));
+    }
+
+    #[test]
+    fn timezone_shifts_the_peak() {
+        let utc = BackgroundLoad::new(BackgroundLoadConfig::default(), StudyPeriod::PAPER, 0);
+        let pacific = BackgroundLoad::new(BackgroundLoadConfig::default(), StudyPeriod::PAPER, -8);
+        // 13:00 local in UTC-8 is 21:00 UTC: bin 84 of day 0.
+        let c = cell(5);
+        let u_utc_13 = utc.utilization(c, CellClass::Business, BinIndex(52));
+        let u_pac_21utc = pacific.utilization(c, CellClass::Business, BinIndex(84));
+        // Both are "13:00 local business" values; they differ only by
+        // per-bin noise, not by an order of magnitude.
+        assert!((u_utc_13 - u_pac_21utc).abs() < 0.25);
+    }
+}

@@ -1,0 +1,585 @@
+//! RRC connection lifecycle of a car modem.
+//!
+//! §3 of the paper: *"There can be a vast range of connection durations
+//! at radio level due to the normal timeout of 10 to 12 seconds after no
+//! data is left to transmit in either direction."* This module is that
+//! state machine:
+//!
+//! * a data **transfer** (telemetry ping, infotainment burst, hotspot
+//!   session, FOTA chunk) brings the modem to RRC-connected on the
+//!   strongest serving cell;
+//! * while connected and moving, the serving cell is re-evaluated at a
+//!   sampling cadence; a change closes the per-cell connection record and
+//!   opens a new one — a **handover** (the paper's radio-level records
+//!   are per cell, which is why Figure 9's durations are per-cell);
+//! * 10–12 s after the last data the connection times out and the modem
+//!   returns to idle.
+//!
+//! The generator also credits each transfer's PRB demand to a
+//! [`PrbLedger`], so network load and CDRs come
+//! from one pass over the same events.
+
+use crate::prb::PrbLedger;
+use conncar_geo::{Point, Region};
+use conncar_types::{CarId, CellId, Duration, ModemCapability, Timestamp};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What kind of traffic a transfer is; fixes its demand intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransferKind {
+    /// Small periodic telemetry/keep-alive exchange.
+    Telemetry,
+    /// Infotainment traffic (maps, streaming audio).
+    Infotainment,
+    /// In-car WiFi hotspot backhaul (passenger devices).
+    Hotspot,
+    /// Firmware-over-the-air download chunk.
+    Fota,
+    /// Unbounded greedy download (the Figure 1 experiment): takes all
+    /// free capacity of whatever cell serves it.
+    Greedy,
+}
+
+impl TransferKind {
+    /// Mean offered downlink demand, Mbit/s. `Greedy` is effectively
+    /// infinite and handled specially by the ledger.
+    pub const fn demand_mbps(self) -> f64 {
+        match self {
+            TransferKind::Telemetry => 0.05,
+            TransferKind::Infotainment => 2.0,
+            TransferKind::Hotspot => 6.0,
+            TransferKind::Fota => 12.0,
+            TransferKind::Greedy => f64::INFINITY,
+        }
+    }
+}
+
+/// One data-transfer interval within a trip, offsets in seconds from the
+/// trip start.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Start offset, seconds from trip start.
+    pub start_off: u64,
+    /// End offset (exclusive), seconds from trip start.
+    pub end_off: u64,
+    /// Traffic kind.
+    pub kind: TransferKind,
+}
+
+impl Transfer {
+    /// Construct; `end_off` must exceed `start_off`.
+    pub fn new(start_off: u64, end_off: u64, kind: TransferKind) -> Transfer {
+        debug_assert!(end_off > start_off, "empty transfer");
+        Transfer {
+            start_off,
+            end_off,
+            kind,
+        }
+    }
+
+    /// Length in seconds.
+    pub fn len_secs(&self) -> u64 {
+        self.end_off - self.start_off
+    }
+}
+
+/// One radio-level connection record: a car on one cell for one interval.
+/// The raw event that becomes a Call Detail Record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RadioConnection {
+    /// The connecting car.
+    pub car: CarId,
+    /// The serving cell.
+    pub cell: CellId,
+    /// Connection setup (or handover-in) time.
+    pub start: Timestamp,
+    /// Release (or handover-out) time; exclusive, `> start`.
+    pub end: Timestamp,
+}
+
+impl RadioConnection {
+    /// The record's duration.
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+}
+
+/// RRC machine parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RrcConfig {
+    /// Minimum inactivity timeout, seconds (paper: 10).
+    pub timeout_min_secs: u64,
+    /// Maximum inactivity timeout, seconds (paper: 12).
+    pub timeout_max_secs: u64,
+    /// Serving-cell re-evaluation cadence while connected, seconds.
+    pub sample_interval_secs: u64,
+    /// Time-to-trigger, in samples: a challenger cell must be the best
+    /// choice on this many consecutive evaluations before the handover
+    /// executes (3GPP TTT). Suppresses one-sample shadow-fading spikes
+    /// that would otherwise fragment every drive into sample-length
+    /// records.
+    pub ttt_samples: u8,
+    /// Probability that a transfer starts on the 3G layer instead of
+    /// LTE (attach failures, congestion redirection, CSFB leftovers —
+    /// the mechanisms that put real LTE-capable cars on legacy carriers
+    /// a few percent of the time, Table 3's C2 column).
+    pub rat_fallback_p: f64,
+}
+
+impl Default for RrcConfig {
+    fn default() -> Self {
+        RrcConfig {
+            timeout_min_secs: 10,
+            timeout_max_secs: 12,
+            sample_interval_secs: 20,
+            ttt_samples: 2,
+            rat_fallback_p: 0.055,
+        }
+    }
+}
+
+/// Simulates the RRC lifecycle for one car trip at a time.
+#[derive(Debug, Clone)]
+pub struct ConnectionGenerator {
+    cfg: RrcConfig,
+}
+
+impl ConnectionGenerator {
+    /// Build a generator.
+    pub fn new(cfg: RrcConfig) -> ConnectionGenerator {
+        ConnectionGenerator { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RrcConfig {
+        &self.cfg
+    }
+
+    /// Simulate one trip's radio activity.
+    ///
+    /// * `position(t)` — the car's position `t` seconds after `t0`
+    ///   (constant closure for a parked car);
+    /// * `transfers` — sorted, non-overlapping data intervals;
+    /// * the generated per-cell connection records are returned, and each
+    ///   transfer's PRB demand is credited to `ledger` (if provided).
+    #[allow(clippy::too_many_arguments)]
+    pub fn simulate_trip(
+        &self,
+        car: CarId,
+        t0: Timestamp,
+        position: impl Fn(f64) -> Point,
+        transfers: &[Transfer],
+        region: &Region,
+        cap: ModemCapability,
+        ledger: Option<&mut PrbLedger>,
+        rng: &mut impl Rng,
+    ) -> Vec<RadioConnection> {
+        let mut out = Vec::new();
+        let mut ledger = ledger;
+        // Open connection state: (cell, record start offset).
+        let mut open: Option<(CellId, u64)> = None;
+        // Time-to-trigger state: a challenger cell and how many
+        // consecutive samples it has won.
+        let mut pending: Option<(CellId, u8)> = None;
+        // Offset of the last second that carried data.
+        let mut last_data_end: u64 = 0;
+
+        let step = self.cfg.sample_interval_secs.max(1);
+        let close = |cell: CellId, start_off: u64, end_off: u64, out: &mut Vec<RadioConnection>| {
+            if end_off > start_off {
+                out.push(RadioConnection {
+                    car,
+                    cell,
+                    start: t0 + Duration::from_secs(start_off),
+                    end: t0 + Duration::from_secs(end_off),
+                });
+            }
+        };
+
+        for tr in transfers {
+            debug_assert!(tr.end_off > tr.start_off);
+            // Idle gap before this transfer: did the connection survive?
+            if let Some((cell, start_off)) = open {
+                let timeout = rng.gen_range(self.cfg.timeout_min_secs..=self.cfg.timeout_max_secs);
+                if tr.start_off > last_data_end + timeout {
+                    close(cell, start_off, last_data_end + timeout, &mut out);
+                    open = None;
+                }
+            }
+            // 3G-fallback event: this transfer rides the legacy layer.
+            let umts_only = cap.supports(conncar_types::Carrier::C2);
+            let effective_cap = if self.cfg.rat_fallback_p > 0.0
+                && open.is_none()
+                && umts_only
+                && rng.gen_bool(self.cfg.rat_fallback_p.clamp(0.0, 1.0))
+            {
+                ModemCapability::UMTS_ONLY
+            } else {
+                cap
+            };
+            // Walk the transfer, re-evaluating the serving cell.
+            let mut cursor = tr.start_off;
+            while cursor < tr.end_off {
+                let seg_end = (cursor + step).min(tr.end_off);
+                let pos = position(cursor as f64);
+                let current = open.map(|(c, _)| c);
+                match region.serving_cell(pos, effective_cap, current) {
+                    Some(serving) => {
+                        let mut active_cell = serving.cell;
+                        match open {
+                            None => {
+                                open = Some((serving.cell, cursor));
+                                pending = None;
+                            }
+                            Some((cell, start_off)) if cell != serving.cell => {
+                                // Time-to-trigger: only execute the
+                                // handover once the same challenger has
+                                // won `ttt_samples` consecutive samples.
+                                let streak = match pending {
+                                    Some((c, n)) if c == serving.cell => n.saturating_add(1),
+                                    _ => 1,
+                                };
+                                if streak >= self.cfg.ttt_samples.max(1) {
+                                    close(cell, start_off, cursor, &mut out);
+                                    open = Some((serving.cell, cursor));
+                                    pending = None;
+                                } else {
+                                    pending = Some((serving.cell, streak));
+                                    // Data keeps flowing on the old cell.
+                                    active_cell = cell;
+                                }
+                            }
+                            Some((cell, _)) => {
+                                pending = None;
+                                active_cell = cell;
+                            }
+                        }
+                        if let Some(ref mut lg) = ledger {
+                            lg.add_transfer_load(
+                                active_cell,
+                                t0 + Duration::from_secs(cursor),
+                                t0 + Duration::from_secs(seg_end),
+                                tr.kind,
+                            );
+                        }
+                        last_data_end = seg_end;
+                    }
+                    None => {
+                        // Coverage gap: drop the connection where data
+                        // stopped flowing.
+                        if let Some((cell, start_off)) = open.take() {
+                            close(cell, start_off, cursor.max(start_off), &mut out);
+                        }
+                        pending = None;
+                    }
+                }
+                cursor = seg_end;
+            }
+        }
+        // Final timeout tail.
+        if let Some((cell, start_off)) = open {
+            let timeout = rng.gen_range(self.cfg.timeout_min_secs..=self.cfg.timeout_max_secs);
+            close(cell, start_off, last_data_end + timeout, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_geo::RegionConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn region() -> Region {
+        Region::generate(&RegionConfig::small(), 42)
+    }
+
+    fn center(r: &Region) -> Point {
+        Point::new(r.config().width_m / 2.0, r.config().height_m / 2.0)
+    }
+
+    #[test]
+    fn parked_car_single_transfer() {
+        let r = region();
+        let p = center(&r);
+        let gen = ConnectionGenerator::new(RrcConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let conns = gen.simulate_trip(
+            CarId(1),
+            Timestamp::from_secs(1_000),
+            |_| p,
+            &[Transfer::new(0, 60, TransferKind::Telemetry)],
+            &r,
+            ModemCapability::STANDARD,
+            None,
+            &mut rng,
+        );
+        assert_eq!(conns.len(), 1);
+        let c = &conns[0];
+        assert_eq!(c.start, Timestamp::from_secs(1_000));
+        // 60 s of data + 10–12 s timeout.
+        let dur = c.duration().as_secs();
+        assert!((70..=72).contains(&dur), "duration {dur}");
+    }
+
+    #[test]
+    fn close_transfers_share_a_connection() {
+        let r = region();
+        let p = center(&r);
+        let gen = ConnectionGenerator::new(RrcConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        // Gap of 5 s < timeout: one record.
+        let conns = gen.simulate_trip(
+            CarId(1),
+            Timestamp::EPOCH,
+            |_| p,
+            &[
+                Transfer::new(0, 30, TransferKind::Telemetry),
+                Transfer::new(35, 60, TransferKind::Telemetry),
+            ],
+            &r,
+            ModemCapability::STANDARD,
+            None,
+            &mut rng,
+        );
+        assert_eq!(conns.len(), 1);
+        assert!(conns[0].duration().as_secs() >= 70);
+    }
+
+    #[test]
+    fn long_gap_splits_connections() {
+        let r = region();
+        let p = center(&r);
+        let gen = ConnectionGenerator::new(RrcConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let conns = gen.simulate_trip(
+            CarId(1),
+            Timestamp::EPOCH,
+            |_| p,
+            &[
+                Transfer::new(0, 30, TransferKind::Telemetry),
+                Transfer::new(300, 330, TransferKind::Telemetry),
+            ],
+            &r,
+            ModemCapability::STANDARD,
+            None,
+            &mut rng,
+        );
+        assert_eq!(conns.len(), 2);
+        // First record ends at 30 + timeout.
+        let d0 = conns[0].duration().as_secs();
+        assert!((40..=42).contains(&d0), "first duration {d0}");
+        assert_eq!(conns[1].start, Timestamp::from_secs(300));
+    }
+
+    #[test]
+    fn driving_produces_handovers() {
+        let r = region();
+        let gen = ConnectionGenerator::new(RrcConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        // Cross the region at 30 m/s for 600 s with continuous data.
+        let w = r.config().width_m;
+        let conns = gen.simulate_trip(
+            CarId(1),
+            Timestamp::EPOCH,
+            move |t| Point::new((1_000.0 + 30.0 * t).min(w - 1.0), 12_000.0),
+            &[Transfer::new(0, 600, TransferKind::Infotainment)],
+            &r,
+            ModemCapability::STANDARD,
+            None,
+            &mut rng,
+        );
+        assert!(conns.len() >= 3, "18 km drive: {} records", conns.len());
+        // Records are contiguous at handover boundaries and time-ordered.
+        for w in conns.windows(2) {
+            assert!(w[0].end <= w[1].start);
+            assert!(w[0].cell != w[1].cell || w[1].start > w[0].end);
+        }
+        // Total connected span covers the transfer plus timeout.
+        let total: u64 = conns.iter().map(|c| c.duration().as_secs()).sum();
+        assert!((600..=615).contains(&total), "total connected {total}");
+    }
+
+    #[test]
+    fn no_transfers_no_records() {
+        let r = region();
+        let p = center(&r);
+        let gen = ConnectionGenerator::new(RrcConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let conns = gen.simulate_trip(
+            CarId(1),
+            Timestamp::EPOCH,
+            |_| p,
+            &[],
+            &r,
+            ModemCapability::STANDARD,
+            None,
+            &mut rng,
+        );
+        assert!(conns.is_empty());
+    }
+
+    #[test]
+    fn no_capability_no_records() {
+        let r = region();
+        let p = center(&r);
+        let gen = ConnectionGenerator::new(RrcConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let conns = gen.simulate_trip(
+            CarId(1),
+            Timestamp::EPOCH,
+            |_| p,
+            &[Transfer::new(0, 100, TransferKind::Telemetry)],
+            &r,
+            ModemCapability::NONE,
+            None,
+            &mut rng,
+        );
+        assert!(conns.is_empty());
+    }
+
+    #[test]
+    fn determinism_given_same_rng_seed() {
+        let r = region();
+        let gen = ConnectionGenerator::new(RrcConfig::default());
+        let run = || {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            gen.simulate_trip(
+                CarId(9),
+                Timestamp::from_secs(500),
+                |t| Point::new(8_000.0 + 10.0 * t, 9_000.0),
+                &[Transfer::new(10, 200, TransferKind::Hotspot)],
+                &r,
+                ModemCapability::STANDARD,
+                None,
+                &mut ChaCha8Rng::seed_from_u64(rng.gen()),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn ttt_suppresses_flapping() {
+        // The same drive with TTT disabled produces at least as many
+        // (usually more) per-cell records than with the default TTT.
+        let r = region();
+        let w = r.config().width_m;
+        let drive = move |t: f64| Point::new((1_000.0 + 25.0 * t).min(w - 1.0), 11_000.0);
+        let run = |ttt: u8| -> usize {
+            let gen = ConnectionGenerator::new(RrcConfig {
+                ttt_samples: ttt,
+                rat_fallback_p: 0.0,
+                ..RrcConfig::default()
+            });
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            gen.simulate_trip(
+                CarId(1),
+                Timestamp::EPOCH,
+                drive,
+                &[Transfer::new(0, 900, TransferKind::Hotspot)],
+                &r,
+                ModemCapability::STANDARD,
+                None,
+                &mut rng,
+            )
+            .len()
+        };
+        let without = run(1);
+        let with_ttt = run(2);
+        assert!(
+            with_ttt <= without,
+            "TTT should not increase records: {with_ttt} vs {without}"
+        );
+    }
+
+    #[test]
+    fn forced_fallback_rides_the_3g_layer() {
+        let r = region();
+        let p = center(&r);
+        let gen = ConnectionGenerator::new(RrcConfig {
+            rat_fallback_p: 1.0,
+            ..RrcConfig::default()
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let conns = gen.simulate_trip(
+            CarId(1),
+            Timestamp::EPOCH,
+            |_| p,
+            &[Transfer::new(0, 120, TransferKind::Telemetry)],
+            &r,
+            ModemCapability::STANDARD,
+            None,
+            &mut rng,
+        );
+        assert!(!conns.is_empty());
+        for c in &conns {
+            assert_eq!(c.cell.carrier, conncar_types::Carrier::C2);
+        }
+        // A modem without C2 support cannot fall back: stays on LTE.
+        let cap_no_c2 = ModemCapability::from_carriers([
+            conncar_types::Carrier::C1,
+            conncar_types::Carrier::C3,
+        ]);
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let conns = gen.simulate_trip(
+            CarId(2),
+            Timestamp::EPOCH,
+            |_| p,
+            &[Transfer::new(0, 120, TransferKind::Telemetry)],
+            &r,
+            cap_no_c2,
+            None,
+            &mut rng,
+        );
+        assert!(conns
+            .iter()
+            .all(|c| c.cell.carrier != conncar_types::Carrier::C2));
+    }
+
+    #[test]
+    fn ledger_credits_follow_the_serving_cell() {
+        // With a ledger attached, every touched cell in the ledger also
+        // appears in the emitted records (same pass, same cells).
+        use crate::prb::PrbLedger;
+        use conncar_types::StudyPeriod;
+        let r = region();
+        let w = r.config().width_m;
+        let mut ledger = PrbLedger::new(StudyPeriod::PAPER);
+        let gen = ConnectionGenerator::new(RrcConfig {
+            rat_fallback_p: 0.0,
+            ..RrcConfig::default()
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let conns = gen.simulate_trip(
+            CarId(1),
+            Timestamp::EPOCH,
+            move |t| Point::new((2_000.0 + 20.0 * t).min(w - 1.0), 9_000.0),
+            &[Transfer::new(0, 600, TransferKind::Infotainment)],
+            &r,
+            ModemCapability::STANDARD,
+            Some(&mut ledger),
+            &mut rng,
+        );
+        let record_cells: std::collections::HashSet<_> =
+            conns.iter().map(|c| c.cell).collect();
+        let ledger_cells: std::collections::HashSet<_> = ledger.touched_cells().collect();
+        assert!(!ledger_cells.is_empty());
+        for cell in &ledger_cells {
+            assert!(
+                record_cells.contains(cell),
+                "ledger cell {cell} missing from records"
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_len() {
+        let t = Transfer::new(10, 40, TransferKind::Fota);
+        assert_eq!(t.len_secs(), 30);
+        assert!(TransferKind::Greedy.demand_mbps().is_infinite());
+        assert!(TransferKind::Telemetry.demand_mbps() < 0.1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # conncar-radio
+//!
+//! The radio-network layer of the study: what the proprietary RAN
+//! counters provided to the paper's authors, rebuilt as a simulator.
+//!
+//! Three pieces:
+//!
+//! * [`background`] — every cell carries load from *other* users
+//!   (smartphones, tablets, modems). We model it as a per-cell diurnal
+//!   PRB-utilization curve driven by the cell's land-use class, with
+//!   deterministic per-cell busyness and per-bin noise. This is the
+//!   "average" curve of Figure 1 and the busy/non-busy classifier input
+//!   of §4.3.
+//! * [`connection`] — the RRC connection lifecycle of one car modem:
+//!   attach on data, stay while data flows, detach after the 10–12 s
+//!   inactivity timeout (§3), hand over between cells as the car moves.
+//!   Produces the radio-level connection records that become CDRs.
+//! * [`prb`] — a ledger accumulating car-generated PRB demand per
+//!   (cell, 15-minute bin) on top of background load, yielding the
+//!   `U_PRB` series every busy-hour analysis consumes.
+//!
+//! The simulator is a deterministic discrete-event machine (no async, no
+//! threads): the guides' own advice is that CPU-bound simulation belongs
+//! on plain threads, and determinism is what makes the reproduction
+//! reviewable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod background;
+pub mod connection;
+pub mod prb;
+pub mod throughput;
+
+pub use background::{BackgroundLoad, BackgroundLoadConfig, CellClass};
+pub use connection::{
+    ConnectionGenerator, RadioConnection, RrcConfig, Transfer, TransferKind,
+};
+pub use prb::{PrbLedger, UtilizationSeries};
+pub use throughput::available_throughput_mbps;

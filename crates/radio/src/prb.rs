@@ -1,0 +1,326 @@
+//! PRB utilization ledger: background plus car-generated load per
+//! (cell, 15-minute bin).
+//!
+//! "In LTE, radio resources are finite and measured using Physical
+//! Resource Block (PRB) utilization, U_PRB" (§4). The ledger accumulates
+//! each transfer's demand as a fraction of its serving cell's capacity,
+//! prorated over the bins it overlaps; combined with the
+//! [`BackgroundLoad`] model it yields the `U_PRB(cell, bin)` series that
+//! every busy-hour analysis reads.
+//!
+//! Storage is sparse: only cells that actually carried car traffic
+//! allocate a dense bin vector; untouched cells fall back to pure
+//! background on query.
+
+use crate::background::{BackgroundLoad, CellClass};
+use crate::connection::TransferKind;
+use conncar_types::{BinIndex, CellId, StudyPeriod, Timestamp, BIN_SECONDS};
+use std::collections::HashMap;
+
+/// Accumulates car-generated PRB demand per (cell, bin).
+#[derive(Debug, Clone)]
+pub struct PrbLedger {
+    period: StudyPeriod,
+    total_bins: usize,
+    /// Car-load utilization fraction per bin, per touched cell.
+    load: HashMap<CellId, Vec<f32>>,
+}
+
+impl PrbLedger {
+    /// An empty ledger covering a study period.
+    pub fn new(period: StudyPeriod) -> PrbLedger {
+        PrbLedger {
+            period,
+            total_bins: period.total_bins() as usize,
+            load: HashMap::new(),
+        }
+    }
+
+    /// The covered period.
+    pub fn period(&self) -> StudyPeriod {
+        self.period
+    }
+
+    /// Credit a transfer's demand on `cell` for `[start, end)`.
+    ///
+    /// The demand fraction is `offered Mbit/s ÷ the carrier's peak
+    /// throughput`, capped at 1; a [`TransferKind::Greedy`] download
+    /// claims the whole cell (fraction 1), which is how a single device
+    /// saturates a radio in the Figure 1 experiment.
+    pub fn add_transfer_load(
+        &mut self,
+        cell: CellId,
+        start: Timestamp,
+        end: Timestamp,
+        kind: TransferKind,
+    ) {
+        let demand = kind.demand_mbps();
+        let frac = if demand.is_infinite() {
+            1.0
+        } else {
+            (demand / cell.carrier.peak_throughput_mbps() as f64).min(1.0)
+        };
+        self.add_load_fraction(cell, start, end, frac);
+    }
+
+    /// Credit a raw utilization fraction on `cell` for `[start, end)`.
+    pub fn add_load_fraction(&mut self, cell: CellId, start: Timestamp, end: Timestamp, frac: f64) {
+        if frac <= 0.0 {
+            return;
+        }
+        let Some((start, end)) = self.period.clip(start, end) else {
+            return;
+        };
+        let total_bins = self.total_bins;
+        let bins = self
+            .load
+            .entry(cell)
+            .or_insert_with(|| vec![0.0; total_bins]);
+        for b in BinIndex::covering(start, end) {
+            let idx = b.0 as usize;
+            if idx >= bins.len() {
+                break;
+            }
+            let overlap = b.overlap_secs(start, end) as f64;
+            bins[idx] += (frac * overlap / BIN_SECONDS as f64) as f32;
+        }
+    }
+
+    /// Car-generated load fraction in one bin (0 when untouched).
+    pub fn car_load(&self, cell: CellId, bin: BinIndex) -> f64 {
+        self.load
+            .get(&cell)
+            .and_then(|v| v.get(bin.0 as usize))
+            .copied()
+            .unwrap_or(0.0) as f64
+    }
+
+    /// Total `U_PRB` of a cell in a bin: background + car load, capped
+    /// at 1.
+    pub fn utilization(
+        &self,
+        cell: CellId,
+        class: CellClass,
+        bin: BinIndex,
+        bg: &BackgroundLoad,
+    ) -> f64 {
+        (bg.utilization(cell, class, bin) + self.car_load(cell, bin)).min(1.0)
+    }
+
+    /// Dense utilization series for one cell over the whole period.
+    pub fn series(&self, cell: CellId, class: CellClass, bg: &BackgroundLoad) -> UtilizationSeries {
+        let values = (0..self.total_bins as u64)
+            .map(|b| self.utilization(cell, class, BinIndex(b), bg))
+            .collect();
+        UtilizationSeries {
+            cell,
+            values,
+            period: self.period,
+        }
+    }
+
+    /// Cells that carried any car traffic.
+    pub fn touched_cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.load.keys().copied()
+    }
+
+    /// Number of touched cells.
+    pub fn touched_count(&self) -> usize {
+        self.load.len()
+    }
+
+    /// Merge another ledger (bin-wise sum). Panics if periods differ —
+    /// merging across studies is a programming error.
+    pub fn merge(&mut self, other: &PrbLedger) {
+        assert_eq!(
+            self.period, other.period,
+            "cannot merge ledgers of different periods"
+        );
+        for (cell, bins) in &other.load {
+            let total_bins = self.total_bins;
+            let mine = self
+                .load
+                .entry(*cell)
+                .or_insert_with(|| vec![0.0; total_bins]);
+            for (m, o) in mine.iter_mut().zip(bins) {
+                *m += o;
+            }
+        }
+    }
+}
+
+/// A cell's dense `U_PRB` series over the study.
+#[derive(Debug, Clone)]
+pub struct UtilizationSeries {
+    /// The cell.
+    pub cell: CellId,
+    /// One utilization value per 15-minute bin, `[0, 1]`.
+    pub values: Vec<f64>,
+    /// The covered period.
+    pub period: StudyPeriod,
+}
+
+impl UtilizationSeries {
+    /// Mean utilization over the whole period.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Mean utilization over one week's worth of bins starting at
+    /// `week` (0-based). Returns `None` if the week is incomplete.
+    pub fn week_mean(&self, week: usize) -> Option<f64> {
+        let start = week * conncar_types::BINS_PER_WEEK;
+        let end = start + conncar_types::BINS_PER_WEEK;
+        if end > self.values.len() {
+            return None;
+        }
+        Some(self.values[start..end].iter().sum::<f64>() / conncar_types::BINS_PER_WEEK as f64)
+    }
+
+    /// Fraction of bins above a busy threshold.
+    pub fn busy_fraction(&self, threshold: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().filter(|&&u| u > threshold).count() as f64 / self.values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::background::BackgroundLoadConfig;
+    use conncar_types::{BaseStationId, Carrier, Duration};
+
+    fn cell() -> CellId {
+        CellId::new(BaseStationId(1), 0, Carrier::C3)
+    }
+
+    fn ledger() -> PrbLedger {
+        PrbLedger::new(StudyPeriod::PAPER)
+    }
+
+    #[test]
+    fn load_prorates_over_bins() {
+        let mut lg = ledger();
+        // 30 s at fraction 0.5 inside bin 0.
+        lg.add_load_fraction(
+            cell(),
+            Timestamp::from_secs(100),
+            Timestamp::from_secs(130),
+            0.5,
+        );
+        let got = lg.car_load(cell(), BinIndex(0));
+        assert!((got - 0.5 * 30.0 / 900.0).abs() < 1e-6);
+        assert_eq!(lg.car_load(cell(), BinIndex(1)), 0.0);
+    }
+
+    #[test]
+    fn load_splits_across_bin_boundary() {
+        let mut lg = ledger();
+        lg.add_load_fraction(
+            cell(),
+            Timestamp::from_secs(800),
+            Timestamp::from_secs(1_000),
+            1.0,
+        );
+        assert!((lg.car_load(cell(), BinIndex(0)) - 100.0 / 900.0).abs() < 1e-6);
+        assert!((lg.car_load(cell(), BinIndex(1)) - 100.0 / 900.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transfer_kind_scales_demand() {
+        let mut lg = ledger();
+        let span = (Timestamp::from_secs(0), Timestamp::from_secs(900));
+        lg.add_transfer_load(cell(), span.0, span.1, TransferKind::Telemetry);
+        let tele = lg.car_load(cell(), BinIndex(0));
+        // C3 peak 75 Mbps; telemetry 0.05 Mbps → tiny.
+        assert!(tele < 0.001, "telemetry load {tele}");
+        let mut lg2 = ledger();
+        lg2.add_transfer_load(cell(), span.0, span.1, TransferKind::Greedy);
+        assert!((lg2.car_load(cell(), BinIndex(0)) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn outside_period_is_ignored() {
+        let mut lg = ledger();
+        let after = StudyPeriod::PAPER.end();
+        lg.add_load_fraction(cell(), after, after + Duration::from_hours(1), 1.0);
+        assert_eq!(lg.touched_count(), 0);
+        // Straddling the end is clipped, not dropped.
+        lg.add_load_fraction(
+            cell(),
+            after - Duration::from_secs(450),
+            after + Duration::from_secs(450),
+            1.0,
+        );
+        let last_bin = BinIndex(StudyPeriod::PAPER.total_bins() - 1);
+        assert!((lg.car_load(cell(), last_bin) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn utilization_caps_at_one() {
+        let bg = BackgroundLoad::new(BackgroundLoadConfig::default(), StudyPeriod::PAPER, 0);
+        let mut lg = ledger();
+        lg.add_load_fraction(
+            cell(),
+            Timestamp::from_secs(0),
+            Timestamp::from_secs(900),
+            5.0,
+        );
+        let u = lg.utilization(cell(), CellClass::Business, BinIndex(0), &bg);
+        assert_eq!(u, 1.0);
+    }
+
+    #[test]
+    fn untouched_cell_is_pure_background() {
+        let bg = BackgroundLoad::new(BackgroundLoadConfig::default(), StudyPeriod::PAPER, 0);
+        let lg = ledger();
+        let b = BinIndex(52);
+        assert_eq!(
+            lg.utilization(cell(), CellClass::Business, b, &bg),
+            bg.utilization(cell(), CellClass::Business, b)
+        );
+    }
+
+    #[test]
+    fn merge_sums_loads() {
+        let mut a = ledger();
+        let mut b = ledger();
+        let span = (Timestamp::from_secs(0), Timestamp::from_secs(900));
+        a.add_load_fraction(cell(), span.0, span.1, 0.2);
+        b.add_load_fraction(cell(), span.0, span.1, 0.3);
+        a.merge(&b);
+        assert!((a.car_load(cell(), BinIndex(0)) - 0.5).abs() < 1e-6);
+        assert_eq!(a.touched_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different periods")]
+    fn merge_rejects_mismatched_periods() {
+        let mut a = PrbLedger::new(StudyPeriod::PAPER);
+        let b = PrbLedger::new(
+            StudyPeriod::new(conncar_types::DayOfWeek::Monday, 7).unwrap(),
+        );
+        a.merge(&b);
+    }
+
+    #[test]
+    fn series_statistics() {
+        let bg = BackgroundLoad::new(BackgroundLoadConfig::default(), StudyPeriod::PAPER, 0);
+        let lg = ledger();
+        let s = lg.series(cell(), CellClass::Business, &bg);
+        assert_eq!(s.values.len(), StudyPeriod::PAPER.total_bins() as usize);
+        let m = s.mean();
+        assert!((0.0..=1.0).contains(&m));
+        assert!(s.week_mean(0).is_some());
+        assert!(s.week_mean(12).is_none()); // 90 days = 12 weeks + 6 days
+        let bf = s.busy_fraction(0.8);
+        assert!((0.0..=1.0).contains(&bf));
+        // Busy fraction is monotone in the threshold.
+        assert!(s.busy_fraction(0.5) >= bf);
+    }
+}

@@ -1,0 +1,81 @@
+//! Cell throughput as a function of load.
+//!
+//! Used by the FOTA campaign simulator to turn "how busy is this cell"
+//! into "how long does this download take" — the mechanism behind the
+//! paper's warning that a large download in an already-loaded cell is
+//! "pouring oil onto the fire".
+
+use conncar_types::Carrier;
+
+/// Downlink throughput available to one additional user of `carrier`
+/// when the cell is at `utilization` (fraction of PRBs already in use).
+///
+/// The model is proportional-fair-ish: the free capacity is what remains,
+/// with a small floor because the scheduler never fully starves a user.
+pub fn available_throughput_mbps(carrier: Carrier, utilization: f64) -> f64 {
+    let peak = carrier.peak_throughput_mbps() as f64;
+    let free = (1.0 - utilization.clamp(0.0, 1.0)).max(0.02);
+    peak * free
+}
+
+/// Seconds needed to move `megabytes` through a cell at a constant
+/// `utilization`. Returns `f64::INFINITY` for nonpositive sizes served
+/// zero throughput (cannot happen with the floor, but kept total).
+pub fn transfer_time_secs(carrier: Carrier, utilization: f64, megabytes: f64) -> f64 {
+    let mbps = available_throughput_mbps(carrier, utilization);
+    if mbps <= 0.0 {
+        return f64::INFINITY;
+    }
+    megabytes * 8.0 / mbps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_cell_gives_peak() {
+        assert_eq!(
+            available_throughput_mbps(Carrier::C3, 0.0),
+            Carrier::C3.peak_throughput_mbps() as f64
+        );
+    }
+
+    #[test]
+    fn busy_cell_starves() {
+        let busy = available_throughput_mbps(Carrier::C3, 0.95);
+        assert!(busy < 0.06 * Carrier::C3.peak_throughput_mbps() as f64);
+        // Floor keeps it positive even at 100%.
+        assert!(available_throughput_mbps(Carrier::C3, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn monotone_in_load() {
+        let mut last = f64::MAX;
+        for i in 0..=10 {
+            let u = i as f64 / 10.0;
+            let t = available_throughput_mbps(Carrier::C1, u);
+            assert!(t <= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn transfer_time_scales() {
+        // 900 MB FOTA image on an idle C3 cell: 900*8/75 = 96 s.
+        let t = transfer_time_secs(Carrier::C3, 0.0, 900.0);
+        assert!((t - 96.0).abs() < 1e-9);
+        // Same download on a 90%-loaded cell takes ~10x longer.
+        let t_busy = transfer_time_secs(Carrier::C3, 0.9, 900.0);
+        assert!(t_busy > 9.0 * t);
+    }
+
+    #[test]
+    fn clamps_out_of_range_utilization() {
+        assert_eq!(
+            available_throughput_mbps(Carrier::C1, -1.0),
+            Carrier::C1.peak_throughput_mbps() as f64
+        );
+        assert!(available_throughput_mbps(Carrier::C1, 2.0) > 0.0);
+    }
+}

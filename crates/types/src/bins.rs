@@ -1,0 +1,324 @@
+//! 15-minute time bins.
+//!
+//! The paper's network-load accounting is quarter-hour based throughout:
+//! a cell is *busy* in a bin when its average PRB utilization over those
+//! 15 minutes exceeds 80% (§4.3); concurrent cars are counted per bin
+//! (§4.4); and the k-means clustering of Figure 11 operates on 96-element
+//! vectors — one slot per bin of a day.
+//!
+//! Three indexing schemes appear in the analyses and each gets a type:
+//!
+//! * [`BinIndex`] — a bin's absolute position within the whole study
+//!   (`timestamp / 900`);
+//! * [`DayBin`] — a bin's position within *a* day (`0..96`), used for the
+//!   daily profile vectors of Figure 11;
+//! * [`WeekBin`] — a bin's position within *a* week (`0..672`), used for
+//!   the weekly concurrency profiles of Figure 10.
+
+use crate::time::{DayOfWeek, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Seconds per 15-minute bin.
+pub const BIN_SECONDS: u64 = 900;
+/// Bins per day: 96.
+pub const BINS_PER_DAY: usize = 96;
+/// Bins per week: 672.
+pub const BINS_PER_WEEK: usize = 7 * BINS_PER_DAY;
+
+/// Absolute 15-minute bin index from the study epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct BinIndex(pub u64);
+
+impl BinIndex {
+    /// The bin containing `t`.
+    #[inline]
+    pub const fn containing(t: Timestamp) -> BinIndex {
+        BinIndex(t.as_secs() / BIN_SECONDS)
+    }
+
+    /// First instant of this bin.
+    #[inline]
+    pub const fn start(self) -> Timestamp {
+        Timestamp::from_secs(self.0 * BIN_SECONDS)
+    }
+
+    /// First instant *after* this bin.
+    #[inline]
+    pub const fn end(self) -> Timestamp {
+        Timestamp::from_secs((self.0 + 1) * BIN_SECONDS)
+    }
+
+    /// The study-day this bin belongs to.
+    #[inline]
+    pub const fn day(self) -> u64 {
+        self.0 / BINS_PER_DAY as u64
+    }
+
+    /// Position within its day.
+    #[inline]
+    pub const fn day_bin(self) -> DayBin {
+        DayBin((self.0 % BINS_PER_DAY as u64) as u16)
+    }
+
+    /// Position within its week, given the weekday of study day 0.
+    ///
+    /// `WeekBin` 0 is always Monday 00:00; if the study started on a
+    /// Wednesday, absolute bin 0 maps to the Wednesday slot.
+    pub const fn week_bin(self, study_start: DayOfWeek) -> WeekBin {
+        let day_in_week = (self.day() as usize + study_start.index()) % 7;
+        WeekBin((day_in_week * BINS_PER_DAY) as u16 + (self.0 % BINS_PER_DAY as u64) as u16)
+    }
+
+    /// The next bin.
+    #[inline]
+    pub const fn next(self) -> BinIndex {
+        BinIndex(self.0 + 1)
+    }
+
+    /// Total number of bins covering `days` whole days.
+    #[inline]
+    pub const fn count_for_days(days: u64) -> u64 {
+        days * BINS_PER_DAY as u64
+    }
+
+    /// Iterate over every bin that a half-open interval
+    /// `[start, end)` overlaps. An empty interval yields nothing.
+    pub fn covering(
+        start: Timestamp,
+        end: Timestamp,
+    ) -> impl Iterator<Item = BinIndex> + Clone + 'static {
+        let first = start.as_secs() / BIN_SECONDS;
+        // end is exclusive: an interval ending exactly on a boundary does
+        // not touch the next bin.
+        let last = if end.as_secs() <= start.as_secs() {
+            first // empty range below
+        } else {
+            (end.as_secs() - 1) / BIN_SECONDS + 1
+        };
+        let empty = end.as_secs() <= start.as_secs();
+        (first..last).filter(move |_| !empty).map(BinIndex)
+    }
+
+    /// How many seconds of the half-open interval `[start, end)` fall
+    /// inside this bin.
+    pub fn overlap_secs(self, start: Timestamp, end: Timestamp) -> u64 {
+        let bs = self.start().as_secs();
+        let be = self.end().as_secs();
+        let s = start.as_secs().max(bs);
+        let e = end.as_secs().min(be);
+        e.saturating_sub(s)
+    }
+}
+
+impl fmt::Display for BinIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bin#{}@{}", self.0, self.start())
+    }
+}
+
+/// A bin's position within a day: `0..96`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct DayBin(pub u16);
+
+impl DayBin {
+    /// Construct, panicking outside `0..96` (programmer error).
+    #[inline]
+    pub fn new(i: u16) -> DayBin {
+        assert!((i as usize) < BINS_PER_DAY, "day bin {i} out of range");
+        DayBin(i)
+    }
+
+    /// The bin covering `hour:minute`.
+    #[inline]
+    pub const fn at(hour: u8, minute: u8) -> DayBin {
+        DayBin(hour as u16 * 4 + minute as u16 / 15)
+    }
+
+    /// Index `0..96`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Hour of day this bin starts in.
+    #[inline]
+    pub const fn hour(self) -> u8 {
+        (self.0 / 4) as u8
+    }
+
+    /// Minute within the hour this bin starts at (0, 15, 30 or 45).
+    #[inline]
+    pub const fn minute(self) -> u8 {
+        ((self.0 % 4) * 15) as u8
+    }
+
+    /// All 96 bins of a day in order.
+    pub fn all() -> impl Iterator<Item = DayBin> {
+        (0..BINS_PER_DAY as u16).map(DayBin)
+    }
+}
+
+impl fmt::Display for DayBin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02}:{:02}", self.hour(), self.minute())
+    }
+}
+
+/// A bin's position within a week: `0..672`, Monday 00:00 first.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct WeekBin(pub u16);
+
+impl WeekBin {
+    /// Construct, panicking outside `0..672` (programmer error).
+    #[inline]
+    pub fn new(i: u16) -> WeekBin {
+        assert!((i as usize) < BINS_PER_WEEK, "week bin {i} out of range");
+        WeekBin(i)
+    }
+
+    /// Index `0..672`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The weekday of this bin.
+    #[inline]
+    pub const fn day(self) -> DayOfWeek {
+        DayOfWeek::from_index((self.0 as usize) / BINS_PER_DAY)
+    }
+
+    /// The within-day bin.
+    #[inline]
+    pub const fn day_bin(self) -> DayBin {
+        DayBin((self.0 as usize % BINS_PER_DAY) as u16)
+    }
+
+    /// All 672 bins of a week in order.
+    pub fn all() -> impl Iterator<Item = WeekBin> {
+        (0..BINS_PER_WEEK as u16).map(WeekBin)
+    }
+}
+
+impl fmt::Display for WeekBin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.day().abbrev(), self.day_bin())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{Duration, SECONDS_PER_DAY};
+
+    #[test]
+    fn bin_containment_and_bounds() {
+        let t = Timestamp::from_secs(900);
+        let b = BinIndex::containing(t);
+        assert_eq!(b.0, 1);
+        assert_eq!(b.start(), t);
+        assert_eq!(b.end(), Timestamp::from_secs(1_800));
+        // Instant just before a boundary belongs to the earlier bin.
+        assert_eq!(BinIndex::containing(Timestamp::from_secs(899)).0, 0);
+    }
+
+    #[test]
+    fn day_decomposition() {
+        let b = BinIndex((SECONDS_PER_DAY / BIN_SECONDS) * 2 + 5);
+        assert_eq!(b.day(), 2);
+        assert_eq!(b.day_bin().index(), 5);
+    }
+
+    #[test]
+    fn week_bin_accounts_for_study_start() {
+        // Study starts Wednesday: absolute bin 0 lands in Wednesday's slots.
+        let b = BinIndex(0);
+        let wb = b.week_bin(DayOfWeek::Wednesday);
+        assert_eq!(wb.day(), DayOfWeek::Wednesday);
+        assert_eq!(wb.day_bin().index(), 0);
+        // Five days later it is Monday again.
+        let b5 = BinIndex(BinIndex::count_for_days(5));
+        assert_eq!(b5.week_bin(DayOfWeek::Wednesday).day(), DayOfWeek::Monday);
+    }
+
+    #[test]
+    fn covering_iterates_overlapped_bins() {
+        let s = Timestamp::from_secs(850);
+        let e = Timestamp::from_secs(1_900);
+        let bins: Vec<u64> = BinIndex::covering(s, e).map(|b| b.0).collect();
+        assert_eq!(bins, vec![0, 1, 2]);
+        // Interval ending exactly on a boundary excludes the next bin.
+        let bins: Vec<u64> = BinIndex::covering(Timestamp::from_secs(0), Timestamp::from_secs(900))
+            .map(|b| b.0)
+            .collect();
+        assert_eq!(bins, vec![0]);
+        // Empty interval yields nothing.
+        assert_eq!(BinIndex::covering(e, s).count(), 0);
+        assert_eq!(BinIndex::covering(s, s).count(), 0);
+    }
+
+    #[test]
+    fn overlap_secs_clips_to_bin() {
+        let b = BinIndex(1); // [900, 1800)
+        assert_eq!(
+            b.overlap_secs(Timestamp::from_secs(0), Timestamp::from_secs(10_000)),
+            900
+        );
+        assert_eq!(
+            b.overlap_secs(Timestamp::from_secs(1_000), Timestamp::from_secs(1_100)),
+            100
+        );
+        assert_eq!(
+            b.overlap_secs(Timestamp::from_secs(0), Timestamp::from_secs(900)),
+            0
+        );
+        assert_eq!(
+            b.overlap_secs(Timestamp::from_secs(1_750), Timestamp::from_secs(5_000)),
+            50
+        );
+    }
+
+    #[test]
+    fn overlap_sums_to_interval_length() {
+        let s = Timestamp::from_secs(123);
+        let e = Timestamp::from_secs(4_567);
+        let total: u64 = BinIndex::covering(s, e).map(|b| b.overlap_secs(s, e)).sum();
+        assert_eq!(total, (e - s).as_secs());
+        let _ = Duration::ZERO;
+    }
+
+    #[test]
+    fn day_bin_clock() {
+        let b = DayBin::at(14, 45);
+        assert_eq!(b.index(), 14 * 4 + 3);
+        assert_eq!(b.hour(), 14);
+        assert_eq!(b.minute(), 45);
+        assert_eq!(b.to_string(), "14:45");
+        assert_eq!(DayBin::all().count(), 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn day_bin_range_checked() {
+        DayBin::new(96);
+    }
+
+    #[test]
+    fn week_bin_clock() {
+        let wb = WeekBin::new((BINS_PER_DAY + 4) as u16);
+        assert_eq!(wb.day(), DayOfWeek::Tuesday);
+        assert_eq!(wb.day_bin().index(), 4);
+        assert_eq!(wb.to_string(), "Tue 01:00");
+        assert_eq!(WeekBin::all().count(), 672);
+    }
+}

@@ -1,0 +1,323 @@
+//! Frequency carriers and radio access technologies.
+//!
+//! The paper observes the study population connecting over **five
+//! carriers**, anonymized as C1…C5 (§4.6, Table 3). The physical details
+//! are not disclosed, so this model assigns each anonymous carrier a
+//! plausible US-market identity chosen to reproduce the *behavioral*
+//! facts the paper reports:
+//!
+//! * C1 — low-band LTE coverage layer (700 MHz, 10 MHz wide). Deployed
+//!   everywhere; used when nothing better is available → high car reach,
+//!   moderate time share.
+//! * C2 — the 3G/UMTS layer (850 MHz, 5 MHz equivalent). Legacy fallback
+//!   → high reach, small time share, and the endpoint of inter-RAT
+//!   handovers.
+//! * C3 — mid-band LTE workhorse (AWS 1700/2100 MHz, 20 MHz). Widest
+//!   bandwidth and broad deployment → carries ~half of connected time.
+//! * C4 — mid-band LTE secondary (PCS 1900 MHz, 15 MHz). Deployed at a
+//!   subset of stations → ~80% car reach, ~20% time share.
+//! * C5 — a *new* band (WCS 2300 MHz) that the OEM's legacy modems do not
+//!   support; only a handful of cars ever touch it (0.006% in the paper).
+//!
+//! The identification is a modeling device: analyses only depend on the
+//! carrier *label*, its RAT, and its PRB capacity.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Radio access technology of a carrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Rat {
+    /// 3G / UMTS.
+    Umts,
+    /// 4G / LTE.
+    Lte,
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rat::Umts => "3G",
+            Rat::Lte => "4G",
+        })
+    }
+}
+
+/// One of the five anonymous frequency carriers of §4.6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Carrier {
+    C1,
+    C2,
+    C3,
+    C4,
+    C5,
+}
+
+/// All carriers in label order, matching Table 3's columns.
+pub const ALL_CARRIERS: [Carrier; 5] = [
+    Carrier::C1,
+    Carrier::C2,
+    Carrier::C3,
+    Carrier::C4,
+    Carrier::C5,
+];
+
+impl Carrier {
+    /// Column index in Table 3 (C1 = 0 … C5 = 4).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Carrier::C1 => 0,
+            Carrier::C2 => 1,
+            Carrier::C3 => 2,
+            Carrier::C4 => 3,
+            Carrier::C5 => 4,
+        }
+    }
+
+    /// Inverse of [`Carrier::index`].
+    pub const fn from_index(i: usize) -> Option<Carrier> {
+        match i {
+            0 => Some(Carrier::C1),
+            1 => Some(Carrier::C2),
+            2 => Some(Carrier::C3),
+            3 => Some(Carrier::C4),
+            4 => Some(Carrier::C5),
+            _ => None,
+        }
+    }
+
+    /// The radio technology of this carrier. C2 is the 3G layer; all
+    /// other carriers are LTE.
+    #[inline]
+    pub const fn rat(self) -> Rat {
+        match self {
+            Carrier::C2 => Rat::Umts,
+            _ => Rat::Lte,
+        }
+    }
+
+    /// Nominal center frequency in MHz (modeled identity, see module doc).
+    pub const fn frequency_mhz(self) -> u32 {
+        match self {
+            Carrier::C1 => 700,
+            Carrier::C2 => 850,
+            Carrier::C3 => 1_700,
+            Carrier::C4 => 1_900,
+            Carrier::C5 => 2_300,
+        }
+    }
+
+    /// Channel bandwidth in MHz.
+    pub const fn bandwidth_mhz(self) -> u32 {
+        match self {
+            Carrier::C1 => 10,
+            Carrier::C2 => 5,
+            Carrier::C3 => 20,
+            Carrier::C4 => 15,
+            Carrier::C5 => 10,
+        }
+    }
+
+    /// Downlink Physical Resource Blocks per subframe for this bandwidth.
+    ///
+    /// LTE defines 50/75/100 PRBs for 10/15/20 MHz. UMTS has no PRB
+    /// concept; we model C2 with a 25-"PRB" capacity equivalent so the
+    /// same utilization accounting covers both RATs.
+    pub const fn prb_capacity(self) -> u32 {
+        match self {
+            Carrier::C1 => 50,
+            Carrier::C2 => 25,
+            Carrier::C3 => 100,
+            Carrier::C4 => 75,
+            Carrier::C5 => 50,
+        }
+    }
+
+    /// Peak downlink throughput in Mbit/s a single user can draw from an
+    /// otherwise-idle cell of this carrier. Scaled from bandwidth with a
+    /// conservative spectral efficiency (~3.7 bit/s/Hz for LTE 2×2 MIMO,
+    /// lower for UMTS).
+    pub const fn peak_throughput_mbps(self) -> u32 {
+        match self {
+            Carrier::C1 => 37,
+            Carrier::C2 => 7,
+            Carrier::C3 => 75,
+            Carrier::C4 => 55,
+            Carrier::C5 => 37,
+        }
+    }
+
+    /// Relative attachment preference when several carriers are adequate:
+    /// the network steers traffic onto the mid-band LTE layers (C3/C4
+    /// share top priority and split load), keeps the low band as a
+    /// coverage layer, and treats 3G as last resort.
+    pub const fn selection_priority(self) -> u8 {
+        match self {
+            Carrier::C3 => 5,
+            Carrier::C4 => 5,
+            Carrier::C5 => 4,
+            Carrier::C1 => 2,
+            Carrier::C2 => 1,
+        }
+    }
+}
+
+impl fmt::Display for Carrier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.index() + 1)
+    }
+}
+
+/// Which carriers a car's modem can attach to.
+///
+/// §4.6: "Connected car modems of this OEM predominantly have the
+/// capability to use carriers C1–C4, and only a few C5 connections are
+/// registered." A capability set is a tiny bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModemCapability {
+    mask: u8,
+}
+
+impl ModemCapability {
+    /// The empty capability set (useful as a fold seed).
+    pub const NONE: ModemCapability = ModemCapability { mask: 0 };
+
+    /// The OEM's standard modem: C1–C4, no C5.
+    pub const STANDARD: ModemCapability = ModemCapability { mask: 0b0_1111 };
+
+    /// A newer modem revision that also supports the C5 band.
+    pub const FULL: ModemCapability = ModemCapability { mask: 0b1_1111 };
+
+    /// An early 3G-only modem: C2 only.
+    pub const UMTS_ONLY: ModemCapability = ModemCapability { mask: 0b0_0010 };
+
+    /// Build a capability set from an iterator of carriers.
+    pub fn from_carriers<I: IntoIterator<Item = Carrier>>(carriers: I) -> ModemCapability {
+        let mut mask = 0u8;
+        for c in carriers {
+            mask |= 1 << c.index();
+        }
+        ModemCapability { mask }
+    }
+
+    /// Whether this modem can attach to `carrier`.
+    #[inline]
+    pub const fn supports(self, carrier: Carrier) -> bool {
+        self.mask & (1 << carrier.index()) != 0
+    }
+
+    /// Add support for a carrier.
+    #[inline]
+    pub const fn with(self, carrier: Carrier) -> ModemCapability {
+        ModemCapability {
+            mask: self.mask | (1 << carrier.index()),
+        }
+    }
+
+    /// Number of supported carriers.
+    #[inline]
+    pub const fn count(self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// Iterate over the supported carriers in label order.
+    pub fn iter(self) -> impl Iterator<Item = Carrier> {
+        ALL_CARRIERS.into_iter().filter(move |c| self.supports(*c))
+    }
+
+    /// True if no carrier is supported.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.mask == 0
+    }
+}
+
+impl fmt::Display for ModemCapability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        write!(f, "{{")?;
+        for c in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for c in ALL_CARRIERS {
+            assert_eq!(Carrier::from_index(c.index()), Some(c));
+        }
+        assert_eq!(Carrier::from_index(5), None);
+    }
+
+    #[test]
+    fn rats() {
+        assert_eq!(Carrier::C2.rat(), Rat::Umts);
+        for c in [Carrier::C1, Carrier::C3, Carrier::C4, Carrier::C5] {
+            assert_eq!(c.rat(), Rat::Lte);
+        }
+    }
+
+    #[test]
+    fn prb_capacity_tracks_bandwidth() {
+        // LTE carriers: 5 PRB per MHz.
+        for c in [Carrier::C1, Carrier::C3, Carrier::C4, Carrier::C5] {
+            assert_eq!(c.prb_capacity(), c.bandwidth_mhz() * 5);
+        }
+    }
+
+    #[test]
+    fn c3_is_most_preferred() {
+        let mut by_priority = ALL_CARRIERS;
+        by_priority.sort_by_key(|c| std::cmp::Reverse(c.selection_priority()));
+        assert_eq!(by_priority[0], Carrier::C3);
+        assert_eq!(by_priority[4], Carrier::C2);
+    }
+
+    #[test]
+    fn capability_masks() {
+        assert!(ModemCapability::STANDARD.supports(Carrier::C1));
+        assert!(ModemCapability::STANDARD.supports(Carrier::C4));
+        assert!(!ModemCapability::STANDARD.supports(Carrier::C5));
+        assert!(ModemCapability::FULL.supports(Carrier::C5));
+        assert_eq!(ModemCapability::STANDARD.count(), 4);
+        assert_eq!(ModemCapability::UMTS_ONLY.count(), 1);
+        assert!(ModemCapability::NONE.is_empty());
+    }
+
+    #[test]
+    fn capability_from_carriers() {
+        let cap = ModemCapability::from_carriers([Carrier::C1, Carrier::C3]);
+        assert!(cap.supports(Carrier::C1));
+        assert!(!cap.supports(Carrier::C2));
+        assert!(cap.supports(Carrier::C3));
+        assert_eq!(cap.with(Carrier::C2).count(), 3);
+        let collected: Vec<_> = cap.iter().collect();
+        assert_eq!(collected, vec![Carrier::C1, Carrier::C3]);
+    }
+
+    #[test]
+    fn capability_display() {
+        assert_eq!(ModemCapability::STANDARD.to_string(), "{C1,C2,C3,C4}");
+        assert_eq!(ModemCapability::NONE.to_string(), "{}");
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Carrier::C1.to_string(), "C1");
+        assert_eq!(Carrier::C5.to_string(), "C5");
+        assert_eq!(Rat::Umts.to_string(), "3G");
+        assert_eq!(Rat::Lte.to_string(), "4G");
+    }
+}

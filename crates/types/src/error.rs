@@ -1,0 +1,120 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Convenient result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the conncar crates.
+///
+/// Kept as a single flat enum: the workspace's failure modes are few and
+/// mostly configuration or decode problems, and a flat enum keeps
+/// matching simple for callers (the smoltcp "simplicity and robustness"
+/// school rather than per-crate error ladders).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A study period with zero days.
+    EmptyStudyPeriod,
+    /// A UTC offset outside the real-world ±14 h range.
+    InvalidTimeZone {
+        /// The rejected offset.
+        offset_hours: i8,
+    },
+    /// An out-of-range civil time of day.
+    InvalidTimeOfDay {
+        /// Hour component.
+        hour: u32,
+        /// Minute component.
+        min: u32,
+        /// Second component.
+        sec: u32,
+    },
+    /// A configuration value outside its documented domain.
+    InvalidConfig {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// Why it was rejected.
+        why: String,
+    },
+    /// A malformed record was encountered while decoding a CDR stream.
+    Decode {
+        /// Byte or line offset of the problem, when known.
+        offset: Option<u64>,
+        /// Description of the malformation.
+        why: String,
+    },
+    /// An I/O error, stringified to keep `Error: Clone + PartialEq`.
+    Io(String),
+    /// An analysis was asked to run on data it cannot work with
+    /// (e.g. clustering an empty set of cells).
+    EmptyInput {
+        /// The analysis that had nothing to consume.
+        analysis: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyStudyPeriod => write!(f, "study period must contain at least one day"),
+            Error::InvalidTimeZone { offset_hours } => {
+                write!(f, "UTC offset {offset_hours:+} h is outside ±14 h")
+            }
+            Error::InvalidTimeOfDay { hour, min, sec } => {
+                write!(f, "invalid time of day {hour:02}:{min:02}:{sec:02}")
+            }
+            Error::InvalidConfig { what, why } => write!(f, "invalid config `{what}`: {why}"),
+            Error::Decode { offset, why } => match offset {
+                Some(o) => write!(f, "decode error at offset {o}: {why}"),
+                None => write!(f, "decode error: {why}"),
+            },
+            Error::Io(msg) => write!(f, "I/O error: {msg}"),
+            Error::EmptyInput { analysis } => {
+                write!(f, "analysis `{analysis}` received no input data")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::EmptyStudyPeriod.to_string(),
+            "study period must contain at least one day"
+        );
+        assert!(Error::InvalidTimeZone { offset_hours: 15 }
+            .to_string()
+            .contains("+15"));
+        let e = Error::Decode {
+            offset: Some(42),
+            why: "truncated".into(),
+        };
+        assert!(e.to_string().contains("offset 42"));
+        let e = Error::Decode {
+            offset: None,
+            why: "bad magic".into(),
+        };
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Strongly-typed identifiers for cars and network elements.
+//!
+//! The paper's data set identifies each connected car by an anonymized
+//! token and each radio cell by its network identity. We use integer
+//! newtypes: they are cheap to copy and hash, and the type system stops a
+//! `CarId` from ever being used where a `CellId` is expected — the classic
+//! units mistake in trace-analysis code.
+//!
+//! A cell's identity also encodes its *position in the radio hierarchy*:
+//! base station → sector → carrier. [`CellId`] packs those three
+//! coordinates so analyses can classify a handover (inter-base-station vs
+//! inter-sector vs inter-carrier, §4.5) from the two cell ids alone.
+
+use crate::carrier::Carrier;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An anonymized connected-car identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct CarId(pub u32);
+
+impl CarId {
+    /// The raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "car-{:07}", self.0)
+    }
+}
+
+/// A base station (eNodeB / NodeB) identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct BaseStationId(pub u32);
+
+impl BaseStationId {
+    /// The raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BaseStationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bs-{:05}", self.0)
+    }
+}
+
+/// A sector: one antenna direction of one base station.
+///
+/// Typical deployments put 3 sectors on a station, ~120° each (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SectorId {
+    /// The owning base station.
+    pub station: BaseStationId,
+    /// Sector index within the station, `0..sectors_per_station`.
+    pub sector: u8,
+}
+
+impl fmt::Display for SectorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/s{}", self.station, self.sector)
+    }
+}
+
+/// A radio cell: one (base station, sector, carrier) triple.
+///
+/// This is the unit the paper calls "a radio" or "a cell" — the thing a
+/// car connects to, whose PRB utilization is measured, and between which
+/// handovers occur.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellId {
+    /// The owning base station.
+    pub station: BaseStationId,
+    /// Sector index within the station.
+    pub sector: u8,
+    /// The frequency carrier this cell radiates on.
+    pub carrier: Carrier,
+}
+
+impl CellId {
+    /// Construct a cell id from its hierarchy coordinates.
+    #[inline]
+    pub const fn new(station: BaseStationId, sector: u8, carrier: Carrier) -> CellId {
+        CellId {
+            station,
+            sector,
+            carrier,
+        }
+    }
+
+    /// The sector this cell belongs to.
+    #[inline]
+    pub const fn sector_id(self) -> SectorId {
+        SectorId {
+            station: self.station,
+            sector: self.sector,
+        }
+    }
+
+    /// Classify the relationship between two *distinct* cells, which is
+    /// exactly the handover taxonomy of §4.5. Returns `None` when the two
+    /// ids are equal (no handover).
+    pub fn handover_kind(self, other: CellId) -> Option<HandoverKind> {
+        if self == other {
+            return None;
+        }
+        Some(if self.station != other.station {
+            HandoverKind::InterBaseStation
+        } else if self.sector != other.sector {
+            HandoverKind::InterSector
+        } else if self.carrier.rat() != other.carrier.rat() {
+            // Same sector, different carrier *and* different radio
+            // technology (3G vs 4G).
+            HandoverKind::InterRat
+        } else {
+            HandoverKind::InterCarrier
+        })
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/s{}/{}", self.station, self.sector, self.carrier)
+    }
+}
+
+/// The four handover types the paper distinguishes in §4.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HandoverKind {
+    /// Across base stations — the dominant kind for moving cars.
+    InterBaseStation,
+    /// Between sectors of the same base station.
+    InterSector,
+    /// Between carriers of the same sector (same radio technology).
+    InterCarrier,
+    /// Between radio technologies (3G ↔ 4G) in the same sector.
+    InterRat,
+}
+
+impl HandoverKind {
+    /// All four kinds, in the order the paper lists them.
+    pub const ALL: [HandoverKind; 4] = [
+        HandoverKind::InterBaseStation,
+        HandoverKind::InterSector,
+        HandoverKind::InterCarrier,
+        HandoverKind::InterRat,
+    ];
+
+    /// Human-readable label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            HandoverKind::InterBaseStation => "inter-base-station",
+            HandoverKind::InterSector => "inter-sector",
+            HandoverKind::InterCarrier => "inter-carrier",
+            HandoverKind::InterRat => "inter-RAT",
+        }
+    }
+}
+
+impl fmt::Display for HandoverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carrier::Carrier;
+
+    fn cell(st: u32, sec: u8, ca: Carrier) -> CellId {
+        CellId::new(BaseStationId(st), sec, ca)
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CarId(7).to_string(), "car-0000007");
+        assert_eq!(BaseStationId(12).to_string(), "bs-00012");
+        let c = cell(12, 2, Carrier::C3);
+        assert_eq!(c.to_string(), "bs-00012/s2/C3");
+        assert_eq!(c.sector_id().to_string(), "bs-00012/s2");
+    }
+
+    #[test]
+    fn handover_taxonomy() {
+        let a = cell(1, 0, Carrier::C3);
+        assert_eq!(a.handover_kind(a), None);
+        assert_eq!(
+            a.handover_kind(cell(2, 0, Carrier::C3)),
+            Some(HandoverKind::InterBaseStation)
+        );
+        assert_eq!(
+            a.handover_kind(cell(1, 1, Carrier::C3)),
+            Some(HandoverKind::InterSector)
+        );
+        assert_eq!(
+            a.handover_kind(cell(1, 0, Carrier::C4)),
+            Some(HandoverKind::InterCarrier)
+        );
+        // C2 is the 3G carrier in our model; same sector, RAT change.
+        assert_eq!(
+            a.handover_kind(cell(1, 0, Carrier::C2)),
+            Some(HandoverKind::InterRat)
+        );
+    }
+
+    #[test]
+    fn handover_is_symmetric_in_kind() {
+        let a = cell(1, 0, Carrier::C1);
+        let b = cell(1, 2, Carrier::C1);
+        assert_eq!(a.handover_kind(b), b.handover_kind(a));
+    }
+
+    #[test]
+    fn cell_ordering_groups_by_station() {
+        let mut cells = [cell(2, 0, Carrier::C1),
+            cell(1, 1, Carrier::C1),
+            cell(1, 0, Carrier::C4)];
+        cells.sort();
+        assert_eq!(cells[0].station, BaseStationId(1));
+        assert_eq!(cells[2].station, BaseStationId(2));
+    }
+}

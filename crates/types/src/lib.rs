@@ -1,0 +1,50 @@
+//! # conncar-types
+//!
+//! Core domain types shared by every crate in the `conncar` workspace,
+//! a reproduction of *"Connected cars in cellular network: A measurement
+//! study"* (IMC 2017).
+//!
+//! The types here deliberately mirror the vocabulary of the paper's §3
+//! ("Data set and methodology"):
+//!
+//! * a **car** is a vehicle equipped with a cellular 3G/4G modem
+//!   ([`CarId`]);
+//! * a **cell** (or *radio*) is one directional antenna on one frequency
+//!   **carrier** ([`CellId`], [`Carrier`]);
+//! * a **sector** groups the cells of one base station pointing the same
+//!   direction ([`SectorId`]);
+//! * a **base station** hosts 3–12+ cells ([`BaseStationId`]);
+//! * the **study period** is a contiguous run of days — 90 in the paper —
+//!   over which Call Detail Records are collected ([`StudyPeriod`]);
+//! * network load is accounted in **15-minute bins** ([`BinIndex`],
+//!   [`DayBin`], [`WeekBin`]) because that is the granularity at which the
+//!   paper classifies cells as busy (`U_PRB > 80%`).
+//!
+//! All simulation time is measured in whole seconds from the study epoch
+//! (midnight UTC of day 0) — radio-level events in the source data have
+//! second resolution, and whole seconds keep every computation exact and
+//! platform-independent.
+//!
+//! This crate has no dependencies besides `serde` and is `#![forbid(unsafe_code)]`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bins;
+pub mod carrier;
+pub mod error;
+pub mod id;
+pub mod period;
+pub mod seed;
+pub mod time;
+
+pub use bins::{BinIndex, DayBin, WeekBin, BINS_PER_DAY, BINS_PER_WEEK, BIN_SECONDS};
+pub use carrier::{Carrier, ModemCapability, Rat, ALL_CARRIERS};
+pub use error::{Error, Result};
+pub use id::{BaseStationId, CarId, CellId, SectorId};
+pub use period::StudyPeriod;
+pub use seed::SeedSplitter;
+pub use time::{
+    DayOfWeek, Duration, LocalTime, TimeOfDay, TimeZone, Timestamp, SECONDS_PER_DAY,
+    SECONDS_PER_HOUR, SECONDS_PER_MINUTE, SECONDS_PER_WEEK,
+};

@@ -1,0 +1,170 @@
+//! The study period: a contiguous run of days over which CDRs are
+//! collected and analyzed.
+
+use crate::bins::{BinIndex, BINS_PER_DAY};
+use crate::time::{DayOfWeek, Duration, Timestamp, SECONDS_PER_DAY};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A contiguous study window of whole days.
+///
+/// The paper analyzes a 90-day period in 2017 (§3). The period knows the
+/// weekday of its first day, which anchors all weekday-grouped statistics
+/// (Table 1) and 24×7 matrices (Figures 4, 5, 10, 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StudyPeriod {
+    /// Weekday of study day 0.
+    start_day: DayOfWeek,
+    /// Number of days in the study; at least 1.
+    days: u32,
+}
+
+impl StudyPeriod {
+    /// The paper's configuration: 90 days. We anchor day 0 on a Monday,
+    /// which the paper does not specify; the choice only rotates weekly
+    /// plots.
+    pub const PAPER: StudyPeriod = StudyPeriod {
+        start_day: DayOfWeek::Monday,
+        days: 90,
+    };
+
+    /// Construct a period of `days` days starting on `start_day`.
+    pub fn new(start_day: DayOfWeek, days: u32) -> crate::Result<StudyPeriod> {
+        if days == 0 {
+            return Err(crate::Error::EmptyStudyPeriod);
+        }
+        Ok(StudyPeriod { start_day, days })
+    }
+
+    /// Number of days in the period.
+    #[inline]
+    pub const fn days(self) -> u32 {
+        self.days
+    }
+
+    /// Weekday of day 0.
+    #[inline]
+    pub const fn start_day(self) -> DayOfWeek {
+        self.start_day
+    }
+
+    /// First instant of the period.
+    #[inline]
+    pub const fn start(self) -> Timestamp {
+        Timestamp::EPOCH
+    }
+
+    /// First instant *after* the period.
+    #[inline]
+    pub const fn end(self) -> Timestamp {
+        Timestamp::from_secs(self.days as u64 * SECONDS_PER_DAY)
+    }
+
+    /// Total wall-clock length.
+    #[inline]
+    pub const fn duration(self) -> Duration {
+        Duration::from_secs(self.days as u64 * SECONDS_PER_DAY)
+    }
+
+    /// Whether `t` falls inside the period.
+    #[inline]
+    pub fn contains(self, t: Timestamp) -> bool {
+        t >= self.start() && t < self.end()
+    }
+
+    /// Clamp a half-open interval to the period; `None` if disjoint.
+    pub fn clip(self, start: Timestamp, end: Timestamp) -> Option<(Timestamp, Timestamp)> {
+        let s = start.max(self.start());
+        let e = end.min(self.end());
+        (s < e).then_some((s, e))
+    }
+
+    /// The weekday of study day `day`.
+    #[inline]
+    pub const fn weekday_of(self, day: u64) -> DayOfWeek {
+        self.start_day.plus(day as usize)
+    }
+
+    /// Iterate over `(day_index, weekday)` for every day of the study.
+    pub fn iter_days(self) -> impl Iterator<Item = (u64, DayOfWeek)> {
+        let start = self.start_day;
+        (0..self.days as u64).map(move |d| (d, start.plus(d as usize)))
+    }
+
+    /// Total number of 15-minute bins in the period.
+    #[inline]
+    pub const fn total_bins(self) -> u64 {
+        self.days as u64 * BINS_PER_DAY as u64
+    }
+
+    /// Iterate over every absolute bin in the period.
+    pub fn iter_bins(self) -> impl Iterator<Item = BinIndex> {
+        (0..self.total_bins()).map(BinIndex)
+    }
+
+    /// Number of whole weeks fully contained in the period.
+    #[inline]
+    pub const fn whole_weeks(self) -> u32 {
+        self.days / 7
+    }
+}
+
+impl fmt::Display for StudyPeriod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} days from {}", self.days, self.start_day.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_period() {
+        let p = StudyPeriod::PAPER;
+        assert_eq!(p.days(), 90);
+        assert_eq!(p.whole_weeks(), 12);
+        assert_eq!(p.total_bins(), 90 * 96);
+        assert_eq!(p.end().as_secs(), 90 * SECONDS_PER_DAY);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(StudyPeriod::new(DayOfWeek::Monday, 0).is_err());
+    }
+
+    #[test]
+    fn weekday_rotation() {
+        let p = StudyPeriod::new(DayOfWeek::Friday, 10).unwrap();
+        assert_eq!(p.weekday_of(0), DayOfWeek::Friday);
+        assert_eq!(p.weekday_of(1), DayOfWeek::Saturday);
+        assert_eq!(p.weekday_of(3), DayOfWeek::Monday);
+        let days: Vec<_> = p.iter_days().collect();
+        assert_eq!(days.len(), 10);
+        assert_eq!(days[9], (9, DayOfWeek::Sunday));
+    }
+
+    #[test]
+    fn containment_and_clipping() {
+        let p = StudyPeriod::new(DayOfWeek::Monday, 2).unwrap();
+        assert!(p.contains(Timestamp::from_secs(0)));
+        assert!(!p.contains(p.end()));
+        // Interval straddling the end is clipped.
+        let (s, e) = p
+            .clip(
+                Timestamp::from_day_hms(1, 23, 0, 0),
+                Timestamp::from_day_hms(2, 1, 0, 0),
+            )
+            .unwrap();
+        assert_eq!(s, Timestamp::from_day_hms(1, 23, 0, 0));
+        assert_eq!(e, p.end());
+        // Fully outside → None.
+        assert!(p.clip(p.end(), p.end() + Duration::from_hours(1)).is_none());
+    }
+
+    #[test]
+    fn bin_iteration() {
+        let p = StudyPeriod::new(DayOfWeek::Monday, 1).unwrap();
+        assert_eq!(p.iter_bins().count(), 96);
+    }
+}

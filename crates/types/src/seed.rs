@@ -1,0 +1,116 @@
+//! Deterministic seed derivation.
+//!
+//! Every stochastic component of the workspace — fleet personas, trip
+//! jitter, radio noise, fault injection — draws its randomness from a
+//! seed derived with [`SeedSplitter`] from one root seed. Same root seed
+//! ⇒ bit-identical synthetic CDRs, analyses and reports, which is what
+//! makes the experiment harness reviewable.
+//!
+//! Derivation is a small keyed mixing function (SplitMix64 over the
+//! root seed, a domain label hash, and an index). It is *not*
+//! cryptographic — it only needs to decorrelate streams — but it is
+//! stable by construction: the constants below are frozen and covered by
+//! regression tests, so derived seeds never change across releases.
+
+/// Derives independent, reproducible sub-seeds from a root seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedSplitter {
+    root: u64,
+}
+
+/// SplitMix64 finalizer; the standard constants from Steele et al.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte string; used to turn domain labels into integers.
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl SeedSplitter {
+    /// Wrap a root seed.
+    #[inline]
+    pub const fn new(root: u64) -> SeedSplitter {
+        SeedSplitter { root }
+    }
+
+    /// The root seed.
+    #[inline]
+    pub const fn root(self) -> u64 {
+        self.root
+    }
+
+    /// Seed for a named domain ("fleet", "radio-noise", ...).
+    pub fn domain(self, label: &str) -> u64 {
+        splitmix64(self.root ^ fnv1a(label.as_bytes()))
+    }
+
+    /// Seed for the `index`-th member of a named domain (e.g. one car).
+    pub fn domain_indexed(self, label: &str, index: u64) -> u64 {
+        splitmix64(self.domain(label).wrapping_add(splitmix64(index)))
+    }
+
+    /// A child splitter rooted at a named domain, for components that
+    /// themselves need several streams.
+    pub fn child(self, label: &str) -> SeedSplitter {
+        SeedSplitter {
+            root: self.domain(label),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        let a = SeedSplitter::new(42);
+        let b = SeedSplitter::new(42);
+        assert_eq!(a.domain("fleet"), b.domain("fleet"));
+        assert_eq!(a.domain_indexed("car", 7), b.domain_indexed("car", 7));
+        assert_eq!(a.child("x").domain("y"), b.child("x").domain("y"));
+    }
+
+    #[test]
+    fn domains_decorrelate() {
+        let s = SeedSplitter::new(42);
+        assert_ne!(s.domain("fleet"), s.domain("radio"));
+        assert_ne!(s.domain("fleet"), SeedSplitter::new(43).domain("fleet"));
+    }
+
+    #[test]
+    fn indexed_streams_are_distinct() {
+        let s = SeedSplitter::new(7);
+        let seeds: HashSet<u64> = (0..10_000).map(|i| s.domain_indexed("car", i)).collect();
+        assert_eq!(seeds.len(), 10_000, "collisions in 10k derived seeds");
+    }
+
+    #[test]
+    fn frozen_values() {
+        // Regression pin: these exact values must never change, or
+        // every "same seed, same output" promise breaks silently.
+        let s = SeedSplitter::new(0xDEAD_BEEF);
+        assert_eq!(s.domain("fleet"), 10_308_301_297_285_963_829);
+        assert_eq!(s.domain_indexed("car", 0), 5_990_932_912_063_643_150);
+    }
+
+    #[test]
+    fn zero_root_is_usable() {
+        let s = SeedSplitter::new(0);
+        assert_ne!(s.domain("a"), 0);
+        assert_ne!(s.domain("a"), s.domain("b"));
+    }
+}

@@ -1,0 +1,668 @@
+//! Simulation time: timestamps, durations, days of week and time zones.
+//!
+//! All time is anchored to the **study epoch**: midnight UTC at the start
+//! of day 0 of the study period. [`Timestamp`] counts whole seconds from
+//! that epoch; [`Duration`] is a span of whole seconds. Sub-second
+//! resolution is intentionally unsupported — the Call Detail Records the
+//! paper works from carry second-granularity connect/disconnect times, and
+//! integer seconds keep all derived statistics exactly reproducible.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Seconds in one minute.
+pub const SECONDS_PER_MINUTE: u64 = 60;
+/// Seconds in one hour.
+pub const SECONDS_PER_HOUR: u64 = 3_600;
+/// Seconds in one day.
+pub const SECONDS_PER_DAY: u64 = 86_400;
+/// Seconds in one week.
+pub const SECONDS_PER_WEEK: u64 = 7 * SECONDS_PER_DAY;
+
+/// A point in simulation time: whole seconds since the study epoch
+/// (midnight UTC of study day 0).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The study epoch itself (second 0).
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Construct from raw seconds since the epoch.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Timestamp(secs)
+    }
+
+    /// Construct from a (day index, seconds within that day) pair.
+    ///
+    /// `within_day` may exceed a day; it simply adds on.
+    #[inline]
+    pub const fn from_day_and_secs(day: u64, within_day: u64) -> Self {
+        Timestamp(day * SECONDS_PER_DAY + within_day)
+    }
+
+    /// Construct from day index plus hour/minute/second of that day.
+    #[inline]
+    pub const fn from_day_hms(day: u64, hour: u64, min: u64, sec: u64) -> Self {
+        Timestamp(day * SECONDS_PER_DAY + hour * SECONDS_PER_HOUR + min * SECONDS_PER_MINUTE + sec)
+    }
+
+    /// Raw seconds since the epoch.
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The study-day index this instant falls on (UTC).
+    #[inline]
+    pub const fn day(self) -> u64 {
+        self.0 / SECONDS_PER_DAY
+    }
+
+    /// Seconds elapsed since UTC midnight of the current day.
+    #[inline]
+    pub const fn secs_of_day(self) -> u64 {
+        self.0 % SECONDS_PER_DAY
+    }
+
+    /// Hour of the UTC day, `0..=23`.
+    #[inline]
+    pub const fn hour_of_day(self) -> u8 {
+        (self.secs_of_day() / SECONDS_PER_HOUR) as u8
+    }
+
+    /// Saturating subtraction producing a [`Duration`].
+    #[inline]
+    pub const fn saturating_since(self, earlier: Timestamp) -> Duration {
+        Duration::from_secs(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration.
+    #[inline]
+    pub fn checked_add(self, d: Duration) -> Option<Timestamp> {
+        self.0.checked_add(d.as_secs()).map(Timestamp)
+    }
+
+    /// The instant `n` whole days after this one.
+    #[inline]
+    pub const fn plus_days(self, n: u64) -> Timestamp {
+        Timestamp(self.0 + n * SECONDS_PER_DAY)
+    }
+
+    /// Minimum of two timestamps.
+    #[inline]
+    pub fn min(self, other: Timestamp) -> Timestamp {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two timestamps.
+    #[inline]
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.day();
+        let s = self.secs_of_day();
+        write!(
+            f,
+            "d{:02} {:02}:{:02}:{:02}",
+            d,
+            s / SECONDS_PER_HOUR,
+            (s % SECONDS_PER_HOUR) / SECONDS_PER_MINUTE,
+            s % SECONDS_PER_MINUTE
+        )
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Timestamp) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+/// A span of simulation time in whole seconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration(secs)
+    }
+
+    /// Construct from whole minutes.
+    #[inline]
+    pub const fn from_mins(mins: u64) -> Self {
+        Duration(mins * SECONDS_PER_MINUTE)
+    }
+
+    /// Construct from whole hours.
+    #[inline]
+    pub const fn from_hours(hours: u64) -> Self {
+        Duration(hours * SECONDS_PER_HOUR)
+    }
+
+    /// Construct from whole days.
+    #[inline]
+    pub const fn from_days(days: u64) -> Self {
+        Duration(days * SECONDS_PER_DAY)
+    }
+
+    /// Whole seconds in this span.
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// This span expressed in (possibly fractional) hours.
+    #[inline]
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / SECONDS_PER_HOUR as f64
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub const fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// Minimum of two durations.
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two durations.
+    #[inline]
+    pub fn max(self, other: Duration) -> Duration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True when zero seconds long.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < SECONDS_PER_MINUTE {
+            write!(f, "{}s", self.0)
+        } else if self.0 < SECONDS_PER_HOUR {
+            write!(f, "{}m{:02}s", self.0 / 60, self.0 % 60)
+        } else {
+            write!(
+                f,
+                "{}h{:02}m{:02}s",
+                self.0 / SECONDS_PER_HOUR,
+                (self.0 % SECONDS_PER_HOUR) / 60,
+                self.0 % 60
+            )
+        }
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl std::iter::Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        Duration(iter.map(|d| d.0).sum())
+    }
+}
+
+/// Day of the week, used to group the per-weekday statistics of Table 1
+/// and to shade the 24×7 matrices of Figures 4 and 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum DayOfWeek {
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+    Sunday,
+}
+
+impl DayOfWeek {
+    /// All seven days, Monday first (the paper renders weeks M..S).
+    pub const ALL: [DayOfWeek; 7] = [
+        DayOfWeek::Monday,
+        DayOfWeek::Tuesday,
+        DayOfWeek::Wednesday,
+        DayOfWeek::Thursday,
+        DayOfWeek::Friday,
+        DayOfWeek::Saturday,
+        DayOfWeek::Sunday,
+    ];
+
+    /// Index with Monday = 0 .. Sunday = 6.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            DayOfWeek::Monday => 0,
+            DayOfWeek::Tuesday => 1,
+            DayOfWeek::Wednesday => 2,
+            DayOfWeek::Thursday => 3,
+            DayOfWeek::Friday => 4,
+            DayOfWeek::Saturday => 5,
+            DayOfWeek::Sunday => 6,
+        }
+    }
+
+    /// Inverse of [`DayOfWeek::index`]; `i` is taken modulo 7.
+    #[inline]
+    pub const fn from_index(i: usize) -> DayOfWeek {
+        match i % 7 {
+            0 => DayOfWeek::Monday,
+            1 => DayOfWeek::Tuesday,
+            2 => DayOfWeek::Wednesday,
+            3 => DayOfWeek::Thursday,
+            4 => DayOfWeek::Friday,
+            5 => DayOfWeek::Saturday,
+            _ => DayOfWeek::Sunday,
+        }
+    }
+
+    /// The day `n` days later.
+    #[inline]
+    pub const fn plus(self, n: usize) -> DayOfWeek {
+        DayOfWeek::from_index(self.index() + n)
+    }
+
+    /// Saturday or Sunday.
+    #[inline]
+    pub const fn is_weekend(self) -> bool {
+        matches!(self, DayOfWeek::Saturday | DayOfWeek::Sunday)
+    }
+
+    /// Monday through Friday.
+    #[inline]
+    pub const fn is_weekday(self) -> bool {
+        !self.is_weekend()
+    }
+
+    /// Three-letter English abbreviation.
+    pub const fn abbrev(self) -> &'static str {
+        match self {
+            DayOfWeek::Monday => "Mon",
+            DayOfWeek::Tuesday => "Tue",
+            DayOfWeek::Wednesday => "Wed",
+            DayOfWeek::Thursday => "Thu",
+            DayOfWeek::Friday => "Fri",
+            DayOfWeek::Saturday => "Sat",
+            DayOfWeek::Sunday => "Sun",
+        }
+    }
+
+    /// Full English name, as used in Table 1 rows.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DayOfWeek::Monday => "Monday",
+            DayOfWeek::Tuesday => "Tuesday",
+            DayOfWeek::Wednesday => "Wednesday",
+            DayOfWeek::Thursday => "Thursday",
+            DayOfWeek::Friday => "Friday",
+            DayOfWeek::Saturday => "Saturday",
+            DayOfWeek::Sunday => "Sunday",
+        }
+    }
+}
+
+impl fmt::Display for DayOfWeek {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fixed offset from UTC in whole hours.
+///
+/// The study population spans the continental United States; the paper
+/// renders each car's 24×7 matrix "in respective local times" (§4.2), so
+/// cars carry a [`TimeZone`] and analyses convert before binning by hour.
+/// Daylight-saving transitions are deliberately not modeled: the source
+/// study covers one 90-day window and the analyses bin at hour
+/// granularity, where a 1-hour civil shift has no qualitative effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TimeZone {
+    /// Offset from UTC in hours; negative is west of Greenwich.
+    offset_hours: i8,
+}
+
+impl TimeZone {
+    /// Coordinated Universal Time.
+    pub const UTC: TimeZone = TimeZone { offset_hours: 0 };
+    /// US Eastern (standard) time.
+    pub const US_EASTERN: TimeZone = TimeZone { offset_hours: -5 };
+    /// US Central (standard) time.
+    pub const US_CENTRAL: TimeZone = TimeZone { offset_hours: -6 };
+    /// US Mountain (standard) time.
+    pub const US_MOUNTAIN: TimeZone = TimeZone { offset_hours: -7 };
+    /// US Pacific (standard) time.
+    pub const US_PACIFIC: TimeZone = TimeZone { offset_hours: -8 };
+
+    /// The four continental US zones, east to west.
+    pub const CONTINENTAL_US: [TimeZone; 4] = [
+        TimeZone::US_EASTERN,
+        TimeZone::US_CENTRAL,
+        TimeZone::US_MOUNTAIN,
+        TimeZone::US_PACIFIC,
+    ];
+
+    /// Construct from a whole-hour UTC offset. Offsets outside ±14 h do
+    /// not exist in the real world and are rejected.
+    pub fn from_offset_hours(offset_hours: i8) -> crate::Result<TimeZone> {
+        if !(-14..=14).contains(&offset_hours) {
+            return Err(crate::Error::InvalidTimeZone { offset_hours });
+        }
+        Ok(TimeZone { offset_hours })
+    }
+
+    /// The UTC offset in hours.
+    #[inline]
+    pub const fn offset_hours(self) -> i8 {
+        self.offset_hours
+    }
+
+    /// The UTC offset in seconds.
+    #[inline]
+    pub const fn offset_secs(self) -> i64 {
+        self.offset_hours as i64 * SECONDS_PER_HOUR as i64
+    }
+
+    /// Convert a UTC instant to civil local time in this zone.
+    ///
+    /// Instants that would fall before the (local) epoch are clamped to
+    /// local second 0; with US-westward offsets this only affects the
+    /// first few hours of study day 0.
+    pub fn to_local(self, t: Timestamp) -> LocalTime {
+        let shifted = (t.as_secs() as i64 + self.offset_secs()).max(0) as u64;
+        LocalTime {
+            secs_since_local_epoch: shifted,
+        }
+    }
+}
+
+impl fmt::Display for TimeZone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UTC{:+03}", self.offset_hours)
+    }
+}
+
+/// A civil local time produced by [`TimeZone::to_local`].
+///
+/// Measured in seconds since *local* midnight of study day 0; exposes the
+/// local day index, weekday-relative hour, etc. used to place an event in
+/// a 24×7 matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocalTime {
+    secs_since_local_epoch: u64,
+}
+
+impl LocalTime {
+    /// Local day index (0-based).
+    #[inline]
+    pub const fn day(self) -> u64 {
+        self.secs_since_local_epoch / SECONDS_PER_DAY
+    }
+
+    /// Hour of the local day, `0..=23`.
+    #[inline]
+    pub const fn hour(self) -> u8 {
+        ((self.secs_since_local_epoch % SECONDS_PER_DAY) / SECONDS_PER_HOUR) as u8
+    }
+
+    /// Seconds since local midnight.
+    #[inline]
+    pub const fn secs_of_day(self) -> u64 {
+        self.secs_since_local_epoch % SECONDS_PER_DAY
+    }
+
+    /// Raw seconds since the local epoch.
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.secs_since_local_epoch
+    }
+}
+
+/// A time of day with second resolution, `00:00:00 ..= 23:59:59`,
+/// independent of any particular day. Used to express schedule anchors
+/// (commute departure times, busy-hour window edges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TimeOfDay(u32);
+
+impl TimeOfDay {
+    /// Midnight.
+    pub const MIDNIGHT: TimeOfDay = TimeOfDay(0);
+
+    /// Construct from hour/minute/second; values are validated.
+    pub fn new(hour: u32, min: u32, sec: u32) -> crate::Result<TimeOfDay> {
+        if hour > 23 || min > 59 || sec > 59 {
+            return Err(crate::Error::InvalidTimeOfDay { hour, min, sec });
+        }
+        Ok(TimeOfDay(hour * 3_600 + min * 60 + sec))
+    }
+
+    /// Construct from seconds after midnight, wrapping at 24 h.
+    #[inline]
+    pub const fn from_secs_wrapping(secs: u64) -> TimeOfDay {
+        TimeOfDay((secs % SECONDS_PER_DAY) as u32)
+    }
+
+    /// Seconds after midnight.
+    #[inline]
+    pub const fn as_secs(self) -> u32 {
+        self.0
+    }
+
+    /// Hour component, `0..=23`.
+    #[inline]
+    pub const fn hour(self) -> u8 {
+        (self.0 / 3_600) as u8
+    }
+}
+
+impl fmt::Display for TimeOfDay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02}:{:02}:{:02}",
+            self.0 / 3_600,
+            (self.0 % 3_600) / 60,
+            self.0 % 60
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_decomposition() {
+        let t = Timestamp::from_day_hms(3, 14, 30, 15);
+        assert_eq!(t.day(), 3);
+        assert_eq!(t.hour_of_day(), 14);
+        assert_eq!(t.secs_of_day(), 14 * 3_600 + 30 * 60 + 15);
+        assert_eq!(t.to_string(), "d03 14:30:15");
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let a = Timestamp::from_secs(100);
+        let b = a + Duration::from_secs(50);
+        assert_eq!(b.as_secs(), 150);
+        assert_eq!(b - a, Duration::from_secs(50));
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+        assert_eq!(b.saturating_since(a), Duration::from_secs(50));
+        assert_eq!(a.plus_days(2).as_secs(), 100 + 2 * SECONDS_PER_DAY);
+    }
+
+    #[test]
+    fn duration_display_units() {
+        assert_eq!(Duration::from_secs(42).to_string(), "42s");
+        assert_eq!(Duration::from_secs(105).to_string(), "1m45s");
+        assert_eq!(Duration::from_secs(3_725).to_string(), "1h02m05s");
+    }
+
+    #[test]
+    fn duration_conversions() {
+        assert_eq!(Duration::from_mins(10).as_secs(), 600);
+        assert_eq!(Duration::from_hours(2).as_secs(), 7_200);
+        assert_eq!(Duration::from_days(1).as_secs(), SECONDS_PER_DAY);
+        assert!((Duration::from_secs(5_400).as_hours_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: Duration = [10u64, 20, 30]
+            .iter()
+            .map(|&s| Duration::from_secs(s))
+            .sum();
+        assert_eq!(total, Duration::from_secs(60));
+    }
+
+    #[test]
+    fn day_of_week_round_trip() {
+        for (i, d) in DayOfWeek::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+            assert_eq!(DayOfWeek::from_index(i), *d);
+        }
+        assert_eq!(DayOfWeek::Sunday.plus(1), DayOfWeek::Monday);
+        assert_eq!(DayOfWeek::Friday.plus(10), DayOfWeek::Monday);
+    }
+
+    #[test]
+    fn weekend_classification() {
+        assert!(DayOfWeek::Saturday.is_weekend());
+        assert!(DayOfWeek::Sunday.is_weekend());
+        assert!(DayOfWeek::Monday.is_weekday());
+        assert!(DayOfWeek::Friday.is_weekday());
+    }
+
+    #[test]
+    fn timezone_local_conversion() {
+        // 02:00 UTC on day 1 is 21:00 local on day 0 in US Eastern.
+        let t = Timestamp::from_day_hms(1, 2, 0, 0);
+        let local = TimeZone::US_EASTERN.to_local(t);
+        assert_eq!(local.day(), 0);
+        assert_eq!(local.hour(), 21);
+    }
+
+    #[test]
+    fn timezone_clamps_before_epoch() {
+        let t = Timestamp::from_day_hms(0, 1, 0, 0);
+        let local = TimeZone::US_PACIFIC.to_local(t);
+        assert_eq!(local.as_secs(), 0);
+    }
+
+    #[test]
+    fn timezone_validation() {
+        assert!(TimeZone::from_offset_hours(-8).is_ok());
+        assert!(TimeZone::from_offset_hours(15).is_err());
+        assert!(TimeZone::from_offset_hours(-15).is_err());
+    }
+
+    #[test]
+    fn time_of_day_validation_and_display() {
+        let t = TimeOfDay::new(20, 45, 0).unwrap();
+        assert_eq!(t.to_string(), "20:45:00");
+        assert_eq!(t.hour(), 20);
+        assert!(TimeOfDay::new(24, 0, 0).is_err());
+        assert!(TimeOfDay::new(0, 60, 0).is_err());
+        assert!(TimeOfDay::new(0, 0, 60).is_err());
+    }
+
+    #[test]
+    fn time_of_day_wrapping() {
+        let t = TimeOfDay::from_secs_wrapping(SECONDS_PER_DAY + 61);
+        assert_eq!(t.as_secs(), 61);
+    }
+}

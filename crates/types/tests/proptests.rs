@@ -1,0 +1,143 @@
+//! Property tests over the foundational types: time/bin arithmetic laws
+//! that every analysis silently relies on.
+
+use conncar_types::{
+    BinIndex, DayBin, DayOfWeek, Duration, SeedSplitter, StudyPeriod, TimeOfDay, TimeZone,
+    Timestamp, BINS_PER_DAY, BIN_SECONDS, SECONDS_PER_DAY,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bin_covering_partitions_intervals(
+        start in 0u64..90 * SECONDS_PER_DAY,
+        len in 0u64..2 * SECONDS_PER_DAY,
+    ) {
+        let s = Timestamp::from_secs(start);
+        let e = Timestamp::from_secs(start + len);
+        let bins: Vec<BinIndex> = BinIndex::covering(s, e).collect();
+        // Overlaps sum exactly to the interval length.
+        let total: u64 = bins.iter().map(|b| b.overlap_secs(s, e)).sum();
+        prop_assert_eq!(total, len);
+        // Bins are consecutive and each genuinely overlaps.
+        for w in bins.windows(2) {
+            prop_assert_eq!(w[1].0, w[0].0 + 1);
+        }
+        for b in &bins {
+            prop_assert!(b.overlap_secs(s, e) > 0);
+            prop_assert!(b.start() < e && b.end() > s);
+        }
+    }
+
+    #[test]
+    fn bin_containment_consistency(t in 0u64..90 * SECONDS_PER_DAY) {
+        let ts = Timestamp::from_secs(t);
+        let b = BinIndex::containing(ts);
+        prop_assert!(b.start() <= ts);
+        prop_assert!(ts < b.end());
+        prop_assert_eq!(b.end().as_secs() - b.start().as_secs(), BIN_SECONDS);
+        prop_assert_eq!(b.day(), ts.day());
+    }
+
+    #[test]
+    fn week_bin_round_trips_weekday(
+        day in 0u64..90,
+        day_bin in 0u64..BINS_PER_DAY as u64,
+        start_idx in 0usize..7,
+    ) {
+        let start = DayOfWeek::from_index(start_idx);
+        let b = BinIndex(day * BINS_PER_DAY as u64 + day_bin);
+        let wb = b.week_bin(start);
+        prop_assert_eq!(wb.day(), start.plus(day as usize));
+        prop_assert_eq!(wb.day_bin().index() as u64, day_bin);
+    }
+
+    #[test]
+    fn timestamp_day_hms_decomposition(
+        day in 0u64..365,
+        h in 0u64..24,
+        m in 0u64..60,
+        sec in 0u64..60,
+    ) {
+        let t = Timestamp::from_day_hms(day, h, m, sec);
+        prop_assert_eq!(t.day(), day);
+        prop_assert_eq!(t.hour_of_day() as u64, h);
+        prop_assert_eq!(t.secs_of_day(), h * 3_600 + m * 60 + sec);
+    }
+
+    #[test]
+    fn duration_addition_laws(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let da = Duration::from_secs(a);
+        let db = Duration::from_secs(b);
+        prop_assert_eq!((da + db).as_secs(), a + b);
+        prop_assert_eq!(da.saturating_sub(db).as_secs(), a.saturating_sub(b));
+        prop_assert_eq!(da.max(db).as_secs(), a.max(b));
+        prop_assert_eq!(da.min(db).as_secs(), a.min(b));
+    }
+
+    #[test]
+    fn timezone_shift_is_exact(
+        t in 5 * 86_400u64..90 * 86_400,
+        offset in -14i8..=14,
+    ) {
+        let tz = TimeZone::from_offset_hours(offset).expect("valid offset");
+        let local = tz.to_local(Timestamp::from_secs(t));
+        // Away from the clamp region, local = utc + offset exactly.
+        prop_assert_eq!(local.as_secs() as i64, t as i64 + offset as i64 * 3_600);
+    }
+
+    #[test]
+    fn day_of_week_plus_is_modular(start in 0usize..7, n in 0usize..1_000) {
+        let d = DayOfWeek::from_index(start);
+        prop_assert_eq!(d.plus(n).index(), (start + n) % 7);
+        prop_assert_eq!(d.plus(7), d);
+    }
+
+    #[test]
+    fn time_of_day_wrapping(secs in 0u64..10 * SECONDS_PER_DAY) {
+        let t = TimeOfDay::from_secs_wrapping(secs);
+        prop_assert_eq!(t.as_secs() as u64, secs % SECONDS_PER_DAY);
+        prop_assert!(t.hour() < 24);
+    }
+
+    #[test]
+    fn day_bin_at_covers_clock(h in 0u8..24, m in 0u8..60) {
+        let b = DayBin::at(h, m);
+        prop_assert!(b.index() < BINS_PER_DAY);
+        prop_assert_eq!(b.hour(), h);
+        prop_assert_eq!(b.minute(), (m / 15) * 15);
+    }
+
+    #[test]
+    fn study_period_clip_is_sound(
+        days in 1u32..120,
+        a in 0u64..200 * SECONDS_PER_DAY,
+        len in 0u64..10 * SECONDS_PER_DAY,
+    ) {
+        let p = StudyPeriod::new(DayOfWeek::Monday, days).expect("nonzero");
+        let s = Timestamp::from_secs(a);
+        let e = Timestamp::from_secs(a + len);
+        match p.clip(s, e) {
+            Some((cs, ce)) => {
+                prop_assert!(cs < ce);
+                prop_assert!(cs >= s && cs >= p.start());
+                prop_assert!(ce <= e && ce <= p.end());
+            }
+            None => {
+                // Disjoint or empty.
+                prop_assert!(e <= p.start() || s >= p.end() || s == e);
+            }
+        }
+    }
+
+    #[test]
+    fn seed_domains_never_collide_with_siblings(
+        root in any::<u64>(),
+        i in 0u64..5_000,
+        j in 0u64..5_000,
+    ) {
+        prop_assume!(i != j);
+        let s = SeedSplitter::new(root);
+        prop_assert_ne!(s.domain_indexed("x", i), s.domain_indexed("x", j));
+    }
+}

@@ -1,0 +1,107 @@
+//! FOTA campaign planning: the application §4.3 motivates.
+//!
+//! Generates a study, then runs the same firmware rollout under four
+//! scheduling policies and compares completion speed against busy-cell
+//! impact — the exact trade-off the paper's segmentation is meant to
+//! inform. Also reproduces the Figure 1 saturation experiment on the
+//! study's two hottest cells.
+//!
+//! ```sh
+//! cargo run --release --example fota_campaign -- [--cars N] [--days N] [--image-mb MB]
+//! ```
+
+use conncar::{Experiment, StudyAnalyses, StudyConfig, StudyData};
+use conncar_analysis::predict::CarPredictor;
+use conncar_fota::policy::PolicyInputs;
+use conncar_fota::{CampaignConfig, CampaignPolicy, CampaignSimulator};
+use conncar_types::{DayOfWeek, StudyPeriod};
+
+fn main() {
+    let (cars, days, image_mb) = parse_args();
+    let mut cfg = StudyConfig::default();
+    cfg.fleet.cars = cars;
+    cfg.period = StudyPeriod::new(DayOfWeek::Monday, days).expect("days >= 1");
+
+    eprintln!("generating study: {cars} cars x {days} days ...");
+    let study = StudyData::generate(&cfg).expect("valid config");
+    let analyses = StudyAnalyses::run(&study).expect("analyses");
+
+    // Policy inputs: the measurement study's own outputs.
+    let mut inputs = PolicyInputs::default();
+    for p in &analyses.profiles {
+        inputs.profiles.insert(p.car, *p);
+    }
+    let train_weeks = (study.config.period.days() / 7 / 2).max(1);
+    for (car, records) in study.clean.by_car() {
+        inputs.predictors.insert(
+            car,
+            CarPredictor::train(
+                records,
+                study.config.period,
+                study.region.timezone(),
+                train_weeks,
+            ),
+        );
+    }
+
+    let load = study.load_model();
+    let sim = CampaignSimulator::new(&study.clean, &load, &inputs);
+    let policies = [
+        CampaignPolicy::Immediate,
+        CampaignPolicy::OffPeak {
+            max_utilization: 0.8,
+        },
+        CampaignPolicy::RareFirst {
+            rare_cutoff_days: (days * 10).div_ceil(90),
+            max_utilization: 0.8,
+        },
+        CampaignPolicy::Predictive {
+            min_probability: 0.5,
+            max_utilization: 0.8,
+        },
+    ];
+
+    println!("FOTA campaign: {image_mb} MB image to every connected car\n");
+    println!(
+        "{:<12} {:>10} {:>12} {:>14} {:>12}",
+        "policy", "completed", "completion%", "median days", "busy bytes%"
+    );
+    for policy in policies {
+        let r = sim
+            .run(&CampaignConfig::new(image_mb, policy))
+            .expect("campaign");
+        println!(
+            "{:<12} {:>10} {:>11.1}% {:>14.2} {:>11.1}%",
+            r.policy,
+            r.completed,
+            r.completion_rate() * 100.0,
+            r.median_days().unwrap_or(f64::NAN),
+            r.busy_byte_fraction() * 100.0
+        );
+    }
+
+    println!();
+    let fig1 = Experiment::Fig1.run(&study, &analyses).expect("fig1");
+    println!("{}", fig1.text);
+}
+
+fn parse_args() -> (u32, u32, f64) {
+    let mut cars = 600u32;
+    let mut days = 14u32;
+    let mut image_mb = 900.0f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let val = it.next();
+        let num = |v: &Option<String>| v.as_deref().and_then(|s| s.parse::<f64>().ok());
+        match flag.as_str() {
+            "--cars" => cars = num(&val).expect("--cars N") as u32,
+            "--days" => days = num(&val).expect("--days N") as u32,
+            "--image-mb" => image_mb = num(&val).expect("--image-mb MB"),
+            _ => {
+                eprintln!("usage: fota_campaign [--cars N] [--days N] [--image-mb MB]");
+                std::process::exit(2);
+            }
+        }
+    }
+    (cars, days, image_mb)
+}

@@ -1,0 +1,160 @@
+//! Per-car predictability — quantifying §4.7's "cars can be clustered
+//! according to predictability in their behavior".
+//!
+//! Trains each car's hour-of-week appearance predictor on the first half
+//! of the study and scores it on the second half, then breaks the scores
+//! down by ground-truth archetype (which the paper's authors could not
+//! see, but we can: the fleet is synthetic). Regular commuters should be
+//! far more predictable than errand or rare drivers — that gap is what
+//! makes predictive FOTA scheduling viable for part of the fleet.
+//!
+//! ```sh
+//! cargo run --release --example predictability -- [--cars N] [--days N]
+//! ```
+
+use conncar::{StudyConfig, StudyData};
+use conncar_analysis::predict::{Baseline, BlendedPredictor, CarPredictor, PredictionScore};
+use conncar_fleet::Archetype;
+use conncar_types::{DayOfWeek, StudyPeriod};
+use std::collections::HashMap;
+
+fn main() {
+    let (cars, days) = parse_args();
+    assert!(days >= 14, "need at least two weeks to train and test");
+    let mut cfg = StudyConfig::default();
+    cfg.fleet.cars = cars;
+    cfg.period = StudyPeriod::new(DayOfWeek::Monday, days).expect("days >= 1");
+    let study = StudyData::generate(&cfg).expect("valid config");
+
+    let split_week = days / 7 / 2;
+    let threshold = 0.6;
+    let tz = study.region.timezone();
+
+    // Fit the fleet prior once, then score every connected car with
+    // both the pure per-car predictor and the population-blended one.
+    let blender = BlendedPredictor::fit_population(
+        study.clean.by_car().map(|(_, r)| r),
+        study.config.period,
+        tz,
+        split_week,
+    );
+    let mut by_archetype: HashMap<Archetype, Vec<PredictionScore>> = HashMap::new();
+    let archetype_of: HashMap<_, _> = study
+        .personas
+        .iter()
+        .map(|p| (p.car, p.archetype))
+        .collect();
+    let sweep = [0.15, 0.25, 0.35, 0.5, 0.65];
+    let mut personal_sweep = vec![PredictionScore::default(); sweep.len()];
+    let mut blended_sweep = vec![PredictionScore::default(); sweep.len()];
+    let add = |acc: &mut PredictionScore, s: PredictionScore| {
+        acc.true_positives += s.true_positives;
+        acc.false_positives += s.false_positives;
+        acc.false_negatives += s.false_negatives;
+        acc.true_negatives += s.true_negatives;
+    };
+    for (car, records) in study.clean.by_car() {
+        let predictor = CarPredictor::train(records, study.config.period, tz, split_week);
+        let blended = blender.for_car(records, study.config.period, tz, split_week, 4.0);
+        for (i, thr) in sweep.iter().enumerate() {
+            add(
+                &mut personal_sweep[i],
+                predictor.evaluate(records, study.config.period, tz, split_week, *thr),
+            );
+            add(
+                &mut blended_sweep[i],
+                blended.evaluate(records, study.config.period, tz, split_week, *thr),
+            );
+        }
+        let score = predictor.evaluate(records, study.config.period, tz, split_week, threshold);
+        if let Some(a) = archetype_of.get(&car) {
+            by_archetype.entry(*a).or_default().push(score);
+        }
+    }
+    let best = |scores: &[PredictionScore]| -> (f64, f64) {
+        scores
+            .iter()
+            .zip(&sweep)
+            .map(|(s, t)| (s.f1().unwrap_or(0.0), *t))
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .unwrap_or((0.0, 0.0))
+    };
+    let (pf1, pt) = best(&personal_sweep);
+    let (bf1, bt) = best(&blended_sweep);
+    println!("fleet-level predictors (best F1 over threshold sweep):");
+    println!("  per-car matrix     f1 {:>5.1}% (thr {pt})", pf1 * 100.0);
+    println!("  blended (+prior)   f1 {:>5.1}% (thr {bt})", bf1 * 100.0);
+
+    // Baseline comparison over the whole fleet.
+    let mut baseline_scores: Vec<(&str, PredictionScore)> = vec![
+        ("always-present", PredictionScore::default()),
+        ("weekday-commute", PredictionScore::default()),
+    ];
+    for (_car, records) in study.clean.by_car() {
+        for (label, acc) in baseline_scores.iter_mut() {
+            let b = match *label {
+                "always-present" => Baseline::AlwaysPresent,
+                _ => Baseline::WeekdayCommute,
+            };
+            let s = b.evaluate(records, study.config.period, tz, split_week);
+            acc.true_positives += s.true_positives;
+            acc.false_positives += s.false_positives;
+            acc.false_negatives += s.false_negatives;
+            acc.true_negatives += s.true_negatives;
+        }
+    }
+    println!("fleet-level baselines (for context):");
+    for (label, s) in &baseline_scores {
+        println!(
+            "  {:<18} precision {:>5.1}%  recall {:>5.1}%  f1 {:>5.1}%",
+            label,
+            s.precision().unwrap_or(0.0) * 100.0,
+            s.recall().unwrap_or(0.0) * 100.0,
+            s.f1().unwrap_or(0.0) * 100.0,
+        );
+    }
+    println!();
+    println!(
+        "hour-of-week presence prediction, trained on weeks 0..{split_week}, \
+         threshold {threshold}\n"
+    );
+    println!(
+        "{:<18} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "archetype", "cars", "precision", "recall", "f1", "accuracy"
+    );
+    let mut rows: Vec<(Archetype, Vec<PredictionScore>)> = by_archetype.into_iter().collect();
+    rows.sort_by_key(|(a, _)| a.label());
+    for (archetype, scores) in rows {
+        let mean = |f: &dyn Fn(&PredictionScore) -> Option<f64>| -> f64 {
+            let vals: Vec<f64> = scores.iter().filter_map(f).collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        println!(
+            "{:<18} {:>6} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}%",
+            archetype.label(),
+            scores.len(),
+            mean(&|s| s.precision()) * 100.0,
+            mean(&|s| s.recall()) * 100.0,
+            mean(&|s| s.f1()) * 100.0,
+            mean(&|s| Some(s.accuracy())) * 100.0,
+        );
+    }
+}
+
+fn parse_args() -> (u32, u32) {
+    let mut cars = 500u32;
+    let mut days = 28u32;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let val = it.next().and_then(|s| s.parse::<u32>().ok());
+        match flag.as_str() {
+            "--cars" => cars = val.expect("--cars N"),
+            "--days" => days = val.expect("--days N"),
+            _ => {
+                eprintln!("usage: predictability [--cars N] [--days N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    (cars, days)
+}

@@ -1,0 +1,102 @@
+//! Quickstart: generate a synthetic connected-car study and print the
+//! paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release --example quickstart -- [--cars N] [--days N] [--seed S]
+//! ```
+//!
+//! Defaults are laptop-friendly (800 cars × 14 days). The full paper
+//! shape needs `--cars 10000 --days 90` and a few minutes.
+
+use conncar::{experiments, StudyAnalyses, StudyConfig, StudyData};
+use conncar_types::{DayOfWeek, StudyPeriod};
+
+fn main() {
+    let args = Args::parse();
+    let mut cfg = StudyConfig::default();
+    cfg.fleet.cars = args.cars;
+    cfg.period = StudyPeriod::new(DayOfWeek::Monday, args.days).expect("days >= 1");
+    cfg.seed = args.seed;
+    // Keep the injected loss days inside short windows.
+    cfg.faults.loss_days = vec![
+        (args.days as u64 * 6) / 10,
+        (args.days as u64 * 65) / 100,
+        (args.days as u64 * 8) / 10,
+    ];
+
+    eprintln!(
+        "generating study: {} cars x {} days (seed {}) ...",
+        args.cars, args.days, args.seed
+    );
+    let t0 = std::time::Instant::now();
+    let study = StudyData::generate(&cfg).expect("valid config");
+    eprintln!(
+        "generated {} radio connections from {} cars across {} cells in {:.1?}",
+        study.dirty.len(),
+        study.clean.car_count(),
+        study.clean.cell_count(),
+        t0.elapsed()
+    );
+    eprintln!(
+        "fault injection: {} exact-1h glitches, {} records lost on loss days, {} sticky; \
+         cleaning dropped {}",
+        study.fault_report.hour_glitches,
+        study.fault_report.lost,
+        study.fault_report.sticky,
+        study.clean_report.dropped_glitches + study.clean_report.dropped_malformed,
+    );
+
+    let analyses = StudyAnalyses::run(&study).expect("analyses");
+    let outputs = experiments::run_all(&study, &analyses).expect("experiments");
+    for output in &outputs {
+        println!("{}", output.text);
+    }
+    if let Some(dir) = args.out {
+        let n = conncar::export::export_all(std::path::Path::new(&dir), &study, &outputs)
+            .expect("export");
+        eprintln!("wrote {n} artifact files to {dir}");
+    }
+}
+
+struct Args {
+    cars: u32,
+    days: u32,
+    seed: u64,
+    out: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            cars: 800,
+            days: 14,
+            seed: 20_170_501,
+            out: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut grab = |name: &str| -> u64 {
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("{name} needs a numeric value"))
+            };
+            match flag.as_str() {
+                "--cars" => args.cars = grab("--cars") as u32,
+                "--days" => args.days = grab("--days") as u32,
+                "--seed" => args.seed = grab("--seed"),
+                "--out" => args.out = it.next(),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: quickstart [--cars N] [--days N] [--seed S] [--out DIR]"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}

@@ -1,0 +1,7 @@
+//! Workspace umbrella package.
+//!
+//! This package exists to host the workspace-level `examples/` and
+//! `tests/` directories; the real functionality lives in the member
+//! crates (`conncar`, `conncar-radio`, ...). It re-exports the top-level
+//! API crate for convenience so examples can simply `use conncar::...`.
+pub use conncar;

@@ -1,0 +1,249 @@
+//! Shape validation: every regenerated table and figure must exhibit
+//! the qualitative structure the paper reports — who is bigger than
+//! whom, where the mass sits — even at test scale.
+
+use conncar::{experiments, Experiment, StudyAnalyses, StudyConfig, StudyData};
+use conncar_types::id::HandoverKind;
+use conncar_types::{Carrier, DayOfWeek};
+use std::sync::OnceLock;
+
+/// One shared small study for the whole file (generation dominates
+/// test time).
+fn fixture() -> &'static (StudyData, StudyAnalyses) {
+    static FIXTURE: OnceLock<(StudyData, StudyAnalyses)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut cfg = StudyConfig::small();
+        cfg.fleet.cars = 300;
+        let study = StudyData::generate(&cfg).expect("study");
+        let analyses = StudyAnalyses::run(&study).expect("analyses");
+        (study, analyses)
+    })
+}
+
+#[test]
+fn fig2_weekdays_beat_sundays_and_trendlines_exist() {
+    let (_, a) = fixture();
+    let fracs = a.presence.car_fractions();
+    let mean_of = |target: DayOfWeek| -> f64 {
+        let days: Vec<f64> = a
+            .presence
+            .days
+            .iter()
+            .filter(|d| d.weekday == target)
+            .map(|d| fracs[d.day as usize])
+            .collect();
+        days.iter().sum::<f64>() / days.len() as f64
+    };
+    assert!(mean_of(DayOfWeek::Wednesday) > mean_of(DayOfWeek::Sunday));
+    assert!(a.presence.cars_trend.is_some());
+    assert!(a.presence.cells_trend.is_some());
+    // Majority of fleet on the network on a typical weekday.
+    assert!(mean_of(DayOfWeek::Tuesday) > 0.5);
+}
+
+#[test]
+fn tab1_weekend_variance_exceeds_midweek() {
+    let (_, a) = fixture();
+    let row = |d: DayOfWeek| {
+        a.weekday_table
+            .iter()
+            .find(|r| r.weekday == Some(d))
+            .expect("row")
+    };
+    // Paper: Saturday has by far the largest car-presence stdev.
+    assert!(row(DayOfWeek::Saturday).cars_stdev > row(DayOfWeek::Tuesday).cars_stdev);
+    // Overall row exists and means are plausible fractions.
+    let overall = a.weekday_table.last().expect("overall");
+    assert!(overall.weekday.is_none());
+    assert!((0.3..0.95).contains(&overall.cars_mean));
+}
+
+#[test]
+fn fig3_truncation_orders_and_small_time_on_network() {
+    let (_, a) = fixture();
+    let (full, trunc) = a.connected_time.means();
+    assert!(trunc <= full);
+    // "Cars spend much less time connected than smartphones": single-
+    // digit percent of the study period.
+    assert!(full < 0.25, "full mean {full}");
+    assert!(trunc < 0.10, "truncated mean {trunc}");
+    // CDFs are monotone by construction; p99.5 ≥ mean.
+    let (p995, _) = a.connected_time.p995();
+    assert!(p995.unwrap() >= full);
+}
+
+#[test]
+fn fig5_commuter_mass_sits_in_commute_hours() {
+    let (study, a) = fixture();
+    let refs = conncar_analysis::matrix::reference_matrices();
+    // The first sample car is a regular commuter: its weekday commute +
+    // network-peak mass should dominate the weekend mass.
+    let (car, m) = &a.sample_cars[0];
+    let _ = car;
+    let commute_like =
+        m.mass_within(&refs.commute_peaks) + m.mass_within(&refs.network_peaks);
+    let weekend = m.mass_within(&refs.weekend);
+    assert!(
+        commute_like > weekend,
+        "commuter: commute-ish {commute_like:.2} vs weekend {weekend:.2}"
+    );
+    let _ = study;
+}
+
+#[test]
+fn fig6_common_cars_dominate() {
+    let (study, a) = fixture();
+    let hist = &a.days_histogram;
+    let days = study.config.period.days() as usize;
+    // Mass in the top half of the day-count range exceeds the bottom
+    // tenth — the paper's "most cars are common" shape.
+    let rare: u64 = hist[..=days / 9].iter().sum();
+    let common: u64 = hist[days / 2..].iter().sum();
+    assert!(
+        common > rare,
+        "common {common} should outnumber rare {rare}"
+    );
+}
+
+#[test]
+fn tab2_partitions_and_orders() {
+    let (_, a) = fixture();
+    for row in &a.segmentation {
+        assert!((row.rare_total() + row.common_total() - 1.0).abs() < 1e-9);
+        // Non-busy dominates busy in every synthetic run (most cells are
+        // not busy most of the time).
+        assert!(row.common[1] > row.common[0]);
+    }
+    assert!(a.segmentation[1].rare_total() >= a.segmentation[0].rare_total());
+}
+
+#[test]
+fn fig7_busy_tail_is_small() {
+    let (_, a) = fixture();
+    // Paper: ~2.4% of cars spend >50% of connected time on busy radios.
+    // Shape check: a small minority, not zero everywhere and not a
+    // majority.
+    assert!(a.busy_time.over_half < 0.25);
+    assert!(a.busy_time.always_busy <= a.busy_time.over_half);
+    let deciles = a.busy_time.ecdf.deciles().expect("non-empty");
+    for w in deciles.windows(2) {
+        assert!(w[1] >= w[0]);
+    }
+}
+
+#[test]
+fn fig8_busiest_cell_has_concurrency() {
+    let (study, a) = fixture();
+    let (cell, day, distinct) = a
+        .concurrency
+        .busiest_cell_day(&study.clean)
+        .expect("non-empty");
+    let g = conncar_analysis::concurrency::cell_day_gantt(&study.clean, cell, day);
+    assert_eq!(g.distinct_cars, distinct);
+    assert!(g.distinct_cars >= 5, "{} cars", g.distinct_cars);
+    assert!(g.peak.1 >= 2, "peak concurrency {}", g.peak.1);
+    assert!(g.peak.1 as usize <= g.distinct_cars);
+}
+
+#[test]
+fn fig9_short_sessions_with_heavy_tail() {
+    let (_, a) = fixture();
+    let median = a.durations.median_secs().expect("records");
+    // Short connections: tens-to-hundreds of seconds, not hours.
+    assert!((20.0..400.0).contains(&median), "median {median}");
+    // Meaningful mass beyond the 600 s truncation point (sticky modems
+    // + stationary streaming), as in the paper's 27%.
+    let at_cap = a.durations.percentile_at_cap();
+    assert!((0.5..0.99).contains(&at_cap), "P(≤cap) {at_cap}");
+    let (mf, mt) = a.durations.means();
+    assert!(mf > mt, "truncation must reduce the mean");
+    assert!(mf / mt > 1.5, "full/truncated ratio {:.2}", mf / mt);
+}
+
+#[test]
+fn fig11_two_clusters_with_concurrency_gap() {
+    let (_, a) = fixture();
+    let c = a.clustering.as_ref().expect("busy cells exist");
+    assert_eq!(c.clusters.len(), 2);
+    let lo = &c.clusters[0];
+    let hi = &c.clusters[1];
+    assert!(hi.peak_cars >= lo.peak_cars);
+    // Paper: the high-concurrency cluster is much hotter and much
+    // smaller than the low one.
+    if lo.peak_cars > 0.0 {
+        assert!(
+            hi.peak_cars / lo.peak_cars > 2.0,
+            "concurrency ratio {:.1}",
+            hi.peak_cars / lo.peak_cars
+        );
+    }
+    assert!(lo.cells.len() >= hi.cells.len());
+}
+
+#[test]
+fn sec45_handover_shape() {
+    let (_, a) = fixture();
+    let r = &a.handovers;
+    let median = r.median().expect("sessions");
+    let (p70, p90) = r.p70_p90();
+    // Paper: median 2, p70 4, p90 9. Shape: small median, ordered
+    // percentiles, single-digit-ish median.
+    assert!((0.0..=6.0).contains(&median), "median {median}");
+    assert!(p70.unwrap() >= median);
+    assert!(p90.unwrap() >= p70.unwrap());
+    // Inter-base-station dominates; inter-RAT is negligible.
+    assert!(r.kind_fraction(HandoverKind::InterBaseStation) > 0.5);
+    assert!(r.kind_fraction(HandoverKind::InterRat) < 0.05);
+}
+
+#[test]
+fn tab3_carrier_mix_shape() {
+    let (_, a) = fixture();
+    let u = &a.carriers;
+    // C3 carries the most time; C3 + C4 the majority (paper: ~75%).
+    let c3 = u.time_frac[Carrier::C3.index()];
+    let c4 = u.time_frac[Carrier::C4.index()];
+    assert!(c3 > u.time_frac[Carrier::C1.index()]);
+    assert!(c3 + c4 > 0.5, "C3+C4 {:.2}", c3 + c4);
+    // C5 is essentially unused; C2 is a small slice.
+    assert!(u.time_frac[Carrier::C5.index()] < 0.01);
+    assert!(u.time_frac[Carrier::C2.index()] < 0.2);
+    // Nearly every car touched C1 and C3; C4 reach is partial.
+    assert!(u.cars_frac[Carrier::C1.index()] > 0.85);
+    assert!(u.cars_frac[Carrier::C3.index()] > 0.95);
+    assert!(u.cars_frac[Carrier::C4.index()] < 0.95);
+    // Time shares sum to 1.
+    assert!((u.time_frac.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn fig1_greedy_download_saturates() {
+    let (study, a) = fixture();
+    let out = Experiment::Fig1.run(study, a).expect("fig1");
+    let means = out.data["test_window_means"].as_array().expect("array");
+    for m in means {
+        assert!(m.as_f64().unwrap() > 0.95, "saturation {m}");
+    }
+    let baselines = out.data["baseline_window_means"].as_array().expect("array");
+    for (t, b) in means.iter().zip(baselines) {
+        assert!(t.as_f64().unwrap() > b.as_f64().unwrap());
+    }
+}
+
+#[test]
+fn every_experiment_runs_and_renders() {
+    let (study, a) = fixture();
+    let outputs = experiments::run_all(study, a).expect("all experiments");
+    assert_eq!(outputs.len(), Experiment::ALL.len());
+    for o in outputs {
+        assert!(o.text.len() > 20, "{} text too short", o.experiment.id());
+        assert!(
+            o.text.contains(o.experiment.id().get(..3).unwrap_or("Fig"))
+                || o.text.to_lowercase().contains("figure")
+                || o.text.contains("Table")
+                || o.text.contains("§4.5"),
+            "{} text lacks a caption",
+            o.experiment.id()
+        );
+    }
+}

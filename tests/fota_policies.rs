@@ -1,0 +1,126 @@
+//! FOTA campaign policy comparison: the management trade-offs §4.3
+//! motivates must hold on the synthetic fleet.
+
+use conncar::{StudyAnalyses, StudyConfig, StudyData};
+use conncar_analysis::predict::CarPredictor;
+use conncar_fota::policy::PolicyInputs;
+use conncar_fota::{CampaignConfig, CampaignPolicy, CampaignSimulator};
+use std::sync::OnceLock;
+
+struct Fixture {
+    study: StudyData,
+    inputs: PolicyInputs,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut cfg = StudyConfig::small();
+        cfg.fleet.cars = 250;
+        let study = StudyData::generate(&cfg).expect("study");
+        let analyses = StudyAnalyses::run(&study).expect("analyses");
+        let mut inputs = PolicyInputs::default();
+        for p in &analyses.profiles {
+            inputs.profiles.insert(p.car, *p);
+        }
+        for (car, records) in study.clean.by_car() {
+            inputs.predictors.insert(
+                car,
+                CarPredictor::train(records, study.config.period, study.region.timezone(), 1),
+            );
+        }
+        Fixture { study, inputs }
+    })
+}
+
+fn run(policy: CampaignPolicy, image_mb: f64) -> conncar_fota::CampaignResult {
+    let f = fixture();
+    let load = f.study.load_model();
+    let sim = CampaignSimulator::new(&f.study.clean, &load, &f.inputs);
+    sim.run(&CampaignConfig::new(image_mb, policy)).expect("campaign")
+}
+
+#[test]
+fn immediate_is_fastest_but_dirtiest() {
+    let immediate = run(CampaignPolicy::Immediate, 400.0);
+    let off_peak = run(
+        CampaignPolicy::OffPeak {
+            max_utilization: 0.8,
+        },
+        400.0,
+    );
+    // Immediate completes at least as many cars, at least as fast.
+    assert!(immediate.completed >= off_peak.completed);
+    // Off-peak never pushes bytes through busy cells; immediate
+    // generally does (if any busy overlap exists at all).
+    assert_eq!(off_peak.busy_mb, 0.0);
+    assert!(immediate.busy_byte_fraction() >= off_peak.busy_byte_fraction());
+    // Both deliver substantial bytes.
+    assert!(immediate.total_mb > 0.0);
+    assert!(off_peak.total_mb > 0.0);
+}
+
+#[test]
+fn most_of_the_fleet_completes_a_realistic_image() {
+    let r = run(CampaignPolicy::Immediate, 400.0);
+    assert!(
+        r.completion_rate() > 0.8,
+        "completion {:.2}",
+        r.completion_rate()
+    );
+    // Completion takes days across the fleet (rare cars appear late).
+    let med = r.median_days().expect("completions");
+    assert!((0.0..14.0).contains(&med));
+}
+
+#[test]
+fn rare_first_never_underperforms_off_peak_on_rare_cars() {
+    let f = fixture();
+    let rare_cutoff = 3; // small study: ≤3 active days is rare
+    let rare_first = run(
+        CampaignPolicy::RareFirst {
+            rare_cutoff_days: rare_cutoff,
+            max_utilization: 0.8,
+        },
+        400.0,
+    );
+    let off_peak = run(
+        CampaignPolicy::OffPeak {
+            max_utilization: 0.8,
+        },
+        400.0,
+    );
+    // Rare-first is a strict relaxation for rare cars, so fleet-wide
+    // completion can only improve.
+    assert!(rare_first.completed >= off_peak.completed);
+    let _ = f;
+}
+
+#[test]
+fn predictive_policy_limits_busy_bytes() {
+    let predictive = run(
+        CampaignPolicy::Predictive {
+            min_probability: 0.5,
+            max_utilization: 0.8,
+        },
+        400.0,
+    );
+    let immediate = run(CampaignPolicy::Immediate, 400.0);
+    assert!(predictive.busy_byte_fraction() <= immediate.busy_byte_fraction() + 1e-12);
+    // And still completes a solid share of the fleet.
+    assert!(
+        predictive.completion_rate() > 0.5,
+        "predictive completion {:.2}",
+        predictive.completion_rate()
+    );
+}
+
+#[test]
+fn gigabyte_images_strand_part_of_the_fleet() {
+    let small = run(CampaignPolicy::Immediate, 100.0);
+    let huge = run(CampaignPolicy::Immediate, 30_000.0);
+    assert!(huge.completed <= small.completed);
+    if let (Some(s), Some(h)) = (small.median_days(), huge.median_days()) {
+        assert!(h >= s);
+    }
+}

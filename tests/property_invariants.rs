@@ -1,0 +1,154 @@
+//! Cross-crate property tests: codec round trips, sessionizer
+//! invariants and truncation laws over arbitrary record sets.
+
+use conncar_cdr::{
+    truncate_records, BinaryCodec, CdrDataset, CdrRecord, CsvCodec, SessionConfig, Sessionizer,
+};
+use conncar_types::{
+    BaseStationId, CarId, Carrier, CellId, DayOfWeek, Duration, StudyPeriod, Timestamp,
+};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary valid CDR record inside a 90-day window.
+fn arb_record() -> impl Strategy<Value = CdrRecord> {
+    (
+        0u32..50,          // car
+        0u32..200,         // station
+        0u8..3,            // sector
+        0usize..5,         // carrier index
+        0u64..89 * 86_400, // start
+        1u64..7_200,       // duration
+    )
+        .prop_map(|(car, station, sector, carrier, start, dur)| CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(
+                BaseStationId(station),
+                sector,
+                Carrier::from_index(carrier).expect("index < 5"),
+            ),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(start + dur),
+        })
+}
+
+fn period() -> StudyPeriod {
+    StudyPeriod::new(DayOfWeek::Monday, 90).expect("nonzero")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binary_codec_round_trips(records in proptest::collection::vec(arb_record(), 0..200)) {
+        let encoded = BinaryCodec::encode(&records);
+        let decoded = BinaryCodec::decode(&encoded).expect("own encoding decodes");
+        prop_assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn csv_codec_round_trips(records in proptest::collection::vec(arb_record(), 0..100)) {
+        let encoded = CsvCodec::encode(&records);
+        let decoded = CsvCodec::decode(&encoded).expect("own encoding decodes");
+        prop_assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn binary_decode_never_panics_on_corruption(
+        records in proptest::collection::vec(arb_record(), 1..30),
+        flip_at in 0usize..1_000,
+        flip_to in 0u8..=255,
+    ) {
+        let mut bytes = BinaryCodec::encode(&records).to_vec();
+        let idx = flip_at % bytes.len();
+        bytes[idx] = flip_to;
+        // Must return Ok or Err — never panic, never loop.
+        let _ = BinaryCodec::decode(&bytes);
+    }
+
+    #[test]
+    fn sessionizer_conserves_connected_time(
+        records in proptest::collection::vec(arb_record(), 0..300),
+        gap_secs in 1u64..3_600,
+    ) {
+        let ds = CdrDataset::new(period(), records);
+        let total: u64 = ds.records().iter().map(|r| r.duration().as_secs()).sum();
+        let sessions = Sessionizer::new(SessionConfig {
+            max_gap: Duration::from_secs(gap_secs),
+        })
+        .sessions(&ds);
+        let session_total: u64 = sessions.iter().map(|s| s.connected.as_secs()).sum();
+        // Connected time is conserved exactly (gaps excluded, overlaps
+        // double-count in both views).
+        prop_assert_eq!(session_total, total);
+        // Record counts conserved.
+        let n: usize = sessions.iter().map(|s| s.record_count).sum();
+        prop_assert_eq!(n, ds.len());
+        // Sessions are per-car, time-ordered, and respect the gap.
+        for s in &sessions {
+            prop_assert!(s.end >= s.start);
+            prop_assert!(!s.cells.is_empty());
+        }
+    }
+
+    #[test]
+    fn sessionizer_gap_monotonicity(
+        records in proptest::collection::vec(arb_record(), 0..200),
+    ) {
+        // A larger gap can only merge sessions, never split them.
+        let ds = CdrDataset::new(period(), records);
+        let count = |gap: u64| {
+            Sessionizer::new(SessionConfig {
+                max_gap: Duration::from_secs(gap),
+            })
+            .sessions(&ds)
+            .len()
+        };
+        let c30 = count(30);
+        let c600 = count(600);
+        let c3600 = count(3_600);
+        prop_assert!(c600 <= c30);
+        prop_assert!(c3600 <= c600);
+    }
+
+    #[test]
+    fn truncation_laws(
+        records in proptest::collection::vec(arb_record(), 0..200),
+        cap_secs in 1u64..7_200,
+    ) {
+        let cap = Duration::from_secs(cap_secs);
+        let truncated = truncate_records(&records, cap);
+        prop_assert_eq!(truncated.len(), records.len());
+        for (t, r) in truncated.iter().zip(&records) {
+            prop_assert!(t.duration() <= cap);
+            prop_assert!(t.duration() <= r.duration());
+            prop_assert_eq!(t.start, r.start);
+            prop_assert_eq!(t.car, r.car);
+            prop_assert_eq!(t.cell, r.cell);
+            // Idempotent.
+        }
+        let twice = truncate_records(&truncated, cap);
+        prop_assert_eq!(twice, truncated);
+    }
+
+    #[test]
+    fn dataset_canonical_order_is_stable(
+        records in proptest::collection::vec(arb_record(), 0..200),
+    ) {
+        let ds = CdrDataset::new(period(), records.clone());
+        let mut expected = records;
+        expected.sort_by_key(|r| (r.car, r.start, r.cell));
+        prop_assert_eq!(ds.records(), &expected[..]);
+        // by_car covers every record exactly once, grouped.
+        let total: usize = ds.by_car().map(|(_, rs)| rs.len()).sum();
+        prop_assert_eq!(total, ds.len());
+        let mut last_car = None;
+        for (car, rs) in ds.by_car() {
+            prop_assert!(!rs.is_empty());
+            prop_assert!(rs.iter().all(|r| r.car == car));
+            if let Some(lc) = last_car {
+                prop_assert!(car > lc);
+            }
+            last_car = Some(car);
+        }
+    }
+}
