@@ -2,27 +2,91 @@
 //!
 //! The in-memory codecs in [`crate::codec`] are fine for test-sized
 //! traces; a 90-day million-car study is tens of gigabytes, which must
-//! stream. This module frames the binary format into length-prefixed
-//! chunks so a reader can process a trace of any size with bounded
-//! memory, and tolerates (reports, does not panic on) truncated tails —
-//! collection pipelines get cut off mid-write all the time.
+//! stream. This module frames the binary format into chunks so a reader
+//! can process a trace of any size with bounded memory, and tolerates
+//! (reports, does not panic on) damaged input — collection pipelines
+//! get cut off mid-write, ship through flaky links, and land with
+//! flipped bits all the time.
+//!
+//! Two stream versions exist:
 //!
 //! ```text
-//! file   := header chunk*
-//! header := "CDRS" u8 version
-//! chunk  := u32 record_count | record_count × record   (26 B each)
+//! file      := header chunk*
+//! header    := "CDRS" u8 version
+//! v1 chunk  := u32 record_count | record_count × record        (26 B each)
+//! v2 chunk  := "CHNK" u32 record_count u32 crc32(body) | body
 //! ```
+//!
+//! v2 (the default on write) adds a per-chunk magic and CRC-32 so a
+//! reader can *detect* byte-level corruption, *skip* the damaged chunk,
+//! and *resynchronize* on the next chunk boundary instead of delivering
+//! garbage records downstream. v1 streams remain fully readable.
+//!
+//! Two reading disciplines are offered:
+//!
+//! * [`CdrReader::read_chunk`] / [`CdrReader::read_to_end`] — strict:
+//!   the first integrity problem is an error. For archival data that is
+//!   supposed to be pristine.
+//! * [`CdrReader::read_to_end_tolerant`] — the ingest path: damage is
+//!   skipped and accounted in an [`IngestReport`], never an error and
+//!   never a panic, whatever the input bytes.
 
 use crate::codec::BinaryCodec;
 use crate::record::CdrRecord;
 use bytes::Bytes;
-use conncar_types::{Error, Result};
+use conncar_types::{
+    BaseStationId, CarId, Carrier, CellId, Error, Result, Timestamp,
+};
+use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
 const STREAM_MAGIC: &[u8; 4] = b"CDRS";
-const STREAM_VERSION: u8 = 1;
+/// Original unframed chunk format.
+pub(crate) const VERSION_V1: u8 = 1;
+/// CRC-framed chunk format (current default).
+pub(crate) const VERSION_V2: u8 = 2;
+/// Per-chunk magic in v2 streams; what the tolerant reader hunts for
+/// when resynchronizing.
+pub(crate) const CHUNK_MAGIC: &[u8; 4] = b"CHNK";
+/// Bytes in the v2 chunk header: magic + count + crc.
+pub(crate) const CHUNK_HEADER_LEN: usize = 12;
+/// Serialized record size (mirrors the codec's layout).
+pub(crate) const RECORD_LEN: usize = 26;
 /// Records per chunk: ~64 k records ≈ 1.7 MB buffered.
 const DEFAULT_CHUNK: usize = 65_536;
+/// A chunk header claiming more records than this is treated as garbage
+/// rather than an instruction to allocate gigabytes.
+const MAX_CHUNK_RECORDS: usize = 1 << 22;
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte slice.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
 
 /// Writes a CDR stream chunk by chunk.
 pub struct CdrWriter<W: Write> {
@@ -31,10 +95,12 @@ pub struct CdrWriter<W: Write> {
     chunk_records: usize,
     records_written: u64,
     header_written: bool,
+    version: u8,
 }
 
 impl<W: Write> CdrWriter<W> {
-    /// Wrap a writer with the default chunk size.
+    /// Wrap a writer with the default chunk size, emitting the current
+    /// (CRC-framed, v2) stream format.
     pub fn new(inner: W) -> CdrWriter<W> {
         CdrWriter {
             inner,
@@ -42,7 +108,15 @@ impl<W: Write> CdrWriter<W> {
             chunk_records: DEFAULT_CHUNK,
             records_written: 0,
             header_written: false,
+            version: VERSION_V2,
         }
+    }
+
+    /// Emit the legacy v1 format (no per-chunk CRC) for consumers that
+    /// predate framing.
+    pub fn with_legacy_v1(mut self) -> CdrWriter<W> {
+        self.version = VERSION_V1;
+        self
     }
 
     /// Override the chunk size (testing / memory tuning). Must be ≥ 1.
@@ -69,7 +143,8 @@ impl<W: Write> CdrWriter<W> {
     }
 
     /// Flush remaining records and return the inner writer plus the
-    /// total record count.
+    /// total record count. An untouched writer still emits a valid
+    /// header-only stream.
     pub fn finish(mut self) -> Result<(W, u64)> {
         self.flush_chunk()?;
         self.inner.flush()?;
@@ -79,7 +154,7 @@ impl<W: Write> CdrWriter<W> {
     fn flush_chunk(&mut self) -> Result<()> {
         if !self.header_written {
             self.inner.write_all(STREAM_MAGIC)?;
-            self.inner.write_all(&[STREAM_VERSION])?;
+            self.inner.write_all(&[self.version])?;
             self.header_written = true;
         }
         if self.buffer.is_empty() {
@@ -87,13 +162,75 @@ impl<W: Write> CdrWriter<W> {
         }
         // Reuse the in-memory codec for the chunk body; strip its own
         // 6-byte header (the stream header replaces it).
-        let body: Bytes = BinaryCodec::encode(&self.buffer);
-        self.inner
-            .write_all(&(self.buffer.len() as u32).to_le_bytes())?;
-        self.inner.write_all(&body[6..])?;
+        let encoded: Bytes = BinaryCodec::encode(&self.buffer);
+        let body = &encoded[6..];
+        if self.version == VERSION_V2 {
+            self.inner.write_all(CHUNK_MAGIC)?;
+            self.inner
+                .write_all(&(self.buffer.len() as u32).to_le_bytes())?;
+            self.inner.write_all(&crc32(body).to_le_bytes())?;
+        } else {
+            self.inner
+                .write_all(&(self.buffer.len() as u32).to_le_bytes())?;
+        }
+        self.inner.write_all(body)?;
         self.records_written += self.buffer.len() as u64;
         self.buffer.clear();
         Ok(())
+    }
+}
+
+/// What the tolerant ingest path salvaged from a stream, and what it
+/// had to give up on.
+///
+/// Totals are designed to reconcile: every record that entered a chunk
+/// header's count lands in exactly one of `records_yielded`,
+/// `records_lost_corrupt`, `records_lost_truncated`, or
+/// `records_invalid` (see [`IngestReport::records_accounted`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestReport {
+    /// Stream version from the header; 0 if the stream was empty or the
+    /// header itself was unreadable.
+    pub version: u8,
+    /// Chunks that passed their integrity check and decoded.
+    pub chunks_ok: usize,
+    /// Chunks dropped for a CRC mismatch.
+    pub chunks_skipped: usize,
+    /// Records delivered downstream.
+    pub records_yielded: u64,
+    /// Records inside CRC-failed chunks.
+    pub records_lost_corrupt: u64,
+    /// Records announced by a final chunk the stream ends mid-way
+    /// through.
+    pub records_lost_truncated: u64,
+    /// Records whose bytes frame-checked but do not parse (e.g. an
+    /// out-of-range carrier index).
+    pub records_invalid: u64,
+    /// Bytes discarded while hunting for the next chunk boundary.
+    pub bytes_skipped: u64,
+    /// Times the reader lost framing and had to scan for [`CHUNK_MAGIC`].
+    pub resync_scans: usize,
+    /// Whether the stream ended mid-chunk.
+    pub truncated_tail: bool,
+}
+
+impl IngestReport {
+    /// Every record the stream's surviving chunk headers announced:
+    /// yielded + lost to corruption + lost to truncation + unparseable.
+    pub fn records_accounted(&self) -> u64 {
+        self.records_yielded
+            + self.records_lost_corrupt
+            + self.records_lost_truncated
+            + self.records_invalid
+    }
+
+    /// True when nothing at all had to be skipped or given up on.
+    pub fn is_pristine(&self) -> bool {
+        self.chunks_skipped == 0
+            && self.bytes_skipped == 0
+            && self.records_invalid == 0
+            && !self.truncated_tail
+            && self.resync_scans == 0
     }
 }
 
@@ -101,6 +238,9 @@ impl<W: Write> CdrWriter<W> {
 pub struct CdrReader<R: Read> {
     inner: R,
     header_read: bool,
+    version: u8,
+    /// Byte offset of the next unread position (for error reporting).
+    offset: u64,
     /// Records decoded so far.
     records_read: u64,
 }
@@ -111,6 +251,8 @@ impl<R: Read> CdrReader<R> {
         CdrReader {
             inner,
             header_read: false,
+            version: 0,
+            offset: 0,
             records_read: 0,
         }
     }
@@ -120,34 +262,72 @@ impl<R: Read> CdrReader<R> {
         self.records_read
     }
 
+    /// Stream version, once the header has been read (0 before).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    fn read_header(&mut self) -> Result<bool> {
+        let mut header = [0u8; 5];
+        match read_exact_or_eof(&mut self.inner, &mut header)? {
+            0 => return Ok(false), // empty stream = empty trace
+            5 => {}
+            n => {
+                return Err(Error::Decode {
+                    offset: Some(n as u64),
+                    why: "truncated stream header".into(),
+                })
+            }
+        }
+        if &header[..4] != STREAM_MAGIC {
+            return Err(Error::Decode {
+                offset: Some(0),
+                why: "bad stream magic (expected CDRS)".into(),
+            });
+        }
+        if header[4] != VERSION_V1 && header[4] != VERSION_V2 {
+            return Err(Error::UnsupportedVersion { found: header[4] });
+        }
+        self.version = header[4];
+        self.offset = 5;
+        self.header_read = true;
+        Ok(true)
+    }
+
     /// Read the next chunk. `Ok(None)` at a clean end of stream;
-    /// `Err(Error::Decode { .. })` on a corrupt or truncated stream.
+    /// `Err(Error::Decode { .. })` on a corrupt or truncated stream,
+    /// `Err(Error::ChecksumMismatch { .. })` when a v2 chunk fails its
+    /// CRC. Strict: use [`Self::read_to_end_tolerant`] to salvage
+    /// damaged streams instead.
     pub fn read_chunk(&mut self) -> Result<Option<Vec<CdrRecord>>> {
-        if !self.header_read {
-            let mut header = [0u8; 5];
-            match read_exact_or_eof(&mut self.inner, &mut header)? {
-                0 => return Ok(None), // empty stream = empty trace
-                5 => {}
+        if !self.header_read && !self.read_header()? {
+            return Ok(None);
+        }
+        let chunk_offset = self.offset;
+        if self.version == VERSION_V2 {
+            let mut chunk_header = [0u8; CHUNK_HEADER_LEN];
+            match read_exact_or_eof(&mut self.inner, &mut chunk_header)? {
+                0 => return Ok(None),
+                n if n == CHUNK_HEADER_LEN => {}
                 n => {
                     return Err(Error::Decode {
-                        offset: Some(n as u64),
-                        why: "truncated stream header".into(),
+                        offset: Some(chunk_offset + n as u64),
+                        why: format!("truncated chunk header ({n} of {CHUNK_HEADER_LEN} bytes)"),
                     })
                 }
             }
-            if &header[..4] != STREAM_MAGIC {
+            if &chunk_header[..4] != CHUNK_MAGIC {
                 return Err(Error::Decode {
-                    offset: Some(0),
-                    why: "bad stream magic (expected CDRS)".into(),
+                    offset: Some(chunk_offset),
+                    why: "bad chunk magic (expected CHNK)".into(),
                 });
             }
-            if header[4] != STREAM_VERSION {
-                return Err(Error::Decode {
-                    offset: Some(4),
-                    why: format!("unsupported stream version {}", header[4]),
-                });
-            }
-            self.header_read = true;
+            self.offset += CHUNK_HEADER_LEN as u64;
+            let expected_crc =
+                u32::from_le_bytes(chunk_header[8..12].try_into().expect("4 bytes"));
+            let count =
+                u32::from_le_bytes(chunk_header[4..8].try_into().expect("4 bytes")) as usize;
+            return self.read_body(count, chunk_offset, Some(expected_crc));
         }
         let mut len_buf = [0u8; 4];
         match read_exact_or_eof(&mut self.inner, &mut len_buf)? {
@@ -155,39 +335,259 @@ impl<R: Read> CdrReader<R> {
             4 => {}
             n => {
                 return Err(Error::Decode {
-                    offset: Some(self.records_read),
+                    offset: Some(chunk_offset + n as u64),
                     why: format!("truncated chunk length ({n} of 4 bytes)"),
                 })
             }
         }
+        self.offset += 4;
         let count = u32::from_le_bytes(len_buf) as usize;
-        // Reconstruct an in-memory-codec buffer: header + body.
-        let mut buf = Vec::with_capacity(6 + count * 26);
-        buf.extend_from_slice(b"CDR1");
-        buf.push(1);
-        buf.push(26);
-        let body_len = count * 26;
+        self.read_body(count, chunk_offset, None)
+    }
+
+    fn read_body(
+        &mut self,
+        count: usize,
+        chunk_offset: u64,
+        expected_crc: Option<u32>,
+    ) -> Result<Option<Vec<CdrRecord>>> {
+        if count > MAX_CHUNK_RECORDS {
+            return Err(Error::Decode {
+                offset: Some(chunk_offset),
+                why: format!("implausible chunk record count {count}"),
+            });
+        }
+        let body_len = count * RECORD_LEN;
         let mut body = vec![0u8; body_len];
         let got = read_exact_or_eof(&mut self.inner, &mut body)?;
         if got != body_len {
             return Err(Error::Decode {
-                offset: Some(self.records_read),
+                offset: Some(self.offset + got as u64),
                 why: format!("truncated chunk body ({got} of {body_len} bytes)"),
             });
         }
+        self.offset += body_len as u64;
+        if let Some(expected) = expected_crc {
+            let found = crc32(&body);
+            if found != expected {
+                return Err(Error::ChecksumMismatch {
+                    offset: chunk_offset,
+                    expected,
+                    found,
+                });
+            }
+        }
+        // Reconstruct an in-memory-codec buffer: header + body.
+        let mut buf = Vec::with_capacity(6 + body_len);
+        buf.extend_from_slice(b"CDR1");
+        buf.push(1);
+        buf.push(RECORD_LEN as u8);
         buf.extend_from_slice(&body);
         let records = BinaryCodec::decode(&buf)?;
         self.records_read += records.len() as u64;
         Ok(Some(records))
     }
 
-    /// Drain the whole stream into memory.
+    /// Drain the whole stream into memory. Strict: errors out at the
+    /// first integrity problem.
     pub fn read_to_end(&mut self) -> Result<Vec<CdrRecord>> {
         let mut out = Vec::new();
         while let Some(chunk) = self.read_chunk()? {
             out.extend(chunk);
         }
         Ok(out)
+    }
+
+    /// Drain the whole stream, salvaging everything salvageable.
+    ///
+    /// This is the ingest path for data of unknown integrity: CRC-failed
+    /// chunks are skipped, framing damage triggers a scan for the next
+    /// chunk boundary, a truncated tail is reported rather than fatal.
+    /// The only `Err` this returns is a real I/O failure from the
+    /// underlying reader — *no byte content* can make it fail or panic.
+    pub fn read_to_end_tolerant(mut self) -> Result<(Vec<CdrRecord>, IngestReport)> {
+        let mut buf = Vec::new();
+        self.inner
+            .read_to_end(&mut buf)
+            .map_err(|e| Error::Io(e.to_string()))?;
+        Ok(salvage(&buf))
+    }
+}
+
+/// Tolerant decode of a complete in-memory stream. See
+/// [`CdrReader::read_to_end_tolerant`].
+pub fn salvage(buf: &[u8]) -> (Vec<CdrRecord>, IngestReport) {
+    let mut report = IngestReport::default();
+    let mut out = Vec::new();
+    if buf.is_empty() {
+        return (out, report);
+    }
+    if buf.len() < 5 || &buf[..4] != STREAM_MAGIC {
+        // Unrecognizable header: hunt for v2 chunks anyway — framing
+        // magic lets us salvage a stream whose first bytes were mangled.
+        report.bytes_skipped += salvage_v2(buf, 0, &mut out, &mut report);
+        return (out, report);
+    }
+    let version = buf[4];
+    report.version = version;
+    match version {
+        VERSION_V1 => salvage_v1(buf, &mut out, &mut report),
+        VERSION_V2 => {
+            let skipped = salvage_v2(buf, 5, &mut out, &mut report);
+            report.bytes_skipped += skipped;
+        }
+        _ => {
+            // Unknown version byte: same recovery as a mangled header.
+            report.version = 0;
+            report.bytes_skipped += salvage_v2(buf, 5, &mut out, &mut report) + 5;
+        }
+    }
+    (out, report)
+}
+
+/// v1 has no framing to resynchronize on: decode chunks until the first
+/// inconsistency, then stop.
+fn salvage_v1(buf: &[u8], out: &mut Vec<CdrRecord>, report: &mut IngestReport) {
+    let mut pos = 5usize;
+    while pos < buf.len() {
+        if buf.len() - pos < 4 {
+            report.truncated_tail = true;
+            report.bytes_skipped += (buf.len() - pos) as u64;
+            return;
+        }
+        let count =
+            u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        if count > MAX_CHUNK_RECORDS {
+            // Garbage length word; nothing downstream is trustworthy.
+            report.bytes_skipped += (buf.len() - pos) as u64;
+            return;
+        }
+        pos += 4;
+        let body_len = count * RECORD_LEN;
+        if buf.len() - pos < body_len {
+            report.truncated_tail = true;
+            report.records_lost_truncated += count as u64;
+            report.bytes_skipped += (buf.len() - pos) as u64;
+            return;
+        }
+        decode_rows(&buf[pos..pos + body_len], out, report);
+        report.chunks_ok += 1;
+        pos += body_len;
+    }
+}
+
+/// v2 salvage starting at `start`; returns bytes skipped while hunting
+/// for chunk boundaries.
+fn salvage_v2(
+    buf: &[u8],
+    start: usize,
+    out: &mut Vec<CdrRecord>,
+    report: &mut IngestReport,
+) -> u64 {
+    let mut skipped = 0u64;
+    let mut pos = start;
+    while pos < buf.len() {
+        // Establish framing: either we are on a chunk boundary or we
+        // scan forward to the next CHNK magic.
+        if buf.len() - pos < 4 || &buf[pos..pos + 4] != CHUNK_MAGIC {
+            match find_magic(buf, pos + 1) {
+                Some(next) => {
+                    report.resync_scans += 1;
+                    skipped += (next - pos) as u64;
+                    pos = next;
+                }
+                None => {
+                    skipped += (buf.len() - pos) as u64;
+                    return skipped;
+                }
+            }
+            continue;
+        }
+        if buf.len() - pos < CHUNK_HEADER_LEN {
+            // The stream ends inside a chunk header; the record count is
+            // unreadable so only bytes can be accounted.
+            report.truncated_tail = true;
+            skipped += (buf.len() - pos) as u64;
+            return skipped;
+        }
+        let count =
+            u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes")) as usize;
+        let expected =
+            u32::from_le_bytes(buf[pos + 8..pos + 12].try_into().expect("4 bytes"));
+        if count > MAX_CHUNK_RECORDS {
+            // A false CHNK inside garbage: step past the magic, rescan.
+            skipped += 4;
+            pos += 4;
+            continue;
+        }
+        let body_start = pos + CHUNK_HEADER_LEN;
+        let body_len = count * RECORD_LEN;
+        if buf.len() - body_start < body_len {
+            if let Some(next) = find_magic(buf, pos + 4) {
+                // Another chunk begins before this one's declared end:
+                // the count field itself is damaged. Skip to the next
+                // boundary.
+                report.chunks_skipped += 1;
+                report.resync_scans += 1;
+                skipped += (next - pos) as u64;
+                pos = next;
+                continue;
+            }
+            report.truncated_tail = true;
+            report.records_lost_truncated += count as u64;
+            skipped += (buf.len() - pos) as u64;
+            return skipped;
+        }
+        let body = &buf[body_start..body_start + body_len];
+        if crc32(body) != expected {
+            report.chunks_skipped += 1;
+            report.records_lost_corrupt += count as u64;
+            pos = body_start + body_len;
+            continue;
+        }
+        decode_rows(body, out, report);
+        report.chunks_ok += 1;
+        pos = body_start + body_len;
+    }
+    skipped
+}
+
+/// First occurrence of [`CHUNK_MAGIC`] at or after `from`.
+fn find_magic(buf: &[u8], from: usize) -> Option<usize> {
+    if from >= buf.len() {
+        return None;
+    }
+    buf[from..]
+        .windows(4)
+        .position(|w| w == CHUNK_MAGIC)
+        .map(|i| from + i)
+}
+
+/// Decode frame-checked record rows leniently: an unparseable row is
+/// counted, not fatal, and non-positive durations are *kept* — deciding
+/// what to do with malformed-but-decodable records is the cleaner's
+/// job, and dropping them here would hide them from its quarantine.
+fn decode_rows(body: &[u8], out: &mut Vec<CdrRecord>, report: &mut IngestReport) {
+    for row in body.chunks_exact(RECORD_LEN) {
+        let car = u32::from_le_bytes(row[0..4].try_into().expect("4 bytes"));
+        let station = u32::from_le_bytes(row[4..8].try_into().expect("4 bytes"));
+        let sector = row[8];
+        let carrier = match Carrier::from_index(row[9] as usize) {
+            Some(c) => c,
+            None => {
+                report.records_invalid += 1;
+                continue;
+            }
+        };
+        let start = u64::from_le_bytes(row[10..18].try_into().expect("8 bytes"));
+        let end = u64::from_le_bytes(row[18..26].try_into().expect("8 bytes"));
+        out.push(CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(BaseStationId(station), sector, carrier),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(end),
+        });
+        report.records_yielded += 1;
     }
 }
 
@@ -248,10 +648,33 @@ mod tests {
         w.write_all(&recs).unwrap();
         let (bytes, n) = w.finish().unwrap();
         assert_eq!(n, 1_000);
-        // 5 header + 8 chunks × (4 + k*26).
-        assert_eq!(bytes.len(), 5 + 8 * 4 + 1_000 * 26);
+        // 5 header + 8 chunks × (12 + k*26).
+        assert_eq!(bytes.len(), 5 + 8 * 12 + 1_000 * 26);
         let back = CdrReader::new(&bytes[..]).read_to_end().unwrap();
         assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn legacy_v1_round_trip() {
+        let recs = records(1_000);
+        let mut w = CdrWriter::new(Vec::new())
+            .with_legacy_v1()
+            .with_chunk_records(128);
+        w.write_all(&recs).unwrap();
+        let (bytes, n) = w.finish().unwrap();
+        assert_eq!(n, 1_000);
+        // 5 header + 8 chunks × (4 + k*26): the v1 layout, byte for byte.
+        assert_eq!(bytes.len(), 5 + 8 * 4 + 1_000 * 26);
+        assert_eq!(bytes[4], VERSION_V1);
+        let mut r = CdrReader::new(&bytes[..]);
+        let back = r.read_to_end().unwrap();
+        assert_eq!(r.version(), VERSION_V1);
+        assert_eq!(back, recs);
+        // The tolerant path reads v1 too.
+        let (back, report) = CdrReader::new(&bytes[..]).read_to_end_tolerant().unwrap();
+        assert_eq!(back, recs);
+        assert!(report.is_pristine());
+        assert_eq!(report.version, VERSION_V1);
     }
 
     #[test]
@@ -278,12 +701,19 @@ mod tests {
         let back = CdrReader::new(&[][..]).read_to_end().unwrap();
         assert!(back.is_empty());
         // Writer with zero records still emits a valid (header-only)
-        // stream.
-        let w = CdrWriter::new(Vec::new());
-        let (bytes, n) = w.finish().unwrap();
-        assert_eq!(n, 0);
-        let back = CdrReader::new(&bytes[..]).read_to_end().unwrap();
-        assert!(back.is_empty());
+        // stream — in both formats.
+        for legacy in [false, true] {
+            let w = CdrWriter::new(Vec::new());
+            let w = if legacy { w.with_legacy_v1() } else { w };
+            let (bytes, n) = w.finish().unwrap();
+            assert_eq!(n, 0);
+            assert_eq!(bytes.len(), 5, "header-only stream");
+            let back = CdrReader::new(&bytes[..]).read_to_end().unwrap();
+            assert!(back.is_empty());
+            let (back, report) = CdrReader::new(&bytes[..]).read_to_end_tolerant().unwrap();
+            assert!(back.is_empty());
+            assert!(report.is_pristine());
+        }
     }
 
     #[test]
@@ -308,6 +738,83 @@ mod tests {
         let (mut bytes, _) = w.finish().unwrap();
         bytes[0] = b'X';
         assert!(CdrReader::new(&bytes[..]).read_to_end().is_err());
+    }
+
+    #[test]
+    fn unknown_version_rejected_strictly() {
+        let mut w = CdrWriter::new(Vec::new());
+        w.write_all(&records(10)).unwrap();
+        let (mut bytes, _) = w.finish().unwrap();
+        bytes[4] = 9;
+        let err = CdrReader::new(&bytes[..]).read_to_end().unwrap_err();
+        assert!(matches!(err, Error::UnsupportedVersion { found: 9 }));
+    }
+
+    #[test]
+    fn checksum_mismatch_detected_strictly() {
+        let recs = records(64);
+        let mut w = CdrWriter::new(Vec::new()).with_chunk_records(32);
+        w.write_all(&recs).unwrap();
+        let (mut bytes, _) = w.finish().unwrap();
+        // Flip one body byte in the first chunk (header is 5 + 12).
+        bytes[20] ^= 0xFF;
+        let err = CdrReader::new(&bytes[..]).read_to_end().unwrap_err();
+        assert!(matches!(err, Error::ChecksumMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn tolerant_reader_skips_corrupt_chunk_and_resynchronizes() {
+        let recs = records(300);
+        let mut w = CdrWriter::new(Vec::new()).with_chunk_records(100);
+        w.write_all(&recs).unwrap();
+        let (mut bytes, _) = w.finish().unwrap();
+        // Damage a body byte of the middle chunk. Offsets: header 5,
+        // chunk = 12 + 100*26 = 2612.
+        let chunk = 12 + 100 * 26;
+        bytes[5 + chunk + 12 + 40] ^= 0x5A;
+        let (back, report) = CdrReader::new(&bytes[..]).read_to_end_tolerant().unwrap();
+        assert_eq!(back.len(), 200);
+        assert_eq!(report.chunks_ok, 2);
+        assert_eq!(report.chunks_skipped, 1);
+        assert_eq!(report.records_lost_corrupt, 100);
+        assert_eq!(report.records_yielded, 200);
+        assert_eq!(report.records_accounted(), 300);
+        // First and third chunks arrive intact.
+        assert_eq!(&back[..100], &recs[..100]);
+        assert_eq!(&back[100..], &recs[200..]);
+    }
+
+    #[test]
+    fn tolerant_reader_reports_truncated_tail() {
+        let recs = records(250);
+        let mut w = CdrWriter::new(Vec::new()).with_chunk_records(100);
+        w.write_all(&recs).unwrap();
+        let (bytes, _) = w.finish().unwrap();
+        // Cut into the final (50-record) chunk's body.
+        let cut = &bytes[..bytes.len() - 49];
+        let (back, report) = CdrReader::new(cut).read_to_end_tolerant().unwrap();
+        assert_eq!(back.len(), 200);
+        assert!(report.truncated_tail);
+        assert_eq!(report.records_lost_truncated, 50);
+        assert_eq!(report.records_accounted(), 250);
+    }
+
+    #[test]
+    fn tolerant_reader_survives_garbage() {
+        // Pure noise, no header at all.
+        let noise: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2_654_435_761) >> 8) as u8)
+            .collect();
+        let (back, report) = CdrReader::new(&noise[..]).read_to_end_tolerant().unwrap();
+        assert!(back.is_empty() || report.records_yielded == back.len() as u64);
+        assert_eq!(report.version, 0);
+    }
+
+    #[test]
+    fn crc32_known_answer() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

@@ -14,15 +14,21 @@
 //!   magic) and a CSV codec for interchange;
 //! * [`faults`] — injection of the *real-world artifacts the paper had
 //!   to clean*: records lasting exactly one hour (broken periodic
-//!   reporting), whole days of partial data loss, and sticky modems
-//!   whose disconnects never got recorded;
-//! * [`clean`] — §3's pre-processing: drop the exact-1-hour records;
-//!   truncate per-cell connections at 600 s during analysis;
+//!   reporting), whole days of partial data loss, sticky modems whose
+//!   disconnects never got recorded — plus the wider collection-plane
+//!   taxonomy (duplicates, nested overlaps, skewed modem clocks, and
+//!   byte-level wire damage to the encoded stream);
+//! * [`clean`] — §3's pre-processing as a staged pipeline (validate →
+//!   dedup → glitch-drop → overlap-resolve) with per-stage counts and a
+//!   quarantine of everything removed; truncate per-cell connections at
+//!   600 s during analysis;
 //! * [`session`] — §3's session aggregation: concatenate connections
 //!   ≤ 30 s apart into aggregate sessions, and the looser 10-minute-gap
 //!   *mobility sessions* used for the handover analysis of §4.5;
 //! * [`io`] — chunked streaming reader/writer so traces larger than
-//!   memory can be produced and consumed with bounded buffering.
+//!   memory can be produced and consumed with bounded buffering; v2
+//!   streams carry a per-chunk CRC so corruption is skipped-and-reported
+//!   ([`IngestReport`]) rather than delivered.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,9 +42,12 @@ pub mod record;
 pub mod session;
 
 pub use anonymize::{AnonId, Anonymizer};
-pub use clean::{truncate_records, CleanConfig, CleanReport, Cleaner};
+pub use clean::{
+    truncate_records, CleanConfig, CleanOutcome, CleanReport, Cleaner, Quarantine,
+    QuarantinedRecord, RejectReason,
+};
 pub use codec::{BinaryCodec, CsvCodec};
 pub use faults::{FaultConfig, FaultInjector, FaultReport};
-pub use io::{CdrReader, CdrWriter};
+pub use io::{salvage, CdrReader, CdrWriter, IngestReport};
 pub use record::{CdrDataset, CdrRecord};
 pub use session::{AggregateSession, SessionConfig, Sessionizer};

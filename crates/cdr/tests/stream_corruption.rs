@@ -1,0 +1,75 @@
+//! Property tests for the corruption-tolerant ingest path: no byte
+//! stream — bit-flipped, truncated, duplicated, or pure garbage — may
+//! panic the reader, and the [`IngestReport`] totals must always
+//! reconcile with the records actually yielded.
+
+use conncar_cdr::{salvage, CdrReader, CdrRecord, CdrWriter};
+use conncar_types::{BaseStationId, CarId, Carrier, CellId, Timestamp};
+use proptest::prelude::*;
+
+/// A well-formed v2 stream of `records` records in chunks of `chunk`.
+fn stream(records: usize, chunk: usize) -> Vec<u8> {
+    let recs: Vec<CdrRecord> = (0..records)
+        .map(|i| CdrRecord {
+            car: CarId(i as u32 % 53),
+            cell: CellId::new(
+                BaseStationId(i as u32 % 7),
+                (i % 3) as u8,
+                Carrier::from_index(i % 5).expect("valid index"),
+            ),
+            start: Timestamp::from_secs(i as u64 * 37),
+            end: Timestamp::from_secs(i as u64 * 37 + 30),
+        })
+        .collect();
+    let mut w = CdrWriter::new(Vec::new()).with_chunk_records(chunk.max(1));
+    w.write_all(&recs).expect("in-memory write");
+    w.finish().expect("in-memory finish").0
+}
+
+proptest! {
+    #[test]
+    fn mutated_streams_never_panic_and_always_reconcile(
+        records in 0usize..300,
+        chunk in 1usize..48,
+        flips in proptest::collection::vec((0usize..1_000_000, 1u8..=255u8), 0..24),
+        cut in 0usize..1_000_000,
+        do_cut in any::<bool>(),
+        dup_from in 0usize..1_000_000,
+        do_dup in any::<bool>(),
+    ) {
+        let mut bytes = stream(records, chunk);
+        // Duplicate a tail slice (chunks delivered twice).
+        if do_dup && bytes.len() > 5 {
+            let from = 5 + dup_from % (bytes.len() - 5);
+            let dup = bytes[from..].to_vec();
+            bytes.extend_from_slice(&dup);
+        }
+        // Arbitrary bit damage anywhere, header included.
+        for (pos, mask) in &flips {
+            if bytes.is_empty() {
+                break;
+            }
+            let i = pos % bytes.len();
+            bytes[i] ^= mask;
+        }
+        // Truncation at an arbitrary byte boundary.
+        if do_cut && !bytes.is_empty() {
+            bytes.truncate(cut % bytes.len());
+        }
+
+        // Tolerant path: never an error, never a panic, and the report
+        // agrees with what came back.
+        let (recs, report) = salvage(&bytes);
+        prop_assert_eq!(recs.len() as u64, report.records_yielded);
+        prop_assert!(report.records_accounted() >= report.records_yielded);
+
+        // Untouched streams round-trip perfectly through the same path.
+        if flips.is_empty() && !do_cut && !do_dup {
+            prop_assert!(report.is_pristine());
+            prop_assert_eq!(recs.len(), records);
+        }
+
+        // Strict path: allowed to reject, not to panic.
+        let _ = CdrReader::new(&bytes[..]).read_to_end();
+    }
+}

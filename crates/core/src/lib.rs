@@ -26,6 +26,9 @@
 //!   its figures as unicode plots.
 //! * [`export`] — write every artifact (text + JSON + manifest) to a
 //!   directory for external tooling.
+//! * [`runreport`] — the end-to-end record ledger: what the collection
+//!   plane damaged, what ingest salvaged, what cleaning removed, and
+//!   how faithfully ground truth was recovered.
 //!
 //! ## Quickstart
 //!
@@ -47,10 +50,12 @@ pub mod experiments;
 pub mod export;
 pub mod render;
 pub mod report;
+pub mod runreport;
 pub mod study;
 
 pub use analyses::StudyAnalyses;
 pub use experiments::{Experiment, ExperimentOutput};
+pub use runreport::RunReport;
 pub use study::{StudyConfig, StudyData};
 
 #[cfg(test)]

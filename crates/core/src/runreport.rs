@@ -1,0 +1,137 @@
+//! End-to-end accounting for one study run.
+//!
+//! The collection plane loses, damages and fabricates records in ways
+//! the cleaning stages are supposed to undo. A [`RunReport`] stitches
+//! the per-stage reports together — what fault injection did
+//! ([`FaultReport`]), what the corruption-tolerant ingest salvaged
+//! ([`IngestReport`]), what cleaning removed ([`CleanReport`]) — and
+//! measures how faithfully the cleaned dataset recovered the ground
+//! truth, per fault class and in aggregate.
+
+use conncar_cdr::{CdrRecord, CleanReport, FaultReport, IngestReport};
+use serde::{Deserialize, Serialize};
+
+/// One study run's records-in/records-out ledger.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Ground-truth records the fleet actually produced.
+    pub records_truth: usize,
+    /// Records after record-level fault injection (duplicates and
+    /// overlap ghosts add, loss days subtract).
+    pub records_collected: usize,
+    /// Records that survived the wire and reached the cleaner. Equal to
+    /// `records_collected` when no wire faults are configured.
+    pub records_delivered: usize,
+    /// Records in the cleaned dataset the analyses consume.
+    pub records_clean: usize,
+    /// What the injector did (ground truth for the recovery claims).
+    pub fault: FaultReport,
+    /// What the tolerant ingest path salvaged and gave up on.
+    pub ingest: IngestReport,
+    /// What each cleaning stage removed.
+    pub clean: CleanReport,
+    /// Records held in the cleaner's quarantine (equals the clean
+    /// report's total drops).
+    pub quarantined: usize,
+    /// Ground-truth records absent from the cleaned dataset
+    /// (unrecoverable: lost days, corrupt chunks, glitched records).
+    pub truth_missing_from_clean: usize,
+    /// Cleaned records that match no ground-truth record (damage that
+    /// slipped through: sticky stretches, surviving ghosts).
+    pub clean_not_in_truth: usize,
+}
+
+impl RunReport {
+    /// Whether every record is accounted for, per pipeline leg:
+    ///
+    /// * wire: records written = yielded + lost-to-corruption +
+    ///   lost-to-truncation + unparseable (trivially true when the wire
+    ///   leg didn't run);
+    /// * cleaning: records delivered = records kept + records dropped,
+    ///   and the quarantine holds exactly the drops.
+    pub fn reconciles(&self) -> bool {
+        let wire_ok = if self.ingest == IngestReport::default() {
+            self.records_delivered == self.records_collected
+        } else {
+            self.ingest.records_accounted() == self.records_collected as u64
+        };
+        let clean_ok =
+            self.records_delivered == self.records_clean + self.clean.dropped_total();
+        wire_ok && clean_ok && self.quarantined == self.clean.dropped_total()
+    }
+
+    /// Fraction of ground-truth records recovered exactly in the clean
+    /// dataset (1.0 = perfect recovery).
+    pub fn fidelity(&self) -> f64 {
+        if self.records_truth == 0 {
+            return 1.0;
+        }
+        1.0 - self.truth_missing_from_clean as f64 / self.records_truth as f64
+    }
+}
+
+/// Multiset difference between ground truth and the cleaned dataset:
+/// `(truth records missing from clean, clean records not in truth)`.
+/// Exact duplicates count once per copy.
+pub fn dataset_divergence(truth: &[CdrRecord], clean: &[CdrRecord]) -> (usize, usize) {
+    let key = |r: &CdrRecord| (r.car.0, r.start.as_secs(), r.cell, r.end.as_secs());
+    let mut a: Vec<_> = truth.iter().map(key).collect();
+    let mut b: Vec<_> = clean.iter().map(key).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    let (mut i, mut j) = (0, 0);
+    let (mut missing, mut extra) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                missing += 1;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                extra += 1;
+                j += 1;
+            }
+        }
+    }
+    missing += a.len() - i;
+    extra += b.len() - j;
+    (missing, extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_types::{BaseStationId, CarId, Carrier, CellId, Timestamp};
+
+    fn rec(car: u32, start: u64, end: u64) -> CdrRecord {
+        CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(BaseStationId(1), 0, Carrier::C3),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(end),
+        }
+    }
+
+    #[test]
+    fn divergence_counts_multiset_differences() {
+        let truth = vec![rec(1, 0, 10), rec(1, 20, 30), rec(2, 0, 10)];
+        let clean = vec![rec(1, 0, 10), rec(2, 0, 10), rec(3, 5, 15)];
+        let (missing, extra) = dataset_divergence(&truth, &clean);
+        assert_eq!(missing, 1); // rec(1, 20, 30)
+        assert_eq!(extra, 1); // rec(3, 5, 15)
+        // Duplicates count per copy.
+        let (missing, extra) = dataset_divergence(&[rec(1, 0, 10); 3], &[rec(1, 0, 10)]);
+        assert_eq!((missing, extra), (2, 0));
+    }
+
+    #[test]
+    fn empty_report_reconciles_perfectly() {
+        let r = RunReport::default();
+        assert!(r.reconciles());
+        assert_eq!(r.fidelity(), 1.0);
+    }
+}

@@ -6,17 +6,25 @@
 //! 2. drive the archetype fleet through every study day, producing the
 //!    ground-truth radio connection trace and PRB load;
 //! 3. push the trace through the "collection pipeline": fault injection
-//!    (exact-1-hour glitches, data-loss days, sticky modems) yields the
-//!    *dirty* dataset the paper's authors actually received;
-//! 4. apply §3's pre-processing to recover the *clean* dataset the
+//!    (exact-1-hour glitches, data-loss days, sticky modems, plus the
+//!    wider taxonomy — duplicates, nested overlaps, skewed modem
+//!    clocks) yields the *dirty* dataset the paper's authors actually
+//!    received. When wire faults are configured, the dirty records
+//!    additionally ride the framed v2 byte stream, get damaged at the
+//!    byte level, and are salvaged by the corruption-tolerant reader;
+//! 4. apply §3's pre-processing (staged: validate → dedup →
+//!    glitch-drop → overlap-resolve) to recover the *clean* dataset the
 //!    analyses consume.
 //!
 //! Both datasets are kept: methodology experiments (how much does
-//! cleaning matter?) need the pair.
+//! cleaning matter?) need the pair. A [`RunReport`] ledgers every
+//! record through the pipeline and measures recovery fidelity.
 
+use crate::runreport::{dataset_divergence, RunReport};
 use conncar_analysis::busy::NetworkLoadModel;
 use conncar_cdr::{
-    CdrDataset, CleanConfig, CleanReport, Cleaner, FaultConfig, FaultInjector, FaultReport,
+    salvage, CdrDataset, CdrWriter, CleanConfig, CleanReport, Cleaner, FaultConfig,
+    FaultInjector, FaultReport, IngestReport, Quarantine,
 };
 use conncar_fleet::{FleetConfig, FleetGenerator, Persona};
 use conncar_geo::{Region, RegionConfig};
@@ -153,8 +161,15 @@ pub struct StudyData {
     pub clean: CdrDataset,
     /// What fault injection did (ground truth for methodology tests).
     pub fault_report: FaultReport,
+    /// What the tolerant ingest path reported. Default (pristine) when
+    /// no wire faults were configured and the stream leg was skipped.
+    pub ingest_report: IngestReport,
     /// What cleaning removed.
     pub clean_report: CleanReport,
+    /// The removed records themselves.
+    pub quarantine: Quarantine,
+    /// End-to-end record ledger and recovery-fidelity measures.
+    pub run_report: RunReport,
 }
 
 impl StudyData {
@@ -175,8 +190,38 @@ impl StudyData {
         let data = fleet.generate(&region, cfg.period, seeds.domain("fleet"));
         let truth = CdrDataset::from_connections(cfg.period, data.connections);
         let injector = FaultInjector::new(cfg.faults.clone(), seeds.domain("faults"));
-        let (dirty, fault_report) = injector.inject(&truth);
-        let (clean, clean_report) = Cleaner::new(cfg.clean.clone()).clean(&dirty);
+        let (collected, mut fault_report) = injector.inject(&truth);
+        let records_collected = collected.len();
+        // The wire leg only runs when a wire fault is configured: the
+        // encode → damage → salvage round trip costs time and, on a
+        // pristine stream, changes nothing.
+        let (dirty, ingest_report) = if cfg.faults.has_wire_faults() {
+            let mut w = CdrWriter::new(Vec::new()).with_chunk_records(cfg.faults.chunk_records);
+            w.write_all(collected.records())?;
+            let (stream, _) = w.finish()?;
+            let damaged = injector.corrupt_stream(&stream, &mut fault_report);
+            let (delivered, ingest) = salvage(&damaged);
+            (collected.with_records(delivered), ingest)
+        } else {
+            (collected, IngestReport::default())
+        };
+        let outcome = Cleaner::new(cfg.clean.clone()).clean_full(&dirty);
+        let (clean, clean_report, quarantine) =
+            (outcome.dataset, outcome.report, outcome.quarantine);
+        let (truth_missing_from_clean, clean_not_in_truth) =
+            dataset_divergence(truth.records(), clean.records());
+        let run_report = RunReport {
+            records_truth: truth.len(),
+            records_collected,
+            records_delivered: dirty.len(),
+            records_clean: clean.len(),
+            fault: fault_report.clone(),
+            ingest: ingest_report.clone(),
+            clean: clean_report,
+            quarantined: quarantine.len(),
+            truth_missing_from_clean,
+            clean_not_in_truth,
+        };
         Ok(StudyData {
             config: cfg.clone(),
             region,
@@ -186,7 +231,10 @@ impl StudyData {
             dirty,
             clean,
             fault_report,
+            ingest_report,
             clean_report,
+            quarantine,
+            run_report,
         })
     }
 
@@ -213,11 +261,13 @@ mod tests {
         // Cleaning only ever removes records.
         assert!(study.clean.len() <= study.dirty.len());
         assert_eq!(
-            study.clean.len()
-                + study.clean_report.dropped_glitches
-                + study.clean_report.dropped_malformed,
+            study.clean.len() + study.clean_report.dropped_total(),
             study.dirty.len()
         );
+        assert!(study.run_report.reconciles());
+        // No wire faults configured: the stream leg must not have run.
+        assert_eq!(study.ingest_report, Default::default());
+        assert_eq!(study.quarantine.len(), study.clean_report.dropped_total());
         // Every injected glitch is caught (plus possibly a few genuine
         // exactly-1-hour records).
         assert!(study.clean_report.dropped_glitches >= study.fault_report.hour_glitches);
@@ -269,6 +319,69 @@ mod tests {
         let mut cfg = StudyConfig::tiny();
         cfg.fleet.mix.weights[0] = 2.0;
         assert!(StudyData::generate(&cfg).is_err());
+    }
+
+    /// Tiny config with every fault class in the taxonomy switched on.
+    fn hostile_cfg() -> StudyConfig {
+        let mut cfg = StudyConfig::tiny();
+        cfg.faults.duplicate_p = 0.02;
+        cfg.faults.overlap_p = 0.01;
+        cfg.faults.skew_car_p = 0.1;
+        cfg.faults.skew_record_p = 0.3;
+        cfg.faults.reorder_chunk_p = 0.2;
+        cfg.faults.corrupt_chunk_p = 0.15;
+        cfg.faults.truncate_tail_p = 1.0;
+        cfg.faults.chunk_records = 256;
+        cfg.clean.resolve_overlaps = true;
+        cfg
+    }
+
+    #[test]
+    fn hostile_study_reconciles_per_fault_class() {
+        let study = StudyData::generate(&hostile_cfg()).unwrap();
+        let run = &study.run_report;
+        assert!(run.reconciles(), "{run:?}");
+        // The wire leg ran and did damage.
+        assert!(study.fault_report.corrupted_chunks > 0);
+        assert!(study.fault_report.reordered_chunks > 0);
+        // The injector's wire ledger and the reader's ingest ledger
+        // agree class by class, record for record.
+        assert_eq!(
+            study.ingest_report.chunks_skipped,
+            study.fault_report.corrupted_chunks
+        );
+        assert_eq!(
+            study.ingest_report.records_lost_corrupt,
+            study.fault_report.corrupted_records as u64
+        );
+        assert_eq!(
+            study.ingest_report.records_lost_truncated,
+            study.fault_report.truncated_records as u64
+        );
+        assert_eq!(
+            study.ingest_report.truncated_tail,
+            study.fault_report.truncated_records > 0
+        );
+        assert_eq!(study.ingest_report.records_invalid, 0);
+        // Cleaning catches every skewed record that made it through the
+        // wire (skewed ⇒ non-positive duration ⇒ validate stage).
+        assert!(study.clean_report.dropped_malformed <= study.fault_report.skewed);
+        // Nothing with a non-positive duration survives.
+        assert!(study.clean.records().iter().all(|r| r.is_valid()));
+        // Fidelity is meaningful: most of the truth survives the abuse.
+        assert!(run.fidelity() > 0.5, "fidelity {}", run.fidelity());
+        assert!(run.fidelity() < 1.0);
+    }
+
+    #[test]
+    fn hostile_study_is_deterministic() {
+        let a = StudyData::generate(&hostile_cfg()).unwrap();
+        let b = StudyData::generate(&hostile_cfg()).unwrap();
+        assert_eq!(a.dirty.records(), b.dirty.records());
+        assert_eq!(a.clean.records(), b.clean.records());
+        assert_eq!(a.fault_report, b.fault_report);
+        assert_eq!(a.ingest_report, b.ingest_report);
+        assert_eq!(a.run_report, b.run_report);
     }
 
     #[test]

@@ -44,6 +44,20 @@ pub enum Error {
         /// Description of the malformation.
         why: String,
     },
+    /// A chunk failed its integrity check while reading a CDR stream.
+    ChecksumMismatch {
+        /// Byte offset of the chunk whose checksum failed.
+        offset: u64,
+        /// Checksum recorded in the stream.
+        expected: u32,
+        /// Checksum computed over the received bytes.
+        found: u32,
+    },
+    /// A CDR stream declared a format version this build cannot read.
+    UnsupportedVersion {
+        /// The version byte found in the stream header.
+        found: u8,
+    },
     /// An I/O error, stringified to keep `Error: Clone + PartialEq`.
     Io(String),
     /// An analysis was asked to run on data it cannot work with
@@ -69,6 +83,17 @@ impl fmt::Display for Error {
                 Some(o) => write!(f, "decode error at offset {o}: {why}"),
                 None => write!(f, "decode error: {why}"),
             },
+            Error::ChecksumMismatch {
+                offset,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checksum mismatch at offset {offset}: expected {expected:#010x}, found {found:#010x}"
+            ),
+            Error::UnsupportedVersion { found } => {
+                write!(f, "unsupported stream version {found}")
+            }
             Error::Io(msg) => write!(f, "I/O error: {msg}"),
             Error::EmptyInput { analysis } => {
                 write!(f, "analysis `{analysis}` received no input data")
@@ -108,6 +133,15 @@ mod tests {
             why: "bad magic".into(),
         };
         assert!(e.to_string().contains("bad magic"));
+        let e = Error::ChecksumMismatch {
+            offset: 5,
+            expected: 0xDEAD_BEEF,
+            found: 0,
+        };
+        assert!(e.to_string().contains("0xdeadbeef"), "{e}");
+        assert!(Error::UnsupportedVersion { found: 9 }
+            .to_string()
+            .contains("version 9"));
     }
 
     #[test]

@@ -55,6 +55,11 @@ fn main() {
         "cleaning dropped {} exact-1-hour glitches and {} malformed records",
         study.clean_report.dropped_glitches, study.clean_report.dropped_malformed
     );
+    println!(
+        "run ledger reconciles: {} (fidelity {:.3})",
+        study.run_report.reconciles(),
+        study.run_report.fidelity()
+    );
 
     // §3 session aggregation at both gap settings.
     for (label, gap) in [
@@ -81,6 +86,49 @@ fn main() {
             mean_handovers
         );
     }
+
+    // Re-run a smaller study with a hostile collection plane: duplicate
+    // and clock-skewed records, plus on-the-wire chunk corruption and a
+    // truncated tail. The tolerant reader salvages what it can and the
+    // staged cleaner quarantines the rest — every record accounted for.
+    println!("\n== hostile collection plane ==");
+    let mut hostile = StudyConfig::tiny();
+    hostile.faults.duplicate_p = 0.02;
+    hostile.faults.skew_car_p = 0.05;
+    hostile.faults.skew_record_p = 0.3;
+    hostile.faults.corrupt_chunk_p = 0.1;
+    hostile.faults.truncate_tail_p = 1.0;
+    hostile.faults.chunk_records = 512;
+    hostile.clean.resolve_overlaps = true;
+    let damaged = StudyData::generate(&hostile).expect("valid config");
+    let rr = &damaged.run_report;
+    println!(
+        "wire: {} chunks skipped ({} records corrupt, {} truncated), \
+         {} bytes skipped",
+        rr.ingest.chunks_skipped,
+        rr.ingest.records_lost_corrupt,
+        rr.ingest.records_lost_truncated,
+        rr.ingest.bytes_skipped
+    );
+    println!(
+        "cleaner: {} duplicates, {} malformed, {} glitches dropped; \
+         quarantine holds {}",
+        rr.clean.dropped_duplicates,
+        rr.clean.dropped_malformed,
+        rr.clean.dropped_glitches,
+        damaged.quarantine.len()
+    );
+    println!(
+        "ledger: {} truth -> {} collected -> {} delivered -> {} clean \
+         (reconciles: {}, fidelity {:.3})",
+        rr.records_truth,
+        rr.records_collected,
+        rr.records_delivered,
+        rr.records_clean,
+        rr.reconciles(),
+        rr.fidelity()
+    );
+    assert!(rr.reconciles(), "every record must be accounted for");
 }
 
 fn parse_args() -> (u32, u32) {

@@ -20,10 +20,11 @@ fn cleaning_drops_every_injected_hour_glitch() {
         .iter()
         .all(|r| r.duration().as_secs() != 3_600));
     // Everything cleaning dropped is accounted for.
-    assert_eq!(
-        s.dirty.len(),
-        s.clean.len() + s.clean_report.dropped_glitches + s.clean_report.dropped_malformed
-    );
+    assert_eq!(s.dirty.len(), s.clean.len() + s.clean_report.dropped_total());
+    // Legacy-only faults: the newer stages must not fire at all, so the
+    // staged pipeline's counts coincide with the old single-pass ones.
+    assert_eq!(s.clean_report.dropped_duplicates, 0);
+    assert_eq!(s.clean_report.dropped_overlaps, 0);
     assert!(s.clean_report.dropped_glitches >= s.fault_report.hour_glitches);
 }
 
@@ -81,4 +82,99 @@ fn lost_records_are_gone_for_good() {
     let truth_len = s.dirty.len() + s.fault_report.lost;
     assert!(s.fault_report.lost > 0, "tiny config injects a loss day");
     assert!(truth_len > s.dirty.len());
+}
+
+/// Tiny config with every record-level fault disabled, so each test
+/// below can enable exactly the class it exercises.
+fn quiet_cfg() -> StudyConfig {
+    let mut cfg = StudyConfig::tiny();
+    cfg.faults.hour_glitch_p = 0.0;
+    cfg.faults.loss_days = vec![];
+    cfg.faults.loss_fraction = 0.0;
+    cfg.faults.sticky_p = 0.0;
+    cfg
+}
+
+#[test]
+fn duplicates_are_removed_exactly() {
+    let mut cfg = quiet_cfg();
+    cfg.faults.duplicate_p = 0.05;
+    let s = StudyData::generate(&cfg).expect("valid config");
+    assert!(s.fault_report.duplicated > 0);
+    // Every injected extra copy — and nothing else — is dropped, so the
+    // clean dataset is the ground truth, record for record.
+    assert_eq!(s.clean_report.dropped_duplicates, s.fault_report.duplicated);
+    assert_eq!(s.clean_report.dropped_total(), s.fault_report.duplicated);
+    assert_eq!(s.run_report.truth_missing_from_clean, 0);
+    assert_eq!(s.run_report.clean_not_in_truth, 0);
+    assert_eq!(s.run_report.fidelity(), 1.0);
+    assert!(s.run_report.reconciles());
+}
+
+#[test]
+fn skewed_records_are_quarantined_as_malformed() {
+    use conncar_cdr::RejectReason;
+    let mut cfg = quiet_cfg();
+    cfg.faults.skew_car_p = 0.2;
+    cfg.faults.skew_record_p = 0.5;
+    let s = StudyData::generate(&cfg).expect("valid config");
+    assert!(s.fault_report.skewed > 0);
+    // Every clock-skewed record lands in quarantine as malformed; no
+    // other stage fires.
+    assert_eq!(s.clean_report.dropped_malformed, s.fault_report.skewed);
+    assert_eq!(
+        s.quarantine.count(RejectReason::Malformed),
+        s.fault_report.skewed
+    );
+    assert_eq!(s.quarantine.len(), s.clean_report.dropped_total());
+    assert!(s.quarantine.entries().iter().all(|q| !q.record.is_valid()));
+    assert!(s.run_report.reconciles());
+}
+
+#[test]
+fn overlap_resolution_recovers_truth_and_is_idempotent() {
+    use conncar_cdr::{CleanConfig, Cleaner};
+    let mut cfg = quiet_cfg();
+    cfg.faults.overlap_p = 0.05;
+    cfg.clean.resolve_overlaps = true;
+    let s = StudyData::generate(&cfg).expect("valid config");
+    assert!(s.fault_report.overlaps > 0);
+    // Each ghost nests strictly inside its host, so resolution removes
+    // exactly the ghosts and the clean dataset equals ground truth.
+    assert_eq!(s.clean_report.dropped_overlaps, s.fault_report.overlaps);
+    assert_eq!(s.run_report.fidelity(), 1.0);
+    assert_eq!(s.run_report.clean_not_in_truth, 0);
+    // Idempotent: a second pass over the cleaned data drops nothing.
+    let cleaner = Cleaner::new(CleanConfig {
+        resolve_overlaps: true,
+        ..CleanConfig::default()
+    });
+    let (again, report) = cleaner.clean(&s.clean);
+    assert_eq!(report.dropped_total(), 0);
+    assert_eq!(again.records(), s.clean.records());
+}
+
+#[test]
+fn corrupted_stream_round_trip_reconciles_per_class() {
+    let mut cfg = StudyConfig::tiny();
+    cfg.faults.corrupt_chunk_p = 0.2;
+    cfg.faults.truncate_tail_p = 1.0;
+    cfg.faults.chunk_records = 128;
+    let s = StudyData::generate(&cfg).expect("valid config");
+    assert!(s.fault_report.corrupted_chunks > 0, "wire damage happened");
+    // The reader's ledger matches the injector's, class by class …
+    assert_eq!(
+        s.ingest_report.records_lost_corrupt,
+        s.fault_report.corrupted_records as u64
+    );
+    assert_eq!(
+        s.ingest_report.records_lost_truncated,
+        s.fault_report.truncated_records as u64
+    );
+    // … and records yielded + records lost = records written.
+    assert_eq!(
+        s.ingest_report.records_accounted(),
+        s.run_report.records_collected as u64
+    );
+    assert!(s.run_report.reconciles());
 }
