@@ -92,12 +92,24 @@ impl<'a> NetworkLoadModel<'a> {
     /// §4.3 attributes a car's connected time to busy/non-busy according
     /// to the 15-minute bins its connections overlap.
     pub fn busy_split_secs(&self, record: &CdrRecord) -> (u64, u64) {
+        self.busy_split_span(record.cell, record.start, record.end)
+    }
+
+    /// [`busy_split_secs`](Self::busy_split_secs) over a raw
+    /// `(cell, start, end)` span — the form columnar scans have at hand
+    /// without materializing a record.
+    pub fn busy_split_span(
+        &self,
+        cell: CellId,
+        start: conncar_types::Timestamp,
+        end: conncar_types::Timestamp,
+    ) -> (u64, u64) {
         let mut busy = 0u64;
         let mut total = 0u64;
-        for bin in BinIndex::covering(record.start, record.end) {
-            let overlap = bin.overlap_secs(record.start, record.end);
+        for bin in BinIndex::covering(start, end) {
+            let overlap = bin.overlap_secs(start, end);
             total += overlap;
-            if self.is_busy(record.cell, bin) {
+            if self.is_busy(cell, bin) {
                 busy += overlap;
             }
         }

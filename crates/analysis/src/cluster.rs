@@ -247,7 +247,7 @@ pub fn choose_k(
 }
 
 /// One Figure 11 cluster: member cells and the mean profile.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BusyCellCluster {
     /// Member cells.
     pub cells: Vec<CellId>,
@@ -258,7 +258,7 @@ pub struct BusyCellCluster {
 }
 
 /// Figure 11's complete result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BusyCellClustering {
     /// Clusters sorted by ascending peak concurrency (paper's Cluster 1
     /// = low, Cluster 2 = high).
@@ -279,16 +279,23 @@ pub fn cluster_busy_cells(
     k: usize,
     seed: u64,
 ) -> Result<BusyCellClustering> {
-    let mut cells: Vec<CellId> = Vec::new();
-    let mut points: Vec<Vec<f64>> = Vec::new();
-    for cell in idx.cells() {
-        let series = model.series(cell);
-        let mean = series.week_mean(0).unwrap_or_else(|| series.mean());
-        if mean >= min_mean_prb {
-            cells.push(cell);
-            points.push(idx.daily_profile(cell).to_vec());
-        }
-    }
+    // Qualify in sorted cell order: the index hands cells out in hash
+    // order, and k-means++ seeding depends on point order, so iterating
+    // the raw map would make the clustering differ run to run.
+    let mut qualifying: Vec<CellId> = idx
+        .cells()
+        .filter(|&cell| {
+            let series = model.series(cell);
+            let mean = series.week_mean(0).unwrap_or_else(|| series.mean());
+            mean >= min_mean_prb
+        })
+        .collect();
+    qualifying.sort_unstable();
+    let cells = qualifying;
+    let points: Vec<Vec<f64>> = cells
+        .iter()
+        .map(|&cell| idx.daily_profile(cell).to_vec())
+        .collect();
     if points.is_empty() {
         return Err(Error::EmptyInput {
             analysis: "cluster_busy_cells",

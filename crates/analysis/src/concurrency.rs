@@ -8,6 +8,7 @@
 //! nothing.
 
 use conncar_cdr::CdrDataset;
+use conncar_store::{kernels, CdrStore, Filter, QueryStats};
 use conncar_types::{
     BinIndex, CarId, CellId, DayBin, StudyPeriod, Timestamp, BINS_PER_DAY, BINS_PER_WEEK,
 };
@@ -15,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Sparse per-cell concurrent-car counts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConcurrencyIndex {
     period: StudyPeriod,
     /// Per cell: sorted `(bin, distinct car count)` pairs.
@@ -37,6 +38,20 @@ impl ConcurrencyIndex {
         }
         triples.sort();
         triples.dedup();
+        Self::from_triples(ds.period(), triples)
+    }
+
+    /// Build through the store: the triple-expansion kernel yields the
+    /// same globally sorted, deduplicated relation, so the index equals
+    /// [`ConcurrencyIndex::build`] for any shard count.
+    pub fn build_from_store(store: &CdrStore) -> (ConcurrencyIndex, QueryStats) {
+        let (triples, stats) =
+            kernels::cell_bin_car_triples(store, &Filter::all(), store.period().total_bins());
+        (Self::from_triples(store.period(), triples), stats)
+    }
+
+    /// Group sorted `(cell, bin, car)` triples into per-cell count runs.
+    fn from_triples(period: StudyPeriod, triples: Vec<(CellId, u64, CarId)>) -> ConcurrencyIndex {
         let mut map: HashMap<CellId, Vec<(u64, u32)>> = HashMap::new();
         for (cell, bin, _car) in triples {
             let v = map.entry(cell).or_default();
@@ -45,10 +60,7 @@ impl ConcurrencyIndex {
                 _ => v.push((bin, 1)),
             }
         }
-        ConcurrencyIndex {
-            period: ds.period(),
-            map,
-        }
+        ConcurrencyIndex { period, map }
     }
 
     /// The study period.
@@ -248,6 +260,24 @@ mod tests {
         assert_eq!(idx.count(cell(2), BinIndex(1)), 0);
         assert_eq!(idx.count(cell(9), BinIndex(0)), 0);
         assert_eq!(idx.cell_count(), 2);
+    }
+
+    #[test]
+    fn store_build_equals_legacy_build() {
+        let records: Vec<CdrRecord> = (0..250)
+            .map(|i| {
+                let s = (i as u64 * 731) % (13 * 86_400);
+                rec(i % 31, i % 9, s, s + 30 + (i as u64 * 11) % 3_000)
+            })
+            .collect();
+        let d = ds(records);
+        let legacy = ConcurrencyIndex::build(&d);
+        for shards in [1, 2, 7, 64] {
+            let store = CdrStore::build(&d, shards);
+            let (got, stats) = ConcurrencyIndex::build_from_store(&store);
+            assert_eq!(got, legacy, "shards={shards}");
+            assert_eq!(stats.rows_scanned as usize, d.len());
+        }
     }
 
     #[test]

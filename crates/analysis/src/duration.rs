@@ -7,11 +7,12 @@
 
 use crate::stats::Ecdf;
 use conncar_cdr::{truncate_records, CdrDataset};
+use conncar_store::{CdrStore, Filter, QueryStats};
 use conncar_types::Duration;
 use serde::{Deserialize, Serialize};
 
 /// Figure 9's duration distributions.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConnectionDurationResult {
     /// ECDF over record durations in seconds, as reported.
     pub full: Ecdf,
@@ -58,6 +59,38 @@ pub fn connection_durations(
         truncated: Ecdf::new(truncated)?,
         cap,
     })
+}
+
+/// Figure 9 through the store: one parallel scan collects both views
+/// (truncation is per-record, `min(duration, cap)`), and the ECDFs sort,
+/// so the result equals [`connection_durations`] exactly.
+pub fn connection_durations_store(
+    store: &CdrStore,
+    cap: Duration,
+) -> conncar_types::Result<(ConnectionDurationResult, QueryStats)> {
+    let cap_secs = cap.as_secs();
+    let ((full, truncated), stats) = store.scan_fold(
+        &Filter::all(),
+        || (Vec::new(), Vec::new()),
+        |(full, truncated): &mut (Vec<f64>, Vec<f64>), r| {
+            let d = r.duration().as_secs();
+            full.push(d as f64);
+            truncated.push(d.min(cap_secs) as f64);
+        },
+        |(mut fa, mut ta), (mut fb, mut tb)| {
+            fa.append(&mut fb);
+            ta.append(&mut tb);
+            (fa, ta)
+        },
+    );
+    Ok((
+        ConnectionDurationResult {
+            full: Ecdf::new(full)?,
+            truncated: Ecdf::new(truncated)?,
+            cap,
+        },
+        stats,
+    ))
 }
 
 #[cfg(test)]
@@ -113,6 +146,20 @@ mod tests {
         let r = connection_durations(&ds(&[10, 20, 30]), Duration::from_secs(600)).unwrap();
         assert_eq!(r.full.values(), r.truncated.values());
         assert_eq!(r.percentile_at_cap(), 1.0);
+    }
+
+    #[test]
+    fn store_path_matches_legacy_exactly() {
+        let durations: Vec<u64> = (0..300).map(|i| 5 + (i * 37) % 4_000).collect();
+        let d = ds(&durations);
+        let legacy = connection_durations(&d, Duration::from_secs(600)).unwrap();
+        for shards in [1, 4, 64] {
+            let store = CdrStore::build(&d, shards);
+            let (got, stats) =
+                connection_durations_store(&store, Duration::from_secs(600)).unwrap();
+            assert_eq!(got, legacy, "shards={shards}");
+            assert_eq!(stats.rows_scanned as usize, d.len());
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use conncar_types::id::HandoverKind;
 use serde::{Deserialize, Serialize};
 
 /// §4.5's summary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HandoverResult {
     /// Distribution of handovers per mobility session.
     pub per_session: Ecdf,

@@ -9,6 +9,7 @@
 use crate::busy::NetworkLoadModel;
 use crate::stats::Ecdf;
 use conncar_cdr::CdrDataset;
+use conncar_store::{kernels, CdrStore, Filter, QueryStats};
 use conncar_types::CarId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -39,28 +40,48 @@ impl CarBusyProfile {
 
 /// Compute every connected car's profile.
 pub fn car_profiles(ds: &CdrDataset, model: &NetworkLoadModel<'_>) -> Vec<CarBusyProfile> {
-    let mut out = Vec::new();
-    for (car, records) in ds.by_car() {
-        let mut days: HashSet<u64> = HashSet::new();
-        let mut busy = 0u64;
-        let mut total = 0u64;
-        for r in records {
-            let last_day = (r.end.as_secs().saturating_sub(1)) / 86_400;
-            for d in r.start.day()..=last_day {
-                days.insert(d);
-            }
-            let (b, t) = model.busy_split_secs(r);
-            busy += b;
-            total += t;
+    ds.by_car()
+        .map(|(car, records)| profile_one(car, records, model))
+        .collect()
+}
+
+/// Car profiles through the store: the per-car walk kernel applies the
+/// same per-record accounting; cars come back in ascending order, which
+/// is exactly `by_car`'s order, so the vector equals [`car_profiles`].
+pub fn car_profiles_store(
+    store: &CdrStore,
+    model: &NetworkLoadModel<'_>,
+) -> (Vec<CarBusyProfile>, QueryStats) {
+    let (per_car, stats) = kernels::fold_per_car(store, &Filter::all(), |car, records| {
+        profile_one(car, records, model)
+    });
+    (per_car.into_iter().map(|(_, p)| p).collect(), stats)
+}
+
+/// One car's joined profile from its (canonically ordered) records.
+fn profile_one(
+    car: CarId,
+    records: &[conncar_cdr::CdrRecord],
+    model: &NetworkLoadModel<'_>,
+) -> CarBusyProfile {
+    let mut days: HashSet<u64> = HashSet::new();
+    let mut busy = 0u64;
+    let mut total = 0u64;
+    for r in records {
+        let last_day = (r.end.as_secs().saturating_sub(1)) / 86_400;
+        for d in r.start.day()..=last_day {
+            days.insert(d);
         }
-        out.push(CarBusyProfile {
-            car,
-            days_active: days.len() as u32,
-            busy_secs: busy,
-            total_secs: total,
-        });
+        let (b, t) = model.busy_split_secs(r);
+        busy += b;
+        total += t;
     }
-    out
+    CarBusyProfile {
+        car,
+        days_active: days.len() as u32,
+        busy_secs: busy,
+        total_secs: total,
+    }
 }
 
 /// Figure 6: histogram of days-on-network. `counts[d]` = number of cars
@@ -149,7 +170,7 @@ pub fn segment(profiles: &[CarBusyProfile], cutoff_days: u32, hi: f64, lo: f64) 
 }
 
 /// Figure 7: the distribution of per-car busy-time fraction.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BusyTimeResult {
     /// ECDF over per-car busy fraction.
     pub ecdf: Ecdf,
@@ -301,5 +322,12 @@ mod tests {
         assert_eq!(p.days_active, 2);
         assert_eq!(p.total_secs, 30 * 60 + 10 * 60);
         assert!(p.busy_secs <= p.total_secs);
+        // The store path reproduces the same profiles, any shard count.
+        for shards in [1, 5] {
+            let store = CdrStore::build(&ds, shards);
+            let (got, stats) = car_profiles_store(&store, &model);
+            assert_eq!(got, profiles, "shards={shards}");
+            assert_eq!(stats.rows_scanned as usize, ds.len());
+        }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::stats::{Ecdf, LinearFit, StreamingStats};
 use conncar_cdr::{truncate_records, CdrDataset};
+use conncar_store::{kernels, CdrStore, Filter, QueryStats};
 use conncar_types::{CarId, CellId, DayOfWeek, Duration};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -20,7 +21,7 @@ pub struct DailyPresence {
 }
 
 /// Figure 2: per-day presence percentages with OLS trend lines.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DailyPresenceResult {
     /// One entry per study day.
     pub days: Vec<DailyPresence>,
@@ -53,29 +54,92 @@ impl DailyPresenceResult {
     }
 }
 
+/// Per-day distinct-car/cell sets: the shared accumulator of the legacy
+/// scan and the store fold.
+struct PresenceSets {
+    cars_per_day: Vec<HashSet<CarId>>,
+    cells_per_day: Vec<HashSet<CellId>>,
+    all_cells: HashSet<CellId>,
+}
+
+impl PresenceSets {
+    fn new(days_n: usize) -> PresenceSets {
+        PresenceSets {
+            cars_per_day: vec![HashSet::new(); days_n],
+            cells_per_day: vec![HashSet::new(); days_n],
+            all_cells: HashSet::new(),
+        }
+    }
+
+    /// Credit one record to every day it touches (records can straddle
+    /// midnight).
+    fn add(&mut self, r: &conncar_cdr::CdrRecord) {
+        self.all_cells.insert(r.cell);
+        let days_n = self.cars_per_day.len();
+        let last_day = (r.end.as_secs().saturating_sub(1)) / 86_400;
+        for day in r.start.day()..=last_day {
+            if (day as usize) < days_n {
+                self.cars_per_day[day as usize].insert(r.car);
+                self.cells_per_day[day as usize].insert(r.cell);
+            }
+        }
+    }
+
+    /// Set-union merge: exact because distinct counts are taken after.
+    fn merge(mut self, other: PresenceSets) -> PresenceSets {
+        for (a, b) in self.cars_per_day.iter_mut().zip(other.cars_per_day) {
+            a.extend(b);
+        }
+        for (a, b) in self.cells_per_day.iter_mut().zip(other.cells_per_day) {
+            a.extend(b);
+        }
+        self.all_cells.extend(other.all_cells);
+        self
+    }
+}
+
 /// Compute Figure 2 from a cleaned dataset.
 ///
 /// `total_cars` is the fleet size (cars that never connected still count
 /// in the denominator, as in the paper's random 1M sample).
 pub fn daily_presence(ds: &CdrDataset, total_cars: usize) -> DailyPresenceResult {
-    let days_n = ds.period().days() as usize;
-    let mut cars_per_day: Vec<HashSet<CarId>> = vec![HashSet::new(); days_n];
-    let mut cells_per_day: Vec<HashSet<CellId>> = vec![HashSet::new(); days_n];
-    let mut all_cells: HashSet<CellId> = HashSet::new();
+    let mut sets = PresenceSets::new(ds.period().days() as usize);
     for r in ds.records() {
-        all_cells.insert(r.cell);
-        // A record can straddle midnight; credit every day it touches.
-        let last_day = (r.end.as_secs().saturating_sub(1)) / 86_400;
-        for day in r.start.day()..=last_day {
-            if (day as usize) < days_n {
-                cars_per_day[day as usize].insert(r.car);
-                cells_per_day[day as usize].insert(r.cell);
-            }
-        }
+        sets.add(r);
     }
+    assemble_presence(ds.period(), sets, total_cars)
+}
+
+/// Figure 2 through the store: the same per-day distinct sets built by a
+/// parallel shard fold. Cars are shard-disjoint and cell sets merge by
+/// union, so the assembled result equals [`daily_presence`] exactly.
+pub fn daily_presence_store(
+    store: &CdrStore,
+    total_cars: usize,
+) -> (DailyPresenceResult, QueryStats) {
+    let days_n = store.period().days() as usize;
+    let (sets, stats) = store.scan_fold(
+        &Filter::all(),
+        || PresenceSets::new(days_n),
+        |acc, r| acc.add(&r),
+        PresenceSets::merge,
+    );
+    (assemble_presence(store.period(), sets, total_cars), stats)
+}
+
+/// Shared tail of both presence paths: counts, trends, assembly.
+fn assemble_presence(
+    period: conncar_types::StudyPeriod,
+    sets: PresenceSets,
+    total_cars: usize,
+) -> DailyPresenceResult {
+    let PresenceSets {
+        cars_per_day,
+        cells_per_day,
+        all_cells,
+    } = sets;
     let total_cells = all_cells.len();
-    let days: Vec<DailyPresence> = ds
-        .period()
+    let days: Vec<DailyPresence> = period
         .iter_days()
         .map(|(d, weekday)| DailyPresence {
             day: d,
@@ -153,7 +217,7 @@ pub fn weekday_table(presence: &DailyPresenceResult) -> Vec<WeekdayRow> {
 
 /// Figure 3: distribution of per-car total connected time as a fraction
 /// of the study period, full and truncated views.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConnectedTimeResult {
     /// ECDF over per-car connected fraction, durations as reported.
     pub full: Ecdf,
@@ -205,6 +269,43 @@ pub fn connected_time_cdf(
         truncated: Ecdf::new(truncated)?,
         cap,
     })
+}
+
+/// Figure 3 through the store: the per-car session walk kernel computes
+/// each car's full and truncated sums; padding and ECDF construction are
+/// unchanged (the ECDF sorts, so visit order cannot matter).
+pub fn connected_time_cdf_store(
+    store: &CdrStore,
+    total_cars: usize,
+    cap: Duration,
+) -> conncar_types::Result<(ConnectedTimeResult, QueryStats)> {
+    let study_secs = store.period().duration().as_secs() as f64;
+    let (per_car, stats) = kernels::fold_per_car(store, &Filter::all(), |_car, records| {
+        let f: u64 = records.iter().map(|r| r.duration().as_secs()).sum();
+        let t: u64 = truncate_records(records, cap)
+            .iter()
+            .map(|r| r.duration().as_secs())
+            .sum();
+        (f, t)
+    });
+    let mut full: Vec<f64> = Vec::with_capacity(total_cars.max(per_car.len()));
+    let mut truncated: Vec<f64> = Vec::with_capacity(total_cars.max(per_car.len()));
+    for (_car, (f, t)) in &per_car {
+        full.push(*f as f64 / study_secs);
+        truncated.push(*t as f64 / study_secs);
+    }
+    for _ in full.len()..total_cars {
+        full.push(0.0);
+        truncated.push(0.0);
+    }
+    Ok((
+        ConnectedTimeResult {
+            full: Ecdf::new(full)?,
+            truncated: Ecdf::new(truncated)?,
+            cap,
+        },
+        stats,
+    ))
 }
 
 #[cfg(test)]
@@ -307,6 +408,24 @@ mod tests {
         assert!((mt - (600.0 + 300.0 + 0.0) / 3.0 / study).abs() < 1e-12);
         assert!(mt <= mf);
         assert_eq!(r.full.len(), 3); // includes the never-connected car
+    }
+
+    #[test]
+    fn store_paths_match_legacy_exactly() {
+        let records: Vec<CdrRecord> = (0..160)
+            .map(|i| rec(i % 19, i % 7, (i % 7) as u64, (i % 24) as u64, 40 + (i as u64 * 13) % 2_000))
+            .collect();
+        let ds = week_ds(records);
+        let legacy = daily_presence(&ds, 25);
+        let legacy_ct = connected_time_cdf(&ds, 25, Duration::from_secs(600)).unwrap();
+        for shards in [1, 3, 16] {
+            let store = CdrStore::build(&ds, shards);
+            let (got, stats) = daily_presence_store(&store, 25);
+            assert_eq!(got, legacy, "shards={shards}");
+            assert_eq!(stats.rows_scanned as usize, ds.len());
+            let (got_ct, _) = connected_time_cdf_store(&store, 25, Duration::from_secs(600)).unwrap();
+            assert_eq!(got_ct, legacy_ct, "shards={shards}");
+        }
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Store vs legacy query benchmark.
+//!
+//! Times the rewired analyses and representative ad-hoc queries twice —
+//! once over the flat record vector (the legacy path) and once through
+//! the sharded columnar [`CdrStore`] — and emits a machine-readable
+//! `BENCH_store.json` (path overridable via `BENCH_STORE_JSON`) with
+//! per-experiment wall times, rows/s, and speedups.
+//!
+//! Plain `fn main` on purpose: the numbers go to the JSON artifact, not
+//! a criterion report, so the binary stays runnable anywhere `rustc` is.
+
+use conncar::StudyData;
+use conncar_analysis::concurrency::ConcurrencyIndex;
+use conncar_analysis::duration::{connection_durations, connection_durations_store};
+use conncar_analysis::temporal::{daily_presence, daily_presence_store};
+use conncar_bench::bench_config;
+use conncar_store::{CdrStore, Filter};
+use std::time::Instant;
+
+/// Best-of-N wall time in nanoseconds (min absorbs scheduler noise
+/// better than mean at these iteration counts).
+fn best_of<R>(iters: usize, mut f: impl FnMut() -> R) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let r = f();
+        let ns = t.elapsed().as_nanos() as u64;
+        std::hint::black_box(&r);
+        best = best.min(ns.max(1));
+    }
+    best
+}
+
+struct Row {
+    id: &'static str,
+    rows: u64,
+    legacy_ns: u64,
+    store_ns: u64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.legacy_ns as f64 / self.store_ns as f64
+    }
+    fn json(&self) -> String {
+        let rps = |ns: u64| (self.rows as f64 / (ns as f64 / 1e9)).round();
+        format!(
+            concat!(
+                "    {{\"experiment\": \"{}\", \"rows\": {}, ",
+                "\"legacy_wall_ns\": {}, \"store_wall_ns\": {}, ",
+                "\"legacy_rows_per_sec\": {}, \"store_rows_per_sec\": {}, ",
+                "\"speedup\": {:.3}}}"
+            ),
+            self.id,
+            self.rows,
+            self.legacy_ns,
+            self.store_ns,
+            rps(self.legacy_ns),
+            rps(self.store_ns),
+            self.speedup()
+        )
+    }
+}
+
+fn main() {
+    let cfg = bench_config();
+    let study = StudyData::generate(&cfg).expect("bench study");
+    let ds = &study.clean;
+    let rows = ds.len() as u64;
+    let total_cars = study.total_cars();
+    let cap = cfg.truncation;
+
+    let t = Instant::now();
+    let store = CdrStore::build_auto(ds);
+    let build_ns = t.elapsed().as_nanos() as u64;
+    eprintln!(
+        "fixture: {} records, {} cars, {} shards (built in {:.1} ms)",
+        rows,
+        ds.car_count(),
+        store.shard_count(),
+        build_ns as f64 / 1e6
+    );
+
+    // Ad-hoc query targets pulled from the data itself.
+    let probe = ds.records()[ds.len() / 2];
+    let (car, cell) = (probe.car, probe.cell);
+    let mid = cfg.period.duration().as_secs() / 2;
+    let (win_lo, win_hi) = (
+        conncar_types::Timestamp::from_secs(mid),
+        conncar_types::Timestamp::from_secs(mid + 6 * 3600),
+    );
+
+    let iters = 7;
+    let mut out: Vec<Row> = Vec::new();
+
+    out.push(Row {
+        id: "fig2_daily_presence",
+        rows,
+        legacy_ns: best_of(iters, || daily_presence(ds, total_cars)),
+        store_ns: best_of(iters, || daily_presence_store(&store, total_cars)),
+    });
+    out.push(Row {
+        id: "fig9_connection_durations",
+        rows,
+        legacy_ns: best_of(iters, || connection_durations(ds, cap).expect("cdf")),
+        store_ns: best_of(iters, || {
+            connection_durations_store(&store, cap).expect("cdf")
+        }),
+    });
+    out.push(Row {
+        id: "concurrency_index",
+        rows,
+        legacy_ns: best_of(iters, || ConcurrencyIndex::build(ds)),
+        store_ns: best_of(iters, || ConcurrencyIndex::build_from_store(&store)),
+    });
+    out.push(Row {
+        id: "car_history_lookup",
+        rows,
+        legacy_ns: best_of(iters, || {
+            ds.records()
+                .iter()
+                .filter(|r| r.car == car)
+                .copied()
+                .collect::<Vec<_>>()
+        }),
+        store_ns: best_of(iters, || store.collect(&Filter::all().car(car))),
+    });
+    out.push(Row {
+        id: "cell_window_count",
+        rows,
+        legacy_ns: best_of(iters, || {
+            ds.records()
+                .iter()
+                .filter(|r| r.cell == cell && r.start < win_hi && r.end > win_lo)
+                .count()
+        }),
+        store_ns: best_of(iters, || {
+            store.count(&Filter::all().cell(cell).window(win_lo, win_hi))
+        }),
+    });
+
+    let best = out
+        .iter()
+        .max_by(|a, b| a.speedup().total_cmp(&b.speedup()))
+        .expect("rows");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"store_query\",\n",
+            "  \"fixture\": {{\"records\": {}, \"cars\": {}, \"shards\": {}, \"days\": {}}},\n",
+            "  \"store_build_ns\": {},\n",
+            "  \"best_speedup\": {{\"experiment\": \"{}\", \"speedup\": {:.3}}},\n",
+            "  \"experiments\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        rows,
+        ds.car_count(),
+        store.shard_count(),
+        cfg.period.days(),
+        build_ns,
+        best.id,
+        best.speedup(),
+        out.iter().map(|r| r.json()).collect::<Vec<_>>().join(",\n")
+    );
+
+    let path =
+        std::env::var("BENCH_STORE_JSON").unwrap_or_else(|_| "target/BENCH_store.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_store.json");
+    println!("{json}");
+    eprintln!("wrote {path}");
+}

@@ -7,16 +7,18 @@ use conncar_analysis::concurrency::ConcurrencyIndex;
 use conncar_analysis::duration::{connection_durations, ConnectionDurationResult};
 use conncar_analysis::handover::{handover_analysis, HandoverResult};
 use conncar_analysis::matrix::{car_matrix, WeeklyMatrix};
+use conncar_analysis::duration::connection_durations_store;
 use conncar_analysis::segmentation::{
-    busy_time_distribution, car_profiles, days_histogram, segment, BusyTimeResult,
-    CarBusyProfile, SegmentRow,
+    busy_time_distribution, car_profiles, car_profiles_store, days_histogram, segment,
+    BusyTimeResult, CarBusyProfile, SegmentRow,
 };
 use conncar_analysis::temporal::{
-    connected_time_cdf, daily_presence, weekday_table, ConnectedTimeResult, DailyPresenceResult,
-    WeekdayRow,
+    connected_time_cdf, connected_time_cdf_store, daily_presence, daily_presence_store,
+    weekday_table, ConnectedTimeResult, DailyPresenceResult, WeekdayRow,
 };
 use conncar_cdr::SessionConfig;
 use conncar_fleet::Archetype;
+use conncar_store::{CdrStore, QueryStats};
 use conncar_types::{CarId, Result};
 
 /// Busy-hour attribution thresholds of §4.3: ≥ 65% busy ⇒ "busy car",
@@ -57,11 +59,75 @@ pub struct StudyAnalyses {
     pub carriers: CarrierUsage,
     /// Figure 5's three exemplar cars and their matrices.
     pub sample_cars: Vec<(CarId, WeeklyMatrix)>,
+    /// Aggregate cost of every store-backed query that produced the
+    /// results above (all zeros on the legacy path).
+    pub query_stats: QueryStats,
 }
 
 impl StudyAnalyses {
-    /// Run everything.
+    /// Run everything. The clean dataset is laid out into a
+    /// [`CdrStore`] once and the hot analyses execute through it; the
+    /// results are byte-identical to [`StudyAnalyses::run_legacy`]
+    /// (enforced by `tests/store_equivalence.rs`).
     pub fn run(study: &StudyData) -> Result<StudyAnalyses> {
+        let store = CdrStore::build_auto(&study.clean);
+        StudyAnalyses::run_with_store(study, &store)
+    }
+
+    /// Run everything against an already-built store (callers that keep
+    /// the store around for ad-hoc queries build it once and share it).
+    pub fn run_with_store(study: &StudyData, store: &CdrStore) -> Result<StudyAnalyses> {
+        let model = study.load_model();
+        let cap = study.config.truncation;
+        let mut query_stats = QueryStats::default();
+
+        let (presence, s) = daily_presence_store(store, study.total_cars());
+        query_stats.absorb(&s);
+        let weekday = weekday_table(&presence);
+        let (connected_time, s) = connected_time_cdf_store(store, study.total_cars(), cap)?;
+        query_stats.absorb(&s);
+        let (profiles, s) = car_profiles_store(store, &model);
+        query_stats.absorb(&s);
+        let study_days = study.config.period.days();
+        let hist = days_histogram(&profiles, study_days);
+        let cutoff = |paper_days: u32| -> u32 {
+            ((paper_days as u64 * study_days as u64).div_ceil(90)) as u32
+        };
+        let segmentation = [
+            segment(&profiles, cutoff(10), BUSY_CAR_HI, BUSY_CAR_LO),
+            segment(&profiles, cutoff(30), BUSY_CAR_HI, BUSY_CAR_LO),
+        ];
+        let busy_time = busy_time_distribution(&profiles)?;
+        let (durations, s) = connection_durations_store(store, cap)?;
+        query_stats.absorb(&s);
+        let (concurrency, s) = ConcurrencyIndex::build_from_store(store);
+        query_stats.absorb(&s);
+        let clustering = relax_clustering(&concurrency, &model, study.config.seed);
+        let handovers = handover_analysis(&study.clean, SessionConfig::MOBILITY)?;
+        let carriers = carrier_usage(&study.clean);
+        let sample_cars = sample_car_matrices(study);
+
+        Ok(StudyAnalyses {
+            presence,
+            weekday_table: weekday,
+            connected_time,
+            profiles,
+            days_histogram: hist,
+            segmentation,
+            busy_time,
+            durations,
+            concurrency,
+            clustering,
+            handovers,
+            carriers,
+            sample_cars,
+            query_stats,
+        })
+    }
+
+    /// The original flat-scan path, kept as the equivalence baseline:
+    /// every analysis walks `study.clean` directly.
+    pub fn run_legacy(study: &StudyData) -> Result<StudyAnalyses> {
         let ds = &study.clean;
         let model = study.load_model();
         let cap = study.config.truncation;
@@ -82,17 +148,7 @@ impl StudyAnalyses {
         let busy_time = busy_time_distribution(&profiles)?;
         let durations = connection_durations(ds, cap)?;
         let concurrency = ConcurrencyIndex::build(ds);
-        // Figure 11 qualification: start at the paper's 70% mean weekly
-        // PRB and relax until some cells qualify (small synthetic runs
-        // may have none at 70%).
-        let mut clustering = None;
-        for threshold in [0.70, 0.60, 0.50, 0.40] {
-            if let Ok(c) = cluster_busy_cells(&concurrency, &model, threshold, 2, study.config.seed)
-            {
-                clustering = Some(c);
-                break;
-            }
-        }
+        let clustering = relax_clustering(&concurrency, &model, study.config.seed);
         let handovers = handover_analysis(ds, SessionConfig::MOBILITY)?;
         let carriers = carrier_usage(ds);
         let sample_cars = sample_car_matrices(study);
@@ -111,8 +167,25 @@ impl StudyAnalyses {
             handovers,
             carriers,
             sample_cars,
+            query_stats: QueryStats::default(),
         })
     }
+}
+
+/// Figure 11 qualification: start at the paper's 70% mean weekly PRB and
+/// relax until some cells qualify (small synthetic runs may have none at
+/// 70%).
+fn relax_clustering(
+    concurrency: &ConcurrencyIndex,
+    model: &conncar_analysis::busy::NetworkLoadModel<'_>,
+    seed: u64,
+) -> Option<BusyCellClustering> {
+    for threshold in [0.70, 0.60, 0.50, 0.40] {
+        if let Ok(c) = cluster_busy_cells(concurrency, model, threshold, 2, seed) {
+            return Some(c);
+        }
+    }
+    None
 }
 
 /// Figure 5's three exemplar cars, mirroring the paper's picks:
@@ -197,6 +270,16 @@ mod tests {
         assert!(a.handovers.sessions > 10);
         assert!(a.carriers.cars > 50);
         assert_eq!(a.sample_cars.len(), 3);
+    }
+
+    #[test]
+    fn store_query_counters_are_populated() {
+        let (study, a) = analyses();
+        // Five store-backed queries ran; each scanned the full dataset.
+        assert_eq!(a.query_stats.rows_scanned, 5 * study.clean.len() as u64);
+        assert_eq!(a.query_stats.rows_matched, a.query_stats.rows_scanned);
+        assert!(a.query_stats.shards_scanned > 0);
+        assert!(a.query_stats.scan_nanos > 0);
     }
 
     #[test]

@@ -137,6 +137,23 @@ impl StudyConfig {
                 why: "truncation cap must be positive".into(),
             });
         }
+        // A loss day outside the window would silently do nothing (the
+        // injector ignores it), which always means a misconfigured
+        // study — reject it up front.
+        if let Some(&d) = self
+            .faults
+            .loss_days
+            .iter()
+            .find(|&&d| d >= self.period.days() as u64)
+        {
+            return Err(conncar_types::Error::InvalidConfig {
+                what: "faults.loss_days",
+                why: format!(
+                    "loss day {d} is outside the {}-day study period",
+                    self.period.days()
+                ),
+            });
+        }
         Ok(())
     }
 }
@@ -319,6 +336,26 @@ mod tests {
         let mut cfg = StudyConfig::tiny();
         cfg.fleet.mix.weights[0] = 2.0;
         assert!(StudyData::generate(&cfg).is_err());
+    }
+
+    #[test]
+    fn loss_days_outside_period_rejected() {
+        // Day 7 of a 7-day study (days 0..=6) is out of range.
+        let mut cfg = StudyConfig::tiny();
+        cfg.faults.loss_days = vec![2, 7];
+        assert!(cfg.validate().is_err());
+        // The last in-range day is fine.
+        cfg.faults.loss_days = vec![6];
+        assert!(cfg.validate().is_ok());
+        // Every stock configuration stays valid.
+        for cfg in [
+            StudyConfig::tiny(),
+            StudyConfig::small(),
+            StudyConfig::default(),
+            StudyConfig::paper(),
+        ] {
+            assert!(cfg.validate().is_ok());
+        }
     }
 
     /// Tiny config with every fault class in the taxonomy switched on.

@@ -1,0 +1,247 @@
+//! One shard of the store: struct-of-arrays columns plus its indexes.
+//!
+//! A shard owns every record of the cars hashed to it, in the dataset's
+//! canonical `(car, start, cell)` order. The four row attributes live in
+//! parallel column vectors — scans that only touch time and duration
+//! never pull car or cell ids through the cache. Three indexes ride on
+//! top, all invariant-checked in the crate's tests:
+//!
+//! * **car directory** — `(car, first_row, rows)` spans, ascending by
+//!   car; groups are contiguous because rows are in canonical order;
+//! * **cell postings** — for each distinct cell, the ascending row ids
+//!   that connect to it;
+//! * **time index** — a permutation of row ids sorted by start second,
+//!   with the shard's `[min_start, max_end)` envelope for pruning.
+
+use conncar_cdr::CdrRecord;
+use conncar_types::{CarId, CellId};
+
+/// A contiguous run of rows belonging to one car.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CarGroup {
+    /// The car every row in the span belongs to.
+    pub car: CarId,
+    /// First row id of the span.
+    pub first: u32,
+    /// Number of rows in the span.
+    pub rows: u32,
+}
+
+/// The ascending row ids connecting to one cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellPostings {
+    /// The cell.
+    pub cell: CellId,
+    /// Row ids, ascending.
+    pub rows: Vec<u32>,
+}
+
+/// One shard: columns in canonical row order plus indexes.
+#[derive(Debug, Clone, Default)]
+pub struct Shard {
+    pub(crate) cars: Vec<CarId>,
+    pub(crate) cells: Vec<CellId>,
+    pub(crate) starts: Vec<u64>,
+    pub(crate) ends: Vec<u64>,
+    pub(crate) car_dir: Vec<CarGroup>,
+    pub(crate) cell_dir: Vec<CellPostings>,
+    pub(crate) time_index: Vec<u32>,
+    pub(crate) min_start: u64,
+    pub(crate) max_end: u64,
+}
+
+impl Shard {
+    /// Build a shard from records already in canonical order.
+    pub(crate) fn build(records: &[&CdrRecord]) -> Shard {
+        let n = records.len();
+        let mut shard = Shard {
+            cars: Vec::with_capacity(n),
+            cells: Vec::with_capacity(n),
+            starts: Vec::with_capacity(n),
+            ends: Vec::with_capacity(n),
+            car_dir: Vec::new(),
+            cell_dir: Vec::new(),
+            time_index: Vec::with_capacity(n),
+            min_start: u64::MAX,
+            max_end: 0,
+        };
+        for (row, r) in records.iter().enumerate() {
+            shard.cars.push(r.car);
+            shard.cells.push(r.cell);
+            let (s, e) = (r.start.as_secs(), r.end.as_secs());
+            shard.starts.push(s);
+            shard.ends.push(e);
+            shard.min_start = shard.min_start.min(s);
+            shard.max_end = shard.max_end.max(e);
+            match shard.car_dir.last_mut() {
+                Some(g) if g.car == r.car => g.rows += 1,
+                _ => shard.car_dir.push(CarGroup {
+                    car: r.car,
+                    first: row as u32,
+                    rows: 1,
+                }),
+            }
+        }
+        // Cell postings: sort (cell, row) pairs, then group.
+        let mut pairs: Vec<(CellId, u32)> = shard
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(row, &cell)| (cell, row as u32))
+            .collect();
+        pairs.sort_unstable();
+        for (cell, row) in pairs {
+            match shard.cell_dir.last_mut() {
+                Some(p) if p.cell == cell => p.rows.push(row),
+                _ => shard.cell_dir.push(CellPostings {
+                    cell,
+                    rows: vec![row],
+                }),
+            }
+        }
+        // Time index: permutation sorted by (start, row).
+        shard.time_index = (0..n as u32).collect();
+        shard.time_index.sort_by_key(|&row| (shard.starts[row as usize], row));
+        shard
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cars.len()
+    }
+
+    /// Whether the shard holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cars.is_empty()
+    }
+
+    /// Materialize one row back into a [`CdrRecord`].
+    #[inline]
+    pub fn record(&self, row: usize) -> CdrRecord {
+        CdrRecord {
+            car: self.cars[row],
+            cell: self.cells[row],
+            start: conncar_types::Timestamp::from_secs(self.starts[row]),
+            end: conncar_types::Timestamp::from_secs(self.ends[row]),
+        }
+    }
+
+    /// The per-car row spans, ascending by car.
+    #[inline]
+    pub fn car_groups(&self) -> &[CarGroup] {
+        &self.car_dir
+    }
+
+    /// The per-cell postings, ascending by cell.
+    #[inline]
+    pub fn cell_postings(&self) -> &[CellPostings] {
+        &self.cell_dir
+    }
+
+    /// Earliest start second in the shard (`u64::MAX` when empty).
+    #[inline]
+    pub fn min_start(&self) -> u64 {
+        self.min_start
+    }
+
+    /// Latest end second in the shard (0 when empty).
+    #[inline]
+    pub fn max_end(&self) -> u64 {
+        self.max_end
+    }
+
+    /// The row-id permutation sorted by start second.
+    #[inline]
+    pub fn time_index(&self) -> &[u32] {
+        &self.time_index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_types::{BaseStationId, Carrier, Timestamp};
+
+    fn rec(car: u32, station: u32, start: u64, end: u64) -> CdrRecord {
+        CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(BaseStationId(station), 0, Carrier::C3),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(end),
+        }
+    }
+
+    fn shard(records: &[CdrRecord]) -> Shard {
+        Shard::build(&records.iter().collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn columns_round_trip_rows() {
+        let records = vec![rec(1, 1, 0, 10), rec(1, 2, 20, 30), rec(5, 1, 5, 15)];
+        let s = shard(&records);
+        assert_eq!(s.len(), 3);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(s.record(i), *r);
+        }
+    }
+
+    #[test]
+    fn car_directory_spans_are_contiguous_and_exhaustive() {
+        let records = vec![
+            rec(1, 1, 0, 10),
+            rec(1, 2, 20, 30),
+            rec(3, 1, 0, 10),
+            rec(7, 9, 5, 6),
+        ];
+        let s = shard(&records);
+        let groups: Vec<(u32, u32, u32)> = s
+            .car_groups()
+            .iter()
+            .map(|g| (g.car.0, g.first, g.rows))
+            .collect();
+        assert_eq!(groups, vec![(1, 0, 2), (3, 2, 1), (7, 3, 1)]);
+        let covered: u32 = s.car_groups().iter().map(|g| g.rows).sum();
+        assert_eq!(covered as usize, s.len());
+    }
+
+    #[test]
+    fn cell_postings_are_sorted_and_complete() {
+        let records = vec![rec(1, 2, 0, 10), rec(1, 1, 20, 30), rec(3, 2, 1, 4)];
+        let s = shard(&records);
+        let cells: Vec<u32> = s.cell_postings().iter().map(|p| p.cell.station.0).collect();
+        assert_eq!(cells, vec![1, 2]);
+        let total: usize = s.cell_postings().iter().map(|p| p.rows.len()).sum();
+        assert_eq!(total, s.len());
+        for p in s.cell_postings() {
+            assert!(p.rows.windows(2).all(|w| w[0] < w[1]));
+            for &row in &p.rows {
+                assert_eq!(s.cells[row as usize], p.cell);
+            }
+        }
+    }
+
+    #[test]
+    fn time_index_sorts_by_start_and_envelope_bounds() {
+        let records = vec![rec(1, 1, 50, 60), rec(1, 1, 10, 95), rec(2, 1, 30, 40)];
+        let s = shard(&records);
+        let starts: Vec<u64> = s
+            .time_index()
+            .iter()
+            .map(|&row| s.starts[row as usize])
+            .collect();
+        assert_eq!(starts, vec![10, 30, 50]);
+        assert_eq!(s.min_start(), 10);
+        assert_eq!(s.max_end(), 95);
+    }
+
+    #[test]
+    fn empty_shard_envelope() {
+        let s = shard(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s.min_start(), u64::MAX);
+        assert_eq!(s.max_end(), 0);
+        assert!(s.car_groups().is_empty());
+    }
+}

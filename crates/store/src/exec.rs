@@ -1,0 +1,85 @@
+//! Parallel shard execution on scoped threads.
+//!
+//! The store has no external thread-pool dependency: workers are scoped
+//! `std::thread` spawns claiming shard ids from an atomic cursor
+//! (work-stealing over uneven shards). Each task writes its result into
+//! its own slot, so the caller always sees results in task order and
+//! can merge deterministically no matter how work was scheduled.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads for `tasks` independent tasks: the machine's
+/// parallelism capped by the task count, overridable (mostly for tests
+/// and benches) with `CONNCAR_STORE_THREADS`.
+pub(crate) fn workers_for(tasks: usize) -> usize {
+    let hw = std::env::var("CONNCAR_STORE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    hw.min(tasks).max(1)
+}
+
+/// Run `f(0..tasks)` across up to [`workers_for`] threads and return the
+/// results in task order. Falls back to a plain sequential map when one
+/// worker suffices, so single-core machines pay no synchronization.
+pub(crate) fn par_map<T, F>(tasks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers_for(tasks);
+    if workers <= 1 {
+        return (0..tasks).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let task = cursor.fetch_add(1, Ordering::Relaxed);
+                if task >= tasks {
+                    break;
+                }
+                let out = f(task);
+                *slots[task].lock().expect("unpoisoned result slot") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("unpoisoned result slot")
+                .expect("every task ran")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_task_order() {
+        let out = par_map(64, |i| i * i);
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let out: Vec<usize> = par_map(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_count_is_bounded_by_tasks() {
+        assert_eq!(workers_for(1), 1);
+        assert!(workers_for(1_000) >= 1);
+    }
+}

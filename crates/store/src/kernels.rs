@@ -1,0 +1,197 @@
+//! Group-by aggregation kernels the analyses are built from.
+//!
+//! Two access patterns dominate §4: the **per-car session walk** (Figure
+//! 3's connected time, Figure 5/6's busy profiles, Figure 9's
+//! durations) and the **per-(cell, 15-minute-bin) distinct-car count**
+//! (Figures 8, 10 and 11). Both are provided here as streaming kernels
+//! over the sharded store, with deterministic shard-order merges, so
+//! rewired analyses share one scan implementation instead of each
+//! re-walking a flat record vector.
+
+use crate::query::{Filter, QueryStats};
+use crate::store::CdrStore;
+use conncar_cdr::CdrRecord;
+use conncar_types::{BinIndex, CarId, CellId};
+
+/// Walk every car's matching records in canonical order and fold each
+/// car's slice through `f`. Cars whose records are all filtered away are
+/// skipped, mirroring `CdrDataset::by_car` (which never yields empty
+/// groups). Shards run in parallel; the result is sorted by car and
+/// identical for any shard or thread count.
+pub fn fold_per_car<A, F>(store: &CdrStore, filter: &Filter, f: F) -> (Vec<(CarId, A)>, QueryStats)
+where
+    A: Send,
+    F: Fn(CarId, &[CdrRecord]) -> A + Sync,
+{
+    let t0 = std::time::Instant::now();
+    let (shard_ids, pruned) = store.plan_shards(filter);
+    let per_shard: Vec<(Vec<(CarId, A)>, QueryStats)> =
+        crate::exec::par_map(shard_ids.len(), |i| {
+            let shard = &store.shards()[shard_ids[i]];
+            let mut out: Vec<(CarId, A)> = Vec::new();
+            let mut stats = QueryStats {
+                shards_scanned: 1,
+                ..QueryStats::default()
+            };
+            let mut buf: Vec<CdrRecord> = Vec::new();
+            for g in shard.car_groups() {
+                if !filter.car_matches(g.car) {
+                    // Directory skip: these rows are never touched.
+                    continue;
+                }
+                buf.clear();
+                stats.rows_scanned += g.rows as u64;
+                for row in g.first..g.first + g.rows {
+                    let row = row as usize;
+                    if filter.row_matches(shard.cells[row], shard.starts[row], shard.ends[row]) {
+                        buf.push(shard.record(row));
+                    }
+                }
+                stats.rows_matched += buf.len() as u64;
+                if !buf.is_empty() {
+                    out.push((g.car, f(g.car, &buf)));
+                }
+            }
+            (out, stats)
+        });
+    let mut stats = QueryStats {
+        shards_pruned: pruned,
+        ..QueryStats::default()
+    };
+    let mut merged: Vec<(CarId, A)> = Vec::new();
+    for (part, s) in per_shard {
+        stats.absorb(&s);
+        merged.extend(part);
+    }
+    // Cars are shard-disjoint, so this sort is a permutation with all
+    // keys distinct — deterministic whatever the shard layout was.
+    merged.sort_by_key(|&(car, _)| car);
+    stats.scan_nanos = t0.elapsed().as_nanos() as u64;
+    (merged, stats)
+}
+
+/// Expand every matching record into the deduplicated, globally sorted
+/// `(cell, 15-min bin, car)` triples with `bin < bin_limit` — the §4.4
+/// concurrency relation ("cars are concurrent if their connections
+/// straddle a 15-minute time bin"). Byte-identical to expanding the flat
+/// record vector and sorting, for any shard count.
+pub fn cell_bin_car_triples(
+    store: &CdrStore,
+    filter: &Filter,
+    bin_limit: u64,
+) -> (Vec<(CellId, u64, CarId)>, QueryStats) {
+    let (mut triples, stats) = store.scan_fold(
+        filter,
+        Vec::new,
+        |acc: &mut Vec<(CellId, u64, CarId)>, r| {
+            for bin in BinIndex::covering(r.start, r.end) {
+                if bin.0 < bin_limit {
+                    acc.push((r.cell, bin.0, r.car));
+                }
+            }
+        },
+        |mut a, mut b| {
+            a.append(&mut b);
+            a
+        },
+    );
+    // Cells cross shards, so deduplication must be global.
+    triples.sort();
+    triples.dedup();
+    (triples, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_cdr::CdrDataset;
+    use conncar_types::{BaseStationId, Carrier, DayOfWeek, StudyPeriod, Timestamp};
+
+    fn rec(car: u32, station: u32, start: u64, dur: u64) -> CdrRecord {
+        CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(BaseStationId(station), 0, Carrier::C3),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(start + dur),
+        }
+    }
+
+    fn sample_ds() -> CdrDataset {
+        let records = (0..300)
+            .map(|i| rec(i % 23, i % 6, (i as u64 * 3671) % 500_000, 20 + (i as u64 % 1_500)))
+            .collect();
+        CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), records)
+    }
+
+    #[test]
+    fn per_car_walk_matches_by_car() {
+        let ds = sample_ds();
+        let store = CdrStore::build(&ds, 7);
+        let (got, stats) = fold_per_car(&store, &Filter::all(), |_car, records| {
+            records.iter().map(|r| r.duration().as_secs()).sum::<u64>()
+        });
+        let want: Vec<(CarId, u64)> = ds
+            .by_car()
+            .map(|(car, records)| {
+                (car, records.iter().map(|r| r.duration().as_secs()).sum())
+            })
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(stats.rows_scanned, 300);
+    }
+
+    #[test]
+    fn per_car_walk_sees_records_in_canonical_order() {
+        let ds = sample_ds();
+        let store = CdrStore::build(&ds, 5);
+        let (got, _) = fold_per_car(&store, &Filter::all(), |_car, records| {
+            records
+                .windows(2)
+                .all(|w| (w[0].start, w[0].cell) <= (w[1].start, w[1].cell))
+        });
+        assert!(got.iter().all(|&(_, ordered)| ordered));
+    }
+
+    #[test]
+    fn per_car_walk_skips_fully_filtered_cars() {
+        let ds = sample_ds();
+        let store = CdrStore::build(&ds, 3);
+        let filter = Filter::all().car(CarId(4));
+        let (got, stats) = fold_per_car(&store, &filter, |_car, records| records.len());
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, CarId(4));
+        // Only car 4's directory span was walked.
+        assert_eq!(stats.rows_scanned, got[0].1 as u64);
+    }
+
+    #[test]
+    fn triples_match_flat_expansion() {
+        let ds = sample_ds();
+        let bin_limit = ds.period().total_bins();
+        let mut want: Vec<(CellId, u64, CarId)> = Vec::new();
+        for r in ds.records() {
+            for bin in BinIndex::covering(r.start, r.end) {
+                if bin.0 < bin_limit {
+                    want.push((r.cell, bin.0, r.car));
+                }
+            }
+        }
+        want.sort();
+        want.dedup();
+        for shards in [1, 2, 7, 64] {
+            let store = CdrStore::build(&ds, shards);
+            let (got, _) = cell_bin_car_triples(&store, &Filter::all(), bin_limit);
+            assert_eq!(got, want, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn empty_store_kernels() {
+        let ds = CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), vec![]);
+        let store = CdrStore::build(&ds, 4);
+        let (walk, _) = fold_per_car(&store, &Filter::all(), |_c, r| r.len());
+        assert!(walk.is_empty());
+        let (triples, _) = cell_bin_car_triples(&store, &Filter::all(), u64::MAX);
+        assert!(triples.is_empty());
+    }
+}

@@ -1,0 +1,516 @@
+//! Typed predicates, the scan planner, and query statistics.
+//!
+//! A [`Filter`] names *what* rows qualify; the planner decides *how* to
+//! reach them — whole shards are pruned through the car-hash and the
+//! time envelope, and inside a shard the car directory, cell postings
+//! or time index narrow the candidate rows before the residual
+//! predicate runs. Every query reports a [`QueryStats`], so "how much
+//! did this analysis actually read" is always observable.
+
+use crate::store::CdrStore;
+use conncar_cdr::CdrRecord;
+use conncar_types::{CarId, Carrier, CellId, Duration, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Duration-class predicate: the store's notion of a record *kind*.
+///
+/// CDRs carry no explicit type tag; what the analyses distinguish is
+/// duration classes — ordinary connections vs the long sticky-modem
+/// tails that §3 truncates at 600 s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecordKind {
+    /// Every record.
+    #[default]
+    Any,
+    /// Records strictly shorter than the bound.
+    ShorterThan(Duration),
+    /// Records at least as long as the bound (the sticky tail).
+    AtLeast(Duration),
+}
+
+impl RecordKind {
+    #[inline]
+    fn matches(self, start_secs: u64, end_secs: u64) -> bool {
+        let dur = end_secs.saturating_sub(start_secs);
+        match self {
+            RecordKind::Any => true,
+            RecordKind::ShorterThan(d) => dur < d.as_secs(),
+            RecordKind::AtLeast(d) => dur >= d.as_secs(),
+        }
+    }
+}
+
+/// A typed row predicate. Build with the fluent constructors; an empty
+/// filter ([`Filter::all`]) matches every record.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Filter {
+    /// Qualifying cars (sorted, deduplicated). `None` = every car.
+    cars: Option<Vec<CarId>>,
+    /// Qualifying cells (sorted, deduplicated). `None` = every cell.
+    cells: Option<Vec<CellId>>,
+    /// Qualifying carrier. `None` = every carrier.
+    carrier: Option<Carrier>,
+    /// Half-open `[start, end)` second window a record must *overlap*.
+    window: Option<(u64, u64)>,
+    /// Duration class.
+    kind: RecordKind,
+}
+
+impl Filter {
+    /// The match-everything filter.
+    pub fn all() -> Filter {
+        Filter::default()
+    }
+
+    /// Restrict to a single car.
+    pub fn car(self, car: CarId) -> Filter {
+        self.cars(vec![car])
+    }
+
+    /// Restrict to a set of cars.
+    pub fn cars(mut self, mut cars: Vec<CarId>) -> Filter {
+        cars.sort_unstable();
+        cars.dedup();
+        self.cars = Some(cars);
+        self
+    }
+
+    /// Restrict to a single cell.
+    pub fn cell(self, cell: CellId) -> Filter {
+        self.cells(vec![cell])
+    }
+
+    /// Restrict to a set of cells.
+    pub fn cells(mut self, mut cells: Vec<CellId>) -> Filter {
+        cells.sort_unstable();
+        cells.dedup();
+        self.cells = Some(cells);
+        self
+    }
+
+    /// Restrict to one frequency carrier.
+    pub fn carrier(mut self, carrier: Carrier) -> Filter {
+        self.carrier = Some(carrier);
+        self
+    }
+
+    /// Restrict to records overlapping the half-open window `[start, end)`.
+    pub fn window(mut self, start: Timestamp, end: Timestamp) -> Filter {
+        self.window = Some((start.as_secs(), end.as_secs()));
+        self
+    }
+
+    /// Restrict to a duration class.
+    pub fn kind(mut self, kind: RecordKind) -> Filter {
+        self.kind = kind;
+        self
+    }
+
+    /// The car set, if restricted.
+    pub fn car_set(&self) -> Option<&[CarId]> {
+        self.cars.as_deref()
+    }
+
+    /// Whether the filter matches everything (no predicate set).
+    pub fn is_all(&self) -> bool {
+        self.cars.is_none()
+            && self.cells.is_none()
+            && self.carrier.is_none()
+            && self.window.is_none()
+            && self.kind == RecordKind::Any
+    }
+
+    /// Whether a car passes the car predicate alone.
+    #[inline]
+    pub(crate) fn car_matches(&self, car: CarId) -> bool {
+        match &self.cars {
+            None => true,
+            Some(cars) => cars.binary_search(&car).is_ok(),
+        }
+    }
+
+    /// The residual row predicate (everything except the car set).
+    #[inline]
+    pub(crate) fn row_matches(&self, cell: CellId, start_secs: u64, end_secs: u64) -> bool {
+        if let Some(cells) = &self.cells {
+            if cells.binary_search(&cell).is_err() {
+                return false;
+            }
+        }
+        if let Some(carrier) = self.carrier {
+            if cell.carrier != carrier {
+                return false;
+            }
+        }
+        if let Some((ws, we)) = self.window {
+            // Overlap of half-open intervals.
+            if start_secs >= we || end_secs <= ws {
+                return false;
+            }
+        }
+        self.kind.matches(start_secs, end_secs)
+    }
+
+    /// Full predicate over a materialized record.
+    #[inline]
+    pub fn matches(&self, r: &CdrRecord) -> bool {
+        self.car_matches(r.car) && self.row_matches(r.cell, r.start.as_secs(), r.end.as_secs())
+    }
+
+    /// The half-open window, if restricted.
+    pub(crate) fn window_secs(&self) -> Option<(u64, u64)> {
+        self.window
+    }
+}
+
+/// What one query execution cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Rows the engine examined (after index narrowing).
+    pub rows_scanned: u64,
+    /// Rows that passed the full predicate.
+    pub rows_matched: u64,
+    /// Shards skipped entirely by car-hash or time-envelope pruning.
+    pub shards_pruned: u32,
+    /// Shards actually scanned.
+    pub shards_scanned: u32,
+    /// Wall-clock nanoseconds of the whole query (plan + scan + merge).
+    pub scan_nanos: u64,
+}
+
+impl QueryStats {
+    /// Fold another stats record into this one (nanos add; a sequence of
+    /// queries reports its total cost).
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.rows_matched += other.rows_matched;
+        self.shards_pruned += other.shards_pruned;
+        self.shards_scanned += other.shards_scanned;
+        self.scan_nanos += other.scan_nanos;
+    }
+
+    /// Scan throughput in rows per second (0 when no time elapsed).
+    pub fn rows_per_sec(&self) -> f64 {
+        if self.scan_nanos == 0 {
+            0.0
+        } else {
+            self.rows_scanned as f64 * 1e9 / self.scan_nanos as f64
+        }
+    }
+}
+
+/// Which rows of one shard a plan visits.
+pub(crate) enum RowSelection {
+    /// Every row, in row order.
+    All,
+    /// An explicit ascending row-id list from an index.
+    Rows(Vec<u32>),
+}
+
+impl CdrStore {
+    /// Shard ids the filter cannot prune, in ascending order, plus the
+    /// pruned count.
+    pub(crate) fn plan_shards(&self, filter: &Filter) -> (Vec<usize>, u32) {
+        let mut keep: Vec<usize> = Vec::with_capacity(self.shard_count());
+        let mut pruned = 0u32;
+        // Car-hash pruning: with a car set, only the shards those cars
+        // hash to can hold matches.
+        let car_shards: Option<Vec<usize>> = filter.car_set().map(|cars| {
+            let mut ids: Vec<usize> = cars.iter().map(|&c| self.shard_of(c)).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        });
+        for id in 0..self.shard_count() {
+            let shard = &self.shards()[id];
+            let mut keep_this = !shard.is_empty();
+            if let Some(ids) = &car_shards {
+                keep_this &= ids.binary_search(&id).is_ok();
+            }
+            if let Some((ws, we)) = filter.window_secs() {
+                // No row can overlap the window if the whole envelope
+                // misses it.
+                keep_this &= shard.min_start() < we && shard.max_end() > ws;
+            }
+            if keep_this {
+                keep.push(id);
+            } else {
+                pruned += 1;
+            }
+        }
+        (keep, pruned)
+    }
+
+    /// Choose the cheapest index path into one shard for this filter.
+    pub(crate) fn select_rows(&self, shard_id: usize, filter: &Filter) -> RowSelection {
+        let shard = &self.shards()[shard_id];
+        if let Some(cars) = filter.car_set() {
+            // Car directory: contiguous spans, ascending car — rows come
+            // out ascending because cars are visited in sorted order.
+            let mut rows: Vec<u32> = Vec::new();
+            for &car in cars {
+                if let Ok(i) = shard.car_groups().binary_search_by_key(&car, |g| g.car) {
+                    let g = shard.car_groups()[i];
+                    rows.extend(g.first..g.first + g.rows);
+                }
+            }
+            return RowSelection::Rows(rows);
+        }
+        if let Some(cells) = &filter.cells {
+            // Cell postings: union the per-cell lists, restore row order.
+            let mut rows: Vec<u32> = Vec::new();
+            for cell in cells {
+                if let Ok(i) = shard
+                    .cell_postings()
+                    .binary_search_by_key(cell, |p| p.cell)
+                {
+                    rows.extend_from_slice(&shard.cell_postings()[i].rows);
+                }
+            }
+            rows.sort_unstable();
+            return RowSelection::Rows(rows);
+        }
+        if let Some((ws, we)) = filter.window_secs() {
+            // Time index: rows starting at/after the window end can never
+            // overlap it; check the rest, restore row order.
+            let idx = shard.time_index();
+            let cut = idx.partition_point(|&row| shard.starts[row as usize] < we);
+            let mut rows: Vec<u32> = idx[..cut]
+                .iter()
+                .copied()
+                .filter(|&row| shard.ends[row as usize] > ws)
+                .collect();
+            rows.sort_unstable();
+            return RowSelection::Rows(rows);
+        }
+        RowSelection::All
+    }
+
+    /// Scan every matching row of one shard in row order, feeding the
+    /// accumulator. Returns per-shard stats (no wall time).
+    pub(crate) fn scan_shard<A>(
+        &self,
+        shard_id: usize,
+        filter: &Filter,
+        acc: &mut A,
+        fold: &(impl Fn(&mut A, CdrRecord) + ?Sized),
+    ) -> QueryStats {
+        let shard = &self.shards()[shard_id];
+        let mut stats = QueryStats {
+            shards_scanned: 1,
+            ..QueryStats::default()
+        };
+        let mut visit = |row: usize| {
+            stats.rows_scanned += 1;
+            let (cell, s, e) = (shard.cells[row], shard.starts[row], shard.ends[row]);
+            if filter.car_matches(shard.cars[row]) && filter.row_matches(cell, s, e) {
+                stats.rows_matched += 1;
+                fold(acc, shard.record(row));
+            }
+        };
+        match self.select_rows(shard_id, filter) {
+            RowSelection::All => (0..shard.len()).for_each(&mut visit),
+            RowSelection::Rows(rows) => rows.iter().for_each(|&r| visit(r as usize)),
+        }
+        stats
+    }
+
+    /// The core query: fold every matching record, shards in parallel.
+    ///
+    /// `init` seeds one accumulator per scanned shard, `fold` consumes
+    /// records in canonical row order within a shard, and `merge`
+    /// combines per-shard accumulators *in ascending shard order* — so
+    /// the result is deterministic for any thread count.
+    pub fn scan_fold<A, I, F, M>(&self, filter: &Filter, init: I, fold: F, merge: M) -> (A, QueryStats)
+    where
+        A: Send,
+        I: Fn() -> A + Sync,
+        F: Fn(&mut A, CdrRecord) + Sync,
+        M: Fn(A, A) -> A,
+    {
+        let t0 = std::time::Instant::now();
+        let (shard_ids, pruned) = self.plan_shards(filter);
+        let per_shard: Vec<(A, QueryStats)> = crate::exec::par_map(shard_ids.len(), |i| {
+            let mut acc = init();
+            let stats = self.scan_shard(shard_ids[i], filter, &mut acc, &fold);
+            (acc, stats)
+        });
+        let mut stats = QueryStats {
+            shards_pruned: pruned,
+            ..QueryStats::default()
+        };
+        let mut out = init();
+        for (acc, s) in per_shard {
+            stats.absorb(&s);
+            out = merge(out, acc);
+        }
+        stats.scan_nanos = t0.elapsed().as_nanos() as u64;
+        (out, stats)
+    }
+
+    /// Collect matching records in the dataset's canonical
+    /// `(car, start, cell)` order.
+    pub fn collect(&self, filter: &Filter) -> (Vec<CdrRecord>, QueryStats) {
+        let (mut records, stats) = self.scan_fold(
+            filter,
+            Vec::new,
+            |acc: &mut Vec<CdrRecord>, r| acc.push(r),
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
+        // Shards are car-disjoint and internally canonical; one stable
+        // sort restores the global canonical order.
+        records.sort_by_key(|r| (r.car, r.start, r.cell));
+        (records, stats)
+    }
+
+    /// Count matching records.
+    pub fn count(&self, filter: &Filter) -> (u64, QueryStats) {
+        self.scan_fold(filter, || 0u64, |n, _| *n += 1, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_cdr::CdrDataset;
+    use conncar_types::{BaseStationId, DayOfWeek, StudyPeriod};
+
+    fn rec(car: u32, station: u32, start: u64, dur: u64) -> CdrRecord {
+        CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(BaseStationId(station), 0, Carrier::C3),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(start + dur),
+        }
+    }
+
+    fn store(records: Vec<CdrRecord>, shards: usize) -> CdrStore {
+        let ds = CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), records);
+        CdrStore::build(&ds, shards)
+    }
+
+    fn sample() -> Vec<CdrRecord> {
+        (0..200)
+            .map(|i| rec(i % 17, i % 5, (i as u64 * 977) % 500_000, 30 + (i as u64 * 7) % 900))
+            .collect()
+    }
+
+    #[test]
+    fn all_filter_matches_everything() {
+        let s = store(sample(), 7);
+        let (n, stats) = s.count(&Filter::all());
+        assert_eq!(n, 200);
+        assert_eq!(stats.rows_scanned, 200);
+        assert_eq!(stats.rows_matched, 200);
+        assert_eq!(
+            stats.shards_scanned + stats.shards_pruned,
+            s.shard_count() as u32
+        );
+    }
+
+    #[test]
+    fn car_filter_prunes_shards_and_uses_directory() {
+        let s = store(sample(), 16);
+        let (records, stats) = s.collect(&Filter::all().car(CarId(3)));
+        assert!(!records.is_empty());
+        assert!(records.iter().all(|r| r.car == CarId(3)));
+        // Only the one shard holding car 3 is scanned.
+        assert_eq!(stats.shards_scanned, 1);
+        assert!(stats.shards_pruned >= 1);
+        // The directory narrowed the scan to exactly the matches.
+        assert_eq!(stats.rows_scanned, stats.rows_matched);
+    }
+
+    #[test]
+    fn window_filter_matches_naive_overlap() {
+        let s = store(sample(), 4);
+        let (w0, w1) = (Timestamp::from_secs(100_000), Timestamp::from_secs(200_000));
+        let (got, _) = s.collect(&Filter::all().window(w0, w1));
+        let naive: Vec<CdrRecord> = {
+            let (mut all, _) = s.collect(&Filter::all());
+            all.retain(|r| r.start < w1 && r.end > w0);
+            all
+        };
+        assert_eq!(got, naive);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn empty_window_prunes_everything() {
+        let s = store(sample(), 4);
+        let (n, stats) = s.count(&Filter::all().window(
+            Timestamp::from_secs(600_000),
+            Timestamp::from_secs(700_000),
+        ));
+        assert_eq!(n, 0);
+        assert_eq!(stats.shards_scanned, 0);
+        assert_eq!(stats.shards_pruned, s.shard_count() as u32);
+        assert_eq!(stats.rows_scanned, 0);
+    }
+
+    #[test]
+    fn cell_filter_uses_postings() {
+        let s = store(sample(), 3);
+        let cell = CellId::new(BaseStationId(2), 0, Carrier::C3);
+        let (records, stats) = s.collect(&Filter::all().cell(cell));
+        assert!(records.iter().all(|r| r.cell == cell));
+        assert_eq!(stats.rows_scanned, stats.rows_matched);
+        let (all, _) = s.collect(&Filter::all());
+        assert_eq!(
+            records.len(),
+            all.iter().filter(|r| r.cell == cell).count()
+        );
+    }
+
+    #[test]
+    fn kind_filter_splits_durations() {
+        let s = store(sample(), 5);
+        let cap = Duration::from_secs(600);
+        let (short, _) = s.count(&Filter::all().kind(RecordKind::ShorterThan(cap)));
+        let (long, _) = s.count(&Filter::all().kind(RecordKind::AtLeast(cap)));
+        assert_eq!(short + long, 200);
+        assert!(short > 0 && long > 0);
+    }
+
+    #[test]
+    fn carrier_filter() {
+        let s = store(sample(), 2);
+        let (n, _) = s.count(&Filter::all().carrier(Carrier::C3));
+        assert_eq!(n, 200);
+        let (n, _) = s.count(&Filter::all().carrier(Carrier::C1));
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn combined_filters_compose() {
+        let s = store(sample(), 8);
+        let f = Filter::all()
+            .cars(vec![CarId(1), CarId(2), CarId(3)])
+            .window(Timestamp::from_secs(0), Timestamp::from_secs(300_000))
+            .kind(RecordKind::ShorterThan(Duration::from_secs(700)));
+        let (got, _) = s.collect(&f);
+        let (all, _) = s.collect(&Filter::all());
+        let naive: Vec<CdrRecord> = all.into_iter().filter(|r| f.matches(r)).collect();
+        assert_eq!(got, naive);
+    }
+
+    #[test]
+    fn stats_absorb_and_throughput() {
+        let mut a = QueryStats {
+            rows_scanned: 10,
+            rows_matched: 5,
+            shards_pruned: 1,
+            shards_scanned: 2,
+            scan_nanos: 1_000_000_000,
+        };
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(a.rows_scanned, 20);
+        assert_eq!(a.scan_nanos, 2_000_000_000);
+        assert!((a.rows_per_sec() - 10.0).abs() < 1e-9);
+        assert_eq!(QueryStats::default().rows_per_sec(), 0.0);
+    }
+}

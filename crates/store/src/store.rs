@@ -1,0 +1,188 @@
+//! The sharded store itself: build-once layout and shard routing.
+
+use crate::columns::Shard;
+use conncar_cdr::{CdrDataset, CdrRecord};
+use conncar_types::{CarId, StudyPeriod};
+
+/// Default upper bound on the automatic shard count.
+const MAX_AUTO_SHARDS: usize = 64;
+
+/// A sharded, columnar copy of one cleaned [`CdrDataset`].
+///
+/// Built once after cleaning; immutable afterwards. Records are
+/// partitioned by a hash of the car id, so every car's whole history
+/// lives in exactly one shard — per-car group-bys never cross shard
+/// boundaries and per-shard distinct-car counts add up exactly.
+#[derive(Debug, Clone)]
+pub struct CdrStore {
+    period: StudyPeriod,
+    shards: Vec<Shard>,
+    len: usize,
+}
+
+impl CdrStore {
+    /// Build a store with an explicit shard count (clamped to at least 1).
+    ///
+    /// The dataset's canonical `(car, start, cell)` order is preserved
+    /// within each shard, which is what keeps the car directory
+    /// contiguous and store scans byte-compatible with legacy scans.
+    pub fn build(ds: &CdrDataset, shards: usize) -> CdrStore {
+        let shard_count = shards.max(1);
+        let mut buckets: Vec<Vec<&CdrRecord>> = vec![Vec::new(); shard_count];
+        for r in ds.records() {
+            buckets[shard_slot(r.car, shard_count)].push(r);
+        }
+        let built = crate::exec::par_map(shard_count, |i| Shard::build(&buckets[i]));
+        CdrStore {
+            period: ds.period(),
+            len: ds.len(),
+            shards: built,
+        }
+    }
+
+    /// Build with a shard count sized to the machine and the dataset:
+    /// roughly four tasks per available core (so work-stealing can level
+    /// uneven shards), capped at 64 and at one shard per 1024 rows.
+    pub fn build_auto(ds: &CdrDataset) -> CdrStore {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let by_rows = (ds.len() / 1024).max(1);
+        let shards = (cores * 4).min(MAX_AUTO_SHARDS).min(by_rows);
+        CdrStore::build(ds, shards)
+    }
+
+    /// The study period the stored records belong to.
+    #[inline]
+    pub fn period(&self) -> StudyPeriod {
+        self.period
+    }
+
+    /// Total number of stored records.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in shard-id order.
+    #[inline]
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The shard a car's records live in.
+    #[inline]
+    pub fn shard_of(&self, car: CarId) -> usize {
+        shard_slot(car, self.shards.len())
+    }
+}
+
+/// Route a car id to a shard: a splitmix64-style finalizer over the raw
+/// id, reduced modulo the shard count. The multiply-xorshift rounds
+/// scatter the sequential fleet ids evenly; plain `id % shards` would
+/// stripe consecutive cars and make shard loads correlate with persona
+/// assignment order.
+#[inline]
+pub(crate) fn shard_slot(car: CarId, shards: usize) -> usize {
+    let mut z = car.0 as u64;
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_types::{BaseStationId, Carrier, CellId, DayOfWeek, Timestamp};
+
+    fn rec(car: u32, start: u64) -> CdrRecord {
+        CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(BaseStationId(car % 7), 0, Carrier::C3),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(start + 60),
+        }
+    }
+
+    fn dataset(cars: u32, per_car: u64) -> CdrDataset {
+        let records = (0..cars)
+            .flat_map(|c| (0..per_car).map(move |i| rec(c, i * 1000)))
+            .collect();
+        CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), records)
+    }
+
+    #[test]
+    fn build_partitions_every_record_once() {
+        let ds = dataset(50, 4);
+        let store = CdrStore::build(&ds, 9);
+        assert_eq!(store.len(), 200);
+        assert_eq!(store.shard_count(), 9);
+        let total: usize = store.shards().iter().map(|s| s.len()).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn every_car_lives_in_exactly_one_shard() {
+        let ds = dataset(50, 4);
+        let store = CdrStore::build(&ds, 9);
+        for (id, shard) in store.shards().iter().enumerate() {
+            for g in shard.car_groups() {
+                assert_eq!(store.shard_of(g.car), id);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_order_is_canonical_within_each_shard() {
+        let ds = dataset(30, 5);
+        let store = CdrStore::build(&ds, 4);
+        for shard in store.shards() {
+            for w in 0..shard.len().saturating_sub(1) {
+                let (a, b) = (shard.record(w), shard.record(w + 1));
+                assert!((a.car, a.start, a.cell) <= (b.car, b.start, b.cell));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_clamped() {
+        let ds = dataset(3, 1);
+        let store = CdrStore::build(&ds, 0);
+        assert_eq!(store.shard_count(), 1);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn hash_scatters_sequential_ids() {
+        // Sequential fleet ids should not all stripe into the same few
+        // shards: with 1000 cars over 8 shards, every shard gets some.
+        let counts = (0..1000u32).fold([0usize; 8], |mut acc, id| {
+            acc[shard_slot(CarId(id), 8)] += 1;
+            acc
+        });
+        assert!(counts.iter().all(|&n| n > 60), "skewed: {counts:?}");
+    }
+
+    #[test]
+    fn build_auto_bounds() {
+        let ds = dataset(10, 2);
+        let store = CdrStore::build_auto(&ds);
+        assert!(store.shard_count() >= 1);
+        assert!(store.shard_count() <= MAX_AUTO_SHARDS);
+        assert_eq!(store.len(), 20);
+    }
+}

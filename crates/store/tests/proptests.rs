@@ -1,0 +1,72 @@
+//! Property tests: the store is a lossless re-layout of its input.
+//!
+//! Satellite requirement: build → full-scan query returns exactly the
+//! input record multiset, regardless of shard count (1, 2, 7, 64) —
+//! and no filter's result depends on how the data was sharded.
+
+use conncar_cdr::{CdrDataset, CdrRecord};
+use conncar_store::{CdrStore, Filter, RecordKind};
+use conncar_types::{
+    BaseStationId, CarId, Carrier, CellId, DayOfWeek, Duration, StudyPeriod, Timestamp,
+};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 7, 64];
+
+/// Raw fuzzed rows → a dataset over a one-week period.
+fn dataset(raw: &[(u32, u32, u64, u64)]) -> CdrDataset {
+    let records: Vec<CdrRecord> = raw
+        .iter()
+        .map(|&(car, station, start, dur)| CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(
+                BaseStationId(station),
+                (station % 3) as u8,
+                if station % 2 == 0 { Carrier::C3 } else { Carrier::C1 },
+            ),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(start + dur),
+        })
+        .collect();
+    CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), records)
+}
+
+proptest! {
+    #[test]
+    fn full_scan_is_the_exact_input_multiset(
+        raw in collection::vec((0u32..120, 0u32..24, 0u64..590_000, 1u64..3_000), 0..160),
+        sidx in 0usize..4,
+    ) {
+        let ds = dataset(&raw);
+        let store = CdrStore::build(&ds, SHARD_COUNTS[sidx]);
+        let (got, stats) = store.collect(&Filter::all());
+        // CdrDataset::new canonicalizes order, so multiset equality over
+        // the input is exact Vec equality against the dataset's records.
+        prop_assert_eq!(got.as_slice(), ds.records());
+        prop_assert_eq!(stats.rows_scanned as usize, ds.len());
+        prop_assert_eq!(stats.rows_matched as usize, ds.len());
+        let (n, _) = store.count(&Filter::all());
+        prop_assert_eq!(n as usize, ds.len());
+    }
+
+    #[test]
+    fn sharding_never_changes_a_filtered_result(
+        raw in collection::vec((0u32..120, 0u32..24, 0u64..590_000, 1u64..3_000), 0..160),
+        car in 0u32..120,
+        w in (0u64..500_000, 1u64..200_000),
+    ) {
+        let ds = dataset(&raw);
+        let filter = Filter::all()
+            .cars(vec![CarId(car), CarId(car / 2)])
+            .window(Timestamp::from_secs(w.0), Timestamp::from_secs(w.0 + w.1))
+            .kind(RecordKind::ShorterThan(Duration::from_secs(1_500)));
+        let baseline = CdrStore::build(&ds, SHARD_COUNTS[0]).collect(&filter).0;
+        // The baseline must agree with a naive filter of the flat records.
+        let naive: Vec<CdrRecord> = ds.records().iter().copied().filter(|r| filter.matches(r)).collect();
+        prop_assert_eq!(baseline.as_slice(), naive.as_slice());
+        for &shards in &SHARD_COUNTS[1..] {
+            let (got, _) = CdrStore::build(&ds, shards).collect(&filter);
+            prop_assert_eq!(got.as_slice(), baseline.as_slice());
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Store-path ≡ legacy-path equivalence.
+//!
+//! The tentpole contract of the conncar-store subsystem: rewiring the
+//! analyses through the sharded columnar store changes *how* records are
+//! scanned, never *what* any analysis reports. Every structured result
+//! must be equal field-for-field and the rendered study report must be
+//! byte-identical, on both the tiny and small study configurations, for
+//! any shard count.
+
+use conncar::report::render_full_report;
+use conncar::{StudyAnalyses, StudyConfig, StudyData};
+use conncar_store::CdrStore;
+
+/// Field-for-field equality of two analysis runs (`query_stats` is
+/// excluded by design: it reports cost, not results).
+fn assert_same_results(a: &StudyAnalyses, b: &StudyAnalyses, ctx: &str) {
+    assert_eq!(a.presence, b.presence, "{ctx}: presence");
+    assert_eq!(a.weekday_table, b.weekday_table, "{ctx}: weekday_table");
+    assert_eq!(a.connected_time, b.connected_time, "{ctx}: connected_time");
+    assert_eq!(a.profiles, b.profiles, "{ctx}: profiles");
+    assert_eq!(a.days_histogram, b.days_histogram, "{ctx}: days_histogram");
+    assert_eq!(a.segmentation, b.segmentation, "{ctx}: segmentation");
+    assert_eq!(a.busy_time, b.busy_time, "{ctx}: busy_time");
+    assert_eq!(a.durations, b.durations, "{ctx}: durations");
+    assert_eq!(a.concurrency, b.concurrency, "{ctx}: concurrency");
+    assert_eq!(a.clustering, b.clustering, "{ctx}: clustering");
+    assert_eq!(a.handovers, b.handovers, "{ctx}: handovers");
+    assert_eq!(a.carriers, b.carriers, "{ctx}: carriers");
+    assert_eq!(a.sample_cars, b.sample_cars, "{ctx}: sample_cars");
+}
+
+fn check_config(cfg: StudyConfig, shard_counts: &[usize], label: &str) {
+    let study = StudyData::generate(&cfg).expect("study generates");
+    let legacy = StudyAnalyses::run_legacy(&study).expect("legacy path");
+    let legacy_report = render_full_report(&legacy);
+
+    // The default path (auto-sized store).
+    let auto = StudyAnalyses::run(&study).expect("store path");
+    assert_same_results(&auto, &legacy, &format!("{label}/auto"));
+    assert_eq!(
+        render_full_report(&auto),
+        legacy_report,
+        "{label}/auto: report bytes"
+    );
+    // The store path actually went through the store.
+    assert!(auto.query_stats.rows_scanned >= study.clean.len() as u64);
+    assert!(auto.query_stats.shards_scanned > 0);
+
+    // Explicit shard counts, including degenerate single-shard.
+    for &shards in shard_counts {
+        let store = CdrStore::build(&study.clean, shards);
+        let got = StudyAnalyses::run_with_store(&study, &store).expect("store path");
+        assert_same_results(&got, &legacy, &format!("{label}/shards={shards}"));
+        assert_eq!(
+            render_full_report(&got),
+            legacy_report,
+            "{label}/shards={shards}: report bytes"
+        );
+    }
+}
+
+#[test]
+fn tiny_study_store_path_is_byte_identical() {
+    check_config(StudyConfig::tiny(), &[1, 2, 7, 64], "tiny");
+}
+
+#[test]
+fn small_study_store_path_is_byte_identical() {
+    check_config(StudyConfig::small(), &[1, 7], "small");
+}
