@@ -10,7 +10,7 @@ use conncar_cdr::CdrRecord;
 use conncar_geo::Deployment;
 use conncar_radio::{BackgroundLoad, CellClass, PrbLedger, UtilizationSeries};
 use conncar_types::{BaseStationId, BinIndex, CellId, StudyPeriod};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Default busy threshold: the paper's `U_PRB > 80%`.
 pub const BUSY_THRESHOLD: f64 = 0.80;
@@ -20,7 +20,7 @@ pub const BUSY_THRESHOLD: f64 = 0.80;
 pub struct NetworkLoadModel<'a> {
     ledger: &'a PrbLedger,
     background: &'a BackgroundLoad,
-    classes: HashMap<BaseStationId, CellClass>,
+    classes: BTreeMap<BaseStationId, CellClass>,
     threshold: f64,
 }
 

@@ -28,7 +28,7 @@ use crate::segmentation::CarBusyProfile;
 use conncar_cdr::CdrDataset;
 use conncar_types::{CarId, Error, Result, StudyPeriod, TimeZone};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One car's observable behaviour features.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -72,7 +72,7 @@ pub fn behavior_vectors(
     tz: TimeZone,
 ) -> Vec<BehaviorVector> {
     let refs = reference_matrices();
-    let by_car: HashMap<CarId, &CarBusyProfile> =
+    let by_car: BTreeMap<CarId, &CarBusyProfile> =
         profiles.iter().map(|p| (p.car, p)).collect();
     let mut out = Vec::new();
     for (car, records) in ds.by_car() {
@@ -135,7 +135,7 @@ pub fn cluster_cars(vectors: &[BehaviorVector], k: usize, seed: u64) -> Result<C
 /// Purity of a clustering against ground-truth labels: the fraction of
 /// cars whose cluster's majority label matches their own. 1.0 = the
 /// clustering perfectly recovers the labels.
-pub fn purity<L: Eq + std::hash::Hash + Copy>(
+pub fn purity<L: Ord + Copy>(
     assignments: &[usize],
     labels: &[L],
     k: usize,
@@ -144,7 +144,7 @@ pub fn purity<L: Eq + std::hash::Hash + Copy>(
     if assignments.is_empty() {
         return 0.0;
     }
-    let mut counts: Vec<HashMap<L, usize>> = vec![HashMap::new(); k];
+    let mut counts: Vec<BTreeMap<L, usize>> = vec![BTreeMap::new(); k];
     for (&a, &l) in assignments.iter().zip(labels) {
         *counts[a].entry(l).or_default() += 1;
     }

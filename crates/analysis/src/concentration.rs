@@ -14,7 +14,7 @@ use crate::stats::Ecdf;
 use conncar_cdr::CdrDataset;
 use conncar_types::{BinIndex, CellId, Result};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Concentration summary over the study.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -36,7 +36,7 @@ pub struct ConcentrationResult {
 /// Compute the concentration summary.
 pub fn concentration(ds: &CdrDataset, idx: &ConcurrencyIndex) -> Result<ConcentrationResult> {
     // Per-cell total connected seconds.
-    let mut secs: HashMap<CellId, u64> = HashMap::new();
+    let mut secs: BTreeMap<CellId, u64> = BTreeMap::new();
     for r in ds.records() {
         *secs.entry(r.cell).or_default() += r.duration().as_secs();
     }

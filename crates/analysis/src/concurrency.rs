@@ -13,14 +13,14 @@ use conncar_types::{
     BinIndex, CarId, CellId, DayBin, StudyPeriod, Timestamp, BINS_PER_DAY, BINS_PER_WEEK,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Sparse per-cell concurrent-car counts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConcurrencyIndex {
     period: StudyPeriod,
     /// Per cell: sorted `(bin, distinct car count)` pairs.
-    map: HashMap<CellId, Vec<(u64, u32)>>,
+    map: BTreeMap<CellId, Vec<(u64, u32)>>,
 }
 
 impl ConcurrencyIndex {
@@ -52,7 +52,7 @@ impl ConcurrencyIndex {
 
     /// Group sorted `(cell, bin, car)` triples into per-cell count runs.
     fn from_triples(period: StudyPeriod, triples: Vec<(CellId, u64, CarId)>) -> ConcurrencyIndex {
-        let mut map: HashMap<CellId, Vec<(u64, u32)>> = HashMap::new();
+        let mut map: BTreeMap<CellId, Vec<(u64, u32)>> = BTreeMap::new();
         for (cell, bin, _car) in triples {
             let v = map.entry(cell).or_default();
             match v.last_mut() {
@@ -143,7 +143,7 @@ impl ConcurrencyIndex {
     /// The (cell, day) pair with the most distinct cars — Figure 8's
     /// exemplar cell. `None` on an empty index.
     pub fn busiest_cell_day(&self, ds: &CdrDataset) -> Option<(CellId, u64, usize)> {
-        let mut per_cell_day: HashMap<(CellId, u64), Vec<CarId>> = HashMap::new();
+        let mut per_cell_day: BTreeMap<(CellId, u64), Vec<CarId>> = BTreeMap::new();
         for r in ds.records() {
             let last_day = (r.end.as_secs().saturating_sub(1)) / 86_400;
             for d in r.start.day()..=last_day.min(self.period.days() as u64 - 1) {
@@ -192,8 +192,8 @@ pub fn cell_day_gantt(ds: &CdrDataset, cell: CellId, day: u64) -> CellDayGantt {
         let e = r.end.min(day_end);
         spans.push((
             r.car,
-            (s - day_start).as_secs() as u32,
-            (e - day_start).as_secs() as u32,
+            conncar_types::saturating_u32((s - day_start).as_secs()),
+            conncar_types::saturating_u32((e - day_start).as_secs()),
         ));
         for bin in BinIndex::covering(s, e) {
             per_bin[bin.day_bin().index()].push(r.car);

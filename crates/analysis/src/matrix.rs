@@ -125,7 +125,7 @@ pub fn car_matrix(
         for hour_abs in first_hour..=last_hour {
             let day = hour_abs / 24;
             let weekday = period.start_day().plus(day as usize);
-            let hour = (hour_abs % 24) as u8;
+            let hour = conncar_types::hour_of_day_from_hours(hour_abs);
             *m.get_mut(weekday, hour) += 1.0;
         }
     }

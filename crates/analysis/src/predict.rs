@@ -14,7 +14,7 @@ use crate::matrix::WeeklyMatrix;
 use conncar_cdr::CdrRecord;
 use conncar_types::{DayOfWeek, StudyPeriod, TimeZone, Timestamp, SECONDS_PER_HOUR};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A trained per-car predictor: the estimated probability the car
 /// connects in each hour of the week.
@@ -39,7 +39,7 @@ impl CarPredictor {
     ) -> CarPredictor {
         let cutoff = Timestamp::from_secs(split_week as u64 * 7 * 86_400);
         // Distinct (week, hour-of-week) appearances.
-        let mut seen: HashSet<(u32, usize)> = HashSet::new();
+        let mut seen: BTreeSet<(u32, usize)> = BTreeSet::new();
         for r in records.iter().filter(|r| r.start < cutoff) {
             let end = r.end.min(cutoff);
             for (week, how) in hours_of_week(r.start, end, period, tz) {
@@ -84,7 +84,7 @@ impl CarPredictor {
             return PredictionScore::default();
         }
         // Actual appearances per (week, hour-of-week).
-        let mut actual: HashSet<(u32, usize)> = HashSet::new();
+        let mut actual: BTreeSet<(u32, usize)> = BTreeSet::new();
         for r in records.iter().filter(|r| r.end > start) {
             let s = r.start.max(start);
             for (week, how) in hours_of_week(s, r.end, period, tz) {
@@ -254,7 +254,7 @@ fn hours_of_week(
     (first..=last)
         .map(|habs| {
             let day = habs / 24;
-            let week = (day / 7) as u32;
+            let week = conncar_types::saturating_u32(day / 7);
             let weekday = period.start_day().plus(day as usize);
             (week, weekday.index() * 24 + (habs % 24) as usize)
         })

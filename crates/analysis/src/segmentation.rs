@@ -12,7 +12,7 @@ use conncar_cdr::CdrDataset;
 use conncar_store::{kernels, CdrStore, Filter, QueryStats};
 use conncar_types::CarId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Per-car summary joining usage and network conditions.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -64,7 +64,7 @@ fn profile_one(
     records: &[conncar_cdr::CdrRecord],
     model: &NetworkLoadModel<'_>,
 ) -> CarBusyProfile {
-    let mut days: HashSet<u64> = HashSet::new();
+    let mut days: BTreeSet<u64> = BTreeSet::new();
     let mut busy = 0u64;
     let mut total = 0u64;
     for r in records {
@@ -78,7 +78,7 @@ fn profile_one(
     }
     CarBusyProfile {
         car,
-        days_active: days.len() as u32,
+        days_active: conncar_types::saturating_u32(days.len() as u64),
         busy_secs: busy,
         total_secs: total,
     }

@@ -5,7 +5,7 @@ use conncar_cdr::{truncate_records, CdrDataset};
 use conncar_store::{kernels, CdrStore, Filter, QueryStats};
 use conncar_types::{CarId, CellId, DayOfWeek, Duration};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// One day's presence numbers (Figure 2's two series).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -57,17 +57,17 @@ impl DailyPresenceResult {
 /// Per-day distinct-car/cell sets: the shared accumulator of the legacy
 /// scan and the store fold.
 struct PresenceSets {
-    cars_per_day: Vec<HashSet<CarId>>,
-    cells_per_day: Vec<HashSet<CellId>>,
-    all_cells: HashSet<CellId>,
+    cars_per_day: Vec<BTreeSet<CarId>>,
+    cells_per_day: Vec<BTreeSet<CellId>>,
+    all_cells: BTreeSet<CellId>,
 }
 
 impl PresenceSets {
     fn new(days_n: usize) -> PresenceSets {
         PresenceSets {
-            cars_per_day: vec![HashSet::new(); days_n],
-            cells_per_day: vec![HashSet::new(); days_n],
-            all_cells: HashSet::new(),
+            cars_per_day: vec![BTreeSet::new(); days_n],
+            cells_per_day: vec![BTreeSet::new(); days_n],
+            all_cells: BTreeSet::new(),
         }
     }
 

@@ -16,7 +16,7 @@
 
 use conncar_types::CarId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// An anonymized car token.
@@ -57,8 +57,8 @@ impl Anonymizer {
 
     /// Verify injectivity over a fleet of `n` cars. Returns the mapping
     /// table (pseudonym → car) that a trusted party would escrow.
-    pub fn build_table(&self, n: u32) -> Result<HashMap<AnonId, CarId>, u64> {
-        let mut table = HashMap::with_capacity(n as usize);
+    pub fn build_table(&self, n: u32) -> Result<BTreeMap<AnonId, CarId>, u64> {
+        let mut table = BTreeMap::new();
         for i in 0..n {
             let car = CarId(i);
             if table.insert(self.anonymize(car), car).is_some() {

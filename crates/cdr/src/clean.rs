@@ -8,10 +8,11 @@
 //! [`truncate_records`] is the transformation, used by the Figure 3 and
 //! Figure 9 analyses to produce their full-vs-truncated pairs.
 
+use crate::io::{salvage, IngestReport};
 use crate::record::{CdrDataset, CdrRecord};
-use conncar_types::{CellId, Duration};
+use conncar_types::{CellId, Duration, Error, Result, StudyPeriod};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Cleaning parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -127,6 +128,17 @@ pub struct CleanOutcome {
     pub quarantine: Quarantine,
 }
 
+/// Everything [`Cleaner::clean_stream`] produces: byte-level salvage
+/// accounting from the tolerant ingest plus the staged-clean outcome
+/// over whatever was salvaged.
+#[derive(Debug, Clone)]
+pub struct StreamCleanOutcome {
+    /// What the tolerant reader recovered and what it gave up on.
+    pub ingest: IngestReport,
+    /// The staged clean over the salvaged records.
+    pub outcome: CleanOutcome,
+}
+
 /// The pre-processing stage, as a staged pipeline:
 ///
 /// 1. **validate** — drop records whose duration is non-positive
@@ -164,6 +176,42 @@ impl Cleaner {
     pub fn clean(&self, dirty: &CdrDataset) -> (CdrDataset, CleanReport) {
         let outcome = self.clean_full(dirty);
         (outcome.dataset, outcome.report)
+    }
+
+    /// The whole ingest path in one call: tolerantly salvage raw stream
+    /// bytes, then run the full staged clean over what survived.
+    ///
+    /// Byte-level damage (CRC failures, truncated frames, framing loss)
+    /// is accounted in the returned [`IngestReport`]; record-level
+    /// damage that decodes but fails validation (e.g. a skewed clock in
+    /// a frame-checked row) flows into the [`Quarantine`], never a
+    /// panic. The only `Err` is [`Error::Clean`], returned when a
+    /// non-empty stream yields *nothing* salvageable — total loss is an
+    /// error, partial loss is accounting.
+    pub fn clean_stream(
+        &self,
+        bytes: &[u8],
+        period: StudyPeriod,
+    ) -> Result<StreamCleanOutcome> {
+        let (records, ingest) = salvage(bytes);
+        // A pristine header-only stream is a legitimate empty trace;
+        // an empty yield from a *damaged* stream is total loss.
+        if records.is_empty() && !bytes.is_empty() && !ingest.is_pristine() {
+            return Err(Error::Clean {
+                stage: "salvage",
+                why: format!(
+                    "no records salvageable from {} bytes ({} lost corrupt, {} lost truncated, \
+                     {} invalid, {} bytes skipped)",
+                    bytes.len(),
+                    ingest.records_lost_corrupt,
+                    ingest.records_lost_truncated,
+                    ingest.records_invalid,
+                    ingest.bytes_skipped,
+                ),
+            });
+        }
+        let outcome = self.clean_full(&CdrDataset::new(period, records));
+        Ok(StreamCleanOutcome { ingest, outcome })
     }
 
     /// Run the full staged pipeline, keeping every rejected record in a
@@ -227,7 +275,7 @@ impl Cleaner {
         // drop nothing: the stage is idempotent.
         if self.cfg.resolve_overlaps {
             let mut resolved: Vec<CdrRecord> = Vec::with_capacity(kept.len());
-            let mut frontier: HashMap<(u32, CellId), u64> = HashMap::new();
+            let mut frontier: BTreeMap<(u32, CellId), u64> = BTreeMap::new();
             let mut current_car: Option<u32> = None;
             for r in kept {
                 if current_car != Some(r.car.0) {

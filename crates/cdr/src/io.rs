@@ -323,10 +323,11 @@ impl<R: Read> CdrReader<R> {
                 });
             }
             self.offset += CHUNK_HEADER_LEN as u64;
-            let expected_crc =
-                u32::from_le_bytes(chunk_header[8..12].try_into().expect("4 bytes"));
-            let count =
-                u32::from_le_bytes(chunk_header[4..8].try_into().expect("4 bytes")) as usize;
+            // Irrefutable destructuring of the fixed-size header: no
+            // slice-length panic path (lint rule L4).
+            let [_, _, _, _, n0, n1, n2, n3, c0, c1, c2, c3] = chunk_header;
+            let expected_crc = u32::from_le_bytes([c0, c1, c2, c3]);
+            let count = u32::from_le_bytes([n0, n1, n2, n3]) as usize;
             return self.read_body(count, chunk_offset, Some(expected_crc));
         }
         let mut len_buf = [0u8; 4];
@@ -450,13 +451,13 @@ pub fn salvage(buf: &[u8]) -> (Vec<CdrRecord>, IngestReport) {
 fn salvage_v1(buf: &[u8], out: &mut Vec<CdrRecord>, report: &mut IngestReport) {
     let mut pos = 5usize;
     while pos < buf.len() {
-        if buf.len() - pos < 4 {
+        // Panic-free framing read: `None` ⇔ fewer than 4 bytes remain.
+        let Some(count) = le_u32_at(buf, pos) else {
             report.truncated_tail = true;
             report.bytes_skipped += (buf.len() - pos) as u64;
             return;
-        }
-        let count =
-            u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        };
+        let count = count as usize;
         if count > MAX_CHUNK_RECORDS {
             // Garbage length word; nothing downstream is trustworthy.
             report.bytes_skipped += (buf.len() - pos) as u64;
@@ -510,10 +511,15 @@ fn salvage_v2(
             skipped += (buf.len() - pos) as u64;
             return skipped;
         }
-        let count =
-            u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes")) as usize;
-        let expected =
-            u32::from_le_bytes(buf[pos + 8..pos + 12].try_into().expect("4 bytes"));
+        let (Some(count), Some(expected)) = (le_u32_at(buf, pos + 4), le_u32_at(buf, pos + 8))
+        else {
+            // Unreachable given the header-length check above, but the
+            // salvage path stays panic-free by construction (rule L4).
+            report.truncated_tail = true;
+            skipped += (buf.len() - pos) as u64;
+            return skipped;
+        };
+        let count = count as usize;
         if count > MAX_CHUNK_RECORDS {
             // A false CHNK inside garbage: step past the magic, rescan.
             skipped += 4;
@@ -552,6 +558,27 @@ fn salvage_v2(
     skipped
 }
 
+/// Panic-free little-endian `u32` at `at`: `None` when fewer than four
+/// bytes remain (or the offset overflows). The salvage path uses these
+/// instead of `try_into().expect(..)` so no byte content or framing
+/// damage can reach a panic (rule L4).
+#[inline]
+fn le_u32_at(buf: &[u8], at: usize) -> Option<u32> {
+    match buf.get(at..at.checked_add(4)?)? {
+        &[a, b, c, d] => Some(u32::from_le_bytes([a, b, c, d])),
+        _ => None,
+    }
+}
+
+/// Panic-free little-endian `u64` at `at`; see [`le_u32_at`].
+#[inline]
+fn le_u64_at(buf: &[u8], at: usize) -> Option<u64> {
+    match buf.get(at..at.checked_add(8)?)? {
+        &[a, b, c, d, e, f, g, h] => Some(u64::from_le_bytes([a, b, c, d, e, f, g, h])),
+        _ => None,
+    }
+}
+
 /// First occurrence of [`CHUNK_MAGIC`] at or after `from`.
 fn find_magic(buf: &[u8], from: usize) -> Option<usize> {
     if from >= buf.len() {
@@ -569,18 +596,26 @@ fn find_magic(buf: &[u8], from: usize) -> Option<usize> {
 /// job, and dropping them here would hide them from its quarantine.
 fn decode_rows(body: &[u8], out: &mut Vec<CdrRecord>, report: &mut IngestReport) {
     for row in body.chunks_exact(RECORD_LEN) {
-        let car = u32::from_le_bytes(row[0..4].try_into().expect("4 bytes"));
-        let station = u32::from_le_bytes(row[4..8].try_into().expect("4 bytes"));
-        let sector = row[8];
-        let carrier = match Carrier::from_index(row[9] as usize) {
+        // `chunks_exact` guarantees 26 bytes, but every read below is
+        // still panic-free (rule L4): a short row counts as invalid.
+        let (Some(car), Some(station), Some(&sector), Some(&carrier_byte), Some(start), Some(end)) = (
+            le_u32_at(row, 0),
+            le_u32_at(row, 4),
+            row.get(8),
+            row.get(9),
+            le_u64_at(row, 10),
+            le_u64_at(row, 18),
+        ) else {
+            report.records_invalid += 1;
+            continue;
+        };
+        let carrier = match Carrier::from_index(carrier_byte as usize) {
             Some(c) => c,
             None => {
                 report.records_invalid += 1;
                 continue;
             }
         };
-        let start = u64::from_le_bytes(row[10..18].try_into().expect("8 bytes"));
-        let end = u64::from_le_bytes(row[18..26].try_into().expect("8 bytes"));
         out.push(CdrRecord {
             car: CarId(car),
             cell: CellId::new(BaseStationId(station), sector, carrier),

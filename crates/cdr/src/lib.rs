@@ -32,6 +32,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Corrupt input is routine on this crate's ingest path: recoverable
+// failures must flow into IngestReport/Quarantine (lint rule L4), so
+// unwrap is banned outright in non-test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod anonymize;
 pub mod clean;
@@ -44,7 +48,7 @@ pub mod session;
 pub use anonymize::{AnonId, Anonymizer};
 pub use clean::{
     truncate_records, CleanConfig, CleanOutcome, CleanReport, Cleaner, Quarantine,
-    QuarantinedRecord, RejectReason,
+    QuarantinedRecord, RejectReason, StreamCleanOutcome,
 };
 pub use codec::{BinaryCodec, CsvCodec};
 pub use faults::{FaultConfig, FaultInjector, FaultReport};

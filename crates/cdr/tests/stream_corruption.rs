@@ -3,8 +3,10 @@
 //! panic the reader, and the [`IngestReport`] totals must always
 //! reconcile with the records actually yielded.
 
-use conncar_cdr::{salvage, CdrReader, CdrRecord, CdrWriter};
-use conncar_types::{BaseStationId, CarId, Carrier, CellId, Timestamp};
+use conncar_cdr::{salvage, CdrReader, CdrRecord, CdrWriter, Cleaner, RejectReason};
+use conncar_types::{
+    BaseStationId, CarId, Carrier, CellId, DayOfWeek, Error, StudyPeriod, Timestamp,
+};
 use proptest::prelude::*;
 
 /// A well-formed v2 stream of `records` records in chunks of `chunk`.
@@ -24,6 +26,78 @@ fn stream(records: usize, chunk: usize) -> Vec<u8> {
     let mut w = CdrWriter::new(Vec::new()).with_chunk_records(chunk.max(1));
     w.write_all(&recs).expect("in-memory write");
     w.finish().expect("in-memory finish").0
+}
+
+/// Regression for the rule-L4 fixes: a v2 stream truncated mid-frame
+/// must flow through the *full* clean path — salvage, validate, dedup,
+/// glitch-drop — without a panic, with the truncation accounted in the
+/// ingest report and record-level damage landing in the quarantine.
+#[test]
+fn truncated_v2_frame_survives_the_full_clean_path() {
+    let period = StudyPeriod::new(DayOfWeek::Monday, 7).expect("valid period");
+    // 250 records, one of them carrying a skewed modem clock (end ==
+    // start): it frame-checks and decodes — the tolerant reader
+    // deliberately leaves validation to the cleaner — so it must come
+    // out of the clean path quarantined, not as a panic.
+    let mut recs: Vec<CdrRecord> = (0..250)
+        .map(|i| CdrRecord {
+            car: CarId(i as u32 % 53),
+            cell: CellId::new(
+                BaseStationId(i as u32 % 7),
+                (i % 3) as u8,
+                Carrier::from_index(i % 5).expect("valid index"),
+            ),
+            start: Timestamp::from_secs(i as u64 * 37),
+            end: Timestamp::from_secs(i as u64 * 37 + 30),
+        })
+        .collect();
+    recs[7].end = recs[7].start;
+    let mut w = CdrWriter::new(Vec::new()).with_chunk_records(100);
+    w.write_all(&recs).expect("in-memory write");
+    let (mut bytes, _) = w.finish().expect("in-memory finish");
+    // Cut into the final (50-record) frame's body: the whole frame is
+    // lost — its CRC can no longer be checked.
+    let cut = bytes.len() - 49 * 26 - 13;
+    bytes.truncate(cut);
+
+    let salvaged = Cleaner::default()
+        .clean_stream(&bytes, period)
+        .expect("partial damage is accounting, not an error");
+    assert!(salvaged.ingest.truncated_tail);
+    assert_eq!(salvaged.ingest.chunks_ok, 2);
+    assert_eq!(salvaged.ingest.records_lost_truncated, 50);
+    assert_eq!(salvaged.ingest.records_yielded, 200);
+    // The skewed record decoded fine but was quarantined by validation.
+    assert_eq!(salvaged.outcome.report.dropped_malformed, 1);
+    assert_eq!(salvaged.outcome.quarantine.count(RejectReason::Malformed), 1);
+    assert_eq!(salvaged.outcome.dataset.len(), 199);
+    // Every announced record is in exactly one bucket: kept, cut off,
+    // or quarantined.
+    assert_eq!(
+        salvaged.outcome.dataset.len() as u64
+            + salvaged.ingest.records_lost_truncated
+            + salvaged.outcome.quarantine.len() as u64,
+        250
+    );
+}
+
+/// Total loss — a stream cut inside its only frame — is the one case
+/// that *is* an error, and it is [`Error::Clean`], not a panic.
+#[test]
+fn unsalvageable_stream_is_a_clean_error() {
+    let period = StudyPeriod::new(DayOfWeek::Monday, 7).expect("valid period");
+    let bytes = stream(40, 100);
+    let cut = &bytes[..5 + 12 + 7]; // header + chunk header + partial row
+    let err = Cleaner::default()
+        .clean_stream(cut, period)
+        .expect_err("nothing salvageable");
+    assert!(matches!(err, Error::Clean { stage: "salvage", .. }), "{err}");
+    // A pristine header-only stream stays a legitimate empty trace.
+    let empty = Cleaner::default()
+        .clean_stream(&bytes[..5], period)
+        .expect("header-only stream is an empty trace");
+    assert!(empty.ingest.is_pristine());
+    assert_eq!(empty.outcome.dataset.len(), 0);
 }
 
 proptest! {

@@ -91,7 +91,7 @@ impl StudyAnalyses {
         let study_days = study.config.period.days();
         let hist = days_histogram(&profiles, study_days);
         let cutoff = |paper_days: u32| -> u32 {
-            ((paper_days as u64 * study_days as u64).div_ceil(90)) as u32
+            conncar_types::saturating_u32((paper_days as u64 * study_days as u64).div_ceil(90))
         };
         let segmentation = [
             segment(&profiles, cutoff(10), BUSY_CAR_HI, BUSY_CAR_LO),
@@ -139,7 +139,7 @@ impl StudyAnalyses {
         let study_days = study.config.period.days();
         let hist = days_histogram(&profiles, study_days);
         let cutoff = |paper_days: u32| -> u32 {
-            ((paper_days as u64 * study_days as u64).div_ceil(90)) as u32
+            conncar_types::saturating_u32((paper_days as u64 * study_days as u64).div_ceil(90))
         };
         let segmentation = [
             segment(&profiles, cutoff(10), BUSY_CAR_HI, BUSY_CAR_LO),
@@ -197,7 +197,7 @@ fn relax_clustering(
 pub fn sample_car_matrices(study: &StudyData) -> Vec<(CarId, WeeklyMatrix)> {
     let tz = study.region.timezone();
     let period = study.config.period;
-    let by_car: std::collections::HashMap<CarId, &[conncar_cdr::CdrRecord]> =
+    let by_car: std::collections::BTreeMap<CarId, &[conncar_cdr::CdrRecord]> =
         study.clean.by_car().collect();
     let connected =
         |car: CarId| -> bool { by_car.get(&car).map(|r| r.len() > 20).unwrap_or(false) };

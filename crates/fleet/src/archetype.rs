@@ -22,7 +22,7 @@ use conncar_types::DayOfWeek;
 use serde::{Deserialize, Serialize};
 
 /// One behavioural class of connected car.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Archetype {
     /// Strict Monday–Friday rush-hour commuter.
     RegularCommuter,

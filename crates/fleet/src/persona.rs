@@ -143,8 +143,8 @@ impl PersonaFactory {
             archetype,
             home,
             work,
-            commute_out_secs: (out_h * 3_600.0) as u32,
-            commute_back_secs: ((back_h * 3_600.0) as u32).min(24 * 3_600 - 1),
+            commute_out_secs: conncar_types::secs_from_hours_f64(out_h),
+            commute_back_secs: conncar_types::secs_from_hours_f64(back_h).min(24 * 3_600 - 1),
             jitter_secs,
             rare_propensity,
             infotainment,

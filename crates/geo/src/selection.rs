@@ -117,7 +117,6 @@ impl CellSelector {
     /// against `current`. Returns `None` when no usable signal exists
     /// (deep rural gap) — the modem stays detached, which the CDR layer
     /// records as a coverage gap.
-    #[allow(clippy::too_many_arguments)]
     pub fn select(
         &self,
         deployment: &Deployment,
@@ -188,7 +187,6 @@ impl CellSelector {
     }
 
     /// One scan pass at a fixed radius.
-    #[allow(clippy::too_many_arguments)]
     fn scan(
         &self,
         deployment: &Deployment,

@@ -1,0 +1,180 @@
+//! `lint.toml` allowlist: a tiny TOML-subset reader (array-of-tables
+//! with string values), parsed by hand so the linter stays
+//! dependency-free.
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "L2"
+//! path = "crates/store/src/query.rs"
+//! contains = "Instant"
+//! reason = "QueryStats wall-clock accounting; never reaches report bytes"
+//! ```
+//!
+//! `rule` and `path` are required; `contains` (substring of the matched
+//! token text) narrows the entry; `reason` is mandatory so every
+//! exemption is documented.
+
+use crate::rules::Violation;
+
+/// One documented exemption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id this entry silences (`"L1"`..`"L4"`).
+    pub rule: String,
+    /// Exact repo-relative path the entry applies to.
+    pub path: String,
+    /// Optional substring of the violation's matched text.
+    pub contains: Option<String>,
+    /// Why the exemption exists (required).
+    pub reason: String,
+    /// Line of the entry header in `lint.toml` (for diagnostics).
+    pub toml_line: u32,
+}
+
+impl AllowEntry {
+    /// Does this entry cover `v`?
+    pub fn matches(&self, v: &Violation) -> bool {
+        self.rule == v.rule
+            && self.path == v.path
+            && self.contains.as_ref().is_none_or(|c| v.what.contains(c.as_str()))
+    }
+}
+
+/// Parse errors carry the offending line for a actionable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line in `lint.toml`.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+/// Parse the allowlist. Empty input (or a file of comments) is a valid
+/// empty allowlist.
+pub fn parse_allowlist(src: &str) -> Result<Vec<AllowEntry>, ParseError> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<(AllowEntry, bool)> = None; // (entry, has_reason)
+
+    let finish = |cur: Option<(AllowEntry, bool)>,
+                  entries: &mut Vec<AllowEntry>|
+     -> Result<(), ParseError> {
+        if let Some((e, has_reason)) = cur {
+            if e.rule.is_empty() || e.path.is_empty() {
+                return Err(ParseError {
+                    line: e.toml_line,
+                    msg: "[[allow]] entry needs both `rule` and `path`".into(),
+                });
+            }
+            if !has_reason {
+                return Err(ParseError {
+                    line: e.toml_line,
+                    msg: "[[allow]] entry needs a `reason` — every exemption is documented".into(),
+                });
+            }
+            entries.push(e);
+        }
+        Ok(())
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(current.take(), &mut entries)?;
+            current = Some((
+                AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    contains: None,
+                    reason: String::new(),
+                    toml_line: lineno,
+                },
+                false,
+            ));
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(ParseError {
+                line: lineno,
+                msg: format!("unsupported table `{line}` (only [[allow]] entries)"),
+            });
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ParseError { line: lineno, msg: format!("expected `key = \"value\"`, got `{line}`") });
+        };
+        let Some((entry, has_reason)) = current.as_mut() else {
+            return Err(ParseError {
+                line: lineno,
+                msg: "key outside an [[allow]] entry".into(),
+            });
+        };
+        let value = parse_string(value.trim()).ok_or_else(|| ParseError {
+            line: lineno,
+            msg: format!("value must be a double-quoted string: `{line}`"),
+        })?;
+        match key.trim() {
+            "rule" => entry.rule = value,
+            "path" => entry.path = value,
+            "contains" => entry.contains = Some(value),
+            "reason" => {
+                entry.reason = value;
+                *has_reason = true;
+            }
+            other => {
+                return Err(ParseError {
+                    line: lineno,
+                    msg: format!("unknown key `{other}` (rule/path/contains/reason)"),
+                })
+            }
+        }
+    }
+    finish(current.take(), &mut entries)?;
+    Ok(entries)
+}
+
+/// Strip a `#` comment, respecting `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Parse a double-quoted TOML basic string (escapes: `\\`, `\"`).
+fn parse_string(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                _ => return None,
+            }
+        } else if c == '"' {
+            return None; // unescaped quote mid-string ⇒ not one string
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}

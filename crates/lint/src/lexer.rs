@@ -1,0 +1,340 @@
+//! A minimal Rust lexer: just enough token structure for rules L1–L4.
+//!
+//! We deliberately do not build an AST. Every invariant the linter
+//! enforces is visible at the token level (type names, method-call
+//! spellings, `as <narrow-int>` sequences), and a token scanner keeps
+//! the crate dependency-free — `syn` is not buildable in the offline
+//! environments this gate must run in.
+//!
+//! The lexer understands the parts of Rust that would otherwise cause
+//! false positives: line and nested block comments, string / raw-string
+//! / byte-string / char literals (vs lifetimes), and numeric literals.
+//! It also brace-matches `#[cfg(test)]` / `#[test]` items so rules can
+//! skip test-only code.
+
+/// One significant token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Whether the token sits inside a `#[cfg(test)]` or `#[test]`
+    /// item body (rules skip these regions).
+    pub in_test: bool,
+}
+
+/// Token categories. Literals and comments never reach the rule layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `as`, `unwrap`, ...).
+    Ident(String),
+    /// Numeric literal (value irrelevant to every rule).
+    Number,
+    /// Lifetime (`'a`) — distinct from char literals.
+    Lifetime,
+    /// Any other single significant character (`.`, `:`, `(`, ...).
+    Punct(char),
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Tokenize `src`, skipping comments and the *contents* of literals.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($range:expr) => {
+            line += bytes[$range].iter().filter(|&&b| b == b'\n').count() as u32
+        };
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                let mut depth = 1u32;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                bump_lines!(start..i);
+            }
+            b'"' => {
+                let start = i;
+                i = skip_string(bytes, i);
+                bump_lines!(start..i);
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let start = i;
+                i = skip_raw_or_byte_string(bytes, i);
+                bump_lines!(start..i);
+            }
+            b'\'' => {
+                // Lifetime vs char literal.
+                let next = bytes.get(i + 1).copied().unwrap_or(0);
+                let after = bytes.get(i + 2).copied().unwrap_or(0);
+                if (next.is_ascii_alphabetic() || next == b'_') && after != b'\'' {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    toks.push(Token { kind: TokenKind::Lifetime, line, in_test: false });
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    bump_lines!(start..i);
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).unwrap_or("").to_string();
+                toks.push(Token { kind: TokenKind::Ident(text), line, in_test: false });
+            }
+            c if c.is_ascii_digit() => {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    // Stop a numeric literal before a range operator or
+                    // method call on a literal (`1..10`, `1.max(2)`).
+                    if bytes[i] == b'.'
+                        && bytes
+                            .get(i + 1)
+                            .is_some_and(|&n| n == b'.' || n.is_ascii_alphabetic() || n == b'_')
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Token { kind: TokenKind::Number, line, in_test: false });
+            }
+            c => {
+                // Multi-byte UTF-8 only appears inside literals/comments
+                // in valid Rust, but advance safely regardless.
+                let width = if c < 0x80 { 1 } else { utf8_width(c) };
+                if c < 0x80 {
+                    toks.push(Token { kind: TokenKind::Punct(c as char), line, in_test: false });
+                }
+                i += width;
+            }
+        }
+    }
+
+    mark_test_regions(&mut toks);
+    toks
+}
+
+fn utf8_width(lead: u8) -> usize {
+    if lead >= 0xF0 {
+        4
+    } else if lead >= 0xE0 {
+        3
+    } else {
+        2
+    }
+}
+
+/// Is `bytes[i..]` the start of a raw string / byte string /
+/// raw byte string (`r"`, `r#"`, `b"`, `br"`, `rb` is not Rust)?
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) == Some(&b'r') {
+            j += 1;
+        }
+    } else if bytes[j] == b'r' {
+        j += 1;
+    } else {
+        return false;
+    }
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"') && j > i
+}
+
+fn skip_raw_or_byte_string(bytes: &[u8], mut i: usize) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    let raw = bytes.get(i) == Some(&b'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(bytes.get(i), Some(&b'"'));
+    i += 1; // opening quote
+    if raw {
+        // Scan for `"` followed by `hashes` `#`s.
+        while i < bytes.len() {
+            if bytes[i] == b'"' {
+                let mut k = 0usize;
+                while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return i + 1 + hashes;
+                }
+            }
+            i += 1;
+        }
+        i
+    } else {
+        skip_string(bytes, i - 1)
+    }
+}
+
+/// Skip a plain `"..."` string starting at the opening quote.
+fn skip_string(bytes: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Mark tokens inside `#[cfg(test)]` / `#[test]` item bodies.
+///
+/// Strategy: whenever we see `#` `[` ... `]` whose bracket group
+/// contains the ident `test` under a `cfg(...)` or is exactly `test`,
+/// find the next `{` and mark through its matching `}`. This covers
+/// `#[cfg(test)] mod tests { ... }` and `#[test] fn case() { ... }`,
+/// which is how every test in this workspace is written.
+fn mark_test_regions(toks: &mut [Token]) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Collect the attribute's tokens.
+            let attr_start = i + 2;
+            let mut depth = 1i32;
+            let mut j = attr_start;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            let attr = &toks[attr_start..j.saturating_sub(1)];
+            if attr_is_test(attr) {
+                // Find the opening brace of the annotated item. Skip
+                // over any further attributes and the item header; stop
+                // at `;` (no body ⇒ nothing to mark).
+                let mut k = j;
+                let mut brace = None;
+                let mut paren_depth = 0i32;
+                while k < toks.len() {
+                    if toks[k].is_punct('(') {
+                        paren_depth += 1;
+                    } else if toks[k].is_punct(')') {
+                        paren_depth -= 1;
+                    } else if toks[k].is_punct('{') && paren_depth == 0 {
+                        brace = Some(k);
+                        break;
+                    } else if toks[k].is_punct(';') && paren_depth == 0 {
+                        break;
+                    }
+                    k += 1;
+                }
+                if let Some(open) = brace {
+                    let mut bdepth = 0i32;
+                    let mut m = open;
+                    while m < toks.len() {
+                        if toks[m].is_punct('{') {
+                            bdepth += 1;
+                        } else if toks[m].is_punct('}') {
+                            bdepth -= 1;
+                        }
+                        toks[m].in_test = true;
+                        if bdepth == 0 {
+                            break;
+                        }
+                        m += 1;
+                    }
+                    // Also mark the header tokens between attr and `{`.
+                    for t in &mut toks[i..open] {
+                        t.in_test = true;
+                    }
+                    i = m + 1;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Does an attribute token list denote test-only code?
+/// Matches `test`, `cfg(test)`, and `cfg(any(test, ...))`, but not
+/// `cfg(not(test))` (which gates *non*-test code).
+fn attr_is_test(attr: &[Token]) -> bool {
+    match attr {
+        [t] => t.ident() == Some("test"),
+        _ => {
+            attr.first().and_then(Token::ident) == Some("cfg")
+                && attr.iter().any(|t| t.ident() == Some("test"))
+                && !attr.iter().any(|t| t.ident() == Some("not"))
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! conncar-lint: the workspace determinism & invariant gate.
+//!
+//! Four deny-by-default rules (see [`rules`]) run over every `.rs` file
+//! under `crates/*/src`, `src/`, and `examples/`; hits are suppressed
+//! only by a documented entry in `lint.toml`. See DESIGN.md §9 for the
+//! rationale behind each rule and the procedure for amending the
+//! allowlist.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use config::AllowEntry;
+use rules::Violation;
+use std::path::{Path, PathBuf};
+
+/// Outcome of a full workspace lint run.
+#[derive(Debug, Default)]
+pub struct LintRun {
+    /// Unallowlisted violations: these fail the gate.
+    pub violations: Vec<Violation>,
+    /// Violations covered by an allowlist entry (reported informally).
+    pub allowed: Vec<(Violation, usize)>,
+    /// Allowlist entries that matched nothing (stale — reported so the
+    /// residue file shrinks instead of rotting).
+    pub unused_entries: Vec<AllowEntry>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lint every tracked source file under `root` against `allowlist`.
+pub fn lint_workspace(root: &Path, allowlist: &[AllowEntry]) -> std::io::Result<LintRun> {
+    let mut run = LintRun::default();
+    let mut used = vec![false; allowlist.len()];
+
+    let mut files = source_files(root)?;
+    files.sort();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&file)?;
+        run.files_scanned += 1;
+        for v in rules::lint_source(&rel, &src) {
+            match allowlist.iter().position(|e| e.matches(&v)) {
+                Some(idx) => {
+                    used[idx] = true;
+                    run.allowed.push((v, idx));
+                }
+                None => run.violations.push(v),
+            }
+        }
+    }
+    run.unused_entries = allowlist
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    Ok(run)
+}
+
+/// Every `.rs` file the gate covers: `crates/*/src/**`, the workspace
+/// `src/`, and `examples/`. Tests and benches are intentionally out of
+/// scope (they may use wall-clocks and unwrap freely); the lint crate's
+/// own fixtures are skipped so violating examples don't fail the gate.
+fn source_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in std::fs::read_dir(&crates)? {
+            let dir = entry?.path().join("src");
+            if dir.is_dir() {
+                walk_rs(&dir, &mut out)?;
+            }
+        }
+    }
+    for top in ["src", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk_rs(&dir, &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Render one violation the way compilers do: `path:line: [rule] ...`.
+pub fn format_violation(v: &Violation) -> String {
+    format!(
+        "{}:{}: [{}] {} — {}",
+        v.path, v.line, v.rule, v.what, v.hint
+    )
+}

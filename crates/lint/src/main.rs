@@ -1,0 +1,130 @@
+//! CLI for the conncar determinism gate.
+//!
+//! ```text
+//! cargo run -p conncar-lint -- --deny [--root <dir>] [--allowlist <file>]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unallowlisted violations, 2 usage/IO error.
+//! (`--deny` is the default and is accepted explicitly so the CI
+//! invocation documents its intent.)
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => {} // default behaviour; kept for explicit CI invocations
+            "--quiet" | "-q" => quiet = true,
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--allowlist" => match args.next() {
+                Some(v) => allowlist_path = Some(PathBuf::from(v)),
+                None => return usage("--allowlist needs a value"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "conncar-lint: workspace determinism & invariant gate (rules L1-L4)\n\
+                     usage: conncar-lint [--deny] [--root <dir>] [--allowlist <lint.toml>] [--quiet]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Find the workspace root: the given dir, or walk up to Cargo.toml.
+    if !root.join("Cargo.toml").exists() {
+        let mut cur = root.clone();
+        while let Some(parent) = cur.parent().map(PathBuf::from) {
+            if parent.join("Cargo.toml").exists() {
+                root = parent;
+                break;
+            }
+            if parent.as_os_str().is_empty() {
+                break;
+            }
+            cur = parent;
+        }
+    }
+
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("lint.toml"));
+    let allowlist = if allowlist_path.exists() {
+        let src = match std::fs::read_to_string(&allowlist_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: reading {}: {e}", allowlist_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match conncar_lint::config::parse_allowlist(&src) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
+    let run = match conncar_lint::lint_workspace(&root, &allowlist) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if !quiet {
+        for (v, idx) in &run.allowed {
+            println!(
+                "allowed: {} (lint.toml:{}: {})",
+                conncar_lint::format_violation(v),
+                allowlist[*idx].toml_line,
+                allowlist[*idx].reason
+            );
+        }
+    }
+    for entry in &run.unused_entries {
+        eprintln!(
+            "warning: stale allowlist entry lint.toml:{} ({} {}) matched nothing — remove it",
+            entry.toml_line, entry.rule, entry.path
+        );
+    }
+    for v in &run.violations {
+        eprintln!("{}", conncar_lint::format_violation(v));
+    }
+
+    if run.violations.is_empty() {
+        if !quiet {
+            println!(
+                "conncar-lint: {} files clean ({} allowlisted hit{})",
+                run.files_scanned,
+                run.allowed.len(),
+                if run.allowed.len() == 1 { "" } else { "s" }
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "conncar-lint: {} violation{} (rules are deny-by-default; fix or add a documented \
+             lint.toml entry)",
+            run.violations.len(),
+            if run.violations.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\nusage: conncar-lint [--deny] [--root <dir>] [--allowlist <file>]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,273 @@
+//! The four determinism / invariant rules (L1–L4).
+//!
+//! Every rule works on the token stream of one file plus its
+//! repo-relative path; test regions (`#[cfg(test)]`, `#[test]`) are
+//! skipped. Scoping decisions (which crates a rule applies to) live
+//! here so the fixture tests can exercise them with synthetic paths.
+
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// One rule hit at a concrete source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id: `"L1"`..`"L4"`.
+    pub rule: &'static str,
+    /// Repo-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// What was matched (e.g. `HashMap`, `.unwrap()`).
+    pub what: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+/// Crates whose outputs feed the rendered study report and therefore
+/// must be bit-reproducible (rule L1 scope).
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "crates/analysis/",
+    "crates/store/",
+    "crates/core/",
+    "crates/cdr/",
+];
+
+/// Crates where `as`-narrowing on time/PRB quantities is banned (L3):
+/// the deterministic crates plus the generators that produce the
+/// timestamps in the first place.
+const NARROWING_CRATES: &[&str] = &[
+    "crates/analysis/",
+    "crates/store/",
+    "crates/core/",
+    "crates/cdr/",
+    "crates/fleet/",
+    "crates/types/",
+];
+
+/// Ingest/salvage/clean pipeline files where corrupt input is expected
+/// and panicking is a bug (rule L4 scope).
+const PANIC_FREE_FILES: &[&str] = &[
+    "crates/cdr/src/io.rs",
+    "crates/cdr/src/codec.rs",
+    "crates/cdr/src/clean.rs",
+];
+
+const L1_HINT: &str = "std HashMap/HashSet iteration order is nondeterministic; use \
+     BTreeMap/BTreeSet (or sort before folding) so report bytes do not depend on hasher state";
+const L2_HINT: &str = "ambient entropy/time breaks seeded reproducibility; thread randomness \
+     from conncar_types::seed::SeedSplitter (rand_chacha) and keep wall-clock reads in \
+     bench/QueryStats accounting only";
+const L3_HINT: &str = "`as` narrowing silently truncates time/PRB quantities; use the checked \
+     constructors in conncar-types (saturating_u32, hour_of_day_from_hours, secs_from_hours_f64, \
+     DayBin::at) or try_from with explicit handling";
+const L4_HINT: &str = "corrupt input is expected on the ingest path; return Err and let the \
+     caller route the record into IngestReport/Quarantine instead of panicking";
+
+/// Identifier fragments that mark a value as a time / duration / PRB
+/// quantity for rule L3. Matched case-insensitively as substrings of
+/// the identifiers in the cast's source expression.
+const L3_NAME_FRAGMENTS: &[&str] = &[
+    "sec", "timestamp", "_ts", "duration", "dur_", "prb", "day", "hour", "minute", "week", "bin_",
+    "_bin", "epoch", "elapsed",
+];
+
+/// Lint one file's source. `path` must be repo-relative with forward
+/// slashes (e.g. `crates/analysis/src/temporal.rs`).
+pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
+    let toks = tokenize(src);
+    let mut out = Vec::new();
+    rule_l1(path, &toks, &mut out);
+    rule_l2(path, &toks, &mut out);
+    rule_l3(path, &toks, &mut out);
+    rule_l4(path, &toks, &mut out);
+    out.sort_by(|a, b| (a.line, a.rule, &a.what).cmp(&(b.line, b.rule, &b.what)));
+    out.dedup();
+    out
+}
+
+fn in_any(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+/// L1: no `HashMap` / `HashSet` in deterministic-output crates.
+///
+/// Deliberately a *type-level* ban rather than an iteration-site check:
+/// a token linter cannot prove a map is never iterated (serde derives
+/// iterate implicitly), and BTree equivalents cost nothing at this
+/// scale. Lookup-only maps that measurably matter can be allowlisted.
+fn rule_l1(path: &str, toks: &[Token], out: &mut Vec<Violation>) {
+    if !in_any(path, DETERMINISTIC_CRATES) {
+        return;
+    }
+    let mut last_line = 0u32;
+    for t in toks {
+        if t.in_test {
+            continue;
+        }
+        if let Some(name @ ("HashMap" | "HashSet")) = t.ident() {
+            // One report per line keeps `HashMap<..> = HashMap::new()`
+            // from double-counting.
+            if t.line != last_line {
+                out.push(Violation {
+                    rule: "L1",
+                    path: path.to_string(),
+                    line: t.line,
+                    what: name.to_string(),
+                    hint: L1_HINT,
+                });
+                last_line = t.line;
+            }
+        }
+    }
+}
+
+/// L2: no ambient entropy or wall-clock time outside `crates/bench/`.
+fn rule_l2(path: &str, toks: &[Token], out: &mut Vec<Violation>) {
+    if path.starts_with("crates/bench/") || path.starts_with("crates/lint/") {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let Some(name) = t.ident() else { continue };
+        let flagged = match name {
+            "thread_rng" | "from_entropy" | "OsRng" | "random" if is_call_or_path(toks, i) => {
+                // `random` only as `rand::random` / `random()` — the
+                // bare word is too common as a field name.
+                name == "thread_rng" || name == "from_entropy" || name == "OsRng"
+                    || is_rand_random(toks, i)
+            }
+            "SystemTime" | "Instant" => true,
+            _ => false,
+        };
+        if flagged {
+            out.push(Violation {
+                rule: "L2",
+                path: path.to_string(),
+                line: t.line,
+                what: name.to_string(),
+                hint: L2_HINT,
+            });
+        }
+    }
+}
+
+fn is_call_or_path(toks: &[Token], i: usize) -> bool {
+    matches!(
+        toks.get(i + 1).map(|t| &t.kind),
+        Some(TokenKind::Punct('(')) | Some(TokenKind::Punct(':'))
+    ) || matches!(toks.get(i.wrapping_sub(1)).map(|t| &t.kind), Some(TokenKind::Punct(':')))
+}
+
+fn is_rand_random(toks: &[Token], i: usize) -> bool {
+    i >= 2
+        && toks[i - 1].is_punct(':')
+        && toks[i - 2].is_punct(':')
+        && toks.get(i.wrapping_sub(3)).and_then(Token::ident) == Some("rand")
+}
+
+/// L3: no `as {u8,u16,u32,i8,i16,i32}` narrowing of values whose names
+/// say they are timestamps, durations, PRB counts, or bin indices.
+fn rule_l3(path: &str, toks: &[Token], out: &mut Vec<Violation>) {
+    if !in_any(path, NARROWING_CRATES) {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.ident() != Some("as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1).and_then(Token::ident) else { continue };
+        if !matches!(target, "u8" | "u16" | "u32" | "i8" | "i16" | "i32" | "usize") {
+            continue;
+        }
+        // `usize` only counts as narrowing from an explicitly wider
+        // source; names rarely tell us the source width, so skip it.
+        if target == "usize" {
+            continue;
+        }
+        let names = preceding_expr_idents(toks, i);
+        let hit = names.iter().find(|n| {
+            let low = n.to_ascii_lowercase();
+            L3_NAME_FRAGMENTS.iter().any(|frag| low.contains(frag))
+        });
+        if let Some(name) = hit {
+            out.push(Violation {
+                rule: "L3",
+                path: path.to_string(),
+                line: t.line,
+                what: format!("{name} as {target}"),
+                hint: L3_HINT,
+            });
+        }
+    }
+}
+
+/// Collect the identifiers of the postfix expression ending just before
+/// token `i` (the `as`). Walks backwards over idents, `.`/`::` chains,
+/// and balanced `(..)` / `[..]` groups; stops at any other token.
+fn preceding_expr_idents(toks: &[Token], i: usize) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match &toks[j].kind {
+            TokenKind::Ident(s) => names.push(s.clone()),
+            TokenKind::Number | TokenKind::Lifetime => {}
+            TokenKind::Punct('.') | TokenKind::Punct(':') => {}
+            TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                let open = if toks[j].is_punct(')') { '(' } else { '[' };
+                let close = if open == '(' { ')' } else { ']' };
+                let mut depth = 1i32;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    if toks[j].is_punct(close) {
+                        depth += 1;
+                    } else if toks[j].is_punct(open) {
+                        depth -= 1;
+                    } else if let TokenKind::Ident(s) = &toks[j].kind {
+                        names.push(s.clone());
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    names
+}
+
+/// L4: no panicking operations in the ingest/salvage/clean pipeline.
+fn rule_l4(path: &str, toks: &[Token], out: &mut Vec<Violation>) {
+    if !PANIC_FREE_FILES.contains(&path) {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let Some(name) = t.ident() else { continue };
+        let what = match name {
+            // `.unwrap()` / `.expect(` as method calls.
+            "unwrap" | "expect" | "unwrap_unchecked"
+                if i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                format!(".{name}()")
+            }
+            // Panicking macros.
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if toks.get(i + 1).is_some_and(|n| n.is_punct('!')) =>
+            {
+                format!("{name}!")
+            }
+            _ => continue,
+        };
+        out.push(Violation {
+            rule: "L4",
+            path: path.to_string(),
+            line: t.line,
+            what,
+            hint: L4_HINT,
+        });
+    }
+}

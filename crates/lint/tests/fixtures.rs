@@ -1,0 +1,160 @@
+//! Fixture tests for the linter itself: one violating and one clean
+//! example per rule, asserting exact rule ids and line numbers.
+//!
+//! Fixtures are linted under synthetic paths that place them in each
+//! rule's scope (e.g. the L4 pair pretends to be `crates/cdr/src/io.rs`,
+//! the only place that rule applies); the sources live as plain text
+//! under `fixtures/` and are never compiled.
+
+use conncar_lint::rules::lint_source;
+
+/// (rule, line, what) triples for every violation in a file.
+fn hits(path: &str, src: &str) -> Vec<(&'static str, u32, String)> {
+    lint_source(path, src)
+        .into_iter()
+        .map(|v| (v.rule, v.line, v.what))
+        .collect()
+}
+
+#[test]
+fn l1_flags_hash_collections_per_line() {
+    let found = hits(
+        "crates/analysis/src/fixture.rs",
+        include_str!("fixtures/l1_violating.rs"),
+    );
+    assert_eq!(
+        found,
+        vec![
+            ("L1", 4, "HashMap".to_string()),
+            ("L1", 5, "HashSet".to_string()),
+            ("L1", 7, "HashMap".to_string()),
+            ("L1", 8, "HashSet".to_string()),
+            ("L1", 9, "HashMap".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn l1_passes_ordered_collections() {
+    let found = hits(
+        "crates/analysis/src/fixture.rs",
+        include_str!("fixtures/l1_clean.rs"),
+    );
+    assert_eq!(found, vec![]);
+}
+
+#[test]
+fn l1_is_scoped_to_deterministic_crates() {
+    // The same hash-using source is fine in a crate whose output is
+    // not required to be bit-identical.
+    let found = hits(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/l1_violating.rs"),
+    );
+    assert_eq!(found, vec![]);
+}
+
+#[test]
+fn l2_flags_ambient_entropy_and_time() {
+    let found = hits(
+        "crates/fleet/src/fixture.rs",
+        include_str!("fixtures/l2_violating.rs"),
+    );
+    assert_eq!(
+        found,
+        vec![
+            ("L2", 7, "thread_rng".to_string()),
+            ("L2", 12, "SystemTime".to_string()),
+            ("L2", 13, "Instant".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn l2_passes_seeded_rng_and_sim_clock() {
+    let found = hits(
+        "crates/fleet/src/fixture.rs",
+        include_str!("fixtures/l2_clean.rs"),
+    );
+    assert_eq!(found, vec![]);
+}
+
+#[test]
+fn l3_flags_narrowing_casts_on_time_names() {
+    let found = hits(
+        "crates/analysis/src/fixture.rs",
+        include_str!("fixtures/l3_violating.rs"),
+    );
+    assert_eq!(
+        found,
+        vec![
+            ("L3", 5, "total_secs as u32".to_string()),
+            ("L3", 9, "start_ts as u16".to_string()),
+            ("L3", 13, "prb_count as u8".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn l3_passes_checked_constructors() {
+    let found = hits(
+        "crates/analysis/src/fixture.rs",
+        include_str!("fixtures/l3_clean.rs"),
+    );
+    assert_eq!(found, vec![]);
+}
+
+#[test]
+fn l4_flags_panic_sites_on_the_ingest_path() {
+    let found = hits(
+        "crates/cdr/src/io.rs",
+        include_str!("fixtures/l4_violating.rs"),
+    );
+    assert_eq!(
+        found,
+        vec![
+            ("L4", 5, ".unwrap()".to_string()),
+            ("L4", 10, ".expect()".to_string()),
+            ("L4", 14, "panic!".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn l4_passes_fallible_reads() {
+    let found = hits(
+        "crates/cdr/src/io.rs",
+        include_str!("fixtures/l4_clean.rs"),
+    );
+    assert_eq!(found, vec![]);
+}
+
+#[test]
+fn l4_is_scoped_to_the_three_pipeline_files() {
+    // The same panicking source is legal elsewhere (rules L1–L3 still
+    // apply there, but nothing in the fixture trips them).
+    let found = hits(
+        "crates/cdr/src/faults.rs",
+        include_str!("fixtures/l4_violating.rs"),
+    );
+    assert_eq!(found, vec![]);
+}
+
+#[test]
+fn test_code_is_exempt_everywhere() {
+    let src = r#"
+pub fn good() {}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() {
+        let _ = HashMap::<u32, u32>::new();
+        let _ = std::time::Instant::now();
+        Some(1u32).unwrap();
+    }
+}
+"#;
+    assert_eq!(hits("crates/cdr/src/io.rs", src), vec![]);
+}

@@ -1,0 +1,15 @@
+//! L1 fixture (clean): ordered collections, deterministic iteration.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, usize> {
+    let mut seen = BTreeSet::new();
+    let mut counts = BTreeMap::new();
+    for x in xs {
+        if seen.insert(*x) {
+            *counts.entry(*x).or_insert(0) += 1;
+        }
+    }
+    counts
+}

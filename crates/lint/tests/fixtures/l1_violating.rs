@@ -1,0 +1,16 @@
+//! L1 fixture: hash collections in a deterministic-output crate.
+//! Linted as if it lived at `crates/analysis/src/fixture.rs`.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(xs: &[u32]) -> HashMap<u32, usize> {
+    let mut seen = HashSet::new();
+    let mut counts = HashMap::new();
+    for x in xs {
+        if seen.insert(*x) {
+            *counts.entry(*x).or_insert(0) += 1;
+        }
+    }
+    counts
+}

@@ -1,0 +1,13 @@
+//! L2 fixture (clean): all randomness threaded from a seeded RNG, no
+//! wall-clock reads; time comes from the simulated study clock.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+pub fn jitter_ms(rng: &mut ChaCha8Rng) -> u64 {
+    rng.gen_range(0..100)
+}
+
+pub fn stamp(sim_clock_secs: u64) -> u64 {
+    sim_clock_secs * 1_000
+}

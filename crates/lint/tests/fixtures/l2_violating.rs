@@ -1,0 +1,16 @@
+//! L2 fixture: ambient entropy and wall-clock reads.
+//! Linted as if it lived at `crates/fleet/src/fixture.rs`.
+
+use rand::Rng;
+
+pub fn jitter_ms() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..100)
+}
+
+pub fn stamp() -> u64 {
+    let now = std::time::SystemTime::now();
+    let t0 = std::time::Instant::now();
+    let _ = t0;
+    now.elapsed().map(|d| d.as_millis() as u64).unwrap_or(0)
+}

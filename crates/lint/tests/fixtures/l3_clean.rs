@@ -1,0 +1,14 @@
+//! L3 fixture (clean): checked constructors and explicit try_from
+//! instead of silent `as` narrowing.
+
+pub fn to_u32(total_secs: u64) -> u32 {
+    conncar_types::saturating_u32(total_secs)
+}
+
+pub fn bucket(start_ts: u64) -> u16 {
+    u16::try_from(start_ts / 900).unwrap_or(u16::MAX)
+}
+
+pub fn prbs(prb_count: u64) -> u8 {
+    u8::try_from(prb_count).unwrap_or(u8::MAX)
+}

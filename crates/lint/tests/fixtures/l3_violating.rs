@@ -1,0 +1,14 @@
+//! L3 fixture: narrowing casts on time/PRB-named quantities.
+//! Linted as if it lived at `crates/analysis/src/fixture.rs`.
+
+pub fn to_u32(total_secs: u64) -> u32 {
+    total_secs as u32
+}
+
+pub fn bucket(start_ts: u64) -> u16 {
+    (start_ts / 900) as u16
+}
+
+pub fn prbs(prb_count: u64) -> u8 {
+    prb_count as u8
+}

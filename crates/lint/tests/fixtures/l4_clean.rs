@@ -1,0 +1,13 @@
+//! L4 fixture (clean): every read is fallible; corrupt input becomes
+//! `None`/default, never a panic.
+
+pub fn read_u32(buf: &[u8], at: usize) -> Option<u32> {
+    match buf.get(at..at.checked_add(4)?)? {
+        &[a, b, c, d] => Some(u32::from_le_bytes([a, b, c, d])),
+        _ => None,
+    }
+}
+
+pub fn parse_count(field: Option<u32>) -> u32 {
+    field.unwrap_or(0)
+}

@@ -1,0 +1,15 @@
+//! L4 fixture: panic sites on the ingest path.
+//! Linted as if it were `crates/cdr/src/io.rs`.
+
+pub fn read_u32(buf: &[u8], at: usize) -> u32 {
+    let bytes: [u8; 4] = buf[at..at + 4].try_into().unwrap();
+    u32::from_le_bytes(bytes)
+}
+
+pub fn parse_count(field: Option<u32>) -> u32 {
+    field.expect("count field missing")
+}
+
+pub fn reject() {
+    panic!("corrupt frame");
+}

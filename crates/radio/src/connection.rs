@@ -163,7 +163,6 @@ impl ConnectionGenerator {
     /// * `transfers` — sorted, non-overlapping data intervals;
     /// * the generated per-cell connection records are returned, and each
     ///   transfer's PRB demand is credited to `ledger` (if provided).
-    #[allow(clippy::too_many_arguments)]
     pub fn simulate_trip(
         &self,
         car: CarId,

@@ -137,8 +137,8 @@ impl DayBin {
 
     /// The bin covering `hour:minute`.
     #[inline]
-    pub const fn at(hour: u8, minute: u8) -> DayBin {
-        DayBin(hour as u16 * 4 + minute as u16 / 15)
+    pub fn at(hour: u8, minute: u8) -> DayBin {
+        DayBin(u16::from(hour) * 4 + u16::from(minute) / 15)
     }
 
     /// Index `0..96`.

@@ -66,6 +66,17 @@ pub enum Error {
         /// The analysis that had nothing to consume.
         analysis: &'static str,
     },
+    /// The ingest→clean pipeline could not produce a usable dataset
+    /// from a byte stream: the input carried data, but nothing
+    /// salvageable survived to be cleaned. Partial damage is *not* an
+    /// error — it lands in `IngestReport`/`Quarantine` accounting; this
+    /// variant is reserved for total loss.
+    Clean {
+        /// Which pipeline stage gave up.
+        stage: &'static str,
+        /// Description of the failure.
+        why: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -97,6 +108,9 @@ impl fmt::Display for Error {
             Error::Io(msg) => write!(f, "I/O error: {msg}"),
             Error::EmptyInput { analysis } => {
                 write!(f, "analysis `{analysis}` received no input data")
+            }
+            Error::Clean { stage, why } => {
+                write!(f, "clean pipeline failed at stage `{stage}`: {why}")
             }
         }
     }
@@ -142,6 +156,11 @@ mod tests {
         assert!(Error::UnsupportedVersion { found: 9 }
             .to_string()
             .contains("version 9"));
+        let e = Error::Clean {
+            stage: "salvage",
+            why: "nothing salvageable".into(),
+        };
+        assert!(e.to_string().contains("salvage"), "{e}");
     }
 
     #[test]

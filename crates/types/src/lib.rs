@@ -45,6 +45,7 @@ pub use id::{BaseStationId, CarId, CellId, SectorId};
 pub use period::StudyPeriod;
 pub use seed::SeedSplitter;
 pub use time::{
-    DayOfWeek, Duration, LocalTime, TimeOfDay, TimeZone, Timestamp, SECONDS_PER_DAY,
-    SECONDS_PER_HOUR, SECONDS_PER_MINUTE, SECONDS_PER_WEEK,
+    hour_of_day_from_hours, saturating_u32, secs_from_hours_f64, DayOfWeek, Duration, LocalTime,
+    TimeOfDay, TimeZone, Timestamp, SECONDS_PER_DAY, SECONDS_PER_HOUR, SECONDS_PER_MINUTE,
+    SECONDS_PER_WEEK,
 };

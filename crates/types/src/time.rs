@@ -20,6 +20,36 @@ pub const SECONDS_PER_DAY: u64 = 86_400;
 /// Seconds in one week.
 pub const SECONDS_PER_WEEK: u64 = 7 * SECONDS_PER_DAY;
 
+/// Saturating `u64 → u32` narrowing for counts that are structurally
+/// bounded far below `u32::MAX` (study-day counts, seconds of day, bin
+/// totals). Lint rule L3 bans raw `as` narrowing on time quantities;
+/// this is the audited front door, and it saturates so an impossible
+/// overflow degrades visibly instead of wrapping.
+#[inline]
+pub const fn saturating_u32(v: u64) -> u32 {
+    if v > u32::MAX as u64 {
+        u32::MAX
+    } else {
+        v as u32
+    }
+}
+
+/// Hour-of-day (`0..=23`) from an absolute hour count since the epoch.
+/// The input is reduced mod 24, so the result always fits its `u8`.
+#[inline]
+pub const fn hour_of_day_from_hours(hours_abs: u64) -> u8 {
+    (hours_abs % 24) as u8
+}
+
+/// Whole seconds from a fractional hour count, saturating exactly like
+/// a float `as` cast (NaN and negatives → 0, huge values → `u32::MAX`):
+/// the audited constructor behind schedule anchors expressed in civil
+/// hours (e.g. `7.25` → `26_100`).
+#[inline]
+pub fn secs_from_hours_f64(hours: f64) -> u32 {
+    (hours * SECONDS_PER_HOUR as f64) as u32
+}
+
 /// A point in simulation time: whole seconds since the study epoch
 /// (midnight UTC of study day 0).
 #[derive(
