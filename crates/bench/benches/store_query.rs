@@ -6,7 +6,13 @@
 //! `BENCH_store.json` (path overridable via `BENCH_STORE_JSON`) with
 //! per-experiment wall times, rows/s, and speedups.
 //!
-//! Plain `fn main` on purpose: the numbers go to the JSON artifact, not
+//! Every measurement flows through the obs clock: each timed run is a
+//! [`SpanRecord`] against a [`MonotonicClock`], the same machinery that
+//! times `RUN_OBS.json`, so the two artifacts share one timing source.
+//! The span tree itself is written as a second artifact (default
+//! `target/RUN_OBS_bench.json`, overridable via `BENCH_OBS_JSON`).
+//!
+//! Plain `fn main` on purpose: the numbers go to the JSON artifacts, not
 //! a criterion report, so the binary stays runnable anywhere `rustc` is.
 
 use conncar::StudyData;
@@ -14,36 +20,42 @@ use conncar_analysis::concurrency::ConcurrencyIndex;
 use conncar_analysis::duration::{connection_durations, connection_durations_store};
 use conncar_analysis::temporal::{daily_presence, daily_presence_store};
 use conncar_bench::bench_config;
+use conncar_obs::{Clock, CounterRegistry, MonotonicClock, RunTelemetry, SharedClock, SpanRecord};
 use conncar_store::{CdrStore, Filter};
-use std::time::Instant;
+use std::sync::Arc;
 
-/// Best-of-N wall time in nanoseconds (min absorbs scheduler noise
-/// better than mean at these iteration counts).
-fn best_of<R>(iters: usize, mut f: impl FnMut() -> R) -> u64 {
+/// Best-of-N wall time as a leaf span (min absorbs scheduler noise
+/// better than mean at these iteration counts). The span carries the
+/// processed row count, so `items_per_sec` is the throughput figure.
+fn best_span<R>(
+    clock: &dyn Clock,
+    name: &str,
+    rows: u64,
+    iters: usize,
+    mut f: impl FnMut() -> R,
+) -> SpanRecord {
     let mut best = u64::MAX;
     for _ in 0..iters {
-        let t = Instant::now();
+        let t0 = clock.now_nanos();
         let r = f();
-        let ns = t.elapsed().as_nanos() as u64;
+        let ns = clock.now_nanos().saturating_sub(t0);
         std::hint::black_box(&r);
         best = best.min(ns.max(1));
     }
-    best
+    SpanRecord::leaf(name, best, rows)
 }
 
 struct Row {
     id: &'static str,
-    rows: u64,
-    legacy_ns: u64,
-    store_ns: u64,
+    legacy: SpanRecord,
+    store: SpanRecord,
 }
 
 impl Row {
     fn speedup(&self) -> f64 {
-        self.legacy_ns as f64 / self.store_ns as f64
+        self.legacy.wall_ns as f64 / self.store.wall_ns as f64
     }
     fn json(&self) -> String {
-        let rps = |ns: u64| (self.rows as f64 / (ns as f64 / 1e9)).round();
         format!(
             concat!(
                 "    {{\"experiment\": \"{}\", \"rows\": {}, ",
@@ -52,11 +64,11 @@ impl Row {
                 "\"speedup\": {:.3}}}"
             ),
             self.id,
-            self.rows,
-            self.legacy_ns,
-            self.store_ns,
-            rps(self.legacy_ns),
-            rps(self.store_ns),
+            self.legacy.items,
+            self.legacy.wall_ns,
+            self.store.wall_ns,
+            self.legacy.items_per_sec().round(),
+            self.store.items_per_sec().round(),
             self.speedup()
         )
     }
@@ -70,15 +82,15 @@ fn main() {
     let total_cars = study.total_cars();
     let cap = cfg.truncation;
 
-    let t = Instant::now();
-    let store = CdrStore::build_auto(ds);
-    let build_ns = t.elapsed().as_nanos() as u64;
+    let clock: SharedClock = Arc::new(MonotonicClock::new());
+    let store = CdrStore::build_auto_with_clock(ds, clock.clone());
+    let build = store.build_span();
     eprintln!(
         "fixture: {} records, {} cars, {} shards (built in {:.1} ms)",
         rows,
         ds.car_count(),
         store.shard_count(),
-        build_ns as f64 / 1e6
+        build.wall_ns as f64 / 1e6
     );
 
     // Ad-hoc query targets pulled from the data itself.
@@ -91,50 +103,58 @@ fn main() {
     );
 
     let iters = 7;
+    let ck = &*clock;
     let mut out: Vec<Row> = Vec::new();
 
     out.push(Row {
         id: "fig2_daily_presence",
-        rows,
-        legacy_ns: best_of(iters, || daily_presence(ds, total_cars)),
-        store_ns: best_of(iters, || daily_presence_store(&store, total_cars)),
+        legacy: best_span(ck, "legacy/fig2_daily_presence", rows, iters, || {
+            daily_presence(ds, total_cars)
+        }),
+        store: best_span(ck, "store/fig2_daily_presence", rows, iters, || {
+            daily_presence_store(&store, total_cars)
+        }),
     });
     out.push(Row {
         id: "fig9_connection_durations",
-        rows,
-        legacy_ns: best_of(iters, || connection_durations(ds, cap).expect("cdf")),
-        store_ns: best_of(iters, || {
+        legacy: best_span(ck, "legacy/fig9_connection_durations", rows, iters, || {
+            connection_durations(ds, cap).expect("cdf")
+        }),
+        store: best_span(ck, "store/fig9_connection_durations", rows, iters, || {
             connection_durations_store(&store, cap).expect("cdf")
         }),
     });
     out.push(Row {
         id: "concurrency_index",
-        rows,
-        legacy_ns: best_of(iters, || ConcurrencyIndex::build(ds)),
-        store_ns: best_of(iters, || ConcurrencyIndex::build_from_store(&store)),
+        legacy: best_span(ck, "legacy/concurrency_index", rows, iters, || {
+            ConcurrencyIndex::build(ds)
+        }),
+        store: best_span(ck, "store/concurrency_index", rows, iters, || {
+            ConcurrencyIndex::build_from_store(&store)
+        }),
     });
     out.push(Row {
         id: "car_history_lookup",
-        rows,
-        legacy_ns: best_of(iters, || {
+        legacy: best_span(ck, "legacy/car_history_lookup", rows, iters, || {
             ds.records()
                 .iter()
                 .filter(|r| r.car == car)
                 .copied()
                 .collect::<Vec<_>>()
         }),
-        store_ns: best_of(iters, || store.collect(&Filter::all().car(car))),
+        store: best_span(ck, "store/car_history_lookup", rows, iters, || {
+            store.collect(&Filter::all().car(car))
+        }),
     });
     out.push(Row {
         id: "cell_window_count",
-        rows,
-        legacy_ns: best_of(iters, || {
+        legacy: best_span(ck, "legacy/cell_window_count", rows, iters, || {
             ds.records()
                 .iter()
                 .filter(|r| r.cell == cell && r.start < win_hi && r.end > win_lo)
                 .count()
         }),
-        store_ns: best_of(iters, || {
+        store: best_span(ck, "store/cell_window_count", rows, iters, || {
             store.count(&Filter::all().cell(cell).window(win_lo, win_hi))
         }),
     });
@@ -147,25 +167,54 @@ fn main() {
         concat!(
             "{{\n",
             "  \"bench\": \"store_query\",\n",
+            "  \"timing_source\": \"conncar-obs {}\",\n",
             "  \"fixture\": {{\"records\": {}, \"cars\": {}, \"shards\": {}, \"days\": {}}},\n",
             "  \"store_build_ns\": {},\n",
             "  \"best_speedup\": {{\"experiment\": \"{}\", \"speedup\": {:.3}}},\n",
             "  \"experiments\": [\n{}\n  ]\n",
             "}}\n"
         ),
+        clock.kind(),
         rows,
         ds.car_count(),
         store.shard_count(),
         cfg.period.days(),
-        build_ns,
+        build.wall_ns,
         best.id,
         best.speedup(),
         out.iter().map(|r| r.json()).collect::<Vec<_>>().join(",\n")
     );
 
+    // The same spans, as a telemetry artifact: build subtree + one
+    // legacy/store leaf pair per experiment.
+    let mut children = vec![build];
+    for row in out {
+        children.push(row.legacy);
+        children.push(row.store);
+    }
+    let mut counters = CounterRegistry::new();
+    counters.add("bench.fixture_records", rows);
+    counters.add("bench.fixture_cars", ds.car_count() as u64);
+    counters.add("store.shards_built", store.shard_count() as u64);
+    let telemetry = RunTelemetry {
+        clock: clock.kind().to_string(),
+        root: SpanRecord {
+            name: "bench/store_query".to_string(),
+            wall_ns: children.iter().map(|c| c.wall_ns).sum(),
+            items: rows,
+            children,
+        },
+        counters,
+    };
+
     let path =
         std::env::var("BENCH_STORE_JSON").unwrap_or_else(|_| "target/BENCH_store.json".into());
     std::fs::write(&path, &json).expect("write BENCH_store.json");
+    let obs_path =
+        std::env::var("BENCH_OBS_JSON").unwrap_or_else(|_| "target/RUN_OBS_bench.json".into());
+    telemetry
+        .write_json(std::path::Path::new(&obs_path))
+        .expect("write RUN_OBS_bench.json");
     println!("{json}");
-    eprintln!("wrote {path}");
+    eprintln!("wrote {path} and {obs_path}");
 }

@@ -10,6 +10,7 @@
 
 use crate::io::{salvage, IngestReport};
 use crate::record::{CdrDataset, CdrRecord};
+use conncar_obs::{CounterRegistry, Span};
 use conncar_types::{CellId, Duration, Error, Result, StudyPeriod};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -59,6 +60,15 @@ impl CleanReport {
             + self.dropped_malformed
             + self.dropped_duplicates
             + self.dropped_overlaps
+    }
+
+    /// Account the per-stage drop counts into a registry under the
+    /// `clean.*` keys.
+    pub fn record_counters(&self, reg: &mut CounterRegistry) {
+        reg.add("clean.dropped_malformed", self.dropped_malformed as u64);
+        reg.add("clean.dropped_duplicates", self.dropped_duplicates as u64);
+        reg.add("clean.dropped_glitches", self.dropped_glitches as u64);
+        reg.add("clean.dropped_overlaps", self.dropped_overlaps as u64);
     }
 }
 
@@ -110,6 +120,15 @@ impl Quarantine {
     /// How many records a particular stage rejected.
     pub fn count(&self, reason: RejectReason) -> usize {
         self.entries.iter().filter(|e| e.reason == reason).count()
+    }
+
+    /// Account the per-class rejection counts into a registry under the
+    /// `quarantine.*` keys.
+    pub fn record_counters(&self, reg: &mut CounterRegistry) {
+        reg.add("quarantine.malformed", self.count(RejectReason::Malformed) as u64);
+        reg.add("quarantine.duplicate", self.count(RejectReason::Duplicate) as u64);
+        reg.add("quarantine.glitch", self.count(RejectReason::Glitch) as u64);
+        reg.add("quarantine.overlap", self.count(RejectReason::Overlap) as u64);
     }
 
     fn push(&mut self, record: CdrRecord, reason: RejectReason) {
@@ -219,10 +238,60 @@ impl Cleaner {
     pub fn clean_full(&self, dirty: &CdrDataset) -> CleanOutcome {
         let mut report = CleanReport::default();
         let mut quarantine = Quarantine::default();
+        let mut kept = self.stage_validate(dirty.records(), &mut report, &mut quarantine);
+        kept = self.stage_dedup(kept, &mut report, &mut quarantine);
+        kept = self.stage_glitch(kept, &mut report, &mut quarantine);
+        kept = self.stage_overlaps(kept, &mut report, &mut quarantine);
+        CleanOutcome {
+            dataset: dirty.with_records(kept),
+            report,
+            quarantine,
+        }
+    }
 
-        // Stage 1: validate.
-        let mut kept: Vec<CdrRecord> = Vec::with_capacity(dirty.len());
-        for r in dirty.records() {
+    /// [`Cleaner::clean_full`] with one child span per stage. Each
+    /// stage's item count is the number of records *entering* it (every
+    /// stage examines its whole input, whatever it drops), so the spans
+    /// stay nonzero on clean data and the CI zero-item gate holds.
+    pub fn clean_full_traced(&self, dirty: &CdrDataset, span: &mut Span<'_>) -> CleanOutcome {
+        let mut report = CleanReport::default();
+        let mut quarantine = Quarantine::default();
+        span.set_items(dirty.len() as u64);
+        let mut kept = span.child("clean/validate", |s| {
+            s.set_items(dirty.len() as u64);
+            self.stage_validate(dirty.records(), &mut report, &mut quarantine)
+        });
+        let entering = kept.len() as u64;
+        kept = span.child("clean/dedup", |s| {
+            s.set_items(entering);
+            self.stage_dedup(kept, &mut report, &mut quarantine)
+        });
+        let entering = kept.len() as u64;
+        kept = span.child("clean/glitch", |s| {
+            s.set_items(entering);
+            self.stage_glitch(kept, &mut report, &mut quarantine)
+        });
+        let entering = kept.len() as u64;
+        kept = span.child("clean/overlap", |s| {
+            s.set_items(entering);
+            self.stage_overlaps(kept, &mut report, &mut quarantine)
+        });
+        CleanOutcome {
+            dataset: dirty.with_records(kept),
+            report,
+            quarantine,
+        }
+    }
+
+    /// Stage 1: validate — drop records with non-positive durations.
+    fn stage_validate(
+        &self,
+        records: &[CdrRecord],
+        report: &mut CleanReport,
+        quarantine: &mut Quarantine,
+    ) -> Vec<CdrRecord> {
+        let mut kept: Vec<CdrRecord> = Vec::with_capacity(records.len());
+        for r in records {
             if r.is_valid() {
                 kept.push(*r);
             } else {
@@ -230,33 +299,49 @@ impl Cleaner {
                 quarantine.push(*r, RejectReason::Malformed);
             }
         }
+        kept
+    }
 
-        // Stage 2: dedup. The dataset is canonically sorted by
-        // (car, start, cell), so exact duplicates share a key run; the
-        // runs are tiny, making the seen-ends scan effectively O(n).
-        if self.cfg.dedup {
-            let mut deduped: Vec<CdrRecord> = Vec::with_capacity(kept.len());
-            let mut run_key: Option<(u32, u64, CellId)> = None;
-            let mut run_ends: Vec<u64> = Vec::new();
-            for r in kept {
-                let key = (r.car.0, r.start.as_secs(), r.cell);
-                if run_key != Some(key) {
-                    run_key = Some(key);
-                    run_ends.clear();
-                }
-                let end = r.end.as_secs();
-                if run_ends.contains(&end) {
-                    report.dropped_duplicates += 1;
-                    quarantine.push(r, RejectReason::Duplicate);
-                } else {
-                    run_ends.push(end);
-                    deduped.push(r);
-                }
-            }
-            kept = deduped;
+    /// Stage 2: dedup. The dataset is canonically sorted by
+    /// (car, start, cell), so exact duplicates share a key run; the
+    /// runs are tiny, making the seen-ends scan effectively O(n).
+    fn stage_dedup(
+        &self,
+        kept: Vec<CdrRecord>,
+        report: &mut CleanReport,
+        quarantine: &mut Quarantine,
+    ) -> Vec<CdrRecord> {
+        if !self.cfg.dedup {
+            return kept;
         }
+        let mut deduped: Vec<CdrRecord> = Vec::with_capacity(kept.len());
+        let mut run_key: Option<(u32, u64, CellId)> = None;
+        let mut run_ends: Vec<u64> = Vec::new();
+        for r in kept {
+            let key = (r.car.0, r.start.as_secs(), r.cell);
+            if run_key != Some(key) {
+                run_key = Some(key);
+                run_ends.clear();
+            }
+            let end = r.end.as_secs();
+            if run_ends.contains(&end) {
+                report.dropped_duplicates += 1;
+                quarantine.push(r, RejectReason::Duplicate);
+            } else {
+                run_ends.push(end);
+                deduped.push(r);
+            }
+        }
+        deduped
+    }
 
-        // Stage 3: glitch-drop.
+    /// Stage 3: glitch-drop.
+    fn stage_glitch(
+        &self,
+        kept: Vec<CdrRecord>,
+        report: &mut CleanReport,
+        quarantine: &mut Quarantine,
+    ) -> Vec<CdrRecord> {
         let mut after_glitch: Vec<CdrRecord> = Vec::with_capacity(kept.len());
         for r in kept {
             if r.duration() == self.cfg.glitch_duration {
@@ -266,39 +351,41 @@ impl Cleaner {
                 after_glitch.push(r);
             }
         }
-        kept = after_glitch;
+        after_glitch
+    }
 
-        // Stage 4: overlap-resolve. Within one car, records arrive in
-        // start order; per cell, a record whose end does not extend past
-        // everything seen before it is nested inside an earlier record.
-        // Survivors strictly extend the frontier, so a second pass would
-        // drop nothing: the stage is idempotent.
-        if self.cfg.resolve_overlaps {
-            let mut resolved: Vec<CdrRecord> = Vec::with_capacity(kept.len());
-            let mut frontier: BTreeMap<(u32, CellId), u64> = BTreeMap::new();
-            let mut current_car: Option<u32> = None;
-            for r in kept {
-                if current_car != Some(r.car.0) {
-                    current_car = Some(r.car.0);
-                    frontier.clear();
-                }
-                let max_end = frontier.entry((r.car.0, r.cell)).or_insert(0);
-                if *max_end > 0 && r.end.as_secs() <= *max_end {
-                    report.dropped_overlaps += 1;
-                    quarantine.push(r, RejectReason::Overlap);
-                } else {
-                    *max_end = r.end.as_secs();
-                    resolved.push(r);
-                }
+    /// Stage 4: overlap-resolve. Within one car, records arrive in
+    /// start order; per cell, a record whose end does not extend past
+    /// everything seen before it is nested inside an earlier record.
+    /// Survivors strictly extend the frontier, so a second pass would
+    /// drop nothing: the stage is idempotent.
+    fn stage_overlaps(
+        &self,
+        kept: Vec<CdrRecord>,
+        report: &mut CleanReport,
+        quarantine: &mut Quarantine,
+    ) -> Vec<CdrRecord> {
+        if !self.cfg.resolve_overlaps {
+            return kept;
+        }
+        let mut resolved: Vec<CdrRecord> = Vec::with_capacity(kept.len());
+        let mut frontier: BTreeMap<(u32, CellId), u64> = BTreeMap::new();
+        let mut current_car: Option<u32> = None;
+        for r in kept {
+            if current_car != Some(r.car.0) {
+                current_car = Some(r.car.0);
+                frontier.clear();
             }
-            kept = resolved;
+            let max_end = frontier.entry((r.car.0, r.cell)).or_insert(0);
+            if *max_end > 0 && r.end.as_secs() <= *max_end {
+                report.dropped_overlaps += 1;
+                quarantine.push(r, RejectReason::Overlap);
+            } else {
+                *max_end = r.end.as_secs();
+                resolved.push(r);
+            }
         }
-
-        CleanOutcome {
-            dataset: dirty.with_records(kept),
-            report,
-            quarantine,
-        }
+        resolved
     }
 }
 
@@ -510,6 +597,58 @@ mod tests {
         for q in outcome.quarantine.entries() {
             assert!(dirty.records().contains(&q.record));
         }
+    }
+
+    #[test]
+    fn traced_clean_matches_untraced_and_reports_stage_items() {
+        use conncar_obs::NullClock;
+        let mut skewed = rec(5_000, 10);
+        skewed.end = skewed.start;
+        let dup = rec(100, 50);
+        let dirty = ds(vec![dup, dup, skewed, rec(0, 3_600), rec(9_000, 70)]);
+        let cleaner = Cleaner::default();
+        let plain = cleaner.clean_full(&dirty);
+
+        let clock = NullClock;
+        let mut span = Span::enter(&clock, "clean");
+        let traced = cleaner.clean_full_traced(&dirty, &mut span);
+        let tree = span.finish();
+
+        assert_eq!(traced.dataset.records(), plain.dataset.records());
+        assert_eq!(traced.report, plain.report);
+        assert_eq!(traced.quarantine, plain.quarantine);
+        // One child per stage, items = records entering that stage.
+        assert_eq!(tree.items, 5);
+        let names: Vec<&str> = tree.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["clean/validate", "clean/dedup", "clean/glitch", "clean/overlap"]
+        );
+        assert_eq!(tree.find("clean/validate").unwrap().items, 5);
+        assert_eq!(tree.find("clean/dedup").unwrap().items, 4); // skewed gone
+        assert_eq!(tree.find("clean/glitch").unwrap().items, 3); // dup gone
+        assert_eq!(tree.find("clean/overlap").unwrap().items, 2); // glitch gone
+    }
+
+    #[test]
+    fn clean_counters_mirror_report_and_quarantine() {
+        let mut skewed = rec(5_000, 10);
+        skewed.end = skewed.start;
+        let dup = rec(100, 50);
+        let dirty = ds(vec![dup, dup, skewed, rec(0, 3_600), rec(9_000, 70)]);
+        let outcome = Cleaner::default().clean_full(&dirty);
+        let mut reg = conncar_obs::CounterRegistry::new();
+        outcome.report.record_counters(&mut reg);
+        outcome.quarantine.record_counters(&mut reg);
+        assert_eq!(reg.get("clean.dropped_malformed"), 1);
+        assert_eq!(reg.get("clean.dropped_duplicates"), 1);
+        assert_eq!(reg.get("clean.dropped_glitches"), 1);
+        assert_eq!(reg.get("clean.dropped_overlaps"), 0);
+        // Quarantine classes agree with the drop counters per stage.
+        assert_eq!(reg.get("quarantine.malformed"), 1);
+        assert_eq!(reg.get("quarantine.duplicate"), 1);
+        assert_eq!(reg.get("quarantine.glitch"), 1);
+        assert_eq!(reg.get("quarantine.overlap"), 0);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 use crate::io::{crc32, CHUNK_HEADER_LEN, CHUNK_MAGIC, RECORD_LEN, VERSION_V2};
 use crate::record::CdrDataset;
+use conncar_obs::CounterRegistry;
 use conncar_types::{CarId, Duration, SeedSplitter, Timestamp};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -140,6 +141,24 @@ pub struct FaultReport {
     /// Records in the cut-off final chunk (what a framing reader is
     /// expected to lose to the truncation).
     pub truncated_records: usize,
+}
+
+impl FaultReport {
+    /// Account the injected-damage tallies into a registry under the
+    /// `fault.*` keys.
+    pub fn record_counters(&self, reg: &mut CounterRegistry) {
+        reg.add("fault.hour_glitches", self.hour_glitches as u64);
+        reg.add("fault.lost", self.lost as u64);
+        reg.add("fault.sticky", self.sticky as u64);
+        reg.add("fault.duplicated", self.duplicated as u64);
+        reg.add("fault.overlaps", self.overlaps as u64);
+        reg.add("fault.skewed", self.skewed as u64);
+        reg.add("fault.reordered_chunks", self.reordered_chunks as u64);
+        reg.add("fault.corrupted_chunks", self.corrupted_chunks as u64);
+        reg.add("fault.corrupted_records", self.corrupted_records as u64);
+        reg.add("fault.truncated_bytes", self.truncated_bytes);
+        reg.add("fault.truncated_records", self.truncated_records as u64);
+    }
 }
 
 /// Deterministic fault injector.

@@ -34,6 +34,7 @@
 use crate::codec::BinaryCodec;
 use crate::record::CdrRecord;
 use bytes::Bytes;
+use conncar_obs::CounterRegistry;
 use conncar_types::{
     BaseStationId, CarId, Carrier, CellId, Error, Result, Timestamp,
 };
@@ -231,6 +232,19 @@ impl IngestReport {
             && self.records_invalid == 0
             && !self.truncated_tail
             && self.resync_scans == 0
+    }
+
+    /// Account the salvage outcome into a registry under the `ingest.*`
+    /// keys (`ingest.chunks_skipped` is the frames-failed-CRC count).
+    pub fn record_counters(&self, reg: &mut CounterRegistry) {
+        reg.add("ingest.chunks_ok", self.chunks_ok as u64);
+        reg.add("ingest.chunks_skipped", self.chunks_skipped as u64);
+        reg.add("ingest.records_yielded", self.records_yielded);
+        reg.add("ingest.records_lost_corrupt", self.records_lost_corrupt);
+        reg.add("ingest.records_lost_truncated", self.records_lost_truncated);
+        reg.add("ingest.records_invalid", self.records_invalid);
+        reg.add("ingest.bytes_skipped", self.bytes_skipped);
+        reg.add("ingest.resync_scans", self.resync_scans as u64);
     }
 }
 

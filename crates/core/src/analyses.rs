@@ -18,6 +18,7 @@ use conncar_analysis::temporal::{
 };
 use conncar_cdr::SessionConfig;
 use conncar_fleet::Archetype;
+use conncar_obs::{CounterRegistry, NullClock, Span};
 use conncar_store::{CdrStore, QueryStats};
 use conncar_types::{CarId, Result};
 
@@ -76,36 +77,106 @@ impl StudyAnalyses {
 
     /// Run everything against an already-built store (callers that keep
     /// the store around for ad-hoc queries build it once and share it).
+    /// Thin wrapper over [`StudyAnalyses::run_traced`] with a discarded
+    /// null-clock span, so there is exactly one store-backed execution
+    /// path.
     pub fn run_with_store(study: &StudyData, store: &CdrStore) -> Result<StudyAnalyses> {
+        let clock = NullClock;
+        let mut span = Span::enter(&clock, "analysis");
+        let mut counters = CounterRegistry::new();
+        StudyAnalyses::run_traced(study, store, &mut span, &mut counters)
+    }
+
+    /// Run everything, attaching one `analysis/<name>` child span per
+    /// analysis to `span` and accounting every store query's cost into
+    /// `counters`. Each span's item count is the analysis's natural
+    /// unit: rows scanned for the store-backed queries, cars / sessions
+    /// / cells for the derived ones — always nonzero on a live study,
+    /// which is what the CI zero-item gate checks.
+    pub fn run_traced(
+        study: &StudyData,
+        store: &CdrStore,
+        span: &mut Span<'_>,
+        counters: &mut CounterRegistry,
+    ) -> Result<StudyAnalyses> {
         let model = study.load_model();
         let cap = study.config.truncation;
         let mut query_stats = QueryStats::default();
 
-        let (presence, s) = daily_presence_store(store, study.total_cars());
+        let (presence, s) = span.child("analysis/presence", |sp| {
+            let (r, s) = daily_presence_store(store, study.total_cars());
+            sp.set_items(s.rows_scanned);
+            (r, s)
+        });
         query_stats.absorb(&s);
-        let weekday = weekday_table(&presence);
-        let (connected_time, s) = connected_time_cdf_store(store, study.total_cars(), cap)?;
+        let weekday = span.child("analysis/weekday_table", |sp| {
+            let rows = weekday_table(&presence);
+            sp.set_items(rows.len() as u64);
+            rows
+        });
+        let (connected_time, s) = span.child("analysis/connected_time", |sp| {
+            let (r, s) = connected_time_cdf_store(store, study.total_cars(), cap)?;
+            sp.set_items(s.rows_scanned);
+            Ok::<_, conncar_types::Error>((r, s))
+        })?;
         query_stats.absorb(&s);
-        let (profiles, s) = car_profiles_store(store, &model);
+        let (profiles, s) = span.child("analysis/profiles", |sp| {
+            let (r, s) = car_profiles_store(store, &model);
+            sp.set_items(s.rows_scanned);
+            (r, s)
+        });
         query_stats.absorb(&s);
         let study_days = study.config.period.days();
-        let hist = days_histogram(&profiles, study_days);
+        let hist = span.child("analysis/days_histogram", |sp| {
+            sp.set_items(profiles.len() as u64);
+            days_histogram(&profiles, study_days)
+        });
         let cutoff = |paper_days: u32| -> u32 {
             conncar_types::saturating_u32((paper_days as u64 * study_days as u64).div_ceil(90))
         };
-        let segmentation = [
-            segment(&profiles, cutoff(10), BUSY_CAR_HI, BUSY_CAR_LO),
-            segment(&profiles, cutoff(30), BUSY_CAR_HI, BUSY_CAR_LO),
-        ];
-        let busy_time = busy_time_distribution(&profiles)?;
-        let (durations, s) = connection_durations_store(store, cap)?;
+        let segmentation = span.child("analysis/segmentation", |sp| {
+            sp.set_items(profiles.len() as u64);
+            [
+                segment(&profiles, cutoff(10), BUSY_CAR_HI, BUSY_CAR_LO),
+                segment(&profiles, cutoff(30), BUSY_CAR_HI, BUSY_CAR_LO),
+            ]
+        });
+        let busy_time = span.child("analysis/busy_time", |sp| {
+            sp.set_items(profiles.len() as u64);
+            busy_time_distribution(&profiles)
+        })?;
+        let (durations, s) = span.child("analysis/durations", |sp| {
+            let (r, s) = connection_durations_store(store, cap)?;
+            sp.set_items(s.rows_scanned);
+            Ok::<_, conncar_types::Error>((r, s))
+        })?;
         query_stats.absorb(&s);
-        let (concurrency, s) = ConcurrencyIndex::build_from_store(store);
+        let (concurrency, s) = span.child("analysis/concurrency", |sp| {
+            let (r, s) = ConcurrencyIndex::build_from_store(store);
+            sp.set_items(s.rows_scanned);
+            (r, s)
+        });
         query_stats.absorb(&s);
-        let clustering = relax_clustering(&concurrency, &model, study.config.seed);
-        let handovers = handover_analysis(&study.clean, SessionConfig::MOBILITY)?;
-        let carriers = carrier_usage(&study.clean);
-        let sample_cars = sample_car_matrices(study);
+        let clustering = span.child("analysis/clustering", |sp| {
+            sp.set_items(concurrency.cell_count() as u64);
+            relax_clustering(&concurrency, &model, study.config.seed)
+        });
+        let handovers = span.child("analysis/handovers", |sp| {
+            let r = handover_analysis(&study.clean, SessionConfig::MOBILITY)?;
+            sp.set_items(r.sessions as u64);
+            Ok::<_, conncar_types::Error>(r)
+        })?;
+        let carriers = span.child("analysis/carriers", |sp| {
+            let r = carrier_usage(&study.clean);
+            sp.set_items(r.cars as u64);
+            r
+        });
+        let sample_cars = span.child("analysis/sample_cars", |sp| {
+            let r = sample_car_matrices(study);
+            sp.set_items(r.len() as u64);
+            r
+        });
+        query_stats.record_into(counters);
 
         Ok(StudyAnalyses {
             presence,

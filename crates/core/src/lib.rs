@@ -29,6 +29,8 @@
 //! * [`runreport`] — the end-to-end record ledger: what the collection
 //!   plane damaged, what ingest salvaged, what cleaning removed, and
 //!   how faithfully ground truth was recovered.
+//! * [`telemetry`] — run the whole pipeline under one span tree and
+//!   counter registry ([`conncar_obs`]) and emit it as `RUN_OBS.json`.
 //!
 //! ## Quickstart
 //!
@@ -52,11 +54,13 @@ pub mod render;
 pub mod report;
 pub mod runreport;
 pub mod study;
+pub mod telemetry;
 
 pub use analyses::StudyAnalyses;
 pub use experiments::{Experiment, ExperimentOutput};
 pub use runreport::RunReport;
 pub use study::{StudyConfig, StudyData};
+pub use telemetry::run_instrumented;
 
 #[cfg(test)]
 pub(crate) mod testutil {

@@ -9,6 +9,7 @@
 //! truth, per fault class and in aggregate.
 
 use conncar_cdr::{CdrRecord, CleanReport, FaultReport, IngestReport};
+use conncar_obs::CounterRegistry;
 use serde::{Deserialize, Serialize};
 
 /// One study run's records-in/records-out ledger.
@@ -67,6 +68,43 @@ impl RunReport {
             return 1.0;
         }
         1.0 - self.truth_missing_from_clean as f64 / self.records_truth as f64
+    }
+
+    /// Account the run-level ledger into a registry under the `run.*`
+    /// keys. The embedded stage reports are *not* re-recorded here —
+    /// they account themselves via their own `record_counters` as the
+    /// pipeline runs, and [`RunReport::agrees_with_counters`] checks the
+    /// two against each other.
+    pub fn record_counters(&self, reg: &mut CounterRegistry) {
+        reg.add("run.records_truth", self.records_truth as u64);
+        reg.add("run.records_collected", self.records_collected as u64);
+        reg.add("run.records_delivered", self.records_delivered as u64);
+        reg.add("run.records_clean", self.records_clean as u64);
+        reg.add("run.quarantined", self.quarantined as u64);
+        reg.add(
+            "run.truth_missing_from_clean",
+            self.truth_missing_from_clean as u64,
+        );
+        reg.add("run.clean_not_in_truth", self.clean_not_in_truth as u64);
+    }
+
+    /// Whether this ledger and a registry populated by the pipeline
+    /// stages tell the same story: truth count, salvage yield, per-stage
+    /// drops and quarantine classes must all match exactly. The study
+    /// generator asserts this before returning, so the rendered report
+    /// and `RUN_OBS.json` can never diverge.
+    pub fn agrees_with_counters(&self, reg: &CounterRegistry) -> bool {
+        let wire_ok = if self.ingest == IngestReport::default() {
+            true
+        } else {
+            reg.get("ingest.records_yielded") == self.records_delivered as u64
+        };
+        reg.get("generate.records_emitted") == self.records_truth as u64
+            && wire_ok
+            && reg.sum_prefix("clean.") == self.clean.dropped_total() as u64
+            && reg.sum_prefix("quarantine.") == self.quarantined as u64
+            && reg.get("fault.hour_glitches") == self.fault.hour_glitches as u64
+            && reg.get("ingest.chunks_skipped") == self.ingest.chunks_skipped as u64
     }
 }
 

@@ -23,11 +23,12 @@
 use crate::runreport::{dataset_divergence, RunReport};
 use conncar_analysis::busy::NetworkLoadModel;
 use conncar_cdr::{
-    salvage, CdrDataset, CdrWriter, CleanConfig, CleanReport, Cleaner, FaultConfig,
-    FaultInjector, FaultReport, IngestReport, Quarantine,
+    salvage, CdrDataset, CdrWriter, CleanConfig, CleanOutcome, CleanReport, Cleaner,
+    FaultConfig, FaultInjector, FaultReport, IngestReport, Quarantine,
 };
-use conncar_fleet::{FleetConfig, FleetGenerator, Persona};
+use conncar_fleet::{FleetConfig, FleetData, FleetGenerator, Persona};
 use conncar_geo::{Region, RegionConfig};
+use conncar_obs::{CounterRegistry, Span};
 use conncar_radio::{BackgroundLoad, BackgroundLoadConfig, PrbLedger};
 use conncar_types::{Duration, Result, SeedSplitter, StudyPeriod};
 use serde::{Deserialize, Serialize};
@@ -194,6 +195,120 @@ impl StudyData {
     pub fn generate(cfg: &StudyConfig) -> Result<StudyData> {
         cfg.validate()?;
         let seeds = SeedSplitter::new(cfg.seed);
+        let (region, background, data, truth) = StudyData::build_world(cfg, &seeds)?;
+        let injector = FaultInjector::new(cfg.faults.clone(), seeds.domain("faults"));
+        let (collected, mut fault_report) = injector.inject(&truth);
+        let records_collected = collected.len();
+        // The wire leg only runs when a wire fault is configured: the
+        // encode → damage → salvage round trip costs time and, on a
+        // pristine stream, changes nothing.
+        let (dirty, ingest_report) = if cfg.faults.has_wire_faults() {
+            StudyData::wire_leg(cfg, &injector, &collected, &mut fault_report)?
+        } else {
+            (collected, IngestReport::default())
+        };
+        let outcome = Cleaner::new(cfg.clean.clone()).clean_full(&dirty);
+        let (study, _counters) = StudyData::assemble(
+            cfg,
+            region,
+            background,
+            data,
+            truth,
+            records_collected,
+            dirty,
+            fault_report,
+            ingest_report,
+            outcome,
+        );
+        Ok(study)
+    }
+
+    /// [`StudyData::generate`] with a span tree and counter registry.
+    ///
+    /// Child spans (`generate` with `generate/region` and
+    /// `generate/fleet`, `fault`, `encode`, `salvage`, `clean` with its
+    /// four stages) are attached to `span`, and every stage's counters
+    /// land in `counters`. Unlike the plain path, the wire leg *always*
+    /// runs — a pristine encode → salvage round trip is lossless and
+    /// order-preserving, and instrumented runs must exercise (and time)
+    /// the salvage stage even when no wire faults are configured.
+    pub fn generate_traced(
+        cfg: &StudyConfig,
+        span: &mut Span<'_>,
+        counters: &mut CounterRegistry,
+    ) -> Result<StudyData> {
+        cfg.validate()?;
+        let seeds = SeedSplitter::new(cfg.seed);
+        let (region, background, data, truth) = span.child("generate", |s| {
+            let (region, background) = s.child("generate/region", |r| {
+                let region = Region::generate(&cfg.region, seeds.domain("region"));
+                let background = BackgroundLoad::new(
+                    BackgroundLoadConfig {
+                        seed: seeds.domain("background"),
+                        ..cfg.background.clone()
+                    },
+                    cfg.period,
+                    region.timezone().offset_hours(),
+                );
+                r.set_items(region.deployment().stations().len() as u64);
+                (region, background)
+            });
+            let (data, truth) = s.child("generate/fleet", |f| {
+                let fleet = FleetGenerator::new(cfg.fleet.clone())?;
+                let mut data = fleet.generate(&region, cfg.period, seeds.domain("fleet"));
+                let connections = std::mem::take(&mut data.connections);
+                let truth = CdrDataset::from_connections(cfg.period, connections);
+                f.set_items(truth.len() as u64);
+                Ok::<_, conncar_types::Error>((data, truth))
+            })?;
+            s.set_items(truth.len() as u64);
+            Ok::<_, conncar_types::Error>((region, background, data, truth))
+        })?;
+        let injector = FaultInjector::new(cfg.faults.clone(), seeds.domain("faults"));
+        let (collected, mut fault_report) = span.child("fault", |s| {
+            s.set_items(truth.len() as u64);
+            injector.inject(&truth)
+        });
+        let records_collected = collected.len();
+        let stream = span.child("encode", |s| {
+            s.set_items(collected.len() as u64);
+            let mut w = CdrWriter::new(Vec::new()).with_chunk_records(cfg.faults.chunk_records);
+            w.write_all(collected.records())?;
+            let (stream, _) = w.finish()?;
+            Ok::<_, conncar_types::Error>(stream)
+        })?;
+        // With no wire faults configured, corrupt_stream is the
+        // identity and salvage yields every record back.
+        let damaged = injector.corrupt_stream(&stream, &mut fault_report);
+        let (dirty, ingest_report) = span.child("salvage", |s| {
+            let (delivered, ingest) = salvage(&damaged);
+            s.set_items(delivered.len() as u64);
+            (collected.with_records(delivered), ingest)
+        });
+        let outcome = span.child("clean", |s| {
+            Cleaner::new(cfg.clean.clone()).clean_full_traced(&dirty, s)
+        });
+        let (study, stage_counters) = StudyData::assemble(
+            cfg,
+            region,
+            background,
+            data,
+            truth,
+            records_collected,
+            dirty,
+            fault_report,
+            ingest_report,
+            outcome,
+        );
+        counters.absorb(&stage_counters);
+        Ok(study)
+    }
+
+    /// Pipeline steps 1–2: region, background load, fleet, ground truth.
+    fn build_world(
+        cfg: &StudyConfig,
+        seeds: &SeedSplitter,
+    ) -> Result<(Region, BackgroundLoad, FleetData, CdrDataset)> {
         let region = Region::generate(&cfg.region, seeds.domain("region"));
         let background = BackgroundLoad::new(
             BackgroundLoadConfig {
@@ -204,33 +319,75 @@ impl StudyData {
             region.timezone().offset_hours(),
         );
         let fleet = FleetGenerator::new(cfg.fleet.clone())?;
-        let data = fleet.generate(&region, cfg.period, seeds.domain("fleet"));
-        let truth = CdrDataset::from_connections(cfg.period, data.connections);
-        let injector = FaultInjector::new(cfg.faults.clone(), seeds.domain("faults"));
-        let (collected, mut fault_report) = injector.inject(&truth);
-        let records_collected = collected.len();
-        // The wire leg only runs when a wire fault is configured: the
-        // encode → damage → salvage round trip costs time and, on a
-        // pristine stream, changes nothing.
-        let (dirty, ingest_report) = if cfg.faults.has_wire_faults() {
-            let mut w = CdrWriter::new(Vec::new()).with_chunk_records(cfg.faults.chunk_records);
-            w.write_all(collected.records())?;
-            let (stream, _) = w.finish()?;
-            let damaged = injector.corrupt_stream(&stream, &mut fault_report);
-            let (delivered, ingest) = salvage(&damaged);
-            (collected.with_records(delivered), ingest)
-        } else {
-            (collected, IngestReport::default())
-        };
-        let outcome = Cleaner::new(cfg.clean.clone()).clean_full(&dirty);
+        let mut data = fleet.generate(&region, cfg.period, seeds.domain("fleet"));
+        let connections = std::mem::take(&mut data.connections);
+        let truth = CdrDataset::from_connections(cfg.period, connections);
+        Ok((region, background, data, truth))
+    }
+
+    /// Pipeline step 3b: encode the collected records onto the framed
+    /// v2 stream, damage it, and salvage what survives.
+    fn wire_leg(
+        cfg: &StudyConfig,
+        injector: &FaultInjector,
+        collected: &CdrDataset,
+        fault_report: &mut FaultReport,
+    ) -> Result<(CdrDataset, IngestReport)> {
+        let mut w = CdrWriter::new(Vec::new()).with_chunk_records(cfg.faults.chunk_records);
+        w.write_all(collected.records())?;
+        let (stream, _) = w.finish()?;
+        let damaged = injector.corrupt_stream(&stream, fault_report);
+        let (delivered, ingest) = salvage(&damaged);
+        Ok((collected.with_records(delivered), ingest))
+    }
+
+    /// Final assembly: one counter registry is built from the stage
+    /// reports, the run ledger's salvage counts are derived *from that
+    /// registry*, and the whole ledger is asserted consistent before
+    /// the study is returned. Both [`StudyData::generate`] and
+    /// [`StudyData::generate_traced`] end here, so the two paths can
+    /// never account differently.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        cfg: &StudyConfig,
+        region: Region,
+        background: BackgroundLoad,
+        data: FleetData,
+        truth: CdrDataset,
+        records_collected: usize,
+        dirty: CdrDataset,
+        fault_report: FaultReport,
+        ingest_report: IngestReport,
+        outcome: CleanOutcome,
+    ) -> (StudyData, CounterRegistry) {
         let (clean, clean_report, quarantine) =
             (outcome.dataset, outcome.report, outcome.quarantine);
+        let mut reg = CounterRegistry::new();
+        reg.add("generate.records_emitted", truth.len() as u64);
+        fault_report.record_counters(&mut reg);
+        ingest_report.record_counters(&mut reg);
+        clean_report.record_counters(&mut reg);
+        quarantine.record_counters(&mut reg);
+        // The delivered count is read back out of the registry, not
+        // re-derived from the dataset: the counters are the single
+        // accounting path and the dataset must agree with them.
+        let wire_ran = ingest_report != IngestReport::default();
+        let records_delivered = if wire_ran {
+            usize::try_from(reg.get("ingest.records_yielded")).expect("record count fits usize")
+        } else {
+            records_collected
+        };
+        assert_eq!(
+            records_delivered,
+            dirty.len(),
+            "salvage counters disagree with the delivered dataset"
+        );
         let (truth_missing_from_clean, clean_not_in_truth) =
             dataset_divergence(truth.records(), clean.records());
         let run_report = RunReport {
             records_truth: truth.len(),
             records_collected,
-            records_delivered: dirty.len(),
+            records_delivered,
             records_clean: clean.len(),
             fault: fault_report.clone(),
             ingest: ingest_report.clone(),
@@ -239,7 +396,16 @@ impl StudyData {
             truth_missing_from_clean,
             clean_not_in_truth,
         };
-        Ok(StudyData {
+        run_report.record_counters(&mut reg);
+        assert!(
+            run_report.reconciles(),
+            "run ledger does not reconcile: {run_report:?}"
+        );
+        assert!(
+            run_report.agrees_with_counters(&reg),
+            "run ledger disagrees with the stage counters: {run_report:?}"
+        );
+        let study = StudyData {
             config: cfg.clone(),
             region,
             personas: data.personas,
@@ -252,7 +418,8 @@ impl StudyData {
             clean_report,
             quarantine,
             run_report,
-        })
+        };
+        (study, reg)
     }
 
     /// The network-load view used by every busy-hour analysis.

@@ -1,0 +1,175 @@
+//! One instrumented run: the whole pipeline under a single span tree
+//! and counter registry, emitted as a [`RunTelemetry`] artifact.
+//!
+//! [`run_instrumented`] is the observability front door. It executes
+//! the same pipeline as [`StudyData::generate`] followed by
+//! [`StudyAnalyses::run_with_store`], but threads one injected
+//! [`Clock`] and one [`CounterRegistry`] through every layer:
+//!
+//! ```text
+//! run
+//! ├─ generate            (ground-truth synthesis)
+//! │  ├─ generate/region
+//! │  └─ generate/fleet
+//! ├─ fault               (record-level damage injection)
+//! ├─ encode              (framed v2 stream write)
+//! ├─ salvage             (corruption-tolerant ingest)
+//! ├─ clean               (§3 staged pre-processing)
+//! │  ├─ clean/validate … clean/overlap
+//! ├─ store_build         (columnar shard layout; one child per shard)
+//! └─ analysis            (the §4 suite; one child per analysis)
+//! ```
+//!
+//! Passing a [`NullClock`](conncar_obs::NullClock) zeroes every wall
+//! reading, making the whole artifact a pure function of the study
+//! config — the double-run determinism test serializes two
+//! `RUN_OBS.json` files and compares bytes.
+
+use crate::analyses::StudyAnalyses;
+use crate::study::{StudyConfig, StudyData};
+use conncar_obs::{Clock, CounterRegistry, RunTelemetry, SharedClock, Span};
+use conncar_store::CdrStore;
+use conncar_types::Result;
+
+/// Run the full pipeline instrumented: study generation (always
+/// including the wire leg), store build, and every analysis, all timed
+/// against `clock` and accounted into one registry.
+///
+/// `shards` fixes the store's shard count; `None` sizes it to the
+/// machine ([`CdrStore::build_auto_with_clock`]). Determinism tests pin
+/// it, because the shard count shapes the `store_build` span subtree.
+pub fn run_instrumented(
+    cfg: &StudyConfig,
+    clock: SharedClock,
+    shards: Option<usize>,
+) -> Result<(StudyData, CdrStore, StudyAnalyses, RunTelemetry)> {
+    let mut counters = CounterRegistry::new();
+    let mut root = Span::enter(&*clock, "run");
+    let study = StudyData::generate_traced(cfg, &mut root, &mut counters)?;
+
+    let store = match shards {
+        Some(n) => CdrStore::build_with_clock(&study.clean, n, clock.clone()),
+        None => CdrStore::build_auto_with_clock(&study.clean, clock.clone()),
+    };
+    let mut build = store.build_span();
+    // Empty shards did no work; a zero-item child would trip the CI
+    // telemetry gate for what is a normal small-study layout artifact.
+    build.children.retain(|c| c.items > 0);
+    root.attach(build);
+    counters.add("store.shards_built", store.shard_count() as u64);
+    counters.add("store.rows_stored", store.len() as u64);
+
+    let analyses = root.child("analysis", |s| {
+        s.set_items(study.clean.len() as u64);
+        StudyAnalyses::run_traced(&study, &store, s, &mut counters)
+    })?;
+
+    root.set_items(study.clean.len() as u64);
+    let telemetry = RunTelemetry {
+        clock: Clock::kind(&*clock).to_string(),
+        root: root.finish(),
+        counters,
+    };
+    Ok((study, store, analyses, telemetry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_obs::{MonotonicClock, NullClock};
+    use std::sync::Arc;
+
+    #[test]
+    fn instrumented_run_covers_every_stage_with_items() {
+        let cfg = StudyConfig::tiny();
+        let (study, store, analyses, t) =
+            run_instrumented(&cfg, Arc::new(NullClock), Some(3)).unwrap();
+        // Same pipeline, same results as the plain path — except the
+        // wire leg always rides, so the ingest report is pristine-real
+        // rather than defaulted.
+        let plain = StudyData::generate(&cfg).unwrap();
+        assert_eq!(study.clean.records(), plain.clean.records());
+        assert_eq!(study.dirty.records(), plain.dirty.records());
+        assert!(study.ingest_report.is_pristine());
+        assert!(study.ingest_report.records_yielded > 0);
+        assert_eq!(store.shard_count(), 3);
+        assert!(analyses.query_stats.rows_scanned > 0);
+
+        // The span tree covers generation, salvage, every clean stage,
+        // the store build, and every analysis.
+        for name in [
+            "run",
+            "generate",
+            "generate/region",
+            "generate/fleet",
+            "fault",
+            "encode",
+            "salvage",
+            "clean",
+            "clean/validate",
+            "clean/dedup",
+            "clean/glitch",
+            "clean/overlap",
+            "store_build",
+            "analysis",
+            "analysis/presence",
+            "analysis/connected_time",
+            "analysis/profiles",
+            "analysis/durations",
+            "analysis/concurrency",
+            "analysis/handovers",
+            "analysis/carriers",
+            "analysis/sample_cars",
+        ] {
+            assert!(t.root.find(name).is_some(), "span {name} missing");
+        }
+        // Every registered stage did work: the CI gate's condition.
+        assert_eq!(t.zero_item_stages(), Vec::<String>::new());
+        // Counters carry all four namespaces plus the run ledger.
+        for key in [
+            "generate.records_emitted",
+            "fault.hour_glitches",
+            "ingest.records_yielded",
+            "clean.dropped_glitches",
+            "quarantine.glitch",
+            "store.rows_scanned",
+            "store.scan_nanos",
+            "run.records_clean",
+        ] {
+            assert!(t.counters.contains(key), "counter {key} missing");
+        }
+        assert_eq!(
+            t.counters.get("run.records_clean"),
+            study.clean.len() as u64
+        );
+        assert!(study.run_report.agrees_with_counters(&t.counters));
+    }
+
+    #[test]
+    fn null_clock_telemetry_is_byte_identical_across_runs() {
+        let cfg = StudyConfig::tiny();
+        let (_, _, _, a) = run_instrumented(&cfg, Arc::new(NullClock), Some(2)).unwrap();
+        let (_, _, _, b) = run_instrumented(&cfg, Arc::new(NullClock), Some(2)).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.clock, "null");
+        // Untimed: every wall reading is zero.
+        let mut walls = 0u64;
+        a.root.walk(&mut |s, _| walls += s.wall_ns);
+        assert_eq!(walls, 0);
+        assert_eq!(a.counters.get("store.scan_nanos"), 0);
+    }
+
+    #[test]
+    fn monotonic_clock_times_the_run() {
+        let cfg = StudyConfig::tiny();
+        let (_, _, _, t) =
+            run_instrumented(&cfg, Arc::new(MonotonicClock::new()), Some(2)).unwrap();
+        assert_eq!(t.clock, "monotonic");
+        assert!(t.root.wall_ns > 0);
+        // The generate stage dominates a tiny run; it must have a real
+        // reading, and the derived rate must follow.
+        let gen = t.root.find("generate").unwrap();
+        assert!(gen.wall_ns > 0);
+        assert!(gen.items_per_sec() > 0.0);
+    }
+}

@@ -29,6 +29,7 @@ const DETERMINISTIC_CRATES: &[&str] = &[
     "crates/store/",
     "crates/core/",
     "crates/cdr/",
+    "crates/obs/",
 ];
 
 /// Crates where `as`-narrowing on time/PRB quantities is banned (L3):
@@ -41,6 +42,7 @@ const NARROWING_CRATES: &[&str] = &[
     "crates/cdr/",
     "crates/fleet/",
     "crates/types/",
+    "crates/obs/",
 ];
 
 /// Ingest/salvage/clean pipeline files where corrupt input is expected
@@ -54,8 +56,8 @@ const PANIC_FREE_FILES: &[&str] = &[
 const L1_HINT: &str = "std HashMap/HashSet iteration order is nondeterministic; use \
      BTreeMap/BTreeSet (or sort before folding) so report bytes do not depend on hasher state";
 const L2_HINT: &str = "ambient entropy/time breaks seeded reproducibility; thread randomness \
-     from conncar_types::seed::SeedSplitter (rand_chacha) and keep wall-clock reads in \
-     bench/QueryStats accounting only";
+     from conncar_types::seed::SeedSplitter (rand_chacha) and time through an injected \
+     conncar_obs::Clock — the only sanctioned Instant lives in crates/obs/src/clock.rs";
 const L3_HINT: &str = "`as` narrowing silently truncates time/PRB quantities; use the checked \
      constructors in conncar-types (saturating_u32, hour_of_day_from_hours, secs_from_hours_f64, \
      DayBin::at) or try_from with explicit handling";

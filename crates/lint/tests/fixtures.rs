@@ -141,6 +141,59 @@ fn l4_is_scoped_to_the_three_pipeline_files() {
 }
 
 #[test]
+fn l1_applies_to_the_obs_crate() {
+    // The telemetry crate's output (RUN_OBS.json) must be
+    // bit-reproducible, so it sits in the deterministic scope too.
+    let found = hits(
+        "crates/obs/src/fixture.rs",
+        include_str!("fixtures/l1_violating.rs"),
+    );
+    assert!(!found.is_empty());
+    assert!(found.iter().all(|(rule, ..)| *rule == "L1"));
+}
+
+#[test]
+fn obs_clock_is_the_single_pinned_instant_exemption() {
+    // The real clock.rs, linted under its real path, must trip L2 on
+    // `Instant` (the rule is not special-cased for obs) and the
+    // repo's lint.toml must carry exactly one entry that silences it.
+    // If MonotonicClock moves, or someone deletes the allowlist entry,
+    // or a second Instant exemption creeps in, this test fails.
+    let clock_src = include_str!("../../obs/src/clock.rs");
+    let violations = lint_source("crates/obs/src/clock.rs", clock_src);
+    assert!(
+        violations.iter().any(|v| v.rule == "L2" && v.what == "Instant"),
+        "clock.rs no longer reads Instant outside tests; drop the lint.toml entry"
+    );
+    assert!(
+        violations.iter().all(|v| v.rule == "L2"),
+        "clock.rs trips more than L2: {violations:?}"
+    );
+
+    let allow = conncar_lint::config::parse_allowlist(include_str!("../../../lint.toml")).unwrap();
+    let instant_entries: Vec<_> = allow
+        .iter()
+        .filter(|e| e.rule == "L2" && e.contains.as_deref() == Some("Instant"))
+        .collect();
+    let sanctioned: Vec<&str> = instant_entries
+        .iter()
+        .filter(|e| e.path.starts_with("crates/"))
+        .map(|e| e.path.as_str())
+        .collect();
+    assert_eq!(
+        sanctioned,
+        vec!["crates/obs/src/clock.rs"],
+        "crates/obs/src/clock.rs must be the only in-crate Instant exemption"
+    );
+    for v in &violations {
+        assert!(
+            instant_entries.iter().any(|e| e.matches(v)),
+            "lint.toml entry no longer covers {v:?}"
+        );
+    }
+}
+
+#[test]
 fn test_code_is_exempt_everywhere() {
     let src = r#"
 pub fn good() {}

@@ -1,0 +1,112 @@
+//! Injected time sources.
+//!
+//! Lint rule L2 bans ambient wall-clock reads everywhere outside the
+//! bench harness: a stray `Instant::now()` in an analysis is how
+//! "deterministic" pipelines grow timing-dependent output. Timing is
+//! still wanted — the whole point of this crate — so the clock is
+//! *injected*: code that measures receives a `&dyn Clock`, production
+//! entry points hand it a [`MonotonicClock`], and determinism tests
+//! hand it a [`NullClock`] so two runs of the same seed produce
+//! byte-identical telemetry.
+//!
+//! This module is the single sanctioned home of `std::time::Instant` in
+//! the workspace; the `lint.toml` allowlist entry for it is pinned by a
+//! fixture test in `crates/lint/tests/fixtures.rs`.
+
+/// A monotonic nanosecond source.
+///
+/// `Send + Sync` so one clock can serve parallel shard scans; `Debug`
+/// so the structs that embed a `SharedClock` can keep deriving.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds elapsed since some fixed, arbitrary origin. Only
+    /// differences are meaningful; successive reads never decrease.
+    fn now_nanos(&self) -> u64;
+
+    /// Short tag naming the implementation in telemetry artifacts.
+    fn kind(&self) -> &'static str;
+}
+
+/// A shareable clock handle, cheap to clone into parallel scans.
+pub type SharedClock = std::sync::Arc<dyn Clock>;
+
+/// The real monotonic clock: nanoseconds since the instant the clock
+/// was constructed.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: std::time::Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            origin: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        // u128 → u64 saturation: 2^64 ns ≈ 584 years of process uptime.
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn kind(&self) -> &'static str {
+        "monotonic"
+    }
+}
+
+/// The deterministic clock: every read is zero.
+///
+/// Spans timed against it report `wall_ns = 0` and a derived rate of
+/// zero, which keeps double-run telemetry byte-identical — item counts
+/// and tree shape still carry all the seed-determined information.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullClock;
+
+impl Clock for NullClock {
+    fn now_nanos(&self) -> u64 {
+        0
+    }
+
+    fn kind(&self) -> &'static str {
+        "null"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_decreases() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_nanos();
+        let b = clock.now_nanos();
+        assert!(b >= a);
+        assert_eq!(clock.kind(), "monotonic");
+    }
+
+    #[test]
+    fn null_clock_is_frozen_at_zero() {
+        let clock = NullClock;
+        assert_eq!(clock.now_nanos(), 0);
+        assert_eq!(clock.now_nanos(), 0);
+        assert_eq!(clock.kind(), "null");
+    }
+
+    #[test]
+    fn clocks_are_object_safe_and_shareable() {
+        let shared: SharedClock = std::sync::Arc::new(NullClock);
+        let cloned = shared.clone();
+        assert_eq!(cloned.now_nanos(), 0);
+        let real: SharedClock = std::sync::Arc::new(MonotonicClock::new());
+        assert_eq!(real.kind(), "monotonic");
+    }
+}

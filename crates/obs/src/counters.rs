@@ -1,0 +1,141 @@
+//! Named monotonic counters.
+//!
+//! Every stage of the pipeline counts things — records emitted, frames
+//! CRC-failed, records quarantined per fault class, shard rows scanned,
+//! index hits vs full scans. Before this crate each stage kept its own
+//! ad-hoc struct and the cross-stage invariants ("delivered = yielded")
+//! were re-derived independently in several places, which is exactly how
+//! ledgers silently disagree. The [`CounterRegistry`] is the one
+//! accounting path: stages add to named counters, reports are *views*
+//! over them, and consistency checks compare registry entries.
+//!
+//! Keys are dotted lowercase paths (`"store.rows_scanned"`,
+//! `"quarantine.glitch"`). Storage is a `BTreeMap`, so iteration — and
+//! therefore every serialization — is deterministically ordered (lint
+//! rule L1).
+
+use std::collections::BTreeMap;
+
+/// A registry of named `u64` counters. Absent keys read as zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterRegistry {
+    counters: BTreeMap<String, u64>,
+}
+
+impl CounterRegistry {
+    /// An empty registry.
+    pub fn new() -> CounterRegistry {
+        CounterRegistry::default()
+    }
+
+    /// Add `n` to `key`, creating it at zero first if absent.
+    pub fn add(&mut self, key: &str, n: u64) {
+        if n == 0 && !self.counters.contains_key(key) {
+            // Register the key even at zero: a stage that ran but
+            // counted nothing is visible, not absent.
+            self.counters.insert(key.to_string(), 0);
+            return;
+        }
+        *self.counters.entry(key.to_string()).or_insert(0) += n;
+    }
+
+    /// Add one to `key`.
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Current value of `key` (zero when never touched).
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Whether `key` has ever been touched (even at zero).
+    pub fn contains(&self, key: &str) -> bool {
+        self.counters.contains_key(key)
+    }
+
+    /// Fold every counter of `other` into this registry.
+    pub fn absorb(&mut self, other: &CounterRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Sum of every counter whose key starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// All counters in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of distinct registered keys.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no counter was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_incr() {
+        let mut reg = CounterRegistry::new();
+        assert_eq!(reg.get("a.b"), 0);
+        reg.add("a.b", 3);
+        reg.incr("a.b");
+        assert_eq!(reg.get("a.b"), 4);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn zero_add_registers_the_key() {
+        let mut reg = CounterRegistry::new();
+        reg.add("stage.ran", 0);
+        assert!(reg.contains("stage.ran"));
+        assert_eq!(reg.get("stage.ran"), 0);
+        assert!(!reg.contains("stage.never"));
+    }
+
+    #[test]
+    fn absorb_folds_and_keeps_order() {
+        let mut a = CounterRegistry::new();
+        a.add("z.last", 1);
+        a.add("a.first", 2);
+        let mut b = CounterRegistry::new();
+        b.add("m.mid", 5);
+        b.add("a.first", 8);
+        a.absorb(&b);
+        let got: Vec<(String, u64)> = a.iter().map(|(k, v)| (k.to_string(), v)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("a.first".to_string(), 10),
+                ("m.mid".to_string(), 5),
+                ("z.last".to_string(), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn sum_prefix_groups_a_namespace() {
+        let mut reg = CounterRegistry::new();
+        reg.add("quarantine.glitch", 3);
+        reg.add("quarantine.overlap", 2);
+        reg.add("store.rows_scanned", 100);
+        assert_eq!(reg.sum_prefix("quarantine."), 5);
+        assert_eq!(reg.sum_prefix("nothing."), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # conncar-obs
+//!
+//! The observability substrate of the workspace: one place to answer
+//! *"what did this run do and where did the time go?"*
+//!
+//! The pipeline is a long chain — fleet synthesis → CDR emission and
+//! faulting → salvage → staged cleaning → columnar store layout → the
+//! §4 analysis suite — and before this crate its only visibility was a
+//! handful of disjoint ad-hoc report structs with no timings and no
+//! single artifact describing a run. This crate provides:
+//!
+//! * [`clock`] — the **injected clock**. Ambient wall-clock reads are
+//!   banned workspace-wide (lint rule L2): any code that wants a
+//!   timestamp receives a [`Clock`] instead. [`MonotonicClock`] is the
+//!   one sanctioned `std::time::Instant` consumer in the workspace
+//!   (allowlisted in `lint.toml`); [`NullClock`] always reads zero, so
+//!   instrumented double runs stay byte-identical.
+//! * [`span`] — hierarchical **spans** recording a stage tree: each
+//!   [`SpanRecord`] carries wall nanoseconds, an item count, and the
+//!   derived items/s, and nests children (generate → fault → salvage →
+//!   clean stages → store build per shard → each analysis by name).
+//! * [`counters`] — a [`CounterRegistry`] of named monotonic counters
+//!   (records emitted, frames CRC-failed, quarantined per fault class,
+//!   shard rows scanned, index hits vs full scans). Stage reports
+//!   elsewhere in the workspace are *views* over these counters, so
+//!   there is exactly one accounting path.
+//! * [`telemetry`] — the [`RunTelemetry`] artifact: span tree plus
+//!   counters, serialized to a deterministic `RUN_OBS.json` and
+//!   rendered as a text tree.
+//!
+//! The crate is dependency-free (only `conncar-types` for the shared
+//! error type): telemetry must never drag a serialization framework
+//! into the leaf crates that emit it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod counters;
+pub mod span;
+pub mod telemetry;
+
+pub use clock::{Clock, MonotonicClock, NullClock, SharedClock};
+pub use counters::CounterRegistry;
+pub use span::{Span, SpanRecord};
+pub use telemetry::RunTelemetry;

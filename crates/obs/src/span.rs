@@ -1,0 +1,220 @@
+//! Hierarchical stage spans.
+//!
+//! A [`Span`] is an open measurement: it holds a borrowed [`Clock`],
+//! the entry timestamp, an item count, and the finished records of its
+//! children. Closing it ([`Span::finish`]) yields an immutable
+//! [`SpanRecord`] — the serializable tree node carrying wall
+//! nanoseconds, items processed, and the derived items/s.
+//!
+//! Nesting is scoped: [`Span::child`] runs a closure inside a child
+//! span and attaches the child's record on the way out, so the tree
+//! shape always mirrors the call structure. Stages timed elsewhere
+//! (e.g. per-shard store builds measured inside a parallel loop) are
+//! attached pre-timed with [`Span::attach`].
+
+use crate::clock::Clock;
+
+/// One finished stage: a node of the run's span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Stage name (`"generate"`, `"salvage"`, `"analysis/presence"`, …).
+    pub name: String,
+    /// Wall nanoseconds between enter and finish (zero under the
+    /// deterministic [`NullClock`](crate::clock::NullClock)).
+    pub wall_ns: u64,
+    /// Items this stage processed (records, rows, cells — the stage's
+    /// natural unit). Zero means the stage did no work, which the CI
+    /// telemetry gate treats as a regression.
+    pub items: u64,
+    /// Child stages, in execution order.
+    pub children: Vec<SpanRecord>,
+}
+
+impl SpanRecord {
+    /// A pre-timed leaf (for stages measured outside the span API,
+    /// e.g. inside a parallel loop).
+    pub fn leaf(name: &str, wall_ns: u64, items: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            wall_ns,
+            items,
+            children: Vec::new(),
+        }
+    }
+
+    /// Derived throughput in items per second (zero when untimed).
+    pub fn items_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.items as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+
+    /// Depth-first search for the first span named `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Visit every span in the tree, depth-first, parents before
+    /// children.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a SpanRecord, usize)) {
+        self.walk_at(0, f);
+    }
+
+    fn walk_at<'a>(&'a self, depth: usize, f: &mut impl FnMut(&'a SpanRecord, usize)) {
+        f(self, depth);
+        for c in &self.children {
+            c.walk_at(depth + 1, f);
+        }
+    }
+
+    /// Total number of spans in the tree (self included).
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(SpanRecord::span_count).sum::<usize>()
+    }
+}
+
+/// An open span, timing a stage against an injected clock.
+pub struct Span<'c> {
+    clock: &'c dyn Clock,
+    entered_ns: u64,
+    rec: SpanRecord,
+}
+
+impl<'c> Span<'c> {
+    /// Open a root span now.
+    pub fn enter(clock: &'c dyn Clock, name: &str) -> Span<'c> {
+        Span {
+            clock,
+            entered_ns: clock.now_nanos(),
+            rec: SpanRecord::leaf(name, 0, 0),
+        }
+    }
+
+    /// The clock this span (and its children) time against.
+    pub fn clock(&self) -> &'c dyn Clock {
+        self.clock
+    }
+
+    /// Run `f` inside a child span; the child's record is attached when
+    /// `f` returns, whatever it returns (including `Err`).
+    pub fn child<T>(&mut self, name: &str, f: impl FnOnce(&mut Span<'c>) -> T) -> T {
+        let mut child = Span::enter(self.clock, name);
+        let out = f(&mut child);
+        self.rec.children.push(child.finish());
+        out
+    }
+
+    /// Set this stage's item count.
+    pub fn set_items(&mut self, items: u64) {
+        self.rec.items = items;
+    }
+
+    /// Add to this stage's item count.
+    pub fn add_items(&mut self, items: u64) {
+        self.rec.items += items;
+    }
+
+    /// Attach an already-finished child record (stages timed inside
+    /// parallel loops, where a borrowing child span cannot reach).
+    pub fn attach(&mut self, rec: SpanRecord) {
+        self.rec.children.push(rec);
+    }
+
+    /// Close the span, stamping its wall time.
+    pub fn finish(mut self) -> SpanRecord {
+        self.rec.wall_ns = self.clock.now_nanos().saturating_sub(self.entered_ns);
+        self.rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{MonotonicClock, NullClock};
+
+    #[test]
+    fn nested_children_mirror_call_structure() {
+        let clock = NullClock;
+        let mut root = Span::enter(&clock, "run");
+        root.set_items(10);
+        let n = root.child("stage_a", |a| {
+            a.set_items(4);
+            a.child("inner", |i| {
+                i.set_items(2);
+                2
+            })
+        });
+        assert_eq!(n, 2);
+        root.child("stage_b", |b| b.set_items(6));
+        let rec = root.finish();
+        assert_eq!(rec.name, "run");
+        assert_eq!(rec.items, 10);
+        assert_eq!(rec.children.len(), 2);
+        assert_eq!(rec.children[0].children[0].name, "inner");
+        assert_eq!(rec.span_count(), 4);
+        assert_eq!(rec.find("inner").unwrap().items, 2);
+        assert!(rec.find("missing").is_none());
+    }
+
+    #[test]
+    fn null_clock_spans_report_zero_wall_time() {
+        let clock = NullClock;
+        let mut root = Span::enter(&clock, "run");
+        root.child("work", |s| s.set_items(1_000));
+        let rec = root.finish();
+        assert_eq!(rec.wall_ns, 0);
+        assert_eq!(rec.children[0].wall_ns, 0);
+        assert_eq!(rec.children[0].items_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn monotonic_spans_accumulate_time() {
+        let clock = MonotonicClock::new();
+        let mut root = Span::enter(&clock, "run");
+        root.child("spin", |s| {
+            // Enough work for a nonzero reading on any clock resolution.
+            let mut x = 0u64;
+            for i in 0..100_000u64 {
+                x = x.wrapping_add(i * i);
+            }
+            std::hint::black_box(x);
+            s.set_items(100_000);
+        });
+        let rec = root.finish();
+        assert!(rec.wall_ns >= rec.children[0].wall_ns);
+        assert!(rec.children[0].wall_ns > 0);
+        assert!(rec.children[0].items_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn attach_adopts_pretimed_records() {
+        let clock = NullClock;
+        let mut root = Span::enter(&clock, "store_build");
+        root.attach(SpanRecord::leaf("shard-0", 1_500, 100));
+        root.attach(SpanRecord::leaf("shard-1", 2_500, 200));
+        let rec = root.finish();
+        assert_eq!(rec.children.len(), 2);
+        assert_eq!(rec.children[1].wall_ns, 2_500);
+        let rate = rec.children[1].items_per_sec();
+        assert!((rate - 200.0 * 1e9 / 2_500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn err_returning_child_still_attaches() {
+        let clock = NullClock;
+        let mut root = Span::enter(&clock, "run");
+        let r: Result<(), ()> = root.child("failing", |s| {
+            s.set_items(3);
+            Err(())
+        });
+        assert!(r.is_err());
+        let rec = root.finish();
+        assert_eq!(rec.children[0].name, "failing");
+        assert_eq!(rec.children[0].items, 3);
+    }
+}

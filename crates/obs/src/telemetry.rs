@@ -1,0 +1,295 @@
+//! The run telemetry artifact: `RUN_OBS.json` and the rendered tree.
+//!
+//! [`RunTelemetry`] bundles one run's span tree and counter registry
+//! with the kind of clock that timed it. Serialization is hand-rolled
+//! JSON: the byte layout is part of the artifact's contract (two runs
+//! of the same seed under the `NullClock` must produce byte-identical
+//! files), so no serialization framework gets to decide key order or
+//! float formatting.
+//!
+//! ## `RUN_OBS.json` schema (v1)
+//!
+//! ```json
+//! {
+//!   "schema": "conncar.run_obs.v1",
+//!   "clock": "null",
+//!   "spans": {
+//!     "name": "run", "wall_ns": 0, "items": 41285,
+//!     "items_per_sec": 0.0,
+//!     "children": [ ... same shape, recursively ... ]
+//!   },
+//!   "counters": { "clean.dropped_glitches": 161, ... }
+//! }
+//! ```
+//!
+//! Counters appear in ascending key order (the registry is a B-tree);
+//! spans appear in execution order. `items_per_sec` is derived
+//! (`items * 1e9 / wall_ns`, zero when untimed) and formatted with
+//! three decimals, so identical inputs always produce identical bytes.
+
+use crate::counters::CounterRegistry;
+use crate::span::SpanRecord;
+
+/// Everything one instrumented run reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTelemetry {
+    /// Which clock timed the run (`"monotonic"` or `"null"`).
+    pub clock: String,
+    /// The root of the stage tree.
+    pub root: SpanRecord,
+    /// Every named counter the run touched.
+    pub counters: CounterRegistry,
+}
+
+impl RunTelemetry {
+    /// Serialize to the deterministic `RUN_OBS.json` byte layout.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": \"conncar.run_obs.v1\",\n");
+        out.push_str(&format!("  \"clock\": \"{}\",\n", escape(&self.clock)));
+        out.push_str("  \"spans\": ");
+        span_json(&self.root, 1, &mut out);
+        out.push_str(",\n  \"counters\": {");
+        let mut first = true;
+        for (k, v) in self.counters.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": {}", escape(k), v));
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Write `RUN_OBS.json` to `path`.
+    pub fn write_json(&self, path: &std::path::Path) -> conncar_types::Result<()> {
+        std::fs::write(path, self.to_json())?;
+        Ok(())
+    }
+
+    /// Render the span tree as an aligned text view (the `obs_report`
+    /// example's output).
+    pub fn render_tree(&self) -> String {
+        let mut lines: Vec<(String, u64, u64, f64)> = Vec::new();
+        self.root.walk(&mut |s, depth| {
+            let label = format!("{}{}", "  ".repeat(depth), s.name);
+            lines.push((label, s.wall_ns, s.items, s.items_per_sec()));
+        });
+        let width = lines.iter().map(|(l, ..)| l.len()).max().unwrap_or(0).max(5);
+        let mut out = format!(
+            "run telemetry (clock: {})\n{:<width$}  {:>12}  {:>12}  {:>14}\n",
+            self.clock, "stage", "wall", "items", "items/s"
+        );
+        for (label, wall_ns, items, rate) in lines {
+            out.push_str(&format!(
+                "{label:<width$}  {:>12}  {items:>12}  {:>14}\n",
+                fmt_ns(wall_ns),
+                fmt_rate(rate),
+            ));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters\n");
+            let kw = self
+                .counters
+                .iter()
+                .map(|(k, _)| k.len())
+                .max()
+                .unwrap_or(0);
+            for (k, v) in self.counters.iter() {
+                out.push_str(&format!("  {k:<kw$}  {v:>12}\n"));
+            }
+        }
+        out
+    }
+
+    /// Names of every span that reports zero items processed — the CI
+    /// telemetry gate fails the run when this is non-empty, because a
+    /// registered stage that consumed nothing means the pipeline wired
+    /// it up wrong (or the fixture degenerated).
+    pub fn zero_item_stages(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.root.walk(&mut |s, _| {
+            if s.items == 0 {
+                out.push(s.name.clone());
+            }
+        });
+        out
+    }
+}
+
+/// Append one span (and its subtree) as JSON at `indent` levels.
+fn span_json(s: &SpanRecord, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    out.push_str(&format!(
+        "{{\n{pad}  \"name\": \"{}\", \"wall_ns\": {}, \"items\": {}, \"items_per_sec\": {:.3},\n{pad}  \"children\": [",
+        escape(&s.name),
+        s.wall_ns,
+        s.items,
+        s.items_per_sec(),
+    ));
+    for (i, c) in s.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n{pad}    "));
+        span_json(c, indent + 2, out);
+    }
+    if !s.children.is_empty() {
+        out.push_str(&format!("\n{pad}  "));
+    }
+    out.push_str(&format!("]\n{pad}}}"));
+}
+
+/// Escape a string for a JSON double-quoted literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Humanize nanoseconds for the text view.
+fn fmt_ns(ns: u64) -> String {
+    if ns == 0 {
+        "0".to_string()
+    } else if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Humanize an items/s rate for the text view.
+fn fmt_rate(rate: f64) -> String {
+    if rate == 0.0 {
+        "-".to_string()
+    } else if rate >= 1e6 {
+        format!("{:.2} M/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1} k/s", rate / 1e3)
+    } else {
+        format!("{rate:.1} /s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunTelemetry {
+        let mut counters = CounterRegistry::new();
+        counters.add("clean.dropped_glitches", 7);
+        counters.add("store.rows_scanned", 1_234);
+        let root = SpanRecord {
+            name: "run".into(),
+            wall_ns: 0,
+            items: 100,
+            children: vec![
+                SpanRecord::leaf("generate", 0, 100),
+                SpanRecord {
+                    name: "analysis".into(),
+                    wall_ns: 0,
+                    items: 100,
+                    children: vec![SpanRecord::leaf("analysis/presence", 0, 100)],
+                },
+            ],
+        };
+        RunTelemetry {
+            clock: "null".into(),
+            root,
+            counters,
+        }
+    }
+
+    #[test]
+    fn json_layout_is_stable_and_ordered() {
+        let t = sample();
+        let a = t.to_json();
+        let b = t.to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\n  \"schema\": \"conncar.run_obs.v1\",\n"));
+        // Counters render in key order.
+        let glitch = a.find("clean.dropped_glitches").unwrap();
+        let rows = a.find("store.rows_scanned").unwrap();
+        assert!(glitch < rows);
+        // NullClock spans serialize zero wall and zero rate.
+        assert!(a.contains("\"wall_ns\": 0"));
+        assert!(a.contains("\"items_per_sec\": 0.000"));
+        // Nested child present.
+        assert!(a.contains("analysis/presence"));
+    }
+
+    #[test]
+    fn empty_counters_serialize_as_empty_object() {
+        let t = RunTelemetry {
+            clock: "null".into(),
+            root: SpanRecord::leaf("run", 0, 1),
+            counters: CounterRegistry::new(),
+        };
+        let json = t.to_json();
+        assert!(json.contains("\"counters\": {}"), "{json}");
+    }
+
+    #[test]
+    fn tree_rendering_lists_every_stage() {
+        let t = sample();
+        let tree = t.render_tree();
+        for name in ["run", "generate", "analysis", "analysis/presence"] {
+            assert!(tree.contains(name), "missing {name} in:\n{tree}");
+        }
+        assert!(tree.contains("clean.dropped_glitches"));
+    }
+
+    #[test]
+    fn zero_item_stages_are_reported() {
+        let mut t = sample();
+        assert!(t.zero_item_stages().is_empty());
+        t.root.children.push(SpanRecord::leaf("dead-stage", 10, 0));
+        assert_eq!(t.zero_item_stages(), vec!["dead-stage".to_string()]);
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn humanized_units_pick_sane_ranges() {
+        assert_eq!(fmt_ns(0), "0");
+        assert_eq!(fmt_ns(500), "500 ns");
+        assert_eq!(fmt_ns(1_500), "1.5 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.5 ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21 s");
+        assert_eq!(fmt_rate(0.0), "-");
+        assert_eq!(fmt_rate(1_500.0), "1.5 k/s");
+        assert_eq!(fmt_rate(2_000_000.0), "2.00 M/s");
+    }
+
+    #[test]
+    fn write_json_round_trips_bytes() {
+        let t = sample();
+        let dir = std::env::temp_dir().join(format!("conncar-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("RUN_OBS.json");
+        t.write_json(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), t.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

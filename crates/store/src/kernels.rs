@@ -8,9 +8,10 @@
 //! rewired analyses share one scan implementation instead of each
 //! re-walking a flat record vector.
 
-use crate::query::{Filter, QueryStats};
+use crate::query::{keys, Filter, QueryStats};
 use crate::store::CdrStore;
 use conncar_cdr::CdrRecord;
+use conncar_obs::CounterRegistry;
 use conncar_types::{BinIndex, CarId, CellId};
 
 /// Walk every car's matching records in canonical order and fold each
@@ -23,14 +24,19 @@ where
     A: Send,
     F: Fn(CarId, &[CdrRecord]) -> A + Sync,
 {
-    let t0 = std::time::Instant::now();
+    let t0 = store.clock().now_nanos();
     let (shard_ids, pruned) = store.plan_shards(filter);
+    // The car directory narrows the walk when a car set is present;
+    // otherwise every group (hence every row) is visited.
+    let narrowed = filter.car_set().is_some();
     let per_shard: Vec<(Vec<(CarId, A)>, QueryStats)> =
         crate::exec::par_map(shard_ids.len(), |i| {
             let shard = &store.shards()[shard_ids[i]];
             let mut out: Vec<(CarId, A)> = Vec::new();
             let mut stats = QueryStats {
                 shards_scanned: 1,
+                index_scans: u32::from(narrowed),
+                full_scans: u32::from(!narrowed),
                 ..QueryStats::default()
             };
             let mut buf: Vec<CdrRecord> = Vec::new();
@@ -54,20 +60,23 @@ where
             }
             (out, stats)
         });
-    let mut stats = QueryStats {
-        shards_pruned: pruned,
-        ..QueryStats::default()
-    };
+    // Same single accounting path as `scan_fold`: per-shard stats land
+    // in a registry and the returned view is derived from it.
+    let mut reg = CounterRegistry::new();
+    reg.add(keys::SHARDS_PRUNED, u64::from(pruned));
     let mut merged: Vec<(CarId, A)> = Vec::new();
     for (part, s) in per_shard {
-        stats.absorb(&s);
+        s.record_into(&mut reg);
         merged.extend(part);
     }
     // Cars are shard-disjoint, so this sort is a permutation with all
     // keys distinct — deterministic whatever the shard layout was.
     merged.sort_by_key(|&(car, _)| car);
-    stats.scan_nanos = t0.elapsed().as_nanos() as u64;
-    (merged, stats)
+    reg.add(
+        keys::SCAN_NANOS,
+        store.clock().now_nanos().saturating_sub(t0),
+    );
+    (merged, QueryStats::from_registry(&reg))
 }
 
 /// Expand every matching record into the deduplicated, globally sorted

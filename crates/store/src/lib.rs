@@ -22,8 +22,13 @@
 //! * group-by kernels ([`kernels`]) — the per-car session walk and the
 //!   per-(cell, 15-min-bin) distinct-car count that the temporal,
 //!   segmentation, duration and concurrency analyses are built from;
-//! * [`QueryStats`] — rows scanned/matched, shards pruned and scan wall
-//!   time, so the cost of every analysis is observable.
+//! * [`QueryStats`] — rows scanned/matched, shards pruned, index vs
+//!   full scans and scan wall time, so the cost of every analysis is
+//!   observable. Query execution accounts into a
+//!   [`conncar_obs::CounterRegistry`] under the [`query::keys`]
+//!   namespace; `QueryStats` is the thin projection of those counters,
+//!   and all wall time is read from the store's injected
+//!   [`conncar_obs::Clock`] (never from an ambient clock).
 //!
 //! Shard count never changes results, only parallelism: the store's
 //! query results are byte-identical to the legacy flat scans (enforced
@@ -52,4 +57,4 @@ pub mod query;
 mod store;
 
 pub use query::{Filter, QueryStats, RecordKind};
-pub use store::CdrStore;
+pub use store::{CdrStore, ShardBuildStats};

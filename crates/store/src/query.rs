@@ -9,8 +9,31 @@
 
 use crate::store::CdrStore;
 use conncar_cdr::CdrRecord;
+use conncar_obs::CounterRegistry;
 use conncar_types::{CarId, Carrier, CellId, Duration, Timestamp};
 use serde::{Deserialize, Serialize};
+
+/// Well-known counter keys the query engine accounts under. One
+/// namespace, one accounting path: [`QueryStats`] is a thin view over a
+/// [`CounterRegistry`] populated with these keys, and run-level
+/// telemetry absorbs the same keys, so the two can never disagree.
+pub mod keys {
+    /// Rows the engine examined (after index narrowing).
+    pub const ROWS_SCANNED: &str = "store.rows_scanned";
+    /// Rows that passed the full predicate.
+    pub const ROWS_MATCHED: &str = "store.rows_matched";
+    /// Shards skipped entirely by car-hash or time-envelope pruning.
+    pub const SHARDS_PRUNED: &str = "store.shards_pruned";
+    /// Shards actually scanned.
+    pub const SHARDS_SCANNED: &str = "store.shards_scanned";
+    /// Shard scans narrowed by an index (car directory, cell postings
+    /// or time index).
+    pub const INDEX_SCANS: &str = "store.index_scans";
+    /// Shard scans that had to visit every row.
+    pub const FULL_SCANS: &str = "store.full_scans";
+    /// Wall nanoseconds across whole queries (plan + scan + merge).
+    pub const SCAN_NANOS: &str = "store.scan_nanos";
+}
 
 /// Duration-class predicate: the store's notion of a record *kind*.
 ///
@@ -164,6 +187,11 @@ impl Filter {
 }
 
 /// What one query execution cost.
+///
+/// A thin view over the [`keys`] counters: query execution accounts
+/// into a [`CounterRegistry`] and this struct is derived from it
+/// ([`QueryStats::from_registry`]), so the registry is the single
+/// source of truth and `QueryStats` is the ergonomic projection.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QueryStats {
     /// Rows the engine examined (after index narrowing).
@@ -174,11 +202,42 @@ pub struct QueryStats {
     pub shards_pruned: u32,
     /// Shards actually scanned.
     pub shards_scanned: u32,
-    /// Wall-clock nanoseconds of the whole query (plan + scan + merge).
+    /// Shard scans narrowed by an index (car directory, cell postings
+    /// or time index) instead of visiting every row.
+    pub index_scans: u32,
+    /// Shard scans that visited every row.
+    pub full_scans: u32,
+    /// Wall-clock nanoseconds of the whole query (plan + scan + merge),
+    /// read from the store's injected clock.
     pub scan_nanos: u64,
 }
 
 impl QueryStats {
+    /// Project the [`keys`] counters of a registry into a stats view.
+    pub fn from_registry(reg: &CounterRegistry) -> QueryStats {
+        QueryStats {
+            rows_scanned: reg.get(keys::ROWS_SCANNED),
+            rows_matched: reg.get(keys::ROWS_MATCHED),
+            shards_pruned: conncar_types::saturating_u32(reg.get(keys::SHARDS_PRUNED)),
+            shards_scanned: conncar_types::saturating_u32(reg.get(keys::SHARDS_SCANNED)),
+            index_scans: conncar_types::saturating_u32(reg.get(keys::INDEX_SCANS)),
+            full_scans: conncar_types::saturating_u32(reg.get(keys::FULL_SCANS)),
+            scan_nanos: reg.get(keys::SCAN_NANOS),
+        }
+    }
+
+    /// Account this view's values into a registry under the [`keys`]
+    /// names (the inverse of [`QueryStats::from_registry`]).
+    pub fn record_into(&self, reg: &mut CounterRegistry) {
+        reg.add(keys::ROWS_SCANNED, self.rows_scanned);
+        reg.add(keys::ROWS_MATCHED, self.rows_matched);
+        reg.add(keys::SHARDS_PRUNED, u64::from(self.shards_pruned));
+        reg.add(keys::SHARDS_SCANNED, u64::from(self.shards_scanned));
+        reg.add(keys::INDEX_SCANS, u64::from(self.index_scans));
+        reg.add(keys::FULL_SCANS, u64::from(self.full_scans));
+        reg.add(keys::SCAN_NANOS, self.scan_nanos);
+    }
+
     /// Fold another stats record into this one (nanos add; a sequence of
     /// queries reports its total cost).
     pub fn absorb(&mut self, other: &QueryStats) {
@@ -186,6 +245,8 @@ impl QueryStats {
         self.rows_matched += other.rows_matched;
         self.shards_pruned += other.shards_pruned;
         self.shards_scanned += other.shards_scanned;
+        self.index_scans += other.index_scans;
+        self.full_scans += other.full_scans;
         self.scan_nanos += other.scan_nanos;
     }
 
@@ -309,8 +370,14 @@ impl CdrStore {
             }
         };
         match self.select_rows(shard_id, filter) {
-            RowSelection::All => (0..shard.len()).for_each(&mut visit),
-            RowSelection::Rows(rows) => rows.iter().for_each(|&r| visit(r as usize)),
+            RowSelection::All => {
+                stats.full_scans = 1;
+                (0..shard.len()).for_each(&mut visit);
+            }
+            RowSelection::Rows(rows) => {
+                stats.index_scans = 1;
+                rows.iter().for_each(|&r| visit(r as usize));
+            }
         }
         stats
     }
@@ -328,24 +395,27 @@ impl CdrStore {
         F: Fn(&mut A, CdrRecord) + Sync,
         M: Fn(A, A) -> A,
     {
-        let t0 = std::time::Instant::now();
+        let t0 = self.clock().now_nanos();
         let (shard_ids, pruned) = self.plan_shards(filter);
         let per_shard: Vec<(A, QueryStats)> = crate::exec::par_map(shard_ids.len(), |i| {
             let mut acc = init();
             let stats = self.scan_shard(shard_ids[i], filter, &mut acc, &fold);
             (acc, stats)
         });
-        let mut stats = QueryStats {
-            shards_pruned: pruned,
-            ..QueryStats::default()
-        };
+        // One accounting path: per-shard stats land in a counter
+        // registry and the returned view is derived from it.
+        let mut reg = CounterRegistry::new();
+        reg.add(keys::SHARDS_PRUNED, u64::from(pruned));
         let mut out = init();
         for (acc, s) in per_shard {
-            stats.absorb(&s);
+            s.record_into(&mut reg);
             out = merge(out, acc);
         }
-        stats.scan_nanos = t0.elapsed().as_nanos() as u64;
-        (out, stats)
+        reg.add(
+            keys::SCAN_NANOS,
+            self.clock().now_nanos().saturating_sub(t0),
+        );
+        (out, QueryStats::from_registry(&reg))
     }
 
     /// Collect matching records in the dataset's canonical
@@ -504,13 +574,50 @@ mod tests {
             rows_matched: 5,
             shards_pruned: 1,
             shards_scanned: 2,
+            index_scans: 1,
+            full_scans: 1,
             scan_nanos: 1_000_000_000,
         };
         let b = a;
         a.absorb(&b);
         assert_eq!(a.rows_scanned, 20);
+        assert_eq!(a.index_scans, 2);
+        assert_eq!(a.full_scans, 2);
         assert_eq!(a.scan_nanos, 2_000_000_000);
         assert!((a.rows_per_sec() - 10.0).abs() < 1e-9);
         assert_eq!(QueryStats::default().rows_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn stats_round_trip_through_registry() {
+        let a = QueryStats {
+            rows_scanned: 10,
+            rows_matched: 5,
+            shards_pruned: 1,
+            shards_scanned: 2,
+            index_scans: 2,
+            full_scans: 0,
+            scan_nanos: 42,
+        };
+        let mut reg = CounterRegistry::new();
+        a.record_into(&mut reg);
+        a.record_into(&mut reg);
+        let doubled = QueryStats::from_registry(&reg);
+        let mut expect = a;
+        expect.absorb(&a);
+        assert_eq!(doubled, expect);
+    }
+
+    #[test]
+    fn scans_classify_index_vs_full() {
+        let s = store(sample(), 4);
+        // No predicate: every scanned shard visits every row.
+        let (_, stats) = s.count(&Filter::all());
+        assert_eq!(stats.index_scans, 0);
+        assert_eq!(stats.full_scans, stats.shards_scanned);
+        // Car predicate: the directory narrows every scan.
+        let (_, stats) = s.count(&Filter::all().car(CarId(3)));
+        assert_eq!(stats.full_scans, 0);
+        assert_eq!(stats.index_scans, stats.shards_scanned);
     }
 }

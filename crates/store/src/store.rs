@@ -2,10 +2,22 @@
 
 use crate::columns::Shard;
 use conncar_cdr::{CdrDataset, CdrRecord};
+use conncar_obs::{Clock, MonotonicClock, SharedClock, SpanRecord};
 use conncar_types::{CarId, StudyPeriod};
+use std::sync::Arc;
 
 /// Default upper bound on the automatic shard count.
 const MAX_AUTO_SHARDS: usize = 64;
+
+/// What building one shard cost (telemetry for the store-build span).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardBuildStats {
+    /// Rows laid out into this shard.
+    pub rows: u64,
+    /// Wall nanoseconds spent building this shard's columns and
+    /// indexes (zero under a `NullClock`).
+    pub wall_ns: u64,
+}
 
 /// A sharded, columnar copy of one cleaned [`CdrDataset`].
 ///
@@ -18,25 +30,48 @@ pub struct CdrStore {
     period: StudyPeriod,
     shards: Vec<Shard>,
     len: usize,
+    /// The injected clock every query's `scan_nanos` is read from.
+    /// Never ambient: determinism tests swap in a `NullClock` and the
+    /// whole query layer reports zero wall time, byte-identically.
+    clock: SharedClock,
+    build_stats: Vec<ShardBuildStats>,
 }
 
 impl CdrStore {
-    /// Build a store with an explicit shard count (clamped to at least 1).
+    /// Build a store with an explicit shard count (clamped to at least
+    /// 1), timing queries against the real monotonic clock.
     ///
     /// The dataset's canonical `(car, start, cell)` order is preserved
     /// within each shard, which is what keeps the car directory
     /// contiguous and store scans byte-compatible with legacy scans.
     pub fn build(ds: &CdrDataset, shards: usize) -> CdrStore {
+        CdrStore::build_with_clock(ds, shards, Arc::new(MonotonicClock::new()))
+    }
+
+    /// Build with an injected clock (determinism tests pass a
+    /// `NullClock`; instrumented runs share one run-wide clock).
+    pub fn build_with_clock(ds: &CdrDataset, shards: usize, clock: SharedClock) -> CdrStore {
         let shard_count = shards.max(1);
         let mut buckets: Vec<Vec<&CdrRecord>> = vec![Vec::new(); shard_count];
         for r in ds.records() {
             buckets[shard_slot(r.car, shard_count)].push(r);
         }
-        let built = crate::exec::par_map(shard_count, |i| Shard::build(&buckets[i]));
+        let built = crate::exec::par_map(shard_count, |i| {
+            let t0 = clock.now_nanos();
+            let shard = Shard::build(&buckets[i]);
+            let stats = ShardBuildStats {
+                rows: buckets[i].len() as u64,
+                wall_ns: clock.now_nanos().saturating_sub(t0),
+            };
+            (shard, stats)
+        });
+        let (shards, build_stats) = built.into_iter().unzip();
         CdrStore {
             period: ds.period(),
             len: ds.len(),
-            shards: built,
+            shards,
+            clock,
+            build_stats,
         }
     }
 
@@ -44,12 +79,40 @@ impl CdrStore {
     /// roughly four tasks per available core (so work-stealing can level
     /// uneven shards), capped at 64 and at one shard per 1024 rows.
     pub fn build_auto(ds: &CdrDataset) -> CdrStore {
+        CdrStore::build_auto_with_clock(ds, Arc::new(MonotonicClock::new()))
+    }
+
+    /// [`CdrStore::build_auto`] with an injected clock.
+    pub fn build_auto_with_clock(ds: &CdrDataset, clock: SharedClock) -> CdrStore {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         let by_rows = (ds.len() / 1024).max(1);
         let shards = (cores * 4).min(MAX_AUTO_SHARDS).min(by_rows);
-        CdrStore::build(ds, shards)
+        CdrStore::build_with_clock(ds, shards, clock)
+    }
+
+    /// The clock queries are timed against.
+    #[inline]
+    pub fn clock(&self) -> &dyn Clock {
+        &*self.clock
+    }
+
+    /// Per-shard build cost, in shard-id order.
+    pub fn build_stats(&self) -> &[ShardBuildStats] {
+        &self.build_stats
+    }
+
+    /// The store-build stage as a pre-timed span subtree: one child per
+    /// shard, items = rows laid out.
+    pub fn build_span(&self) -> SpanRecord {
+        let mut root = SpanRecord::leaf("store_build", 0, self.len as u64);
+        for (id, s) in self.build_stats.iter().enumerate() {
+            root.wall_ns += s.wall_ns;
+            root.children
+                .push(SpanRecord::leaf(&format!("shard-{id}"), s.wall_ns, s.rows));
+        }
+        root
     }
 
     /// The study period the stored records belong to.

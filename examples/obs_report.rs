@@ -1,0 +1,94 @@
+//! Telemetry view: run an instrumented study and print the span tree.
+//!
+//! ```sh
+//! cargo run --release --example obs_report -- [--null-clock] [--shards N] [--out PATH]
+//! ```
+//!
+//! Runs the tiny study through [`conncar::telemetry::run_instrumented`],
+//! writes the deterministic `RUN_OBS.json` artifact (default
+//! `target/RUN_OBS.json`), and prints the rendered stage tree with wall
+//! times, item counts and derived rates. With `--null-clock` every wall
+//! reading is zero and the artifact is a pure function of the config —
+//! the mode CI uses to diff runs.
+//!
+//! Exits non-zero when any registered stage reports zero items
+//! processed: a wired-up stage that consumed nothing means the pipeline
+//! or the fixture broke, and CI treats that as a failure.
+
+use conncar::study::StudyConfig;
+use conncar::telemetry::run_instrumented;
+use conncar_obs::{MonotonicClock, NullClock, SharedClock};
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::parse();
+    let clock: SharedClock = if args.null_clock {
+        Arc::new(NullClock)
+    } else {
+        Arc::new(MonotonicClock::new())
+    };
+
+    let cfg = StudyConfig::tiny();
+    let (study, store, _analyses, telemetry) =
+        run_instrumented(&cfg, clock, args.shards).expect("tiny study runs");
+
+    eprintln!(
+        "instrumented run: {} clean records, {} cars, {} shards",
+        study.clean.len(),
+        study.clean.car_count(),
+        store.shard_count(),
+    );
+
+    let path = std::path::Path::new(&args.out);
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    telemetry.write_json(path).expect("write RUN_OBS.json");
+    println!("{}", telemetry.render_tree());
+    eprintln!("wrote {}", args.out);
+
+    let dead = telemetry.zero_item_stages();
+    if !dead.is_empty() {
+        eprintln!("zero-item stages: {}", dead.join(", "));
+        std::process::exit(1);
+    }
+}
+
+struct Args {
+    null_clock: bool,
+    shards: Option<usize>,
+    out: String,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            null_clock: false,
+            shards: None,
+            out: "target/RUN_OBS.json".into(),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--null-clock" => args.null_clock = true,
+                "--shards" => {
+                    args.shards = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--shards needs a numeric value"),
+                    );
+                }
+                "--out" => args.out = it.next().expect("--out needs a path"),
+                "--help" | "-h" => {
+                    eprintln!("usage: obs_report [--null-clock] [--shards N] [--out PATH]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}

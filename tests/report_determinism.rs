@@ -10,8 +10,11 @@
 //! the hazard class statically, this test catches it behaviorally.
 
 use conncar::report::render_full_report;
+use conncar::telemetry::run_instrumented;
 use conncar::{StudyAnalyses, StudyConfig, StudyData};
+use conncar_obs::NullClock;
 use conncar_store::CdrStore;
+use std::sync::Arc;
 
 #[test]
 fn small_study_double_run_is_byte_identical_across_shard_counts() {
@@ -40,4 +43,36 @@ fn small_study_double_run_is_byte_identical_across_shard_counts() {
     // Paranoia: the report is non-trivial (a bug that renders nothing
     // would pass every equality above).
     assert!(first_2.len() > 1_000, "report suspiciously short");
+}
+
+/// The telemetry artifact obeys the same law as the report: under the
+/// `NullClock` (every wall reading zero) `RUN_OBS.json` must be a pure
+/// function of the study config and the shard count. Unlike the
+/// report, the artifact is *allowed* to vary with the shard count —
+/// the `store_build` subtree has one child per shard, and scan
+/// accounting (rows scanned, shards pruned) follows the partition —
+/// but two runs with identical inputs must produce identical bytes.
+#[test]
+fn run_obs_json_double_run_is_byte_identical_under_null_clock() {
+    let cfg = StudyConfig::tiny();
+
+    let run = |shards: usize| -> String {
+        let (_, _, _, telemetry) = run_instrumented(&cfg, Arc::new(NullClock), Some(shards))
+            .expect("instrumented run");
+        telemetry.to_json()
+    };
+
+    for shards in [2usize, 7] {
+        let first = run(shards);
+        let second = run(shards);
+        assert_eq!(first, second, "shards={shards}: RUN_OBS.json diverged");
+        // Non-trivial artifact, fully untimed: every span serializes a
+        // zero wall reading and a zero derived rate.
+        assert!(first.len() > 1_000, "RUN_OBS.json suspiciously short");
+        assert!(first.contains("\"clock\": \"null\""));
+        assert!(!first.contains("\"wall_ns\": 1"));
+        for stage in ["\"name\": \"salvage\"", "\"name\": \"clean\"", "store_build"] {
+            assert!(first.contains(stage), "shards={shards}: missing {stage}");
+        }
+    }
 }
