@@ -8,9 +8,12 @@
 //! nothing.
 
 use conncar_cdr::CdrDataset;
-use conncar_store::{kernels, CdrStore, Filter, QueryStats};
+use conncar_store::{
+    kernels, CarView, CdrStore, Filter, FolderHandle, FusedOutputs, FusedPass, QueryStats,
+};
 use conncar_types::{
-    BinIndex, CarId, CellId, DayBin, StudyPeriod, Timestamp, BINS_PER_DAY, BINS_PER_WEEK,
+    BaseStationId, BinIndex, CarId, CellId, DayBin, StudyPeriod, Timestamp, ALL_CARRIERS,
+    BINS_PER_DAY, BINS_PER_WEEK,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -41,13 +44,39 @@ impl ConcurrencyIndex {
         Self::from_triples(ds.period(), triples)
     }
 
-    /// Build through the store: the triple-expansion kernel yields the
-    /// same globally sorted, deduplicated relation, so the index equals
-    /// [`ConcurrencyIndex::build`] for any shard count.
+    /// Build through the store. The column walk expands packed
+    /// `(cell, bin, car)` keys and [`from_packed`] sorts the whole
+    /// relation once, so the index equals [`ConcurrencyIndex::build`]
+    /// for any shard count — the packing is order-preserving, making
+    /// the integer sort interchangeable with the tuple sort.
+    ///
+    /// [`from_packed`]: ConcurrencyIndex::from_packed
     pub fn build_from_store(store: &CdrStore) -> (ConcurrencyIndex, QueryStats) {
-        let (triples, stats) =
-            kernels::cell_bin_car_triples(store, &Filter::all(), store.period().total_bins());
-        (Self::from_triples(store.period(), triples), stats)
+        let limit = store.period().total_bins();
+        let (keys, stats) = kernels::fold_views(
+            store,
+            &Filter::all(),
+            Vec::new,
+            move |acc: &mut Vec<u128>, v| push_packed(acc, v, limit),
+            merge_keys,
+        );
+        (Self::from_packed(store.period(), keys), stats)
+    }
+
+    /// Register the concurrency key expansion in a [`FusedPass`]; claim
+    /// the index with [`FusedConcurrency::finish`] after the pass runs.
+    /// Equals [`ConcurrencyIndex::build_from_store`] exactly (both sort
+    /// and deduplicate the same packed relation).
+    pub fn fuse(pass: &mut FusedPass<'_>) -> FusedConcurrency {
+        let period = pass.store().period();
+        let limit = period.total_bins();
+        let handle = pass.add_per_car(
+            "concurrency",
+            Vec::new,
+            move |acc: &mut Vec<u128>, v| push_packed(acc, v, limit),
+            merge_keys,
+        );
+        FusedConcurrency { handle, period }
     }
 
     /// Group sorted `(cell, bin, car)` triples into per-cell count runs.
@@ -58,6 +87,41 @@ impl ConcurrencyIndex {
             match v.last_mut() {
                 Some((b, c)) if *b == bin => *c += 1,
                 _ => v.push((bin, 1)),
+            }
+        }
+        ConcurrencyIndex { period, map }
+    }
+
+    /// Assemble from an already-grouped per-cell run map. The combined
+    /// presence+concurrency folder in [`crate::fusion`] builds the runs
+    /// itself while scanning the sorted key relation for Figure 2.
+    pub(crate) fn from_map(
+        period: StudyPeriod,
+        map: BTreeMap<CellId, Vec<(u64, u32)>>,
+    ) -> ConcurrencyIndex {
+        ConcurrencyIndex { period, map }
+    }
+
+    /// Sort and deduplicate packed keys globally, then run-length the
+    /// `(cell, bin)` prefixes into the sparse per-cell map. Distinct
+    /// keys are distinct `(cell, bin, car)` triples, so the counts
+    /// equal [`ConcurrencyIndex::from_triples`] on the same relation.
+    fn from_packed(period: StudyPeriod, mut keys: Vec<u128>) -> ConcurrencyIndex {
+        keys.sort_unstable();
+        keys.dedup();
+        let mut map: BTreeMap<CellId, Vec<(u64, u32)>> = BTreeMap::new();
+        let mut i = 0;
+        while i < keys.len() {
+            let cell_prefix = keys[i] >> 80;
+            let runs = map.entry(unpack_cell(keys[i])).or_default();
+            while i < keys.len() && keys[i] >> 80 == cell_prefix {
+                let bin_prefix = keys[i] >> 32;
+                let mut cars = 0u32;
+                while i < keys.len() && keys[i] >> 32 == bin_prefix {
+                    cars += 1;
+                    i += 1;
+                }
+                runs.push(((bin_prefix & 0xFFFF_FFFF_FFFF) as u64, cars));
             }
         }
         ConcurrencyIndex { period, map }
@@ -158,6 +222,68 @@ impl ConcurrencyIndex {
                 (cell, day, cars.len())
             })
             .max_by_key(|&(cell, day, n)| (n, std::cmp::Reverse(day), cell))
+    }
+}
+
+/// One `(cell, bin, car)` triple packed into an order-preserving
+/// `u128`: station in bits 96.., sector in 88.., carrier in 80.., bin
+/// in 32.. (total bins stay far below 2^48), car in 0... An integer
+/// sort over the packed keys therefore orders exactly like the tuple
+/// sort in [`ConcurrencyIndex::build`], at a fraction of the
+/// per-comparison cost.
+#[inline]
+pub(crate) fn pack_triple(cell: CellId, bin: u64, car: CarId) -> u128 {
+    (u128::from(cell.station.0) << 96)
+        | (u128::from(cell.sector) << 88)
+        | (u128::from(cell.carrier as u8) << 80)
+        | (u128::from(bin) << 32)
+        | u128::from(car.0)
+}
+
+/// Recover the cell from a packed key's high bits.
+#[inline]
+pub(crate) fn unpack_cell(key: u128) -> CellId {
+    CellId::new(
+        BaseStationId((key >> 96) as u32),
+        (key >> 88) as u8,
+        ALL_CARRIERS[((key >> 80) & 0xFF) as usize],
+    )
+}
+
+/// Expand one car's selected rows into packed keys. `covering` yields
+/// ascending bins, so the limit check can stop the expansion early.
+#[inline]
+fn push_packed(acc: &mut Vec<u128>, v: &CarView<'_>, bin_limit: u64) {
+    acc.reserve(v.len());
+    let car = v.car;
+    v.for_each_selected(|i| {
+        for bin in BinIndex::covering(
+            Timestamp::from_secs(v.starts[i]),
+            Timestamp::from_secs(v.ends[i]),
+        ) {
+            if bin.0 >= bin_limit {
+                break;
+            }
+            acc.push(pack_triple(v.cells[i], bin.0, car));
+        }
+    });
+}
+
+fn merge_keys(mut a: Vec<u128>, mut b: Vec<u128>) -> Vec<u128> {
+    a.append(&mut b);
+    a
+}
+
+/// Claim ticket for a fused concurrency folder.
+pub struct FusedConcurrency {
+    handle: FolderHandle<Vec<u128>>,
+    period: StudyPeriod,
+}
+
+impl FusedConcurrency {
+    /// Assemble the concurrency index from the fused pass's outputs.
+    pub fn finish(self, out: &mut FusedOutputs) -> ConcurrencyIndex {
+        ConcurrencyIndex::from_packed(self.period, out.take(self.handle))
     }
 }
 
@@ -277,6 +403,25 @@ mod tests {
             let (got, stats) = ConcurrencyIndex::build_from_store(&store);
             assert_eq!(got, legacy, "shards={shards}");
             assert_eq!(stats.rows_scanned as usize, d.len());
+        }
+    }
+
+    #[test]
+    fn fused_build_equals_store_build() {
+        let records: Vec<CdrRecord> = (0..250)
+            .map(|i| {
+                let s = (i as u64 * 731) % (13 * 86_400);
+                rec(i % 31, i % 9, s, s + 30 + (i as u64 * 11) % 3_000)
+            })
+            .collect();
+        let d = ds(records);
+        for shards in [1, 7] {
+            let store = CdrStore::build(&d, shards);
+            let (want, _) = ConcurrencyIndex::build_from_store(&store);
+            let mut pass = FusedPass::new(&store, Filter::all());
+            let h = ConcurrencyIndex::fuse(&mut pass);
+            let mut out = pass.run();
+            assert_eq!(h.finish(&mut out), want, "shards={shards}");
         }
     }
 

@@ -7,7 +7,7 @@
 
 use crate::stats::Ecdf;
 use conncar_cdr::{truncate_records, CdrDataset};
-use conncar_store::{CdrStore, Filter, QueryStats};
+use conncar_store::{kernels, CarView, CdrStore, Filter, FolderHandle, FusedOutputs, FusedPass, QueryStats};
 use conncar_types::Duration;
 use serde::{Deserialize, Serialize};
 
@@ -61,36 +61,79 @@ pub fn connection_durations(
     })
 }
 
-/// Figure 9 through the store: one parallel scan collects both views
-/// (truncation is per-record, `min(duration, cap)`), and the ECDFs sort,
-/// so the result equals [`connection_durations`] exactly.
+/// One car's selected durations in integer seconds, straight from the
+/// columns — both views derive from this single vector at assembly.
+#[inline]
+fn push_durations(acc: &mut Vec<u64>, v: &CarView<'_>) {
+    acc.reserve(v.len());
+    v.for_each_selected(|i| acc.push(v.ends[i].saturating_sub(v.starts[i])));
+}
+
+fn merge_duration_acc(mut a: Vec<u64>, mut b: Vec<u64>) -> Vec<u64> {
+    a.append(&mut b);
+    a
+}
+
+/// One integer sort serves both ECDFs: `u64 → f64` and `min(·, cap)`
+/// are monotone, so mapping the sorted seconds yields each view
+/// already in [`Ecdf::new`]'s order — and the capped map makes the
+/// truncated view without ever materializing truncated records.
+fn assemble_durations(
+    mut secs: Vec<u64>,
+    cap: Duration,
+) -> conncar_types::Result<ConnectionDurationResult> {
+    secs.sort_unstable();
+    let cap_secs = cap.as_secs();
+    let full: Vec<f64> = secs.iter().map(|&d| d as f64).collect();
+    let truncated: Vec<f64> = secs.iter().map(|&d| d.min(cap_secs) as f64).collect();
+    Ok(ConnectionDurationResult {
+        full: Ecdf::from_sorted(full)?,
+        truncated: Ecdf::from_sorted(truncated)?,
+        cap,
+    })
+}
+
+/// Figure 9 through the store: the zero-materialization column walk
+/// collects the duration seconds, and the views are sorted multisets
+/// of the same records' durations, so the result equals
+/// [`connection_durations`] exactly.
 pub fn connection_durations_store(
     store: &CdrStore,
     cap: Duration,
 ) -> conncar_types::Result<(ConnectionDurationResult, QueryStats)> {
-    let cap_secs = cap.as_secs();
-    let ((full, truncated), stats) = store.scan_fold(
+    let (acc, stats) = kernels::fold_views(
+        store,
         &Filter::all(),
-        || (Vec::new(), Vec::new()),
-        |(full, truncated): &mut (Vec<f64>, Vec<f64>), r| {
-            let d = r.duration().as_secs();
-            full.push(d as f64);
-            truncated.push(d.min(cap_secs) as f64);
-        },
-        |(mut fa, mut ta), (mut fb, mut tb)| {
-            fa.append(&mut fb);
-            ta.append(&mut tb);
-            (fa, ta)
-        },
+        Vec::new,
+        |acc: &mut Vec<u64>, v| push_durations(acc, v),
+        merge_duration_acc,
     );
-    Ok((
-        ConnectionDurationResult {
-            full: Ecdf::new(full)?,
-            truncated: Ecdf::new(truncated)?,
-            cap,
-        },
-        stats,
-    ))
+    Ok((assemble_durations(acc, cap)?, stats))
+}
+
+/// Figure 9 as a folder in a [`FusedPass`]; claim the result with
+/// [`FusedDurations::finish`] after the pass runs.
+pub fn fuse_connection_durations(pass: &mut FusedPass<'_>, cap: Duration) -> FusedDurations {
+    let handle = pass.add_per_car(
+        "durations",
+        Vec::new,
+        |acc: &mut Vec<u64>, v| push_durations(acc, v),
+        merge_duration_acc,
+    );
+    FusedDurations { handle, cap }
+}
+
+/// Claim ticket for a fused Figure 9 folder.
+pub struct FusedDurations {
+    handle: FolderHandle<Vec<u64>>,
+    cap: Duration,
+}
+
+impl FusedDurations {
+    /// Assemble the duration result from the fused pass's outputs.
+    pub fn finish(self, out: &mut FusedOutputs) -> conncar_types::Result<ConnectionDurationResult> {
+        assemble_durations(out.take(self.handle), self.cap)
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +202,20 @@ mod tests {
                 connection_durations_store(&store, Duration::from_secs(600)).unwrap();
             assert_eq!(got, legacy, "shards={shards}");
             assert_eq!(stats.rows_scanned as usize, d.len());
+        }
+    }
+
+    #[test]
+    fn fused_path_matches_store_path() {
+        let durations: Vec<u64> = (0..300).map(|i| 5 + (i * 37) % 4_000).collect();
+        let d = ds(&durations);
+        for shards in [1, 7] {
+            let store = CdrStore::build(&d, shards);
+            let (want, _) = connection_durations_store(&store, Duration::from_secs(600)).unwrap();
+            let mut pass = FusedPass::new(&store, Filter::all());
+            let h = fuse_connection_durations(&mut pass, Duration::from_secs(600));
+            let mut out = pass.run();
+            assert_eq!(h.finish(&mut out).unwrap(), want, "shards={shards}");
         }
     }
 

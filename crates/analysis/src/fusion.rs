@@ -1,0 +1,330 @@
+//! Cross-analysis fusion: one folder serving several §4 analyses from
+//! a shared accumulator.
+//!
+//! Run as separate folders, Figure 2 and the concurrency index each
+//! walk every record's time span (one per day, one per 15-minute bin)
+//! and each sort a large relation at finish. But the concurrency
+//! relation already contains Figure 2's cell facts: a record covers a
+//! study day exactly when it covers one of that day's bins — both are
+//! the range `start/86400 ..= (end-1)/86400`, and the period's bin
+//! limit is a whole number of days, so clipping agrees too. The
+//! combined folder therefore expands bins **once**, sorts the packed
+//! `(cell, bin, car)` keys **once**, and reads the per-day
+//! distinct-cell counts and the distinct-cell total straight off the
+//! sorted runs (`day = bin / 96`; bins ascend within a cell's run, so
+//! one day cursor per cell deduplicates). Only Figure 2's distinct
+//! cars per day need row-level state — the same per-car day bitmap the
+//! standalone presence folder uses, which is cheap.
+//!
+//! Rows that push no key at all — zero/negative duration, or starting
+//! past the period end — still count toward Figure 2 exactly as the
+//! standalone path counts them: their cells and in-period cell-days
+//! travel in small side vectors and merge in at finish, so the
+//! combined results equal [`daily_presence_store`] and
+//! [`ConcurrencyIndex::build_from_store`] on *any* input, not just
+//! clean ones (enforced by the tests below).
+//!
+//! [`daily_presence_store`]: crate::temporal::daily_presence_store
+
+use crate::concurrency::{pack_triple, unpack_cell, ConcurrencyIndex};
+use crate::temporal::{assemble_presence_counts, DailyPresenceResult};
+use conncar_store::{CarView, FolderHandle, FusedOutputs, FusedPass};
+use conncar_types::{BinIndex, CellId, StudyPeriod, Timestamp, BINS_PER_DAY};
+use std::collections::BTreeMap;
+
+/// Shared accumulator of the combined presence+concurrency folder.
+pub struct PresenceConcurrencyAcc {
+    /// Packed `(cell, bin, car)` keys — the concurrency relation, from
+    /// which Figure 2's cell counts are also derived.
+    keys: Vec<u128>,
+    /// Distinct cars per day (each car folds exactly once per pass).
+    day_cars: Vec<u64>,
+    /// Scratch day bitmap for the car being folded; zero between cars.
+    mask: Vec<u64>,
+    /// Cells of rows that pushed no key; they still count toward
+    /// Figure 2's total-cells denominator.
+    keyless_cells: Vec<CellId>,
+    /// In-period `(day, cell)` facts of rows that pushed no key.
+    keyless_cell_days: Vec<(u64, CellId)>,
+}
+
+impl PresenceConcurrencyAcc {
+    fn new(days_n: usize) -> PresenceConcurrencyAcc {
+        PresenceConcurrencyAcc {
+            keys: Vec::new(),
+            day_cars: vec![0; days_n],
+            mask: vec![0; (days_n + 63) / 64],
+            keyless_cells: Vec::new(),
+            keyless_cell_days: Vec::new(),
+        }
+    }
+
+    /// Fold one car's selected rows: mark its day bitmap (Figure 2's
+    /// distinct cars) and expand the shared key relation. A row whose
+    /// expansion is empty records its Figure 2 facts on the side.
+    fn fold_view(&mut self, v: &CarView<'_>, bin_limit: u64) {
+        self.keys.reserve(v.len());
+        let days_n = self.day_cars.len();
+        let car = v.car;
+        let mut touched = false;
+        v.for_each_selected(|i| {
+            let cell = v.cells[i];
+            let first_day = v.starts[i] / 86_400;
+            let last_day = v.ends[i].saturating_sub(1) / 86_400;
+            for day in first_day..=last_day {
+                let d = day as usize;
+                if d < days_n && (self.mask[d >> 6] >> (d & 63)) & 1 == 0 {
+                    self.mask[d >> 6] |= 1 << (d & 63);
+                    touched = true;
+                }
+            }
+            let before = self.keys.len();
+            for bin in BinIndex::covering(
+                Timestamp::from_secs(v.starts[i]),
+                Timestamp::from_secs(v.ends[i]),
+            ) {
+                if bin.0 >= bin_limit {
+                    break;
+                }
+                self.keys.push(pack_triple(cell, bin.0, car));
+            }
+            if self.keys.len() == before {
+                self.keyless_cells.push(cell);
+                for day in first_day..=last_day {
+                    if day < days_n as u64 {
+                        self.keyless_cell_days.push((day, cell));
+                    }
+                }
+            }
+        });
+        if touched {
+            for (w, word) in self.mask.iter_mut().enumerate() {
+                let mut bits = *word;
+                while bits != 0 {
+                    self.day_cars[(w << 6) + bits.trailing_zeros() as usize] += 1;
+                    bits &= bits - 1;
+                }
+                *word = 0;
+            }
+        }
+    }
+
+    /// Merge is exact: car counts add (cars are shard-disjoint), key
+    /// and side vectors concatenate (deduplication is global, at
+    /// finish).
+    fn merge(mut a: PresenceConcurrencyAcc, mut b: PresenceConcurrencyAcc) -> PresenceConcurrencyAcc {
+        for (x, y) in a.day_cars.iter_mut().zip(&b.day_cars) {
+            *x += *y;
+        }
+        a.keys.append(&mut b.keys);
+        a.keyless_cells.append(&mut b.keyless_cells);
+        a.keyless_cell_days.append(&mut b.keyless_cell_days);
+        a
+    }
+
+    /// One sort, one scan: group the key relation into the per-cell
+    /// concurrency runs while counting distinct cells per day and
+    /// overall, then fold in the keyless side facts and assemble both
+    /// results.
+    fn finish(
+        mut self,
+        period: StudyPeriod,
+        total_cars: usize,
+    ) -> (DailyPresenceResult, ConcurrencyIndex) {
+        self.keys.sort_unstable();
+        self.keys.dedup();
+        let keys = &self.keys;
+        let days_n = period.days() as usize;
+        let mut day_cells = vec![0usize; days_n];
+        let mut map: BTreeMap<CellId, Vec<(u64, u32)>> = BTreeMap::new();
+        let mut i = 0;
+        while i < keys.len() {
+            let cell_prefix = keys[i] >> 80;
+            let runs = map.entry(unpack_cell(keys[i])).or_default();
+            let mut day_cursor = u64::MAX;
+            while i < keys.len() && keys[i] >> 80 == cell_prefix {
+                let bin_prefix = keys[i] >> 32;
+                let bin = (bin_prefix & 0xFFFF_FFFF_FFFF) as u64;
+                let day = bin / BINS_PER_DAY as u64;
+                if day != day_cursor {
+                    day_cursor = day;
+                    if (day as usize) < days_n {
+                        day_cells[day as usize] += 1;
+                    }
+                }
+                let mut cars = 0u32;
+                while i < keys.len() && keys[i] >> 32 == bin_prefix {
+                    cars += 1;
+                    i += 1;
+                }
+                runs.push((bin, cars));
+            }
+        }
+        // Keyless rows are rare (usually absent): dedup their facts and
+        // count only those the key relation did not already cover.
+        self.keyless_cells.sort_unstable();
+        self.keyless_cells.dedup();
+        let total_cells = map.len()
+            + self
+                .keyless_cells
+                .iter()
+                .filter(|c| !map.contains_key(c))
+                .count();
+        self.keyless_cell_days.sort_unstable();
+        self.keyless_cell_days.dedup();
+        for &(day, cell) in &self.keyless_cell_days {
+            if !cell_day_in_keys(keys, cell, day) {
+                day_cells[day as usize] += 1;
+            }
+        }
+        let day_cars: Vec<usize> = self.day_cars.iter().map(|&n| n as usize).collect();
+        let presence =
+            assemble_presence_counts(period, &day_cars, &day_cells, total_cells, total_cars);
+        (presence, ConcurrencyIndex::from_map(period, map))
+    }
+}
+
+/// Does the sorted, deduplicated key relation contain any bin of
+/// `(cell, day)`? Binary search to the first key at or after the day's
+/// first bin, then check it still belongs to the same cell and day.
+fn cell_day_in_keys(keys: &[u128], cell: CellId, day: u64) -> bool {
+    let lo = pack_triple(cell, day * BINS_PER_DAY as u64, conncar_types::CarId(0));
+    let idx = keys.partition_point(|&k| k < lo);
+    idx < keys.len() && {
+        let k = keys[idx];
+        k >> 80 == lo >> 80 && ((k >> 32) & 0xFFFF_FFFF_FFFF) as u64 / BINS_PER_DAY as u64 == day
+    }
+}
+
+/// Register the combined Figure 2 + concurrency folder in a
+/// [`FusedPass`]; claim both results with
+/// [`FusedPresenceConcurrency::finish`] after the pass runs. Equals
+/// running [`crate::temporal::fuse_daily_presence`] and
+/// [`ConcurrencyIndex::fuse`] as separate folders, at roughly the cost
+/// of the concurrency folder alone.
+pub fn fuse_presence_concurrency(
+    pass: &mut FusedPass<'_>,
+    total_cars: usize,
+) -> FusedPresenceConcurrency {
+    let period = pass.store().period();
+    let days_n = period.days() as usize;
+    let limit = period.total_bins();
+    let handle = pass.add_per_car(
+        "presence+concurrency",
+        move || PresenceConcurrencyAcc::new(days_n),
+        move |acc: &mut PresenceConcurrencyAcc, v| acc.fold_view(v, limit),
+        PresenceConcurrencyAcc::merge,
+    );
+    FusedPresenceConcurrency {
+        handle,
+        period,
+        total_cars,
+    }
+}
+
+/// Claim ticket for the combined presence+concurrency folder.
+pub struct FusedPresenceConcurrency {
+    handle: FolderHandle<PresenceConcurrencyAcc>,
+    period: StudyPeriod,
+    total_cars: usize,
+}
+
+impl FusedPresenceConcurrency {
+    /// Assemble Figure 2 and the concurrency index from the fused
+    /// pass's outputs.
+    pub fn finish(self, out: &mut FusedOutputs) -> (DailyPresenceResult, ConcurrencyIndex) {
+        out.take(self.handle).finish(self.period, self.total_cars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temporal::{daily_presence, daily_presence_store};
+    use conncar_cdr::{CdrDataset, CdrRecord};
+    use conncar_store::{CdrStore, Filter};
+    use conncar_types::{BaseStationId, CarId, Carrier, DayOfWeek, StudyPeriod};
+
+    fn rec(car: u32, cell_i: u32, start: u64, end: u64) -> CdrRecord {
+        CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(BaseStationId(cell_i), (cell_i % 3) as u8, Carrier::C2),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(end),
+        }
+    }
+
+    /// A 14-day dataset that exercises every path: ordinary rows,
+    /// midnight straddlers, zero-duration rows, rows entirely past the
+    /// period end, and a row straddling the period end.
+    fn messy_ds() -> CdrDataset {
+        let mut records: Vec<CdrRecord> = (0..300)
+            .map(|i| {
+                let s = (i as u64 * 6_151) % (13 * 86_400);
+                rec(i % 37, i % 11, s, s + 25 + (i as u64 * 17) % 4_000)
+            })
+            .collect();
+        // Midnight straddler.
+        records.push(rec(40, 20, 86_400 - 50, 86_400 + 50));
+        // Zero-duration rows: mid-day (credits its day but no bin) and
+        // exactly at a midnight boundary (credits nothing).
+        records.push(rec(41, 21, 5 * 86_400 + 123, 5 * 86_400 + 123));
+        records.push(rec(42, 22, 3 * 86_400, 3 * 86_400));
+        // Entirely past the 14-day period: counts toward total_cells
+        // only; cell 23 appears nowhere else.
+        records.push(rec(43, 23, 15 * 86_400 + 10, 15 * 86_400 + 500));
+        // Straddles the period end: in-period days/bins only.
+        records.push(rec(44, 24, 13 * 86_400 + 86_000, 14 * 86_400 + 900));
+        CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 14).unwrap(), records)
+    }
+
+    #[test]
+    fn combined_folder_matches_standalone_paths() {
+        let d = messy_ds();
+        let legacy = daily_presence(&d, 60);
+        let legacy_c = ConcurrencyIndex::build(&d);
+        for shards in [1, 2, 7, 64] {
+            let store = CdrStore::build(&d, shards);
+            let (want_p, _) = daily_presence_store(&store, 60);
+            let (want_c, _) = ConcurrencyIndex::build_from_store(&store);
+            assert_eq!(want_p, legacy);
+            assert_eq!(want_c, legacy_c);
+            let mut pass = FusedPass::new(&store, Filter::all());
+            let h = fuse_presence_concurrency(&mut pass, 60);
+            let mut out = pass.run();
+            let (p, c) = h.finish(&mut out);
+            assert_eq!(p, want_p, "presence, shards={shards}");
+            assert_eq!(c, want_c, "concurrency, shards={shards}");
+        }
+    }
+
+    #[test]
+    fn keyless_rows_reach_figure2_but_not_concurrency() {
+        let d = messy_ds();
+        let store = CdrStore::build(&d, 4);
+        let mut pass = FusedPass::new(&store, Filter::all());
+        let h = fuse_presence_concurrency(&mut pass, 60);
+        let mut out = pass.run();
+        let (p, c) = h.finish(&mut out);
+        // Cells 21 (zero-duration), 22 (boundary zero-duration) and 23
+        // (past the period) produce no concurrency key, yet all count
+        // in Figure 2's denominator.
+        assert_eq!(p.total_cells, c.cell_count() + 3);
+        // The mid-day zero-duration row still credits its day's cell
+        // and car counts (day 5, cell 21, car 41).
+        assert!(p.days[5].cells > 0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), vec![]);
+        let store = CdrStore::build(&d, 3);
+        let mut pass = FusedPass::new(&store, Filter::all());
+        let h = fuse_presence_concurrency(&mut pass, 5);
+        let mut out = pass.run();
+        let (p, c) = h.finish(&mut out);
+        assert_eq!(p.total_cells, 0);
+        assert!(p.days.iter().all(|d| d.cars == 0 && d.cells == 0));
+        assert_eq!(c.cell_count(), 0);
+    }
+}

@@ -11,6 +11,7 @@
 //! | [`segmentation`] | Figure 6, Table 2, Figure 7 (rare/common × busy) |
 //! | [`duration`] | Figure 9 (per-cell connection durations) |
 //! | [`concurrency`] | Figures 8, 10 and the vectors behind Figure 11 |
+//! | [`fusion`] | cross-analysis fused folders sharing one relation |
 //! | [`concentration`] | §4.4's car-concentration claims (Gini, hotspots) |
 //! | [`cluster`] | Figure 11 (k-means over busy-cell daily profiles) |
 //! | [`handover`] | §4.5 (handover counts and taxonomy) |
@@ -33,6 +34,7 @@ pub mod cluster;
 pub mod concentration;
 pub mod concurrency;
 pub mod duration;
+pub mod fusion;
 pub mod handover;
 pub mod matrix;
 pub mod predict;

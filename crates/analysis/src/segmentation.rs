@@ -9,8 +9,10 @@
 use crate::busy::NetworkLoadModel;
 use crate::stats::Ecdf;
 use conncar_cdr::CdrDataset;
-use conncar_store::{kernels, CdrStore, Filter, QueryStats};
-use conncar_types::CarId;
+use conncar_store::{
+    kernels, CarView, CdrStore, Filter, FolderHandle, FusedOutputs, FusedPass, QueryStats,
+};
+use conncar_types::{CarId, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -45,17 +47,89 @@ pub fn car_profiles(ds: &CdrDataset, model: &NetworkLoadModel<'_>) -> Vec<CarBus
         .collect()
 }
 
-/// Car profiles through the store: the per-car walk kernel applies the
-/// same per-record accounting; cars come back in ascending order, which
-/// is exactly `by_car`'s order, so the vector equals [`car_profiles`].
+/// Car profiles through the store: the zero-materialization per-car
+/// view kernel applies the same per-record accounting straight off the
+/// columns; cars come back in ascending order, which is exactly
+/// `by_car`'s order, so the vector equals [`car_profiles`].
 pub fn car_profiles_store(
     store: &CdrStore,
     model: &NetworkLoadModel<'_>,
 ) -> (Vec<CarBusyProfile>, QueryStats) {
-    let (per_car, stats) = kernels::fold_per_car(store, &Filter::all(), |car, records| {
-        profile_one(car, records, model)
-    });
+    let (per_car, stats) =
+        kernels::fold_per_car_views(store, &Filter::all(), |v| profile_one_view(v, model));
     (per_car.into_iter().map(|(_, p)| p).collect(), stats)
+}
+
+/// §4.3 as a folder in a [`FusedPass`]; claim the profiles with
+/// [`FusedProfiles::finish`] after the pass runs.
+pub fn fuse_car_profiles<'p>(
+    pass: &mut FusedPass<'p>,
+    model: &'p NetworkLoadModel<'p>,
+) -> FusedProfiles {
+    let handle = pass.add_per_car(
+        "profiles",
+        Vec::new,
+        move |acc: &mut Vec<CarBusyProfile>, v| acc.push(profile_one_view(v, model)),
+        |mut a: Vec<CarBusyProfile>, mut b| {
+            a.append(&mut b);
+            a
+        },
+    );
+    FusedProfiles { handle }
+}
+
+/// Claim ticket for a fused car-profile folder.
+pub struct FusedProfiles {
+    handle: FolderHandle<Vec<CarBusyProfile>>,
+}
+
+impl FusedProfiles {
+    /// Claim the profiles, sorted by car — [`car_profiles`]' order.
+    pub fn finish(self, out: &mut FusedOutputs) -> Vec<CarBusyProfile> {
+        let mut profiles = out.take(self.handle);
+        profiles.sort_by_key(|p| p.car);
+        profiles
+    }
+}
+
+/// One car's joined profile straight from its column view.
+///
+/// Days-active exploits the canonical row order: starts are ascending
+/// within a car, so each record's day interval begins at or after the
+/// previous one's, and a single left-to-right sweep counts the union of
+/// the `[first_day, last_day]` intervals without a set.
+fn profile_one_view(v: &CarView<'_>, model: &NetworkLoadModel<'_>) -> CarBusyProfile {
+    let mut days = 0u64;
+    let mut last_day: Option<u64> = None;
+    let mut busy = 0u64;
+    let mut total = 0u64;
+    v.for_each_selected(|i| {
+        let d0 = v.starts[i] / 86_400;
+        let dl = v.ends[i].saturating_sub(1) / 86_400;
+        if dl >= d0 {
+            let lo = match last_day {
+                Some(l) if d0 <= l => l + 1,
+                _ => d0,
+            };
+            if dl >= lo {
+                days += dl - lo + 1;
+                last_day = Some(dl);
+            }
+        }
+        let (b, t) = model.busy_split_span(
+            v.cells[i],
+            Timestamp::from_secs(v.starts[i]),
+            Timestamp::from_secs(v.ends[i]),
+        );
+        busy += b;
+        total += t;
+    });
+    CarBusyProfile {
+        car: v.car,
+        days_active: conncar_types::saturating_u32(days),
+        busy_secs: busy,
+        total_secs: total,
+    }
 }
 
 /// One car's joined profile from its (canonically ordered) records.
@@ -322,12 +396,17 @@ mod tests {
         assert_eq!(p.days_active, 2);
         assert_eq!(p.total_secs, 30 * 60 + 10 * 60);
         assert!(p.busy_secs <= p.total_secs);
-        // The store path reproduces the same profiles, any shard count.
+        // The store path reproduces the same profiles, any shard count,
+        // and so does the fused-pass folder.
         for shards in [1, 5] {
             let store = CdrStore::build(&ds, shards);
             let (got, stats) = car_profiles_store(&store, &model);
             assert_eq!(got, profiles, "shards={shards}");
             assert_eq!(stats.rows_scanned as usize, ds.len());
+            let mut pass = FusedPass::new(&store, Filter::all());
+            let h = fuse_car_profiles(&mut pass, &model);
+            let mut out = pass.run();
+            assert_eq!(h.finish(&mut out), profiles, "fused shards={shards}");
         }
     }
 }

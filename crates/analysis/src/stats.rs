@@ -128,6 +128,23 @@ impl Ecdf {
         Ok(Ecdf { sorted: values })
     }
 
+    /// Build from an already-sorted sample — the caller sorted in some
+    /// cheaper domain (integer seconds, say) and mapped monotonically
+    /// to `f64`. The invariant is verified in one pass, so the result
+    /// is exactly what [`Ecdf::new`] would have produced: non-finite
+    /// or descending values are rejected.
+    pub fn from_sorted(values: Vec<f64>) -> conncar_types::Result<Ecdf> {
+        let sorted_finite = values.iter().all(|v| v.is_finite())
+            && values.windows(2).all(|w| w[0] <= w[1]);
+        if !sorted_finite {
+            return Err(conncar_types::Error::InvalidConfig {
+                what: "ecdf",
+                why: "unsorted or non-finite sample".into(),
+            });
+        }
+        Ok(Ecdf { sorted: values })
+    }
+
     /// Number of observations.
     pub fn len(&self) -> usize {
         self.sorted.len()
@@ -401,6 +418,19 @@ mod tests {
     fn ecdf_rejects_nan() {
         assert!(Ecdf::new(vec![1.0, f64::NAN]).is_err());
         assert!(Ecdf::new(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn ecdf_from_sorted_matches_new_and_verifies() {
+        let xs = vec![3.0, 1.0, 2.0, 2.0, 4.0];
+        let via_new = Ecdf::new(xs.clone()).unwrap();
+        let mut sorted = xs;
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(Ecdf::from_sorted(sorted).unwrap(), via_new);
+        assert_eq!(Ecdf::from_sorted(vec![]).unwrap(), Ecdf::new(vec![]).unwrap());
+        assert!(Ecdf::from_sorted(vec![2.0, 1.0]).is_err());
+        assert!(Ecdf::from_sorted(vec![1.0, f64::NAN]).is_err());
+        assert!(Ecdf::from_sorted(vec![f64::INFINITY]).is_err());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use crate::stats::{Ecdf, LinearFit, StreamingStats};
 use conncar_cdr::{truncate_records, CdrDataset};
-use conncar_store::{kernels, CdrStore, Filter, QueryStats};
-use conncar_types::{CarId, CellId, DayOfWeek, Duration};
+use conncar_store::{kernels, CarView, CdrStore, Filter, FolderHandle, FusedOutputs, FusedPass, QueryStats};
+use conncar_types::{CarId, CellId, DayOfWeek, Duration, StudyPeriod};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -85,16 +85,104 @@ impl PresenceSets {
         }
     }
 
-    /// Set-union merge: exact because distinct counts are taken after.
-    fn merge(mut self, other: PresenceSets) -> PresenceSets {
-        for (a, b) in self.cars_per_day.iter_mut().zip(other.cars_per_day) {
-            a.extend(b);
+}
+
+/// Per-day distinct counts built without any per-row set inserts: the
+/// column-kernel accumulator behind [`daily_presence_store`] and the
+/// fused pass.
+///
+/// Distinct cars per day come from a per-car day bitmap (each car is
+/// visited exactly once per pass, so setting a day bit the first time
+/// increments that day's count by one car). Distinct cells are pushed
+/// raw — duplicates and all — and deduplicated once at the end with a
+/// sort, which is far cheaper than a `BTreeSet` insert per row.
+struct PresenceCounts {
+    day_cars: Vec<u64>,
+    day_cells: Vec<Vec<CellId>>,
+    all_cells: Vec<CellId>,
+    /// Scratch day bitmap for the car being folded; always zero between
+    /// cars.
+    mask: Vec<u64>,
+}
+
+impl PresenceCounts {
+    fn new(days_n: usize) -> PresenceCounts {
+        PresenceCounts {
+            day_cars: vec![0; days_n],
+            day_cells: vec![Vec::new(); days_n],
+            all_cells: Vec::new(),
+            mask: vec![0; (days_n + 63) / 64],
         }
-        for (a, b) in self.cells_per_day.iter_mut().zip(other.cells_per_day) {
-            a.extend(b);
+    }
+
+    /// Credit one car's selected rows to every day they touch (records
+    /// can straddle midnight), exactly as [`PresenceSets::add`] does.
+    fn fold_view(&mut self, v: &CarView<'_>) {
+        let days_n = self.day_cars.len();
+        let mut touched = false;
+        v.for_each_selected(|i| {
+            let cell = v.cells[i];
+            self.all_cells.push(cell);
+            let first_day = v.starts[i] / 86_400;
+            let last_day = v.ends[i].saturating_sub(1) / 86_400;
+            for day in first_day..=last_day {
+                let d = day as usize;
+                if d < days_n {
+                    self.day_cells[d].push(cell);
+                    if (self.mask[d >> 6] >> (d & 63)) & 1 == 0 {
+                        self.mask[d >> 6] |= 1 << (d & 63);
+                        touched = true;
+                    }
+                }
+            }
+        });
+        if touched {
+            for (w, word) in self.mask.iter_mut().enumerate() {
+                let mut bits = *word;
+                while bits != 0 {
+                    self.day_cars[(w << 6) + bits.trailing_zeros() as usize] += 1;
+                    bits &= bits - 1;
+                }
+                *word = 0;
+            }
         }
-        self.all_cells.extend(other.all_cells);
-        self
+    }
+
+    /// Merge is exact: car counts add (cars are shard-disjoint), cell
+    /// pushes concatenate (deduplication happens in [`finish`]).
+    fn merge(mut a: PresenceCounts, mut b: PresenceCounts) -> PresenceCounts {
+        for (x, y) in a.day_cars.iter_mut().zip(&b.day_cars) {
+            *x += *y;
+        }
+        for (x, y) in a.day_cells.iter_mut().zip(b.day_cells.iter_mut()) {
+            x.append(y);
+        }
+        a.all_cells.append(&mut b.all_cells);
+        a
+    }
+
+    /// Deduplicate and assemble — shared with the legacy set path via
+    /// [`assemble_presence_counts`].
+    fn finish(mut self, period: StudyPeriod, total_cars: usize) -> DailyPresenceResult {
+        let cars_per_day: Vec<usize> = self.day_cars.iter().map(|&n| n as usize).collect();
+        let cells_per_day: Vec<usize> = self
+            .day_cells
+            .iter_mut()
+            .map(|cells| {
+                cells.sort_unstable();
+                cells.dedup();
+                cells.len()
+            })
+            .collect();
+        self.all_cells.sort_unstable();
+        self.all_cells.dedup();
+        assemble_presence_counts(
+            period,
+            &cars_per_day,
+            &cells_per_day,
+            self.all_cells.len(),
+            total_cars,
+        )
     }
 }
 
@@ -110,26 +198,60 @@ pub fn daily_presence(ds: &CdrDataset, total_cars: usize) -> DailyPresenceResult
     assemble_presence(ds.period(), sets, total_cars)
 }
 
-/// Figure 2 through the store: the same per-day distinct sets built by a
-/// parallel shard fold. Cars are shard-disjoint and cell sets merge by
-/// union, so the assembled result equals [`daily_presence`] exactly.
+/// Figure 2 through the store: the same per-day distinct counts built
+/// by the zero-materialization column kernel. Cars are shard-disjoint
+/// and cell sets merge by union, so the assembled result equals
+/// [`daily_presence`] exactly.
 pub fn daily_presence_store(
     store: &CdrStore,
     total_cars: usize,
 ) -> (DailyPresenceResult, QueryStats) {
     let days_n = store.period().days() as usize;
-    let (sets, stats) = store.scan_fold(
+    let (counts, stats) = kernels::fold_views(
+        store,
         &Filter::all(),
-        || PresenceSets::new(days_n),
-        |acc, r| acc.add(&r),
-        PresenceSets::merge,
+        move || PresenceCounts::new(days_n),
+        |acc: &mut PresenceCounts, v| acc.fold_view(v),
+        PresenceCounts::merge,
     );
-    (assemble_presence(store.period(), sets, total_cars), stats)
+    (counts.finish(store.period(), total_cars), stats)
+}
+
+/// Figure 2 as a folder in a [`FusedPass`]; claim the result with
+/// [`FusedPresence::finish`] after the pass runs.
+pub fn fuse_daily_presence(pass: &mut FusedPass<'_>, total_cars: usize) -> FusedPresence {
+    let period = pass.store().period();
+    let days_n = period.days() as usize;
+    let handle = pass.add_per_car(
+        "presence",
+        move || PresenceCounts::new(days_n),
+        |acc: &mut PresenceCounts, v| acc.fold_view(v),
+        PresenceCounts::merge,
+    );
+    FusedPresence {
+        handle,
+        period,
+        total_cars,
+    }
+}
+
+/// Claim ticket for a fused Figure 2 folder.
+pub struct FusedPresence {
+    handle: FolderHandle<PresenceCounts>,
+    period: StudyPeriod,
+    total_cars: usize,
+}
+
+impl FusedPresence {
+    /// Assemble the presence result from the fused pass's outputs.
+    pub fn finish(self, out: &mut FusedOutputs) -> DailyPresenceResult {
+        out.take(self.handle).finish(self.period, self.total_cars)
+    }
 }
 
 /// Shared tail of both presence paths: counts, trends, assembly.
 fn assemble_presence(
-    period: conncar_types::StudyPeriod,
+    period: StudyPeriod,
     sets: PresenceSets,
     total_cars: usize,
 ) -> DailyPresenceResult {
@@ -138,14 +260,28 @@ fn assemble_presence(
         cells_per_day,
         all_cells,
     } = sets;
-    let total_cells = all_cells.len();
+    let car_counts: Vec<usize> = cars_per_day.iter().map(BTreeSet::len).collect();
+    let cell_counts: Vec<usize> = cells_per_day.iter().map(BTreeSet::len).collect();
+    assemble_presence_counts(period, &car_counts, &cell_counts, all_cells.len(), total_cars)
+}
+
+/// The one assembly: per-day distinct counts (however they were
+/// produced) to result struct with trends. Shared with the combined
+/// presence+concurrency folder in [`crate::fusion`].
+pub(crate) fn assemble_presence_counts(
+    period: StudyPeriod,
+    cars_per_day: &[usize],
+    cells_per_day: &[usize],
+    total_cells: usize,
+    total_cars: usize,
+) -> DailyPresenceResult {
     let days: Vec<DailyPresence> = period
         .iter_days()
         .map(|(d, weekday)| DailyPresence {
             day: d,
             weekday,
-            cars: cars_per_day[d as usize].len(),
-            cells: cells_per_day[d as usize].len(),
+            cars: cars_per_day[d as usize],
+            cells: cells_per_day[d as usize],
         })
         .collect();
     let car_pts: Vec<(f64, f64)> = days
@@ -271,41 +407,113 @@ pub fn connected_time_cdf(
     })
 }
 
-/// Figure 3 through the store: the per-car session walk kernel computes
-/// each car's full and truncated sums; padding and ECDF construction are
-/// unchanged (the ECDF sorts, so visit order cannot matter).
+/// One car's `(full, truncated)` connected seconds straight from the
+/// columns: truncating a record's duration at the cap is `min`, so no
+/// truncated record vector is ever allocated.
+#[inline]
+fn connected_sums(v: &CarView<'_>, cap_secs: u64) -> (u64, u64) {
+    let mut full = 0u64;
+    let mut truncated = 0u64;
+    v.for_each_selected(|i| {
+        let dur = v.ends[i].saturating_sub(v.starts[i]);
+        full += dur;
+        truncated += dur.min(cap_secs);
+    });
+    (full, truncated)
+}
+
+/// Shared tail of the store and fused Figure 3 paths: fractions,
+/// never-connected padding, ECDFs (which sort, so the order the sums
+/// arrived in cannot matter).
+fn assemble_connected_time(
+    sums: &[(u64, u64)],
+    period: StudyPeriod,
+    total_cars: usize,
+    cap: Duration,
+) -> conncar_types::Result<ConnectedTimeResult> {
+    let study_secs = period.duration().as_secs() as f64;
+    let n = total_cars.max(sums.len());
+    let mut full: Vec<f64> = Vec::with_capacity(n);
+    let mut truncated: Vec<f64> = Vec::with_capacity(n);
+    for &(f, t) in sums {
+        full.push(f as f64 / study_secs);
+        truncated.push(t as f64 / study_secs);
+    }
+    for _ in sums.len()..total_cars {
+        full.push(0.0);
+        truncated.push(0.0);
+    }
+    Ok(ConnectedTimeResult {
+        full: Ecdf::new(full)?,
+        truncated: Ecdf::new(truncated)?,
+        cap,
+    })
+}
+
+/// Figure 3 through the store: the zero-materialization per-car walk
+/// computes each car's full and truncated sums from the column slices.
 pub fn connected_time_cdf_store(
     store: &CdrStore,
     total_cars: usize,
     cap: Duration,
 ) -> conncar_types::Result<(ConnectedTimeResult, QueryStats)> {
-    let study_secs = store.period().duration().as_secs() as f64;
-    let (per_car, stats) = kernels::fold_per_car(store, &Filter::all(), |_car, records| {
-        let f: u64 = records.iter().map(|r| r.duration().as_secs()).sum();
-        let t: u64 = truncate_records(records, cap)
-            .iter()
-            .map(|r| r.duration().as_secs())
-            .sum();
-        (f, t)
-    });
-    let mut full: Vec<f64> = Vec::with_capacity(total_cars.max(per_car.len()));
-    let mut truncated: Vec<f64> = Vec::with_capacity(total_cars.max(per_car.len()));
-    for (_car, (f, t)) in &per_car {
-        full.push(*f as f64 / study_secs);
-        truncated.push(*t as f64 / study_secs);
-    }
-    for _ in full.len()..total_cars {
-        full.push(0.0);
-        truncated.push(0.0);
-    }
-    Ok((
-        ConnectedTimeResult {
-            full: Ecdf::new(full)?,
-            truncated: Ecdf::new(truncated)?,
-            cap,
+    let cap_secs = cap.as_secs();
+    let (sums, stats) = kernels::fold_views(
+        store,
+        &Filter::all(),
+        Vec::new,
+        move |acc: &mut Vec<(u64, u64)>, v| acc.push(connected_sums(v, cap_secs)),
+        |mut a, mut b| {
+            a.append(&mut b);
+            a
         },
+    );
+    Ok((
+        assemble_connected_time(&sums, store.period(), total_cars, cap)?,
         stats,
     ))
+}
+
+/// Figure 3 as a folder in a [`FusedPass`]; claim the result with
+/// [`FusedConnectedTime::finish`] after the pass runs.
+pub fn fuse_connected_time(
+    pass: &mut FusedPass<'_>,
+    total_cars: usize,
+    cap: Duration,
+) -> FusedConnectedTime {
+    let period = pass.store().period();
+    let cap_secs = cap.as_secs();
+    let handle = pass.add_per_car(
+        "connected_time",
+        Vec::new,
+        move |acc: &mut Vec<(u64, u64)>, v| acc.push(connected_sums(v, cap_secs)),
+        |mut a: Vec<(u64, u64)>, mut b| {
+            a.append(&mut b);
+            a
+        },
+    );
+    FusedConnectedTime {
+        handle,
+        period,
+        total_cars,
+        cap,
+    }
+}
+
+/// Claim ticket for a fused Figure 3 folder.
+pub struct FusedConnectedTime {
+    handle: FolderHandle<Vec<(u64, u64)>>,
+    period: StudyPeriod,
+    total_cars: usize,
+    cap: Duration,
+}
+
+impl FusedConnectedTime {
+    /// Assemble the connected-time result from the fused pass's outputs.
+    pub fn finish(self, out: &mut FusedOutputs) -> conncar_types::Result<ConnectedTimeResult> {
+        let sums = out.take(self.handle);
+        assemble_connected_time(&sums, self.period, self.total_cars, self.cap)
+    }
 }
 
 #[cfg(test)]
@@ -425,6 +633,26 @@ mod tests {
             assert_eq!(stats.rows_scanned as usize, ds.len());
             let (got_ct, _) = connected_time_cdf_store(&store, 25, Duration::from_secs(600)).unwrap();
             assert_eq!(got_ct, legacy_ct, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn fused_presence_and_connected_time_match_store() {
+        let records: Vec<CdrRecord> = (0..160)
+            .map(|i| rec(i % 19, i % 7, (i % 7) as u64, (i % 24) as u64, 40 + (i as u64 * 13) % 2_000))
+            .collect();
+        let ds = week_ds(records);
+        let cap = Duration::from_secs(600);
+        for shards in [1, 5, 16] {
+            let store = CdrStore::build(&ds, shards);
+            let (want_p, _) = daily_presence_store(&store, 25);
+            let (want_ct, _) = connected_time_cdf_store(&store, 25, cap).unwrap();
+            let mut pass = FusedPass::new(&store, Filter::all());
+            let p = fuse_daily_presence(&mut pass, 25);
+            let ct = fuse_connected_time(&mut pass, 25, cap);
+            let mut out = pass.run();
+            assert_eq!(p.finish(&mut out), want_p, "shards={shards}");
+            assert_eq!(ct.finish(&mut out).unwrap(), want_ct, "shards={shards}");
         }
     }
 

@@ -12,16 +12,29 @@
 //! The span tree itself is written as a second artifact (default
 //! `target/RUN_OBS_bench.json`, overridable via `BENCH_OBS_JSON`).
 //!
+//! A second artifact, `BENCH_fused.json` (path overridable via
+//! `BENCH_FUSED_JSON`), compares the five store-backed §4 analyses run
+//! as five sequential store passes against the same five in one
+//! [`FusedPass`] that reads the table once — with presence and
+//! concurrency sharing a single combined folder, as in
+//! `StudyAnalyses::run`.
+//!
 //! Plain `fn main` on purpose: the numbers go to the JSON artifacts, not
 //! a criterion report, so the binary stays runnable anywhere `rustc` is.
 
 use conncar::StudyData;
 use conncar_analysis::concurrency::ConcurrencyIndex;
-use conncar_analysis::duration::{connection_durations, connection_durations_store};
-use conncar_analysis::temporal::{daily_presence, daily_presence_store};
+use conncar_analysis::duration::{
+    connection_durations, connection_durations_store, fuse_connection_durations,
+};
+use conncar_analysis::fusion::fuse_presence_concurrency;
+use conncar_analysis::segmentation::{car_profiles_store, fuse_car_profiles};
+use conncar_analysis::temporal::{
+    connected_time_cdf_store, daily_presence, daily_presence_store, fuse_connected_time,
+};
 use conncar_bench::bench_config;
 use conncar_obs::{Clock, CounterRegistry, MonotonicClock, RunTelemetry, SharedClock, SpanRecord};
-use conncar_store::{CdrStore, Filter};
+use conncar_store::{CdrStore, Filter, FusedPass};
 use std::sync::Arc;
 
 /// Best-of-N wall time as a leaf span (min absorbs scheduler noise
@@ -159,6 +172,125 @@ fn main() {
         }),
     });
 
+    // --- fused one-pass vs five sequential store passes ---
+    //
+    // Paired design: every iteration times the five sequential passes
+    // AND the fused bundle back to back (alternating which goes
+    // first), then each keeps its own minimum. Measuring one side
+    // wholly after the other would hand whichever ran first the
+    // cooler CPU — at these durations, thermal drift is bigger than
+    // the effect under test.
+    let model = study.load_model();
+    let time_seq = |k: usize| -> u64 {
+        let t0 = ck.now_nanos();
+        match k {
+            0 => {
+                std::hint::black_box(&daily_presence_store(&store, total_cars));
+            }
+            1 => {
+                std::hint::black_box(&connected_time_cdf_store(&store, total_cars, cap).expect("cdf"));
+            }
+            2 => {
+                std::hint::black_box(&car_profiles_store(&store, &model));
+            }
+            3 => {
+                std::hint::black_box(&connection_durations_store(&store, cap).expect("cdf"));
+            }
+            _ => {
+                std::hint::black_box(&ConcurrencyIndex::build_from_store(&store));
+            }
+        }
+        ck.now_nanos().saturating_sub(t0).max(1)
+    };
+    // The fused bundle is what `StudyAnalyses::run` executes: presence
+    // and concurrency share one combined folder (one bin expansion, one
+    // key sort for both — the saving a sequential run cannot have),
+    // plus the three remaining per-car folders.
+    let time_fused = || -> u64 {
+        let t0 = ck.now_nanos();
+        let mut pass = FusedPass::new(&store, Filter::all());
+        let pc = fuse_presence_concurrency(&mut pass, total_cars);
+        let connected = fuse_connected_time(&mut pass, total_cars, cap);
+        let profiles = fuse_car_profiles(&mut pass, &model);
+        let durations = fuse_connection_durations(&mut pass, cap);
+        let mut out = pass.run();
+        std::hint::black_box(&(
+            pc.finish(&mut out),
+            connected.finish(&mut out).expect("cdf"),
+            profiles.finish(&mut out),
+            durations.finish(&mut out).expect("cdf"),
+        ));
+        ck.now_nanos().saturating_sub(t0).max(1)
+    };
+    // The ~20 ms bundle needs more samples than the short single-query
+    // windows to reach its timing floor.
+    let paired_iters = 15;
+    let mut seq_best = [u64::MAX; 5];
+    let mut fused_best = u64::MAX;
+    for it in 0..paired_iters {
+        if it % 2 == 0 {
+            for (k, best) in seq_best.iter_mut().enumerate() {
+                *best = (*best).min(time_seq(k));
+            }
+            fused_best = fused_best.min(time_fused());
+        } else {
+            fused_best = fused_best.min(time_fused());
+            for (k, best) in seq_best.iter_mut().enumerate() {
+                *best = (*best).min(time_seq(k));
+            }
+        }
+    }
+    let seq_names = [
+        "seq/fig2_daily_presence",
+        "seq/fig3_connected_time",
+        "seq/fig6_car_profiles",
+        "seq/fig9_connection_durations",
+        "seq/concurrency_index",
+    ];
+    let sequential: Vec<SpanRecord> = seq_names
+        .iter()
+        .zip(seq_best)
+        .map(|(name, ns)| SpanRecord::leaf(name, ns, rows))
+        .collect();
+    let fused = SpanRecord::leaf("fused/all_five_analyses", fused_best, rows);
+    let sequential_ns: u64 = sequential.iter().map(|s| s.wall_ns).sum();
+    let fused_vs_sequential = sequential_ns as f64 / fused.wall_ns as f64;
+    let fused_json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fused_scan\",\n",
+            "  \"timing_source\": \"conncar-obs {}\",\n",
+            "  \"fixture\": {{\"records\": {}, \"cars\": {}, \"shards\": {}, \"days\": {}}},\n",
+            "  \"sequential\": [\n{}\n  ],\n",
+            "  \"sequential_scan_ns\": {},\n",
+            "  \"fused_scan_ns\": {},\n",
+            "  \"fused_ns_per_analysis\": {},\n",
+            "  \"fused_rows_per_sec\": {},\n",
+            "  \"fused_vs_sequential\": {:.3}\n",
+            "}}\n"
+        ),
+        clock.kind(),
+        rows,
+        ds.car_count(),
+        store.shard_count(),
+        cfg.period.days(),
+        sequential
+            .iter()
+            .map(|s| format!(
+                "    {{\"analysis\": \"{}\", \"wall_ns\": {}, \"rows_per_sec\": {}}}",
+                s.name.trim_start_matches("seq/"),
+                s.wall_ns,
+                s.items_per_sec().round()
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        sequential_ns,
+        fused.wall_ns,
+        fused.wall_ns / sequential.len() as u64,
+        fused.items_per_sec().round(),
+        fused_vs_sequential
+    );
+
     let best = out
         .iter()
         .max_by(|a, b| a.speedup().total_cmp(&b.speedup()))
@@ -186,12 +318,15 @@ fn main() {
     );
 
     // The same spans, as a telemetry artifact: build subtree + one
-    // legacy/store leaf pair per experiment.
+    // legacy/store leaf pair per experiment + the fused-vs-sequential
+    // leaves.
     let mut children = vec![build];
     for row in out {
         children.push(row.legacy);
         children.push(row.store);
     }
+    children.extend(sequential);
+    children.push(fused);
     let mut counters = CounterRegistry::new();
     counters.add("bench.fixture_records", rows);
     counters.add("bench.fixture_cars", ds.car_count() as u64);
@@ -210,11 +345,15 @@ fn main() {
     let path =
         std::env::var("BENCH_STORE_JSON").unwrap_or_else(|_| "target/BENCH_store.json".into());
     std::fs::write(&path, &json).expect("write BENCH_store.json");
+    let fused_path =
+        std::env::var("BENCH_FUSED_JSON").unwrap_or_else(|_| "target/BENCH_fused.json".into());
+    std::fs::write(&fused_path, &fused_json).expect("write BENCH_fused.json");
     let obs_path =
         std::env::var("BENCH_OBS_JSON").unwrap_or_else(|_| "target/RUN_OBS_bench.json".into());
     telemetry
         .write_json(std::path::Path::new(&obs_path))
         .expect("write RUN_OBS_bench.json");
     println!("{json}");
-    eprintln!("wrote {path} and {obs_path}");
+    println!("{fused_json}");
+    eprintln!("wrote {path}, {fused_path} and {obs_path}");
 }

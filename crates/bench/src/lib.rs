@@ -11,7 +11,14 @@ use std::sync::OnceLock;
 
 /// Bench study scale: big enough for every distribution to be non-
 /// degenerate, small enough that `cargo bench` stays minutes, not hours.
+///
+/// `CONNCAR_BENCH_FIXTURE=tiny` swaps in [`StudyConfig::tiny`] — the CI
+/// bench smoke job uses it to exercise the full bench + artifact + gate
+/// path in seconds instead of minutes.
 pub fn bench_config() -> StudyConfig {
+    if std::env::var("CONNCAR_BENCH_FIXTURE").as_deref() == Ok("tiny") {
+        return StudyConfig::tiny();
+    }
     let mut cfg = StudyConfig::default();
     cfg.fleet.cars = 250;
     cfg.period = StudyPeriod::new(DayOfWeek::Monday, 14).expect("nonzero");

@@ -17,7 +17,8 @@
 //! ├─ clean               (§3 staged pre-processing)
 //! │  ├─ clean/validate … clean/overlap
 //! ├─ store_build         (columnar shard layout; one child per shard)
-//! └─ analysis            (the §4 suite; one child per analysis)
+//! └─ analysis            (the §4 suite; one fused store scan plus one
+//!                         child per analysis)
 //! ```
 //!
 //! Passing a [`NullClock`](conncar_obs::NullClock) zeroes every wall
@@ -112,6 +113,7 @@ mod tests {
             "clean/overlap",
             "store_build",
             "analysis",
+            "analysis/fused_scan",
             "analysis/presence",
             "analysis/connected_time",
             "analysis/profiles",

@@ -128,6 +128,17 @@ impl Shard {
         }
     }
 
+    /// Materialize `rows` consecutive rows starting at `first` into
+    /// `buf` — the whole-group path for folders that want records but
+    /// whose filter has no row predicate.
+    #[inline]
+    pub(crate) fn materialize_range(&self, first: usize, rows: usize, buf: &mut Vec<CdrRecord>) {
+        buf.reserve(rows);
+        for row in first..first + rows {
+            buf.push(self.record(row));
+        }
+    }
+
     /// The per-car row spans, ascending by car.
     #[inline]
     pub fn car_groups(&self) -> &[CarGroup] {

@@ -2,26 +2,60 @@
 //!
 //! The store has no external thread-pool dependency: workers are scoped
 //! `std::thread` spawns claiming shard ids from an atomic cursor
-//! (work-stealing over uneven shards). Each task writes its result into
-//! its own slot, so the caller always sees results in task order and
-//! can merge deterministically no matter how work was scheduled.
+//! (work-stealing over uneven shards). Each worker keeps its results in
+//! a thread-local vector tagged with the task id; the caller scatters
+//! them into a pre-sized slot vector after joining, so results always
+//! come back in task order and merge deterministically no matter how
+//! work was scheduled — without a lock per task.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::OnceLock;
+
+/// Cached `CONNCAR_STORE_THREADS` parse: the env var is process-wide
+/// configuration, so it is read once and memoized instead of re-parsed
+/// on every `par_map` call.
+fn env_threads() -> Option<usize> {
+    static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("CONNCAR_STORE_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// Cached machine parallelism (the syscall behind
+/// `available_parallelism` is not free either).
+fn machine_threads() -> usize {
+    static MACHINE_THREADS: OnceLock<usize> = OnceLock::new();
+    *MACHINE_THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Runtime worker-count override; 0 means "no override". Takes
+/// precedence over the (once-cached) env var, so tests and benches can
+/// sweep thread counts within one process.
+static OVERRIDE_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Force the store's worker-thread count at runtime (`0` clears the
+/// override). `CONNCAR_STORE_THREADS` is read once per process and
+/// cached, so equivalence tests that sweep thread counts use this knob
+/// instead of mutating the environment.
+pub fn set_worker_threads(n: usize) {
+    OVERRIDE_THREADS.store(n, Ordering::Relaxed);
+}
 
 /// Number of worker threads for `tasks` independent tasks: the machine's
-/// parallelism capped by the task count, overridable (mostly for tests
-/// and benches) with `CONNCAR_STORE_THREADS`.
+/// parallelism capped by the task count, overridable with
+/// [`set_worker_threads`] or the `CONNCAR_STORE_THREADS` env var.
 pub(crate) fn workers_for(tasks: usize) -> usize {
-    let hw = std::env::var("CONNCAR_STORE_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
+    let hw = match OVERRIDE_THREADS.load(Ordering::Relaxed) {
+        0 => env_threads().unwrap_or_else(machine_threads),
+        n => n,
+    };
     hw.min(tasks).max(1)
 }
 
@@ -38,26 +72,41 @@ where
         return (0..tasks).map(f).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    // Write-once slots, pre-sized: each task id is claimed by exactly
+    // one worker (the atomic cursor hands it out once), carried home in
+    // that worker's local vector, and scattered here after the join —
+    // no Mutex, no per-task lock traffic.
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(tasks);
+    slots.resize_with(tasks, || None);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let task = cursor.fetch_add(1, Ordering::Relaxed);
-                if task >= tasks {
-                    break;
-                }
-                let out = f(task);
-                *slots[task].lock().expect("unpoisoned result slot") = Some(out);
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let task = cursor.fetch_add(1, Ordering::Relaxed);
+                        if task >= tasks {
+                            break;
+                        }
+                        done.push((task, f(task)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            let done = handle
+                .join()
+                .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+            for (task, out) in done {
+                debug_assert!(slots[task].is_none(), "task claimed twice");
+                slots[task] = Some(out);
+            }
         }
     });
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("unpoisoned result slot")
-                .expect("every task ran")
-        })
+        .map(|slot| slot.expect("every task ran"))
         .collect()
 }
 
@@ -81,5 +130,15 @@ mod tests {
     fn worker_count_is_bounded_by_tasks() {
         assert_eq!(workers_for(1), 1);
         assert!(workers_for(1_000) >= 1);
+    }
+
+    #[test]
+    fn override_forces_worker_count() {
+        set_worker_threads(3);
+        assert_eq!(workers_for(1_000), 3);
+        let out = par_map(100, |i| i + 1);
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+        set_worker_threads(0);
+        assert_eq!(workers_for(1), 1);
     }
 }

@@ -1,0 +1,514 @@
+//! Multi-query fusion: N folders, one pass over the store.
+//!
+//! Each figure of §4 is an aggregation over the same cleaned CDR table.
+//! Run separately, every analysis re-reads every shard — the dominant
+//! cost on a table that no longer fits in cache. A [`FusedPass`]
+//! registers any number of per-car folders (and (cell, bin) expansions)
+//! up front and drives them all during **one** walk of each shard: the
+//! columns are pulled through the cache once, and every folder sees the
+//! same [`CarView`] in the same canonical order it would have seen in
+//! its own [`fold_views`](crate::kernels::fold_views) pass.
+//!
+//! Determinism survives fusion for the same reason it holds for the
+//! single-query kernels: folders never observe scheduling. Within a
+//! shard, views arrive in canonical row order; across shards, each
+//! folder's per-shard accumulators are merged in ascending shard order
+//! after all workers join. The fused result is therefore *defined* to
+//! be the same function of the data as N independent passes — the
+//! equivalence is asserted byte-for-byte by the store's property tests.
+//!
+//! ```
+//! use conncar_cdr::CdrDataset;
+//! use conncar_store::{fused::FusedPass, CdrStore, Filter};
+//! use conncar_types::{DayOfWeek, StudyPeriod};
+//!
+//! let ds = CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), vec![]);
+//! let store = CdrStore::build(&ds, 4);
+//! let mut pass = FusedPass::new(&store, Filter::all());
+//! let rows = pass.add_per_car("rows", || 0u64, |n, v| *n += v.selected_count() as u64, |a, b| a + b);
+//! let triples = pass.add_cell_bin_triples("triples", u64::MAX);
+//! let mut out = pass.run();
+//! assert_eq!(out.take(rows), 0);
+//! assert!(out.take(triples).is_empty());
+//! ```
+
+use crate::kernels::{expand_bins, walk_shard, CarView};
+use crate::query::{keys, Filter, QueryStats};
+use crate::store::CdrStore;
+use conncar_obs::CounterRegistry;
+use conncar_types::{CarId, CellId};
+use std::any::Any;
+use std::marker::PhantomData;
+
+/// A type-erased per-shard accumulator in flight.
+type Acc = Box<dyn Any + Send>;
+
+/// Wrapper pairing a folder's accumulator with its consumed-view count
+/// (the per-folder `items` figure reported to telemetry).
+struct Counted<A> {
+    acc: A,
+    items: u64,
+}
+
+fn counted_mut<A: 'static>(acc: &mut Acc) -> &mut Counted<A> {
+    acc.downcast_mut::<Counted<A>>()
+        .expect("fused accumulator type mismatch")
+}
+
+fn counted_owned<A: 'static>(acc: Acc) -> Counted<A> {
+    *acc.downcast::<Counted<A>>()
+        .unwrap_or_else(|_| panic!("fused accumulator type mismatch"))
+}
+
+/// Object-safe folder driven by the fused walk. All methods are called
+/// deterministically: `fold` in canonical view order within a shard,
+/// `shard_done` once per shard after its walk, `merge` in ascending
+/// shard order on the caller thread.
+trait DynFolder: Sync {
+    fn init(&self) -> Acc;
+    fn fold(&self, acc: &mut Acc, view: &CarView<'_>);
+    fn shard_done(&self, acc: &mut Acc);
+    fn merge(&self, a: Acc, b: Acc) -> Acc;
+    fn items(&self, acc: &Acc) -> u64;
+}
+
+/// The one concrete folder shape: closures over an accumulator `A`.
+/// (Cell-bin folders are car folders whose fold closure expands bins.)
+struct CarFolder<A, I, F, D, M> {
+    init: I,
+    fold: F,
+    done: D,
+    merge: M,
+    _acc: PhantomData<fn() -> A>,
+}
+
+impl<A, I, F, D, M> DynFolder for CarFolder<A, I, F, D, M>
+where
+    A: Send + 'static,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, &CarView<'_>) + Sync,
+    D: Fn(&mut A) + Sync,
+    M: Fn(A, A) -> A + Sync,
+{
+    fn init(&self) -> Acc {
+        Box::new(Counted {
+            acc: (self.init)(),
+            items: 0,
+        })
+    }
+
+    fn fold(&self, acc: &mut Acc, view: &CarView<'_>) {
+        let c = counted_mut::<A>(acc);
+        c.items += 1;
+        (self.fold)(&mut c.acc, view);
+    }
+
+    fn shard_done(&self, acc: &mut Acc) {
+        (self.done)(&mut counted_mut::<A>(acc).acc);
+    }
+
+    fn merge(&self, a: Acc, b: Acc) -> Acc {
+        let (a, b) = (counted_owned::<A>(a), counted_owned::<A>(b));
+        Box::new(Counted {
+            acc: (self.merge)(a.acc, b.acc),
+            items: a.items + b.items,
+        })
+    }
+
+    fn items(&self, acc: &Acc) -> u64 {
+        acc.downcast_ref::<Counted<A>>()
+            .expect("fused accumulator type mismatch")
+            .items
+    }
+}
+
+/// Typed claim ticket for one registered folder's result.
+#[derive(Debug)]
+pub struct FolderHandle<A> {
+    idx: usize,
+    _acc: PhantomData<fn() -> A>,
+}
+
+/// A multi-query pass under construction: register folders against one
+/// store and filter, then [`FusedPass::run`] walks every shard once.
+pub struct FusedPass<'p> {
+    store: &'p CdrStore,
+    filter: Filter,
+    names: Vec<String>,
+    folders: Vec<Box<dyn DynFolder + 'p>>,
+}
+
+impl<'p> FusedPass<'p> {
+    /// Start a pass over `store` with one shared `filter`.
+    pub fn new(store: &'p CdrStore, filter: Filter) -> FusedPass<'p> {
+        FusedPass {
+            store,
+            filter,
+            names: Vec::new(),
+            folders: Vec::new(),
+        }
+    }
+
+    /// The store the pass will walk (handy for reading its period or
+    /// clock while registering folders).
+    pub fn store(&self) -> &'p CdrStore {
+        self.store
+    }
+
+    /// Number of folders registered so far.
+    pub fn folder_count(&self) -> usize {
+        self.folders.len()
+    }
+
+    fn add_folder<A, I, F, D, M>(&mut self, name: &str, init: I, fold: F, done: D, merge: M) -> FolderHandle<A>
+    where
+        A: Send + 'static,
+        I: Fn() -> A + Sync + 'p,
+        F: Fn(&mut A, &CarView<'_>) + Sync + 'p,
+        D: Fn(&mut A) + Sync + 'p,
+        M: Fn(A, A) -> A + Sync + 'p,
+    {
+        self.names.push(name.to_string());
+        self.folders.push(Box::new(CarFolder {
+            init,
+            fold,
+            done,
+            merge,
+            _acc: PhantomData,
+        }));
+        FolderHandle {
+            idx: self.folders.len() - 1,
+            _acc: PhantomData,
+        }
+    }
+
+    /// Register a per-car folder: `fold` consumes each car's
+    /// [`CarView`] (canonical order within a shard), `merge` combines
+    /// per-shard accumulators in ascending shard order.
+    pub fn add_per_car<A, I, F, M>(&mut self, name: &str, init: I, fold: F, merge: M) -> FolderHandle<A>
+    where
+        A: Send + 'static,
+        I: Fn() -> A + Sync + 'p,
+        F: Fn(&mut A, &CarView<'_>) + Sync + 'p,
+        M: Fn(A, A) -> A + Sync + 'p,
+    {
+        self.add_folder(name, init, fold, |_| {}, merge)
+    }
+
+    /// Register a (cell, 15-min bin, car) folder: every selected row is
+    /// expanded over the bins it covers (ascending, `bin < bin_limit`)
+    /// and fed to `fold`. Duplicates are *not* removed — a car touching
+    /// one cell twice in a bin yields two calls; use
+    /// [`FusedPass::add_cell_bin_triples`] for the deduplicated
+    /// relation.
+    pub fn add_cell_bins<A, I, F, M>(
+        &mut self,
+        name: &str,
+        bin_limit: u64,
+        init: I,
+        fold: F,
+        merge: M,
+    ) -> FolderHandle<A>
+    where
+        A: Send + 'static,
+        I: Fn() -> A + Sync + 'p,
+        F: Fn(&mut A, CellId, u64, CarId) + Sync + 'p,
+        M: Fn(A, A) -> A + Sync + 'p,
+    {
+        self.add_folder(
+            name,
+            init,
+            move |acc: &mut A, view: &CarView<'_>| {
+                expand_bins(view, bin_limit, |cell, bin, car| fold(acc, cell, bin, car));
+            },
+            |_| {},
+            merge,
+        )
+    }
+
+    /// Register the deduplicated, globally sorted
+    /// `(cell, bin, car)` relation (§4.4 concurrency). Each shard sorts
+    /// and dedups its own expansion in `shard_done` — valid because a
+    /// car's rows live in exactly one shard, so duplicates can never
+    /// cross shards — and the shard-order merge is a sorted merge, so
+    /// the final vector is byte-identical to a global sort + dedup.
+    pub fn add_cell_bin_triples(
+        &mut self,
+        name: &str,
+        bin_limit: u64,
+    ) -> FolderHandle<Vec<(CellId, u64, CarId)>> {
+        self.add_folder(
+            name,
+            Vec::new,
+            move |acc: &mut Vec<(CellId, u64, CarId)>, view: &CarView<'_>| {
+                expand_bins(view, bin_limit, |cell, bin, car| acc.push((cell, bin, car)));
+            },
+            |acc: &mut Vec<(CellId, u64, CarId)>| {
+                acc.sort_unstable();
+                acc.dedup();
+            },
+            merge_sorted,
+        )
+    }
+
+    /// Walk every unpruned shard once (shards in parallel, views in
+    /// canonical order), feed all folders, then merge per-shard
+    /// accumulators in ascending shard order. Accounting flows through
+    /// the same [`CounterRegistry`] path as every other kernel: the
+    /// table is read once, so `rows_scanned` counts each row once no
+    /// matter how many folders consumed it.
+    ///
+    /// Folders are driven shard-resident, not view-interleaved: each
+    /// folder sweeps the whole shard in turn while its columns are
+    /// still cache-hot from the first sweep. Alternating folders per
+    /// view would evict every folder's working set (its accumulators,
+    /// any model tables its fold closure reads) a few hundred times
+    /// per shard; one sweep per folder keeps the shard — a small
+    /// fraction of the table — as the only shared traffic. Either
+    /// schedule shows every folder the identical view sequence, so
+    /// the choice is invisible to results.
+    pub fn run(self) -> FusedOutputs {
+        let FusedPass {
+            store,
+            filter,
+            names,
+            folders,
+        } = self;
+        let t0 = store.clock().now_nanos();
+        let (shard_ids, pruned) = store.plan_shards(&filter);
+        let per_shard: Vec<(Vec<Acc>, QueryStats)> = crate::exec::par_map(shard_ids.len(), |i| {
+            let mut accs: Vec<Acc> = folders.iter().map(|f| f.init()).collect();
+            // The shard is read once for all folders: the first sweep
+            // (whose stats stand for the pass) pulls the columns in,
+            // the rest run out of cache.
+            let mut stats: Option<QueryStats> = None;
+            for (folder, acc) in folders.iter().zip(accs.iter_mut()) {
+                let s = walk_shard(store, shard_ids[i], &filter, |view| folder.fold(acc, view));
+                stats.get_or_insert(s);
+                folder.shard_done(acc);
+            }
+            let stats =
+                stats.unwrap_or_else(|| walk_shard(store, shard_ids[i], &filter, |_| {}));
+            (accs, stats)
+        });
+        // One accounting path: per-shard stats land in a registry and
+        // the returned view is derived from it.
+        let mut reg = CounterRegistry::new();
+        reg.add(keys::SHARDS_PRUNED, u64::from(pruned));
+        let mut merged: Vec<Option<Acc>> = folders.iter().map(|_| None).collect();
+        for (accs, s) in per_shard {
+            s.record_into(&mut reg);
+            for ((slot, folder), acc) in merged.iter_mut().zip(folders.iter()).zip(accs) {
+                *slot = Some(match slot.take() {
+                    None => acc,
+                    Some(prev) => folder.merge(prev, acc),
+                });
+            }
+        }
+        reg.add(
+            keys::SCAN_NANOS,
+            store.clock().now_nanos().saturating_sub(t0),
+        );
+        // An empty plan (everything pruned) still yields every folder
+        // its init value.
+        let results: Vec<Option<Acc>> = merged
+            .into_iter()
+            .zip(folders.iter())
+            .map(|(slot, folder)| Some(slot.unwrap_or_else(|| folder.init())))
+            .collect();
+        let items = results
+            .iter()
+            .zip(folders.iter())
+            .map(|(slot, folder)| folder.items(slot.as_ref().expect("just filled")))
+            .collect();
+        FusedOutputs {
+            names,
+            items,
+            results,
+            stats: QueryStats::from_registry(&reg),
+        }
+    }
+}
+
+/// Merge two sorted vectors into one sorted vector (stable: ties take
+/// the left element first).
+fn merge_sorted<T: Ord>(a: Vec<T>, b: Vec<T>) -> Vec<T> {
+    if a.is_empty() {
+        return b;
+    }
+    if b.is_empty() {
+        return a;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ai = a.into_iter().peekable();
+    let mut bi = b.into_iter().peekable();
+    loop {
+        match (ai.peek(), bi.peek()) {
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    out.push(ai.next().expect("peeked"));
+                } else {
+                    out.push(bi.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => {
+                out.extend(ai);
+                return out;
+            }
+            (None, _) => {
+                out.extend(bi);
+                return out;
+            }
+        }
+    }
+}
+
+/// The results of one fused pass: typed folder outputs claimed through
+/// their handles, plus the pass-wide [`QueryStats`].
+pub struct FusedOutputs {
+    names: Vec<String>,
+    items: Vec<u64>,
+    results: Vec<Option<Acc>>,
+    stats: QueryStats,
+}
+
+impl FusedOutputs {
+    /// Cost of the whole pass (the table was read once for all folders).
+    pub fn stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    /// Claim one folder's merged accumulator. Panics if claimed twice
+    /// or if the handle came from a different pass with an
+    /// incompatible folder layout.
+    pub fn take<A: 'static>(&mut self, handle: FolderHandle<A>) -> A {
+        let acc = self.results[handle.idx]
+            .take()
+            .expect("folder result already claimed");
+        counted_owned::<A>(acc).acc
+    }
+
+    /// Per-folder `(name, views folded)` telemetry, registration order.
+    pub fn folder_items(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.items.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{cell_bin_car_triples, fold_per_car_views};
+    use conncar_cdr::{CdrDataset, CdrRecord};
+    use conncar_types::{BaseStationId, Carrier, DayOfWeek, StudyPeriod, Timestamp};
+
+    fn rec(car: u32, station: u32, start: u64, dur: u64) -> CdrRecord {
+        CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(BaseStationId(station), 0, Carrier::C3),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(start + dur),
+        }
+    }
+
+    fn sample_ds() -> CdrDataset {
+        let records = (0..400)
+            .map(|i| rec(i % 31, i % 7, (i as u64 * 2741) % 400_000, 15 + (i as u64 % 1_200)))
+            .collect();
+        CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), records)
+    }
+
+    #[test]
+    fn fused_matches_individual_passes() {
+        let ds = sample_ds();
+        let bin_limit = ds.period().total_bins();
+        for shards in [1, 2, 7, 64] {
+            let store = CdrStore::build(&ds, shards);
+
+            let mut pass = FusedPass::new(&store, Filter::all());
+            let sums = pass.add_per_car(
+                "sums",
+                Vec::new,
+                |acc: &mut Vec<(CarId, u64)>, v| {
+                    let mut sum = 0u64;
+                    v.for_each_selected(|i| sum += v.ends[i] - v.starts[i]);
+                    acc.push((v.car, sum));
+                },
+                |mut a: Vec<(CarId, u64)>, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            );
+            let counts = pass.add_per_car(
+                "counts",
+                || 0u64,
+                |n, v| *n += v.selected_count() as u64,
+                |a, b| a + b,
+            );
+            let triples = pass.add_cell_bin_triples("triples", bin_limit);
+            let mut out = pass.run();
+
+            let mut got_sums = out.take(sums);
+            got_sums.sort_by_key(|&(car, _)| car);
+            let (want_sums, want_stats) = fold_per_car_views(&store, &Filter::all(), |v| {
+                let mut sum = 0u64;
+                v.for_each_selected(|i| sum += v.ends[i] - v.starts[i]);
+                sum
+            });
+            assert_eq!(got_sums, want_sums, "shards={shards}");
+
+            assert_eq!(out.take(counts), 400);
+
+            let (want_triples, _) = cell_bin_car_triples(&store, &Filter::all(), bin_limit);
+            assert_eq!(out.take(triples), want_triples, "shards={shards}");
+
+            // The table was read once: rows_scanned counts each row
+            // once, not once per folder.
+            assert_eq!(out.stats().rows_scanned, want_stats.rows_scanned);
+            let items: Vec<(String, u64)> = out
+                .folder_items()
+                .map(|(n, i)| (n.to_string(), i))
+                .collect();
+            assert_eq!(items.len(), 3);
+            assert!(items.iter().all(|&(_, i)| i > 0), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn fused_respects_filters() {
+        let ds = sample_ds();
+        let filter = Filter::all().window(
+            Timestamp::from_secs(50_000),
+            Timestamp::from_secs(250_000),
+        );
+        for shards in [1, 5] {
+            let store = CdrStore::build(&ds, shards);
+            let mut pass = FusedPass::new(&store, filter.clone());
+            let n = pass.add_per_car("n", || 0u64, |n, v| *n += v.selected_count() as u64, |a, b| a + b);
+            let mut out = pass.run();
+            let (want, _) = store.count(&filter);
+            assert_eq!(out.take(n), want);
+        }
+    }
+
+    #[test]
+    fn empty_pass_and_empty_store() {
+        let ds = CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), vec![]);
+        let store = CdrStore::build(&ds, 4);
+        let mut pass = FusedPass::new(&store, Filter::all());
+        assert_eq!(pass.folder_count(), 0);
+        let h = pass.add_per_car("n", || 7u64, |_, _| {}, |a, _| a);
+        let mut out = pass.run();
+        assert_eq!(out.take(h), 7);
+        assert_eq!(out.stats().rows_scanned, 0);
+    }
+
+    #[test]
+    fn merge_sorted_is_a_merge() {
+        assert_eq!(merge_sorted(vec![1, 3, 5], vec![2, 3, 6]), vec![1, 2, 3, 3, 5, 6]);
+        assert_eq!(merge_sorted(Vec::<u32>::new(), vec![1]), vec![1]);
+        assert_eq!(merge_sorted(vec![1], Vec::<u32>::new()), vec![1]);
+    }
+}

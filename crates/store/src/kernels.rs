@@ -7,18 +7,269 @@
 //! over the sharded store, with deterministic shard-order merges, so
 //! rewired analyses share one scan implementation instead of each
 //! re-walking a flat record vector.
+//!
+//! Two folder contracts coexist:
+//!
+//! * **column views** ([`CarView`]) — the fast path. The folder reads
+//!   the shard's column slices in place; nothing is materialized. Row
+//!   predicates are evaluated once per shard into a selection bitmap
+//!   (after index narrowing), not once per folder per row.
+//! * **materialized slices** ([`fold_per_car`]) — the compatibility
+//!   path for folders that want `&[CdrRecord]`. It pays one
+//!   [`columns::Shard::record`](crate::columns::Shard::record) call per
+//!   row.
 
-use crate::query::{keys, Filter, QueryStats};
+use crate::query::{keys, Filter, QueryStats, RowSelection};
 use crate::store::CdrStore;
 use conncar_cdr::CdrRecord;
 use conncar_obs::CounterRegistry;
 use conncar_types::{BinIndex, CarId, CellId};
+
+/// A zero-materialization view of one car's rows inside a shard.
+///
+/// The three column slices are parallel and in canonical `(start, cell)`
+/// order for the car. When the filter carries a row predicate, a
+/// shard-wide selection bitmap says which rows qualify; folders iterate
+/// with [`CarView::for_each_selected`] (or check
+/// [`CarView::all_selected`] and take the tight slice loop).
+#[derive(Debug, Clone, Copy)]
+pub struct CarView<'a> {
+    /// The car every row belongs to.
+    pub car: CarId,
+    /// Cell per row.
+    pub cells: &'a [CellId],
+    /// Start second per row.
+    pub starts: &'a [u64],
+    /// End second per row.
+    pub ends: &'a [u64],
+    /// Shard-wide selection bitmap (`None` = every row selected).
+    bits: Option<&'a [u64]>,
+    /// This group's first row id in the shard (bit offset).
+    first: usize,
+}
+
+impl CarView<'_> {
+    /// Rows in the group (selected or not).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the group holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Whether every row is selected (no row predicate in the filter).
+    #[inline]
+    pub fn all_selected(&self) -> bool {
+        self.bits.is_none()
+    }
+
+    /// Whether row `i` (group-relative) passed the filter.
+    #[inline]
+    pub fn is_selected(&self, i: usize) -> bool {
+        match self.bits {
+            None => true,
+            Some(words) => {
+                let b = self.first + i;
+                (words[b >> 6] >> (b & 63)) & 1 == 1
+            }
+        }
+    }
+
+    /// Number of selected rows.
+    pub fn selected_count(&self) -> usize {
+        match self.bits {
+            None => self.len(),
+            Some(words) => popcount_range(words, self.first, self.first + self.len()),
+        }
+    }
+
+    /// Visit each selected row index (group-relative), ascending.
+    #[inline]
+    pub fn for_each_selected(&self, mut f: impl FnMut(usize)) {
+        match self.bits {
+            None => (0..self.len()).for_each(f),
+            Some(words) => {
+                for i in 0..self.len() {
+                    let b = self.first + i;
+                    if (words[b >> 6] >> (b & 63)) & 1 == 1 {
+                        f(i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Population count of `words` over the bit range `[lo, hi)`.
+fn popcount_range(words: &[u64], lo: usize, hi: usize) -> usize {
+    if lo >= hi {
+        return 0;
+    }
+    let (w0, w1) = (lo >> 6, (hi - 1) >> 6);
+    let lo_mask = !0u64 << (lo & 63);
+    let hi_mask = !0u64 >> (63 - ((hi - 1) & 63));
+    if w0 == w1 {
+        return (words[w0] & lo_mask & hi_mask).count_ones() as usize;
+    }
+    let mut n = (words[w0] & lo_mask).count_ones() as usize;
+    for w in &words[w0 + 1..w1] {
+        n += w.count_ones() as usize;
+    }
+    n + (words[w1] & hi_mask).count_ones() as usize
+}
+
+/// Evaluate the filter's row predicate once over one shard, narrowed by
+/// the cheapest index first ([`CdrStore::select_rows`]): the bitmap (or
+/// `None` when there is no row predicate at all) plus whether an index
+/// did the narrowing.
+fn build_selection(store: &CdrStore, shard_id: usize, filter: &Filter) -> (Option<Vec<u64>>, bool) {
+    if !filter.has_row_predicate() {
+        return (None, false);
+    }
+    let shard = &store.shards()[shard_id];
+    let mut bits = vec![0u64; (shard.len() + 63) / 64];
+    let test = |row: usize, bits: &mut Vec<u64>| {
+        if filter.row_matches(shard.cells[row], shard.starts[row], shard.ends[row]) {
+            bits[row >> 6] |= 1u64 << (row & 63);
+        }
+    };
+    match store.select_rows(shard_id, filter) {
+        RowSelection::All => {
+            for row in 0..shard.len() {
+                test(row, &mut bits);
+            }
+            (Some(bits), false)
+        }
+        RowSelection::Rows(rows) => {
+            for &row in &rows {
+                test(row as usize, &mut bits);
+            }
+            (Some(bits), true)
+        }
+    }
+}
+
+/// Walk one shard's car groups in row order, feeding each non-empty
+/// selection to `visit` as a [`CarView`]. Accounting mirrors
+/// [`fold_per_car`]: rows of directory-skipped cars are never counted.
+pub(crate) fn walk_shard(
+    store: &CdrStore,
+    shard_id: usize,
+    filter: &Filter,
+    mut visit: impl FnMut(&CarView<'_>),
+) -> QueryStats {
+    let shard = &store.shards()[shard_id];
+    let (bits, index_narrowed) = build_selection(store, shard_id, filter);
+    let narrowed = filter.car_set().is_some() || index_narrowed;
+    let mut stats = QueryStats {
+        shards_scanned: 1,
+        index_scans: u32::from(narrowed),
+        full_scans: u32::from(!narrowed),
+        ..QueryStats::default()
+    };
+    for g in shard.car_groups() {
+        if !filter.car_matches(g.car) {
+            continue;
+        }
+        stats.rows_scanned += u64::from(g.rows);
+        let (r0, r1) = (g.first as usize, (g.first + g.rows) as usize);
+        let view = CarView {
+            car: g.car,
+            cells: &shard.cells[r0..r1],
+            starts: &shard.starts[r0..r1],
+            ends: &shard.ends[r0..r1],
+            bits: bits.as_deref(),
+            first: r0,
+        };
+        let selected = view.selected_count();
+        stats.rows_matched += selected as u64;
+        if selected > 0 {
+            visit(&view);
+        }
+    }
+    stats
+}
+
+/// Fold [`CarView`]s through per-shard accumulators, shards in
+/// parallel, merged in ascending shard order — deterministic for any
+/// shard or thread count, and nothing is materialized.
+pub fn fold_views<A, I, F, M>(
+    store: &CdrStore,
+    filter: &Filter,
+    init: I,
+    fold: F,
+    merge: M,
+) -> (A, QueryStats)
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, &CarView<'_>) + Sync,
+    M: Fn(A, A) -> A,
+{
+    let t0 = store.clock().now_nanos();
+    let (shard_ids, pruned) = store.plan_shards(filter);
+    let per_shard: Vec<(A, QueryStats)> = crate::exec::par_map(shard_ids.len(), |i| {
+        let mut acc = init();
+        let stats = walk_shard(store, shard_ids[i], filter, |v| fold(&mut acc, v));
+        (acc, stats)
+    });
+    // Same single accounting path as `scan_fold`: per-shard stats land
+    // in a registry and the returned view is derived from it.
+    let mut reg = CounterRegistry::new();
+    reg.add(keys::SHARDS_PRUNED, u64::from(pruned));
+    let mut out = init();
+    for (acc, s) in per_shard {
+        s.record_into(&mut reg);
+        out = merge(out, acc);
+    }
+    reg.add(
+        keys::SCAN_NANOS,
+        store.clock().now_nanos().saturating_sub(t0),
+    );
+    (out, QueryStats::from_registry(&reg))
+}
+
+/// Per-car fold over column views: `f` maps each car's view to an
+/// aggregate; the result is sorted by car and identical for any shard
+/// or thread count. The zero-materialization successor of
+/// [`fold_per_car`].
+pub fn fold_per_car_views<A, F>(
+    store: &CdrStore,
+    filter: &Filter,
+    f: F,
+) -> (Vec<(CarId, A)>, QueryStats)
+where
+    A: Send,
+    F: Fn(&CarView<'_>) -> A + Sync,
+{
+    let (mut merged, stats) = fold_views(
+        store,
+        filter,
+        Vec::new,
+        |acc: &mut Vec<(CarId, A)>, v| acc.push((v.car, f(v))),
+        |mut a, mut b| {
+            a.append(&mut b);
+            a
+        },
+    );
+    // Cars are shard-disjoint, so this sort is a permutation with all
+    // keys distinct — deterministic whatever the shard layout was.
+    merged.sort_by_key(|&(car, _)| car);
+    (merged, stats)
+}
 
 /// Walk every car's matching records in canonical order and fold each
 /// car's slice through `f`. Cars whose records are all filtered away are
 /// skipped, mirroring `CdrDataset::by_car` (which never yields empty
 /// groups). Shards run in parallel; the result is sorted by car and
 /// identical for any shard or thread count.
+///
+/// This kernel materializes `CdrRecord`s; prefer
+/// [`fold_per_car_views`] where the folder can read columns directly.
 pub fn fold_per_car<A, F>(store: &CdrStore, filter: &Filter, f: F) -> (Vec<(CarId, A)>, QueryStats)
 where
     A: Send,
@@ -29,6 +280,10 @@ where
     // The car directory narrows the walk when a car set is present;
     // otherwise every group (hence every row) is visited.
     let narrowed = filter.car_set().is_some();
+    // Fast path: no row predicate means every row of a matching car
+    // qualifies — materialize the whole group straight from the
+    // columns, skipping the per-row `row_matches` branch entirely.
+    let whole_groups = !filter.has_row_predicate();
     let per_shard: Vec<(Vec<(CarId, A)>, QueryStats)> =
         crate::exec::par_map(shard_ids.len(), |i| {
             let shard = &store.shards()[shard_ids[i]];
@@ -46,11 +301,16 @@ where
                     continue;
                 }
                 buf.clear();
-                stats.rows_scanned += g.rows as u64;
-                for row in g.first..g.first + g.rows {
-                    let row = row as usize;
-                    if filter.row_matches(shard.cells[row], shard.starts[row], shard.ends[row]) {
-                        buf.push(shard.record(row));
+                stats.rows_scanned += u64::from(g.rows);
+                if whole_groups {
+                    shard.materialize_range(g.first as usize, g.rows as usize, &mut buf);
+                } else {
+                    for row in g.first..g.first + g.rows {
+                        let row = row as usize;
+                        if filter.row_matches(shard.cells[row], shard.starts[row], shard.ends[row])
+                        {
+                            buf.push(shard.record(row));
+                        }
                     }
                 }
                 stats.rows_matched += buf.len() as u64;
@@ -84,30 +344,45 @@ where
 /// concurrency relation ("cars are concurrent if their connections
 /// straddle a 15-minute time bin"). Byte-identical to expanding the flat
 /// record vector and sorting, for any shard count.
+///
+/// Runs as a single-folder [`crate::fused::FusedPass`], so the
+/// standalone call and the fused executor share one implementation:
+/// per-shard expansion from the columns, per-shard `sort_unstable` +
+/// `dedup` (duplicates only arise within a car, and a car lives in
+/// exactly one shard), then a sorted merge in shard order.
 pub fn cell_bin_car_triples(
     store: &CdrStore,
     filter: &Filter,
     bin_limit: u64,
 ) -> (Vec<(CellId, u64, CarId)>, QueryStats) {
-    let (mut triples, stats) = store.scan_fold(
-        filter,
-        Vec::new,
-        |acc: &mut Vec<(CellId, u64, CarId)>, r| {
-            for bin in BinIndex::covering(r.start, r.end) {
-                if bin.0 < bin_limit {
-                    acc.push((r.cell, bin.0, r.car));
-                }
+    let mut pass = crate::fused::FusedPass::new(store, filter.clone());
+    let h = pass.add_cell_bin_triples("cell_bin_car_triples", bin_limit);
+    let mut out = pass.run();
+    let stats = out.stats();
+    (out.take(h), stats)
+}
+
+/// Shared expansion: feed every `(cell, bin, car)` of one selected view
+/// row to `emit`, bins ascending, stopping at `bin_limit`.
+#[inline]
+pub(crate) fn expand_bins(
+    view: &CarView<'_>,
+    bin_limit: u64,
+    mut emit: impl FnMut(CellId, u64, CarId),
+) {
+    view.for_each_selected(|i| {
+        for bin in BinIndex::covering(
+            conncar_types::Timestamp::from_secs(view.starts[i]),
+            conncar_types::Timestamp::from_secs(view.ends[i]),
+        ) {
+            // Bins come out ascending, so the limit is a break, not a
+            // filter — same set as `bin.0 < bin_limit` over all bins.
+            if bin.0 >= bin_limit {
+                break;
             }
-        },
-        |mut a, mut b| {
-            a.append(&mut b);
-            a
-        },
-    );
-    // Cells cross shards, so deduplication must be global.
-    triples.sort();
-    triples.dedup();
-    (triples, stats)
+            emit(view.cells[i], bin.0, view.car);
+        }
+    });
 }
 
 #[cfg(test)]
@@ -174,6 +449,60 @@ mod tests {
     }
 
     #[test]
+    fn view_walk_matches_materialized_walk() {
+        let ds = sample_ds();
+        let filters = [
+            Filter::all(),
+            Filter::all().car(CarId(4)),
+            Filter::all().window(Timestamp::from_secs(100_000), Timestamp::from_secs(300_000)),
+            Filter::all().cell(CellId::new(BaseStationId(2), 0, Carrier::C3)),
+        ];
+        for filter in &filters {
+            for shards in [1, 4, 16] {
+                let store = CdrStore::build(&ds, shards);
+                let (want, ws) = fold_per_car(&store, filter, |_car, records| {
+                    records.iter().map(|r| r.duration().as_secs()).sum::<u64>()
+                });
+                let (got, gs) = fold_per_car_views(&store, filter, |v| {
+                    let mut sum = 0u64;
+                    v.for_each_selected(|i| sum += v.ends[i].saturating_sub(v.starts[i]));
+                    sum
+                });
+                assert_eq!(got, want, "shards={shards} filter={filter:?}");
+                assert_eq!(gs.rows_matched, ws.rows_matched);
+            }
+        }
+    }
+
+    #[test]
+    fn view_selection_bitmap_agrees_with_row_predicate() {
+        let ds = sample_ds();
+        let store = CdrStore::build(&ds, 4);
+        let filter =
+            Filter::all().window(Timestamp::from_secs(50_000), Timestamp::from_secs(250_000));
+        let (views, _) = fold_per_car_views(&store, &filter, |v| {
+            let mut selected = Vec::new();
+            for i in 0..v.len() {
+                assert_eq!(
+                    v.is_selected(i),
+                    filter.row_matches(v.cells[i], v.starts[i], v.ends[i])
+                );
+                if v.is_selected(i) {
+                    selected.push(i);
+                }
+            }
+            let mut visited = Vec::new();
+            v.for_each_selected(|i| visited.push(i));
+            assert_eq!(visited, selected);
+            assert_eq!(v.selected_count(), selected.len());
+            selected.len()
+        });
+        let total: usize = views.iter().map(|&(_, n)| n).sum();
+        let (expect, _) = store.count(&filter);
+        assert_eq!(total as u64, expect);
+    }
+
+    #[test]
     fn triples_match_flat_expansion() {
         let ds = sample_ds();
         let bin_limit = ds.period().total_bins();
@@ -200,6 +529,8 @@ mod tests {
         let store = CdrStore::build(&ds, 4);
         let (walk, _) = fold_per_car(&store, &Filter::all(), |_c, r| r.len());
         assert!(walk.is_empty());
+        let (views, _) = fold_per_car_views(&store, &Filter::all(), |v| v.len());
+        assert!(views.is_empty());
         let (triples, _) = cell_bin_car_triples(&store, &Filter::all(), u64::MAX);
         assert!(triples.is_empty());
     }

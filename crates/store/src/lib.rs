@@ -21,7 +21,15 @@
 //!   order so every result is deterministic regardless of thread count;
 //! * group-by kernels ([`kernels`]) — the per-car session walk and the
 //!   per-(cell, 15-min-bin) distinct-car count that the temporal,
-//!   segmentation, duration and concurrency analyses are built from;
+//!   segmentation, duration and concurrency analyses are built from.
+//!   The fast variants are *zero-materialization*: folders read per-car
+//!   [`CarView`] column slices (plus a per-shard selection bitmap) in
+//!   place instead of rebuilding `CdrRecord`s row by row;
+//! * the fused executor ([`fused::FusedPass`]) — registers N per-car
+//!   and (cell, bin) folders and drives them all in **one** pass over
+//!   each shard, so a batch of analyses reads the table once instead of
+//!   once per figure — merging in shard order exactly like the
+//!   single-query kernels;
 //! * [`QueryStats`] — rows scanned/matched, shards pruned, index vs
 //!   full scans and scan wall time, so the cost of every analysis is
 //!   observable. Query execution accounts into a
@@ -52,9 +60,13 @@
 
 pub mod columns;
 mod exec;
+pub mod fused;
 pub mod kernels;
 pub mod query;
 mod store;
 
+pub use exec::set_worker_threads;
+pub use fused::{FolderHandle, FusedOutputs, FusedPass};
+pub use kernels::CarView;
 pub use query::{Filter, QueryStats, RecordKind};
 pub use store::{CdrStore, ShardBuildStats};

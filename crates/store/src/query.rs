@@ -143,6 +143,16 @@ impl Filter {
             && self.kind == RecordKind::Any
     }
 
+    /// Whether any *row-level* predicate is set (anything beyond the
+    /// car set). Without one, every row of a matching car qualifies, so
+    /// kernels skip per-row predicate evaluation entirely.
+    pub fn has_row_predicate(&self) -> bool {
+        self.cells.is_some()
+            || self.carrier.is_some()
+            || self.window.is_some()
+            || self.kind != RecordKind::Any
+    }
+
     /// Whether a car passes the car predicate alone.
     #[inline]
     pub(crate) fn car_matches(&self, car: CarId) -> bool {

@@ -1,0 +1,163 @@
+//! Property tests: the fused executor is indistinguishable from the
+//! per-analysis passes.
+//!
+//! Satellite requirement: for fuzzed datasets and filters, a
+//! [`FusedPass`] carrying a per-car folder and a (cell, bin) triple
+//! folder returns exactly what the standalone kernels return — across
+//! shard counts 1, 2, 7, 64 *and* worker-thread counts 1, 2, 8 (swept
+//! with [`set_worker_threads`]), with the shared scan's row accounting
+//! counting the table once.
+
+use conncar_cdr::{CdrDataset, CdrRecord};
+use conncar_store::{kernels, set_worker_threads, CdrStore, Filter, FusedPass, RecordKind};
+use conncar_types::{
+    BaseStationId, CarId, Carrier, CellId, DayOfWeek, Duration, StudyPeriod, Timestamp,
+};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 7, 64];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Raw fuzzed rows → a dataset over a one-week period.
+fn dataset(raw: &[(u32, u32, u64, u64)]) -> CdrDataset {
+    let records: Vec<CdrRecord> = raw
+        .iter()
+        .map(|&(car, station, start, dur)| CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(
+                BaseStationId(station),
+                (station % 3) as u8,
+                if station % 2 == 0 { Carrier::C3 } else { Carrier::C1 },
+            ),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(start + dur),
+        })
+        .collect();
+    CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), records)
+}
+
+/// One car's selected rows as plain tuples, comparable across the
+/// materialized, view and fused paths.
+type Row = (CellId, u64, u64);
+
+/// Run a fused pass with one per-car row collector and one (cell, bin)
+/// triple folder; return both results plus the pass's rows-scanned.
+fn fused_outputs(
+    store: &CdrStore,
+    filter: &Filter,
+    bin_limit: u64,
+) -> (Vec<(CarId, Vec<Row>)>, Vec<(CellId, u64, CarId)>, u64) {
+    let mut pass = FusedPass::new(store, filter.clone());
+    let rows_h = pass.add_per_car(
+        "rows",
+        Vec::new,
+        |acc: &mut Vec<(CarId, Vec<Row>)>, v| {
+            let mut rows = Vec::with_capacity(v.len());
+            v.for_each_selected(|i| rows.push((v.cells[i], v.starts[i], v.ends[i])));
+            acc.push((v.car, rows));
+        },
+        |mut a: Vec<(CarId, Vec<Row>)>, mut b| {
+            a.append(&mut b);
+            a
+        },
+    );
+    let triples_h = pass.add_cell_bin_triples("triples", bin_limit);
+    let mut out = pass.run();
+    let scanned = out.stats().rows_scanned;
+    let mut per_car = out.take(rows_h);
+    per_car.sort_by_key(|&(car, _)| car);
+    (per_car, out.take(triples_h), scanned)
+}
+
+proptest! {
+    #[test]
+    fn fused_pass_equals_per_analysis_passes(
+        raw in collection::vec((0u32..120, 0u32..24, 0u64..590_000, 1u64..3_000), 0..160),
+        car in 0u32..120,
+        w in (0u64..500_000, 1u64..200_000),
+        filtered in any::<bool>(),
+    ) {
+        let ds = dataset(&raw);
+        let filter = if filtered {
+            Filter::all()
+                .cars(vec![CarId(car), CarId(car / 2), CarId(car / 3)])
+                .window(Timestamp::from_secs(w.0), Timestamp::from_secs(w.0 + w.1))
+                .kind(RecordKind::ShorterThan(Duration::from_secs(1_500)))
+        } else {
+            Filter::all()
+        };
+        let bin_limit = ds.period().total_bins();
+
+        // Baseline: the standalone kernels at one shard, one thread.
+        set_worker_threads(1);
+        let base = CdrStore::build(&ds, 1);
+        let (per_car_base, _) = kernels::fold_per_car(&base, &filter, |_, records| {
+            records
+                .iter()
+                .map(|r| (r.cell, r.start.as_secs(), r.end.as_secs()))
+                .collect::<Vec<Row>>()
+        });
+        let (triples_base, _) = kernels::cell_bin_car_triples(&base, &filter, bin_limit);
+
+        for &shards in &SHARD_COUNTS {
+            let store = CdrStore::build(&ds, shards);
+            for &threads in &THREAD_COUNTS {
+                set_worker_threads(threads);
+                let ctx = format!("shards={shards} threads={threads}");
+
+                // The view kernel agrees with the materialized kernel.
+                let (per_car_views, _) = kernels::fold_per_car_views(&store, &filter, |v| {
+                    let mut rows = Vec::with_capacity(v.len());
+                    v.for_each_selected(|i| rows.push((v.cells[i], v.starts[i], v.ends[i])));
+                    rows
+                });
+                prop_assert_eq!(&per_car_views, &per_car_base, "views {}", &ctx);
+
+                // The fused pass agrees with both standalone kernels and
+                // scans each row exactly once for all its folders.
+                let (per_car_fused, triples_fused, scanned) =
+                    fused_outputs(&store, &filter, bin_limit);
+                prop_assert_eq!(&per_car_fused, &per_car_base, "fused per-car {}", &ctx);
+                prop_assert_eq!(&triples_fused, &triples_base, "fused triples {}", &ctx);
+                // A car set narrows the walk through the car directory,
+                // so exact full-scan accounting holds only unfiltered.
+                if !filtered {
+                    prop_assert_eq!(scanned as usize, ds.len(), "rows scanned {}", &ctx);
+                }
+            }
+        }
+        set_worker_threads(0);
+    }
+}
+
+/// Deterministic (non-fuzzed) sweep kept as a fast smoke for the same
+/// invariant, so a proptest shrink never hides the basic case.
+#[test]
+fn fused_smoke_over_shards_and_threads() {
+    let raw: Vec<(u32, u32, u64, u64)> = (0..400)
+        .map(|i| {
+            (
+                i % 37,
+                i % 24,
+                u64::from(i) * 1_499 % 590_000,
+                1 + u64::from(i * 7 % 2_900),
+            )
+        })
+        .collect();
+    let ds = dataset(&raw);
+    let bin_limit = ds.period().total_bins();
+    set_worker_threads(1);
+    let base = CdrStore::build(&ds, 1);
+    let (triples_base, _) = kernels::cell_bin_car_triples(&base, &Filter::all(), bin_limit);
+    assert!(!triples_base.is_empty());
+    for &shards in &SHARD_COUNTS {
+        let store = CdrStore::build(&ds, shards);
+        for &threads in &THREAD_COUNTS {
+            set_worker_threads(threads);
+            let (_, triples, scanned) = fused_outputs(&store, &Filter::all(), bin_limit);
+            assert_eq!(triples, triples_base, "shards={shards} threads={threads}");
+            assert_eq!(scanned as usize, ds.len());
+        }
+    }
+    set_worker_threads(0);
+}
