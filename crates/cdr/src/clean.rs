@@ -176,12 +176,24 @@ pub struct StreamCleanOutcome {
 #[derive(Debug, Clone, Default)]
 pub struct Cleaner {
     cfg: CleanConfig,
+    /// Identity of the run (trace id) this cleaner is working for, if
+    /// known; total-loss errors carry it so a failure seen in CI names
+    /// the exact trace that reproduces it.
+    run_id: Option<String>,
 }
 
 impl Cleaner {
     /// Build a cleaner.
     pub fn new(cfg: CleanConfig) -> Cleaner {
-        Cleaner { cfg }
+        Cleaner { cfg, run_id: None }
+    }
+
+    /// Tag this cleaner with the originating run/trace identity. Errors
+    /// raised from [`Self::clean_stream`] then name the run, turning
+    /// "no records salvageable" into a one-command reproduction.
+    pub fn for_run(mut self, run_id: impl Into<String>) -> Cleaner {
+        self.run_id = Some(run_id.into());
+        self
     }
 
     /// The configuration.
@@ -216,11 +228,15 @@ impl Cleaner {
         // A pristine header-only stream is a legitimate empty trace;
         // an empty yield from a *damaged* stream is total loss.
         if records.is_empty() && !bytes.is_empty() && !ingest.is_pristine() {
+            let run = match &self.run_id {
+                Some(id) => format!(" [run {id}]"),
+                None => String::new(),
+            };
             return Err(Error::Clean {
                 stage: "salvage",
                 why: format!(
-                    "no records salvageable from {} bytes ({} lost corrupt, {} lost truncated, \
-                     {} invalid, {} bytes skipped)",
+                    "no records salvageable from {} bytes{run} ({} lost corrupt, {} lost \
+                     truncated, {} invalid, {} bytes skipped)",
                     bytes.len(),
                     ingest.records_lost_corrupt,
                     ingest.records_lost_truncated,
@@ -674,5 +690,49 @@ mod tests {
         for r in cleaned.records() {
             assert!(truth.records().contains(r));
         }
+    }
+
+    /// Regression: empty input, pristine empty streams, and all-corrupt
+    /// streams are three different things. Only the last is an error —
+    /// and once the cleaner knows its run identity, the error names it.
+    #[test]
+    fn clean_stream_distinguishes_empty_from_total_loss() {
+        use crate::io::CdrWriter;
+        let period = StudyPeriod::new(DayOfWeek::Monday, 7).unwrap();
+
+        // Zero bytes: a missing trace is an empty trace, not total loss.
+        let out = Cleaner::default().clean_stream(&[], period).unwrap();
+        assert!(out.outcome.dataset.is_empty());
+        assert!(out.ingest.is_pristine());
+
+        // A pristine header-only stream: a legitimate empty run.
+        let (bytes, n) = CdrWriter::new(Vec::new()).finish().unwrap();
+        assert_eq!(n, 0);
+        let out = Cleaner::default().clean_stream(&bytes, period).unwrap();
+        assert!(out.outcome.dataset.is_empty());
+        assert!(out.ingest.is_pristine());
+
+        // Every chunk corrupt: total loss, a hard error.
+        let mut w = CdrWriter::new(Vec::new()).with_chunk_records(8);
+        w.write_all(&(0..16).map(|i| rec(i * 100, 50)).collect::<Vec<_>>())
+            .unwrap();
+        let (mut bytes, _) = w.finish().unwrap();
+        // Flip a body byte in both chunks (header 5, chunk = 12 + 8*26).
+        let chunk = 12 + 8 * 26;
+        bytes[5 + 12] ^= 0xFF;
+        bytes[5 + chunk + 12] ^= 0xFF;
+        let err = Cleaner::default().clean_stream(&bytes, period).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("no records salvageable"), "{msg}");
+        assert!(msg.contains("16 lost corrupt"), "{msg}");
+        // Without a run identity the error stays anonymous…
+        assert!(!msg.contains("[run "), "{msg}");
+        // …with one, it names the exact trace that reproduces it.
+        let err = Cleaner::default()
+            .for_run("f00dfacecafe0042")
+            .clean_stream(&bytes, period)
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("[run f00dfacecafe0042]"), "{msg}");
     }
 }

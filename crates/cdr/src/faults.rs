@@ -161,6 +161,46 @@ impl FaultReport {
     }
 }
 
+/// The fault schedule *as applied*: which records each class touched,
+/// and every wire-level event in stream order.
+///
+/// [`FaultReport`] carries tallies; this carries identities, which is
+/// what a replayable trace needs — "record 8 191 was dropped on a loss
+/// day" rather than "212 records were dropped". Record indices refer to
+/// the position of the record in the stream the pass iterated: the
+/// canonical sorted truth for the loss/glitch/sticky pass, the dirty
+/// stream (post-loss, pre-ghost) for the duplicate/overlap/skew passes.
+/// Logging is observational only — recorded and unrecorded injection
+/// draw identical RNG streams and produce byte-identical outputs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RealizedFaults {
+    /// Truth indices of records dropped on loss days.
+    pub lost: Vec<u64>,
+    /// Truth indices of records rewritten to exactly one hour.
+    pub glitched: Vec<u64>,
+    /// Truth indices of records stretched sticky.
+    pub sticky: Vec<u64>,
+    /// Dirty-stream indices of records delivered a second time.
+    pub duplicated: Vec<u64>,
+    /// Dirty-stream indices of records that spawned overlap ghosts.
+    pub overlapped: Vec<u64>,
+    /// Dirty-stream indices of records given a skewed end time.
+    pub skewed: Vec<u64>,
+    /// Wire-level events applied to the encoded stream, in stream order.
+    pub wire: Vec<WireEvent>,
+}
+
+/// One wire-level fault event as applied to an encoded v2 stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireEvent {
+    /// Byte offset of the affected chunk's header in the stream.
+    pub offset: u64,
+    /// Records in the affected chunk.
+    pub records: u64,
+    /// What happened: `"corrupt"`, `"reorder"` or `"truncate"`.
+    pub kind: String,
+}
+
 /// Deterministic fault injector.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
@@ -187,6 +227,24 @@ impl FaultInjector {
     /// domain-separated stream, so a config with only the legacy knobs
     /// set reproduces historic outputs exactly.
     pub fn inject(&self, clean: &CdrDataset) -> (CdrDataset, FaultReport) {
+        self.inject_impl(clean, None)
+    }
+
+    /// [`inject`](Self::inject), additionally logging the identity of
+    /// every record each fault class touched into `realized`. The log
+    /// is observational: both entry points draw the same RNG streams
+    /// and return byte-identical datasets and reports.
+    pub fn inject_logged(&self, clean: &CdrDataset) -> (CdrDataset, FaultReport, RealizedFaults) {
+        let mut realized = RealizedFaults::default();
+        let (dirty, report) = self.inject_impl(clean, Some(&mut realized));
+        (dirty, report, realized)
+    }
+
+    fn inject_impl(
+        &self,
+        clean: &CdrDataset,
+        mut log: Option<&mut RealizedFaults>,
+    ) -> (CdrDataset, FaultReport) {
         let seeds = SeedSplitter::new(self.seed).child("faults");
         let mut rng = ChaCha8Rng::seed_from_u64(seeds.domain("stream"));
         let mut report = FaultReport::default();
@@ -196,17 +254,23 @@ impl FaultInjector {
         let loss_days = DayBitset::new(&self.cfg.loss_days, period.days() as u64);
 
         let mut dirty = Vec::with_capacity(clean.len());
-        for r in clean.records() {
+        for (truth_idx, r) in clean.records().iter().enumerate() {
             // Day-loss first: a record that was never delivered can't
             // also glitch.
             if loss_days.contains(r.start.day()) && rng.gen_bool(self.cfg.loss_fraction) {
                 report.lost += 1;
+                if let Some(log) = log.as_deref_mut() {
+                    log.lost.push(truth_idx as u64);
+                }
                 continue;
             }
             let mut r = *r;
             if rng.gen_bool(self.cfg.hour_glitch_p) {
                 r.end = r.start + Duration::from_hours(1);
                 report.hour_glitches += 1;
+                if let Some(log) = log.as_deref_mut() {
+                    log.glitched.push(truth_idx as u64);
+                }
             } else if rng.gen_bool(self.cfg.sticky_p) {
                 let extra = exponential(&mut rng, self.cfg.sticky_mean_extra_secs);
                 // A sticky record never outlives the study window by
@@ -218,6 +282,9 @@ impl FaultInjector {
                     r.end = r.start + Duration::from_secs(1);
                 }
                 report.sticky += 1;
+                if let Some(log) = log.as_deref_mut() {
+                    log.sticky.push(truth_idx as u64);
+                }
             }
             dirty.push(r);
         }
@@ -225,10 +292,13 @@ impl FaultInjector {
         if self.cfg.duplicate_p > 0.0 {
             let mut rng = ChaCha8Rng::seed_from_u64(seeds.domain("dup"));
             let mut ghosts = Vec::new();
-            for r in &dirty {
+            for (idx, r) in dirty.iter().enumerate() {
                 if rng.gen_bool(self.cfg.duplicate_p) {
                     ghosts.push(*r);
                     report.duplicated += 1;
+                    if let Some(log) = log.as_deref_mut() {
+                        log.duplicated.push(idx as u64);
+                    }
                 }
             }
             dirty.extend(ghosts);
@@ -237,7 +307,7 @@ impl FaultInjector {
         if self.cfg.overlap_p > 0.0 {
             let mut rng = ChaCha8Rng::seed_from_u64(seeds.domain("overlap"));
             let mut ghosts = Vec::new();
-            for r in &dirty {
+            for (idx, r) in dirty.iter().enumerate() {
                 // A ghost needs room to nest strictly inside its host.
                 let dur = r.duration().as_secs();
                 if dur >= 3 && rng.gen_bool(self.cfg.overlap_p) {
@@ -246,6 +316,9 @@ impl FaultInjector {
                     ghost.end = r.start + Duration::from_secs(2 * dur / 3);
                     ghosts.push(ghost);
                     report.overlaps += 1;
+                    if let Some(log) = log.as_deref_mut() {
+                        log.overlapped.push(idx as u64);
+                    }
                 }
             }
             dirty.extend(ghosts);
@@ -254,7 +327,7 @@ impl FaultInjector {
         if self.cfg.skew_car_p > 0.0 && self.cfg.skew_record_p > 0.0 {
             let skew_seeds = seeds.child("skew");
             let mut rng = ChaCha8Rng::seed_from_u64(skew_seeds.domain("records"));
-            for r in &mut dirty {
+            for (idx, r) in dirty.iter_mut().enumerate() {
                 if !self.modem_is_skewed(skew_seeds, r.car)
                     || !rng.gen_bool(self.cfg.skew_record_p)
                 {
@@ -266,6 +339,9 @@ impl FaultInjector {
                 let back = rng.gen_range(0..=300u64);
                 r.end = Timestamp::from_secs(r.start.as_secs().saturating_sub(back));
                 report.skewed += 1;
+                if let Some(log) = log.as_deref_mut() {
+                    log.skewed.push(idx as u64);
+                }
             }
         }
 
@@ -287,6 +363,28 @@ impl FaultInjector {
     /// Streams that are not v2 (no per-chunk framing to target) pass
     /// through untouched. Deterministic in the injector's seed.
     pub fn corrupt_stream(&self, stream: &[u8], report: &mut FaultReport) -> Vec<u8> {
+        self.corrupt_stream_impl(stream, report, None)
+    }
+
+    /// [`corrupt_stream`](Self::corrupt_stream), additionally appending
+    /// one [`WireEvent`] per applied wire fault to `realized.wire`, in
+    /// stream order. Observational only: both entry points draw the
+    /// same RNG stream and return byte-identical output.
+    pub fn corrupt_stream_logged(
+        &self,
+        stream: &[u8],
+        report: &mut FaultReport,
+        realized: &mut RealizedFaults,
+    ) -> Vec<u8> {
+        self.corrupt_stream_impl(stream, report, Some(realized))
+    }
+
+    fn corrupt_stream_impl(
+        &self,
+        stream: &[u8],
+        report: &mut FaultReport,
+        mut log: Option<&mut RealizedFaults>,
+    ) -> Vec<u8> {
         let mut out = stream.to_vec();
         if !self.cfg.has_wire_faults()
             || out.len() < 5
@@ -326,6 +424,13 @@ impl FaultInjector {
                 }
                 report.corrupted_chunks += 1;
                 report.corrupted_records += count;
+                if let Some(log) = log.as_deref_mut() {
+                    log.wire.push(WireEvent {
+                        offset: pos as u64,
+                        records: count as u64,
+                        kind: "corrupt".into(),
+                    });
+                }
                 intact = false;
             } else if count >= 2 && rng.gen_bool(self.cfg.reorder_chunk_p) {
                 // Rotate the records within the chunk: genuinely
@@ -336,6 +441,13 @@ impl FaultInjector {
                 let crc = crc32(&out[body_start..body_start + body_len]).to_le_bytes();
                 out[pos + 8..pos + 12].copy_from_slice(&crc);
                 report.reordered_chunks += 1;
+                if let Some(log) = log.as_deref_mut() {
+                    log.wire.push(WireEvent {
+                        offset: pos as u64,
+                        records: count as u64,
+                        kind: "reorder".into(),
+                    });
+                }
             }
             last_chunk = Some((pos, count, intact));
             pos = body_start + body_len;
@@ -350,6 +462,13 @@ impl FaultInjector {
                     out.truncate(start + CHUNK_HEADER_LEN + body_len - cut);
                     report.truncated_bytes += cut as u64;
                     report.truncated_records += count;
+                    if let Some(log) = log.as_deref_mut() {
+                        log.wire.push(WireEvent {
+                            offset: start as u64,
+                            records: count as u64,
+                            kind: "truncate".into(),
+                        });
+                    }
                 }
             }
         }
@@ -703,5 +822,75 @@ mod tests {
         let (dirty, report) = FaultInjector::new(cfg, 7).inject(&ds);
         assert_eq!(report.lost, 0);
         assert_eq!(dirty.len(), 1);
+    }
+
+    #[test]
+    fn logged_injection_is_observationally_identical() {
+        let ds = dataset();
+        let cfg = FaultConfig {
+            duplicate_p: 0.05,
+            overlap_p: 0.03,
+            skew_car_p: 0.3,
+            skew_record_p: 0.5,
+            ..FaultConfig::default()
+        };
+        let inj = FaultInjector::new(cfg, 7);
+        let (plain, plain_report) = inj.inject(&ds);
+        let (logged, logged_report, realized) = inj.inject_logged(&ds);
+        // Logging must not perturb the RNG streams or the output.
+        assert_eq!(plain, logged);
+        assert_eq!(plain_report, logged_report);
+        // Identities agree with tallies, class by class.
+        assert_eq!(realized.lost.len(), logged_report.lost);
+        assert_eq!(realized.glitched.len(), logged_report.hour_glitches);
+        assert_eq!(realized.sticky.len(), logged_report.sticky);
+        assert_eq!(realized.duplicated.len(), logged_report.duplicated);
+        assert_eq!(realized.overlapped.len(), logged_report.overlaps);
+        assert_eq!(realized.skewed.len(), logged_report.skewed);
+        // Truth indices are in-range and strictly increasing (each pass
+        // walks its stream front to back).
+        for idxs in [&realized.lost, &realized.glitched, &realized.sticky] {
+            assert!(idxs.windows(2).all(|w| w[0] < w[1]));
+            assert!(idxs.iter().all(|&i| (i as usize) < ds.len()));
+        }
+    }
+
+    #[test]
+    fn logged_wire_faults_are_observationally_identical() {
+        use crate::io::CdrWriter;
+        let ds = dataset();
+        let cfg = FaultConfig {
+            corrupt_chunk_p: 0.2,
+            reorder_chunk_p: 0.2,
+            truncate_tail_p: 1.0,
+            ..FaultConfig::default()
+        };
+        let inj = FaultInjector::new(cfg, 11);
+        let mut w = CdrWriter::new(Vec::new()).with_chunk_records(500);
+        w.write_all(ds.records()).unwrap();
+        let (stream, _) = w.finish().unwrap();
+
+        let mut plain_report = FaultReport::default();
+        let plain = inj.corrupt_stream(&stream, &mut plain_report);
+        let mut logged_report = FaultReport::default();
+        let mut realized = RealizedFaults::default();
+        let logged = inj.corrupt_stream_logged(&stream, &mut logged_report, &mut realized);
+        assert_eq!(plain, logged);
+        assert_eq!(plain_report, logged_report);
+        // One event per applied fault, in stream order.
+        let count = |k: &str| realized.wire.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count("corrupt"), logged_report.corrupted_chunks);
+        assert_eq!(count("reorder"), logged_report.reordered_chunks);
+        assert_eq!(
+            count("truncate"),
+            usize::from(logged_report.truncated_bytes > 0)
+        );
+        assert!(realized
+            .wire
+            .iter()
+            .take_while(|e| e.kind != "truncate")
+            .collect::<Vec<_>>()
+            .windows(2)
+            .all(|w| w[0].offset < w[1].offset));
     }
 }

@@ -60,7 +60,11 @@ const DEFAULT_CHUNK: usize = 65_536;
 const MAX_CHUNK_RECORDS: usize = 1 << 22;
 
 /// CRC-32 (IEEE 802.3, reflected) over a byte slice.
-pub(crate) fn crc32(data: &[u8]) -> u32 {
+///
+/// Public because the trace format (`conncar-replay`) checksums its
+/// artifacts with the same polynomial the stream chunks use — one CRC
+/// implementation, one set of test vectors.
+pub fn crc32(data: &[u8]) -> u32 {
     const TABLE: [u32; 256] = crc32_table();
     let mut crc = !0u32;
     for &b in data {
@@ -248,6 +252,56 @@ impl IngestReport {
     }
 }
 
+/// One chunk's fate during a tolerant salvage pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkVerdict {
+    /// Byte offset of the chunk (its header) in the stream.
+    pub offset: u64,
+    /// Records the chunk's header announced.
+    pub records: u64,
+    /// What happened: `"ok"`, `"skipped_crc"`, `"skipped_bad_count"`,
+    /// or `"truncated_tail"`.
+    pub verdict: String,
+}
+
+/// Per-chunk salvage outcomes, in stream order — the frame-level
+/// companion to [`IngestReport`]'s totals, and what a replayable trace
+/// records so a divergence can name the exact frame that salvaged
+/// differently.
+///
+/// Logging is observational only: [`salvage_logged`] and [`salvage`]
+/// return byte-identical records and reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SalvageLog {
+    /// One verdict per chunk the pass framed, in stream order.
+    pub chunks: Vec<ChunkVerdict>,
+}
+
+impl SalvageLog {
+    fn push(&mut self, offset: usize, records: usize, verdict: &str) {
+        self.chunks.push(ChunkVerdict {
+            offset: offset as u64,
+            records: records as u64,
+            verdict: verdict.into(),
+        });
+    }
+
+    /// Verdict counts as `(ok, skipped, truncated)`.
+    pub fn tally(&self) -> (usize, usize, usize) {
+        let mut ok = 0;
+        let mut skipped = 0;
+        let mut truncated = 0;
+        for c in &self.chunks {
+            match c.verdict.as_str() {
+                "ok" => ok += 1,
+                "truncated_tail" => truncated += 1,
+                _ => skipped += 1,
+            }
+        }
+        (ok, skipped, truncated)
+    }
+}
+
 /// Reads a CDR stream chunk by chunk.
 pub struct CdrReader<R: Read> {
     inner: R,
@@ -432,6 +486,18 @@ impl<R: Read> CdrReader<R> {
 /// Tolerant decode of a complete in-memory stream. See
 /// [`CdrReader::read_to_end_tolerant`].
 pub fn salvage(buf: &[u8]) -> (Vec<CdrRecord>, IngestReport) {
+    salvage_impl(buf, None)
+}
+
+/// [`salvage`], additionally returning the per-chunk [`SalvageLog`].
+/// Observational: records and report are byte-identical to `salvage`'s.
+pub fn salvage_logged(buf: &[u8]) -> (Vec<CdrRecord>, IngestReport, SalvageLog) {
+    let mut log = SalvageLog::default();
+    let (out, report) = salvage_impl(buf, Some(&mut log));
+    (out, report, log)
+}
+
+fn salvage_impl(buf: &[u8], mut log: Option<&mut SalvageLog>) -> (Vec<CdrRecord>, IngestReport) {
     let mut report = IngestReport::default();
     let mut out = Vec::new();
     if buf.is_empty() {
@@ -440,21 +506,22 @@ pub fn salvage(buf: &[u8]) -> (Vec<CdrRecord>, IngestReport) {
     if buf.len() < 5 || &buf[..4] != STREAM_MAGIC {
         // Unrecognizable header: hunt for v2 chunks anyway — framing
         // magic lets us salvage a stream whose first bytes were mangled.
-        report.bytes_skipped += salvage_v2(buf, 0, &mut out, &mut report);
+        report.bytes_skipped += salvage_v2(buf, 0, &mut out, &mut report, log.as_deref_mut());
         return (out, report);
     }
     let version = buf[4];
     report.version = version;
     match version {
-        VERSION_V1 => salvage_v1(buf, &mut out, &mut report),
+        VERSION_V1 => salvage_v1(buf, &mut out, &mut report, log.as_deref_mut()),
         VERSION_V2 => {
-            let skipped = salvage_v2(buf, 5, &mut out, &mut report);
+            let skipped = salvage_v2(buf, 5, &mut out, &mut report, log.as_deref_mut());
             report.bytes_skipped += skipped;
         }
         _ => {
             // Unknown version byte: same recovery as a mangled header.
             report.version = 0;
-            report.bytes_skipped += salvage_v2(buf, 5, &mut out, &mut report) + 5;
+            report.bytes_skipped +=
+                salvage_v2(buf, 5, &mut out, &mut report, log.as_deref_mut()) + 5;
         }
     }
     (out, report)
@@ -462,7 +529,12 @@ pub fn salvage(buf: &[u8]) -> (Vec<CdrRecord>, IngestReport) {
 
 /// v1 has no framing to resynchronize on: decode chunks until the first
 /// inconsistency, then stop.
-fn salvage_v1(buf: &[u8], out: &mut Vec<CdrRecord>, report: &mut IngestReport) {
+fn salvage_v1(
+    buf: &[u8],
+    out: &mut Vec<CdrRecord>,
+    report: &mut IngestReport,
+    mut log: Option<&mut SalvageLog>,
+) {
     let mut pos = 5usize;
     while pos < buf.len() {
         // Panic-free framing read: `None` ⇔ fewer than 4 bytes remain.
@@ -477,16 +549,23 @@ fn salvage_v1(buf: &[u8], out: &mut Vec<CdrRecord>, report: &mut IngestReport) {
             report.bytes_skipped += (buf.len() - pos) as u64;
             return;
         }
+        let chunk_start = pos;
         pos += 4;
         let body_len = count * RECORD_LEN;
         if buf.len() - pos < body_len {
             report.truncated_tail = true;
             report.records_lost_truncated += count as u64;
             report.bytes_skipped += (buf.len() - pos) as u64;
+            if let Some(log) = log.as_deref_mut() {
+                log.push(chunk_start, count, "truncated_tail");
+            }
             return;
         }
         decode_rows(&buf[pos..pos + body_len], out, report);
         report.chunks_ok += 1;
+        if let Some(log) = log.as_deref_mut() {
+            log.push(chunk_start, count, "ok");
+        }
         pos += body_len;
     }
 }
@@ -498,6 +577,7 @@ fn salvage_v2(
     start: usize,
     out: &mut Vec<CdrRecord>,
     report: &mut IngestReport,
+    mut log: Option<&mut SalvageLog>,
 ) -> u64 {
     let mut skipped = 0u64;
     let mut pos = start;
@@ -549,12 +629,18 @@ fn salvage_v2(
                 // boundary.
                 report.chunks_skipped += 1;
                 report.resync_scans += 1;
+                if let Some(log) = log.as_deref_mut() {
+                    log.push(pos, count, "skipped_bad_count");
+                }
                 skipped += (next - pos) as u64;
                 pos = next;
                 continue;
             }
             report.truncated_tail = true;
             report.records_lost_truncated += count as u64;
+            if let Some(log) = log.as_deref_mut() {
+                log.push(pos, count, "truncated_tail");
+            }
             skipped += (buf.len() - pos) as u64;
             return skipped;
         }
@@ -562,11 +648,17 @@ fn salvage_v2(
         if crc32(body) != expected {
             report.chunks_skipped += 1;
             report.records_lost_corrupt += count as u64;
+            if let Some(log) = log.as_deref_mut() {
+                log.push(pos, count, "skipped_crc");
+            }
             pos = body_start + body_len;
             continue;
         }
         decode_rows(body, out, report);
         report.chunks_ok += 1;
+        if let Some(log) = log.as_deref_mut() {
+            log.push(pos, count, "ok");
+        }
         pos = body_start + body_len;
     }
     skipped
@@ -857,6 +949,36 @@ mod tests {
         let (back, report) = CdrReader::new(&noise[..]).read_to_end_tolerant().unwrap();
         assert!(back.is_empty() || report.records_yielded == back.len() as u64);
         assert_eq!(report.version, 0);
+    }
+
+    #[test]
+    fn salvage_logged_is_observationally_identical_and_names_frames() {
+        let recs = records(300);
+        let mut w = CdrWriter::new(Vec::new()).with_chunk_records(100);
+        w.write_all(&recs).unwrap();
+        let (mut bytes, _) = w.finish().unwrap();
+        // Damage the middle chunk's body, cut into the final chunk.
+        let chunk = 12 + 100 * 26;
+        bytes[5 + chunk + 12 + 40] ^= 0x5A;
+        bytes.truncate(bytes.len() - 49);
+
+        let (plain, plain_report) = salvage(&bytes);
+        let (logged, logged_report, log) = salvage_logged(&bytes);
+        assert_eq!(plain, logged);
+        assert_eq!(plain_report, logged_report);
+        // One verdict per framed chunk, in stream order, naming fates.
+        assert_eq!(log.chunks.len(), 3);
+        assert_eq!(log.chunks[0].verdict, "ok");
+        assert_eq!(log.chunks[1].verdict, "skipped_crc");
+        assert_eq!(log.chunks[1].offset, 5 + chunk as u64);
+        assert_eq!(log.chunks[2].verdict, "truncated_tail");
+        assert_eq!(log.tally(), (1, 1, 1));
+        assert!(log.chunks.windows(2).all(|w| w[0].offset < w[1].offset));
+        // Verdict record counts reconcile with the ingest totals.
+        assert_eq!(
+            log.chunks.iter().map(|c| c.records).sum::<u64>(),
+            logged_report.records_accounted()
+        );
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub use clean::{
     QuarantinedRecord, RejectReason, StreamCleanOutcome,
 };
 pub use codec::{BinaryCodec, CsvCodec};
-pub use faults::{FaultConfig, FaultInjector, FaultReport};
-pub use io::{salvage, CdrReader, CdrWriter, IngestReport};
+pub use faults::{FaultConfig, FaultInjector, FaultReport, RealizedFaults, WireEvent};
+pub use io::{
+    crc32, salvage, salvage_logged, CdrReader, CdrWriter, ChunkVerdict, IngestReport, SalvageLog,
+};
 pub use record::{CdrDataset, CdrRecord};
 pub use session::{AggregateSession, SessionConfig, Sessionizer};

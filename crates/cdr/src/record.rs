@@ -113,6 +113,26 @@ impl CdrDataset {
     pub fn with_records(&self, records: Vec<CdrRecord>) -> CdrDataset {
         CdrDataset::new(self.period, records)
     }
+
+    /// FNV-1a 64 fingerprint of the dataset's content: the period plus
+    /// every record field, in canonical order. Two datasets digest
+    /// equal iff they compare equal, so a replay can assert stage-level
+    /// equivalence without shipping the full record vector.
+    pub fn content_digest(&self) -> u64 {
+        let mut h = conncar_types::Fnv64::new();
+        h.update_u64(self.period.start_day().index() as u64);
+        h.update_u64(self.period.days() as u64);
+        h.update_u64(self.records.len() as u64);
+        for r in &self.records {
+            h.update_u64(r.car.0 as u64);
+            h.update_u64(r.cell.station.0 as u64);
+            h.update_u64(r.cell.sector as u64);
+            h.update_u64(r.cell.carrier.index() as u64);
+            h.update_u64(r.start.as_secs());
+            h.update_u64(r.end.as_secs());
+        }
+        h.finish()
+    }
 }
 
 struct ByCar<'a> {
@@ -196,6 +216,24 @@ mod tests {
         assert!(ds.is_empty());
         assert_eq!(ds.by_car().count(), 0);
         assert_eq!(ds.cell_count(), 0);
+    }
+
+    #[test]
+    fn content_digest_tracks_equality() {
+        let a = CdrDataset::new(period(), vec![rec(1, 1, 0, 10), rec(2, 1, 5, 15)]);
+        // Same records in a different input order: canonical sort makes
+        // the datasets equal, so the digests match.
+        let b = CdrDataset::new(period(), vec![rec(2, 1, 5, 15), rec(1, 1, 0, 10)]);
+        assert_eq!(a, b);
+        assert_eq!(a.content_digest(), b.content_digest());
+        // Any field change moves the digest.
+        let c = CdrDataset::new(period(), vec![rec(1, 1, 0, 11), rec(2, 1, 5, 15)]);
+        assert_ne!(a.content_digest(), c.content_digest());
+        // Empty differs from non-empty.
+        assert_ne!(
+            CdrDataset::new(period(), vec![]).content_digest(),
+            a.content_digest()
+        );
     }
 
     #[test]

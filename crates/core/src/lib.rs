@@ -59,8 +59,10 @@ pub mod telemetry;
 pub use analyses::StudyAnalyses;
 pub use experiments::{Experiment, ExperimentOutput};
 pub use runreport::RunReport;
-pub use study::{StudyConfig, StudyData};
-pub use telemetry::run_instrumented;
+pub use study::{PipelineCapture, StudyConfig, StudyData};
+pub use telemetry::{
+    run_instrumented, run_instrumented_captured, run_instrumented_replayed, trace_id,
+};
 
 #[cfg(test)]
 pub(crate) mod testutil {

@@ -23,12 +23,13 @@
 use crate::runreport::{dataset_divergence, RunReport};
 use conncar_analysis::busy::NetworkLoadModel;
 use conncar_cdr::{
-    salvage, CdrDataset, CdrWriter, CleanConfig, CleanOutcome, CleanReport, Cleaner,
-    FaultConfig, FaultInjector, FaultReport, IngestReport, Quarantine,
+    salvage, salvage_logged, CdrDataset, CdrWriter, CleanConfig, CleanOutcome, CleanReport,
+    Cleaner, FaultConfig, FaultInjector, FaultReport, IngestReport, Quarantine, RealizedFaults,
+    SalvageLog,
 };
 use conncar_fleet::{FleetConfig, FleetData, FleetGenerator, Persona};
 use conncar_geo::{Region, RegionConfig};
-use conncar_obs::{CounterRegistry, Span};
+use conncar_obs::{CounterRegistry, Span, SpanRecord};
 use conncar_radio::{BackgroundLoad, BackgroundLoadConfig, PrbLedger};
 use conncar_types::{Duration, Result, SeedSplitter, StudyPeriod};
 use serde::{Deserialize, Serialize};
@@ -159,6 +160,35 @@ impl StudyConfig {
     }
 }
 
+/// Everything a recorded run needs beyond its [`StudyConfig`] to be
+/// replayed byte for byte.
+///
+/// The world (region, fleet, ground truth) is a pure function of the
+/// config and seed, so it is *not* captured — replay regenerates it.
+/// The collection plane's outcome *is* captured: the damaged byte
+/// stream exactly as the salvage stage read it, the realized fault
+/// schedule, and the per-chunk salvage verdicts. Replay feeds the
+/// recorded stream straight into salvage, bypassing fault injection
+/// entirely, so even a change to the injector's RNG draw order cannot
+/// silently alter a replayed run — it shows up as a stage divergence
+/// instead.
+#[derive(Debug, Clone)]
+pub struct PipelineCapture {
+    /// The framed v2 byte stream *after* wire damage — exactly the
+    /// bytes the salvage stage read.
+    pub damaged_stream: Vec<u8>,
+    /// Records entering the wire leg (the `encode` span's item count
+    /// and the run ledger's `records_collected`).
+    pub records_collected: usize,
+    /// The fault schedule as applied, record by record and frame by
+    /// frame.
+    pub realized: RealizedFaults,
+    /// Per-chunk salvage verdicts over the damaged stream.
+    pub salvage_log: SalvageLog,
+    /// Content digest of the ground truth (the world stage's identity).
+    pub truth_digest: u64,
+}
+
 /// Everything a study run produces.
 #[derive(Debug)]
 pub struct StudyData {
@@ -239,31 +269,7 @@ impl StudyData {
     ) -> Result<StudyData> {
         cfg.validate()?;
         let seeds = SeedSplitter::new(cfg.seed);
-        let (region, background, data, truth) = span.child("generate", |s| {
-            let (region, background) = s.child("generate/region", |r| {
-                let region = Region::generate(&cfg.region, seeds.domain("region"));
-                let background = BackgroundLoad::new(
-                    BackgroundLoadConfig {
-                        seed: seeds.domain("background"),
-                        ..cfg.background.clone()
-                    },
-                    cfg.period,
-                    region.timezone().offset_hours(),
-                );
-                r.set_items(region.deployment().stations().len() as u64);
-                (region, background)
-            });
-            let (data, truth) = s.child("generate/fleet", |f| {
-                let fleet = FleetGenerator::new(cfg.fleet.clone())?;
-                let mut data = fleet.generate(&region, cfg.period, seeds.domain("fleet"));
-                let connections = std::mem::take(&mut data.connections);
-                let truth = CdrDataset::from_connections(cfg.period, connections);
-                f.set_items(truth.len() as u64);
-                Ok::<_, conncar_types::Error>((data, truth))
-            })?;
-            s.set_items(truth.len() as u64);
-            Ok::<_, conncar_types::Error>((region, background, data, truth))
-        })?;
+        let (region, background, data, truth) = StudyData::world_traced(cfg, &seeds, span)?;
         let injector = FaultInjector::new(cfg.faults.clone(), seeds.domain("faults"));
         let (collected, mut fault_report) = span.child("fault", |s| {
             s.set_items(truth.len() as u64);
@@ -302,6 +308,158 @@ impl StudyData {
         );
         counters.absorb(&stage_counters);
         Ok(study)
+    }
+
+    /// [`StudyData::generate_traced`] with every nondeterministic input
+    /// captured into a [`PipelineCapture`] for later replay.
+    ///
+    /// Capture is observational: the logged fault/salvage variants draw
+    /// identical RNG streams and return byte-identical outputs, so a
+    /// captured run produces exactly the same study, span tree, and
+    /// counters as an uncaptured one.
+    pub fn generate_traced_captured(
+        cfg: &StudyConfig,
+        span: &mut Span<'_>,
+        counters: &mut CounterRegistry,
+    ) -> Result<(StudyData, PipelineCapture)> {
+        cfg.validate()?;
+        let seeds = SeedSplitter::new(cfg.seed);
+        let (region, background, data, truth) = StudyData::world_traced(cfg, &seeds, span)?;
+        let truth_digest = truth.content_digest();
+        let injector = FaultInjector::new(cfg.faults.clone(), seeds.domain("faults"));
+        let (collected, mut fault_report, mut realized) = span.child("fault", |s| {
+            s.set_items(truth.len() as u64);
+            injector.inject_logged(&truth)
+        });
+        let records_collected = collected.len();
+        let stream = span.child("encode", |s| {
+            s.set_items(collected.len() as u64);
+            let mut w = CdrWriter::new(Vec::new()).with_chunk_records(cfg.faults.chunk_records);
+            w.write_all(collected.records())?;
+            let (stream, _) = w.finish()?;
+            Ok::<_, conncar_types::Error>(stream)
+        })?;
+        let damaged = injector.corrupt_stream_logged(&stream, &mut fault_report, &mut realized);
+        let (dirty, ingest_report, salvage_log) = span.child("salvage", |s| {
+            let (delivered, ingest, log) = salvage_logged(&damaged);
+            s.set_items(delivered.len() as u64);
+            (collected.with_records(delivered), ingest, log)
+        });
+        let outcome = span.child("clean", |s| {
+            Cleaner::new(cfg.clean.clone()).clean_full_traced(&dirty, s)
+        });
+        let (study, stage_counters) = StudyData::assemble(
+            cfg,
+            region,
+            background,
+            data,
+            truth,
+            records_collected,
+            dirty,
+            fault_report,
+            ingest_report,
+            outcome,
+        );
+        counters.absorb(&stage_counters);
+        let capture = PipelineCapture {
+            damaged_stream: damaged,
+            records_collected,
+            realized,
+            salvage_log,
+            truth_digest,
+        };
+        Ok((study, capture))
+    }
+
+    /// Reproduce a recorded run from its trace: regenerate the world
+    /// from the config (a pure function of the seed), then feed the
+    /// *recorded* damaged stream straight into salvage in place of the
+    /// fault → encode → corrupt leg.
+    ///
+    /// The skipped stages leave synthetic untimed spans (`fault` with
+    /// the truth count, `encode` with the recorded collected count) so
+    /// the replayed span tree — and the `RUN_OBS.json` bytes under a
+    /// [`NullClock`](conncar_obs::NullClock) — match the recorded run
+    /// exactly. Returns the study plus the regenerated ground truth's
+    /// content digest, which replay diffing checks against the trace's
+    /// recorded world digest.
+    ///
+    /// Callers must verify the recorded stream still salvages to
+    /// `records_collected` accounted records *before* calling this (see
+    /// the replay crate's ingest stage check): final assembly asserts
+    /// the ledger reconciles and panics on books that do not balance,
+    /// which is the wrong failure mode for a diffable divergence.
+    pub fn generate_traced_replayed(
+        cfg: &StudyConfig,
+        span: &mut Span<'_>,
+        counters: &mut CounterRegistry,
+        stream: &[u8],
+        fault_report: FaultReport,
+        records_collected: usize,
+    ) -> Result<(StudyData, u64)> {
+        cfg.validate()?;
+        let seeds = SeedSplitter::new(cfg.seed);
+        let (region, background, data, truth) = StudyData::world_traced(cfg, &seeds, span)?;
+        let truth_digest = truth.content_digest();
+        span.attach(SpanRecord::leaf("fault", 0, truth.len() as u64));
+        span.attach(SpanRecord::leaf("encode", 0, records_collected as u64));
+        let (dirty, ingest_report) = span.child("salvage", |s| {
+            let (delivered, ingest) = salvage(stream);
+            s.set_items(delivered.len() as u64);
+            (CdrDataset::new(cfg.period, delivered), ingest)
+        });
+        let outcome = span.child("clean", |s| {
+            Cleaner::new(cfg.clean.clone()).clean_full_traced(&dirty, s)
+        });
+        let (study, stage_counters) = StudyData::assemble(
+            cfg,
+            region,
+            background,
+            data,
+            truth,
+            records_collected,
+            dirty,
+            fault_report,
+            ingest_report,
+            outcome,
+        );
+        counters.absorb(&stage_counters);
+        Ok((study, truth_digest))
+    }
+
+    /// The traced world stage shared by the plain, captured, and
+    /// replayed pipelines: the `generate` span with its `generate/region`
+    /// and `generate/fleet` children.
+    fn world_traced(
+        cfg: &StudyConfig,
+        seeds: &SeedSplitter,
+        span: &mut Span<'_>,
+    ) -> Result<(Region, BackgroundLoad, FleetData, CdrDataset)> {
+        span.child("generate", |s| {
+            let (region, background) = s.child("generate/region", |r| {
+                let region = Region::generate(&cfg.region, seeds.domain("region"));
+                let background = BackgroundLoad::new(
+                    BackgroundLoadConfig {
+                        seed: seeds.domain("background"),
+                        ..cfg.background.clone()
+                    },
+                    cfg.period,
+                    region.timezone().offset_hours(),
+                );
+                r.set_items(region.deployment().stations().len() as u64);
+                (region, background)
+            });
+            let (data, truth) = s.child("generate/fleet", |f| {
+                let fleet = FleetGenerator::new(cfg.fleet.clone())?;
+                let mut data = fleet.generate(&region, cfg.period, seeds.domain("fleet"));
+                let connections = std::mem::take(&mut data.connections);
+                let truth = CdrDataset::from_connections(cfg.period, connections);
+                f.set_items(truth.len() as u64);
+                Ok::<_, conncar_types::Error>((data, truth))
+            })?;
+            s.set_items(truth.len() as u64);
+            Ok::<_, conncar_types::Error>((region, background, data, truth))
+        })
     }
 
     /// Pipeline steps 1–2: region, background load, fleet, ground truth.

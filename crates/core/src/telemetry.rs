@@ -27,10 +27,11 @@
 //! `RUN_OBS.json` files and compares bytes.
 
 use crate::analyses::StudyAnalyses;
-use crate::study::{StudyConfig, StudyData};
+use crate::study::{PipelineCapture, StudyConfig, StudyData};
+use conncar_cdr::FaultReport;
 use conncar_obs::{Clock, CounterRegistry, RunTelemetry, SharedClock, Span};
 use conncar_store::CdrStore;
-use conncar_types::Result;
+use conncar_types::{Fnv64, Result};
 
 /// Run the full pipeline instrumented: study generation (always
 /// including the wire leg), store build, and every analysis, all timed
@@ -47,7 +48,104 @@ pub fn run_instrumented(
     let mut counters = CounterRegistry::new();
     let mut root = Span::enter(&*clock, "run");
     let study = StudyData::generate_traced(cfg, &mut root, &mut counters)?;
+    let (store, analyses) = build_and_analyze(&study, &clock, shards, &mut root, &mut counters)?;
+    root.set_items(study.clean.len() as u64);
+    let telemetry = RunTelemetry {
+        clock: Clock::kind(&*clock).to_string(),
+        trace: None,
+        root: root.finish(),
+        counters,
+    };
+    Ok((study, store, analyses, telemetry))
+}
 
+/// [`run_instrumented`] in record mode: identical pipeline, identical
+/// artifacts, plus a [`PipelineCapture`] of every nondeterministic
+/// input so the run can be replayed from its trace alone. The
+/// telemetry's `trace` field carries the run's [`trace_id`].
+pub fn run_instrumented_captured(
+    cfg: &StudyConfig,
+    clock: SharedClock,
+    shards: Option<usize>,
+) -> Result<(StudyData, CdrStore, StudyAnalyses, RunTelemetry, PipelineCapture)> {
+    let mut counters = CounterRegistry::new();
+    let mut root = Span::enter(&*clock, "run");
+    let (study, capture) = StudyData::generate_traced_captured(cfg, &mut root, &mut counters)?;
+    let (store, analyses) = build_and_analyze(&study, &clock, shards, &mut root, &mut counters)?;
+    root.set_items(study.clean.len() as u64);
+    let telemetry = RunTelemetry {
+        clock: Clock::kind(&*clock).to_string(),
+        trace: Some(trace_id(cfg.seed, store.shard_count(), &capture.damaged_stream)),
+        root: root.finish(),
+        counters,
+    };
+    Ok((study, store, analyses, telemetry, capture))
+}
+
+/// [`run_instrumented`] in replay mode: the world regenerates from the
+/// config, the recorded damaged `stream` replaces the fault → encode →
+/// corrupt leg (see [`StudyData::generate_traced_replayed`]), and the
+/// store and analyses run as usual. The shard count is always pinned —
+/// a recorded run knows exactly how many shards it built, and replaying
+/// onto a machine-sized store would diverge spuriously.
+///
+/// Returns the regenerated ground truth's content digest alongside the
+/// usual artifacts; the telemetry's `trace` field matches the recorded
+/// run's, so `RUN_OBS.json` replays byte-for-byte under a null clock.
+pub fn run_instrumented_replayed(
+    cfg: &StudyConfig,
+    clock: SharedClock,
+    shards: usize,
+    stream: &[u8],
+    fault_report: FaultReport,
+    records_collected: usize,
+) -> Result<(StudyData, CdrStore, StudyAnalyses, RunTelemetry, u64)> {
+    let mut counters = CounterRegistry::new();
+    let mut root = Span::enter(&*clock, "run");
+    let (study, truth_digest) = StudyData::generate_traced_replayed(
+        cfg,
+        &mut root,
+        &mut counters,
+        stream,
+        fault_report,
+        records_collected,
+    )?;
+    let (store, analyses) =
+        build_and_analyze(&study, &clock, Some(shards), &mut root, &mut counters)?;
+    root.set_items(study.clean.len() as u64);
+    let telemetry = RunTelemetry {
+        clock: Clock::kind(&*clock).to_string(),
+        trace: Some(trace_id(cfg.seed, store.shard_count(), stream)),
+        root: root.finish(),
+        counters,
+    };
+    Ok((study, store, analyses, telemetry, truth_digest))
+}
+
+/// The identity every artifact of a recorded (or replayed) run carries:
+/// FNV-1a 64 over the seed, the pinned shard count, and the damaged
+/// byte stream. Two runs share a trace id exactly when they would
+/// replay identically, so the id doubles as the run's handle in error
+/// messages (see `Cleaner::for_run`) and in `RUN_OBS.json`.
+pub fn trace_id(seed: u64, shards: usize, stream: &[u8]) -> String {
+    let mut h = Fnv64::new();
+    h.update_u64(seed);
+    h.update_u64(shards as u64);
+    h.update_u64(stream.len() as u64);
+    h.update(stream);
+    h.finish_hex()
+}
+
+/// The tail every instrumented mode shares: build the store (timed),
+/// prune empty-shard children, account the store counters, and run the
+/// analysis suite under its span.
+fn build_and_analyze(
+    study: &StudyData,
+    clock: &SharedClock,
+    shards: Option<usize>,
+    root: &mut Span<'_>,
+    counters: &mut CounterRegistry,
+) -> Result<(CdrStore, StudyAnalyses)> {
     let store = match shards {
         Some(n) => CdrStore::build_with_clock(&study.clean, n, clock.clone()),
         None => CdrStore::build_auto_with_clock(&study.clean, clock.clone()),
@@ -62,16 +160,9 @@ pub fn run_instrumented(
 
     let analyses = root.child("analysis", |s| {
         s.set_items(study.clean.len() as u64);
-        StudyAnalyses::run_traced(&study, &store, s, &mut counters)
+        StudyAnalyses::run_traced(study, &store, s, counters)
     })?;
-
-    root.set_items(study.clean.len() as u64);
-    let telemetry = RunTelemetry {
-        clock: Clock::kind(&*clock).to_string(),
-        root: root.finish(),
-        counters,
-    };
-    Ok((study, store, analyses, telemetry))
+    Ok((store, analyses))
 }
 
 #[cfg(test)]
@@ -159,6 +250,47 @@ mod tests {
         a.root.walk(&mut |s, _| walls += s.wall_ns);
         assert_eq!(walls, 0);
         assert_eq!(a.counters.get("store.scan_nanos"), 0);
+    }
+
+    #[test]
+    fn replay_reproduces_the_recorded_run_byte_for_byte() {
+        let cfg = StudyConfig::tiny();
+        let (study, _, _, tel, cap) =
+            run_instrumented_captured(&cfg, Arc::new(NullClock), Some(2)).unwrap();
+        // Capture is observational: same study, same spans, same
+        // counters as the plain instrumented run — only the trace
+        // identity is new.
+        let (plain, _, _, plain_tel) =
+            run_instrumented(&cfg, Arc::new(NullClock), Some(2)).unwrap();
+        assert_eq!(study.clean.records(), plain.clean.records());
+        assert_eq!(study.run_report, plain.run_report);
+        assert_eq!(tel.root, plain_tel.root);
+        assert_eq!(tel.counters, plain_tel.counters);
+        assert!(plain_tel.trace.is_none());
+        assert_eq!(
+            tel.trace.as_deref(),
+            Some(trace_id(cfg.seed, 2, &cap.damaged_stream).as_str())
+        );
+        // The capture accounts the whole collection plane.
+        assert_eq!(cap.records_collected, study.run_report.records_collected);
+        assert_ne!(cap.truth_digest, 0);
+        assert!(!cap.salvage_log.chunks.is_empty());
+
+        // Replay from the capture alone reproduces every artifact.
+        let (replayed, _, _, replay_tel, truth_digest) = run_instrumented_replayed(
+            &cfg,
+            Arc::new(NullClock),
+            2,
+            &cap.damaged_stream,
+            study.fault_report.clone(),
+            cap.records_collected,
+        )
+        .unwrap();
+        assert_eq!(truth_digest, cap.truth_digest);
+        assert_eq!(replayed.clean.records(), study.clean.records());
+        assert_eq!(replayed.dirty.records(), study.dirty.records());
+        assert_eq!(replayed.run_report, study.run_report);
+        assert_eq!(replay_tel.to_json(), tel.to_json());
     }
 
     #[test]

@@ -52,10 +52,30 @@ impl Token {
     }
 }
 
+/// One `//` line comment, kept aside for the site-allow scanner.
+///
+/// Only line comments are captured: the `lint:allow` marker grammar is
+/// defined on `//` comments, and block comments stay invisible to the
+/// rule layer as before.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    /// Comment text including the leading `//` (no trailing newline).
+    pub text: String,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+}
+
 /// Tokenize `src`, skipping comments and the *contents* of literals.
 pub fn tokenize(src: &str) -> Vec<Token> {
+    tokenize_full(src).0
+}
+
+/// Tokenize `src`, additionally returning every `//` line comment so
+/// the site-allow layer can scan them without re-lexing literals.
+pub fn tokenize_full(src: &str) -> (Vec<Token>, Vec<LineComment>) {
     let bytes = src.as_bytes();
     let mut toks = Vec::new();
+    let mut comments = Vec::new();
     let mut i = 0usize;
     let mut line: u32 = 1;
 
@@ -74,9 +94,14 @@ pub fn tokenize(src: &str) -> Vec<Token> {
             }
             c if c.is_ascii_whitespace() => i += 1,
             b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
                 while i < bytes.len() && bytes[i] != b'\n' {
                     i += 1;
                 }
+                comments.push(LineComment {
+                    text: String::from_utf8_lossy(&bytes[start..i]).into_owned(),
+                    line,
+                });
             }
             b'/' if bytes.get(i + 1) == Some(&b'*') => {
                 let start = i;
@@ -170,7 +195,7 @@ pub fn tokenize(src: &str) -> Vec<Token> {
     }
 
     mark_test_regions(&mut toks);
-    toks
+    (toks, comments)
 }
 
 fn utf8_width(lead: u8) -> usize {

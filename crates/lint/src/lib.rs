@@ -1,31 +1,93 @@
 //! conncar-lint: the workspace determinism & invariant gate.
 //!
 //! Four deny-by-default rules (see [`rules`]) run over every `.rs` file
-//! under `crates/*/src`, `src/`, and `examples/`; hits are suppressed
-//! only by a documented entry in `lint.toml`. See DESIGN.md §9 for the
-//! rationale behind each rule and the procedure for amending the
-//! allowlist.
+//! under `crates/*/src`, `src/`, and `examples/`. A hit is suppressed
+//! only by a per-site `lint:allow(RULE): justification` comment beside
+//! the offending line (see [`site`]) or, for whole-file exemptions that
+//! genuinely cannot live in the source, a documented entry in
+//! `lint.toml`. Site allows are themselves linted: malformed markers
+//! (`A1`) and stale allows that no longer silence anything (`A2`) fail
+//! the gate. See DESIGN.md §9 for the rationale behind each rule and
+//! the procedure for amending an exemption.
 
 pub mod config;
 pub mod lexer;
 pub mod rules;
+pub mod site;
 
 use config::AllowEntry;
 use rules::Violation;
+use site::SiteAllow;
 use std::path::{Path, PathBuf};
 
 /// Outcome of a full workspace lint run.
 #[derive(Debug, Default)]
 pub struct LintRun {
-    /// Unallowlisted violations: these fail the gate.
+    /// Gate failures: unexempted rule violations plus `A1`/`A2` hits
+    /// from the site-allow layer.
     pub violations: Vec<Violation>,
     /// Violations covered by an allowlist entry (reported informally).
     pub allowed: Vec<(Violation, usize)>,
+    /// Violations covered by a per-site allow comment.
+    pub site_allowed: Vec<(Violation, SiteAllow)>,
     /// Allowlist entries that matched nothing (stale — reported so the
     /// residue file shrinks instead of rotting).
     pub unused_entries: Vec<AllowEntry>,
     /// Number of files scanned.
     pub files_scanned: usize,
+}
+
+/// Lint one file with site-allow processing: the per-file core of
+/// [`lint_workspace`], exposed so fixture tests can drive it with
+/// synthetic paths. Returns the violations that remain (including
+/// `A1`/`A2` site-allow hygiene hits, sorted by line) and the
+/// violations a site allow silenced.
+pub fn lint_source_with_sites(
+    path: &str,
+    src: &str,
+) -> (Vec<Violation>, Vec<(Violation, SiteAllow)>) {
+    // The lint crate's own sources spell the marker grammar out in
+    // docs; scanning them would read documentation as dead allows.
+    let (sites, malformed) = if path.starts_with("crates/lint/") {
+        (Vec::new(), Vec::new())
+    } else {
+        site::site_allows(src)
+    };
+
+    let mut violations = Vec::new();
+    let mut site_allowed = Vec::new();
+    for m in malformed {
+        violations.push(Violation {
+            rule: "A1",
+            path: path.to_string(),
+            line: m.line,
+            what: m.what,
+            hint: site::MALFORMED_HINT,
+        });
+    }
+    let mut used = vec![false; sites.len()];
+    for v in rules::lint_source(path, src) {
+        match sites.iter().position(|s| s.covers(v.rule, v.line)) {
+            Some(idx) => {
+                used[idx] = true;
+                site_allowed.push((v, sites[idx].clone()));
+            }
+            None => violations.push(v),
+        }
+    }
+    for (s, u) in sites.iter().zip(&used) {
+        if !u {
+            violations.push(Violation {
+                rule: "A2",
+                path: path.to_string(),
+                line: s.line,
+                what: format!("lint:allow({})", s.rule),
+                hint: site::STALE_HINT,
+            });
+        }
+    }
+    violations.sort_by(|a, b| (a.line, a.rule, &a.what).cmp(&(b.line, b.rule, &b.what)));
+    (violations, site_allowed)
 }
 
 /// Lint every tracked source file under `root` against `allowlist`.
@@ -43,7 +105,9 @@ pub fn lint_workspace(root: &Path, allowlist: &[AllowEntry]) -> std::io::Result<
             .replace('\\', "/");
         let src = std::fs::read_to_string(&file)?;
         run.files_scanned += 1;
-        for v in rules::lint_source(&rel, &src) {
+        let (violations, site_allowed) = lint_source_with_sites(&rel, &src);
+        run.site_allowed.extend(site_allowed);
+        for v in violations {
             match allowlist.iter().position(|e| e.matches(&v)) {
                 Some(idx) => {
                     used[idx] = true;

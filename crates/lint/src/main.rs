@@ -84,6 +84,14 @@ fn main() -> ExitCode {
     };
 
     if !quiet {
+        for (v, site) in &run.site_allowed {
+            println!(
+                "allowed: {} (site allow line {}: {})",
+                conncar_lint::format_violation(v),
+                site.line,
+                site.reason
+            );
+        }
         for (v, idx) in &run.allowed {
             println!(
                 "allowed: {} (lint.toml:{}: {})",
@@ -106,8 +114,9 @@ fn main() -> ExitCode {
     if run.violations.is_empty() {
         if !quiet {
             println!(
-                "conncar-lint: {} files clean ({} allowlisted hit{})",
+                "conncar-lint: {} files clean ({} site-allowed, {} allowlisted hit{})",
                 run.files_scanned,
+                run.site_allowed.len(),
                 run.allowed.len(),
                 if run.allowed.len() == 1 { "" } else { "s" }
             );
@@ -115,8 +124,8 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "conncar-lint: {} violation{} (rules are deny-by-default; fix or add a documented \
-             lint.toml entry)",
+            "conncar-lint: {} violation{} (rules are deny-by-default; fix, or document the \
+             site with `lint:allow(RULE): justification`)",
             run.violations.len(),
             if run.violations.len() == 1 { "" } else { "s" }
         );

@@ -1,0 +1,168 @@
+//! Per-site `lint:allow` comments — the in-source, single-site
+//! counterpart of the `lint.toml` allowlist.
+//!
+//! A site allow is a `//` line comment carrying a marker of the shape
+//! `lint:allow(RULE): justification`, where `RULE` is one of the rule
+//! ids `L1`..`L4`. It silences matching violations of that one rule on
+//! the comment's own line (trailing form) or the line directly below
+//! (standalone form) — nothing else. The justification travels with
+//! the code it excuses, so a refactor that moves or removes the site
+//! moves or removes the exemption with it.
+//!
+//! The comments themselves are linted: a marker that does not parse is
+//! an `A1` violation, and a site allow that no longer silences anything
+//! is an `A2` violation. Unlike the file-level allowlist (whose stale
+//! entries only warn), dead site allows fail the gate — the entire
+//! point of pushing exemptions into the source is that they cannot rot
+//! in place.
+//!
+//! The lint crate's own sources are exempt from site scanning: they
+//! necessarily spell the marker grammar out in docs and fixtures.
+
+use crate::lexer::tokenize_full;
+
+/// Rule ids a site allow may name.
+const RULES: &[&str] = &["L1", "L2", "L3", "L4"];
+
+/// The marker that opens a site allow inside a line comment.
+const MARKER: &str = "lint:allow";
+
+/// Hint attached to `A1` (malformed marker) violations.
+pub const MALFORMED_HINT: &str = "a site allow is `lint:allow(RULE): justification` in a \
+     `//` comment, where RULE is one of L1..L4 and the justification is non-empty";
+
+/// Hint attached to `A2` (stale site allow) violations.
+pub const STALE_HINT: &str = "this site allow silences nothing on its own line or the line \
+     below; the exemption is dead — remove the comment, or move it back beside the site it \
+     documents";
+
+/// One parsed site-allow comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteAllow {
+    /// Rule id this comment silences (`"L1"`..`"L4"`).
+    pub rule: String,
+    /// 1-based line of the comment. The allow covers this line and the
+    /// next one.
+    pub line: u32,
+    /// The justification text after the colon.
+    pub reason: String,
+}
+
+impl SiteAllow {
+    /// Does this allow cover a violation of `rule` at `line`?
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.rule == rule && (line == self.line || line == self.line + 1)
+    }
+}
+
+/// A comment that contains the marker but does not parse as an allow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MalformedAllow {
+    /// 1-based line of the offending comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub what: String,
+}
+
+/// Scan one file's line comments for site-allow markers. Returns the
+/// well-formed allows and the malformed markers separately; the caller
+/// turns the latter into `A1` violations.
+pub fn site_allows(src: &str) -> (Vec<SiteAllow>, Vec<MalformedAllow>) {
+    let (_, comments) = tokenize_full(src);
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for c in &comments {
+        let Some(at) = c.text.find(MARKER) else { continue };
+        match parse_marker(&c.text[at + MARKER.len()..]) {
+            Ok((rule, reason)) => allows.push(SiteAllow { rule, line: c.line, reason }),
+            Err(what) => malformed.push(MalformedAllow { line: c.line, what }),
+        }
+    }
+    (allows, malformed)
+}
+
+/// Parse `(RULE): justification` — the tail of a marker occurrence.
+fn parse_marker(tail: &str) -> Result<(String, String), String> {
+    let Some(inner) = tail.strip_prefix('(') else {
+        return Err(format!("`{MARKER}` must be followed by `(RULE)`"));
+    };
+    let Some(close) = inner.find(')') else {
+        return Err(format!("`{MARKER}(` is missing its closing `)`"));
+    };
+    let rule = inner[..close].trim();
+    if !RULES.contains(&rule) {
+        return Err(format!(
+            "`{MARKER}({rule})` names an unknown rule (known: L1, L2, L3, L4)"
+        ));
+    }
+    let after = inner[close + 1..].trim_start();
+    let Some(reason) = after.strip_prefix(':') else {
+        return Err(format!("`{MARKER}({rule})` is missing `: justification`"));
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err(format!(
+            "`{MARKER}({rule}):` has an empty justification — every exemption is documented"
+        ));
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_trailing_and_standalone_forms() {
+        let src = "\
+let x = total_secs as u32; // lint:allow(L3): clamped by the caller
+// lint:allow(L1): lookup-only map, never iterated
+let m = HashMap::new();
+";
+        let (allows, malformed) = site_allows(src);
+        assert!(malformed.is_empty(), "{malformed:?}");
+        assert_eq!(
+            allows,
+            vec![
+                SiteAllow {
+                    rule: "L3".into(),
+                    line: 1,
+                    reason: "clamped by the caller".into()
+                },
+                SiteAllow {
+                    rule: "L1".into(),
+                    line: 2,
+                    reason: "lookup-only map, never iterated".into()
+                },
+            ]
+        );
+        assert!(allows[0].covers("L3", 1));
+        assert!(allows[1].covers("L1", 3));
+        assert!(!allows[1].covers("L1", 4));
+        assert!(!allows[1].covers("L2", 3));
+    }
+
+    #[test]
+    fn marker_inside_a_string_literal_is_not_an_allow() {
+        let src = "let s = \"// lint:allow(L1): not a comment\";\n";
+        let (allows, malformed) = site_allows(src);
+        assert!(allows.is_empty());
+        assert!(malformed.is_empty());
+    }
+
+    #[test]
+    fn malformed_markers_are_reported_not_ignored() {
+        let cases = [
+            ("// lint:allow L1: no parens\n", "must be followed"),
+            ("// lint:allow(L9): unknown rule\n", "unknown rule"),
+            ("// lint:allow(L2) missing colon\n", "missing `: justification`"),
+            ("// lint:allow(L2):   \n", "empty justification"),
+        ];
+        for (src, expect) in cases {
+            let (allows, malformed) = site_allows(src);
+            assert!(allows.is_empty(), "{src}");
+            assert_eq!(malformed.len(), 1, "{src}");
+            assert!(malformed[0].what.contains(expect), "{src}: {}", malformed[0].what);
+        }
+    }
+}

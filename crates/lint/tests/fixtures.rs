@@ -194,6 +194,40 @@ fn obs_clock_is_the_single_pinned_instant_exemption() {
 }
 
 #[test]
+fn site_allows_silence_checked_sites_and_flag_their_own_rot() {
+    let src = include_str!("fixtures/site_allows.rs");
+    let (violations, site_allowed) =
+        conncar_lint::lint_source_with_sites("crates/analysis/src/fixture.rs", src);
+
+    // Trailing (line 1), preceding (line 3 covering line 4), and a
+    // trailing L3 allow (line 9) each silence their one site.
+    let covered: Vec<(&str, u32, u32)> = site_allowed
+        .iter()
+        .map(|(v, s)| (v.rule, v.line, s.line))
+        .collect();
+    assert_eq!(covered, vec![("L1", 1, 1), ("L1", 4, 3), ("L3", 9, 9)]);
+
+    // The stale allow (line 12) and the malformed marker (line 15) are
+    // gate failures in their own right.
+    let remaining: Vec<(&str, u32)> = violations.iter().map(|v| (v.rule, v.line)).collect();
+    assert_eq!(remaining, vec![("A2", 12), ("A1", 15)]);
+    assert!(violations[0].what.contains("lint:allow(L2)"), "{:?}", violations[0]);
+    assert!(violations[1].what.contains("unknown rule"), "{:?}", violations[1]);
+}
+
+#[test]
+fn site_allow_scanning_skips_the_lint_crate_itself() {
+    // The linter's own sources spell the marker grammar out in docs;
+    // under a crates/lint/ path neither allows nor malformed markers
+    // register (and no rule applies there either).
+    let src = include_str!("fixtures/site_allows.rs");
+    let (violations, site_allowed) =
+        conncar_lint::lint_source_with_sites("crates/lint/src/fixture.rs", src);
+    assert_eq!(violations, vec![]);
+    assert_eq!(site_allowed, vec![]);
+}
+
+#[test]
 fn test_code_is_exempt_everywhere() {
     let src = r#"
 pub fn good() {}

@@ -1,0 +1,16 @@
+use std::collections::HashMap; // lint:allow(L1): fixture import; the map below is the real site
+
+// lint:allow(L1): lookup-only map, never iterated
+pub fn preceding(m: &HashMap<u32, u32>) -> Option<u32> {
+    m.get(&1).copied()
+}
+
+pub fn trailing(total_secs: u64) -> u32 {
+    total_secs as u32 // lint:allow(L3): caller clamps to the study period first
+}
+
+// lint:allow(L2): nothing below reads a clock — this allow is stale
+pub fn stale() {}
+
+// lint:allow(L5): unknown rule id — malformed marker
+pub fn malformed() {}

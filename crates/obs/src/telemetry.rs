@@ -35,6 +35,11 @@ use crate::span::SpanRecord;
 pub struct RunTelemetry {
     /// Which clock timed the run (`"monotonic"` or `"null"`).
     pub clock: String,
+    /// Identity of the trace this run was recorded into (or replayed
+    /// from), when the run was traced at all. Serialized as a `"trace"`
+    /// line when present; a record and its replay carry the same id, so
+    /// the artifact stays byte-identical across the round trip.
+    pub trace: Option<String>,
     /// The root of the stage tree.
     pub root: SpanRecord,
     /// Every named counter the run touched.
@@ -47,6 +52,9 @@ impl RunTelemetry {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n  \"schema\": \"conncar.run_obs.v1\",\n");
         out.push_str(&format!("  \"clock\": \"{}\",\n", escape(&self.clock)));
+        if let Some(trace) = &self.trace {
+            out.push_str(&format!("  \"trace\": \"{}\",\n", escape(trace)));
+        }
         out.push_str("  \"spans\": ");
         span_json(&self.root, 1, &mut out);
         out.push_str(",\n  \"counters\": {");
@@ -212,6 +220,7 @@ mod tests {
         };
         RunTelemetry {
             clock: "null".into(),
+            trace: None,
             root,
             counters,
         }
@@ -239,11 +248,30 @@ mod tests {
     fn empty_counters_serialize_as_empty_object() {
         let t = RunTelemetry {
             clock: "null".into(),
+            trace: None,
             root: SpanRecord::leaf("run", 0, 1),
             counters: CounterRegistry::new(),
         };
         let json = t.to_json();
         assert!(json.contains("\"counters\": {}"), "{json}");
+    }
+
+    #[test]
+    fn trace_line_appears_only_when_recorded() {
+        let mut t = sample();
+        let without = t.to_json();
+        assert!(!without.contains("\"trace\""), "{without}");
+        t.trace = Some("f00dfacecafe0042".into());
+        let with = t.to_json();
+        assert!(
+            with.contains("  \"clock\": \"null\",\n  \"trace\": \"f00dfacecafe0042\",\n"),
+            "{with}"
+        );
+        // The trace line is the only difference between the layouts.
+        assert_eq!(
+            with.replace("  \"trace\": \"f00dfacecafe0042\",\n", ""),
+            without
+        );
     }
 
     #[test]

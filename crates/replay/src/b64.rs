@@ -1,0 +1,146 @@
+//! Hand-rolled standard base64 (RFC 4648 alphabet, `=` padding).
+//!
+//! A trace embeds the recorded byte stream inside JSON, which cannot
+//! carry raw bytes. The workspace deliberately has no encoding
+//! dependency, and base64 is forty lines, so it lives here — specified
+//! behavior, round-trip tested against the RFC's own vectors.
+
+use conncar_types::{Error, Result};
+
+const ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode bytes as standard padded base64.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity((data.len() + 2) / 3 * 4);
+    for chunk in data.chunks(3) {
+        let b0 = u32::from(chunk[0]);
+        let b1 = u32::from(chunk.get(1).copied().unwrap_or(0));
+        let b2 = u32::from(chunk.get(2).copied().unwrap_or(0));
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[triple as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decode standard padded base64. Rejects bad lengths, bytes outside
+/// the alphabet, and padding anywhere but the tail.
+pub fn decode(s: &str) -> Result<Vec<u8>> {
+    let bytes = s.as_bytes();
+    if bytes.len() % 4 != 0 {
+        return Err(Error::Decode {
+            offset: None,
+            why: format!("base64 length {} is not a multiple of 4", bytes.len()),
+        });
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    let mut acc: u32 = 0;
+    let mut groups = 0u8;
+    let mut pad = 0u8;
+    for (i, &c) in bytes.iter().enumerate() {
+        if c == b'=' {
+            pad += 1;
+            continue;
+        }
+        if pad > 0 {
+            return Err(Error::Decode {
+                offset: Some(i as u64),
+                why: "base64 data after padding".into(),
+            });
+        }
+        let v = sextet(c).ok_or_else(|| Error::Decode {
+            offset: Some(i as u64),
+            why: format!("byte {c:#04x} is not base64"),
+        })?;
+        acc = (acc << 6) | u32::from(v);
+        groups += 1;
+        if groups == 4 {
+            out.push((acc >> 16) as u8);
+            out.push((acc >> 8) as u8);
+            out.push(acc as u8);
+            acc = 0;
+            groups = 0;
+        }
+    }
+    match (groups, pad) {
+        (0, 0) => {}
+        (3, 1) => {
+            acc <<= 6;
+            out.push((acc >> 16) as u8);
+            out.push((acc >> 8) as u8);
+        }
+        (2, 2) => {
+            acc <<= 12;
+            out.push((acc >> 16) as u8);
+        }
+        _ => {
+            return Err(Error::Decode {
+                offset: None,
+                why: format!("invalid base64 padding ({pad} `=` after {groups} sextets)"),
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn sextet(c: u8) -> Option<u8> {
+    match c {
+        b'A'..=b'Z' => Some(c - b'A'),
+        b'a'..=b'z' => Some(c - b'a' + 26),
+        b'0'..=b'9' => Some(c - b'0' + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        // RFC 4648 §10 test vectors, both directions.
+        for (plain, enc) in [
+            (&b""[..], ""),
+            (&b"f"[..], "Zg=="),
+            (&b"fo"[..], "Zm8="),
+            (&b"foo"[..], "Zm9v"),
+            (&b"foob"[..], "Zm9vYg=="),
+            (&b"fooba"[..], "Zm9vYmE="),
+            (&b"foobar"[..], "Zm9vYmFy"),
+        ] {
+            assert_eq!(encode(plain), enc);
+            assert_eq!(decode(enc).unwrap(), plain);
+        }
+    }
+
+    #[test]
+    fn all_byte_values_round_trip() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+        // And every tail length mod 3.
+        for cut in [254, 255, 256] {
+            assert_eq!(decode(&encode(&data[..cut])).unwrap(), &data[..cut]);
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(decode("Zg=").is_err(), "bad length");
+        assert!(decode("Z!==").is_err(), "byte outside the alphabet");
+        assert!(decode("Zg==Zg==").is_err(), "data after padding");
+        assert!(decode("Z===").is_err(), "over-padded group");
+    }
+}

@@ -1,0 +1,159 @@
+//! The golden-trace corpus: deterministic recipes, one per fixture.
+//!
+//! Each recipe pins a name, a fully-resolved config, and a shard count.
+//! Because every recipe is a pure function (no ambient state, no
+//! machine dependence), the corpus is *self-describing*: the
+//! `regen_golden` example materializes `tests/golden/<name>/` from the
+//! recipes, CI regenerates and replays them, and a checked-in fixture
+//! that no longer matches its recipe is itself a divergence.
+//!
+//! Coverage: every class in the fault taxonomy — duplicates, nested
+//! overlaps, modem clock skew, chunk reorder, chunk corruption, tail
+//! truncation, loss days, and total-loss salvage failure — across
+//! shard counts 1, 2 and 7 (the same counts the store-equivalence
+//! tests pin), plus one kitchen-sink run with everything enabled.
+
+use crate::record::{record_study, record_total_loss, Recording};
+use conncar::study::StudyConfig;
+use conncar_types::Result;
+
+/// How a recipe's run is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecipeKind {
+    /// Full pipeline (`"study"`-kind trace).
+    Study,
+    /// Deterministic fully-corrupt stream (`"stream"`-kind trace).
+    TotalLoss,
+}
+
+/// One corpus fixture: a name and the deterministic run behind it.
+#[derive(Debug, Clone, Copy)]
+pub struct Recipe {
+    /// Fixture name; also the `tests/golden/<name>/` directory.
+    pub name: &'static str,
+    /// Pinned store shard count.
+    pub shards: usize,
+    /// Study or stream fixture.
+    pub kind: RecipeKind,
+}
+
+impl Recipe {
+    /// The recipe's fully-resolved configuration.
+    pub fn config(&self) -> StudyConfig {
+        let mut cfg = base(seed_for(self.name));
+        match self.name {
+            "duplicates_s1" => cfg.faults.duplicate_p = 0.05,
+            "overlaps_s2" => cfg.faults.overlap_p = 0.03,
+            "clock_skew_s7" => {
+                cfg.faults.skew_car_p = 0.2;
+                cfg.faults.skew_record_p = 0.5;
+            }
+            "reorder_s2" => {
+                cfg.faults.reorder_chunk_p = 0.3;
+                cfg.faults.chunk_records = 64;
+            }
+            "corruption_s1" => {
+                cfg.faults.corrupt_chunk_p = 0.2;
+                cfg.faults.chunk_records = 64;
+            }
+            "truncation_s7" => {
+                cfg.faults.truncate_tail_p = 1.0;
+                cfg.faults.chunk_records = 64;
+            }
+            "loss_days_s2" => {
+                cfg.faults.loss_days = vec![2, 5];
+                cfg.faults.loss_fraction = 0.5;
+            }
+            "kitchen_sink_s7" => {
+                cfg.faults.duplicate_p = 0.02;
+                cfg.faults.overlap_p = 0.01;
+                cfg.faults.skew_car_p = 0.1;
+                cfg.faults.skew_record_p = 0.3;
+                cfg.faults.reorder_chunk_p = 0.2;
+                cfg.faults.corrupt_chunk_p = 0.15;
+                cfg.faults.truncate_tail_p = 1.0;
+                cfg.faults.chunk_records = 64;
+                cfg.clean.resolve_overlaps = true;
+            }
+            "total_loss_s1" => {}
+            other => unreachable!("recipe `{other}` has no config arm"),
+        }
+        cfg
+    }
+
+    /// Record this recipe's run.
+    pub fn record(&self) -> Result<Recording> {
+        match self.kind {
+            RecipeKind::Study => record_study(self.name, &self.config(), self.shards),
+            RecipeKind::TotalLoss => record_total_loss(self.name, &self.config(), self.shards),
+        }
+    }
+}
+
+/// The whole corpus, in fixture order.
+pub fn corpus() -> Vec<Recipe> {
+    vec![
+        study("duplicates_s1", 1),
+        study("overlaps_s2", 2),
+        study("clock_skew_s7", 7),
+        study("reorder_s2", 2),
+        study("corruption_s1", 1),
+        study("truncation_s7", 7),
+        study("loss_days_s2", 2),
+        study("kitchen_sink_s7", 7),
+        Recipe {
+            name: "total_loss_s1",
+            shards: 1,
+            kind: RecipeKind::TotalLoss,
+        },
+    ]
+}
+
+fn study(name: &'static str, shards: usize) -> Recipe {
+    Recipe {
+        name,
+        shards,
+        kind: RecipeKind::Study,
+    }
+}
+
+/// Corpus-scale base config: the tiny study shrunk to 80 cars so nine
+/// fixtures record in seconds, with a per-fixture seed derived from the
+/// name (stable across reorderings of the corpus list).
+fn base(seed: u64) -> StudyConfig {
+    let mut cfg = StudyConfig::tiny();
+    cfg.seed = seed;
+    cfg.fleet.cars = 80;
+    cfg
+}
+
+fn seed_for(name: &str) -> u64 {
+    conncar_types::fnv1a64(name.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_the_taxonomy_and_shard_counts() {
+        let recipes = corpus();
+        assert_eq!(recipes.len(), 9);
+        // Names unique, configs valid, every pinned shard count present.
+        let mut names: Vec<&str> = recipes.iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), recipes.len());
+        for shards in [1, 2, 7] {
+            assert!(recipes.iter().any(|r| r.shards == shards), "{shards}");
+        }
+        for r in &recipes {
+            r.config().validate().expect(r.name);
+        }
+        // Seeds differ per fixture.
+        assert_ne!(
+            recipes[0].config().seed,
+            recipes[1].config().seed
+        );
+    }
+}

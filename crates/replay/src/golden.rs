@@ -1,0 +1,205 @@
+//! Golden digests: the fingerprint of everything a recorded run
+//! produced, one digest per pipeline stage.
+//!
+//! A golden file is small (digests, not artifacts) but pins the run
+//! completely: ground truth, salvaged dataset, cleaned dataset, store
+//! layout, run ledger, `RUN_OBS.json` bytes, the rendered report, and
+//! every figure. Replay recomputes the same digests and diffs field by
+//! field, so a divergence names the first pipeline stage whose output
+//! moved. Digests are FNV-1a 64 ([`conncar_types::digest`]) — specified
+//! and toolchain-stable, so a fixture written today still validates
+//! under any future compiler.
+
+use conncar::analyses::StudyAnalyses;
+use conncar::experiments;
+use conncar::report::render_full_report;
+use conncar::study::StudyData;
+use conncar_obs::RunTelemetry;
+use conncar_store::CdrStore;
+use conncar_types::{fnv1a64_hex, Error, Fnv64, Result};
+use serde::{Deserialize, Serialize};
+
+/// Schema tag every golden file must carry.
+pub const GOLDEN_SCHEMA: &str = "conncar.golden.v1";
+
+/// Digest placeholder for stages a fixture kind never runs (e.g. the
+/// store stage of a total-loss stream fixture).
+pub const NOT_APPLICABLE: &str = "-";
+
+/// Per-stage digests of one recorded run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoldenRun {
+    /// Must equal [`GOLDEN_SCHEMA`].
+    pub schema: String,
+    /// Fixture name (matches the trace).
+    pub name: String,
+    /// The run's trace identity; must match what the trace recomputes.
+    pub trace_id: String,
+    /// Content digest of the regenerated ground truth.
+    pub world: String,
+    /// Content digest of the salvaged (delivered) dataset.
+    pub ingest: String,
+    /// Content digest of the cleaned dataset — or, for a
+    /// `"stream"`-kind fixture, the digest of the exact error message
+    /// the clean pipeline must produce.
+    pub clean: String,
+    /// Digest of the store layout: shard count, per-shard row counts,
+    /// and every stored record in shard order.
+    pub store: String,
+    /// Digest of the run ledger's JSON serialization.
+    pub run_report: String,
+    /// Digest of the `RUN_OBS.json` bytes (null clock).
+    pub run_obs: String,
+    /// Digest of the full rendered text report.
+    pub report: String,
+    /// One digest per experiment artifact (figures and tables).
+    pub figures: Vec<FigureDigest>,
+}
+
+/// Digest of one experiment's rendered text.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FigureDigest {
+    /// Experiment id (`fig1` … `tab3`).
+    pub id: String,
+    /// FNV-1a 64 of the rendered text, 16 hex digits.
+    pub digest: String,
+}
+
+impl GoldenRun {
+    /// Fingerprint a completed study run's artifacts.
+    pub fn from_artifacts(
+        name: &str,
+        trace_id: &str,
+        study: &StudyData,
+        store: &CdrStore,
+        analyses: &StudyAnalyses,
+        telemetry: &RunTelemetry,
+        truth_digest: u64,
+    ) -> Result<GoldenRun> {
+        let run_report_json =
+            serde_json::to_string(&study.run_report).expect("run report serializes");
+        let figures = experiments::run_all(study, analyses)?
+            .iter()
+            .map(|o| FigureDigest {
+                id: o.experiment.id().to_string(),
+                digest: fnv1a64_hex(o.text.as_bytes()),
+            })
+            .collect();
+        Ok(GoldenRun {
+            schema: GOLDEN_SCHEMA.into(),
+            name: name.into(),
+            trace_id: trace_id.into(),
+            world: hex64(truth_digest),
+            ingest: hex64(study.dirty.content_digest()),
+            clean: hex64(study.clean.content_digest()),
+            store: hex64(store_digest(store)),
+            run_report: fnv1a64_hex(run_report_json.as_bytes()),
+            run_obs: fnv1a64_hex(telemetry.to_json().as_bytes()),
+            report: fnv1a64_hex(render_full_report(analyses).as_bytes()),
+            figures,
+        })
+    }
+
+    /// Serialize (the `golden.json` bytes).
+    pub fn to_json(&self) -> String {
+        let mut out = serde_json::to_string_pretty(self).expect("golden serializes");
+        out.push('\n');
+        out
+    }
+
+    /// Parse and schema-check a golden file.
+    pub fn from_json(json: &str) -> Result<GoldenRun> {
+        let g: GoldenRun = serde_json::from_str(json).map_err(|e| Error::Decode {
+            offset: None,
+            why: format!("golden file does not parse: {e}"),
+        })?;
+        if g.schema != GOLDEN_SCHEMA {
+            return Err(Error::Decode {
+                offset: None,
+                why: format!(
+                    "unsupported golden schema `{}` (this build reads `{GOLDEN_SCHEMA}`)",
+                    g.schema
+                ),
+            });
+        }
+        Ok(g)
+    }
+}
+
+/// A `u64` digest rendered the way golden files store it.
+pub fn hex64(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+/// Digest the store's physical layout: shard count, per-shard row
+/// counts, and every stored record field in shard order. Shard count is
+/// part of the digest on purpose — a recorded run pins it, and a replay
+/// onto a different layout must read as a `store` divergence.
+pub fn store_digest(store: &CdrStore) -> u64 {
+    let mut h = Fnv64::new();
+    h.update_u64(store.shard_count() as u64);
+    for shard in store.shards() {
+        h.update_u64(shard.len() as u64);
+        for row in 0..shard.len() {
+            let r = shard.record(row);
+            h.update_u64(u64::from(r.car.0));
+            h.update_u64(u64::from(r.cell.station.0));
+            h.update_u64(u64::from(r.cell.sector));
+            h.update_u64(r.cell.carrier.index() as u64);
+            h.update_u64(r.start.as_secs());
+            h.update_u64(r.end.as_secs());
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GoldenRun {
+        GoldenRun {
+            schema: GOLDEN_SCHEMA.into(),
+            name: "fixture_alpha".into(),
+            trace_id: "00c0ffee00c0ffee".into(),
+            world: hex64(1),
+            ingest: hex64(2),
+            clean: hex64(3),
+            store: hex64(4),
+            run_report: hex64(5),
+            run_obs: hex64(6),
+            report: hex64(7),
+            figures: vec![FigureDigest {
+                id: "fig1".into(),
+                digest: hex64(8),
+            }],
+        }
+    }
+
+    #[test]
+    fn golden_round_trips() {
+        let g = sample();
+        let back = GoldenRun::from_json(&g.to_json()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let json = sample().to_json().replace(GOLDEN_SCHEMA, "conncar.golden.v9");
+        let err = GoldenRun::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("unsupported golden schema"), "{err}");
+    }
+
+    #[test]
+    fn store_digest_tracks_layout() {
+        use conncar_cdr::CdrDataset;
+        use conncar_types::{DayOfWeek, StudyPeriod};
+        let period = StudyPeriod::new(DayOfWeek::Monday, 7).unwrap();
+        let ds = CdrDataset::new(period, Vec::new());
+        let one = CdrStore::build(&ds, 1);
+        let two = CdrStore::build(&ds, 2);
+        // Same (empty) content, different layout: the digest must see it.
+        assert_ne!(store_digest(&one), store_digest(&two));
+        assert_eq!(store_digest(&one), store_digest(&CdrStore::build(&ds, 1)));
+    }
+}

@@ -1,0 +1,41 @@
+//! # conncar-replay
+//!
+//! Deterministic record/replay for the `conncar` pipeline.
+//!
+//! Every instrumented run can be **recorded**: its resolved config,
+//! root seed, pinned shard count, the damaged byte stream exactly as
+//! salvage read it, the fault schedule as applied, and the per-chunk
+//! salvage verdicts all land in a versioned, checksummed trace
+//! ([`RunTrace`], `trace.json`). Alongside it, a golden file
+//! ([`GoldenRun`], `golden.json`) fingerprints everything the run
+//! produced, one FNV-1a 64 digest per pipeline stage.
+//!
+//! **Replay** ([`replay_run`]) reconstructs the run from the trace
+//! alone — the world regenerates from the config (a pure function of
+//! the seed), the recorded stream replaces the fault/encode leg — and
+//! diffs each stage's digest against the golden file. A divergence
+//! names the first pipeline stage whose output moved: `world` for
+//! generator drift, `ingest` for salvage changes, `clean` for cleaning
+//! changes, and so on through `store`, `run_report`, `run_obs`,
+//! `report` and `figures`.
+//!
+//! The golden-trace corpus under `tests/golden/` is generated from the
+//! deterministic recipes in [`corpus`] (see the `regen_golden`
+//! example); the `conncar` binary's `record`/`replay` subcommands and
+//! the CI replay gate are thin wrappers over this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod b64;
+pub mod corpus;
+pub mod golden;
+pub mod record;
+pub mod replay;
+pub mod trace;
+
+pub use corpus::{corpus, Recipe, RecipeKind};
+pub use golden::{store_digest, FigureDigest, GoldenRun, GOLDEN_SCHEMA, NOT_APPLICABLE};
+pub use record::{record_study, record_total_loss, Recording};
+pub use replay::{replay_run, verify_and_replay, ReplayReport, StageCheck, StageStatus};
+pub use trace::{RunTrace, TRACE_SCHEMA};

@@ -1,0 +1,208 @@
+//! Record mode: run the pipeline once, capture everything a replay
+//! needs, and fingerprint everything the run produced.
+
+use crate::b64;
+use crate::golden::{hex64, GoldenRun, GOLDEN_SCHEMA, NOT_APPLICABLE};
+use crate::trace::RunTrace;
+use conncar::study::StudyConfig;
+use conncar::telemetry::{run_instrumented_captured, trace_id};
+use conncar_cdr::{
+    crc32, salvage_logged, CdrDataset, CdrRecord, CdrWriter, Cleaner, FaultReport, RealizedFaults,
+};
+use conncar_obs::NullClock;
+use conncar_types::{
+    fnv1a64_hex, BaseStationId, CarId, Carrier, CellId, Error, Result, Timestamp,
+};
+use std::sync::Arc;
+
+/// One recorded run: the replayable trace plus the golden digests of
+/// everything it produced. Write both files side by side and any future
+/// build can replay the run and diff it stage by stage.
+#[derive(Debug, Clone)]
+pub struct Recording {
+    /// The trace (`trace.json`).
+    pub trace: RunTrace,
+    /// The digests (`golden.json`).
+    pub golden: GoldenRun,
+}
+
+/// Record a full study run under a null clock: execute the captured
+/// pipeline, then package the capture as a `"study"`-kind trace and
+/// fingerprint every artifact.
+pub fn record_study(name: &str, cfg: &StudyConfig, shards: usize) -> Result<Recording> {
+    let (study, store, analyses, telemetry, capture) =
+        run_instrumented_captured(cfg, Arc::new(NullClock), Some(shards))?;
+    let id = telemetry
+        .trace
+        .clone()
+        .expect("a captured run always carries its trace id");
+    let golden = GoldenRun::from_artifacts(
+        name,
+        &id,
+        &study,
+        &store,
+        &analyses,
+        &telemetry,
+        capture.truth_digest,
+    )?;
+    let trace = RunTrace {
+        kind: "study".into(),
+        name: name.into(),
+        config: cfg.clone(),
+        shards,
+        records_collected: capture.records_collected,
+        fault_report: study.fault_report.clone(),
+        realized: capture.realized,
+        salvage_log: capture.salvage_log,
+        stream_b64: b64::encode(&capture.damaged_stream),
+        stream_crc32: format!("{:08x}", crc32(&capture.damaged_stream)),
+        expected_error: None,
+    };
+    Ok(Recording { trace, golden })
+}
+
+/// Record a total-loss fixture: a stream whose every chunk is corrupt,
+/// so salvage yields nothing and the clean pipeline must fail with its
+/// "no records salvageable" diagnostics — run identity included. The
+/// fixture pins that error message exactly.
+///
+/// The stream is built deterministically (synthetic records, one byte
+/// flipped in every chunk body) — no RNG, so the recipe alone
+/// regenerates it byte for byte.
+pub fn record_total_loss(name: &str, cfg: &StudyConfig, shards: usize) -> Result<Recording> {
+    let records = synthetic_records(64);
+    let mut w = CdrWriter::new(Vec::new()).with_chunk_records(16);
+    w.write_all(&records)?;
+    let (mut stream, _) = w.finish()?;
+    corrupt_every_chunk(&mut stream);
+
+    let (delivered, ingest, salvage_log) = salvage_logged(&stream);
+    if !delivered.is_empty() || ingest.records_accounted() != records.len() as u64 {
+        return Err(Error::InvalidConfig {
+            what: "total_loss fixture",
+            why: format!(
+                "corruption pass left {} records salvageable of {}",
+                delivered.len(),
+                records.len()
+            ),
+        });
+    }
+    let ingest_digest = CdrDataset::new(cfg.period, delivered).content_digest();
+
+    let id = trace_id(cfg.seed, shards, &stream);
+    let err = match Cleaner::new(cfg.clean.clone())
+        .for_run(id.clone())
+        .clean_stream(&stream, cfg.period)
+    {
+        Err(e) => e.to_string(),
+        Ok(_) => {
+            return Err(Error::InvalidConfig {
+                what: "total_loss fixture",
+                why: "the stream cleaned successfully; a total-loss fixture must fail".into(),
+            })
+        }
+    };
+
+    let golden = GoldenRun {
+        schema: GOLDEN_SCHEMA.into(),
+        name: name.into(),
+        trace_id: id,
+        world: NOT_APPLICABLE.into(),
+        ingest: hex64(ingest_digest),
+        clean: fnv1a64_hex(err.as_bytes()),
+        store: NOT_APPLICABLE.into(),
+        run_report: NOT_APPLICABLE.into(),
+        run_obs: NOT_APPLICABLE.into(),
+        report: NOT_APPLICABLE.into(),
+        figures: Vec::new(),
+    };
+    let trace = RunTrace {
+        kind: "stream".into(),
+        name: name.into(),
+        config: cfg.clone(),
+        shards,
+        records_collected: records.len(),
+        fault_report: FaultReport::default(),
+        realized: RealizedFaults::default(),
+        salvage_log,
+        stream_b64: b64::encode(&stream),
+        stream_crc32: format!("{:08x}", crc32(&stream)),
+        expected_error: Some(err),
+    };
+    Ok(Recording { trace, golden })
+}
+
+/// Deterministic synthetic records for stream-kind fixtures.
+fn synthetic_records(n: u32) -> Vec<CdrRecord> {
+    (0..n)
+        .map(|i| CdrRecord {
+            car: CarId(i / 4),
+            cell: CellId::new(BaseStationId(i % 7), (i % 3) as u8, Carrier::C3),
+            start: Timestamp::from_secs(u64::from(i) * 120),
+            end: Timestamp::from_secs(u64::from(i) * 120 + 60),
+        })
+        .collect()
+}
+
+/// Flip one body byte in every v2 chunk, walking the frame headers.
+fn corrupt_every_chunk(stream: &mut [u8]) {
+    // header := "CDRS" u8 version; chunk := "CHNK" u32 count u32 crc | body.
+    let mut pos = 5;
+    while pos + 12 <= stream.len() {
+        let count = u32::from_le_bytes([
+            stream[pos + 4],
+            stream[pos + 5],
+            stream[pos + 6],
+            stream[pos + 7],
+        ]) as usize;
+        let body = pos + 12;
+        if body < stream.len() {
+            stream[body] ^= 0xFF;
+        }
+        pos = body + count * 26;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::{replay_run, StageStatus};
+
+    #[test]
+    fn total_loss_fixture_records_and_replays() {
+        let cfg = StudyConfig::tiny();
+        let rec = record_total_loss("total_loss_probe", &cfg, 1).unwrap();
+        assert_eq!(rec.trace.kind, "stream");
+        let err = rec.trace.expected_error.as_deref().unwrap();
+        assert!(err.contains("no records salvageable"), "{err}");
+        assert!(err.contains(&format!("[run {}]", rec.golden.trace_id)), "{err}");
+        assert!(!rec.trace.salvage_log.chunks.is_empty());
+        assert!(rec
+            .trace
+            .salvage_log
+            .chunks
+            .iter()
+            .all(|c| c.verdict != "ok"));
+
+        // The recording replays clean through the serialized round trip.
+        let trace = RunTrace::from_envelope_json(&rec.trace.to_envelope_json()).unwrap();
+        let golden = GoldenRun::from_json(&rec.golden.to_json()).unwrap();
+        let report = replay_run(&trace, &golden);
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.stage == "clean" && c.status == StageStatus::Ok));
+    }
+
+    #[test]
+    fn tampered_expected_error_diverges_at_clean() {
+        let cfg = StudyConfig::tiny();
+        let rec = record_total_loss("total_loss_probe", &cfg, 1).unwrap();
+        let mut golden = rec.golden.clone();
+        golden.clean = crate::golden::hex64(0xdead_beef);
+        let report = replay_run(&rec.trace, &golden);
+        let first = report.first_divergence().expect("must diverge");
+        assert_eq!(first.stage, "clean");
+    }
+}

@@ -1,0 +1,514 @@
+//! Replay mode: reconstruct a recorded run from its trace alone and
+//! diff it against the golden digests at stage granularity.
+//!
+//! Checks run in this order:
+//!
+//! 1. **trace** — envelope schema and CRC (at parse time), stream CRC,
+//!    and the trace identity against the golden file.
+//! 2. **ingest** — the recorded stream is salvaged *standalone* and
+//!    checked chunk-for-chunk against the recorded [`SalvageLog`]
+//!    before the full pipeline runs. This check gates the rest: final
+//!    study assembly asserts its ledger reconciles, and feeding it a
+//!    stream that no longer salvages as recorded would panic rather
+//!    than produce a diffable report.
+//! 3. **world … figures** — the full replayed pipeline, one digest per
+//!    stage, in pipeline order.
+//!
+//! [`ReplayReport::first_divergence`] names the first stage whose
+//! output moved; everything downstream of a gate failure is marked
+//! skipped, never silently dropped.
+
+use crate::golden::{hex64, GoldenRun};
+use crate::trace::RunTrace;
+use conncar::telemetry::run_instrumented_replayed;
+use conncar_cdr::{salvage_logged, CdrDataset, Cleaner};
+use conncar_obs::NullClock;
+use conncar_types::fnv1a64_hex;
+use std::sync::Arc;
+
+/// Outcome of one stage comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageStatus {
+    /// Replay matched the recording.
+    Ok,
+    /// Replay produced something else; `detail` says what.
+    Diverged,
+    /// Not checked (gated out by an earlier divergence, or not
+    /// applicable to this trace kind).
+    Skipped,
+}
+
+/// One stage's verdict.
+#[derive(Debug, Clone)]
+pub struct StageCheck {
+    /// Pipeline stage name.
+    pub stage: &'static str,
+    /// What happened.
+    pub status: StageStatus,
+    /// Human-readable evidence: matching digest, expected-vs-found, or
+    /// why the stage was skipped.
+    pub detail: String,
+}
+
+/// The full stage-by-stage replay verdict.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Fixture name.
+    pub name: String,
+    /// Stage checks in pipeline order.
+    pub checks: Vec<StageCheck>,
+}
+
+impl ReplayReport {
+    /// The first stage whose replay diverged, if any.
+    pub fn first_divergence(&self) -> Option<&StageCheck> {
+        self.checks
+            .iter()
+            .find(|c| c.status == StageStatus::Diverged)
+    }
+
+    /// Whether every checked stage matched.
+    pub fn is_clean(&self) -> bool {
+        self.first_divergence().is_none()
+    }
+
+    /// Render the stage-level report (what the `conncar replay` command
+    /// prints and CI archives on failure).
+    pub fn render(&self) -> String {
+        let mut out = match self.first_divergence() {
+            Some(c) => format!("replay {}: DIVERGED at stage `{}`\n", self.name, c.stage),
+            None => {
+                let checked = self
+                    .checks
+                    .iter()
+                    .filter(|c| c.status == StageStatus::Ok)
+                    .count();
+                format!("replay {}: ok ({checked} stages match)\n", self.name)
+            }
+        };
+        let width = self
+            .checks
+            .iter()
+            .map(|c| c.stage.len())
+            .max()
+            .unwrap_or(0);
+        for c in &self.checks {
+            let tag = match c.status {
+                StageStatus::Ok => "ok      ",
+                StageStatus::Diverged => "DIVERGED",
+                StageStatus::Skipped => "skipped ",
+            };
+            out.push_str(&format!("  [{tag}] {:<width$}  {}\n", c.stage, c.detail));
+        }
+        out
+    }
+}
+
+/// Stages checked after the ingest gate, in pipeline order.
+const GATED_STAGES: [&str; 7] = [
+    "world",
+    "clean",
+    "store",
+    "run_report",
+    "run_obs",
+    "report",
+    "figures",
+];
+
+/// Parse both files and replay; any parse or integrity failure becomes
+/// a `trace`-stage divergence instead of an error, so callers always
+/// get a stage-level report.
+pub fn verify_and_replay(name: &str, trace_json: &str, golden_json: &str) -> ReplayReport {
+    let trace = match RunTrace::from_envelope_json(trace_json) {
+        Ok(t) => t,
+        Err(e) => return trace_failure(name, e.to_string()),
+    };
+    let golden = match GoldenRun::from_json(golden_json) {
+        Ok(g) => g,
+        Err(e) => return trace_failure(name, e.to_string()),
+    };
+    replay_run(&trace, &golden)
+}
+
+fn trace_failure(name: &str, detail: String) -> ReplayReport {
+    ReplayReport {
+        name: name.to_string(),
+        checks: vec![StageCheck {
+            stage: "trace",
+            status: StageStatus::Diverged,
+            detail,
+        }],
+    }
+}
+
+/// Replay a parsed trace against its golden digests.
+pub fn replay_run(trace: &RunTrace, golden: &GoldenRun) -> ReplayReport {
+    let mut checks = Vec::new();
+
+    // Stage: trace — stream integrity and identity.
+    let stream = match trace.stream() {
+        Ok(s) => s,
+        Err(e) => {
+            checks.push(StageCheck {
+                stage: "trace",
+                status: StageStatus::Diverged,
+                detail: e.to_string(),
+            });
+            skip(&mut checks, "ingest", "trace integrity failed");
+            skip_gated(&mut checks, "trace integrity failed");
+            return ReplayReport {
+                name: trace.name.clone(),
+                checks,
+            };
+        }
+    };
+    let id = conncar::telemetry::trace_id(trace.config.seed, trace.shards, &stream);
+    if id != golden.trace_id {
+        checks.push(StageCheck {
+            stage: "trace",
+            status: StageStatus::Diverged,
+            detail: format!(
+                "trace identity mismatch: golden pins {}, trace computes {id}",
+                golden.trace_id
+            ),
+        });
+        skip(&mut checks, "ingest", "trace identity failed");
+        skip_gated(&mut checks, "trace identity failed");
+        return ReplayReport {
+            name: trace.name.clone(),
+            checks,
+        };
+    }
+    checks.push(StageCheck {
+        stage: "trace",
+        status: StageStatus::Ok,
+        detail: format!("envelope, stream crc and trace id {id} verified"),
+    });
+
+    match trace.kind.as_str() {
+        "study" => replay_study(trace, golden, &stream, &mut checks),
+        "stream" => replay_stream(trace, golden, &stream, &id, &mut checks),
+        other => {
+            checks.push(StageCheck {
+                stage: "ingest",
+                status: StageStatus::Diverged,
+                detail: format!("unknown trace kind `{other}`"),
+            });
+            skip_gated(&mut checks, "unknown trace kind");
+        }
+    }
+
+    ReplayReport {
+        name: trace.name.clone(),
+        checks,
+    }
+}
+
+/// The `"study"` path: standalone ingest gate, then the full pipeline.
+fn replay_study(
+    trace: &RunTrace,
+    golden: &GoldenRun,
+    stream: &[u8],
+    checks: &mut Vec<StageCheck>,
+) {
+    let (delivered, ingest_report, log) = salvage_logged(stream);
+    let ingest_digest = hex64(CdrDataset::new(trace.config.period, delivered).content_digest());
+    let mut problems = Vec::new();
+    if log != trace.salvage_log {
+        problems.push(first_frame_difference(&log, &trace.salvage_log));
+    }
+    if ingest_report.records_accounted() != trace.records_collected as u64 {
+        problems.push(format!(
+            "salvage accounted {} records, trace recorded {} collected",
+            ingest_report.records_accounted(),
+            trace.records_collected
+        ));
+    }
+    if ingest_digest != golden.ingest {
+        problems.push(format!(
+            "delivered dataset digest expected {}, found {ingest_digest}",
+            golden.ingest
+        ));
+    }
+    if !problems.is_empty() {
+        checks.push(StageCheck {
+            stage: "ingest",
+            status: StageStatus::Diverged,
+            detail: problems.join("; "),
+        });
+        skip_gated(
+            checks,
+            "replay halted: the recorded stream no longer salvages as recorded",
+        );
+        return;
+    }
+    checks.push(StageCheck {
+        stage: "ingest",
+        status: StageStatus::Ok,
+        detail: format!(
+            "{} chunks salvaged as recorded, digest {ingest_digest}",
+            log.chunks.len()
+        ),
+    });
+
+    let replayed = run_instrumented_replayed(
+        &trace.config,
+        Arc::new(NullClock),
+        trace.shards,
+        stream,
+        trace.fault_report.clone(),
+        trace.records_collected,
+    );
+    let (study, store, analyses, telemetry, truth_digest) = match replayed {
+        Ok(v) => v,
+        Err(e) => {
+            checks.push(StageCheck {
+                stage: "world",
+                status: StageStatus::Diverged,
+                detail: format!("replayed pipeline failed to run: {e}"),
+            });
+            for &stage in &GATED_STAGES[1..] {
+                skip(checks, stage, "replayed pipeline failed to run");
+            }
+            return;
+        }
+    };
+    let found = match GoldenRun::from_artifacts(
+        &trace.name,
+        &golden.trace_id,
+        &study,
+        &store,
+        &analyses,
+        &telemetry,
+        truth_digest,
+    ) {
+        Ok(g) => g,
+        Err(e) => {
+            checks.push(StageCheck {
+                stage: "figures",
+                status: StageStatus::Diverged,
+                detail: format!("replayed experiments failed to run: {e}"),
+            });
+            return;
+        }
+    };
+
+    compare(checks, "world", &golden.world, &found.world);
+    compare(checks, "clean", &golden.clean, &found.clean);
+    compare(checks, "store", &golden.store, &found.store);
+    compare(checks, "run_report", &golden.run_report, &found.run_report);
+    compare(checks, "run_obs", &golden.run_obs, &found.run_obs);
+    compare(checks, "report", &golden.report, &found.report);
+    compare_figures(checks, &golden.figures, &found.figures);
+}
+
+/// The `"stream"` path: salvage verdicts, then the pinned clean error.
+fn replay_stream(
+    trace: &RunTrace,
+    golden: &GoldenRun,
+    stream: &[u8],
+    id: &str,
+    checks: &mut Vec<StageCheck>,
+) {
+    let (delivered, ingest_report, log) = salvage_logged(stream);
+    let ingest_digest = hex64(CdrDataset::new(trace.config.period, delivered).content_digest());
+    let mut problems = Vec::new();
+    if log != trace.salvage_log {
+        problems.push(first_frame_difference(&log, &trace.salvage_log));
+    }
+    if ingest_report.records_accounted() != trace.records_collected as u64 {
+        problems.push(format!(
+            "salvage accounted {} records, trace recorded {} collected",
+            ingest_report.records_accounted(),
+            trace.records_collected
+        ));
+    }
+    if ingest_digest != golden.ingest {
+        problems.push(format!(
+            "delivered dataset digest expected {}, found {ingest_digest}",
+            golden.ingest
+        ));
+    }
+    if problems.is_empty() {
+        checks.push(StageCheck {
+            stage: "ingest",
+            status: StageStatus::Ok,
+            detail: format!("{} chunks salvaged as recorded", log.chunks.len()),
+        });
+    } else {
+        checks.push(StageCheck {
+            stage: "ingest",
+            status: StageStatus::Diverged,
+            detail: problems.join("; "),
+        });
+    }
+
+    // The clean stage must reproduce the pinned failure exactly.
+    let outcome = Cleaner::new(trace.config.clean.clone())
+        .for_run(id.to_string())
+        .clean_stream(stream, trace.config.period);
+    let found_err = match outcome {
+        Err(e) => e.to_string(),
+        Ok(_) => "(cleaned successfully)".to_string(),
+    };
+    let expected_err = trace.expected_error.as_deref().unwrap_or("");
+    let found_digest = fnv1a64_hex(found_err.as_bytes());
+    if found_err == expected_err && found_digest == golden.clean {
+        checks.push(StageCheck {
+            stage: "clean",
+            status: StageStatus::Ok,
+            detail: format!("pipeline failed with the pinned error, digest {found_digest}"),
+        });
+    } else {
+        checks.push(StageCheck {
+            stage: "clean",
+            status: StageStatus::Diverged,
+            detail: format!(
+                "expected error digest {} (`{expected_err}`), found {found_digest} (`{found_err}`)",
+                golden.clean
+            ),
+        });
+    }
+
+    for stage in ["store", "run_report", "run_obs", "report", "figures"] {
+        skip(checks, stage, "not applicable to a stream-kind trace");
+    }
+}
+
+fn compare(checks: &mut Vec<StageCheck>, stage: &'static str, expected: &str, found: &str) {
+    if expected == found {
+        checks.push(StageCheck {
+            stage,
+            status: StageStatus::Ok,
+            detail: format!("digest {found}"),
+        });
+    } else {
+        checks.push(StageCheck {
+            stage,
+            status: StageStatus::Diverged,
+            detail: format!("expected {expected}, found {found}"),
+        });
+    }
+}
+
+fn compare_figures(
+    checks: &mut Vec<StageCheck>,
+    expected: &[crate::golden::FigureDigest],
+    found: &[crate::golden::FigureDigest],
+) {
+    if expected == found {
+        checks.push(StageCheck {
+            stage: "figures",
+            status: StageStatus::Ok,
+            detail: format!("{} artifacts match", found.len()),
+        });
+        return;
+    }
+    let detail = expected
+        .iter()
+        .zip(found.iter())
+        .find(|(e, f)| e != f)
+        .map(|(e, f)| {
+            format!(
+                "first differing artifact `{}`: expected {}, found {} (as `{}`)",
+                e.id, e.digest, f.digest, f.id
+            )
+        })
+        .unwrap_or_else(|| {
+            format!(
+                "artifact count changed: expected {}, found {}",
+                expected.len(),
+                found.len()
+            )
+        });
+    checks.push(StageCheck {
+        stage: "figures",
+        status: StageStatus::Diverged,
+        detail,
+    });
+}
+
+fn first_frame_difference(
+    found: &conncar_cdr::SalvageLog,
+    recorded: &conncar_cdr::SalvageLog,
+) -> String {
+    found
+        .chunks
+        .iter()
+        .zip(recorded.chunks.iter())
+        .enumerate()
+        .find(|(_, (a, b))| a != b)
+        .map(|(i, (a, b))| {
+            format!(
+                "chunk {i} at offset {} salvaged `{}` ({} records), trace recorded `{}` \
+                 ({} records at offset {})",
+                a.offset, a.verdict, a.records, b.verdict, b.records, b.offset
+            )
+        })
+        .unwrap_or_else(|| {
+            format!(
+                "salvage framed {} chunks, trace recorded {}",
+                found.chunks.len(),
+                recorded.chunks.len()
+            )
+        })
+}
+
+fn skip(checks: &mut Vec<StageCheck>, stage: &'static str, why: &str) {
+    checks.push(StageCheck {
+        stage,
+        status: StageStatus::Skipped,
+        detail: why.to_string(),
+    });
+}
+
+fn skip_gated(checks: &mut Vec<StageCheck>, why: &str) {
+    for stage in GATED_STAGES {
+        skip(checks, stage, why);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unparseable_trace_is_a_trace_stage_divergence() {
+        let report = verify_and_replay("broken", "{not json", "{}");
+        let first = report.first_divergence().expect("must diverge");
+        assert_eq!(first.stage, "trace");
+        assert!(first.detail.contains("does not parse"), "{}", first.detail);
+        assert!(report.render().contains("DIVERGED at stage `trace`"));
+    }
+
+    #[test]
+    fn render_lists_every_stage_with_its_status() {
+        let report = ReplayReport {
+            name: "sample".into(),
+            checks: vec![
+                StageCheck {
+                    stage: "trace",
+                    status: StageStatus::Ok,
+                    detail: "verified".into(),
+                },
+                StageCheck {
+                    stage: "ingest",
+                    status: StageStatus::Diverged,
+                    detail: "expected a, found b".into(),
+                },
+                StageCheck {
+                    stage: "world",
+                    status: StageStatus::Skipped,
+                    detail: "gated".into(),
+                },
+            ],
+        };
+        assert!(!report.is_clean());
+        assert_eq!(report.first_divergence().unwrap().stage, "ingest");
+        let text = report.render();
+        assert!(text.contains("DIVERGED at stage `ingest`"), "{text}");
+        assert!(text.contains("[ok      ] trace"), "{text}");
+        assert!(text.contains("[DIVERGED] ingest"), "{text}");
+        assert!(text.contains("[skipped ] world"), "{text}");
+    }
+}

@@ -1,0 +1,219 @@
+//! The trace format: everything a run needs to be replayed, versioned
+//! and checksummed.
+//!
+//! A trace file is a JSON envelope:
+//!
+//! ```json
+//! {
+//!   "schema": "conncar.trace.v1",
+//!   "crc32": "9ae0daaf",
+//!   "body": { ... the RunTrace ... }
+//! }
+//! ```
+//!
+//! The `crc32` is CRC-32/IEEE over the *canonical* serialization of the
+//! body — the bytes `serde_json::to_string` produces for the parsed
+//! [`RunTrace`], with its fixed field order. Verifying against the
+//! canonical form (rather than the raw file substring) means harmless
+//! whitespace reformatting keeps validating while any change to a
+//! recorded *value* is caught, whether it came from disk corruption or
+//! a hand edit. The recorded byte stream carries its own second CRC
+//! ([`RunTrace::stream_crc32`]) so stream damage is distinguishable
+//! from envelope damage.
+//!
+//! ## What a trace captures — and what it doesn't
+//!
+//! Captured: the resolved [`StudyConfig`] (including the root seed —
+//! the only RNG seed in the system; every stage derives from it), the
+//! pinned shard count, the damaged byte stream exactly as salvage read
+//! it, the fault schedule as applied ([`RealizedFaults`]), the
+//! per-chunk salvage verdicts ([`SalvageLog`]), and the collected
+//! record count the run ledger was assembled with.
+//!
+//! Not captured: the world (region, fleet, ground truth) — it is a pure
+//! function of the config and is regenerated at replay, which is
+//! exactly what makes generator drift *detectable* as a `world` stage
+//! divergence; wall-clock readings (replay runs under a null clock);
+//! and anything derived (datasets, reports, figures), which the golden
+//! digests fingerprint instead.
+
+use crate::b64;
+use conncar::study::StudyConfig;
+use conncar_cdr::{crc32, FaultReport, RealizedFaults, SalvageLog};
+use conncar_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Schema tag every trace envelope must carry.
+pub const TRACE_SCHEMA: &str = "conncar.trace.v1";
+
+/// One recorded run, ready to be replayed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// `"study"` (full pipeline) or `"stream"` (a raw byte stream fed
+    /// straight to the stream cleaner, e.g. a total-loss fixture).
+    pub kind: String,
+    /// Fixture name (matches the golden file and the corpus recipe).
+    pub name: String,
+    /// The resolved configuration, seed included.
+    pub config: StudyConfig,
+    /// Pinned store shard count.
+    pub shards: usize,
+    /// Records entering the wire leg (the run ledger's collected count).
+    pub records_collected: usize,
+    /// The injector's tally, exactly as recorded.
+    pub fault_report: FaultReport,
+    /// The fault schedule as applied, record by record, frame by frame.
+    pub realized: RealizedFaults,
+    /// Per-chunk salvage verdicts over the damaged stream.
+    pub salvage_log: SalvageLog,
+    /// The damaged byte stream, base64-encoded.
+    pub stream_b64: String,
+    /// CRC-32/IEEE of the decoded stream, 8 lowercase hex digits.
+    pub stream_crc32: String,
+    /// For `"stream"`-kind traces: the exact error the clean pipeline
+    /// must reproduce.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub expected_error: Option<String>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Envelope {
+    schema: String,
+    crc32: String,
+    body: RunTrace,
+}
+
+impl RunTrace {
+    /// Decode and integrity-check the recorded byte stream.
+    pub fn stream(&self) -> Result<Vec<u8>> {
+        let stream = b64::decode(&self.stream_b64)?;
+        let crc = format!("{:08x}", crc32(&stream));
+        if crc != self.stream_crc32 {
+            return Err(Error::Decode {
+                offset: None,
+                why: format!(
+                    "trace stream checksum mismatch: recorded {}, computed {crc}",
+                    self.stream_crc32
+                ),
+            });
+        }
+        Ok(stream)
+    }
+
+    /// The run's trace identity, recomputed from the trace's own
+    /// contents (seed, shard count, stream bytes).
+    pub fn trace_id(&self) -> Result<String> {
+        let stream = self.stream()?;
+        Ok(conncar::telemetry::trace_id(
+            self.config.seed,
+            self.shards,
+            &stream,
+        ))
+    }
+
+    /// Serialize into the checksummed envelope (the `trace.json` bytes).
+    pub fn to_envelope_json(&self) -> String {
+        let body = serde_json::to_string(self).expect("trace body serializes");
+        let crc = format!("{:08x}", crc32(body.as_bytes()));
+        format!("{{\"schema\":\"{TRACE_SCHEMA}\",\"crc32\":\"{crc}\",\"body\":{body}}}\n")
+    }
+
+    /// Parse and verify a trace envelope: schema tag, then the body
+    /// CRC against the canonical re-serialization.
+    pub fn from_envelope_json(json: &str) -> Result<RunTrace> {
+        let env: Envelope = serde_json::from_str(json).map_err(|e| Error::Decode {
+            offset: None,
+            why: format!("trace envelope does not parse: {e}"),
+        })?;
+        if env.schema != TRACE_SCHEMA {
+            return Err(Error::Decode {
+                offset: None,
+                why: format!(
+                    "unsupported trace schema `{}` (this build reads `{TRACE_SCHEMA}`)",
+                    env.schema
+                ),
+            });
+        }
+        let canonical = serde_json::to_string(&env.body).expect("trace body serializes");
+        let crc = format!("{:08x}", crc32(canonical.as_bytes()));
+        if crc != env.crc32 {
+            return Err(Error::Decode {
+                offset: None,
+                why: format!(
+                    "trace body checksum mismatch: envelope says {}, body hashes to {crc} \
+                     — the trace was edited or corrupted",
+                    env.crc32
+                ),
+            });
+        }
+        Ok(env.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunTrace {
+        let stream = vec![7u8, 13, 42, 99, 0, 255];
+        RunTrace {
+            kind: "study".into(),
+            name: "fixture_alpha".into(),
+            config: StudyConfig::tiny(),
+            shards: 2,
+            records_collected: 17,
+            fault_report: FaultReport::default(),
+            realized: RealizedFaults::default(),
+            salvage_log: SalvageLog::default(),
+            stream_b64: b64::encode(&stream),
+            stream_crc32: format!("{:08x}", crc32(&stream)),
+            expected_error: None,
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let t = sample();
+        let json = t.to_envelope_json();
+        assert!(json.starts_with("{\"schema\":\"conncar.trace.v1\",\"crc32\":\""));
+        let back = RunTrace::from_envelope_json(&json).unwrap();
+        // StudyConfig carries floats and no PartialEq; canonical
+        // serialization equality is the round-trip check.
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&t).unwrap()
+        );
+        assert_eq!(back.stream().unwrap(), vec![7u8, 13, 42, 99, 0, 255]);
+        assert_eq!(back.trace_id().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn edited_body_fails_the_envelope_checksum() {
+        let json = sample().to_envelope_json();
+        let tampered = json.replace("fixture_alpha", "fixture_omega");
+        assert_ne!(tampered, json, "tamper target must exist");
+        let err = RunTrace::from_envelope_json(&tampered).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let json = sample()
+            .to_envelope_json()
+            .replace("conncar.trace.v1", "conncar.trace.v9");
+        let err = RunTrace::from_envelope_json(&json).unwrap_err();
+        assert!(err.to_string().contains("unsupported trace schema"), "{err}");
+    }
+
+    #[test]
+    fn damaged_stream_is_distinguished_from_envelope_damage() {
+        let mut t = sample();
+        // Re-encode a stream that no longer matches its recorded CRC.
+        t.stream_b64 = b64::encode(&[7u8, 13, 42, 99, 0, 254]);
+        // The envelope itself is written fresh, so it validates…
+        let back = RunTrace::from_envelope_json(&t.to_envelope_json()).unwrap();
+        // …but the stream check names the stream.
+        let err = back.stream().unwrap_err();
+        assert!(err.to_string().contains("stream checksum mismatch"), "{err}");
+    }
+}

@@ -61,6 +61,7 @@ impl BinIndex {
     /// Position within its day.
     #[inline]
     pub const fn day_bin(self) -> DayBin {
+        // lint:allow(L3): mod-96 reduced; BINS_PER_DAY is a compile-time constant < 2^16
         DayBin((self.0 % BINS_PER_DAY as u64) as u16)
     }
 
@@ -70,6 +71,7 @@ impl BinIndex {
     /// Wednesday, absolute bin 0 maps to the Wednesday slot.
     pub const fn week_bin(self, study_start: DayOfWeek) -> WeekBin {
         let day_in_week = (self.day() as usize + study_start.index()) % 7;
+        // lint:allow(L3): day_in_week < 7 and the bin is mod-96 reduced, so the sum is < 672
         WeekBin((day_in_week * BINS_PER_DAY) as u16 + (self.0 % BINS_PER_DAY as u64) as u16)
     }
 
@@ -161,6 +163,7 @@ impl DayBin {
 
     /// All 96 bins of a day in order.
     pub fn all() -> impl Iterator<Item = DayBin> {
+        // lint:allow(L3): BINS_PER_DAY is a compile-time constant (96), well under 2^16
         (0..BINS_PER_DAY as u16).map(DayBin)
     }
 }
@@ -201,11 +204,13 @@ impl WeekBin {
     /// The within-day bin.
     #[inline]
     pub const fn day_bin(self) -> DayBin {
+        // lint:allow(L3): mod-96 reduced; BINS_PER_DAY is a compile-time constant < 2^16
         DayBin((self.0 as usize % BINS_PER_DAY) as u16)
     }
 
     /// All 672 bins of a week in order.
     pub fn all() -> impl Iterator<Item = WeekBin> {
+        // lint:allow(L3): BINS_PER_WEEK is a compile-time constant (672), well under 2^16
         (0..BINS_PER_WEEK as u16).map(WeekBin)
     }
 }

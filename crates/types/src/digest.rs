@@ -1,0 +1,109 @@
+//! Content digests for golden artifacts and trace identity.
+//!
+//! FNV-1a in its 64-bit form: tiny, dependency-free, and — unlike a
+//! `DefaultHasher` — *specified*, so a digest written into a golden
+//! fixture today still matches the same bytes under any future
+//! toolchain. These digests fingerprint artifacts for equality checks
+//! (replay-and-diff, golden corpora); they are not collision-resistant
+//! and must never gate anything security-relevant.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// A digest rendered the way fixtures store it: 16 lowercase hex digits.
+pub fn fnv1a64_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a64(bytes))
+}
+
+/// Incremental FNV-1a 64 hasher, for digesting an artifact in pieces
+/// without concatenating it first.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    /// Start a fresh digest.
+    pub fn new() -> Fnv64 {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Fold `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Fold a `u64` in as eight little-endian bytes (fixed-width, so
+    /// adjacent fields cannot alias across a boundary ambiguity).
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// The digest so far, as 16 lowercase hex digits.
+    pub fn finish_hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answers() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut h = Fnv64::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+        assert_eq!(h.finish_hex(), fnv1a64_hex(b"foobar"));
+    }
+
+    #[test]
+    fn u64_folding_is_fixed_width() {
+        let mut a = Fnv64::new();
+        a.update_u64(0x0102);
+        a.update_u64(0x03);
+        let mut b = Fnv64::new();
+        b.update_u64(0x01);
+        b.update_u64(0x0203);
+        assert_ne!(a.finish(), b.finish(), "field boundary aliased");
+    }
+
+    #[test]
+    fn hex_is_sixteen_lowercase_digits() {
+        let hex = fnv1a64_hex(b"conncar");
+        assert_eq!(hex.len(), 16);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod bins;
 pub mod carrier;
+pub mod digest;
 pub mod error;
 pub mod id;
 pub mod period;
@@ -40,6 +41,7 @@ pub mod time;
 
 pub use bins::{BinIndex, DayBin, WeekBin, BINS_PER_DAY, BINS_PER_WEEK, BIN_SECONDS};
 pub use carrier::{Carrier, ModemCapability, Rat, ALL_CARRIERS};
+pub use digest::{fnv1a64, fnv1a64_hex, Fnv64};
 pub use error::{Error, Result};
 pub use id::{BaseStationId, CarId, CellId, SectorId};
 pub use period::StudyPeriod;

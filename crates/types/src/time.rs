@@ -38,6 +38,7 @@ pub const fn saturating_u32(v: u64) -> u32 {
 /// The input is reduced mod 24, so the result always fits its `u8`.
 #[inline]
 pub const fn hour_of_day_from_hours(hours_abs: u64) -> u8 {
+    // lint:allow(L3): mod-24 reduced on the same line; always fits u8
     (hours_abs % 24) as u8
 }
 
@@ -47,6 +48,7 @@ pub const fn hour_of_day_from_hours(hours_abs: u64) -> u8 {
 /// hours (e.g. `7.25` → `26_100`).
 #[inline]
 pub fn secs_from_hours_f64(hours: f64) -> u32 {
+    // lint:allow(L3): the saturating float `as` cast is this constructor's documented contract
     (hours * SECONDS_PER_HOUR as f64) as u32
 }
 
@@ -103,6 +105,7 @@ impl Timestamp {
     /// Hour of the UTC day, `0..=23`.
     #[inline]
     pub const fn hour_of_day(self) -> u8 {
+        // lint:allow(L3): secs_of_day < 86_400, so the quotient is < 24
         (self.secs_of_day() / SECONDS_PER_HOUR) as u8
     }
 
@@ -525,6 +528,7 @@ impl LocalTime {
     /// Hour of the local day, `0..=23`.
     #[inline]
     pub const fn hour(self) -> u8 {
+        // lint:allow(L3): mod-86_400 then /3_600 bounds the value below 24
         ((self.secs_since_local_epoch % SECONDS_PER_DAY) / SECONDS_PER_HOUR) as u8
     }
 
@@ -563,6 +567,7 @@ impl TimeOfDay {
     /// Construct from seconds after midnight, wrapping at 24 h.
     #[inline]
     pub const fn from_secs_wrapping(secs: u64) -> TimeOfDay {
+        // lint:allow(L3): wrapping is the constructor's contract; mod-86_400 fits u32
         TimeOfDay((secs % SECONDS_PER_DAY) as u32)
     }
 

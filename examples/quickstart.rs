@@ -9,6 +9,7 @@
 //! shape needs `--cars 10000 --days 90` and a few minutes.
 
 use conncar::{experiments, StudyAnalyses, StudyConfig, StudyData};
+use conncar_obs::{Clock, MonotonicClock};
 use conncar_types::{DayOfWeek, StudyPeriod};
 
 fn main() {
@@ -28,14 +29,14 @@ fn main() {
         "generating study: {} cars x {} days (seed {}) ...",
         args.cars, args.days, args.seed
     );
-    let t0 = std::time::Instant::now();
+    let clock = MonotonicClock::new();
     let study = StudyData::generate(&cfg).expect("valid config");
     eprintln!(
-        "generated {} radio connections from {} cars across {} cells in {:.1?}",
+        "generated {} radio connections from {} cars across {} cells in {:.1}s",
         study.dirty.len(),
         study.clean.car_count(),
         study.clean.cell_count(),
-        t0.elapsed()
+        clock.now_nanos() as f64 / 1e9
     );
     eprintln!(
         "fault injection: {} exact-1h glitches, {} records lost on loss days, {} sticky; \

@@ -1,0 +1,82 @@
+//! Regenerate (or verify) the golden-trace corpus under `tests/golden/`.
+//!
+//! ```sh
+//! cargo run --release --example regen_golden            # rewrite fixtures
+//! cargo run --release --example regen_golden -- --check # verify, no writes
+//! ```
+//!
+//! Every fixture is produced by a deterministic recipe in
+//! `conncar_replay::corpus`, so this example is the corpus's single
+//! source of truth: run it after any intentional pipeline change and
+//! commit the rewritten `trace.json` / `golden.json` pairs. `--check`
+//! regenerates in memory and compares byte-for-byte against the files
+//! on disk — CI uses it to catch fixtures that drifted from their
+//! recipes (exit 1 lists each stale or missing file).
+
+use conncar_replay::corpus;
+use std::path::PathBuf;
+
+fn main() {
+    let mut check = false;
+    let mut out_dir = PathBuf::from("tests/golden");
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => out_dir = PathBuf::from(it.next().expect("--out needs a value")),
+            other => {
+                eprintln!("unknown flag {other}; usage: regen_golden [--check] [--out DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut stale: Vec<String> = Vec::new();
+    for recipe in corpus() {
+        let rec = recipe.record().expect(recipe.name);
+        let dir = out_dir.join(recipe.name);
+        let files = [
+            (dir.join("trace.json"), rec.trace.to_envelope_json()),
+            (dir.join("golden.json"), rec.golden.to_json()),
+        ];
+        if check {
+            // A fixture that was never materialized is not stale — the
+            // corpus is recipe-defined and regenerable on demand. Only
+            // present-but-drifted (or half-present) fixtures fail.
+            if !dir.is_dir() {
+                eprintln!("skipped {} (not materialized)", recipe.name);
+                continue;
+            }
+            for (path, expected) in &files {
+                match std::fs::read_to_string(path) {
+                    Ok(on_disk) if &on_disk == expected => {}
+                    Ok(_) => stale.push(format!("{} differs from its recipe", path.display())),
+                    Err(_) => stale.push(format!("{} is missing", path.display())),
+                }
+            }
+            eprintln!("checked {}", recipe.name);
+        } else {
+            std::fs::create_dir_all(&dir).expect("create fixture dir");
+            for (path, bytes) in &files {
+                std::fs::write(path, bytes).expect("write fixture");
+            }
+            eprintln!("wrote {} (trace id {})", recipe.name, rec.golden.trace_id);
+        }
+    }
+
+    if check {
+        if stale.is_empty() {
+            eprintln!("golden corpus matches its recipes");
+        } else {
+            for s in &stale {
+                eprintln!("stale: {s}");
+            }
+            eprintln!(
+                "{} fixture file(s) out of date — rerun `cargo run --release --example \
+                 regen_golden` and commit the result",
+                stale.len()
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! `conncar` — record and replay deterministic pipeline runs.
+//!
+//! ```text
+//! conncar record <fixture> [--out DIR]   # record one golden-corpus fixture
+//! conncar record --all [--out DIR]       # record the whole corpus
+//! conncar record --list                  # list corpus fixture names
+//! conncar replay <dir>                   # replay DIR/trace.json against DIR/golden.json
+//! conncar replay <trace.json> <golden.json>
+//! ```
+//!
+//! `record` writes `<out>/<name>/trace.json` (the replayable capture)
+//! and `<out>/<name>/golden.json` (per-stage digests) side by side;
+//! `--out` defaults to `tests/golden`. `replay` reconstructs the run
+//! from the trace alone and diffs every stage, printing a report that
+//! names the first diverging stage.
+//!
+//! Exit codes: 0 clean, 1 divergence, 2 usage/IO error.
+
+use conncar_replay::{corpus, verify_and_replay, Recipe};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("record") => record_cmd(args.collect()),
+        Some("replay") => replay_cmd(args.collect()),
+        Some("--help") | Some("-h") => {
+            print!("{HELP}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => usage(&format!("unknown subcommand `{other}`")),
+        None => usage("a subcommand is required"),
+    }
+}
+
+const HELP: &str = "conncar: deterministic record/replay for the study pipeline\n\
+usage:\n\
+  conncar record <fixture> [--out DIR]   record one golden-corpus fixture\n\
+  conncar record --all [--out DIR]       record the whole corpus\n\
+  conncar record --list                  list corpus fixture names\n\
+  conncar replay <dir>                   replay DIR/trace.json against DIR/golden.json\n\
+  conncar replay <trace.json> <golden.json>\n";
+
+fn record_cmd(args: Vec<String>) -> ExitCode {
+    let mut out_dir = PathBuf::from("tests/golden");
+    let mut names: Vec<String> = Vec::new();
+    let mut all = false;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => {
+                for r in corpus() {
+                    println!("{} (shards {})", r.name, r.shards);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--all" => all = true,
+            "--out" => match it.next() {
+                Some(v) => out_dir = PathBuf::from(v),
+                None => return usage("--out needs a value"),
+            },
+            flag if flag.starts_with('-') => {
+                return usage(&format!("unknown record flag `{flag}`"))
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+
+    let recipes = corpus();
+    let selected: Vec<Recipe> = if all {
+        recipes
+    } else if names.is_empty() {
+        return usage("record needs a fixture name, or --all");
+    } else {
+        let mut picked = Vec::new();
+        for name in &names {
+            match recipes.iter().find(|r| r.name == name.as_str()) {
+                Some(r) => picked.push(*r),
+                None => {
+                    eprintln!(
+                        "error: no corpus fixture named `{name}` (try `conncar record --list`)"
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        picked
+    };
+
+    for recipe in selected {
+        let rec = match recipe.record() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: recording `{}`: {e}", recipe.name);
+                return ExitCode::from(2);
+            }
+        };
+        let dir = out_dir.join(recipe.name);
+        if let Err(e) = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(dir.join("trace.json"), rec.trace.to_envelope_json()))
+            .and_then(|()| std::fs::write(dir.join("golden.json"), rec.golden.to_json()))
+        {
+            eprintln!("error: writing {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "recorded {} -> {} (trace id {})",
+            recipe.name,
+            dir.display(),
+            rec.golden.trace_id
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn replay_cmd(args: Vec<String>) -> ExitCode {
+    let (trace_path, golden_path) = match args.as_slice() {
+        [dir] if Path::new(dir).is_dir() => {
+            let d = Path::new(dir);
+            (d.join("trace.json"), d.join("golden.json"))
+        }
+        [trace] => {
+            // A bare trace file: expect golden.json beside it.
+            let t = PathBuf::from(trace);
+            let g = t.with_file_name("golden.json");
+            (t, g)
+        }
+        [trace, golden] => (PathBuf::from(trace), PathBuf::from(golden)),
+        _ => return usage("replay takes a fixture dir, a trace file, or <trace> <golden>"),
+    };
+
+    let trace_json = match std::fs::read_to_string(&trace_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: reading {}: {e}", trace_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let golden_json = match std::fs::read_to_string(&golden_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: reading {}: {e}", golden_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let name = trace_path
+        .parent()
+        .and_then(Path::file_name)
+        .map_or_else(|| "run".to_string(), |n| n.to_string_lossy().into_owned());
+    let report = verify_and_replay(&name, &trace_json, &golden_json);
+    print!("{}", report.render());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n{HELP}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,97 @@
+//! Golden-corpus integration: every recipe records, round-trips through
+//! its serialized `trace.json` / `golden.json` pair, and replays clean
+//! from the trace alone; any tamper — in the trace or in a golden
+//! digest — is caught and named by stage.
+
+use conncar_replay::{corpus, replay_run, verify_and_replay, GoldenRun, RecipeKind, RunTrace};
+use std::path::Path;
+
+/// The corpus's first study-kind recipe (tamper tests want a full run).
+fn study_recipe() -> conncar_replay::Recipe {
+    corpus()
+        .into_iter()
+        .find(|r| r.kind == RecipeKind::Study)
+        .expect("corpus has study recipes")
+}
+
+#[test]
+fn every_corpus_recipe_replays_clean_through_serialization() {
+    for recipe in corpus() {
+        let rec = recipe.record().expect(recipe.name);
+        let trace =
+            RunTrace::from_envelope_json(&rec.trace.to_envelope_json()).expect(recipe.name);
+        let golden = GoldenRun::from_json(&rec.golden.to_json()).expect(recipe.name);
+        let report = replay_run(&trace, &golden);
+        assert!(report.is_clean(), "{}:\n{}", recipe.name, report.render());
+    }
+}
+
+#[test]
+fn recording_is_deterministic_byte_for_byte() {
+    let recipe = study_recipe();
+    let a = recipe.record().expect("first recording");
+    let b = recipe.record().expect("second recording");
+    assert_eq!(a.trace.to_envelope_json(), b.trace.to_envelope_json());
+    assert_eq!(a.golden.to_json(), b.golden.to_json());
+}
+
+#[test]
+fn a_corrupted_trace_fails_at_the_trace_stage() {
+    let recipe = study_recipe();
+    let rec = recipe.record().expect(recipe.name);
+    let envelope = rec.trace.to_envelope_json();
+    let tampered = envelope.replace("\"kind\":\"study\"", "\"kind\":\"sturdy\"");
+    assert_ne!(tampered, envelope, "tamper target not found in the envelope");
+    let report = verify_and_replay(recipe.name, &tampered, &rec.golden.to_json());
+    let first = report.first_divergence().expect("must diverge");
+    assert_eq!(first.stage, "trace", "{}", report.render());
+}
+
+#[test]
+fn a_tampered_golden_digest_names_its_stage() {
+    let recipe = study_recipe();
+    let rec = recipe.record().expect(recipe.name);
+    let tampers: [(&str, fn(&mut GoldenRun)); 3] = [
+        ("world", |g| g.world = "0000000000000bad".into()),
+        ("store", |g| g.store = "0000000000000bad".into()),
+        ("report", |g| g.report = "0000000000000bad".into()),
+    ];
+    for (stage, tamper) in tampers {
+        let mut golden = rec.golden.clone();
+        tamper(&mut golden);
+        let report = replay_run(&rec.trace, &golden);
+        let first = report.first_divergence().expect("must diverge");
+        assert_eq!(first.stage, stage, "{}", report.render());
+    }
+}
+
+#[test]
+fn committed_fixtures_match_their_recipes_and_replay_clean() {
+    // Fixtures are optional in a fresh checkout (regenerate them with
+    // `cargo run --release --example regen_golden`); when present they
+    // must match their recipes byte-for-byte and replay clean.
+    let root = Path::new(option_env!("CARGO_MANIFEST_DIR").unwrap_or(".")).join("tests/golden");
+    for recipe in corpus() {
+        let dir = root.join(recipe.name);
+        if !dir.is_dir() {
+            continue;
+        }
+        let trace_json = std::fs::read_to_string(dir.join("trace.json")).expect(recipe.name);
+        let golden_json = std::fs::read_to_string(dir.join("golden.json")).expect(recipe.name);
+        let rec = recipe.record().expect(recipe.name);
+        assert_eq!(
+            trace_json,
+            rec.trace.to_envelope_json(),
+            "{}: committed trace drifted from its recipe — rerun regen_golden",
+            recipe.name
+        );
+        assert_eq!(
+            golden_json,
+            rec.golden.to_json(),
+            "{}: committed golden drifted from its recipe — rerun regen_golden",
+            recipe.name
+        );
+        let report = verify_and_replay(recipe.name, &trace_json, &golden_json);
+        assert!(report.is_clean(), "{}:\n{}", recipe.name, report.render());
+    }
+}

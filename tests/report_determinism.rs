@@ -10,10 +10,11 @@
 //! the hazard class statically, this test catches it behaviorally.
 
 use conncar::report::render_full_report;
-use conncar::telemetry::run_instrumented;
+use conncar::telemetry::{run_instrumented, run_instrumented_captured, run_instrumented_replayed};
 use conncar::{StudyAnalyses, StudyConfig, StudyData};
 use conncar_obs::NullClock;
 use conncar_store::CdrStore;
+use proptest::prelude::*;
 use std::sync::Arc;
 
 #[test]
@@ -74,5 +75,63 @@ fn run_obs_json_double_run_is_byte_identical_under_null_clock() {
         for stage in ["\"name\": \"salvage\"", "\"name\": \"clean\"", "store_build"] {
             assert!(first.contains(stage), "shards={shards}: missing {stage}");
         }
+    }
+}
+
+proptest! {
+    // Each case runs the pipeline twice (capture + replay), so keep the
+    // case count small; the fault-space coverage comes from the ranges,
+    // not the volume.
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Record → replay is lossless for *arbitrary* fault schedules and
+    /// seeds, not just the golden corpus: a captured run replayed from
+    /// its damaged stream and applied fault report reproduces the run
+    /// ledger and `RUN_OBS.json` byte for byte, and regenerates the
+    /// same ground truth.
+    #[test]
+    fn record_then_replay_reproduces_report_and_obs_bytes(
+        seed in any::<u64>(),
+        shards in 1usize..=7,
+        duplicate_p in 0.0f64..0.1,
+        overlap_p in 0.0f64..0.05,
+        skew_car_p in 0.0f64..0.3,
+        skew_record_p in 0.0f64..0.6,
+        reorder_chunk_p in 0.0f64..0.5,
+        corrupt_chunk_p in 0.0f64..0.3,
+        truncate_tail_p in 0.0f64..1.0,
+    ) {
+        let mut cfg = StudyConfig::tiny();
+        cfg.seed = seed;
+        cfg.fleet.cars = 40;
+        cfg.faults.duplicate_p = duplicate_p;
+        cfg.faults.overlap_p = overlap_p;
+        cfg.faults.skew_car_p = skew_car_p;
+        cfg.faults.skew_record_p = skew_record_p;
+        cfg.faults.reorder_chunk_p = reorder_chunk_p;
+        cfg.faults.corrupt_chunk_p = corrupt_chunk_p;
+        cfg.faults.truncate_tail_p = truncate_tail_p;
+        cfg.faults.chunk_records = 64;
+
+        let (study, _, _, telemetry, capture) =
+            run_instrumented_captured(&cfg, Arc::new(NullClock), Some(shards))
+                .expect("captured run");
+        let (replayed, _, _, replayed_telemetry, truth_digest) = run_instrumented_replayed(
+            &cfg,
+            Arc::new(NullClock),
+            shards,
+            &capture.damaged_stream,
+            study.fault_report.clone(),
+            capture.records_collected,
+        )
+        .expect("replayed run");
+
+        let recorded_report =
+            serde_json::to_string(&study.run_report).expect("run report serializes");
+        let replayed_report =
+            serde_json::to_string(&replayed.run_report).expect("run report serializes");
+        prop_assert_eq!(recorded_report, replayed_report);
+        prop_assert_eq!(telemetry.to_json(), replayed_telemetry.to_json());
+        prop_assert_eq!(truth_digest, capture.truth_digest);
     }
 }
