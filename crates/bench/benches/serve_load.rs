@@ -1,0 +1,254 @@
+//! Serve load benchmark: the shared-scan scheduler under a realistic
+//! concurrent query mix.
+//!
+//! Two phases over the same deterministic 1000-query workload
+//! ([`conncar_serve::workload`], fixed seed):
+//!
+//! 1. **Deterministic engine run** (NullClock store, no sockets): the
+//!    workload is admitted in fixed-size batches through
+//!    [`ServeEngine::submit_batch`]. Every answer is checked
+//!    byte-identical to standalone [`QueryRequest::execute_single`]
+//!    execution, the engine's counters are emitted as `SERVE_OBS.json`
+//!    (path overridable via `SERVE_OBS_JSON`), and the whole phase runs
+//!    **twice** to assert the artifact is byte-identical run to run.
+//!    This phase also enforces the scan-sharing contract: the shared
+//!    passes must perform at least 2x fewer shard scans than naive
+//!    per-query execution would have.
+//!
+//! 2. **TCP timing run** (monotonic clock): the same workload is split
+//!    across concurrent [`ServeClient`] connections against a real
+//!    [`ServeServer`], measuring per-request latency and aggregate
+//!    throughput. Timing flows through the obs clock like every other
+//!    bench.
+//!
+//! The machine-readable summary lands in `BENCH_serve.json` (path
+//! overridable via `BENCH_SERVE_JSON`): qps, p50/p99 latency, shards
+//! scanned per query (physical vs naive), and the cache hit rate — the
+//! numbers the CI serve-gate holds floors on. Gated numbers come from
+//! the deterministic phase; only qps/latency come from the wall clock.
+//!
+//! Plain `fn main` on purpose: the numbers go to the JSON artifacts, not
+//! a criterion report, so the binary stays runnable anywhere `rustc` is.
+
+use conncar::StudyData;
+use conncar_bench::bench_config;
+use conncar_obs::{Clock, MonotonicClock, NullClock, RunTelemetry, SpanRecord};
+use conncar_serve::engine::keys;
+use conncar_serve::{
+    workload, QueryRequest, ServeClient, ServeEngine, ServeServer, WorkloadSpec, WorkloadTargets,
+};
+use conncar_store::CdrStore;
+use std::sync::Arc;
+use std::thread;
+
+/// Admission batch size for the deterministic phase: models how many
+/// requests the service's scheduler drains per wake-up under load.
+const ADMIT_BATCH: usize = 64;
+const CACHE_CAPACITY: usize = 1024;
+const EPOCH_MAX: usize = 16;
+const TCP_CLIENTS: usize = 4;
+const TCP_WORKERS: usize = 4;
+
+/// What one deterministic engine pass produces.
+struct DeterministicRun {
+    obs_json: String,
+    physical: u64,
+    naive: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    coalesced: u64,
+    epochs: u64,
+    shards: usize,
+}
+
+/// Run the full workload through a fresh engine in admission batches,
+/// asserting every answer is byte-identical to standalone execution.
+fn deterministic_run(
+    ds: &conncar_cdr::CdrDataset,
+    spec: &WorkloadSpec,
+) -> DeterministicRun {
+    let store = Arc::new(CdrStore::build_auto_with_clock(ds, Arc::new(NullClock)));
+    let targets = WorkloadTargets::from_store(&store);
+    let reqs = workload::generate(spec, &targets);
+    let mut engine = ServeEngine::new(Arc::clone(&store), CACHE_CAPACITY, EPOCH_MAX);
+    for batch in reqs.chunks(ADMIT_BATCH) {
+        for (req, resp) in batch.iter().zip(engine.submit_batch(batch)) {
+            let got = resp.expect("workload requests are valid").value.encode();
+            let want = req.execute_single(&store).0.encode();
+            assert_eq!(
+                got, want,
+                "scheduled answer must be byte-identical to standalone execution"
+            );
+        }
+    }
+    let c = engine.counters();
+    let telemetry = RunTelemetry {
+        clock: "null".to_string(),
+        trace: None,
+        root: SpanRecord::leaf("serve/deterministic_load", 0, reqs.len() as u64),
+        counters: c.clone(),
+    };
+    DeterministicRun {
+        obs_json: telemetry.to_json(),
+        physical: c.get(keys::PHYSICAL_SHARD_SCANS),
+        naive: c.get(keys::NAIVE_SHARD_SCANS),
+        cache_hits: c.get(keys::CACHE_HITS),
+        cache_misses: c.get(keys::CACHE_MISSES),
+        coalesced: c.get(keys::COALESCED),
+        epochs: c.get(keys::EPOCHS),
+        shards: store.shard_count(),
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let cfg = bench_config();
+    let study = StudyData::generate(&cfg).expect("bench study");
+    let ds = &study.clean;
+    let spec = WorkloadSpec::default();
+
+    // ---- phase 1: deterministic engine run, twice ----
+    let first = deterministic_run(ds, &spec);
+    let second = deterministic_run(ds, &spec);
+    assert_eq!(
+        first.obs_json, second.obs_json,
+        "same seed must produce a byte-identical SERVE_OBS.json"
+    );
+    let sharing = first.naive as f64 / first.physical.max(1) as f64;
+    eprintln!(
+        "deterministic: {} queries, {} epochs, {} physical vs {} naive shard scans ({sharing:.2}x), \
+         {} hits / {} misses / {} coalesced",
+        spec.queries,
+        first.epochs,
+        first.physical,
+        first.naive,
+        first.cache_hits,
+        first.cache_misses,
+        first.coalesced,
+    );
+    assert!(
+        first.naive >= 2 * first.physical,
+        "shared scans must save at least 2x over naive execution \
+         (physical {} vs naive {})",
+        first.physical,
+        first.naive
+    );
+    let hit_rate = first.cache_hits as f64 / spec.queries.max(1) as f64;
+
+    // ---- phase 2: TCP timing run ----
+    let clock = Arc::new(MonotonicClock::new());
+    let store = Arc::new(CdrStore::build_auto_with_clock(ds, clock.clone()));
+    let targets = WorkloadTargets::from_store(&store);
+    let reqs = workload::generate(&spec, &targets);
+    let engine = ServeEngine::new(Arc::clone(&store), CACHE_CAPACITY, EPOCH_MAX);
+    let server =
+        ServeServer::bind("127.0.0.1:0", engine, TCP_WORKERS, 4 * ADMIT_BATCH).expect("bind");
+    let addr = server.local_addr();
+
+    // Round-robin the workload across the client connections so every
+    // client carries the full mix.
+    let mut slices: Vec<Vec<QueryRequest>> = vec![Vec::new(); TCP_CLIENTS];
+    for (i, req) in reqs.iter().enumerate() {
+        slices[i % TCP_CLIENTS].push(req.clone());
+    }
+    let t0 = clock.now_nanos();
+    let threads: Vec<_> = slices
+        .into_iter()
+        .map(|slice| {
+            let clock = Arc::clone(&clock);
+            thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                let mut lat = Vec::with_capacity(slice.len());
+                for req in &slice {
+                    let q0 = clock.now_nanos();
+                    client.query(req).expect("served");
+                    lat.push(clock.now_nanos().saturating_sub(q0).max(1));
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::with_capacity(reqs.len());
+    for t in threads {
+        latencies.extend(t.join().expect("client thread"));
+    }
+    let wall_ns = clock.now_nanos().saturating_sub(t0).max(1);
+    let tcp_engine = server.shutdown();
+    let tc = tcp_engine.counters();
+
+    latencies.sort_unstable();
+    let qps = latencies.len() as f64 / (wall_ns as f64 / 1e9);
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    eprintln!(
+        "tcp: {} queries over {TCP_CLIENTS} clients in {:.1} ms — {qps:.0} qps, \
+         p50 {:.2} ms, p99 {:.2} ms",
+        latencies.len(),
+        wall_ns as f64 / 1e6,
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6,
+    );
+
+    let queries = spec.queries as f64;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve_load\",\n",
+            "  \"timing_source\": \"conncar-obs {}\",\n",
+            "  \"fixture\": {{\"records\": {}, \"cars\": {}, \"shards\": {}, \"days\": {}}},\n",
+            "  \"workload\": {{\"queries\": {}, \"seed\": {}, \"repeat_pct\": {}, ",
+            "\"admit_batch\": {}, \"epoch_max\": {}, \"clients\": {}}},\n",
+            "  \"qps\": {:.0},\n",
+            "  \"latency_ns\": {{\"p50\": {}, \"p99\": {}}},\n",
+            "  \"scan_sharing\": {{\"physical_shard_scans\": {}, \"naive_shard_scans\": {}, ",
+            "\"shards_per_query\": {:.3}, \"naive_shards_per_query\": {:.3}, ",
+            "\"sharing_factor\": {:.3}}},\n",
+            "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}},\n",
+            "  \"coalesced\": {},\n",
+            "  \"epochs\": {},\n",
+            "  \"tcp_cache_hit_rate\": {:.3}\n",
+            "}}\n"
+        ),
+        clock.kind(),
+        ds.len(),
+        ds.car_count(),
+        first.shards,
+        cfg.period.days(),
+        spec.queries,
+        spec.seed,
+        spec.repeat_pct,
+        ADMIT_BATCH,
+        EPOCH_MAX,
+        TCP_CLIENTS,
+        qps,
+        p50,
+        p99,
+        first.physical,
+        first.naive,
+        first.physical as f64 / queries,
+        first.naive as f64 / queries,
+        sharing,
+        first.cache_hits,
+        first.cache_misses,
+        hit_rate,
+        first.coalesced,
+        first.epochs,
+        tc.get(keys::CACHE_HITS) as f64 / tc.get(keys::QUERIES).max(1) as f64,
+    );
+
+    let obs_path =
+        std::env::var("SERVE_OBS_JSON").unwrap_or_else(|_| "target/SERVE_OBS.json".into());
+    std::fs::write(&obs_path, &first.obs_json).expect("write SERVE_OBS.json");
+    let path =
+        std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| "target/BENCH_serve.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_serve.json");
+    println!("{json}");
+    eprintln!("wrote {path} and {obs_path}");
+}

@@ -1,0 +1,187 @@
+//! Generation-keyed LRU result cache.
+//!
+//! Keys are `(request digest, store generation)`: the digest is the
+//! canonical-encoding FNV-64 of the request
+//! ([`crate::QueryRequest::digest`]), the generation is the store
+//! build's process-unique counter
+//! ([`conncar_store::CdrStore::generation`]). A rebuilt store gets a
+//! fresh generation, so every entry computed against the old build
+//! misses naturally — no invalidation walk, no epoch bookkeeping in
+//! the cache itself.
+//!
+//! Recency is a logical **tick**, not wall time: every touch stamps the
+//! entry with the next value of a monotonically increasing counter, and
+//! eviction removes the entry with the smallest stamp. Ticks make the
+//! eviction order a pure function of the access sequence — the same
+//! workload always evicts the same keys in the same order, which the
+//! cache tests pin and `SERVE_OBS.json` relies on.
+
+use crate::request::QueryValue;
+use conncar_store::QueryStats;
+use std::collections::BTreeMap;
+
+/// Cache key: `(request digest, store generation)`.
+pub type CacheKey = (u64, u64);
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    value: QueryValue,
+    stats: QueryStats,
+    last_used: u64,
+}
+
+/// A bounded LRU cache of query results (see module docs). Capacity 0
+/// disables caching entirely.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    entries: BTreeMap<CacheKey, CacheEntry>,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` results.
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            tick: 0,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a result, refreshing its recency on hit. The returned
+    /// stats are what the *original* computation cost — a hit costs no
+    /// scan, and the engine reports it that way (`cache_hit` flag).
+    pub fn get(&mut self, key: CacheKey) -> Option<(QueryValue, QueryStats)> {
+        let entry = self.entries.get_mut(&key)?;
+        self.tick += 1;
+        entry.last_used = self.tick;
+        Some((entry.value.clone(), entry.stats))
+    }
+
+    /// Insert a result, evicting the least-recently-used entry if the
+    /// cache is full. Inserting an already-present key refreshes both
+    /// the value and the recency.
+    pub fn insert(&mut self, key: CacheKey, value: QueryValue, stats: QueryStats) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            // Ticks are unique, so the minimum is unique: deterministic
+            // eviction for any access history.
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty cache");
+            self.entries.remove(&lru);
+        }
+        self.entries.insert(
+            key,
+            CacheEntry {
+                value,
+                stats,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Keys currently cached, in key order (tests and introspection).
+    pub fn keys(&self) -> Vec<CacheKey> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Drop every entry (recency ticks keep advancing).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(n: u64) -> QueryValue {
+        QueryValue::Count(n)
+    }
+
+    #[test]
+    fn hit_returns_value_and_stats() {
+        let mut cache = ResultCache::new(4);
+        let stats = QueryStats {
+            rows_scanned: 10,
+            shards_scanned: 2,
+            ..QueryStats::default()
+        };
+        cache.insert((1, 1), val(5), stats);
+        let (v, s) = cache.get((1, 1)).expect("hit");
+        assert_eq!(v, val(5));
+        assert_eq!(s.rows_scanned, 10);
+        assert_eq!(s.shards_scanned, 2);
+    }
+
+    #[test]
+    fn generation_bump_misses() {
+        let mut cache = ResultCache::new(4);
+        cache.insert((1, 1), val(5), QueryStats::default());
+        assert!(cache.get((1, 1)).is_some());
+        assert!(cache.get((1, 2)).is_none(), "new generation must miss");
+    }
+
+    #[test]
+    fn eviction_is_lru_and_deterministic() {
+        let mut cache = ResultCache::new(2);
+        cache.insert((1, 1), val(1), QueryStats::default());
+        cache.insert((2, 1), val(2), QueryStats::default());
+        // Touch key 1 so key 2 is now least recently used.
+        assert!(cache.get((1, 1)).is_some());
+        cache.insert((3, 1), val(3), QueryStats::default());
+        assert_eq!(cache.keys(), vec![(1, 1), (3, 1)]);
+        assert!(cache.get((2, 1)).is_none(), "LRU key must be evicted");
+        // Same sequence, same evictions: replay it.
+        let mut replay = ResultCache::new(2);
+        replay.insert((1, 1), val(1), QueryStats::default());
+        replay.insert((2, 1), val(2), QueryStats::default());
+        assert!(replay.get((1, 1)).is_some());
+        replay.insert((3, 1), val(3), QueryStats::default());
+        assert_eq!(replay.keys(), cache.keys());
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency() {
+        let mut cache = ResultCache::new(2);
+        cache.insert((1, 1), val(1), QueryStats::default());
+        cache.insert((2, 1), val(2), QueryStats::default());
+        cache.insert((1, 1), val(10), QueryStats::default());
+        cache.insert((3, 1), val(3), QueryStats::default());
+        // Key 2 was LRU after key 1's refresh.
+        assert_eq!(cache.keys(), vec![(1, 1), (3, 1)]);
+        assert_eq!(cache.get((1, 1)).unwrap().0, val(10));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ResultCache::new(0);
+        cache.insert((1, 1), val(1), QueryStats::default());
+        assert!(cache.is_empty());
+        assert!(cache.get((1, 1)).is_none());
+    }
+}

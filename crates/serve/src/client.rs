@@ -1,0 +1,33 @@
+//! In-process client for the framed TCP protocol.
+
+use crate::engine::QueryResponse;
+use crate::request::QueryRequest;
+use crate::wire::{decode_response, read_frame, write_frame};
+use conncar_types::{Error, Result};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client. One request in flight at a time per connection
+/// (the protocol is strictly request/response); open more clients for
+/// concurrency.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connect to a running [`crate::ServeServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient { stream })
+    }
+
+    /// Send one request and block for its response. Server-side
+    /// refusals come back as the same typed errors the engine raised.
+    pub fn query(&mut self, req: &QueryRequest) -> Result<QueryResponse> {
+        write_frame(&mut self.stream, &req.encode())?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => decode_response(&payload),
+            None => Err(Error::Io("server closed the connection".into())),
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # conncar-serve
+//!
+//! The serving plane: a long-lived concurrent query engine over a
+//! [`conncar_store::CdrStore`], the "cniCloud for conncar" the roadmap
+//! asks for. The paper's analyses are one-shot batch scans; a carrier
+//! operating the fleet faces the dual problem — many small ad-hoc
+//! questions arriving concurrently over the same 1.1B-connection table.
+//! This crate answers them with four layers:
+//!
+//! * **requests** ([`QueryRequest`]) — a typed [`conncar_store::Filter`]
+//!   plus an aggregation kind (count / rows / per-car seconds /
+//!   cell-bin histogram), with a canonical byte encoding: hashable
+//!   ([`QueryRequest::digest`]), framable, replayable;
+//! * **shared-scan scheduling** ([`ServeEngine`]) — concurrently
+//!   admitted queries batch into FIFO **epochs**; each epoch compiles
+//!   into one [`conncar_store::SharedScan`] that walks the union of the
+//!   queries' shard plans exactly once, with per-query
+//!   [`conncar_store::QueryStats`] attribution. Results are
+//!   byte-identical to running each query alone — concurrency changes
+//!   cost, never answers;
+//! * **admission + caching** — a bounded FIFO queue that refuses
+//!   overload with a typed error, and a generation-keyed LRU
+//!   [`ResultCache`]: keys are `(request digest, store generation)`, so
+//!   a rebuilt store invalidates every stale entry by construction;
+//! * **the front door** ([`ServeServer`] / [`ServeClient`]) — a
+//!   length-prefixed framed TCP protocol on a small accept pool, all
+//!   workers funneling into one scheduler so network concurrency is
+//!   exactly what creates scan sharing. [`workload`] generates the
+//!   deterministic synthetic mixes the load bench and its CI gate run.
+//!
+//! Everything observable is deterministic: request and value encodings,
+//! epoch formation, cache eviction (logical ticks, not wall time), and
+//! the engine's `serve.*` counters — a fixed workload seed yields a
+//! byte-identical `SERVE_OBS.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod request;
+pub mod server;
+pub mod wire;
+pub mod workload;
+
+pub use cache::{CacheKey, ResultCache};
+pub use client::ServeClient;
+pub use engine::{QueryResponse, QueryService, ServeEngine, ServeHandle};
+pub use request::{Aggregation, QueryRequest, QueryValue};
+pub use server::ServeServer;
+pub use workload::{WorkloadSpec, WorkloadTargets};

@@ -1,0 +1,662 @@
+//! The request model: a typed, canonically encoded query.
+//!
+//! A [`QueryRequest`] pairs a store [`Filter`] with an [`Aggregation`]
+//! kind — the four shapes every §4 analysis reduces to (count, raw
+//! rows, a per-car fold, the (cell, 15-min-bin) histogram). Requests
+//! have a **canonical byte encoding**: the filter's id sets are kept
+//! sorted and deduplicated by the `Filter` builders, fields are emitted
+//! in a fixed order with fixed-width little-endian integers, and the
+//! encoding starts with a version byte. Two semantically identical
+//! requests therefore encode to identical bytes, which makes the FNV-64
+//! [`QueryRequest::digest`] a usable cache identity and makes any
+//! recorded request stream replayable byte-for-byte.
+//!
+//! [`QueryValue`] is the result side, with the same property: a
+//! deterministic encoding so responses can be framed over the wire,
+//! cached, and diffed across runs.
+
+use conncar_cdr::CdrRecord;
+use conncar_store::{CdrStore, Filter, QueryStats, RecordKind};
+use conncar_types::{
+    fnv1a64, BaseStationId, CarId, Carrier, CellId, Duration, Error, Result, Timestamp,
+};
+
+/// Canonical encoding version byte (bump on any layout change).
+pub const ENCODING_VERSION: u8 = 1;
+
+/// What to compute over the filtered rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Number of matching records.
+    Count,
+    /// The matching records themselves, in the dataset's canonical
+    /// `(car, start, cell)` order.
+    Rows,
+    /// Per-car total connected seconds, sorted by car id.
+    PerCarSeconds,
+    /// Distinct-car count per `(cell, 15-minute bin)`, sorted by
+    /// `(cell, bin)` — the paper's utilization histogram shape.
+    CellBinHistogram {
+        /// Exclusive upper bound on bin indices (usually the study
+        /// period's `total_bins()`).
+        bin_limit: u64,
+    },
+}
+
+/// One query: a typed filter plus an aggregation kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Row predicate (canonical: id sets sorted + deduplicated).
+    pub filter: Filter,
+    /// Aggregation to compute.
+    pub agg: Aggregation,
+}
+
+impl QueryRequest {
+    /// Build a request.
+    pub fn new(filter: Filter, agg: Aggregation) -> QueryRequest {
+        QueryRequest { filter, agg }
+    }
+
+    /// Admission-time validation: a request whose filter can never
+    /// match is rejected with a typed error instead of silently
+    /// returning an empty result.
+    pub fn validate(&self) -> Result<()> {
+        self.filter.validate()
+    }
+
+    /// Canonical byte encoding (see module docs).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![ENCODING_VERSION];
+        match self.filter.car_set() {
+            None => out.push(0),
+            Some(cars) => {
+                out.push(1);
+                put_u32(&mut out, cars.len() as u32);
+                for c in cars {
+                    put_u32(&mut out, c.0);
+                }
+            }
+        }
+        match self.filter.cell_set() {
+            None => out.push(0),
+            Some(cells) => {
+                out.push(1);
+                put_u32(&mut out, cells.len() as u32);
+                for c in cells {
+                    put_cell(&mut out, *c);
+                }
+            }
+        }
+        match self.filter.carrier_restriction() {
+            None => out.push(0),
+            Some(c) => {
+                out.push(1);
+                out.push(c.index() as u8);
+            }
+        }
+        match self.filter.window_bounds() {
+            None => out.push(0),
+            Some((ws, we)) => {
+                out.push(1);
+                put_u64(&mut out, ws);
+                put_u64(&mut out, we);
+            }
+        }
+        match self.filter.kind_restriction() {
+            RecordKind::Any => out.push(0),
+            RecordKind::ShorterThan(d) => {
+                out.push(1);
+                put_u64(&mut out, d.as_secs());
+            }
+            RecordKind::AtLeast(d) => {
+                out.push(2);
+                put_u64(&mut out, d.as_secs());
+            }
+        }
+        match self.agg {
+            Aggregation::Count => out.push(0),
+            Aggregation::Rows => out.push(1),
+            Aggregation::PerCarSeconds => out.push(2),
+            Aggregation::CellBinHistogram { bin_limit } => {
+                out.push(3);
+                put_u64(&mut out, bin_limit);
+            }
+        }
+        out
+    }
+
+    /// Decode a canonical encoding. The filter is rebuilt through the
+    /// sorting/deduplicating builders, so `decode(encode(r))` is `r`
+    /// and re-encoding is byte-identical even for hand-built frames.
+    pub fn decode(bytes: &[u8]) -> Result<QueryRequest> {
+        let mut c = Cursor::new(bytes);
+        let version = c.u8()?;
+        if version != ENCODING_VERSION {
+            return Err(Error::UnsupportedVersion { found: version });
+        }
+        let mut filter = Filter::all();
+        if c.u8()? == 1 {
+            let n = c.u32()? as usize;
+            let mut cars = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                cars.push(CarId(c.u32()?));
+            }
+            filter = filter.cars(cars);
+        }
+        if c.u8()? == 1 {
+            let n = c.u32()? as usize;
+            let mut cells = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                cells.push(c.cell()?);
+            }
+            filter = filter.cells(cells);
+        }
+        if c.u8()? == 1 {
+            filter = filter.carrier(c.carrier()?);
+        }
+        if c.u8()? == 1 {
+            let (ws, we) = (c.u64()?, c.u64()?);
+            filter = filter.window(Timestamp::from_secs(ws), Timestamp::from_secs(we));
+        }
+        match c.u8()? {
+            0 => {}
+            1 => filter = filter.kind(RecordKind::ShorterThan(Duration::from_secs(c.u64()?))),
+            2 => filter = filter.kind(RecordKind::AtLeast(Duration::from_secs(c.u64()?))),
+            t => return c.bad(format!("unknown record-kind tag {t}")),
+        }
+        let agg = match c.u8()? {
+            0 => Aggregation::Count,
+            1 => Aggregation::Rows,
+            2 => Aggregation::PerCarSeconds,
+            3 => Aggregation::CellBinHistogram { bin_limit: c.u64()? },
+            t => return c.bad(format!("unknown aggregation tag {t}")),
+        };
+        c.finish()?;
+        Ok(QueryRequest { filter, agg })
+    }
+
+    /// FNV-64 digest of the canonical encoding — the request half of
+    /// the `(digest, store generation)` cache key.
+    pub fn digest(&self) -> u64 {
+        fnv1a64(&self.encode())
+    }
+
+    /// Execute this request alone against a store — the reference
+    /// (naive) execution path the shared-scan scheduler must match
+    /// byte-for-byte, and the engine behind `conncar query`.
+    pub fn execute_single(&self, store: &CdrStore) -> (QueryValue, QueryStats) {
+        match self.agg {
+            Aggregation::Count => {
+                let (n, stats) = store.count(&self.filter);
+                (QueryValue::Count(n), stats)
+            }
+            Aggregation::Rows => {
+                let (rows, stats) = store.collect(&self.filter);
+                (QueryValue::Rows(rows), stats)
+            }
+            Aggregation::PerCarSeconds => {
+                let (per_car, stats) =
+                    conncar_store::kernels::fold_per_car_views(store, &self.filter, |v| {
+                        let mut sum = 0u64;
+                        v.for_each_selected(|i| sum += v.ends[i] - v.starts[i]);
+                        sum
+                    });
+                (QueryValue::PerCar(per_car), stats)
+            }
+            Aggregation::CellBinHistogram { bin_limit } => {
+                let (triples, stats) =
+                    conncar_store::kernels::cell_bin_car_triples(store, &self.filter, bin_limit);
+                (QueryValue::Histogram(histogram_from_triples(&triples)), stats)
+            }
+        }
+    }
+}
+
+/// Collapse the sorted, deduplicated `(cell, bin, car)` relation into
+/// distinct-car counts per `(cell, bin)`.
+pub(crate) fn histogram_from_triples(
+    triples: &[(CellId, u64, CarId)],
+) -> Vec<(CellId, u64, u64)> {
+    let mut out: Vec<(CellId, u64, u64)> = Vec::new();
+    for &(cell, bin, _car) in triples {
+        match out.last_mut() {
+            Some((c, b, n)) if *c == cell && *b == bin => *n += 1,
+            _ => out.push((cell, bin, 1)),
+        }
+    }
+    out
+}
+
+/// A query result. Every variant is fully ordered and deterministic:
+/// equal data always yields equal values, and equal values equal bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryValue {
+    /// Matching-record count.
+    Count(u64),
+    /// Matching records, canonical `(car, start, cell)` order.
+    Rows(Vec<CdrRecord>),
+    /// `(car, total connected seconds)`, sorted by car.
+    PerCar(Vec<(CarId, u64)>),
+    /// `(cell, bin, distinct cars)`, sorted by `(cell, bin)`.
+    Histogram(Vec<(CellId, u64, u64)>),
+}
+
+impl QueryValue {
+    /// Deterministic byte encoding (wire + cache identity).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            QueryValue::Count(n) => {
+                out.push(0);
+                put_u64(&mut out, *n);
+            }
+            QueryValue::Rows(rows) => {
+                out.push(1);
+                put_u32(&mut out, rows.len() as u32);
+                for r in rows {
+                    put_u32(&mut out, r.car.0);
+                    put_cell(&mut out, r.cell);
+                    put_u64(&mut out, r.start.as_secs());
+                    put_u64(&mut out, r.end.as_secs());
+                }
+            }
+            QueryValue::PerCar(entries) => {
+                out.push(2);
+                put_u32(&mut out, entries.len() as u32);
+                for (car, secs) in entries {
+                    put_u32(&mut out, car.0);
+                    put_u64(&mut out, *secs);
+                }
+            }
+            QueryValue::Histogram(entries) => {
+                out.push(3);
+                put_u32(&mut out, entries.len() as u32);
+                for (cell, bin, cars) in entries {
+                    put_cell(&mut out, *cell);
+                    put_u64(&mut out, *bin);
+                    put_u64(&mut out, *cars);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode an encoding produced by [`QueryValue::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<QueryValue> {
+        let mut c = Cursor::new(bytes);
+        let v = match c.u8()? {
+            0 => QueryValue::Count(c.u64()?),
+            1 => {
+                let n = c.u32()? as usize;
+                let mut rows = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let car = CarId(c.u32()?);
+                    let cell = c.cell()?;
+                    let start = Timestamp::from_secs(c.u64()?);
+                    let end = Timestamp::from_secs(c.u64()?);
+                    rows.push(CdrRecord {
+                        car,
+                        cell,
+                        start,
+                        end,
+                    });
+                }
+                QueryValue::Rows(rows)
+            }
+            2 => {
+                let n = c.u32()? as usize;
+                let mut entries = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    entries.push((CarId(c.u32()?), c.u64()?));
+                }
+                QueryValue::PerCar(entries)
+            }
+            3 => {
+                let n = c.u32()? as usize;
+                let mut entries = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    entries.push((c.cell()?, c.u64()?, c.u64()?));
+                }
+                QueryValue::Histogram(entries)
+            }
+            t => return c.bad(format!("unknown value tag {t}")),
+        };
+        c.finish()?;
+        Ok(v)
+    }
+
+    /// Number of items in the value (1 for a count).
+    pub fn item_count(&self) -> usize {
+        match self {
+            QueryValue::Count(_) => 1,
+            QueryValue::Rows(v) => v.len(),
+            QueryValue::PerCar(v) => v.len(),
+            QueryValue::Histogram(v) => v.len(),
+        }
+    }
+
+    /// Human-readable rendering for the CLI (first `limit` items of
+    /// list-shaped values, then an elision line).
+    pub fn render(&self, limit: usize) -> String {
+        let mut out = String::new();
+        match self {
+            QueryValue::Count(n) => out.push_str(&format!("count: {n}\n")),
+            QueryValue::Rows(rows) => {
+                out.push_str(&format!("rows: {}\n", rows.len()));
+                for r in rows.iter().take(limit) {
+                    out.push_str(&format!(
+                        "  {} {} [{}, {})\n",
+                        r.car,
+                        r.cell,
+                        r.start.as_secs(),
+                        r.end.as_secs()
+                    ));
+                }
+                elide(&mut out, rows.len(), limit);
+            }
+            QueryValue::PerCar(entries) => {
+                out.push_str(&format!("cars: {}\n", entries.len()));
+                for (car, secs) in entries.iter().take(limit) {
+                    out.push_str(&format!("  {car}: {secs} s\n"));
+                }
+                elide(&mut out, entries.len(), limit);
+            }
+            QueryValue::Histogram(entries) => {
+                out.push_str(&format!("(cell, bin) entries: {}\n", entries.len()));
+                for (cell, bin, cars) in entries.iter().take(limit) {
+                    out.push_str(&format!("  {cell} bin {bin}: {cars} cars\n"));
+                }
+                elide(&mut out, entries.len(), limit);
+            }
+        }
+        out
+    }
+}
+
+fn elide(out: &mut String, total: usize, limit: usize) {
+    if total > limit {
+        out.push_str(&format!("  … {} more\n", total - limit));
+    }
+}
+
+#[inline]
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn put_cell(out: &mut Vec<u8>, cell: CellId) {
+    put_u32(out, cell.station.0);
+    out.push(cell.sector);
+    out.push(cell.carrier.index() as u8);
+}
+
+/// Bounds-checked little-endian reader over an encoded buffer.
+pub(crate) struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        match self.bytes.get(self.pos..self.pos + n) {
+            Some(s) => {
+                self.pos += n;
+                Ok(s)
+            }
+            None => Err(Error::Decode {
+                offset: Some(self.pos as u64),
+                why: format!("truncated: wanted {n} bytes, {} left", self.bytes.len() - self.pos),
+            }),
+        }
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn carrier(&mut self) -> Result<Carrier> {
+        let i = self.u8()?;
+        Carrier::from_index(i as usize).ok_or(Error::Decode {
+            offset: Some(self.pos as u64 - 1),
+            why: format!("carrier index {i} out of range"),
+        })
+    }
+
+    pub(crate) fn cell(&mut self) -> Result<CellId> {
+        let station = BaseStationId(self.u32()?);
+        let sector = self.u8()?;
+        let carrier = self.carrier()?;
+        Ok(CellId::new(station, sector, carrier))
+    }
+
+    pub(crate) fn bad<T>(&self, why: String) -> Result<T> {
+        Err(Error::Decode {
+            offset: Some(self.pos.saturating_sub(1) as u64),
+            why,
+        })
+    }
+
+    pub(crate) fn finish(&self) -> Result<()> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(Error::Decode {
+                offset: Some(self.pos as u64),
+                why: format!("{} trailing bytes", self.bytes.len() - self.pos),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_types::{DayOfWeek, StudyPeriod};
+
+    fn cell(station: u32, sector: u8, carrier: Carrier) -> CellId {
+        CellId::new(BaseStationId(station), sector, carrier)
+    }
+
+    fn sample_requests() -> Vec<QueryRequest> {
+        vec![
+            QueryRequest::new(Filter::all(), Aggregation::Count),
+            QueryRequest::new(
+                Filter::all().cars(vec![CarId(7), CarId(3), CarId(7)]),
+                Aggregation::Rows,
+            ),
+            QueryRequest::new(
+                Filter::all()
+                    .cells(vec![cell(4, 1, Carrier::C2), cell(1, 0, Carrier::C5)])
+                    .window(Timestamp::from_secs(100), Timestamp::from_secs(9_000)),
+                Aggregation::PerCarSeconds,
+            ),
+            QueryRequest::new(
+                Filter::all()
+                    .carrier(Carrier::C3)
+                    .kind(RecordKind::AtLeast(Duration::from_secs(600))),
+                Aggregation::CellBinHistogram { bin_limit: 96 },
+            ),
+            QueryRequest::new(
+                Filter::all().kind(RecordKind::ShorterThan(Duration::from_secs(30))),
+                Aggregation::Count,
+            ),
+        ]
+    }
+
+    #[test]
+    fn encoding_round_trips_and_is_canonical() {
+        for req in sample_requests() {
+            let bytes = req.encode();
+            let back = QueryRequest::decode(&bytes).unwrap();
+            assert_eq!(back, req);
+            assert_eq!(back.encode(), bytes, "re-encode must be byte-identical");
+            assert_eq!(back.digest(), req.digest());
+        }
+    }
+
+    #[test]
+    fn unsorted_id_sets_encode_identically() {
+        let a = QueryRequest::new(
+            Filter::all().cars(vec![CarId(9), CarId(2), CarId(2), CarId(5)]),
+            Aggregation::Count,
+        );
+        let b = QueryRequest::new(
+            Filter::all().cars(vec![CarId(2), CarId(5), CarId(9)]),
+            Aggregation::Count,
+        );
+        assert_eq!(a.encode(), b.encode());
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn distinct_requests_have_distinct_digests() {
+        let reqs = sample_requests();
+        for (i, a) in reqs.iter().enumerate() {
+            for b in reqs.iter().skip(i + 1) {
+                assert_ne!(a.digest(), b.digest(), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_frames() {
+        let good = sample_requests()[2].encode();
+        assert!(matches!(
+            QueryRequest::decode(&good[..good.len() - 1]),
+            Err(Error::Decode { .. })
+        ));
+        let mut versioned = good.clone();
+        versioned[0] = 99;
+        assert!(matches!(
+            QueryRequest::decode(&versioned),
+            Err(Error::UnsupportedVersion { found: 99 })
+        ));
+        let mut trailing = good;
+        trailing.push(0);
+        assert!(matches!(
+            QueryRequest::decode(&trailing),
+            Err(Error::Decode { .. })
+        ));
+        let mut bad_carrier = QueryRequest::new(
+            Filter::all().carrier(Carrier::C1),
+            Aggregation::Count,
+        )
+        .encode();
+        // carrier payload byte sits right after the three set flags.
+        let idx = bad_carrier.len() - 4;
+        bad_carrier[idx] = 7;
+        assert!(matches!(
+            QueryRequest::decode(&bad_carrier),
+            Err(Error::Decode { .. })
+        ));
+    }
+
+    #[test]
+    fn value_encoding_round_trips() {
+        let values = vec![
+            QueryValue::Count(42),
+            QueryValue::Rows(vec![CdrRecord {
+                car: CarId(3),
+                cell: cell(1, 2, Carrier::C4),
+                start: Timestamp::from_secs(10),
+                end: Timestamp::from_secs(95),
+            }]),
+            QueryValue::PerCar(vec![(CarId(1), 600), (CarId(9), 0)]),
+            QueryValue::Histogram(vec![(cell(2, 0, Carrier::C1), 7, 3)]),
+        ];
+        for v in values {
+            let bytes = v.encode();
+            assert_eq!(QueryValue::decode(&bytes).unwrap(), v);
+            assert_eq!(v.item_count() > 0, !bytes.is_empty());
+            assert!(!v.render(2).is_empty());
+        }
+        assert!(QueryValue::decode(&[9]).is_err());
+    }
+
+    #[test]
+    fn validate_surfaces_filter_rejections() {
+        let bad = QueryRequest::new(
+            Filter::all().window(Timestamp::from_secs(50), Timestamp::from_secs(50)),
+            Aggregation::Count,
+        );
+        assert!(matches!(
+            bad.validate(),
+            Err(Error::InvalidFilter { what: "window", .. })
+        ));
+        assert!(QueryRequest::new(Filter::all(), Aggregation::Count)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn execute_single_covers_every_aggregation() {
+        use conncar_cdr::CdrDataset;
+        let records = (0..60)
+            .map(|i| CdrRecord {
+                car: CarId(i % 7),
+                cell: cell(i % 3, 0, Carrier::C3),
+                start: Timestamp::from_secs(u64::from(i) * 500),
+                end: Timestamp::from_secs(u64::from(i) * 500 + 120),
+            })
+            .collect();
+        let ds = CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), records);
+        let store = CdrStore::build(&ds, 4);
+        let bins = ds.period().total_bins();
+
+        let (count, _) =
+            QueryRequest::new(Filter::all(), Aggregation::Count).execute_single(&store);
+        assert_eq!(count, QueryValue::Count(60));
+
+        let (rows, _) = QueryRequest::new(Filter::all().car(CarId(2)), Aggregation::Rows)
+            .execute_single(&store);
+        match &rows {
+            QueryValue::Rows(r) => {
+                assert!(!r.is_empty());
+                assert!(r.windows(2).all(|w| (w[0].car, w[0].start) <= (w[1].car, w[1].start)));
+            }
+            other => panic!("wrong shape: {other:?}"),
+        }
+
+        let (per_car, _) = QueryRequest::new(Filter::all(), Aggregation::PerCarSeconds)
+            .execute_single(&store);
+        match &per_car {
+            QueryValue::PerCar(entries) => {
+                assert_eq!(entries.len(), 7);
+                assert!(entries.iter().all(|&(_, secs)| secs > 0));
+            }
+            other => panic!("wrong shape: {other:?}"),
+        }
+
+        let (hist, _) = QueryRequest::new(
+            Filter::all(),
+            Aggregation::CellBinHistogram { bin_limit: bins },
+        )
+        .execute_single(&store);
+        match &hist {
+            QueryValue::Histogram(entries) => {
+                assert!(!entries.is_empty());
+                assert!(entries.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+            }
+            other => panic!("wrong shape: {other:?}"),
+        }
+    }
+}

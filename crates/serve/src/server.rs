@@ -1,0 +1,185 @@
+//! The TCP front door: a small accept pool over a [`QueryService`].
+//!
+//! Workers share the listener (each holds a `try_clone`) and handle one
+//! connection at a time, frame by frame: decode a
+//! [`QueryRequest`](crate::QueryRequest), push it through the shared
+//! [`ServeHandle`], write the response frame. Because every worker
+//! funnels into the same scheduler queue, concurrent connections land
+//! in the same epochs — network concurrency is precisely what creates
+//! scan sharing.
+//!
+//! Shutdown is cooperative and port-exact: set the stop flag, sever
+//! every live connection (so workers blocked mid-`read_frame` return),
+//! then self-connect once per worker so every blocking `accept` wakes,
+//! observes the flag, and exits; finally the scheduler drains and the
+//! engine comes back out for artifact emission.
+
+use crate::engine::{QueryService, ServeEngine, ServeHandle};
+use crate::request::QueryRequest;
+use crate::wire::{encode_response, read_frame, write_frame};
+use std::io::BufWriter;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Live-connection registry: a slot per in-flight connection, holding a
+/// `try_clone` of the accepted stream so shutdown can sever it even
+/// while the owning worker is blocked reading the next frame.
+#[derive(Default)]
+struct ConnTable(Mutex<Vec<Option<TcpStream>>>);
+
+impl ConnTable {
+    fn register(&self, stream: &TcpStream) -> Option<usize> {
+        let clone = stream.try_clone().ok()?;
+        let mut slots = self.0.lock().expect("conn table lock");
+        if let Some(i) = slots.iter().position(Option::is_none) {
+            slots[i] = Some(clone);
+            Some(i)
+        } else {
+            slots.push(Some(clone));
+            Some(slots.len() - 1)
+        }
+    }
+
+    fn deregister(&self, slot: usize) {
+        self.0.lock().expect("conn table lock")[slot] = None;
+    }
+
+    fn sever_all(&self) {
+        for conn in self.0.lock().expect("conn table lock").iter().flatten() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A running TCP query server.
+pub struct ServeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Arc<ConnTable>,
+    workers: Vec<thread::JoinHandle<()>>,
+    service: Option<QueryService>,
+}
+
+impl ServeServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve
+    /// `engine` with `workers` accept threads (clamped to at least 1)
+    /// behind a queue bounded at `queue_limit`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: ServeEngine,
+        workers: usize,
+        queue_limit: usize,
+    ) -> std::io::Result<ServeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let service = QueryService::start(engine, queue_limit);
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(ConnTable::default());
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let listener = listener.try_clone()?;
+                let handle = service.handle();
+                let stop = Arc::clone(&stop);
+                let conns = Arc::clone(&conns);
+                Ok(thread::Builder::new()
+                    .name(format!("conncar-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&listener, &handle, &stop, &conns))
+                    .expect("spawn worker thread"))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(ServeServer {
+            addr: local,
+            stop,
+            conns,
+            workers,
+            service: Some(service),
+        })
+    }
+
+    /// The bound address (resolved port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, join the workers, drain the scheduler, and
+    /// return the engine with its counters and cache intact.
+    pub fn shutdown(mut self) -> ServeEngine {
+        self.stop_workers();
+        self.service
+            .take()
+            .expect("service running")
+            .shutdown()
+    }
+
+    fn stop_workers(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Workers block in two places. Sever live connections so any
+        // worker parked mid-`read_frame` gets EOF and returns to its
+        // loop; then one wake-up connection per worker so each blocked
+        // accept returns once, sees the flag, and exits.
+        self.conns.sever_all();
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServeServer {
+    fn drop(&mut self) {
+        if self.service.is_some() {
+            self.stop_workers();
+            drop(self.service.take());
+        }
+    }
+}
+
+fn worker_loop(
+    listener: &TcpListener,
+    handle: &ServeHandle,
+    stop: &AtomicBool,
+    conns: &ConnTable,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Connection errors only drop that connection; the worker goes
+        // back to accepting.
+        let slot = conns.register(&stream);
+        let _ = serve_connection(stream, handle);
+        if let Some(slot) = slot {
+            conns.deregister(slot);
+        }
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Serve one connection until the peer closes or errors.
+fn serve_connection(stream: TcpStream, handle: &ServeHandle) -> std::io::Result<()> {
+    let mut reader = stream.try_clone()?;
+    let mut writer = BufWriter::new(stream);
+    while let Some(payload) = read_frame(&mut reader)? {
+        let result = match QueryRequest::decode(&payload) {
+            Ok(req) => handle.query(req),
+            Err(e) => Err(e),
+        };
+        write_frame(&mut writer, &encode_response(&result))?;
+    }
+    Ok(())
+}

@@ -1,0 +1,275 @@
+//! Framed wire protocol for the TCP front door.
+//!
+//! Frames are `u32` little-endian length + payload, capped at
+//! [`MAX_FRAME`]. A request payload is a canonical
+//! [`QueryRequest`](crate::QueryRequest) encoding; a response payload
+//! is:
+//!
+//! ```text
+//! u8 status            0 = ok, 1 = error
+//! ok:   u8 cache_hit, QueryStats (7 LE u64 fields), QueryValue bytes
+//! error: u8 kind (0 generic, 1 invalid-filter, 2 overloaded), payload
+//! ```
+//!
+//! Typed errors that matter to clients round-trip structurally
+//! (invalid filter, overloaded); everything else degrades to a
+//! message. The encoding is deterministic end to end, so a response
+//! stream can be diffed across runs just like `SERVE_OBS.json`.
+
+use crate::engine::QueryResponse;
+use crate::request::{Cursor, QueryValue};
+use conncar_store::QueryStats;
+use conncar_types::{Error, Result};
+use std::io::{Read, Write};
+
+/// Maximum frame payload size (16 MiB): large enough for any bench
+/// result set, small enough to reject garbage lengths before
+/// allocating.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` is a clean EOF at a frame boundary (the
+/// peer closed); a mid-frame EOF or an oversized length is an error.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds cap {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Encode a served result (or its typed refusal) as a response payload.
+pub fn encode_response(resp: &Result<QueryResponse>) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Ok(r) => {
+            out.push(0);
+            out.push(u8::from(r.cache_hit));
+            for v in [
+                r.stats.rows_scanned,
+                r.stats.rows_matched,
+                u64::from(r.stats.shards_pruned),
+                u64::from(r.stats.shards_scanned),
+                u64::from(r.stats.index_scans),
+                u64::from(r.stats.full_scans),
+                r.stats.scan_nanos,
+            ] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out.extend_from_slice(&r.value.encode());
+        }
+        Err(Error::InvalidFilter { what, why }) => {
+            out.push(1);
+            out.push(1);
+            put_str(&mut out, what);
+            put_str(&mut out, why);
+        }
+        Err(Error::Overloaded { queued, limit }) => {
+            out.push(1);
+            out.push(2);
+            out.extend_from_slice(&(*queued as u64).to_le_bytes());
+            out.extend_from_slice(&(*limit as u64).to_le_bytes());
+        }
+        Err(other) => {
+            out.push(1);
+            out.push(0);
+            put_str(&mut out, &other.to_string());
+        }
+    }
+    out
+}
+
+/// Decode a response payload back into the served result.
+pub fn decode_response(bytes: &[u8]) -> Result<QueryResponse> {
+    let mut c = Cursor::new(bytes);
+    match c.u8()? {
+        0 => {
+            let cache_hit = c.u8()? == 1;
+            let stats = QueryStats {
+                rows_scanned: c.u64()?,
+                rows_matched: c.u64()?,
+                shards_pruned: read_u32_field(&mut c)?,
+                shards_scanned: read_u32_field(&mut c)?,
+                index_scans: read_u32_field(&mut c)?,
+                full_scans: read_u32_field(&mut c)?,
+                scan_nanos: c.u64()?,
+            };
+            // The rest of the payload is the value encoding.
+            let value = QueryValue::decode(&bytes[2 + 7 * 8..])?;
+            Ok(QueryResponse {
+                value,
+                stats,
+                cache_hit,
+            })
+        }
+        1 => match c.u8()? {
+            1 => {
+                let what = take_str(&mut c)?;
+                let why = take_str(&mut c)?;
+                Err(Error::InvalidFilter {
+                    what: intern_what(&what),
+                    why,
+                })
+            }
+            2 => Err(Error::Overloaded {
+                queued: c.u64()? as usize,
+                limit: c.u64()? as usize,
+            }),
+            _ => {
+                let msg = take_str(&mut c)?;
+                Err(Error::Io(format!("server error: {msg}")))
+            }
+        },
+        t => c.bad(format!("unknown response status {t}")),
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn take_str(c: &mut Cursor<'_>) -> Result<String> {
+    let n = c.u32()? as usize;
+    let mut bytes = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        bytes.push(c.u8()?);
+    }
+    String::from_utf8(bytes).map_err(|e| Error::Decode {
+        offset: None,
+        why: format!("non-UTF-8 string: {e}"),
+    })
+}
+
+fn read_u32_field(c: &mut Cursor<'_>) -> Result<u32> {
+    let v = c.u64()?;
+    u32::try_from(v).map_err(|_| Error::Decode {
+        offset: None,
+        why: format!("stats field {v} overflows u32"),
+    })
+}
+
+/// Map a decoded `what` back onto the static names
+/// [`conncar_store::Filter::validate`] uses, so the typed error
+/// round-trips the wire intact.
+fn intern_what(what: &str) -> &'static str {
+    match what {
+        "window" => "window",
+        "cars" => "cars",
+        "cells" => "cells",
+        _ => "filter",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_response() -> Result<QueryResponse> {
+        Ok(QueryResponse {
+            value: QueryValue::Count(99),
+            stats: QueryStats {
+                rows_scanned: 7,
+                rows_matched: 5,
+                shards_pruned: 1,
+                shards_scanned: 3,
+                index_scans: 2,
+                full_scans: 1,
+                scan_nanos: 0,
+            },
+            cache_hit: true,
+        })
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut r = &buf[..buf.len() - 2];
+        assert!(read_frame(&mut r).is_err());
+        let mut header_only = &buf[..2];
+        assert!(read_frame(&mut header_only).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocating() {
+        let bytes = (u32::MAX).to_le_bytes();
+        let mut r = &bytes[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let ok = ok_response();
+        let back = decode_response(&encode_response(&ok)).unwrap();
+        let want = ok.unwrap();
+        assert_eq!(back.value, want.value);
+        assert_eq!(back.stats, want.stats);
+        assert_eq!(back.cache_hit, want.cache_hit);
+    }
+
+    #[test]
+    fn typed_errors_round_trip() {
+        let invalid: Result<QueryResponse> = Err(Error::InvalidFilter {
+            what: "window",
+            why: "inverted".into(),
+        });
+        assert!(matches!(
+            decode_response(&encode_response(&invalid)),
+            Err(Error::InvalidFilter { what: "window", .. })
+        ));
+        let overloaded: Result<QueryResponse> = Err(Error::Overloaded {
+            queued: 8,
+            limit: 8,
+        });
+        assert!(matches!(
+            decode_response(&encode_response(&overloaded)),
+            Err(Error::Overloaded {
+                queued: 8,
+                limit: 8
+            })
+        ));
+        let generic: Result<QueryResponse> = Err(Error::Io("boom".into()));
+        match decode_response(&encode_response(&generic)) {
+            Err(Error::Io(msg)) => assert!(msg.contains("boom")),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

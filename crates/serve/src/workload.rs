@@ -1,0 +1,258 @@
+//! Deterministic synthetic workloads for the load generator.
+//!
+//! The generator is a pure function of `(spec, targets)`: it draws from
+//! its own splitmix64 stream (no `rand`, no ambient entropy), so the
+//! same seed always produces the same request sequence — the property
+//! the double-run `SERVE_OBS.json` identity check in the serve bench
+//! rests on.
+//!
+//! The mix models a carrier dashboard: mostly cheap point lookups
+//! (one car's rows or count — one shard after pruning), a steady
+//! stream of scan-shaped analytics (cell counts, per-car folds,
+//! histograms — every shard), and a configurable fraction of repeats
+//! of earlier queries (dashboards refresh), which is what exercises
+//! the result cache.
+
+use crate::request::{Aggregation, QueryRequest};
+use conncar_store::{CdrStore, Filter};
+use conncar_types::{CarId, CellId, StudyPeriod, Timestamp};
+use std::collections::BTreeSet;
+
+/// Workload shape knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Number of requests to generate.
+    pub queries: usize,
+    /// Seed of the splitmix64 stream.
+    pub seed: u64,
+    /// Percent (0..=100) of requests that repeat an earlier request.
+    pub repeat_pct: u8,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> WorkloadSpec {
+        WorkloadSpec {
+            queries: 1000,
+            seed: 0xC0CA_C01A,
+            repeat_pct: 30,
+        }
+    }
+}
+
+/// Query targets drawn from the served data.
+#[derive(Debug, Clone)]
+pub struct WorkloadTargets {
+    /// Cars to point-query (sorted, deduplicated).
+    pub cars: Vec<CarId>,
+    /// Cells to scan for (sorted, deduplicated).
+    pub cells: Vec<CellId>,
+    /// The study period (window bounds, histogram bin limit).
+    pub period: StudyPeriod,
+}
+
+impl WorkloadTargets {
+    /// Collect targets from a built store: every car in the car
+    /// directories, every distinct cell in the columns.
+    pub fn from_store(store: &CdrStore) -> WorkloadTargets {
+        let mut cars = Vec::new();
+        let mut cells = BTreeSet::new();
+        for shard in store.shards() {
+            for g in shard.car_groups() {
+                cars.push(g.car);
+            }
+            cells.extend(shard.cell_postings().iter().map(|p| p.cell));
+        }
+        cars.sort_unstable();
+        WorkloadTargets {
+            cars,
+            cells: cells.into_iter().collect(),
+            period: store.period(),
+        }
+    }
+}
+
+/// splitmix64: the workspace's standard deterministic stream (same
+/// finalizer the store uses for shard routing).
+struct Stream(u64);
+
+impl Stream {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+/// Generate the request sequence (see module docs). Panics if the
+/// target car/cell lists are empty — a workload needs data to aim at.
+pub fn generate(spec: &WorkloadSpec, targets: &WorkloadTargets) -> Vec<QueryRequest> {
+    assert!(
+        !targets.cars.is_empty() && !targets.cells.is_empty(),
+        "workload targets must be non-empty"
+    );
+    let mut rng = Stream(spec.seed);
+    let total_secs = u64::from(targets.period.days()) * 86_400;
+    let bins = targets.period.total_bins();
+    let mut history: Vec<QueryRequest> = Vec::new();
+    let mut out = Vec::with_capacity(spec.queries);
+    for _ in 0..spec.queries {
+        // Dashboards refresh: repeat an earlier request with
+        // probability repeat_pct (once there is history to repeat).
+        if !history.is_empty() && rng.below(100) < u64::from(spec.repeat_pct.min(100)) {
+            let again = rng.pick(&history).clone();
+            out.push(again);
+            continue;
+        }
+        let req = match rng.below(100) {
+            // Point lookups: one car, one shard after pruning.
+            0..=24 => QueryRequest::new(
+                Filter::all().car(*rng.pick(&targets.cars)),
+                Aggregation::Rows,
+            ),
+            25..=44 => {
+                let (ws, we) = window(&mut rng, total_secs);
+                QueryRequest::new(
+                    Filter::all().car(*rng.pick(&targets.cars)).window(ws, we),
+                    Aggregation::Count,
+                )
+            }
+            // Scan-shaped analytics: all shards, where sharing pays.
+            45..=64 => QueryRequest::new(
+                Filter::all().cell(*rng.pick(&targets.cells)),
+                Aggregation::Count,
+            ),
+            65..=79 => {
+                let (ws, we) = window(&mut rng, total_secs);
+                QueryRequest::new(Filter::all().window(ws, we), Aggregation::PerCarSeconds)
+            }
+            80..=89 => QueryRequest::new(
+                Filter::all().cell(*rng.pick(&targets.cells)),
+                Aggregation::CellBinHistogram { bin_limit: bins },
+            ),
+            _ => QueryRequest::new(Filter::all(), Aggregation::Count),
+        };
+        history.push(req.clone());
+        out.push(req);
+    }
+    out
+}
+
+fn window(rng: &mut Stream, total_secs: u64) -> (Timestamp, Timestamp) {
+    let span = total_secs.max(2);
+    let start = rng.below(span - 1);
+    let len = 1 + rng.below(span - start - 1).max(1);
+    (
+        Timestamp::from_secs(start),
+        Timestamp::from_secs((start + len).min(span)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_cdr::{CdrDataset, CdrRecord};
+    use conncar_types::{BaseStationId, Carrier, DayOfWeek};
+
+    fn targets() -> WorkloadTargets {
+        let records = (0..300)
+            .map(|i| CdrRecord {
+                car: CarId(i % 19),
+                cell: CellId::new(BaseStationId(i % 6), 0, Carrier::C3),
+                start: Timestamp::from_secs(u64::from(i) * 800),
+                end: Timestamp::from_secs(u64::from(i) * 800 + 90),
+            })
+            .collect();
+        let ds = CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), records);
+        WorkloadTargets::from_store(&CdrStore::build(&ds, 4))
+    }
+
+    #[test]
+    fn targets_cover_the_data() {
+        let t = targets();
+        assert_eq!(t.cars.len(), 19);
+        assert_eq!(t.cells.len(), 6);
+        assert!(t.cars.windows(2).all(|w| w[0] < w[1]));
+        assert!(t.cells.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn same_seed_same_workload() {
+        let t = targets();
+        let spec = WorkloadSpec {
+            queries: 200,
+            ..WorkloadSpec::default()
+        };
+        let a = generate(&spec, &t);
+        let b = generate(&spec, &t);
+        assert_eq!(a, b);
+        let other = generate(
+            &WorkloadSpec {
+                seed: spec.seed + 1,
+                ..spec
+            },
+            &t,
+        );
+        assert_ne!(a, other, "different seeds should differ");
+    }
+
+    #[test]
+    fn every_request_is_valid_and_mixed() {
+        let t = targets();
+        let reqs = generate(
+            &WorkloadSpec {
+                queries: 500,
+                ..WorkloadSpec::default()
+            },
+            &t,
+        );
+        assert_eq!(reqs.len(), 500);
+        let mut aggs = BTreeSet::new();
+        for r in &reqs {
+            r.validate().expect("generated requests must be valid");
+            aggs.insert(match r.agg {
+                Aggregation::Count => 0,
+                Aggregation::Rows => 1,
+                Aggregation::PerCarSeconds => 2,
+                Aggregation::CellBinHistogram { .. } => 3,
+            });
+        }
+        assert!(aggs.len() >= 4, "mix should cover the aggregation kinds");
+    }
+
+    #[test]
+    fn repeats_create_duplicate_digests() {
+        let t = targets();
+        let reqs = generate(
+            &WorkloadSpec {
+                queries: 400,
+                seed: 7,
+                repeat_pct: 40,
+            },
+            &t,
+        );
+        let distinct: BTreeSet<u64> = reqs.iter().map(QueryRequest::digest).collect();
+        assert!(
+            distinct.len() < reqs.len(),
+            "repeat_pct=40 must produce repeated digests"
+        );
+        let none = generate(
+            &WorkloadSpec {
+                queries: 50,
+                seed: 7,
+                repeat_pct: 0,
+            },
+            &t,
+        );
+        assert_eq!(none.len(), 50);
+    }
+}

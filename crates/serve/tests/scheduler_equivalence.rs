@@ -1,0 +1,132 @@
+//! Property tests: the shared-scan scheduler is indistinguishable from
+//! running every query alone.
+//!
+//! Satellite requirement: any batch of random [`QueryRequest`]s pushed
+//! through the engine (epoch batching + shared scans + coalescing +
+//! cache) returns results **byte-identical** to executing each request
+//! standalone through the `scan_fold`-based reference path
+//! ([`QueryRequest::execute_single`]), across shard counts {1, 2, 7} —
+//! and the answers themselves never depend on the shard count.
+
+use conncar_cdr::{CdrDataset, CdrRecord};
+use conncar_obs::NullClock;
+use conncar_serve::{Aggregation, QueryRequest, ServeEngine};
+use conncar_store::{CdrStore, Filter};
+use conncar_types::{BaseStationId, CarId, Carrier, CellId, DayOfWeek, StudyPeriod, Timestamp};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Raw fuzzed rows → a dataset over a one-week period.
+fn dataset(raw: &[(u32, u32, u64, u64)]) -> CdrDataset {
+    let records: Vec<CdrRecord> = raw
+        .iter()
+        .map(|&(car, station, start, dur)| CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(
+                BaseStationId(station),
+                (station % 3) as u8,
+                if station % 2 == 0 { Carrier::C3 } else { Carrier::C1 },
+            ),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(start + dur),
+        })
+        .collect();
+    CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), records)
+}
+
+/// Raw fuzzed request descriptor → a valid [`QueryRequest`]. The
+/// descriptor space covers every aggregation kind and the main filter
+/// shapes (point car, cell, window, full scan).
+fn request(desc: &(u8, u32, u32, u64, u64)) -> QueryRequest {
+    let &(kind, car, station, w0, wlen) = desc;
+    let cell = CellId::new(
+        BaseStationId(station),
+        (station % 3) as u8,
+        if station % 2 == 0 { Carrier::C3 } else { Carrier::C1 },
+    );
+    let window = (
+        Timestamp::from_secs(w0),
+        Timestamp::from_secs(w0 + wlen.max(1)),
+    );
+    match kind % 8 {
+        0 => QueryRequest::new(Filter::all().car(CarId(car)), Aggregation::Rows),
+        1 => QueryRequest::new(
+            Filter::all().car(CarId(car)).window(window.0, window.1),
+            Aggregation::Count,
+        ),
+        2 => QueryRequest::new(Filter::all().cell(cell), Aggregation::Count),
+        3 => QueryRequest::new(
+            Filter::all().window(window.0, window.1),
+            Aggregation::PerCarSeconds,
+        ),
+        4 => QueryRequest::new(
+            Filter::all().cell(cell),
+            Aggregation::CellBinHistogram { bin_limit: 7 * 96 },
+        ),
+        5 => QueryRequest::new(Filter::all(), Aggregation::Count),
+        6 => QueryRequest::new(
+            Filter::all().window(window.0, window.1),
+            Aggregation::Rows,
+        ),
+        _ => QueryRequest::new(
+            Filter::all(),
+            Aggregation::CellBinHistogram { bin_limit: 7 * 96 },
+        ),
+    }
+}
+
+proptest! {
+    #[test]
+    fn scheduled_batches_match_standalone_execution(
+        raw in proptest::collection::vec((0u32..60, 0u32..12, 0u64..590_000, 1u64..3_000), 0..120),
+        descs in proptest::collection::vec((0u8..8, 0u32..60, 0u32..12, 0u64..500_000, 1u64..200_000), 1..14),
+        epoch_max in 1usize..6,
+    ) {
+        let ds = dataset(&raw);
+        let reqs: Vec<QueryRequest> = descs.iter().map(request).collect();
+        let mut baseline: Option<Vec<Vec<u8>>> = None;
+        for &shards in &SHARD_COUNTS {
+            let store = Arc::new(CdrStore::build_with_clock(&ds, shards, Arc::new(NullClock)));
+            // Reference: every request alone through the scan_fold path.
+            let singles: Vec<Vec<u8>> = reqs
+                .iter()
+                .map(|r| r.execute_single(&store).0.encode())
+                .collect();
+            // Scheduler: one batch through epochs + shared scans + cache.
+            let mut engine = ServeEngine::new(Arc::clone(&store), 32, epoch_max);
+            let scheduled: Vec<Vec<u8>> = engine
+                .submit_batch(&reqs)
+                .into_iter()
+                .map(|r| r.expect("valid request").value.encode())
+                .collect();
+            prop_assert_eq!(&scheduled, &singles,
+                "scheduler must be byte-identical to standalone at shards={}", shards);
+            // And byte-identical across shard counts.
+            match &baseline {
+                None => baseline = Some(scheduled),
+                Some(b) => prop_assert_eq!(&scheduled, b,
+                    "answers must not depend on shard count (shards={})", shards),
+            }
+        }
+    }
+
+    #[test]
+    fn resubmitting_through_the_cache_is_still_byte_identical(
+        raw in proptest::collection::vec((0u32..40, 0u32..8, 0u64..590_000, 1u64..3_000), 0..80),
+        desc in (0u8..8, 0u32..40, 0u32..8, 0u64..500_000, 1u64..200_000),
+    ) {
+        let ds = dataset(&raw);
+        let req = request(&desc);
+        let store = Arc::new(CdrStore::build_with_clock(&ds, 7, Arc::new(NullClock)));
+        let want = req.execute_single(&store).0.encode();
+        let mut engine = ServeEngine::new(store, 8, 4);
+        let first = engine.submit(&req).expect("valid");
+        let second = engine.submit(&req).expect("valid");
+        prop_assert!(!first.cache_hit);
+        prop_assert!(second.cache_hit, "identical resubmission must hit");
+        prop_assert_eq!(first.value.encode(), want.clone());
+        prop_assert_eq!(second.value.encode(), want);
+    }
+}

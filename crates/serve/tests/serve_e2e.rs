@@ -1,0 +1,153 @@
+//! End-to-end: the framed TCP front door serves real sockets.
+//!
+//! Starts a [`ServeServer`] on an ephemeral loopback port, drives it
+//! with concurrent [`ServeClient`] connections, and checks that every
+//! wire answer is byte-identical to standalone execution, that typed
+//! refusals survive the round trip, and that shutdown returns the
+//! engine with coherent counters.
+
+use conncar_cdr::{CdrDataset, CdrRecord};
+use conncar_obs::NullClock;
+use conncar_serve::engine::keys;
+use conncar_serve::{Aggregation, QueryRequest, ServeClient, ServeEngine, ServeServer};
+use conncar_store::{CdrStore, Filter};
+use conncar_types::{
+    BaseStationId, CarId, Carrier, CellId, DayOfWeek, Error, StudyPeriod, Timestamp,
+};
+use std::sync::Arc;
+use std::thread;
+
+fn sample_store(shards: usize) -> Arc<CdrStore> {
+    let records = (0..600)
+        .map(|i| CdrRecord {
+            car: CarId(i % 29),
+            cell: CellId::new(BaseStationId(i % 7), (i % 3) as u8, Carrier::C3),
+            start: Timestamp::from_secs(u64::from(i) * 881 % 550_000),
+            end: Timestamp::from_secs(u64::from(i) * 881 % 550_000 + 45),
+        })
+        .collect();
+    let ds = CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), records);
+    Arc::new(CdrStore::build_with_clock(&ds, shards, Arc::new(NullClock)))
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_answers() {
+    let store = sample_store(8);
+    let engine = ServeEngine::new(Arc::clone(&store), 64, 8);
+    let server = ServeServer::bind("127.0.0.1:0", engine, 3, 256).expect("bind");
+    let addr = server.local_addr();
+
+    let clients: Vec<_> = (0..6)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                for k in 0..5u32 {
+                    let req = match (t + k) % 4 {
+                        0 => QueryRequest::new(
+                            Filter::all().car(CarId((t * 5 + k) % 29)),
+                            Aggregation::Rows,
+                        ),
+                        1 => QueryRequest::new(Filter::all(), Aggregation::Count),
+                        2 => QueryRequest::new(Filter::all(), Aggregation::PerCarSeconds),
+                        _ => QueryRequest::new(
+                            Filter::all().cell(CellId::new(
+                                BaseStationId((t + k) % 7),
+                                0,
+                                Carrier::C3,
+                            )),
+                            Aggregation::CellBinHistogram { bin_limit: 7 * 96 },
+                        ),
+                    };
+                    let resp = client.query(&req).expect("served");
+                    let (want, _) = req.execute_single(&store);
+                    assert_eq!(
+                        resp.value.encode(),
+                        want.encode(),
+                        "wire answer must be byte-identical to standalone"
+                    );
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    let engine = server.shutdown();
+    assert_eq!(engine.counters().get(keys::QUERIES), 30);
+    assert_eq!(engine.counters().get(keys::REJECTED), 0);
+    // The workload repeats requests across clients, so the cache and/or
+    // coalescing must have absorbed some of them.
+    let absorbed =
+        engine.counters().get(keys::CACHE_HITS) + engine.counters().get(keys::COALESCED);
+    assert!(absorbed > 0, "repeated requests should hit or coalesce");
+}
+
+#[test]
+fn typed_refusals_cross_the_wire() {
+    let store = sample_store(2);
+    let server =
+        ServeServer::bind("127.0.0.1:0", ServeEngine::new(store, 4, 4), 1, 16).expect("bind");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    let inverted = QueryRequest::new(
+        Filter::all().window(Timestamp::from_secs(100), Timestamp::from_secs(10)),
+        Aggregation::Count,
+    );
+    match client.query(&inverted) {
+        Err(Error::InvalidFilter { what, .. }) => assert_eq!(what, "window"),
+        other => panic!("expected typed InvalidFilter, got {other:?}"),
+    }
+
+    // The connection survives a refusal: the next query still works.
+    let ok = QueryRequest::new(Filter::all(), Aggregation::Count);
+    let resp = client.query(&ok).expect("served after refusal");
+    assert!(matches!(resp.value, conncar_serve::QueryValue::Count(600)));
+
+    let engine = server.shutdown();
+    assert_eq!(engine.counters().get(keys::REJECTED), 1);
+}
+
+#[test]
+fn cache_hits_are_flagged_over_the_wire() {
+    let store = sample_store(4);
+    let server =
+        ServeServer::bind("127.0.0.1:0", ServeEngine::new(store, 16, 4), 2, 32).expect("bind");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    let req = QueryRequest::new(Filter::all(), Aggregation::PerCarSeconds);
+    let first = client.query(&req).expect("first");
+    let second = client.query(&req).expect("second");
+    assert!(!first.cache_hit);
+    assert!(second.cache_hit, "identical re-query must be a cache hit");
+    assert_eq!(first.value, second.value);
+    assert_eq!(
+        first.stats.shards_scanned, second.stats.shards_scanned,
+        "a hit reports the original computation's stats"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_an_error_response() {
+    use conncar_serve::wire::{read_frame, write_frame};
+    use std::net::TcpStream;
+
+    let store = sample_store(2);
+    let server =
+        ServeServer::bind("127.0.0.1:0", ServeEngine::new(store, 4, 4), 1, 16).expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    write_frame(&mut stream, &[0xFF, 0xEE]).expect("send garbage");
+    let payload = read_frame(&mut stream).expect("read").expect("frame");
+    assert_eq!(payload[0], 1, "garbage must produce an error response");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_is_idempotent_under_no_traffic() {
+    let store = sample_store(2);
+    let server =
+        ServeServer::bind("127.0.0.1:0", ServeEngine::new(store, 4, 4), 4, 16).expect("bind");
+    let engine = server.shutdown();
+    assert_eq!(engine.counters().get(keys::QUERIES), 0);
+}

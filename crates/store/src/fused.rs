@@ -41,21 +41,21 @@ use std::any::Any;
 use std::marker::PhantomData;
 
 /// A type-erased per-shard accumulator in flight.
-type Acc = Box<dyn Any + Send>;
+pub(crate) type Acc = Box<dyn Any + Send>;
 
 /// Wrapper pairing a folder's accumulator with its consumed-view count
 /// (the per-folder `items` figure reported to telemetry).
-struct Counted<A> {
-    acc: A,
-    items: u64,
+pub(crate) struct Counted<A> {
+    pub(crate) acc: A,
+    pub(crate) items: u64,
 }
 
-fn counted_mut<A: 'static>(acc: &mut Acc) -> &mut Counted<A> {
+pub(crate) fn counted_mut<A: 'static>(acc: &mut Acc) -> &mut Counted<A> {
     acc.downcast_mut::<Counted<A>>()
         .expect("fused accumulator type mismatch")
 }
 
-fn counted_owned<A: 'static>(acc: Acc) -> Counted<A> {
+pub(crate) fn counted_owned<A: 'static>(acc: Acc) -> Counted<A> {
     *acc.downcast::<Counted<A>>()
         .unwrap_or_else(|_| panic!("fused accumulator type mismatch"))
 }
@@ -64,7 +64,7 @@ fn counted_owned<A: 'static>(acc: Acc) -> Counted<A> {
 /// deterministically: `fold` in canonical view order within a shard,
 /// `shard_done` once per shard after its walk, `merge` in ascending
 /// shard order on the caller thread.
-trait DynFolder: Sync {
+pub(crate) trait DynFolder: Sync {
     fn init(&self) -> Acc;
     fn fold(&self, acc: &mut Acc, view: &CarView<'_>);
     fn shard_done(&self, acc: &mut Acc);
@@ -74,12 +74,12 @@ trait DynFolder: Sync {
 
 /// The one concrete folder shape: closures over an accumulator `A`.
 /// (Cell-bin folders are car folders whose fold closure expands bins.)
-struct CarFolder<A, I, F, D, M> {
-    init: I,
-    fold: F,
-    done: D,
-    merge: M,
-    _acc: PhantomData<fn() -> A>,
+pub(crate) struct CarFolder<A, I, F, D, M> {
+    pub(crate) init: I,
+    pub(crate) fold: F,
+    pub(crate) done: D,
+    pub(crate) merge: M,
+    pub(crate) _acc: PhantomData<fn() -> A>,
 }
 
 impl<A, I, F, D, M> DynFolder for CarFolder<A, I, F, D, M>
@@ -125,8 +125,8 @@ where
 /// Typed claim ticket for one registered folder's result.
 #[derive(Debug)]
 pub struct FolderHandle<A> {
-    idx: usize,
-    _acc: PhantomData<fn() -> A>,
+    pub(crate) idx: usize,
+    pub(crate) _acc: PhantomData<fn() -> A>,
 }
 
 /// A multi-query pass under construction: register folders against one
@@ -332,7 +332,7 @@ impl<'p> FusedPass<'p> {
 
 /// Merge two sorted vectors into one sorted vector (stable: ties take
 /// the left element first).
-fn merge_sorted<T: Ord>(a: Vec<T>, b: Vec<T>) -> Vec<T> {
+pub(crate) fn merge_sorted<T: Ord>(a: Vec<T>, b: Vec<T>) -> Vec<T> {
     if a.is_empty() {
         return b;
     }

@@ -63,10 +63,12 @@ mod exec;
 pub mod fused;
 pub mod kernels;
 pub mod query;
+pub mod shared;
 mod store;
 
 pub use exec::set_worker_threads;
 pub use fused::{FolderHandle, FusedOutputs, FusedPass};
+pub use shared::{SharedOutputs, SharedScan};
 pub use kernels::CarView;
 pub use query::{Filter, QueryStats, RecordKind};
 pub use store::{CdrStore, ShardBuildStats};

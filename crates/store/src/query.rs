@@ -134,6 +134,60 @@ impl Filter {
         self.cars.as_deref()
     }
 
+    /// The cell set, if restricted.
+    pub fn cell_set(&self) -> Option<&[CellId]> {
+        self.cells.as_deref()
+    }
+
+    /// The carrier restriction, if any.
+    pub fn carrier_restriction(&self) -> Option<Carrier> {
+        self.carrier
+    }
+
+    /// The half-open `[start, end)` second window, if restricted.
+    pub fn window_bounds(&self) -> Option<(u64, u64)> {
+        self.window
+    }
+
+    /// The duration-class restriction.
+    pub fn kind_restriction(&self) -> RecordKind {
+        self.kind
+    }
+
+    /// Reject filters that can never match a record: an inverted or
+    /// empty time window (`start >= end` of a half-open interval) and
+    /// explicitly empty car or cell sets. Such filters are almost
+    /// always caller bugs — a swapped argument pair, an empty id list
+    /// from an upstream lookup — and before this check they silently
+    /// returned empty results. Query admission calls this before any
+    /// scan is planned.
+    pub fn validate(&self) -> conncar_types::Result<()> {
+        if let Some((ws, we)) = self.window {
+            if ws >= we {
+                return Err(conncar_types::Error::InvalidFilter {
+                    what: "window",
+                    why: format!(
+                        "half-open window [{ws}, {we}) is {}",
+                        if ws == we { "empty" } else { "inverted" }
+                    ),
+                });
+            }
+        }
+        if matches!(self.cars.as_deref(), Some([])) {
+            return Err(conncar_types::Error::InvalidFilter {
+                what: "cars",
+                why: "car set is empty; omit the predicate to match every car".into(),
+            });
+        }
+        if matches!(self.cells.as_deref(), Some([])) {
+            return Err(conncar_types::Error::InvalidFilter {
+                what: "cells",
+                why: "cell set is empty; omit the predicate to match every cell".into(),
+            });
+        }
+        Ok(())
+    }
+
     /// Whether the filter matches everything (no predicate set).
     pub fn is_all(&self) -> bool {
         self.cars.is_none()
@@ -616,6 +670,75 @@ mod tests {
         let mut expect = a;
         expect.absorb(&a);
         assert_eq!(doubled, expect);
+    }
+
+    #[test]
+    fn validate_rejects_inverted_window() {
+        let f = Filter::all().window(Timestamp::from_secs(200), Timestamp::from_secs(100));
+        let err = f.validate().unwrap_err();
+        assert!(
+            matches!(err, conncar_types::Error::InvalidFilter { what: "window", .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("inverted"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_empty_window() {
+        let f = Filter::all().window(Timestamp::from_secs(100), Timestamp::from_secs(100));
+        let err = f.validate().unwrap_err();
+        assert!(
+            matches!(err, conncar_types::Error::InvalidFilter { what: "window", .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_empty_car_set() {
+        let err = Filter::all().cars(vec![]).validate().unwrap_err();
+        assert!(
+            matches!(err, conncar_types::Error::InvalidFilter { what: "cars", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_empty_cell_set() {
+        let err = Filter::all().cells(vec![]).validate().unwrap_err();
+        assert!(
+            matches!(err, conncar_types::Error::InvalidFilter { what: "cells", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_filters() {
+        assert!(Filter::all().validate().is_ok());
+        let f = Filter::all()
+            .car(CarId(1))
+            .cell(CellId::new(BaseStationId(2), 0, Carrier::C3))
+            .window(Timestamp::from_secs(0), Timestamp::from_secs(1))
+            .kind(RecordKind::AtLeast(Duration::from_secs(600)));
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn accessors_expose_every_predicate() {
+        let f = Filter::all()
+            .cars(vec![CarId(2), CarId(1)])
+            .cells(vec![CellId::new(BaseStationId(9), 1, Carrier::C2)])
+            .carrier(Carrier::C2)
+            .window(Timestamp::from_secs(5), Timestamp::from_secs(9))
+            .kind(RecordKind::ShorterThan(Duration::from_secs(600)));
+        assert_eq!(f.car_set(), Some(&[CarId(1), CarId(2)][..]));
+        assert_eq!(f.cell_set().map(<[CellId]>::len), Some(1));
+        assert_eq!(f.carrier_restriction(), Some(Carrier::C2));
+        assert_eq!(f.window_bounds(), Some((5, 9)));
+        assert_eq!(
+            f.kind_restriction(),
+            RecordKind::ShorterThan(Duration::from_secs(600))
+        );
     }
 
     #[test]

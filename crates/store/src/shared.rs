@@ -1,0 +1,492 @@
+//! Shared-scan execution: N *independently filtered* queries, one pass
+//! over the store.
+//!
+//! [`crate::fused::FusedPass`] fuses folders that share a single
+//! filter — exactly what a fixed analysis bundle needs, and exactly
+//! what an ad-hoc query batch does not have: a serving front-end admits
+//! point lookups, cell scans and full-table folds concurrently, each
+//! with its own predicate. [`SharedScan`] is the generalization. Every
+//! registered folder carries its **own** [`Filter`]; the scan plans
+//! each query individually, takes the **union** of the shard sets the
+//! plans need, and walks each union shard exactly once — every query
+//! that needs the shard sweeps it back to back while its columns are
+//! cache-hot, the same shard-resident schedule `FusedPass` uses for its
+//! folders. A shard needed by five concurrent queries is read once, not
+//! five times; a shard no query needs is never touched.
+//!
+//! Determinism is inherited wholesale: within a shard each query's
+//! folder sees the identical [`CarView`] sequence it would have seen
+//! running alone (the per-query walk applies the per-query filter), and
+//! per-shard accumulators merge in ascending shard order on the caller
+//! thread. The result of a shared scan is therefore *defined* to be the
+//! same function of the data as running every query in its own pass —
+//! asserted byte-for-byte by `conncar-serve`'s scheduler property
+//! tests.
+//!
+//! Two kinds of accounting come back:
+//!
+//! * **per-query stats** — what each query's standalone execution would
+//!   have reported (rows scanned after its own index narrowing, rows
+//!   matched, shards its plan needed vs pruned), so admission-level
+//!   `QueryStats` attribution survives fusion;
+//! * **pass stats** — what the shared scan physically did: each union
+//!   shard counted once, its columns read once. The ratio
+//!   `Σ per-query shards_scanned / pass shards_scanned` is the
+//!   scan-sharing win the serve bench gates on.
+
+use crate::fused::{counted_owned, Acc, CarFolder, DynFolder, FolderHandle};
+use crate::kernels::{expand_bins, walk_shard, CarView};
+use crate::query::{keys, Filter, QueryStats};
+use crate::store::CdrStore;
+use conncar_obs::CounterRegistry;
+use conncar_types::{CarId, CellId};
+use std::marker::PhantomData;
+
+/// A shared-scan batch under construction: register any number of
+/// (filter, folder) pairs, then [`SharedScan::run`] walks the union of
+/// their shard plans once.
+pub struct SharedScan<'p> {
+    store: &'p CdrStore,
+    names: Vec<String>,
+    filters: Vec<Filter>,
+    folders: Vec<Box<dyn DynFolder + 'p>>,
+}
+
+impl<'p> SharedScan<'p> {
+    /// Start an empty batch over `store`.
+    pub fn new(store: &'p CdrStore) -> SharedScan<'p> {
+        SharedScan {
+            store,
+            names: Vec::new(),
+            filters: Vec::new(),
+            folders: Vec::new(),
+        }
+    }
+
+    /// The store the batch will scan.
+    pub fn store(&self) -> &'p CdrStore {
+        self.store
+    }
+
+    /// Number of queries registered so far.
+    pub fn query_count(&self) -> usize {
+        self.folders.len()
+    }
+
+    fn add_folder<A, I, F, D, M>(
+        &mut self,
+        name: &str,
+        filter: Filter,
+        init: I,
+        fold: F,
+        done: D,
+        merge: M,
+    ) -> FolderHandle<A>
+    where
+        A: Send + 'static,
+        I: Fn() -> A + Sync + 'p,
+        F: Fn(&mut A, &CarView<'_>) + Sync + 'p,
+        D: Fn(&mut A) + Sync + 'p,
+        M: Fn(A, A) -> A + Sync + 'p,
+    {
+        self.names.push(name.to_string());
+        self.filters.push(filter);
+        self.folders.push(Box::new(CarFolder {
+            init,
+            fold,
+            done,
+            merge,
+            _acc: PhantomData,
+        }));
+        FolderHandle {
+            idx: self.folders.len() - 1,
+            _acc: PhantomData,
+        }
+    }
+
+    /// Register a per-car folder behind its own `filter`: `fold`
+    /// consumes each matching car's [`CarView`] (canonical order within
+    /// a shard, the view's selection bitmap already reflects `filter`),
+    /// `merge` combines per-shard accumulators in ascending shard
+    /// order.
+    pub fn add_per_car<A, I, F, M>(
+        &mut self,
+        name: &str,
+        filter: Filter,
+        init: I,
+        fold: F,
+        merge: M,
+    ) -> FolderHandle<A>
+    where
+        A: Send + 'static,
+        I: Fn() -> A + Sync + 'p,
+        F: Fn(&mut A, &CarView<'_>) + Sync + 'p,
+        M: Fn(A, A) -> A + Sync + 'p,
+    {
+        self.add_folder(name, filter, init, fold, |_| {}, merge)
+    }
+
+    /// Register the deduplicated, globally sorted `(cell, bin, car)`
+    /// relation behind its own `filter` — the per-query twin of
+    /// [`crate::fused::FusedPass::add_cell_bin_triples`], with the same
+    /// per-shard sort+dedup / sorted-merge construction.
+    pub fn add_cell_bin_triples(
+        &mut self,
+        name: &str,
+        filter: Filter,
+        bin_limit: u64,
+    ) -> FolderHandle<Vec<(CellId, u64, CarId)>> {
+        self.add_folder(
+            name,
+            filter,
+            Vec::new,
+            move |acc: &mut Vec<(CellId, u64, CarId)>, view: &CarView<'_>| {
+                expand_bins(view, bin_limit, |cell, bin, car| acc.push((cell, bin, car)));
+            },
+            |acc: &mut Vec<(CellId, u64, CarId)>| {
+                acc.sort_unstable();
+                acc.dedup();
+            },
+            crate::fused::merge_sorted,
+        )
+    }
+
+    /// Execute the batch: plan every query, walk each shard of the
+    /// union of the plans exactly once (shards in parallel, queries
+    /// swept shard-resident in registration order), and merge each
+    /// query's per-shard accumulators in ascending shard order.
+    pub fn run(self) -> SharedOutputs {
+        let SharedScan {
+            store,
+            names,
+            filters,
+            folders,
+        } = self;
+        let t0 = store.clock().now_nanos();
+
+        // Per-query planning, exactly as standalone execution would do
+        // it, then the union of every plan's shard set.
+        let plans: Vec<(Vec<usize>, u32)> =
+            filters.iter().map(|f| store.plan_shards(f)).collect();
+        let mut union: Vec<usize> = plans.iter().flat_map(|(ids, _)| ids.iter().copied()).collect();
+        union.sort_unstable();
+        union.dedup();
+        // Which queries participate in each union shard, registration
+        // order (= admission order, so sweeps are deterministic).
+        let participants: Vec<Vec<usize>> = union
+            .iter()
+            .map(|sid| {
+                plans
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (ids, _))| ids.binary_search(sid).is_ok())
+                    .map(|(q, _)| q)
+                    .collect()
+            })
+            .collect();
+
+        // One physical walk per union shard; within it, each
+        // participating query sweeps the (cache-hot) columns under its
+        // own filter — identical view sequence to a standalone pass.
+        let per_shard: Vec<Vec<(usize, Acc, QueryStats)>> =
+            crate::exec::par_map(union.len(), |u| {
+                participants[u]
+                    .iter()
+                    .map(|&q| {
+                        let mut acc = folders[q].init();
+                        let stats = walk_shard(store, union[u], &filters[q], |view| {
+                            folders[q].fold(&mut acc, view)
+                        });
+                        folders[q].shard_done(&mut acc);
+                        (q, acc, stats)
+                    })
+                    .collect()
+            });
+
+        // Merge in ascending shard order; account per-query and
+        // physical stats through the same registry path as every other
+        // kernel.
+        let mut query_regs: Vec<CounterRegistry> = plans
+            .iter()
+            .map(|(_, pruned)| {
+                let mut reg = CounterRegistry::new();
+                reg.add(keys::SHARDS_PRUNED, u64::from(*pruned));
+                reg
+            })
+            .collect();
+        let mut pass_reg = CounterRegistry::new();
+        pass_reg.add(
+            keys::SHARDS_PRUNED,
+            (store.shard_count() - union.len()) as u64,
+        );
+        let mut merged: Vec<Option<Acc>> = folders.iter().map(|_| None).collect();
+        for (u, shard_results) in per_shard.into_iter().enumerate() {
+            pass_reg.add(keys::SHARDS_SCANNED, 1);
+            pass_reg.add(
+                keys::ROWS_SCANNED,
+                store.shards()[union[u]].len() as u64,
+            );
+            for (q, acc, stats) in shard_results {
+                stats.record_into(&mut query_regs[q]);
+                merged[q] = Some(match merged[q].take() {
+                    None => acc,
+                    Some(prev) => folders[q].merge(prev, acc),
+                });
+            }
+        }
+        pass_reg.add(
+            keys::SCAN_NANOS,
+            store.clock().now_nanos().saturating_sub(t0),
+        );
+
+        // Queries whose plans pruned everything still yield their init
+        // value, exactly like an empty standalone pass.
+        let results: Vec<Option<Acc>> = merged
+            .into_iter()
+            .zip(folders.iter())
+            .map(|(slot, folder)| Some(slot.unwrap_or_else(|| folder.init())))
+            .collect();
+        let query_stats = query_regs.iter().map(QueryStats::from_registry).collect();
+        SharedOutputs {
+            names,
+            results,
+            query_stats,
+            pass_stats: QueryStats::from_registry(&pass_reg),
+        }
+    }
+}
+
+/// The results of one shared scan: typed per-query outputs claimed
+/// through their handles, per-query attribution stats, and the
+/// physical pass stats.
+pub struct SharedOutputs {
+    names: Vec<String>,
+    results: Vec<Option<Acc>>,
+    query_stats: Vec<QueryStats>,
+    pass_stats: QueryStats,
+}
+
+impl SharedOutputs {
+    /// Claim one query's merged accumulator. Panics if claimed twice or
+    /// through a handle from a different batch layout.
+    pub fn take<A: 'static>(&mut self, handle: FolderHandle<A>) -> A {
+        let acc = self.results[handle.idx]
+            .take()
+            .expect("query result already claimed");
+        counted_owned::<A>(acc).acc
+    }
+
+    /// What each query's standalone execution would have reported
+    /// (registration order): rows scanned under its own narrowing, rows
+    /// matched, shards its plan needed vs pruned. `scan_nanos` is zero —
+    /// wall time belongs to the pass, not any one query.
+    pub fn query_stats(&self) -> &[QueryStats] {
+        &self.query_stats
+    }
+
+    /// What the shared scan physically did: each union shard counted
+    /// (and its columns read) once, however many queries swept it.
+    pub fn pass_stats(&self) -> QueryStats {
+        self.pass_stats
+    }
+
+    /// Registered query names, registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{cell_bin_car_triples, fold_per_car_views};
+    use conncar_cdr::{CdrDataset, CdrRecord};
+    use conncar_types::{BaseStationId, Carrier, DayOfWeek, StudyPeriod, Timestamp};
+
+    fn rec(car: u32, station: u32, start: u64, dur: u64) -> CdrRecord {
+        CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(BaseStationId(station), 0, Carrier::C3),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(start + dur),
+        }
+    }
+
+    fn sample_ds() -> CdrDataset {
+        let records = (0..500)
+            .map(|i| rec(i % 37, i % 9, (i as u64 * 3301) % 450_000, 25 + (i as u64 % 1_100)))
+            .collect();
+        CdrDataset::new(StudyPeriod::new(DayOfWeek::Monday, 7).unwrap(), records)
+    }
+
+    fn count_folder<'p>(
+        scan: &mut SharedScan<'p>,
+        name: &str,
+        filter: Filter,
+    ) -> FolderHandle<u64> {
+        scan.add_per_car(
+            name,
+            filter,
+            || 0u64,
+            |n, v| *n += v.selected_count() as u64,
+            |a, b| a + b,
+        )
+    }
+
+    #[test]
+    fn shared_scan_matches_standalone_passes() {
+        let ds = sample_ds();
+        let bin_limit = ds.period().total_bins();
+        let filters = [
+            Filter::all(),
+            Filter::all().car(CarId(3)),
+            Filter::all().window(Timestamp::from_secs(40_000), Timestamp::from_secs(200_000)),
+            Filter::all().cell(CellId::new(BaseStationId(4), 0, Carrier::C3)),
+        ];
+        for shards in [1, 2, 7, 64] {
+            let store = CdrStore::build(&ds, shards);
+            let mut scan = SharedScan::new(&store);
+            let counts: Vec<FolderHandle<u64>> = filters
+                .iter()
+                .enumerate()
+                .map(|(i, f)| count_folder(&mut scan, &format!("count-{i}"), f.clone()))
+                .collect();
+            let sums = scan.add_per_car(
+                "sums",
+                filters[2].clone(),
+                Vec::new,
+                |acc: &mut Vec<(CarId, u64)>, v| {
+                    let mut sum = 0u64;
+                    v.for_each_selected(|i| sum += v.ends[i] - v.starts[i]);
+                    acc.push((v.car, sum));
+                },
+                |mut a: Vec<(CarId, u64)>, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            );
+            let triples = scan.add_cell_bin_triples("triples", filters[1].clone(), bin_limit);
+            assert_eq!(scan.query_count(), 6);
+            let mut out = scan.run();
+
+            for (h, f) in counts.into_iter().zip(filters.iter()) {
+                let (want, _) = store.count(f);
+                assert_eq!(out.take(h), want, "shards={shards} filter={f:?}");
+            }
+            let mut got_sums = out.take(sums);
+            got_sums.sort_by_key(|&(car, _)| car);
+            let (want_sums, _) = fold_per_car_views(&store, &filters[2], |v| {
+                let mut sum = 0u64;
+                v.for_each_selected(|i| sum += v.ends[i] - v.starts[i]);
+                sum
+            });
+            assert_eq!(got_sums, want_sums, "shards={shards}");
+            let (want_triples, _) = cell_bin_car_triples(&store, &filters[1], bin_limit);
+            assert_eq!(out.take(triples), want_triples, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn per_query_stats_mirror_standalone_execution() {
+        let ds = sample_ds();
+        let store = CdrStore::build(&ds, 16);
+        let filters = [
+            Filter::all().car(CarId(5)),
+            Filter::all(),
+            Filter::all().window(Timestamp::from_secs(600_000), Timestamp::from_secs(700_000)),
+        ];
+        let mut scan = SharedScan::new(&store);
+        for (i, f) in filters.iter().enumerate() {
+            count_folder(&mut scan, &format!("q{i}"), f.clone());
+        }
+        let out = scan.run();
+        for (f, got) in filters.iter().zip(out.query_stats()) {
+            // Standalone reference over the view kernels (same walk).
+            let (_, want) = crate::kernels::fold_views(
+                &store,
+                f,
+                || 0u64,
+                |n, v| *n += v.selected_count() as u64,
+                |a, b| a + b,
+            );
+            assert_eq!(got.rows_scanned, want.rows_scanned, "{f:?}");
+            assert_eq!(got.rows_matched, want.rows_matched, "{f:?}");
+            assert_eq!(got.shards_scanned, want.shards_scanned, "{f:?}");
+            assert_eq!(got.shards_pruned, want.shards_pruned, "{f:?}");
+            assert_eq!(got.scan_nanos, 0, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn pass_counts_each_union_shard_once() {
+        let ds = sample_ds();
+        let store = CdrStore::build(&ds, 16);
+        // Three point queries and two full scans: the union is every
+        // non-empty shard, but each is physically scanned once.
+        let mut scan = SharedScan::new(&store);
+        for (i, car) in [3u32, 5, 7].iter().enumerate() {
+            count_folder(&mut scan, &format!("point-{i}"), Filter::all().car(CarId(*car)));
+        }
+        count_folder(&mut scan, "scan-0", Filter::all());
+        count_folder(&mut scan, "scan-1", Filter::all());
+        let out = scan.run();
+        let pass = out.pass_stats();
+        let naive_shards: u64 = out
+            .query_stats()
+            .iter()
+            .map(|s| u64::from(s.shards_scanned))
+            .sum();
+        assert_eq!(
+            u64::from(pass.shards_scanned) + u64::from(pass.shards_pruned),
+            store.shard_count() as u64
+        );
+        // Two full scans alone already need every union shard twice.
+        assert!(
+            naive_shards >= 2 * u64::from(pass.shards_scanned),
+            "naive {naive_shards} vs shared {}",
+            pass.shards_scanned
+        );
+        // Physical rows: each union shard's columns pulled once.
+        let union_rows: u64 = store
+            .shards()
+            .iter()
+            .filter(|s| !s.is_empty())
+            .map(|s| s.len() as u64)
+            .sum();
+        assert_eq!(pass.rows_scanned, union_rows);
+    }
+
+    #[test]
+    fn shards_no_query_needs_are_never_walked() {
+        let ds = sample_ds();
+        let store = CdrStore::build(&ds, 32);
+        let mut scan = SharedScan::new(&store);
+        count_folder(&mut scan, "point", Filter::all().car(CarId(11)));
+        let out = scan.run();
+        assert_eq!(out.pass_stats().shards_scanned, 1);
+        assert_eq!(
+            out.pass_stats().shards_pruned,
+            store.shard_count() as u32 - 1
+        );
+    }
+
+    #[test]
+    fn empty_batch_and_fully_pruned_queries() {
+        let ds = sample_ds();
+        let store = CdrStore::build(&ds, 4);
+        let scan = SharedScan::new(&store);
+        let out = scan.run();
+        assert_eq!(out.pass_stats().shards_scanned, 0);
+
+        let mut scan = SharedScan::new(&store);
+        let h = count_folder(
+            &mut scan,
+            "pruned",
+            Filter::all().window(Timestamp::from_secs(600_000), Timestamp::from_secs(700_000)),
+        );
+        let mut out = scan.run();
+        assert_eq!(out.take(h), 0);
+        assert_eq!(out.pass_stats().shards_scanned, 0);
+        assert_eq!(out.query_stats()[0].shards_scanned, 0);
+    }
+}

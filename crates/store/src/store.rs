@@ -4,10 +4,20 @@ use crate::columns::Shard;
 use conncar_cdr::{CdrDataset, CdrRecord};
 use conncar_obs::{Clock, MonotonicClock, SharedClock, SpanRecord};
 use conncar_types::{CarId, StudyPeriod};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default upper bound on the automatic shard count.
 const MAX_AUTO_SHARDS: usize = 64;
+
+/// Process-wide store build counter: every [`CdrStore::build`] claims
+/// the next generation number. Result caches key on
+/// `(request digest, generation)`, so results computed against one
+/// build can never be served for another — a rebuilt (re-cleaned,
+/// re-sharded) dataset invalidates every cached answer without the
+/// cache having to see the data. Identity only: generations never
+/// appear in query results or telemetry artifacts.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
 
 /// What building one shard cost (telemetry for the store-build span).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,6 +45,9 @@ pub struct CdrStore {
     /// whole query layer reports zero wall time, byte-identically.
     clock: SharedClock,
     build_stats: Vec<ShardBuildStats>,
+    /// This build's generation number (see [`NEXT_GENERATION`]).
+    /// Clones share it: they are views of the same laid-out data.
+    generation: u64,
 }
 
 impl CdrStore {
@@ -72,6 +85,7 @@ impl CdrStore {
             shards,
             clock,
             build_stats,
+            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -96,6 +110,15 @@ impl CdrStore {
     #[inline]
     pub fn clock(&self) -> &dyn Clock {
         &*self.clock
+    }
+
+    /// This build's generation number: unique per [`CdrStore::build`]
+    /// within the process, monotonically increasing. The cache-key
+    /// half that ties a cached result to the exact store build it was
+    /// computed against.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Per-shard build cost, in shard-id order.
@@ -238,6 +261,16 @@ mod tests {
             acc
         });
         assert!(counts.iter().all(|&n| n > 60), "skewed: {counts:?}");
+    }
+
+    #[test]
+    fn generations_are_unique_and_increasing() {
+        let ds = dataset(5, 2);
+        let a = CdrStore::build(&ds, 2);
+        let b = CdrStore::build(&ds, 2);
+        assert!(b.generation() > a.generation());
+        // A clone is a view of the same build, not a new one.
+        assert_eq!(a.clone().generation(), a.generation());
     }
 
     #[test]

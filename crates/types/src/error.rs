@@ -66,6 +66,24 @@ pub enum Error {
         /// The analysis that had nothing to consume.
         analysis: &'static str,
     },
+    /// A query filter that can never match any record — an inverted
+    /// time window or an explicitly empty id set. Rejected at query
+    /// admission instead of silently returning an empty result.
+    InvalidFilter {
+        /// Which predicate was rejected.
+        what: &'static str,
+        /// Why it was rejected.
+        why: String,
+    },
+    /// A query service refused admission because its bounded queue was
+    /// full. Back off and retry; results already computed are
+    /// unaffected.
+    Overloaded {
+        /// Requests already queued when this one arrived.
+        queued: usize,
+        /// The admission bound that was hit.
+        limit: usize,
+    },
     /// The ingest→clean pipeline could not produce a usable dataset
     /// from a byte stream: the input carried data, but nothing
     /// salvageable survived to be cleaned. Partial damage is *not* an
@@ -105,6 +123,13 @@ impl fmt::Display for Error {
             Error::UnsupportedVersion { found } => {
                 write!(f, "unsupported stream version {found}")
             }
+            Error::InvalidFilter { what, why } => {
+                write!(f, "invalid filter `{what}`: {why}")
+            }
+            Error::Overloaded { queued, limit } => write!(
+                f,
+                "query service overloaded: {queued} requests queued (limit {limit})"
+            ),
             Error::Io(msg) => write!(f, "I/O error: {msg}"),
             Error::EmptyInput { analysis } => {
                 write!(f, "analysis `{analysis}` received no input data")
@@ -161,6 +186,16 @@ mod tests {
             why: "nothing salvageable".into(),
         };
         assert!(e.to_string().contains("salvage"), "{e}");
+        let e = Error::InvalidFilter {
+            what: "window",
+            why: "start 9 is not before end 3".into(),
+        };
+        assert!(e.to_string().contains("invalid filter `window`"), "{e}");
+        let e = Error::Overloaded {
+            queued: 128,
+            limit: 128,
+        };
+        assert!(e.to_string().contains("limit 128"), "{e}");
     }
 
     #[test]

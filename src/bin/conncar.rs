@@ -1,4 +1,5 @@
-//! `conncar` — record and replay deterministic pipeline runs.
+//! `conncar` — record/replay deterministic pipeline runs and serve
+//! ad-hoc queries.
 //!
 //! ```text
 //! conncar record <fixture> [--out DIR]   # record one golden-corpus fixture
@@ -6,25 +7,37 @@
 //! conncar record --list                  # list corpus fixture names
 //! conncar replay <dir>                   # replay DIR/trace.json against DIR/golden.json
 //! conncar replay <trace.json> <golden.json>
+//! conncar query [filter/agg flags]       # one-shot query against a generated store
+//! conncar serve [server flags]           # framed-TCP query server (stops on stdin EOF)
 //! ```
 //!
 //! `record` writes `<out>/<name>/trace.json` (the replayable capture)
 //! and `<out>/<name>/golden.json` (per-stage digests) side by side;
 //! `--out` defaults to `tests/golden`. `replay` reconstructs the run
 //! from the trace alone and diffs every stage, printing a report that
-//! names the first diverging stage.
+//! names the first diverging stage. `query` generates the selected
+//! study fixture, builds the store, runs one `QueryRequest` and prints
+//! the result plus its `QueryStats`; `serve` starts the conncar-serve
+//! front door on the same store and runs until stdin closes.
 //!
-//! Exit codes: 0 clean, 1 divergence, 2 usage/IO error.
+//! Exit codes: 0 clean, 1 divergence/refused query, 2 usage/IO error.
 
+use conncar::{StudyConfig, StudyData};
 use conncar_replay::{corpus, verify_and_replay, Recipe};
+use conncar_serve::{Aggregation, QueryRequest, ServeEngine, ServeServer};
+use conncar_store::{CdrStore, Filter, QueryStats, RecordKind};
+use conncar_types::{BaseStationId, CarId, Carrier, CellId, Duration, Timestamp};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("record") => record_cmd(args.collect()),
         Some("replay") => replay_cmd(args.collect()),
+        Some("query") => query_cmd(args.collect()),
+        Some("serve") => serve_cmd(args.collect()),
         Some("--help") | Some("-h") => {
             print!("{HELP}");
             ExitCode::SUCCESS
@@ -34,13 +47,278 @@ fn main() -> ExitCode {
     }
 }
 
-const HELP: &str = "conncar: deterministic record/replay for the study pipeline\n\
+const HELP: &str = "conncar: deterministic record/replay and query serving for the study pipeline\n\
 usage:\n\
   conncar record <fixture> [--out DIR]   record one golden-corpus fixture\n\
   conncar record --all [--out DIR]       record the whole corpus\n\
   conncar record --list                  list corpus fixture names\n\
   conncar replay <dir>                   replay DIR/trace.json against DIR/golden.json\n\
-  conncar replay <trace.json> <golden.json>\n";
+  conncar replay <trace.json> <golden.json>\n\
+  conncar query [--fixture tiny|small] [--shards N]\n\
+                [--car ID]... [--cell STATION:SECTOR:CARRIER]... [--carrier C1..C5]\n\
+                [--window START_SECS END_SECS] [--kind any|shorter:SECS|atleast:SECS]\n\
+                [--agg count|rows|per-car-seconds|histogram] [--limit N]\n\
+  conncar serve [--fixture tiny|small] [--shards N] [--addr HOST:PORT]\n\
+                [--workers N] [--queue N] [--cache N] [--epoch N]\n";
+
+/// Parse the shared `--fixture`/`--shards` pair and build the store.
+struct StoreOpts {
+    fixture: String,
+    shards: Option<usize>,
+}
+
+impl StoreOpts {
+    fn new() -> StoreOpts {
+        StoreOpts {
+            fixture: "tiny".to_string(),
+            shards: None,
+        }
+    }
+
+    /// Consume the flag if it is one of ours.
+    fn take(
+        &mut self,
+        flag: &str,
+        it: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match flag {
+            "--fixture" => {
+                self.fixture = it.next().ok_or("--fixture needs a value")?;
+                Ok(true)
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                self.shards = Some(v.parse().map_err(|_| format!("bad --shards `{v}`"))?);
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    fn build(&self) -> Result<CdrStore, String> {
+        let cfg = match self.fixture.as_str() {
+            "tiny" => StudyConfig::tiny(),
+            "small" => StudyConfig::small(),
+            other => return Err(format!("unknown fixture `{other}` (tiny|small)")),
+        };
+        let study = StudyData::generate(&cfg).map_err(|e| format!("generating study: {e}"))?;
+        eprintln!(
+            "fixture `{}`: {} cars, {} cleaned records",
+            self.fixture,
+            study.total_cars(),
+            study.clean.len()
+        );
+        Ok(match self.shards {
+            Some(n) => CdrStore::build(&study.clean, n),
+            None => CdrStore::build_auto(&study.clean),
+        })
+    }
+}
+
+fn parse_cell(v: &str) -> Result<CellId, String> {
+    let parts: Vec<&str> = v.split(':').collect();
+    let [station, sector, carrier] = parts.as_slice() else {
+        return Err(format!("bad --cell `{v}` (want STATION:SECTOR:CARRIER)"));
+    };
+    let station: u32 = station.parse().map_err(|_| format!("bad station `{station}`"))?;
+    let sector: u8 = sector.parse().map_err(|_| format!("bad sector `{sector}`"))?;
+    let carrier = parse_carrier(carrier)?;
+    Ok(CellId::new(BaseStationId(station), sector, carrier))
+}
+
+fn parse_carrier(v: &str) -> Result<Carrier, String> {
+    match v {
+        "C1" | "c1" => Ok(Carrier::C1),
+        "C2" | "c2" => Ok(Carrier::C2),
+        "C3" | "c3" => Ok(Carrier::C3),
+        "C4" | "c4" => Ok(Carrier::C4),
+        "C5" | "c5" => Ok(Carrier::C5),
+        other => Err(format!("bad carrier `{other}` (C1..C5)")),
+    }
+}
+
+fn parse_kind(v: &str) -> Result<RecordKind, String> {
+    if v == "any" {
+        return Ok(RecordKind::Any);
+    }
+    let parse_secs = |s: &str| -> Result<u64, String> {
+        s.parse().map_err(|_| format!("bad duration `{s}` in --kind"))
+    };
+    if let Some(s) = v.strip_prefix("shorter:") {
+        return Ok(RecordKind::ShorterThan(Duration::from_secs(parse_secs(s)?)));
+    }
+    if let Some(s) = v.strip_prefix("atleast:") {
+        return Ok(RecordKind::AtLeast(Duration::from_secs(parse_secs(s)?)));
+    }
+    Err(format!("bad --kind `{v}` (any|shorter:SECS|atleast:SECS)"))
+}
+
+fn print_stats(stats: &QueryStats, cache_hit: bool) {
+    println!(
+        "stats: rows_scanned={} rows_matched={} shards_scanned={} shards_pruned={} \
+         index_scans={} full_scans={} scan_nanos={} cache_hit={}",
+        stats.rows_scanned,
+        stats.rows_matched,
+        stats.shards_scanned,
+        stats.shards_pruned,
+        stats.index_scans,
+        stats.full_scans,
+        stats.scan_nanos,
+        cache_hit
+    );
+}
+
+fn query_cmd(args: Vec<String>) -> ExitCode {
+    let mut store_opts = StoreOpts::new();
+    let mut cars: Vec<CarId> = Vec::new();
+    let mut cells: Vec<CellId> = Vec::new();
+    let mut carrier: Option<Carrier> = None;
+    let mut window: Option<(u64, u64)> = None;
+    let mut kind = RecordKind::Any;
+    let mut agg = "count".to_string();
+    let mut limit = 20usize;
+
+    let mut it = args.into_iter();
+    let parsed = (|| -> Result<(), String> {
+        while let Some(arg) = it.next() {
+            if store_opts.take(&arg, &mut it)? {
+                continue;
+            }
+            match arg.as_str() {
+                "--car" => {
+                    let v = it.next().ok_or("--car needs a value")?;
+                    cars.push(CarId(v.parse().map_err(|_| format!("bad --car `{v}`"))?));
+                }
+                "--cell" => cells.push(parse_cell(&it.next().ok_or("--cell needs a value")?)?),
+                "--carrier" => {
+                    carrier = Some(parse_carrier(&it.next().ok_or("--carrier needs a value")?)?);
+                }
+                "--window" => {
+                    let s = it.next().ok_or("--window needs START and END")?;
+                    let e = it.next().ok_or("--window needs START and END")?;
+                    let s: u64 = s.parse().map_err(|_| format!("bad window start `{s}`"))?;
+                    let e: u64 = e.parse().map_err(|_| format!("bad window end `{e}`"))?;
+                    window = Some((s, e));
+                }
+                "--kind" => kind = parse_kind(&it.next().ok_or("--kind needs a value")?)?,
+                "--agg" => agg = it.next().ok_or("--agg needs a value")?,
+                "--limit" => {
+                    let v = it.next().ok_or("--limit needs a value")?;
+                    limit = v.parse().map_err(|_| format!("bad --limit `{v}`"))?;
+                }
+                other => return Err(format!("unknown query flag `{other}`")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(msg) = parsed {
+        return usage(&msg);
+    }
+
+    let store = match store_opts.build() {
+        Ok(s) => s,
+        Err(msg) => return usage(&msg),
+    };
+
+    let mut filter = Filter::all().kind(kind);
+    if !cars.is_empty() {
+        filter = filter.cars(cars);
+    }
+    if !cells.is_empty() {
+        filter = filter.cells(cells);
+    }
+    if let Some(c) = carrier {
+        filter = filter.carrier(c);
+    }
+    if let Some((s, e)) = window {
+        filter = filter.window(Timestamp::from_secs(s), Timestamp::from_secs(e));
+    }
+    let agg = match agg.as_str() {
+        "count" => Aggregation::Count,
+        "rows" => Aggregation::Rows,
+        "per-car-seconds" => Aggregation::PerCarSeconds,
+        "histogram" => Aggregation::CellBinHistogram {
+            bin_limit: store.period().total_bins(),
+        },
+        other => return usage(&format!("unknown --agg `{other}`")),
+    };
+
+    let req = QueryRequest::new(filter, agg);
+    let mut engine = ServeEngine::new(Arc::new(store), 1, 1);
+    match engine.submit(&req) {
+        Ok(resp) => {
+            print!("{}", resp.value.render(limit));
+            print_stats(&resp.stats, resp.cache_hit);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("query refused: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve_cmd(args: Vec<String>) -> ExitCode {
+    let mut store_opts = StoreOpts::new();
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut workers = 4usize;
+    let mut queue = 256usize;
+    let mut cache = 256usize;
+    let mut epoch = 16usize;
+
+    let mut it = args.into_iter();
+    let parsed = (|| -> Result<(), String> {
+        while let Some(arg) = it.next() {
+            if store_opts.take(&arg, &mut it)? {
+                continue;
+            }
+            fn num(
+                name: &str,
+                it: &mut impl Iterator<Item = String>,
+            ) -> Result<usize, String> {
+                let v = it.next().ok_or(format!("{name} needs a value"))?;
+                v.parse().map_err(|_| format!("bad {name} `{v}`"))
+            }
+            match arg.as_str() {
+                "--addr" => addr = it.next().ok_or("--addr needs a value")?,
+                "--workers" => workers = num("--workers", &mut it)?,
+                "--queue" => queue = num("--queue", &mut it)?,
+                "--cache" => cache = num("--cache", &mut it)?,
+                "--epoch" => epoch = num("--epoch", &mut it)?,
+                other => return Err(format!("unknown serve flag `{other}`")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(msg) = parsed {
+        return usage(&msg);
+    }
+
+    let store = match store_opts.build() {
+        Ok(s) => s,
+        Err(msg) => return usage(&msg),
+    };
+    let engine = ServeEngine::new(Arc::new(store), cache, epoch);
+    let server = match ServeServer::bind(addr.as_str(), engine, workers, queue) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: binding {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("serving on {} (EOF on stdin stops)", server.local_addr());
+    // Block until the controlling process closes stdin, then drain.
+    let mut sink = String::new();
+    while std::io::stdin().read_line(&mut sink).unwrap_or(0) > 0 {
+        sink.clear();
+    }
+    let engine = server.shutdown();
+    println!("served counters:");
+    for (key, value) in engine.counters().iter() {
+        println!("  {key} = {value}");
+    }
+    ExitCode::SUCCESS
+}
 
 fn record_cmd(args: Vec<String>) -> ExitCode {
     let mut out_dir = PathBuf::from("tests/golden");
