@@ -180,7 +180,7 @@ fn main() {
         latencies.extend(t.join().expect("client thread"));
     }
     let wall_ns = clock.now_nanos().saturating_sub(t0).max(1);
-    let tcp_engine = server.shutdown();
+    let tcp_engine = server.shutdown().expect("clean shutdown");
     let tc = tcp_engine.counters();
 
     latencies.sort_unstable();

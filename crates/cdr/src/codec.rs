@@ -52,7 +52,7 @@ impl BinaryCodec {
                 why: format!("stream too short for header: {} bytes", data.len()),
             });
         }
-        if &data[..4] != MAGIC {
+        if data.get(..4) != Some(MAGIC.as_slice()) {
             return Err(Error::Decode {
                 offset: Some(0),
                 why: "bad magic (expected CDR1)".into(),

@@ -1,0 +1,670 @@
+//! Lightweight intraprocedural dataflow over the token stream.
+//!
+//! Rules L5–L7 need more than token pattern-matching: they reason about
+//! *state that flows between tokens* — how long a `MutexGuard` stays
+//! live, and which integer values derive from wire- or file-borne
+//! bytes. This module derives both from the token stream the lexer
+//! already builds, without an AST:
+//!
+//! - [`guard_spans`] finds every lock acquisition (`.lock()` and the
+//!   sanctioned `lock_or_poisoned`/`lock_recover` helpers), names the
+//!   lock after the receiver's field, and computes the token span the
+//!   guard stays live over (end of the enclosing block for let-bound
+//!   guards, shrunk by an explicit `drop(guard)`; end of statement for
+//!   temporaries; the `if let`/`while let` body for condition-bound
+//!   guards).
+//! - [`taint_flags`] tracks *tainted lengths*: values produced by
+//!   cursor integer reads, `from_le_bytes`-family decodes, or
+//!   length-named integer parameters, propagated through `let`
+//!   bindings and cleared by a registered clamp ([`CLAMP_CALLS`]) or a
+//!   bounds comparison (`len > MAX` / `len < limit` — the code
+//!   demonstrably range-checks the value, which a token scanner cannot
+//!   see past).
+//!
+//! Both analyses are deliberately heuristic: they are tuned to have no
+//! false positives on this workspace's idioms, and every miss class is
+//! documented in DESIGN.md §14. They run only inside the lint crate, so
+//! imprecision costs a missed finding, never a broken build.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Method names that consume a lock result by panicking on poison.
+pub const UNWRAP_FAMILY: &[&str] = &[
+    "unwrap",
+    "expect",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "unwrap_unchecked",
+];
+
+/// Registered clamps: a tainted length that passes through one of
+/// these calls in the same expression is considered bounded.
+pub const CLAMP_CALLS: &[&str] = &[
+    "min",
+    "clamp",
+    "checked_add",
+    "checked_sub",
+    "checked_mul",
+    "saturating_add",
+    "saturating_sub",
+    "saturating_mul",
+];
+
+/// Cursor-style integer reads: `c.u32()` and friends.
+const SOURCE_METHODS: &[&str] = &["u8", "u16", "u32", "u64"];
+
+/// Free/associated decode calls whose result is wire-derived.
+const SOURCE_FNS: &[&str] = &[
+    "from_le_bytes",
+    "from_be_bytes",
+    "from_ne_bytes",
+    "le_u32_at",
+    "le_u64_at",
+];
+
+/// Integer parameter types eligible for name-based param tainting.
+const TAINTED_PARAM_TYPES: &[&str] = &["u16", "u32", "u64", "usize"];
+
+/// One live lock-guard region.
+#[derive(Debug, Clone)]
+pub struct GuardSpan {
+    /// Lock name — the receiver's final field ident (`state`, `slots`).
+    pub lock: String,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+    /// Token index of the `lock`/helper ident.
+    pub acquire: usize,
+    /// First token index after the acquisition expression (past any
+    /// chained `?` or unwrap-family call).
+    pub body_start: usize,
+    /// Exclusive token index where the guard dies.
+    pub end: usize,
+    /// Unwrap-family method chained directly onto the lock result.
+    pub unwrapped: Option<String>,
+}
+
+/// Find the matching close punct for the opener at `open`.
+pub fn matching_close(toks: &[Token], open: usize, oc: char, cc: char) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct(oc) {
+            depth += 1;
+        } else if toks[i].is_punct(cc) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Find the matching open punct for the closer at `close`, backwards.
+fn matching_open_back(toks: &[Token], close: usize, oc: char, cc: char) -> usize {
+    let mut depth = 0i32;
+    let mut i = close;
+    loop {
+        if toks[i].is_punct(cc) {
+            depth += 1;
+        } else if toks[i].is_punct(oc) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        if i == 0 {
+            return 0;
+        }
+        i -= 1;
+    }
+}
+
+/// Every live guard region in the file, test code excluded.
+pub fn guard_spans(toks: &[Token]) -> Vec<GuardSpan> {
+    // Pre-pass: close index for every `{`.
+    let mut close_of = vec![usize::MAX; toks.len()];
+    {
+        let mut stack = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.is_punct('{') {
+                stack.push(i);
+            } else if t.is_punct('}') {
+                if let Some(o) = stack.pop() {
+                    close_of[o] = i;
+                }
+            }
+        }
+    }
+
+    let mut spans = Vec::new();
+    let mut brace_stack: Vec<usize> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_punct('{') {
+            brace_stack.push(i);
+        } else if toks[i].is_punct('}') {
+            brace_stack.pop();
+        }
+        if toks[i].in_test {
+            continue;
+        }
+        let Some(name) = toks[i].ident() else { continue };
+        let called = toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+        let after_fn = i >= 1 && toks[i - 1].ident() == Some("fn");
+        let lock = match name {
+            "lock" if called && i >= 1 && toks[i - 1].is_punct('.') => {
+                receiver_name(toks, i.saturating_sub(2))
+            }
+            "lock_or_poisoned" | "lock_recover" if called && !after_fn => {
+                first_arg_name(toks, i + 1)
+            }
+            _ => continue,
+        };
+        let call_close = matching_close(toks, i + 1, '(', ')');
+
+        // Chained handling of the lock result: optional `?`, then an
+        // unwrap-family call.
+        let mut j = call_close + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct('?')) {
+            j += 1;
+        }
+        let mut unwrapped = None;
+        if toks.get(j).is_some_and(|t| t.is_punct('.')) {
+            if let Some(m) = toks.get(j + 1).and_then(Token::ident) {
+                if UNWRAP_FAMILY.contains(&m) {
+                    unwrapped = Some(m.to_string());
+                    if toks.get(j + 2).is_some_and(|t| t.is_punct('(')) {
+                        j = matching_close(toks, j + 2, '(', ')') + 1;
+                    } else {
+                        j += 2;
+                    }
+                }
+            }
+        }
+        let body_start = j;
+
+        // A further method call on the lock chain (`lock_recover(..)
+        // .iter_mut()…`) consumes the guard inside this statement:
+        // whatever a `let` binds is the chain's result, not the guard,
+        // so the guard is a statement temporary.
+        let chained_away = toks.get(body_start).is_some_and(|t| t.is_punct('.'))
+            && toks.get(body_start + 1).and_then(Token::ident).is_some();
+
+        let end = match if chained_away { None } else { binding_of(toks, i) } {
+            Some((var, conditional)) => {
+                let mut end = if conditional {
+                    // `if let` / `while let`: the guard lives exactly
+                    // for the condition's block.
+                    let mut k = body_start;
+                    while k < toks.len() && !toks[k].is_punct('{') {
+                        k += 1;
+                    }
+                    if k < toks.len() && close_of[k] != usize::MAX {
+                        close_of[k]
+                    } else {
+                        toks.len()
+                    }
+                } else {
+                    match brace_stack.last() {
+                        Some(&o) if close_of[o] != usize::MAX => close_of[o],
+                        _ => toks.len(),
+                    }
+                };
+                // An explicit `drop(guard)` releases early.
+                let mut k = body_start;
+                while k + 3 < end.min(toks.len()) {
+                    if toks[k].ident() == Some("drop")
+                        && toks[k + 1].is_punct('(')
+                        && toks[k + 2].ident() == Some(var.as_str())
+                        && toks[k + 3].is_punct(')')
+                    {
+                        end = k;
+                        break;
+                    }
+                    k += 1;
+                }
+                end
+            }
+            None => {
+                // Temporary guard: lives to the end of the statement.
+                let mut k = body_start;
+                while k < toks.len() && !toks[k].is_punct(';') {
+                    k += 1;
+                }
+                k
+            }
+        };
+
+        spans.push(GuardSpan {
+            lock,
+            line: toks[i].line,
+            acquire: i,
+            body_start,
+            end,
+            unwrapped,
+        });
+    }
+    spans
+}
+
+/// Name of the receiver chain ending at `j` (the token before the `.`
+/// of a method call): the nearest field ident, skipping one balanced
+/// call-paren group (`make_table().lock()` names `make_table`).
+fn receiver_name(toks: &[Token], mut j: usize) -> String {
+    if toks[j].is_punct(')') {
+        let open = matching_open_back(toks, j, '(', ')');
+        if open == 0 {
+            return "unknown".into();
+        }
+        j = open - 1;
+    }
+    match toks[j].ident() {
+        Some(s) => s.to_string(),
+        None => "unknown".into(),
+    }
+}
+
+/// Last ident of the first argument of the call opening at `open`
+/// (`lock_or_poisoned(&self.shared.state, "…")` names `state`).
+fn first_arg_name(toks: &[Token], open: usize) -> String {
+    let close = matching_close(toks, open, '(', ')');
+    let mut name = String::from("unknown");
+    let mut depth = 0i32;
+    for t in &toks[open + 1..close] {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(',') {
+            break;
+        } else if depth == 0 {
+            if let Some(s) = t.ident() {
+                if s != "self" && s != "mut" {
+                    name = s.to_string();
+                }
+            }
+        }
+    }
+    name
+}
+
+/// If the acquisition at `i` sits in a `let` statement, return the
+/// bound variable and whether the `let` is an `if let`/`while let`
+/// condition (whose guard lives only for the condition's block).
+fn binding_of(toks: &[Token], i: usize) -> Option<(String, bool)> {
+    // Walk back to the statement start looking for `let`.
+    let mut l = i;
+    loop {
+        if l == 0 {
+            return None;
+        }
+        l -= 1;
+        let t = &toks[l];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return None;
+        }
+        if t.ident() == Some("let") {
+            break;
+        }
+    }
+    let conditional = l >= 1 && matches!(toks[l - 1].ident(), Some("if") | Some("while"));
+
+    // Bound name: last pattern ident before the `=` (or before a
+    // top-level `:` type annotation), skipping binding keywords.
+    let mut name = None;
+    let mut depth = 0i32;
+    let mut k = l + 1;
+    while k < i {
+        let t = &toks[k];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && (t.is_punct(':') || t.is_punct('=')) {
+            break;
+        } else if let Some(s) = t.ident() {
+            if !matches!(s, "mut" | "ref" | "Ok" | "Err" | "Some" | "None") {
+                name = Some(s.to_string());
+            }
+        }
+        k += 1;
+    }
+    name.map(|n| (n, conditional))
+}
+
+/// Is the token at `i` a call producing a wire-derived integer?
+pub fn is_source_call(toks: &[Token], i: usize) -> bool {
+    let Some(s) = toks[i].ident() else {
+        return false;
+    };
+    if !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+        return false;
+    }
+    (SOURCE_METHODS.contains(&s) && i >= 1 && toks[i - 1].is_punct('.'))
+        || SOURCE_FNS.contains(&s)
+}
+
+/// Is the token at `i` a registered clamp call?
+pub fn is_clamp_call(toks: &[Token], i: usize) -> bool {
+    toks[i].ident().is_some_and(|s| CLAMP_CALLS.contains(&s))
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+}
+
+/// Does a parameter name look length-like (worth tainting)?
+fn length_like(name: &str) -> bool {
+    name == "n"
+        || name.contains("len")
+        || name.contains("count")
+        || name.contains("size")
+        || name.contains("cap")
+}
+
+/// Per-token taint: `flags[i]` is true when token `i` is an identifier
+/// holding a wire-derived length at that point in the scan.
+///
+/// `taint_params` additionally taints length-named integer parameters
+/// at function entry — used for the wire-facing files where lengths
+/// cross function boundaries (`read_chunk` reads the count,
+/// `read_body` allocates from it).
+pub fn taint_flags(toks: &[Token], taint_params: bool) -> Vec<bool> {
+    let mut flags = vec![false; toks.len()];
+    let mut tainted: Vec<String> = Vec::new();
+    // Deferred `let`-binding effects: (apply_at, name, add).
+    let mut pending: Vec<(usize, String, bool)> = Vec::new();
+
+    for i in 0..toks.len() {
+        let mut p = 0;
+        while p < pending.len() {
+            if i >= pending[p].0 {
+                let (_, name, add) = pending.remove(p);
+                if add {
+                    if !tainted.contains(&name) {
+                        tainted.push(name);
+                    }
+                } else {
+                    tainted.retain(|t| *t != name);
+                }
+            } else {
+                p += 1;
+            }
+        }
+
+        let Some(s) = toks[i].ident() else { continue };
+        match s {
+            "fn" => {
+                tainted.clear();
+                pending.clear();
+                if taint_params {
+                    taint_fn_params(toks, i, &mut tainted);
+                }
+            }
+            "let" => {
+                let Some((name, eq)) = let_binding_forward(toks, i) else {
+                    continue;
+                };
+                // Initializer: `=` to the statement's `;`.
+                let mut stmt_end = eq + 1;
+                let mut depth = 0i32;
+                while stmt_end < toks.len() {
+                    let t = &toks[stmt_end];
+                    if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                        depth -= 1;
+                    } else if t.is_punct(';') && depth <= 0 {
+                        break;
+                    }
+                    stmt_end += 1;
+                }
+                let mut has_clamp = false;
+                let mut has_taint = false;
+                for k in eq + 1..stmt_end {
+                    if is_clamp_call(toks, k) {
+                        has_clamp = true;
+                    }
+                    if is_source_call(toks, k) {
+                        has_taint = true;
+                    }
+                    if let Some(id) = toks[k].ident() {
+                        if tainted.iter().any(|t| t == id) {
+                            has_taint = true;
+                        }
+                    }
+                }
+                pending.push((stmt_end + 1, name, has_taint && !has_clamp));
+            }
+            _ => {
+                if tainted.iter().any(|n| n == s) {
+                    flags[i] = true;
+                    // A bounds comparison untaints: the code
+                    // demonstrably range-checks the value.
+                    let next_cmp = toks
+                        .get(i + 1)
+                        .is_some_and(|t| t.is_punct('<') || t.is_punct('>'));
+                    let prev_cmp =
+                        i >= 1 && (toks[i - 1].is_punct('<') || toks[i - 1].is_punct('>'));
+                    if next_cmp || prev_cmp {
+                        tainted.retain(|n| n != s);
+                    }
+                }
+            }
+        }
+    }
+    flags
+}
+
+/// Taint length-named integer parameters of the `fn` at `i`.
+fn taint_fn_params(toks: &[Token], i: usize, tainted: &mut Vec<String>) {
+    // Find the parameter list's `(`, skipping `<…>` generics.
+    let mut k = i + 1;
+    let mut angle = 0i32;
+    while k < toks.len() {
+        if toks[k].is_punct('<') {
+            angle += 1;
+        } else if toks[k].is_punct('>') {
+            angle -= 1;
+        } else if toks[k].is_punct('(') && angle <= 0 {
+            break;
+        } else if toks[k].is_punct('{') || toks[k].is_punct(';') {
+            return;
+        }
+        k += 1;
+    }
+    if k >= toks.len() {
+        return;
+    }
+    let close = matching_close(toks, k, '(', ')');
+    let mut p = k + 1;
+    let mut depth = 0i32;
+    while p < close {
+        let t = &toks[p];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth -= 1;
+        } else if depth == 0
+            && t.ident().is_some()
+            && toks.get(p + 1).is_some_and(|t| t.is_punct(':'))
+        {
+            let name = t.ident().unwrap_or("");
+            // First meaningful type token after `:`.
+            let mut q = p + 2;
+            while q < close
+                && (toks[q].is_punct('&')
+                    || toks[q].kind == TokenKind::Lifetime
+                    || matches!(toks[q].ident(), Some("mut") | Some("impl") | Some("dyn")))
+            {
+                q += 1;
+            }
+            if length_like(name)
+                && toks
+                    .get(q)
+                    .and_then(Token::ident)
+                    .is_some_and(|ty| TAINTED_PARAM_TYPES.contains(&ty))
+                && !tainted.iter().any(|t| t == name)
+            {
+                tainted.push(name.to_string());
+            }
+        }
+        p += 1;
+    }
+}
+
+/// Bound name and `=` index for the `let` at `l` (forward form).
+fn let_binding_forward(toks: &[Token], l: usize) -> Option<(String, usize)> {
+    let mut name = None;
+    let mut depth = 0i32;
+    let mut k = l + 1;
+    let mut past_colon = false;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(':') {
+            past_colon = true;
+        } else if depth == 0 && t.is_punct('=') {
+            // Plain `=`, not `==`/`=>`.
+            let part_of_cmp = toks.get(k + 1).is_some_and(|n| n.is_punct('=') || n.is_punct('>'));
+            if !part_of_cmp {
+                return name.map(|n| (n, k));
+            }
+            k += 1;
+        } else if t.is_punct(';') || t.is_punct('{') {
+            return None;
+        } else if !past_colon {
+            if let Some(s) = t.ident() {
+                if !matches!(s, "mut" | "ref" | "Ok" | "Err" | "Some" | "None") {
+                    name = Some(s.to_string());
+                }
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    #[test]
+    fn let_bound_guard_lives_to_block_end_and_drop_shrinks_it() {
+        let toks = tokenize(
+            "fn f(m: &Mutex<u32>) {\n\
+             let g = m.lock().unwrap();\n\
+             use_it(&g);\n\
+             drop(g);\n\
+             after();\n\
+             }",
+        );
+        let spans = guard_spans(&toks);
+        assert_eq!(spans.len(), 1);
+        let g = &spans[0];
+        assert_eq!(g.lock, "m");
+        assert_eq!(g.unwrapped.as_deref(), Some("unwrap"));
+        // `after()` sits past the `drop(g)` release.
+        let after = toks
+            .iter()
+            .position(|t| t.ident() == Some("after"))
+            .unwrap();
+        assert!(g.end <= after);
+    }
+
+    #[test]
+    fn helper_acquisition_names_the_lock_from_its_first_argument() {
+        let toks = tokenize(
+            "fn f(s: &Shared) -> Result<()> {\n\
+             let state = lock_or_poisoned(&s.shared.state, \"serve.ServiceState\")?;\n\
+             Ok(())\n\
+             }",
+        );
+        let spans = guard_spans(&toks);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].lock, "state");
+        assert_eq!(spans[0].unwrapped, None);
+    }
+
+    #[test]
+    fn if_let_guard_is_scoped_to_the_condition_block() {
+        let toks = tokenize(
+            "fn f(s: &Shared) {\n\
+             if let Ok(mut state) = lock_or_poisoned(&s.state, \"w\") {\n\
+             state.open = false;\n\
+             }\n\
+             handle.join();\n\
+             }",
+        );
+        let spans = guard_spans(&toks);
+        assert_eq!(spans.len(), 1);
+        let join = toks.iter().position(|t| t.ident() == Some("join")).unwrap();
+        assert!(spans[0].end < join, "guard must die before the join call");
+    }
+
+    #[test]
+    fn wire_reads_taint_and_comparisons_untaint() {
+        let toks = tokenize(
+            "fn f(r: &mut impl Read) {\n\
+             let len = u32::from_le_bytes(b) as usize;\n\
+             if len > MAX {\n\
+             return;\n\
+             }\n\
+             let v = vec![0u8; len];\n\
+             }",
+        );
+        let flags = taint_flags(&toks, false);
+        let positions: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.ident() == Some("len"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(positions.len(), 3);
+        // Tainted at the comparison, clean at the allocation.
+        assert!(flags[positions[1]]);
+        assert!(!flags[positions[2]]);
+    }
+
+    #[test]
+    fn clamped_initializers_do_not_propagate_taint() {
+        let toks = tokenize(
+            "fn f(c: &mut Cursor) {\n\
+             let n = c.u32() as usize;\n\
+             let bounded = n.min(CAP);\n\
+             let v = Vec::with_capacity(bounded);\n\
+             let w = Vec::with_capacity(n);\n\
+             }",
+        );
+        let flags = taint_flags(&toks, false);
+        let bounded_uses: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.ident() == Some("bounded"))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!flags[bounded_uses[1]], "clamped binding must be clean");
+        let n_uses: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.ident() == Some("n"))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(flags[*n_uses.last().unwrap()], "raw length stays tainted");
+    }
+
+    #[test]
+    fn length_named_params_are_tainted_on_request() {
+        let toks = tokenize("fn take(&mut self, n: usize) { self.use_len(n); }");
+        let flags = taint_flags(&toks, true);
+        let last_n = toks
+            .iter()
+            .rposition(|t| t.ident() == Some("n"))
+            .unwrap();
+        assert!(flags[last_n]);
+        let untracked = taint_flags(&toks, false);
+        assert!(!untracked[last_n]);
+    }
+}

@@ -363,3 +363,102 @@ fn attr_is_test(attr: &[Token]) -> bool {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents_from_the_token_stream() {
+        // A `HashMap` spelled inside a raw string must not become an
+        // ident — and the hash fence must not eat following tokens.
+        let src = r##"let s = r#"HashMap::new() "quoted" inside"#; after();"##;
+        let names = idents(src);
+        assert!(!names.contains(&"HashMap".to_string()), "{names:?}");
+        assert!(names.contains(&"after".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn raw_string_line_accounting_survives_embedded_newlines() {
+        let src = "let s = r#\"line one\nline two\n\"#;\nInstant::now();\n";
+        let toks = tokenize(src);
+        let instant = toks.iter().find(|t| t.ident() == Some("Instant")).unwrap();
+        assert_eq!(instant.line, 4);
+    }
+
+    #[test]
+    fn byte_strings_and_raw_byte_strings_are_literals_not_tokens() {
+        let names = idents(r##"let a = b"unwrap()"; let c = br#"panic!"#; tail();"##);
+        assert!(!names.contains(&"unwrap".to_string()), "{names:?}");
+        assert!(!names.contains(&"panic".to_string()), "{names:?}");
+        assert!(names.contains(&"tail".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn an_ident_prefixed_b_or_r_is_not_a_string_opener() {
+        // `b` / `r` as ordinary idents followed by a string must leave
+        // the variable names intact.
+        let names = idents("let b = 1; let r = b; take(r, \"x\");");
+        assert!(names.contains(&"b".to_string()));
+        assert!(names.contains(&"take".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_skip_to_the_matching_close() {
+        // Rust block comments nest: the inner `/* */` must not
+        // terminate the outer comment early.
+        let src = "/* outer /* inner unwrap() */ still comment */ visible();";
+        let names = idents(src);
+        assert_eq!(names, vec!["visible".to_string()]);
+    }
+
+    #[test]
+    fn block_comment_newlines_count_toward_line_numbers() {
+        let src = "/* one\ntwo\nthree */\nmarker();\n";
+        let toks = tokenize(src);
+        assert_eq!(toks[0].ident(), Some("marker"));
+        assert_eq!(toks[0].line, 4);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = tokenize("fn f<'a>(x: &'a str) -> &'a str { x }");
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+        // And a real char literal containing a quote-worthy byte stays
+        // a literal: no stray tokens.
+        let names = idents("let c = 'x'; let esc = '\\''; done();");
+        assert_eq!(names, vec!["let", "c", "let", "esc", "done"]);
+    }
+
+    #[test]
+    fn line_comments_are_captured_with_their_lines() {
+        let (toks, comments) = tokenize_full("code();\n// lint:allow(L1): why\nmore();\n");
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].line, 2);
+        assert!(comments[0].text.starts_with("// lint:allow"));
+        assert_eq!(toks.iter().filter(|t| t.ident().is_some()).count(), 2);
+    }
+
+    #[test]
+    fn cfg_test_regions_mark_nested_braces_through_the_close() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn inner() { if x { y(); } }\n}\nfn live2() {}\n";
+        let toks = tokenize(src);
+        let live = toks.iter().find(|t| t.ident() == Some("live")).unwrap();
+        let inner = toks.iter().find(|t| t.ident() == Some("inner")).unwrap();
+        let live2 = toks.iter().find(|t| t.ident() == Some("live2")).unwrap();
+        assert!(!live.in_test);
+        assert!(inner.in_test);
+        assert!(!live2.in_test);
+    }
+}

@@ -1,16 +1,22 @@
-//! conncar-lint: the workspace determinism & invariant gate.
+//! conncar-lint: the workspace determinism, concurrency & resource-
+//! safety gate.
 //!
-//! Four deny-by-default rules (see [`rules`]) run over every `.rs` file
-//! under `crates/*/src`, `src/`, and `examples/`. A hit is suppressed
+//! Seven deny-by-default rules (see [`rules`]) run over every `.rs`
+//! file under `crates/*/src`, `src/`, and `examples/`: L1–L4 enforce
+//! determinism, L5–L7 enforce lock discipline, bounded allocation, and
+//! panic-freedom on hot paths (backed by the intraprocedural analyses
+//! in [`dataflow`]). A hit is suppressed
 //! only by a per-site `lint:allow(RULE): justification` comment beside
 //! the offending line (see [`site`]) or, for whole-file exemptions that
 //! genuinely cannot live in the source, a documented entry in
 //! `lint.toml`. Site allows are themselves linted: malformed markers
 //! (`A1`) and stale allows that no longer silence anything (`A2`) fail
 //! the gate. See DESIGN.md §9 for the rationale behind each rule and
-//! the procedure for amending an exemption.
+//! the procedure for amending an exemption, and DESIGN.md §14 for the
+//! L5–L7 semantics.
 
 pub mod config;
+pub mod dataflow;
 pub mod lexer;
 pub mod rules;
 pub mod site;
@@ -67,7 +73,13 @@ pub fn lint_source_with_sites(
     }
     let mut used = vec![false; sites.len()];
     for v in rules::lint_source(path, src) {
-        match sites.iter().position(|s| s.covers(v.rule, v.line)) {
+        // A trailing allow (same line) binds tighter than a standalone
+        // one on the line above, so stacked per-line allows each claim
+        // their own site instead of the first allow claiming both.
+        let same_line = sites
+            .iter()
+            .position(|s| s.rule == v.rule && s.line == v.line);
+        match same_line.or_else(|| sites.iter().position(|s| s.covers(v.rule, v.line))) {
             Some(idx) => {
                 used[idx] = true;
                 site_allowed.push((v, sites[idx].clone()));

@@ -1,16 +1,20 @@
-//! The four determinism / invariant rules (L1–L4).
+//! The workspace invariant rules: determinism (L1–L4) and
+//! concurrency/resource safety (L5–L7).
 //!
 //! Every rule works on the token stream of one file plus its
 //! repo-relative path; test regions (`#[cfg(test)]`, `#[test]`) are
 //! skipped. Scoping decisions (which crates a rule applies to) live
 //! here so the fixture tests can exercise them with synthetic paths.
+//! L5–L7 additionally consume the guard-span and taint analyses from
+//! [`crate::dataflow`].
 
+use crate::dataflow;
 use crate::lexer::{tokenize, Token, TokenKind};
 
 /// One rule hit at a concrete source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id: `"L1"`..`"L4"`.
+    /// Rule id: `"L1"`..`"L7"`.
     pub rule: &'static str,
     /// Repo-relative path (forward slashes).
     pub path: String,
@@ -81,6 +85,9 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
     rule_l2(path, &toks, &mut out);
     rule_l3(path, &toks, &mut out);
     rule_l4(path, &toks, &mut out);
+    rule_l5(path, &toks, &mut out);
+    rule_l6(path, &toks, &mut out);
+    rule_l7(path, &toks, &mut out);
     out.sort_by(|a, b| (a.line, a.rule, &a.what).cmp(&(b.line, b.rule, &b.what)));
     out.dedup();
     out
@@ -271,5 +278,415 @@ fn rule_l4(path: &str, toks: &[Token], out: &mut Vec<Violation>) {
             what,
             hint: L4_HINT,
         });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L5–L7: concurrency & resource-safety rules (dataflow-backed).
+// ---------------------------------------------------------------------------
+
+/// The serving plane's declared lock acquisition order, outermost
+/// first: `ServiceState` (field `state`) before `ConnTable` (field
+/// `slots`). Acquiring a lower-ranked lock while a higher-ranked guard
+/// is live is a potential deadlock cycle.
+const LOCK_ORDER: &[&str] = &["state", "slots"];
+
+/// The one file allowed to consume lock results with unwrap-family
+/// calls: the typed poison-recovery helpers themselves.
+const L5_SANCTIONED_POISON: &str = "crates/serve/src/sync.rs";
+
+/// Calls that block (or can block indefinitely) and therefore must not
+/// run while a `MutexGuard` is live. `Condvar::wait` is deliberately
+/// absent — it releases the lock while parked.
+const BLOCKING_UNDER_LOCK: &[&str] = &[
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_frame",
+    "write",
+    "write_all",
+    "write_frame",
+    "flush",
+    "accept",
+    "connect",
+    "bind",
+    "recv",
+    "recv_timeout",
+    "send_to",
+    "sleep",
+    "join",
+    "shutdown",
+];
+
+/// Files that size allocations from attacker- or file-controlled
+/// length fields (rule L6 scope): the TCP frame layer, the request
+/// decoder, and the CDR stream reader/codec.
+const WIRE_FACING_FILES: &[&str] = &[
+    "crates/serve/src/wire.rs",
+    "crates/serve/src/request.rs",
+    "crates/cdr/src/io.rs",
+    "crates/cdr/src/codec.rs",
+];
+
+/// Hot-path files where a panic is an availability bug (rule L7
+/// scope): the serve request path and the ingest/salvage path. The
+/// store's kernels stay out of scope — their indexing is covered by
+/// proptests and the miri job, and their inputs are already cleaned.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/serve/src/wire.rs",
+    "crates/serve/src/request.rs",
+    "crates/serve/src/engine.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/client.rs",
+    "crates/cdr/src/io.rs",
+    "crates/cdr/src/codec.rs",
+    "crates/cdr/src/clean.rs",
+];
+
+const L5_BLOCKING_HINT: &str = "blocking while a MutexGuard is live stalls every other \
+     thread on that lock; clone/collect what you need under the guard, drop it, then do the I/O";
+const L5_ORDER_HINT: &str = "declared lock order is ServiceState (`state`) before ConnTable \
+     (`slots`); restructure so locks nest in rank order or release the outer guard first";
+const L5_POISON_HINT: &str = "unwrapping a lock result cascades one panicked thread into all \
+     of them; use conncar_serve::sync::lock_or_poisoned (Error::Poisoned) and degrade";
+const L6_HINT: &str = "wire/file-borne lengths must pass a registered clamp before sizing an \
+     allocation: compare against a MAX_ bound, `.min(CAP)`, or cap the reader with Read::take";
+const L7_INDEX_HINT: &str = "indexing panics on corrupt input; use .get()/.get_mut() (or a \
+     slice pattern) and turn None into a typed Error";
+const L7_PANIC_HINT: &str = "a panic on the serve path kills the worker and poisons shared \
+     locks; return a typed Error instead";
+const L7_ARITH_HINT: &str = "unchecked arithmetic on wire-derived values can overflow in \
+     release builds; use checked_/saturating_ operations or validate the range first";
+
+fn rank(lock: &str) -> Option<usize> {
+    LOCK_ORDER.iter().position(|n| *n == lock)
+}
+
+/// L5: lock discipline — no blocking calls or cross-crate work under a
+/// live guard (a), ranked acquisition order (b), and no unwrap-family
+/// consumption of lock results outside the sanctioned helper (c).
+fn rule_l5(path: &str, toks: &[Token], out: &mut Vec<Violation>) {
+    if path.starts_with("crates/lint/") || path.starts_with("crates/bench/") {
+        return;
+    }
+    let guards = dataflow::guard_spans(toks);
+
+    // (c) poison-unwrap on the lock result.
+    if path != L5_SANCTIONED_POISON {
+        for g in &guards {
+            if let Some(m) = &g.unwrapped {
+                out.push(Violation {
+                    rule: "L5",
+                    path: path.to_string(),
+                    line: g.line,
+                    what: format!(".{m}() on `{}` lock result", g.lock),
+                    hint: L5_POISON_HINT,
+                });
+            }
+        }
+    }
+
+    // (b) acquisition order: a guard acquired inside another live
+    // guard's span must have a strictly higher rank.
+    for g2 in &guards {
+        for g1 in &guards {
+            if g1.acquire < g2.acquire && g2.acquire < g1.end {
+                if let (Some(r1), Some(r2)) = (rank(&g1.lock), rank(&g2.lock)) {
+                    if r2 <= r1 {
+                        out.push(Violation {
+                            rule: "L5",
+                            path: path.to_string(),
+                            line: g2.line,
+                            what: format!(
+                                "`{}` acquired while `{}` guard is live",
+                                g2.lock, g1.lock
+                            ),
+                            hint: L5_ORDER_HINT,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // (a) blocking and cross-crate calls inside a guard span.
+    for g in &guards {
+        let end = g.end.min(toks.len());
+        for i in g.body_start..end {
+            let t = &toks[i];
+            if t.in_test {
+                continue;
+            }
+            let Some(name) = t.ident() else { continue };
+            if !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                continue;
+            }
+            // Skip definitions (`fn read(...)`) — only calls block.
+            if i >= 1 && toks[i - 1].ident() == Some("fn") {
+                continue;
+            }
+            if BLOCKING_UNDER_LOCK.contains(&name) {
+                out.push(Violation {
+                    rule: "L5",
+                    path: path.to_string(),
+                    line: t.line,
+                    what: format!("{name}() while `{}` guard is live", g.lock),
+                    hint: L5_BLOCKING_HINT,
+                });
+            } else if cross_crate_call(toks, i) {
+                out.push(Violation {
+                    rule: "L5",
+                    path: path.to_string(),
+                    line: t.line,
+                    what: format!("cross-crate call {name}() while `{}` guard is live", g.lock),
+                    hint: L5_BLOCKING_HINT,
+                });
+            }
+        }
+    }
+}
+
+/// Is the call at `i` reached through a `conncar_*::` path?
+fn cross_crate_call(toks: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j >= 2 && toks[j - 1].is_punct(':') && toks[j - 2].is_punct(':') {
+        j -= 3;
+        match toks.get(j).and_then(Token::ident) {
+            Some(seg) if seg.starts_with("conncar_") => return true,
+            Some(_) => {}
+            None => return false,
+        }
+    }
+    false
+}
+
+/// L6: bounded allocation — in wire-facing files, any allocation sized
+/// by a tainted length must carry a registered clamp, and every
+/// `read_to_end` must go through a `take`-capped reader.
+fn rule_l6(path: &str, toks: &[Token], out: &mut Vec<Violation>) {
+    if !WIRE_FACING_FILES.contains(&path) {
+        return;
+    }
+    let flags = dataflow::taint_flags(toks, true);
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let Some(name) = t.ident() else { continue };
+        match name {
+            "with_capacity" | "reserve" | "reserve_exact" | "resize"
+                if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                let close = dataflow::matching_close(toks, i + 1, '(', ')');
+                if span_is_tainted(toks, &flags, i + 2, close)
+                    && !span_has_clamp(toks, i + 2, close)
+                {
+                    out.push(Violation {
+                        rule: "L6",
+                        path: path.to_string(),
+                        line: t.line,
+                        what: format!("{name}() sized from unclamped wire-derived length"),
+                        hint: L6_HINT,
+                    });
+                }
+            }
+            // `vec![elem; len]` — scan the len expression after `;`.
+            "vec" if toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct('[')) =>
+            {
+                let close = dataflow::matching_close(toks, i + 2, '[', ']');
+                let semi = (i + 3..close).find(|&k| toks[k].is_punct(';'));
+                if let Some(semi) = semi {
+                    if span_is_tainted(toks, &flags, semi + 1, close)
+                        && !span_has_clamp(toks, semi + 1, close)
+                    {
+                        out.push(Violation {
+                            rule: "L6",
+                            path: path.to_string(),
+                            line: t.line,
+                            what: "vec![..; len] sized from unclamped wire-derived length"
+                                .to_string(),
+                            hint: L6_HINT,
+                        });
+                    }
+                }
+            }
+            // `std::io::Read::read_to_end(&mut buf)` always takes the
+            // target buffer; a no-arg `read_to_end()` is a different
+            // method (e.g. `CdrReader`'s chunk-validated strict drain)
+            // and is out of L6's scope.
+            "read_to_end" | "read_to_string"
+                if i >= 1
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    && toks.get(i + 2).is_some_and(|n| !n.is_punct(')')) =>
+            {
+                if !receiver_chain_has(toks, i.saturating_sub(2), "take") {
+                    out.push(Violation {
+                        rule: "L6",
+                        path: path.to_string(),
+                        line: t.line,
+                        what: format!("{name}() without a Read::take cap"),
+                        hint: L6_HINT,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn span_is_tainted(toks: &[Token], flags: &[bool], from: usize, to: usize) -> bool {
+    (from..to.min(toks.len())).any(|k| flags[k] || dataflow::is_source_call(toks, k))
+}
+
+fn span_has_clamp(toks: &[Token], from: usize, to: usize) -> bool {
+    (from..to.min(toks.len())).any(|k| dataflow::is_clamp_call(toks, k))
+}
+
+/// Walk the method-receiver chain ending at `j` backwards, looking for
+/// a call to `needle` (`r.by_ref().take(CAP).read_to_end(..)`).
+fn receiver_chain_has(toks: &[Token], mut j: usize, needle: &str) -> bool {
+    loop {
+        if toks.get(j).is_some_and(|t| t.is_punct(')')) {
+            let mut depth = 1i32;
+            while j > 0 && depth > 0 {
+                j -= 1;
+                if toks[j].is_punct(')') {
+                    depth += 1;
+                } else if toks[j].is_punct('(') {
+                    depth -= 1;
+                }
+            }
+            if j == 0 {
+                return false;
+            }
+            j -= 1;
+        }
+        match toks.get(j).and_then(Token::ident) {
+            Some(s) if s == needle => return true,
+            Some(_) => {}
+            None => return false,
+        }
+        if j >= 1 && toks[j - 1].is_punct('.') && j >= 2 {
+            j -= 2;
+        } else {
+            return false;
+        }
+    }
+}
+
+/// L7: panic-freedom on hot paths — unchecked indexing/slicing (a),
+/// unwrap-family calls and panic macros outside the L4-covered ingest
+/// files (b), and unchecked arithmetic on wire-derived values (c).
+fn rule_l7(path: &str, toks: &[Token], out: &mut Vec<Violation>) {
+    if !HOT_PATH_FILES.contains(&path) {
+        return;
+    }
+    let flags = dataflow::taint_flags(toks, WIRE_FACING_FILES.contains(&path));
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        // (a) `expr[...]`: a `[` whose preceding token ends a value
+        // expression. Attribute/type/pattern brackets follow `#`, `&`,
+        // `=`, `(`, `,`, `:` etc. and are naturally excluded, as are
+        // brackets after keywords (`let [..] = ..` slice patterns,
+        // `for x in [..]` array literals, `&mut [u8]` types). Full
+        // range `expr[..]` cannot panic and is allowed.
+        if t.is_punct('[') && i > 0 {
+            const NOT_A_BASE: &[&str] = &[
+                "as", "let", "mut", "in", "ref", "dyn", "impl", "return", "move", "box", "if",
+                "else", "while", "match", "loop", "break", "continue",
+            ];
+            let indexes_value = matches!(
+                &toks[i - 1].kind,
+                TokenKind::Ident(_) | TokenKind::Punct(')') | TokenKind::Punct(']')
+            ) && !toks[i - 1].ident().is_some_and(|k| NOT_A_BASE.contains(&k));
+            if indexes_value {
+                let close = dataflow::matching_close(toks, i, '[', ']');
+                let full_range = (i + 1..close).all(|k| toks[k].is_punct('.'))
+                    && close > i + 1;
+                if !full_range {
+                    let base = toks[i - 1].ident().unwrap_or("expr");
+                    out.push(Violation {
+                        rule: "L7",
+                        path: path.to_string(),
+                        line: t.line,
+                        what: format!("{base}[..] unchecked index"),
+                        hint: L7_INDEX_HINT,
+                    });
+                }
+            }
+        }
+        let Some(name) = t.ident() else { continue };
+        // (b) unwrap-family and panic macros; the cdr ingest files are
+        // already covered (stricter) by L4.
+        if !PANIC_FREE_FILES.contains(&path) {
+            if matches!(name, "unwrap" | "expect" | "unwrap_unchecked")
+                && i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                out.push(Violation {
+                    rule: "L7",
+                    path: path.to_string(),
+                    line: t.line,
+                    what: format!(".{name}()"),
+                    hint: L7_PANIC_HINT,
+                });
+            }
+            if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                out.push(Violation {
+                    rule: "L7",
+                    path: path.to_string(),
+                    line: t.line,
+                    what: format!("{name}!"),
+                    hint: L7_PANIC_HINT,
+                });
+            }
+        }
+        // (c) `+`/`-`/`*` with a tainted operand: check the tokens on
+        // either side of this tainted ident for a binary arith op.
+        if flags[i] {
+            for op_idx in [i.wrapping_sub(1), i + 1] {
+                let Some(op) = toks.get(op_idx) else { continue };
+                let op_char = match &op.kind {
+                    TokenKind::Punct(c @ ('+' | '-' | '*')) => *c,
+                    _ => continue,
+                };
+                // Binary use only: an operand-ish token on each side
+                // rules out unary `-`/`*`, `->`, `+=`, and ranges.
+                let lhs_ok = op_idx >= 1
+                    && matches!(
+                        &toks[op_idx - 1].kind,
+                        TokenKind::Ident(_)
+                            | TokenKind::Number
+                            | TokenKind::Punct(')')
+                            | TokenKind::Punct(']')
+                    );
+                let rhs_ok = toks.get(op_idx + 1).is_some_and(|r| {
+                    matches!(
+                        &r.kind,
+                        TokenKind::Ident(_) | TokenKind::Number | TokenKind::Punct('(')
+                    )
+                });
+                if lhs_ok && rhs_ok {
+                    out.push(Violation {
+                        rule: "L7",
+                        path: path.to_string(),
+                        line: toks[i].line,
+                        what: format!(
+                            "`{op_char}` on wire-derived `{}`",
+                            toks[i].ident().unwrap_or("?")
+                        ),
+                        hint: L7_ARITH_HINT,
+                    });
+                }
+            }
+        }
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! A site allow is a `//` line comment carrying a marker of the shape
 //! `lint:allow(RULE): justification`, where `RULE` is one of the rule
-//! ids `L1`..`L4`. It silences matching violations of that one rule on
+//! ids `L1`..`L7`. It silences matching violations of that one rule on
 //! the comment's own line (trailing form) or the line directly below
 //! (standalone form) — nothing else. The justification travels with
 //! the code it excuses, so a refactor that moves or removes the site
@@ -22,14 +22,14 @@
 use crate::lexer::tokenize_full;
 
 /// Rule ids a site allow may name.
-const RULES: &[&str] = &["L1", "L2", "L3", "L4"];
+const RULES: &[&str] = &["L1", "L2", "L3", "L4", "L5", "L6", "L7"];
 
 /// The marker that opens a site allow inside a line comment.
 const MARKER: &str = "lint:allow";
 
 /// Hint attached to `A1` (malformed marker) violations.
 pub const MALFORMED_HINT: &str = "a site allow is `lint:allow(RULE): justification` in a \
-     `//` comment, where RULE is one of L1..L4 and the justification is non-empty";
+     `//` comment, where RULE is one of L1..L7 and the justification is non-empty";
 
 /// Hint attached to `A2` (stale site allow) violations.
 pub const STALE_HINT: &str = "this site allow silences nothing on its own line or the line \
@@ -39,7 +39,7 @@ pub const STALE_HINT: &str = "this site allow silences nothing on its own line o
 /// One parsed site-allow comment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SiteAllow {
-    /// Rule id this comment silences (`"L1"`..`"L4"`).
+    /// Rule id this comment silences (`"L1"`..`"L7"`).
     pub rule: String,
     /// 1-based line of the comment. The allow covers this line and the
     /// next one.
@@ -92,7 +92,7 @@ fn parse_marker(tail: &str) -> Result<(String, String), String> {
     let rule = inner[..close].trim();
     if !RULES.contains(&rule) {
         return Err(format!(
-            "`{MARKER}({rule})` names an unknown rule (known: L1, L2, L3, L4)"
+            "`{MARKER}({rule})` names an unknown rule (known: L1..L7)"
         ));
     }
     let after = inner[close + 1..].trim_start();

@@ -1,0 +1,45 @@
+//! L5 fixture (clean): guards released before I/O, ranked nesting,
+//! matches (not unwraps) on lock results.
+//! Linted as if it lived at `crates/serve/src/fixture.rs`.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    state: Mutex<Vec<u8>>,
+    slots: Mutex<Vec<u8>>,
+}
+
+pub fn copy_then_write(s: &Shared, w: &mut impl std::io::Write) {
+    let snapshot: Vec<u8> = {
+        let state = match s.state.lock() {
+            Ok(g) => g,
+            Err(_) => return,
+        };
+        state.clone()
+    };
+    let _ = w.write_all(&snapshot);
+}
+
+pub fn ranked_nesting(s: &Shared) -> usize {
+    let state = match s.state.lock() {
+        Ok(g) => g,
+        Err(_) => return 0,
+    };
+    let slots = match s.slots.lock() {
+        Ok(g) => g,
+        Err(_) => return 0,
+    };
+    state.len() + slots.len()
+}
+
+pub fn drop_before_blocking(s: &Shared, r: &mut impl std::io::Read) {
+    let mut buf = [0u8; 4];
+    let state = match s.state.lock() {
+        Ok(g) => g,
+        Err(_) => return,
+    };
+    let want = state.len();
+    drop(state);
+    let _ = r.read_exact(&mut buf);
+    let _ = want;
+}

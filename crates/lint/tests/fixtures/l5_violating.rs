@@ -1,0 +1,34 @@
+//! L5 fixture: lock-discipline violations.
+//! Linted as if it lived at `crates/serve/src/fixture.rs`.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    state: Mutex<Vec<u8>>,
+    slots: Mutex<Vec<u8>>,
+}
+
+pub fn blocking_under_guard(s: &Shared, r: &mut impl std::io::Read) -> usize {
+    let mut state = s.state.lock().unwrap();
+    let mut buf = [0u8; 4];
+    let _ = r.read_exact(&mut buf);
+    state.push(buf[0]);
+    state.len()
+}
+
+pub fn inverted_order(s: &Shared) -> usize {
+    let slots = match s.slots.lock() {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    };
+    let state = match s.state.lock() {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    };
+    slots.len() + state.len()
+}
+
+pub fn cross_crate_under_guard(s: &Shared) -> usize {
+    let state = s.state.lock().expect("state lock");
+    conncar_store::heavy_scan(&state)
+}

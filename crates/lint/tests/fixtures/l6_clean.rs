@@ -1,0 +1,30 @@
+//! L6 fixture (clean): every wire-derived size passes a registered
+//! clamp before sizing an allocation.
+//! Linted as if it lived at `crates/serve/src/wire.rs`.
+
+const MAX_FRAME: usize = 16 << 20;
+
+pub fn read_claimed(r: &mut impl std::io::Read) -> std::io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+pub fn slurp_capped(r: &mut impl std::io::Read) -> std::io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    std::io::Read::take(std::io::Read::by_ref(r), 1 << 20).read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+pub fn reserve_clamped(out: &mut Vec<u8>, n: u32) {
+    out.reserve((n as usize).min(MAX_FRAME));
+}

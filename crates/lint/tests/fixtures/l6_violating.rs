@@ -1,0 +1,21 @@
+//! L6 fixture: allocations sized by attacker-claimed lengths.
+//! Linted as if it lived at `crates/serve/src/wire.rs`.
+
+pub fn read_claimed(r: &mut impl std::io::Read) -> std::io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+pub fn slurp(r: &mut impl std::io::Read) -> std::io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+pub fn reserve_claimed(out: &mut Vec<u8>, n: u32) {
+    out.reserve(n as usize);
+}

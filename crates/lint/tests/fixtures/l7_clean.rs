@@ -1,0 +1,23 @@
+//! L7 fixture (clean): fallible access, checked arithmetic, typed
+//! degradation — same shapes as the violating twin, panic-free.
+//! Linted as if it lived at `crates/serve/src/request.rs`.
+
+pub fn first_cell(cells: &[u32], at: usize) -> Option<u32> {
+    cells.get(at).copied()
+}
+
+pub fn header_byte(bytes: &[u8]) -> Option<u64> {
+    Some(u64::from(*bytes.first()?))
+}
+
+pub fn claimed_end(start: u64, len: u32) -> Option<u64> {
+    start.checked_add(u64::from(len))
+}
+
+pub fn must_have(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+pub fn full_range_is_fine(bytes: &[u8]) -> &[u8] {
+    &bytes[..]
+}

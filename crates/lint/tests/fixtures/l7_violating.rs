@@ -1,0 +1,22 @@
+//! L7 fixture: panic-capable expressions on the serve request path.
+//! Linted as if it lived at `crates/serve/src/request.rs`.
+
+pub fn first_cell(cells: &[u32], at: usize) -> u32 {
+    cells[at]
+}
+
+pub fn header_byte(bytes: &[u8]) -> u64 {
+    bytes[0] as u64
+}
+
+pub fn claimed_end(start: u64, len: u32) -> u64 {
+    start + len as u64
+}
+
+pub fn must_have(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn reject() -> u32 {
+    panic!("bad request")
+}

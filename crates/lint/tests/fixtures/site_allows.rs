@@ -12,5 +12,5 @@ pub fn trailing(total_secs: u64) -> u32 {
 // lint:allow(L2): nothing below reads a clock — this allow is stale
 pub fn stale() {}
 
-// lint:allow(L5): unknown rule id — malformed marker
+// lint:allow(L9): unknown rule id — malformed marker
 pub fn malformed() {}

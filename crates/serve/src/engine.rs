@@ -121,7 +121,7 @@ impl ServeEngine {
     pub fn submit(&mut self, req: &QueryRequest) -> Result<QueryResponse> {
         self.submit_batch(std::slice::from_ref(req))
             .pop()
-            .expect("one response per request")
+            .unwrap_or_else(|| Err(Error::Io("submit_batch returned no response".into())))
     }
 
     /// Serve a batch of concurrently admitted requests, in admission
@@ -130,6 +130,11 @@ impl ServeEngine {
     pub fn submit_batch(&mut self, reqs: &[QueryRequest]) -> Vec<Result<QueryResponse>> {
         let generation = self.store.generation();
         let mut out: Vec<Option<Result<QueryResponse>>> = reqs.iter().map(|_| None).collect();
+        fn fill(out: &mut [Option<Result<QueryResponse>>], i: usize, r: Result<QueryResponse>) {
+            if let Some(slot) = out.get_mut(i) {
+                *slot = Some(r);
+            }
+        }
         // digest -> indices awaiting that execution, insertion-ordered
         // by first appearance (FIFO epochs).
         let mut pending: Vec<(u64, QueryRequest)> = Vec::new();
@@ -139,7 +144,7 @@ impl ServeEngine {
             self.counters.incr(keys::QUERIES);
             if let Err(e) = req.validate() {
                 self.counters.incr(keys::REJECTED);
-                out[i] = Some(Err(e));
+                fill(&mut out, i, Err(e));
                 continue;
             }
             let digest = req.digest();
@@ -149,11 +154,15 @@ impl ServeEngine {
                 // again; the cache (not the scheduler) saved it.
                 self.counters
                     .add(keys::NAIVE_SHARD_SCANS, u64::from(stats.shards_scanned));
-                out[i] = Some(Ok(QueryResponse {
-                    value,
-                    stats,
-                    cache_hit: true,
-                }));
+                fill(
+                    &mut out,
+                    i,
+                    Ok(QueryResponse {
+                        value,
+                        stats,
+                        cache_hit: true,
+                    }),
+                );
                 continue;
             }
             self.counters.incr(keys::CACHE_MISSES);
@@ -173,7 +182,7 @@ impl ServeEngine {
             self.counters.incr(keys::EPOCHS);
             let answers = run_epoch(&self.store, epoch, &mut self.counters);
             for ((digest, _), (value, stats)) in epoch.iter().zip(answers) {
-                let idxs = &waiters[digest];
+                let Some(idxs) = waiters.get(digest) else { continue };
                 // Naive execution would have run the scan once per
                 // waiting copy.
                 self.counters.add(
@@ -183,17 +192,23 @@ impl ServeEngine {
                 self.cache
                     .insert((*digest, generation), value.clone(), stats);
                 for &i in idxs {
-                    out[i] = Some(Ok(QueryResponse {
-                        value: value.clone(),
-                        stats,
-                        cache_hit: false,
-                    }));
+                    fill(
+                        &mut out,
+                        i,
+                        Ok(QueryResponse {
+                            value: value.clone(),
+                            stats,
+                            cache_hit: false,
+                        }),
+                    );
                 }
             }
         }
 
         out.into_iter()
-            .map(|slot| slot.expect("every request answered"))
+            .map(|slot| {
+                slot.unwrap_or_else(|| Err(Error::Io("request missed by scheduler".into())))
+            })
             .collect()
     }
 }
@@ -256,12 +271,14 @@ fn register(scan: &mut SharedScan<'_>, name: &str, req: &QueryRequest) -> Pendin
             filter,
             Vec::new,
             |acc: &mut Vec<CdrRecord>, v| {
+                // CarView guarantees for_each_selected yields indices
+                // in-bounds for all three parallel columns.
                 v.for_each_selected(|i| {
                     acc.push(CdrRecord {
                         car: v.car,
-                        cell: v.cells[i],
-                        start: conncar_types::Timestamp::from_secs(v.starts[i]),
-                        end: conncar_types::Timestamp::from_secs(v.ends[i]),
+                        cell: v.cells[i], // lint:allow(L7): for_each_selected index is in-bounds by CarView contract
+                        start: conncar_types::Timestamp::from_secs(v.starts[i]), // lint:allow(L7): for_each_selected index is in-bounds by CarView contract
+                        end: conncar_types::Timestamp::from_secs(v.ends[i]), // lint:allow(L7): for_each_selected index is in-bounds by CarView contract
                     });
                 });
             },
@@ -276,7 +293,7 @@ fn register(scan: &mut SharedScan<'_>, name: &str, req: &QueryRequest) -> Pendin
             Vec::new,
             |acc: &mut Vec<(CarId, u64)>, v| {
                 let mut sum = 0u64;
-                v.for_each_selected(|i| sum += v.ends[i] - v.starts[i]);
+                v.for_each_selected(|i| sum += v.ends[i] - v.starts[i]); // lint:allow(L7): for_each_selected index is in-bounds; end >= start per record invariant
                 acc.push((v.car, sum));
             },
             |mut a, mut b| {
@@ -348,11 +365,7 @@ impl ServeHandle {
     pub fn submit(&self, req: QueryRequest) -> Result<mpsc::Receiver<Result<QueryResponse>>> {
         let (tx, rx) = mpsc::channel();
         {
-            let mut state = self
-                .shared
-                .state
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut state = crate::sync::lock_or_poisoned(&self.shared.state, "serve.ServiceState")?;
             if !state.open {
                 return Err(Error::Io("query service is shut down".into()));
             }
@@ -386,7 +399,8 @@ pub struct QueryService {
 impl QueryService {
     /// Start the scheduler thread. `queue_limit` bounds in-flight
     /// admitted-but-unanswered requests (clamped to at least 1).
-    pub fn start(mut engine: ServeEngine, queue_limit: usize) -> QueryService {
+    /// Fails with [`Error::Io`] when the OS refuses the thread.
+    pub fn start(mut engine: ServeEngine, queue_limit: usize) -> Result<QueryService> {
         let shared = Arc::new(ServiceShared {
             state: Mutex::new(ServiceState {
                 queue: VecDeque::new(),
@@ -400,11 +414,11 @@ impl QueryService {
             .name("conncar-serve-scheduler".into())
             .spawn(move || {
                 loop {
+                    // The scheduler drains even a poisoned queue: a
+                    // panicked submitter leaves a consistent VecDeque,
+                    // and refusing to run would wedge every waiter.
                     let jobs: Vec<Job> = {
-                        let mut state = thread_shared
-                            .state
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        let mut state = crate::sync::lock_recover(&thread_shared.state);
                         while state.queue.is_empty() && state.open {
                             state = thread_shared
                                 .wake
@@ -427,11 +441,11 @@ impl QueryService {
                 }
                 engine
             })
-            .expect("spawn scheduler thread");
-        QueryService {
+            .map_err(|e| Error::Io(format!("spawn scheduler thread: {e}")))?;
+        Ok(QueryService {
             handle: ServeHandle { shared },
             scheduler: Some(scheduler),
-        }
+        })
     }
 
     /// A cloneable submission handle.
@@ -441,22 +455,25 @@ impl QueryService {
 
     /// Close admission, drain the queue, stop the scheduler, and return
     /// the engine (for counter inspection and artifact emission).
-    pub fn shutdown(mut self) -> ServeEngine {
+    ///
+    /// Returns [`Error::Poisoned`] when the scheduler thread panicked —
+    /// the engine (and its counters) died with it, so there is nothing
+    /// sound to hand back.
+    pub fn shutdown(mut self) -> Result<ServeEngine> {
         {
-            let mut state = self
-                .handle
-                .shared
-                .state
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Teardown must proceed even past a poisoned lock; closing
+            // `open` only writes one bool.
+            let mut state = crate::sync::lock_recover(&self.handle.shared.state);
             state.open = false;
         }
         self.handle.shared.wake.notify_all();
-        self.scheduler
+        let scheduler = self
+            .scheduler
             .take()
-            .expect("scheduler running")
+            .ok_or(Error::Poisoned { what: "serve.scheduler" })?;
+        scheduler
             .join()
-            .expect("scheduler thread panicked")
+            .map_err(|_| Error::Poisoned { what: "serve.scheduler" })
     }
 }
 
@@ -464,12 +481,7 @@ impl Drop for QueryService {
     fn drop(&mut self) {
         if let Some(scheduler) = self.scheduler.take() {
             {
-                let mut state = self
-                    .handle
-                    .shared
-                    .state
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let mut state = crate::sync::lock_recover(&self.handle.shared.state);
                 state.open = false;
             }
             self.handle.shared.wake.notify_all();
@@ -640,7 +652,7 @@ mod tests {
     fn service_answers_concurrent_submitters_fifo() {
         let store = sample_store(8);
         let engine = ServeEngine::new(Arc::clone(&store), 64, 8);
-        let service = QueryService::start(engine, 128);
+        let service = QueryService::start(engine, 128).expect("start");
         let handle = service.handle();
         let workers: Vec<_> = (0..6)
             .map(|i| {
@@ -660,7 +672,7 @@ mod tests {
         for w in workers {
             w.join().expect("worker");
         }
-        let engine = service.shutdown();
+        let engine = service.shutdown().expect("clean shutdown");
         assert_eq!(engine.counters().get(keys::QUERIES), 6);
     }
 
@@ -674,7 +686,7 @@ mod tests {
         // queue-full path directly via a stopped service.
         let store = sample_store(2);
         let engine = ServeEngine::new(store, 4, 4);
-        let service = QueryService::start(engine, 1);
+        let service = QueryService::start(engine, 1).expect("start");
         let handle = service.handle();
         // Race-free check: the bound rejects when the queue is full at
         // submit time. Submit many quickly; at least the happy path
@@ -696,16 +708,16 @@ mod tests {
             }
         }
         drop(overloads);
-        let engine = service.shutdown();
+        let engine = service.shutdown().expect("clean shutdown");
         assert!(engine.counters().get(keys::QUERIES) >= 1);
     }
 
     #[test]
     fn shutdown_rejects_new_submissions() {
         let store = sample_store(2);
-        let service = QueryService::start(ServeEngine::new(store, 4, 4), 8);
+        let service = QueryService::start(ServeEngine::new(store, 4, 4), 8).expect("start");
         let handle = service.handle();
-        service.shutdown();
+        service.shutdown().expect("clean shutdown");
         assert!(handle
             .submit(QueryRequest::new(Filter::all(), Aggregation::Count))
             .is_err());

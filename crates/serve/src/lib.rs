@@ -41,6 +41,7 @@ pub mod client;
 pub mod engine;
 pub mod request;
 pub mod server;
+pub mod sync;
 pub mod wire;
 pub mod workload;
 

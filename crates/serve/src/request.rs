@@ -199,7 +199,7 @@ impl QueryRequest {
                 let (per_car, stats) =
                     conncar_store::kernels::fold_per_car_views(store, &self.filter, |v| {
                         let mut sum = 0u64;
-                        v.for_each_selected(|i| sum += v.ends[i] - v.starts[i]);
+                        v.for_each_selected(|i| sum += v.ends[i] - v.starts[i]); // lint:allow(L7): for_each_selected index is in-bounds; end >= start per record invariant
                         sum
                     });
                 (QueryValue::PerCar(per_car), stats)
@@ -408,29 +408,50 @@ impl<'a> Cursor<'a> {
         Cursor { bytes, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        match self.bytes.get(self.pos..self.pos + n) {
+    /// Consume the next `n` bytes. The claimed width is validated
+    /// against the bytes actually present (overflow included) before
+    /// the cursor moves, so a lying length yields a typed error.
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).unwrap_or(usize::MAX);
+        match self.bytes.get(self.pos..end) {
             Some(s) => {
-                self.pos += n;
+                self.pos = end;
                 Ok(s)
             }
             None => Err(Error::Decode {
                 offset: Some(self.pos as u64),
-                why: format!("truncated: wanted {n} bytes, {} left", self.bytes.len() - self.pos),
+                why: format!(
+                    "truncated: wanted {n} bytes, {} left",
+                    self.bytes.len().saturating_sub(self.pos)
+                ),
             }),
         }
     }
 
+    /// Everything not yet consumed (possibly empty).
+    pub(crate) fn rest(&self) -> &'a [u8] {
+        self.bytes.get(self.pos..).unwrap_or(&[])
+    }
+
     pub(crate) fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        match *self.take(1)? {
+            [b] => Ok(b),
+            _ => self.bad("u8 span of wrong width".into()),
+        }
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        match *self.take(4)? {
+            [a, b, c, d] => Ok(u32::from_le_bytes([a, b, c, d])),
+            _ => self.bad("u32 span of wrong width".into()),
+        }
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        match *self.take(8)? {
+            [a, b, c, d, e, f, g, h] => Ok(u64::from_le_bytes([a, b, c, d, e, f, g, h])),
+            _ => self.bad("u64 span of wrong width".into()),
+        }
     }
 
     pub(crate) fn carrier(&mut self) -> Result<Carrier> {

@@ -16,7 +16,9 @@
 
 use crate::engine::{QueryService, ServeEngine, ServeHandle};
 use crate::request::QueryRequest;
+use crate::sync::{lock_or_poisoned, lock_recover};
 use crate::wire::{encode_response, read_frame, write_frame};
+use conncar_types::Error;
 use std::io::BufWriter;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -26,28 +28,48 @@ use std::thread;
 /// Live-connection registry: a slot per in-flight connection, holding a
 /// `try_clone` of the accepted stream so shutdown can sever it even
 /// while the owning worker is blocked reading the next frame.
+///
+/// Lock order (declared in `lint.toml` and enforced by rule L5): the
+/// scheduler's `ServiceState` lock ranks above this table's `slots`
+/// lock; nothing may take `state` while holding `slots`.
 #[derive(Default)]
-struct ConnTable(Mutex<Vec<Option<TcpStream>>>);
+struct ConnTable {
+    slots: Mutex<Vec<Option<TcpStream>>>,
+}
 
 impl ConnTable {
     fn register(&self, stream: &TcpStream) -> Option<usize> {
         let clone = stream.try_clone().ok()?;
-        let mut slots = self.0.lock().expect("conn table lock");
-        if let Some(i) = slots.iter().position(Option::is_none) {
-            slots[i] = Some(clone);
-            Some(i)
-        } else {
-            slots.push(Some(clone));
-            Some(slots.len() - 1)
+        // A poisoned table degrades to "unregistered": the connection
+        // still serves, it just cannot be severed early at shutdown.
+        let mut slots = lock_or_poisoned(&self.slots, "serve.ConnTable").ok()?;
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(clone);
+                return Some(i);
+            }
         }
+        slots.push(Some(clone));
+        Some(slots.len() - 1)
     }
 
     fn deregister(&self, slot: usize) {
-        self.0.lock().expect("conn table lock")[slot] = None;
+        // Worker teardown path: recover past poison, clearing a slot
+        // touches nothing but its own `Option`.
+        if let Some(s) = lock_recover(&self.slots).get_mut(slot) {
+            *s = None;
+        }
     }
 
     fn sever_all(&self) {
-        for conn in self.0.lock().expect("conn table lock").iter().flatten() {
+        // Take the streams under the guard, sever after it drops:
+        // socket shutdown is I/O and must not run while the table
+        // lock is held (lint rule L5).
+        let live: Vec<TcpStream> = lock_recover(&self.slots)
+            .iter_mut()
+            .filter_map(Option::take)
+            .collect();
+        for conn in &live {
             let _ = conn.shutdown(Shutdown::Both);
         }
     }
@@ -74,7 +96,8 @@ impl ServeServer {
     ) -> std::io::Result<ServeServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let service = QueryService::start(engine, queue_limit);
+        let service = QueryService::start(engine, queue_limit)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e.to_string()))?;
         let stop = Arc::new(AtomicBool::new(false));
         let conns = Arc::new(ConnTable::default());
         let workers = (0..workers.max(1))
@@ -83,10 +106,9 @@ impl ServeServer {
                 let handle = service.handle();
                 let stop = Arc::clone(&stop);
                 let conns = Arc::clone(&conns);
-                Ok(thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("conncar-serve-worker-{i}"))
                     .spawn(move || worker_loop(&listener, &handle, &stop, &conns))
-                    .expect("spawn worker thread"))
             })
             .collect::<std::io::Result<Vec<_>>>()?;
         Ok(ServeServer {
@@ -105,12 +127,16 @@ impl ServeServer {
 
     /// Stop accepting, join the workers, drain the scheduler, and
     /// return the engine with its counters and cache intact.
-    pub fn shutdown(mut self) -> ServeEngine {
+    ///
+    /// Returns [`Error::Poisoned`] when the scheduler thread died: the
+    /// server still tears down cleanly (workers joined, port released),
+    /// but the engine's counters are gone with the panicked thread.
+    pub fn shutdown(mut self) -> conncar_types::Result<ServeEngine> {
         self.stop_workers();
-        self.service
-            .take()
-            .expect("service running")
-            .shutdown()
+        match self.service.take() {
+            Some(service) => service.shutdown(),
+            None => Err(Error::Poisoned { what: "serve.scheduler" }),
+        }
     }
 
     fn stop_workers(&mut self) {

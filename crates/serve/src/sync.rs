@@ -1,0 +1,86 @@
+//! Sanctioned lock-acquisition helpers — the only file where the
+//! workspace may touch a [`PoisonError`] directly (lint rule L5).
+//!
+//! A `Mutex` poisons when a thread panics while holding its guard.
+//! Calling `.lock().unwrap()` at every site turns that one panic into
+//! a cascade: every thread that next touches the lock dies too, and a
+//! single bad request takes down the whole serve plane. The two
+//! helpers here are the sanctioned alternatives:
+//!
+//! * [`lock_or_poisoned`] — for request/scheduler paths that can
+//!   return a [`Result`]: maps poison to the typed
+//!   [`Error::Poisoned`], so callers degrade (fail one query, sever
+//!   one connection) instead of panicking.
+//! * [`lock_recover`] — for paths that cannot fail (`Drop` impls,
+//!   shutdown teardown): takes the guard anyway via
+//!   [`PoisonError::into_inner`]. Safe here because every structure
+//!   behind the serve locks is valid at every await-free step — a
+//!   panicked holder leaves a consistent (if partial) queue that
+//!   teardown is allowed to observe.
+//!
+//! Rule L5 bans `.unwrap()`/`.expect()`/`.unwrap_or_else()` on lock
+//! results everywhere else; the lint names this file as the single
+//! exemption (see `DESIGN.md` §14).
+
+use conncar_types::{Error, Result};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock `m`, mapping poison to [`Error::Poisoned`] labelled `what`.
+///
+/// `what` names the protected structure (`"serve.ServiceState"`,
+/// `"serve.ConnTable"`) so the operator log says *which* lock a
+/// panicked worker poisoned.
+pub fn lock_or_poisoned<'a, T>(
+    m: &'a Mutex<T>,
+    what: &'static str,
+) -> Result<MutexGuard<'a, T>> {
+    m.lock().map_err(|_| Error::Poisoned { what })
+}
+
+/// Lock `m`, recovering the guard even if the lock is poisoned.
+///
+/// For infallible contexts only (teardown, `Drop`): the returned
+/// guard may reflect a holder that died mid-update, so callers must
+/// treat the contents as advisory — drain-and-discard, never trust
+/// invariants that span multiple fields.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn poison(m: &Arc<Mutex<Vec<u32>>>) {
+        let m2 = Arc::clone(m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().expect("first take");
+            panic!("poison the lock");
+        })
+        .join();
+    }
+
+    #[test]
+    fn healthy_lock_passes_through() {
+        let m = Mutex::new(vec![1u32]);
+        let g = lock_or_poisoned(&m, "test.lock").expect("healthy");
+        assert_eq!(*g, vec![1]);
+    }
+
+    #[test]
+    fn poisoned_lock_becomes_a_typed_error() {
+        let m = Arc::new(Mutex::new(vec![1u32]));
+        poison(&m);
+        let err = lock_or_poisoned(&m, "test.lock").err().expect("poisoned");
+        assert!(matches!(err, Error::Poisoned { what: "test.lock" }));
+        assert!(err.to_string().contains("test.lock"));
+    }
+
+    #[test]
+    fn recover_returns_the_guard_despite_poison() {
+        let m = Arc::new(Mutex::new(vec![7u32]));
+        poison(&m);
+        assert_eq!(*lock_recover(&m), vec![7]);
+    }
+}

@@ -40,8 +40,8 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
 pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
     let mut len_bytes = [0u8; 4];
     let mut filled = 0;
-    while filled < 4 {
-        match r.read(&mut len_bytes[filled..])? {
+    while let Some(window) = len_bytes.get_mut(filled..).filter(|w| !w.is_empty()) {
+        match r.read(window)? {
             0 if filled == 0 => return Ok(None),
             0 => {
                 return Err(std::io::Error::new(
@@ -121,7 +121,7 @@ pub fn decode_response(bytes: &[u8]) -> Result<QueryResponse> {
                 scan_nanos: c.u64()?,
             };
             // The rest of the payload is the value encoding.
-            let value = QueryValue::decode(&bytes[2 + 7 * 8..])?;
+            let value = QueryValue::decode(c.rest())?;
             Ok(QueryResponse {
                 value,
                 stats,
@@ -156,12 +156,12 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
 }
 
 fn take_str(c: &mut Cursor<'_>) -> Result<String> {
+    // The claimed length is validated against the bytes actually
+    // present before any allocation happens: `take` bounds-checks the
+    // whole span, so a lying header fails typed instead of reserving.
     let n = c.u32()? as usize;
-    let mut bytes = Vec::with_capacity(n.min(1 << 16));
-    for _ in 0..n {
-        bytes.push(c.u8()?);
-    }
-    String::from_utf8(bytes).map_err(|e| Error::Decode {
+    let bytes = c.take(n)?;
+    String::from_utf8(bytes.to_vec()).map_err(|e| Error::Decode {
         offset: None,
         why: format!("non-UTF-8 string: {e}"),
     })

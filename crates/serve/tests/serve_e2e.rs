@@ -74,7 +74,7 @@ fn concurrent_clients_get_byte_identical_answers() {
         c.join().expect("client thread");
     }
 
-    let engine = server.shutdown();
+    let engine = server.shutdown().expect("clean shutdown");
     assert_eq!(engine.counters().get(keys::QUERIES), 30);
     assert_eq!(engine.counters().get(keys::REJECTED), 0);
     // The workload repeats requests across clients, so the cache and/or
@@ -105,7 +105,7 @@ fn typed_refusals_cross_the_wire() {
     let resp = client.query(&ok).expect("served after refusal");
     assert!(matches!(resp.value, conncar_serve::QueryValue::Count(600)));
 
-    let engine = server.shutdown();
+    let engine = server.shutdown().expect("clean shutdown");
     assert_eq!(engine.counters().get(keys::REJECTED), 1);
 }
 
@@ -125,7 +125,7 @@ fn cache_hits_are_flagged_over_the_wire() {
         first.stats.shards_scanned, second.stats.shards_scanned,
         "a hit reports the original computation's stats"
     );
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -140,7 +140,7 @@ fn malformed_frames_get_an_error_response() {
     write_frame(&mut stream, &[0xFF, 0xEE]).expect("send garbage");
     let payload = read_frame(&mut stream).expect("read").expect("frame");
     assert_eq!(payload[0], 1, "garbage must produce an error response");
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -148,6 +148,6 @@ fn shutdown_is_idempotent_under_no_traffic() {
     let store = sample_store(2);
     let server =
         ServeServer::bind("127.0.0.1:0", ServeEngine::new(store, 4, 4), 4, 16).expect("bind");
-    let engine = server.shutdown();
+    let engine = server.shutdown().expect("clean shutdown");
     assert_eq!(engine.counters().get(keys::QUERIES), 0);
 }

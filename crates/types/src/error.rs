@@ -84,6 +84,16 @@ pub enum Error {
         /// The admission bound that was hit.
         limit: usize,
     },
+    /// A shared lock was poisoned: some thread panicked while holding
+    /// it, so the state it protects can no longer be trusted. Callers
+    /// degrade (refuse the request, stop the scheduler) instead of
+    /// cascading the panic through `.unwrap()` — lint rule L5 bans the
+    /// latter outside the sanctioned recovery helper in
+    /// `crates/serve/src/sync.rs`.
+    Poisoned {
+        /// Which lock was found poisoned, e.g. `serve.ServiceState`.
+        what: &'static str,
+    },
     /// The ingest→clean pipeline could not produce a usable dataset
     /// from a byte stream: the input carried data, but nothing
     /// salvageable survived to be cleaned. Partial damage is *not* an
@@ -131,6 +141,9 @@ impl fmt::Display for Error {
                 "query service overloaded: {queued} requests queued (limit {limit})"
             ),
             Error::Io(msg) => write!(f, "I/O error: {msg}"),
+            Error::Poisoned { what } => {
+                write!(f, "lock `{what}` poisoned by a panicked thread")
+            }
             Error::EmptyInput { analysis } => {
                 write!(f, "analysis `{analysis}` received no input data")
             }
@@ -196,6 +209,10 @@ mod tests {
             limit: 128,
         };
         assert!(e.to_string().contains("limit 128"), "{e}");
+        let e = Error::Poisoned {
+            what: "serve.ServiceState",
+        };
+        assert!(e.to_string().contains("serve.ServiceState"), "{e}");
     }
 
     #[test]

@@ -312,7 +312,13 @@ fn serve_cmd(args: Vec<String>) -> ExitCode {
     while std::io::stdin().read_line(&mut sink).unwrap_or(0) > 0 {
         sink.clear();
     }
-    let engine = server.shutdown();
+    let engine = match server.shutdown() {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("error: shutdown: {e}");
+            return ExitCode::from(2);
+        }
+    };
     println!("served counters:");
     for (key, value) in engine.counters().iter() {
         println!("  {key} = {value}");
