@@ -1,0 +1,149 @@
+//! Metrics-substrate micro-benchmarks.
+//!
+//! Two questions, both answered with a machine-readable artifact
+//! (`target/BENCH_metrics.json`, path overridable via
+//! `BENCH_METRICS_JSON`):
+//!
+//! 1. **`sum_prefix` fast path** — the `CounterRegistry` keeps keys in
+//!    a `BTreeMap`, so a prefix sum can range-scan from the prefix and
+//!    stop at the first non-matching key instead of filtering the whole
+//!    registry linearly. This bench builds registries of growing size
+//!    with a small target namespace and times the shipped range scan
+//!    against the naive linear filter, pinning the speedup the code
+//!    comment claims.
+//! 2. **Live-plane hot-path cost** — the per-record price of the
+//!    lock-free primitives the serve engine calls on every query:
+//!    `LiveCounter::incr`, `LiveHistogram::record`, and
+//!    `FlightRecorder::post`, reported as ns/op.
+//!
+//! Plain `fn main` on purpose, like the other benches: the numbers go
+//! to the JSON artifact, not a criterion report.
+
+use conncar_obs::{Clock, CounterRegistry, FlightRecorder, LiveCounter, LiveHistogram, MonotonicClock};
+
+/// Best-of-N wall time in nanoseconds for `ops` operations.
+fn best_ns(clock: &dyn Clock, iters: usize, mut f: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..iters {
+        let t0 = clock.now_nanos();
+        f();
+        best = best.min(clock.now_nanos().saturating_sub(t0).max(1));
+    }
+    best
+}
+
+/// A registry with `total` keys across disjoint namespaces, of which
+/// `hot` live under the `serve.cache.` prefix being summed.
+fn registry(total: usize, hot: usize) -> CounterRegistry {
+    let mut reg = CounterRegistry::new();
+    for i in 0..hot {
+        reg.add(&format!("serve.cache.op{i:04}"), i as u64 + 1);
+    }
+    for i in 0..total.saturating_sub(hot) {
+        // Spread the cold keys across namespaces sorting both below
+        // and above the hot prefix, so the range scan's early stop is
+        // actually exercised.
+        let ns = ["a.early", "m.mid", "z.late"][i % 3];
+        reg.add(&format!("{ns}.k{i:05}"), 1);
+    }
+    reg
+}
+
+fn naive_sum(reg: &CounterRegistry, prefix: &str) -> u64 {
+    reg.iter()
+        .filter(|(k, _)| k.starts_with(prefix))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+fn main() {
+    let clock = MonotonicClock::new();
+    let iters = 30usize;
+    let mut rows: Vec<String> = Vec::new();
+
+    // --- sum_prefix: range scan vs linear filter -------------------
+    let hot = 16usize;
+    let mut worst_ratio = f64::MAX;
+    for total in [64usize, 512, 4096] {
+        let reg = registry(total, hot);
+        let want = naive_sum(&reg, "serve.cache.");
+        assert_eq!(reg.sum_prefix("serve.cache."), want, "paths must agree");
+
+        let range_ns = best_ns(&clock, iters, || {
+            std::hint::black_box(reg.sum_prefix(std::hint::black_box("serve.cache.")));
+        });
+        let linear_ns = best_ns(&clock, iters, || {
+            std::hint::black_box(naive_sum(&reg, std::hint::black_box("serve.cache.")));
+        });
+        let speedup = linear_ns as f64 / range_ns as f64;
+        worst_ratio = worst_ratio.min(speedup);
+        rows.push(format!(
+            concat!(
+                "    {{\"experiment\": \"sum_prefix\", \"registry_keys\": {}, ",
+                "\"prefix_keys\": {}, \"range_scan_ns\": {}, \"linear_filter_ns\": {}, ",
+                "\"speedup\": {:.3}}}"
+            ),
+            total, hot, range_ns, linear_ns, speedup
+        ));
+        println!(
+            "sum_prefix over {total:>5} keys: range {range_ns:>7}ns vs linear \
+             {linear_ns:>7}ns ({speedup:.2}x)"
+        );
+    }
+
+    // --- live-plane primitives: ns per operation -------------------
+    let ops = 100_000u64;
+    let counter = LiveCounter::new();
+    let counter_ns = best_ns(&clock, 5, || {
+        for _ in 0..ops {
+            counter.incr();
+        }
+    });
+    let hist = LiveHistogram::new();
+    let hist_ns = best_ns(&clock, 5, || {
+        for i in 0..ops {
+            hist.record(i.wrapping_mul(2_654_435_761));
+        }
+    });
+    let ring = FlightRecorder::new(256);
+    let ring_ns = best_ns(&clock, 5, || {
+        for i in 0..ops {
+            ring.post(i, 1, i, 0);
+        }
+    });
+    for (name, total_ns) in [
+        ("counter_incr", counter_ns),
+        ("histogram_record", hist_ns),
+        ("flight_post", ring_ns),
+    ] {
+        let per_op = total_ns as f64 / ops as f64;
+        rows.push(format!(
+            concat!(
+                "    {{\"experiment\": \"{}\", \"ops\": {}, \"wall_ns\": {}, ",
+                "\"ns_per_op\": {:.2}}}"
+            ),
+            name, ops, total_ns, per_op
+        ));
+        println!("{name:<18} {per_op:>8.2} ns/op");
+    }
+    std::hint::black_box((counter.get(), hist.snapshot().count, ring.posted()));
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs_metrics\",\n  \"clock\": \"{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        clock.kind(),
+        rows.join(",\n")
+    );
+    let path = std::env::var("BENCH_METRICS_JSON")
+        .unwrap_or_else(|_| "target/BENCH_metrics.json".to_string());
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+    // The range scan must never lose to the linear filter at scale;
+    // tolerate parity (ratio near 1.0) only for the smallest registry.
+    assert!(
+        worst_ratio > 0.5,
+        "range-scan sum_prefix catastrophically slower than linear filter"
+    );
+}

@@ -13,9 +13,20 @@
 //!    **twice** to assert the artifact is byte-identical run to run.
 //!    This phase also enforces the scan-sharing contract: the shared
 //!    passes must perform at least 2x fewer shard scans than naive
-//!    per-query execution would have.
+//!    per-query execution would have — and, since the live metrics
+//!    plane landed, asserts the generation-normalized [`ServeSnapshot`]
+//!    encoding is byte-identical across the two runs (the determinism
+//!    contract the `metrics-gate` CI job pins).
 //!
-//! 2. **TCP timing run** (monotonic clock): the same workload is split
+//! 2. **Instrumentation overhead** (monotonic clock): the same
+//!    workload runs through fresh engines with the live plane enabled
+//!    and disabled, alternating instrumented/stripped passes
+//!    (min-of-3 each, same store). `overhead_pct` in the emitted JSON
+//!    is the relative cost of every counter bump, histogram record,
+//!    and flight post on the hot path; `metrics-gate` holds it under
+//!    its ceiling.
+//!
+//! 3. **TCP timing run** (monotonic clock): the same workload is split
 //!    across concurrent [`ServeClient`] connections against a real
 //!    [`ServeServer`], measuring per-request latency and aggregate
 //!    throughput. Timing flows through the obs clock like every other
@@ -35,7 +46,8 @@ use conncar_bench::bench_config;
 use conncar_obs::{Clock, MonotonicClock, NullClock, RunTelemetry, SpanRecord};
 use conncar_serve::engine::keys;
 use conncar_serve::{
-    workload, QueryRequest, ServeClient, ServeEngine, ServeServer, WorkloadSpec, WorkloadTargets,
+    workload, MetricsConfig, QueryRequest, ServeClient, ServeEngine, ServeServer, WorkloadSpec,
+    WorkloadTargets,
 };
 use conncar_store::CdrStore;
 use std::sync::Arc;
@@ -49,9 +61,19 @@ const EPOCH_MAX: usize = 16;
 const TCP_CLIENTS: usize = 4;
 const TCP_WORKERS: usize = 4;
 
+/// Overhead-measurement rounds: instrumented and stripped passes
+/// alternate this many times and the minimum of each side is compared,
+/// so a one-off scheduler hiccup cannot fake (or hide) overhead.
+const OVERHEAD_ROUNDS: usize = 3;
+
 /// What one deterministic engine pass produces.
 struct DeterministicRun {
     obs_json: String,
+    /// Generation-normalized canonical [`ServeSnapshot`] encoding —
+    /// the bytes the stats wire endpoint would hand a client.
+    snapshot: Vec<u8>,
+    /// Flight-recorder events captured in the snapshot.
+    flight_events: usize,
     physical: u64,
     naive: u64,
     cache_hits: u64,
@@ -82,6 +104,7 @@ fn deterministic_run(
         }
     }
     let c = engine.counters();
+    let snap = engine.snapshot().normalized();
     let telemetry = RunTelemetry {
         clock: "null".to_string(),
         trace: None,
@@ -90,6 +113,8 @@ fn deterministic_run(
     };
     DeterministicRun {
         obs_json: telemetry.to_json(),
+        flight_events: snap.events.len(),
+        snapshot: snap.encode(),
         physical: c.get(keys::PHYSICAL_SHARD_SCANS),
         naive: c.get(keys::NAIVE_SHARD_SCANS),
         cache_hits: c.get(keys::CACHE_HITS),
@@ -98,6 +123,33 @@ fn deterministic_run(
         epochs: c.get(keys::EPOCHS),
         shards: store.shard_count(),
     }
+}
+
+/// One full engine pass over the workload with the live plane on or
+/// off; returns elapsed nanoseconds on the store's clock. Fresh engine
+/// each pass so every round pays the same cold cache.
+fn timed_pass(
+    clock: &Arc<MonotonicClock>,
+    store: &Arc<CdrStore>,
+    reqs: &[QueryRequest],
+    enabled: bool,
+) -> u64 {
+    let mut engine = ServeEngine::with_metrics(
+        Arc::clone(store),
+        CACHE_CAPACITY,
+        EPOCH_MAX,
+        MetricsConfig {
+            enabled,
+            ..MetricsConfig::default()
+        },
+    );
+    let t0 = clock.now_nanos();
+    for batch in reqs.chunks(ADMIT_BATCH) {
+        for resp in engine.submit_batch(batch) {
+            resp.expect("workload requests are valid");
+        }
+    }
+    clock.now_nanos().saturating_sub(t0).max(1)
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -121,6 +173,10 @@ fn main() {
         first.obs_json, second.obs_json,
         "same seed must produce a byte-identical SERVE_OBS.json"
     );
+    assert_eq!(
+        first.snapshot, second.snapshot,
+        "same seed must produce a byte-identical normalized ServeSnapshot encoding"
+    );
     let sharing = first.naive as f64 / first.physical.max(1) as f64;
     eprintln!(
         "deterministic: {} queries, {} epochs, {} physical vs {} naive shard scans ({sharing:.2}x), \
@@ -142,11 +198,27 @@ fn main() {
     );
     let hit_rate = first.cache_hits as f64 / spec.queries.max(1) as f64;
 
-    // ---- phase 2: TCP timing run ----
+    // ---- phase 2: instrumentation overhead ----
     let clock = Arc::new(MonotonicClock::new());
     let store = Arc::new(CdrStore::build_auto_with_clock(ds, clock.clone()));
     let targets = WorkloadTargets::from_store(&store);
     let reqs = workload::generate(&spec, &targets);
+    let mut instr_ns = u64::MAX;
+    let mut stripped_ns = u64::MAX;
+    for _ in 0..OVERHEAD_ROUNDS {
+        instr_ns = instr_ns.min(timed_pass(&clock, &store, &reqs, true));
+        stripped_ns = stripped_ns.min(timed_pass(&clock, &store, &reqs, false));
+    }
+    let overhead_pct = (instr_ns as f64 / stripped_ns as f64 - 1.0) * 100.0;
+    eprintln!(
+        "overhead: instrumented {:.2} ms vs stripped {:.2} ms over {} queries \
+         ({overhead_pct:+.2}%)",
+        instr_ns as f64 / 1e6,
+        stripped_ns as f64 / 1e6,
+        reqs.len(),
+    );
+
+    // ---- phase 3: TCP timing run ----
     let engine = ServeEngine::new(Arc::clone(&store), CACHE_CAPACITY, EPOCH_MAX);
     let server =
         ServeServer::bind("127.0.0.1:0", engine, TCP_WORKERS, 4 * ADMIT_BATCH).expect("bind");
@@ -213,6 +285,8 @@ fn main() {
             "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}},\n",
             "  \"coalesced\": {},\n",
             "  \"epochs\": {},\n",
+            "  \"metrics\": {{\"snapshot_identical\": true, \"snapshot_bytes\": {}, ",
+            "\"flight_events\": {}, \"overhead_pct\": {:.2}}},\n",
             "  \"tcp_cache_hit_rate\": {:.3}\n",
             "}}\n"
         ),
@@ -240,6 +314,9 @@ fn main() {
         hit_rate,
         first.coalesced,
         first.epochs,
+        first.snapshot.len(),
+        first.flight_events,
+        overhead_pct,
         tc.get(keys::CACHE_HITS) as f64 / tc.get(keys::QUERIES).max(1) as f64,
     );
 

@@ -1,19 +1,22 @@
 //! conncar-lint: the workspace determinism, concurrency & resource-
 //! safety gate.
 //!
-//! Seven deny-by-default rules (see [`rules`]) run over every `.rs`
+//! Eight deny-by-default rules (see [`rules`]) run over every `.rs`
 //! file under `crates/*/src`, `src/`, and `examples/`: L1–L4 enforce
 //! determinism, L5–L7 enforce lock discipline, bounded allocation, and
 //! panic-freedom on hot paths (backed by the intraprocedural analyses
-//! in [`dataflow`]). A hit is suppressed
+//! in [`dataflow`]), and L8 — the one cross-file rule — reconciles
+//! every live-metric resolve site against the central
+//! `METRIC_REGISTRY` constant in both directions. A hit is suppressed
 //! only by a per-site `lint:allow(RULE): justification` comment beside
 //! the offending line (see [`site`]) or, for whole-file exemptions that
 //! genuinely cannot live in the source, a documented entry in
-//! `lint.toml`. Site allows are themselves linted: malformed markers
-//! (`A1`) and stale allows that no longer silence anything (`A2`) fail
-//! the gate. See DESIGN.md §9 for the rationale behind each rule and
-//! the procedure for amending an exemption, and DESIGN.md §14 for the
-//! L5–L7 semantics.
+//! `lint.toml`. (L8 hits span files, so only the `lint.toml` layer
+//! applies to them.) Site allows are themselves linted: malformed
+//! markers (`A1`) and stale allows that no longer silence anything
+//! (`A2`) fail the gate. See DESIGN.md §9 for the rationale behind
+//! each rule and the procedure for amending an exemption, and
+//! DESIGN.md §14 for the L5–L7 semantics.
 
 pub mod config;
 pub mod dataflow;
@@ -109,6 +112,7 @@ pub fn lint_workspace(root: &Path, allowlist: &[AllowEntry]) -> std::io::Result<
 
     let mut files = source_files(root)?;
     files.sort();
+    let mut contents: Vec<(String, String)> = Vec::new();
     for file in files {
         let rel = file
             .strip_prefix(root)
@@ -116,8 +120,11 @@ pub fn lint_workspace(root: &Path, allowlist: &[AllowEntry]) -> std::io::Result<
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(&file)?;
+        contents.push((rel, src));
+    }
+    for (rel, src) in &contents {
         run.files_scanned += 1;
-        let (violations, site_allowed) = lint_source_with_sites(&rel, &src);
+        let (violations, site_allowed) = lint_source_with_sites(rel, src);
         run.site_allowed.extend(site_allowed);
         for v in violations {
             match allowlist.iter().position(|e| e.matches(&v)) {
@@ -127,6 +134,18 @@ pub fn lint_workspace(root: &Path, allowlist: &[AllowEntry]) -> std::io::Result<
                 }
                 None => run.violations.push(v),
             }
+        }
+    }
+    // L8 sees every file at once: it reconciles resolve sites in one
+    // file against the registry constant in another. Site allows are
+    // per-file, so only the allowlist layer applies here.
+    for v in rules::lint_metric_registry(&contents) {
+        match allowlist.iter().position(|e| e.matches(&v)) {
+            Some(idx) => {
+                used[idx] = true;
+                run.allowed.push((v, idx));
+            }
+            None => run.violations.push(v),
         }
     }
     run.unused_entries = allowlist

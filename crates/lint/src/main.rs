@@ -31,7 +31,7 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "conncar-lint: workspace determinism, concurrency & resource-safety gate (rules L1-L7)\n\
+                    "conncar-lint: workspace determinism, concurrency & resource-safety gate (rules L1-L8)\n\
                      usage: conncar-lint [--deny] [--root <dir>] [--allowlist <lint.toml>] [--quiet]"
                 );
                 return ExitCode::SUCCESS;

@@ -1,12 +1,16 @@
-//! The workspace invariant rules: determinism (L1–L4) and
-//! concurrency/resource safety (L5–L7).
+//! The workspace invariant rules: determinism (L1–L4), concurrency/
+//! resource safety (L5–L7), and metric-registry coherence (L8).
 //!
-//! Every rule works on the token stream of one file plus its
+//! Every per-file rule works on the token stream of one file plus its
 //! repo-relative path; test regions (`#[cfg(test)]`, `#[test]`) are
 //! skipped. Scoping decisions (which crates a rule applies to) live
 //! here so the fixture tests can exercise them with synthetic paths.
 //! L5–L7 additionally consume the guard-span and taint analyses from
-//! [`crate::dataflow`].
+//! [`crate::dataflow`]. L8 is the one *cross-file* rule
+//! ([`lint_metric_registry`]): it reconciles every
+//! `.counter("…")`/`.gauge("…")`/`.histogram("…")` string-literal
+//! resolve site in the workspace against the central `METRIC_REGISTRY`
+//! constant, in both directions.
 
 use crate::dataflow;
 use crate::lexer::{tokenize, Token, TokenKind};
@@ -14,7 +18,7 @@ use crate::lexer::{tokenize, Token, TokenKind};
 /// One rule hit at a concrete source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id: `"L1"`..`"L7"`.
+    /// Rule id: `"L1"`..`"L8"`.
     pub rule: &'static str,
     /// Repo-relative path (forward slashes).
     pub path: String,
@@ -325,6 +329,7 @@ const BLOCKING_UNDER_LOCK: &[&str] = &[
 const WIRE_FACING_FILES: &[&str] = &[
     "crates/serve/src/wire.rs",
     "crates/serve/src/request.rs",
+    "crates/serve/src/stats.rs",
     "crates/cdr/src/io.rs",
     "crates/cdr/src/codec.rs",
 ];
@@ -339,6 +344,9 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/serve/src/engine.rs",
     "crates/serve/src/server.rs",
     "crates/serve/src/client.rs",
+    "crates/serve/src/metrics.rs",
+    "crates/serve/src/stats.rs",
+    "crates/obs/src/live.rs",
     "crates/cdr/src/io.rs",
     "crates/cdr/src/codec.rs",
     "crates/cdr/src/clean.rs",
@@ -689,4 +697,345 @@ fn rule_l7(path: &str, toks: &[Token], out: &mut Vec<Violation>) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// L8: metric-registry coherence (cross-file).
+// ---------------------------------------------------------------------
+
+/// Name of the central registry constant L8 reconciles against.
+const METRIC_REGISTRY_IDENT: &str = "METRIC_REGISTRY";
+
+/// Resolve-site methods whose string-literal argument is a metric key.
+const METRIC_METHODS: &[&str] = &["counter", "gauge", "histogram"];
+
+const L8_EMIT_HINT: &str = "every metric key must be declared in the central METRIC_REGISTRY \
+     constant; a typo'd key silently resolves to the sink handle and its recordings vanish \
+     from snapshots";
+const L8_DEAD_HINT: &str = "a registered key with no resolve site is dead weight in every \
+     snapshot; delete the registry entry or wire up the emission";
+
+/// One string literal recovered by the L8 scanner.
+struct StrLit {
+    /// Literal body (escapes left as written; metric keys contain none).
+    text: String,
+    /// Byte offset of the opening delimiter in the source.
+    start: usize,
+}
+
+/// Scan raw source for string literals, returning them plus a masked
+/// copy (same length, comments and literal bodies blanked to spaces)
+/// safe for structural searches. The shared lexer drops string
+/// literals entirely, which is exactly what L8 needs to keep — hence
+/// this dedicated scanner. Handles line/nested-block comments, escape
+/// sequences, char literals vs lifetimes, and `r#"…"#` raw strings.
+fn scan_strings(src: &str) -> (Vec<StrLit>, Vec<u8>) {
+    let b = src.as_bytes();
+    let mut masked = b.to_vec();
+    let mut lits = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    masked[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1u32;
+                masked[i] = b' ';
+                masked[i + 1] = b' ';
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        masked[i] = b' ';
+                        i += 1;
+                        masked[i] = b' ';
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        masked[i] = b' ';
+                        i += 1;
+                        masked[i] = b' ';
+                    } else if b[i] != b'\n' {
+                        masked[i] = b' ';
+                    }
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Lifetime (`'a` not closed by a quote) vs char literal.
+                let next_is_name = b
+                    .get(i + 1)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_');
+                if next_is_name && b.get(i + 2) != Some(&b'\'') {
+                    i += 2;
+                    continue;
+                }
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' {
+                        i += 2;
+                    } else if b[i] == b'\'' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if b.get(i + 1).is_some_and(|c| matches!(c, b'"' | b'#'))
+                && !(i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')) =>
+            {
+                let mut h = i + 1;
+                let mut hashes = 0usize;
+                while b.get(h) == Some(&b'#') {
+                    hashes += 1;
+                    h += 1;
+                }
+                if b.get(h) != Some(&b'"') {
+                    i += 1;
+                    continue;
+                }
+                let start = i;
+                let body = h + 1;
+                let mut j = body;
+                let mut end = b.len();
+                let mut resume = b.len();
+                while j < b.len() {
+                    if b[j] == b'"' {
+                        let mut k = j + 1;
+                        let mut hh = 0usize;
+                        while hh < hashes && b.get(k) == Some(&b'#') {
+                            hh += 1;
+                            k += 1;
+                        }
+                        if hh == hashes {
+                            end = j;
+                            resume = k;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                for m in masked.iter_mut().take(end).skip(body) {
+                    if *m != b'\n' {
+                        *m = b' ';
+                    }
+                }
+                lits.push(StrLit {
+                    text: src.get(body..end).unwrap_or("").to_string(),
+                    start,
+                });
+                i = resume;
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let body = i;
+                while i < b.len() {
+                    if b[i] == b'\\' {
+                        masked[i] = b' ';
+                        if let Some(m) = masked.get_mut(i + 1) {
+                            if *m != b'\n' {
+                                *m = b' ';
+                            }
+                        }
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        break;
+                    } else {
+                        if b[i] != b'\n' {
+                            masked[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+                lits.push(StrLit {
+                    text: src.get(body..i.min(b.len())).unwrap_or("").to_string(),
+                    start,
+                });
+                i += 1; // past the closing quote
+            }
+            _ => i += 1,
+        }
+    }
+    (lits, masked)
+}
+
+/// 1-based line of byte offset `pos`.
+fn line_of(src: &str, pos: usize) -> u32 {
+    let upto = src.get(..pos).unwrap_or(src);
+    1 + upto.bytes().filter(|b| *b == b'\n').count() as u32
+}
+
+/// Lines containing any token the lexer marked as test code.
+fn test_lines(src: &str) -> std::collections::BTreeSet<u32> {
+    tokenize(src)
+        .iter()
+        .filter(|t| t.in_test)
+        .map(|t| t.line)
+        .collect()
+}
+
+/// Byte spans `(open, close)` of `METRIC_REGISTRY` *definition* array
+/// literals in a masked source: the ident followed by `:` (a use site
+/// is followed by `,`, `.`, `)` …), then the first `[` after the `=`,
+/// matched to its close.
+fn registry_spans(masked: &[u8]) -> Vec<(usize, usize)> {
+    let hay = masked;
+    let needle = METRIC_REGISTRY_IDENT.as_bytes();
+    let mut spans = Vec::new();
+    let mut at = 0usize;
+    while at + needle.len() <= hay.len() {
+        if &hay[at..at + needle.len()] != needle {
+            at += 1;
+            continue;
+        }
+        let before_ok =
+            at == 0 || !(hay[at - 1].is_ascii_alphanumeric() || hay[at - 1] == b'_');
+        let mut j = at + needle.len();
+        let after_ok = hay
+            .get(j)
+            .is_none_or(|c| !(c.is_ascii_alphanumeric() || *c == b'_'));
+        at += needle.len();
+        if !(before_ok && after_ok) {
+            continue;
+        }
+        while hay.get(j).is_some_and(|c| c.is_ascii_whitespace()) {
+            j += 1;
+        }
+        if hay.get(j) != Some(&b':') {
+            continue; // a use site, not the definition
+        }
+        let Some(eq) = (j..hay.len()).find(|&k| hay[k] == b'=') else {
+            continue;
+        };
+        let Some(open) = (eq..hay.len()).find(|&k| hay[k] == b'[') else {
+            continue;
+        };
+        let mut depth = 0i32;
+        let mut close = hay.len();
+        for k in open..hay.len() {
+            match hay[k] {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        spans.push((open, close));
+        at = close.min(hay.len());
+    }
+    spans
+}
+
+/// If the literal starting at `start` is the sole argument of a
+/// `.counter(` / `.gauge(` / `.histogram(` call, return the method.
+fn emission_method(masked: &[u8], start: usize) -> Option<&'static str> {
+    let mut j = start;
+    // Back over whitespace to what should be the call's `(`.
+    while j > 0 && masked[j - 1].is_ascii_whitespace() {
+        j -= 1;
+    }
+    if j == 0 || masked[j - 1] != b'(' {
+        return None;
+    }
+    j -= 1;
+    while j > 0 && masked[j - 1].is_ascii_whitespace() {
+        j -= 1;
+    }
+    let end = j;
+    while j > 0 && (masked[j - 1].is_ascii_alphanumeric() || masked[j - 1] == b'_') {
+        j -= 1;
+    }
+    let name = std::str::from_utf8(masked.get(j..end)?).ok()?;
+    let method = METRIC_METHODS.iter().find(|m| **m == name)?;
+    while j > 0 && masked[j - 1].is_ascii_whitespace() {
+        j -= 1;
+    }
+    // Method-call receiver only: `live.counter("…")`, not a free
+    // function or a definition.
+    (j > 0 && masked[j - 1] == b'.').then_some(*method)
+}
+
+/// L8: metric-registry coherence across the whole workspace.
+///
+/// Collects (a) every key declared in a `METRIC_REGISTRY` constant and
+/// (b) every string-literal key passed to a `.counter(` / `.gauge(` /
+/// `.histogram(` call outside test code, then reports both directions
+/// of disagreement: an emitted key missing from the registry (at the
+/// emission line) and a registered key that is never emitted (at the
+/// registry line). Files under `crates/lint/` are exempt — this crate
+/// spells violating examples out in docs and fixtures. When no file
+/// defines a registry the rule is silent, so workspaces without a live
+/// metrics plane pay nothing.
+///
+/// Cross-file by necessity, so it cannot run inside
+/// [`lint_source`]; [`crate::lint_workspace`] feeds it every scanned
+/// file, and exemptions go through `lint.toml` (site allows are
+/// per-file and do not apply).
+pub fn lint_metric_registry(files: &[(String, String)]) -> Vec<Violation> {
+    let mut registered: Vec<(String, String, u32)> = Vec::new();
+    let mut emitted: Vec<(String, String, u32, &'static str)> = Vec::new();
+    for (path, src) in files {
+        if path.starts_with("crates/lint/") {
+            continue;
+        }
+        let (lits, masked) = scan_strings(src);
+        let spans = registry_spans(&masked);
+        let in_test = test_lines(src);
+        for lit in &lits {
+            if spans.iter().any(|(a, z)| lit.start > *a && lit.start < *z) {
+                registered.push((lit.text.clone(), path.clone(), line_of(src, lit.start)));
+                continue;
+            }
+            if in_test.contains(&line_of(src, lit.start)) {
+                continue;
+            }
+            if let Some(method) = emission_method(&masked, lit.start) {
+                emitted.push((
+                    lit.text.clone(),
+                    path.clone(),
+                    line_of(src, lit.start),
+                    method,
+                ));
+            }
+        }
+    }
+    if registered.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (key, path, line, method) in &emitted {
+        if !registered.iter().any(|(k, _, _)| k == key) {
+            out.push(Violation {
+                rule: "L8",
+                path: path.clone(),
+                line: *line,
+                what: format!(".{method}(\"{key}\") key not in {METRIC_REGISTRY_IDENT}"),
+                hint: L8_EMIT_HINT,
+            });
+        }
+    }
+    for (key, path, line) in &registered {
+        if !emitted.iter().any(|(k, _, _, _)| k == key) {
+            out.push(Violation {
+                rule: "L8",
+                path: path.clone(),
+                line: *line,
+                what: format!("registered key \"{key}\" has no resolve site"),
+                hint: L8_DEAD_HINT,
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, &a.what).cmp(&(&b.path, b.line, &b.what)));
+    out.dedup();
+    out
 }

@@ -440,3 +440,81 @@ fn the_workspace_is_clean_and_its_residue_is_pinned() {
         );
     }
 }
+
+#[test]
+fn l8_flags_both_directions_of_registry_drift() {
+    let files = vec![(
+        "crates/serve/src/metrics.rs".to_string(),
+        include_str!("fixtures/l8_violating.rs").to_string(),
+    )];
+    let found: Vec<(u32, String)> = conncar_lint::rules::lint_metric_registry(&files)
+        .into_iter()
+        .map(|v| (v.line, v.what))
+        .collect();
+    assert_eq!(
+        found,
+        vec![
+            (
+                13,
+                "registered key \"serve.live.orphaned_key\" has no resolve site".to_string()
+            ),
+            (
+                31,
+                ".counter(\"serve.live.queris\") key not in METRIC_REGISTRY".to_string()
+            ),
+        ]
+    );
+}
+
+#[test]
+fn l8_passes_a_coherent_registry() {
+    let files = vec![(
+        "crates/serve/src/metrics.rs".to_string(),
+        include_str!("fixtures/l8_clean.rs").to_string(),
+    )];
+    assert_eq!(conncar_lint::rules::lint_metric_registry(&files), vec![]);
+}
+
+#[test]
+fn l8_reconciles_across_files() {
+    // The registry lives in one file; a resolve site in another file
+    // still reconciles against it — and a typo there is still caught.
+    let files = vec![
+        (
+            "crates/serve/src/metrics.rs".to_string(),
+            include_str!("fixtures/l8_clean.rs").to_string(),
+        ),
+        (
+            "crates/serve/src/stats.rs".to_string(),
+            "pub fn render(live: &Live) -> u64 {\n    live.gauge(\"serve.live.queue_depht\")\n}\n"
+                .to_string(),
+        ),
+    ];
+    let found: Vec<(String, u32)> = conncar_lint::rules::lint_metric_registry(&files)
+        .into_iter()
+        .map(|v| (v.path, v.line))
+        .collect();
+    assert_eq!(found, vec![("crates/serve/src/stats.rs".to_string(), 2)]);
+}
+
+#[test]
+fn l8_is_silent_without_a_registry() {
+    // A workspace with resolve sites but no METRIC_REGISTRY constant
+    // (e.g. before the live plane exists) must not fail the gate.
+    let files = vec![(
+        "crates/serve/src/stats.rs".to_string(),
+        "pub fn f(live: &Live) -> u64 {\n    live.counter(\"any.key.at.all\")\n}\n".to_string(),
+    )];
+    assert_eq!(conncar_lint::rules::lint_metric_registry(&files), vec![]);
+}
+
+#[test]
+fn l8_skips_the_lint_crate_itself() {
+    // This crate's sources and fixtures spell violating examples out;
+    // scanning them would make the rule self-triggering.
+    let files = vec![(
+        "crates/lint/tests/fixtures/l8_violating.rs".to_string(),
+        include_str!("fixtures/l8_violating.rs").to_string(),
+    )];
+    assert_eq!(conncar_lint::rules::lint_metric_registry(&files), vec![]);
+}

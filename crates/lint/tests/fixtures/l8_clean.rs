@@ -1,0 +1,38 @@
+//! L8 fixture: registry and resolve sites in perfect agreement —
+//! every registered key resolved, every resolved key registered.
+
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+pub const METRIC_REGISTRY: &[(&str, MetricKind)] = &[
+    ("serve.live.queries", MetricKind::Counter),
+    ("serve.live.queue_depth", MetricKind::Gauge),
+    ("serve.live.e2e_ns", MetricKind::Histogram),
+];
+
+pub struct Live;
+
+impl Live {
+    pub fn counter(&self, _key: &str) -> u64 {
+        0
+    }
+    pub fn gauge(&self, _key: &str) -> u64 {
+        0
+    }
+    pub fn histogram(&self, _key: &str) -> u64 {
+        0
+    }
+}
+
+pub fn resolve(live: &Live) -> u64 {
+    let a = live.counter("serve.live.queries");
+    let b = live.gauge("serve.live.queue_depth");
+    let c = live.histogram("serve.live.e2e_ns");
+    // Strings that are not resolve-site arguments are none of L8's
+    // business, even when they look like keys.
+    let label = "serve.live.unrelated_string";
+    a + b + c + label.len() as u64
+}

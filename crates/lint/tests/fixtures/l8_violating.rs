@@ -1,0 +1,44 @@
+//! L8 fixture: a metric registry that disagrees with its resolve
+//! sites in both directions. Linted as if it lived at
+//! `crates/serve/src/metrics.rs` (paired with a second synthetic file
+//! in the test when cross-file emission is exercised).
+
+pub enum MetricKind {
+    Counter,
+    Gauge,
+}
+
+pub const METRIC_REGISTRY: &[(&str, MetricKind)] = &[
+    ("serve.live.queries", MetricKind::Counter),
+    ("serve.live.orphaned_key", MetricKind::Gauge),
+];
+
+pub struct Live;
+
+impl Live {
+    pub fn counter(&self, _key: &str) -> u64 {
+        0
+    }
+    pub fn gauge(&self, _key: &str) -> u64 {
+        0
+    }
+}
+
+pub fn resolve(live: &Live) -> (u64, u64) {
+    // Registered: fine.
+    let ok = live.counter("serve.live.queries");
+    // Typo'd key: L8 at this line.
+    let typo = live.counter("serve.live.queris");
+    (ok, typo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_keys_are_exempt() {
+        // Ad-hoc keys in test code must not trip the rule.
+        let _ = Live.counter("test.only.key");
+    }
+}

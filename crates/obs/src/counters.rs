@@ -62,10 +62,15 @@ impl CounterRegistry {
     }
 
     /// Sum of every counter whose key starts with `prefix`.
+    ///
+    /// Keys sharing a prefix are contiguous in the map's sorted order,
+    /// so this is a range scan from `prefix` that stops at the first
+    /// non-matching key — O(log n + matches) instead of a full-registry
+    /// linear filter (the `obs_metrics` bench pins the win).
     pub fn sum_prefix(&self, prefix: &str) -> u64 {
         self.counters
-            .iter()
-            .filter(|(k, _)| k.starts_with(prefix))
+            .range::<str, _>((std::ops::Bound::Included(prefix), std::ops::Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(prefix))
             .map(|(_, v)| v)
             .sum()
     }

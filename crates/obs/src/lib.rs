@@ -27,6 +27,12 @@
 //! * [`telemetry`] — the [`RunTelemetry`] artifact: span tree plus
 //!   counters, serialized to a deterministic `RUN_OBS.json` and
 //!   rendered as a text tree.
+//! * [`live`] — the **live metrics plane** for long-running services:
+//!   lock-free atomic counters/gauges, log-bucketed mergeable
+//!   histograms with quantile extraction, and a bounded flight-recorder
+//!   event ring snapshotable without stopping the world. Everything is
+//!   clock-injected, so serve-plane snapshots under [`NullClock`] stay
+//!   byte-identical across double runs.
 //!
 //! The crate is dependency-free (only `conncar-types` for the shared
 //! error type): telemetry must never drag a serialization framework
@@ -37,10 +43,15 @@
 
 pub mod clock;
 pub mod counters;
+pub mod live;
 pub mod span;
 pub mod telemetry;
 
 pub use clock::{Clock, MonotonicClock, NullClock, SharedClock};
 pub use counters::CounterRegistry;
+pub use live::{
+    FlightEvent, FlightRecorder, HistogramSnapshot, LiveCounter, LiveGauge, LiveHistogram,
+    LiveMetrics, LiveSnapshot, MetricKind,
+};
 pub use span::{Span, SpanRecord};
 pub use telemetry::RunTelemetry;

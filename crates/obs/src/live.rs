@@ -1,0 +1,646 @@
+//! Live (lock-free) metrics for long-running services.
+//!
+//! The [`telemetry`](crate::telemetry) artifact is strictly post-hoc: a
+//! `RUN_OBS.json` appears after a run ends. A serving process needs the
+//! opposite — observables that can be read *while* the hot path is
+//! running, without stopping the world and without taking any lock the
+//! request path also takes. This module provides the three primitives
+//! the serve plane threads through itself:
+//!
+//! * [`LiveCounter`] / [`LiveGauge`] — single `AtomicU64`s with relaxed
+//!   ordering; an increment is one uncontended RMW.
+//! * [`LiveHistogram`] — log-bucketed latency histogram: 65
+//!   power-of-two buckets (bucket 0 holds the value 0, bucket *i* holds
+//!   `[2^(i-1), 2^i)`), plus count / sum / max. Recording is four
+//!   relaxed atomic ops; snapshots are mergeable and support
+//!   p50/p95/p99/max extraction.
+//! * [`FlightRecorder`] — a bounded ring of recent events guarded by a
+//!   per-slot stamp (seqlock-style, built entirely from `AtomicU64`s so
+//!   the crate-wide `forbid(unsafe_code)` holds). Writers never block;
+//!   readers skip slots caught mid-write.
+//!
+//! [`LiveMetrics`] ties them together: a registry constructed once from
+//! a static spec (sorted, so snapshots iterate deterministically — lint
+//! rule L1) and shared via `Arc` handles. A disabled registry still
+//! resolves handles but marks itself `enabled() == false`, letting
+//! callers skip clock reads and recording entirely — that switch is
+//! what the paired instrumented-vs-stripped overhead measurement in
+//! `serve_load` flips.
+//!
+//! Determinism contract: none of these types read time themselves —
+//! every timestamp is handed in by the caller from an injected
+//! [`Clock`](crate::clock::Clock). Under `NullClock` all recorded
+//! values are zero and double-run snapshots are byte-identical.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets: one for zero plus one per power of two
+/// up to `2^63`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Slot stamp marking a flight-recorder slot as mid-write.
+const WRITING: u64 = u64::MAX;
+
+/// Bucket index for a recorded value: `0` for `0`, otherwise
+/// `64 - leading_zeros(v)`, i.e. one plus the floor log2.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket: `0` for bucket 0, `2^i - 1` for
+/// bucket `i` in `1..64`, and `u64::MAX` for the last bucket.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        1..=63 => (1u64 << index).saturating_sub(1),
+        _ => u64::MAX,
+    }
+}
+
+/// A lock-free monotonic counter.
+#[derive(Debug, Default)]
+pub struct LiveCounter(AtomicU64);
+
+impl LiveCounter {
+    /// A counter at zero.
+    pub fn new() -> LiveCounter {
+        LiveCounter::default()
+    }
+
+    /// Add one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free last-write-wins gauge.
+#[derive(Debug, Default)]
+pub struct LiveGauge(AtomicU64);
+
+impl LiveGauge {
+    /// A gauge at zero.
+    pub fn new() -> LiveGauge {
+        LiveGauge::default()
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free log-bucketed histogram.
+///
+/// Recording touches four atomics with relaxed ordering (bucket, count,
+/// sum, max); concurrent snapshots may observe a record partially
+/// applied (e.g. count without sum), which is acceptable for live
+/// monitoring and exact once writers quiesce.
+#[derive(Debug)]
+pub struct LiveHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LiveHistogram {
+    fn default() -> LiveHistogram {
+        LiveHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LiveHistogram {
+    /// An empty histogram.
+    pub fn new() -> LiveHistogram {
+        LiveHistogram::default()
+    }
+
+    /// Record one value.
+    pub fn record(&self, value: u64) {
+        if let Some(bucket) = self.buckets.get(bucket_index(value)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Copy the current state into an owned snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`LiveHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Saturating sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-bucket counts (see [`bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+
+    /// Fold `other` into this snapshot. Elementwise saturating adds
+    /// plus max-of-max, so merging is associative and commutative.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(*b);
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-permille quantile (`q` in
+    /// `0..=1000`): the inclusive upper bound of the first bucket whose
+    /// cumulative count reaches rank `ceil(count * q / 1000)`, clamped
+    /// to the recorded max. Zero when empty. Monotone in `q`.
+    pub fn quantile_permille(&self, q: u32) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = u64::from(q.min(1000));
+        let rank = self
+            .count
+            .saturating_mul(q)
+            .saturating_add(999)
+            .checked_div(1000)
+            .unwrap_or(0)
+            .clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(*b);
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile_permille(500)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile_permille(950)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile_permille(990)
+    }
+}
+
+/// One event recovered from the flight-recorder ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Global sequence number (0-based, monotonically increasing).
+    pub seq: u64,
+    /// Caller-supplied timestamp (injected-clock nanoseconds).
+    pub at_ns: u64,
+    /// Caller-defined event code (the serve plane maps these to an
+    /// event-kind enum).
+    pub code: u8,
+    /// First caller-defined payload word.
+    pub a: u64,
+    /// Second caller-defined payload word.
+    pub b: u64,
+}
+
+/// One ring slot: a stamp plus the event words, each its own atomic so
+/// the whole recorder stays inside `forbid(unsafe_code)`.
+#[derive(Debug)]
+struct Slot {
+    /// `0` = never written, [`WRITING`] = mid-write, otherwise
+    /// `seq + 1` of the event the slot holds.
+    stamp: AtomicU64,
+    at_ns: AtomicU64,
+    code: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            stamp: AtomicU64::new(0),
+            at_ns: AtomicU64::new(0),
+            code: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A bounded, lock-free ring of recent events.
+///
+/// Writers claim a slot with one `fetch_add` and publish with a
+/// seqlock-style stamp protocol (stamp set to [`WRITING`] while the
+/// words are stored, then to `seq + 1`). Readers snapshot without
+/// stopping writers: a slot whose stamp changed mid-read (or reads as
+/// [`WRITING`]) is skipped as torn. Under a wrap race two writers can
+/// interleave on one slot; the stamp re-check makes accepting a mixed
+/// event require both writers to carry the same sequence number, which
+/// cannot happen within one ring generation — the recorder is
+/// best-effort by design, never a source of corruption for the hot
+/// path.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Vec<Slot>,
+    cursor: AtomicU64,
+    mask: u64,
+}
+
+impl FlightRecorder {
+    /// A ring holding the last `capacity` events (rounded up to a power
+    /// of two, minimum 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let cap = capacity.next_power_of_two().max(1);
+        FlightRecorder {
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+            cursor: AtomicU64::new(0),
+            mask: (cap as u64).saturating_sub(1),
+        }
+    }
+
+    /// Ring capacity (power of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total number of events ever posted (posted minus capacity have
+    /// been overwritten).
+    pub fn posted(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Post one event. Never blocks; overwrites the oldest slot when
+    /// the ring is full.
+    pub fn post(&self, at_ns: u64, code: u8, a: u64, b: u64) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(slot) = self.slots.get((seq & self.mask) as usize) else {
+            return;
+        };
+        slot.stamp.store(WRITING, Ordering::Release);
+        slot.at_ns.store(at_ns, Ordering::Relaxed);
+        slot.code.store(u64::from(code), Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.stamp.store(seq.saturating_add(1), Ordering::Release);
+    }
+
+    /// Collect the readable events, oldest first. Slots caught
+    /// mid-write are skipped, so a snapshot taken under write load may
+    /// hold fewer than `capacity()` events.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let s1 = slot.stamp.load(Ordering::Acquire);
+            if s1 == 0 || s1 == WRITING {
+                continue;
+            }
+            let at_ns = slot.at_ns.load(Ordering::Relaxed);
+            let code = slot.code.load(Ordering::Relaxed);
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            if slot.stamp.load(Ordering::Acquire) != s1 {
+                continue;
+            }
+            out.push(FlightEvent {
+                seq: s1.saturating_sub(1),
+                at_ns,
+                code: u8::try_from(code & 0xFF).unwrap_or(0),
+                a,
+                b,
+            });
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+}
+
+/// The class of a registered metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Last-write-wins gauge.
+    Gauge,
+    /// Log-bucketed histogram.
+    Histogram,
+}
+
+/// A fixed registry of live metrics, constructed once from a static
+/// spec and shared via `Arc` handles.
+///
+/// Keys are dotted lowercase paths sorted at construction, so
+/// [`LiveMetrics::snapshot`] iterates — and every serialization
+/// downstream emits — in deterministic order. Resolving a key that was
+/// never registered returns a shared *sink* handle that accepts writes
+/// but never appears in snapshots; lint rule L8 exists to catch such
+/// orphaned keys statically, so the sink only matters for code the
+/// gate does not cover.
+#[derive(Debug)]
+pub struct LiveMetrics {
+    counters: Vec<(&'static str, Arc<LiveCounter>)>,
+    gauges: Vec<(&'static str, Arc<LiveGauge>)>,
+    histograms: Vec<(&'static str, Arc<LiveHistogram>)>,
+    sink_counter: Arc<LiveCounter>,
+    sink_gauge: Arc<LiveGauge>,
+    sink_histogram: Arc<LiveHistogram>,
+    enabled: bool,
+}
+
+impl LiveMetrics {
+    /// Build a registry from `(key, kind)` pairs. `enabled == false`
+    /// builds the same registry but advertises that recording should be
+    /// skipped — the switch behind stripped-overhead comparisons.
+    pub fn new(spec: &[(&'static str, MetricKind)], enabled: bool) -> LiveMetrics {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (key, kind) in spec {
+            match kind {
+                MetricKind::Counter => counters.push((*key, Arc::new(LiveCounter::new()))),
+                MetricKind::Gauge => gauges.push((*key, Arc::new(LiveGauge::new()))),
+                MetricKind::Histogram => histograms.push((*key, Arc::new(LiveHistogram::new()))),
+            }
+        }
+        counters.sort_by_key(|(k, _)| *k);
+        gauges.sort_by_key(|(k, _)| *k);
+        histograms.sort_by_key(|(k, _)| *k);
+        LiveMetrics {
+            counters,
+            gauges,
+            histograms,
+            sink_counter: Arc::new(LiveCounter::new()),
+            sink_gauge: Arc::new(LiveGauge::new()),
+            sink_histogram: Arc::new(LiveHistogram::new()),
+            enabled,
+        }
+    }
+
+    /// Whether hot paths should record into this registry.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Resolve a counter handle (the sink when `key` is unregistered).
+    pub fn counter(&self, key: &str) -> Arc<LiveCounter> {
+        match self.counters.binary_search_by_key(&key, |(k, _)| k) {
+            Ok(i) => self
+                .counters
+                .get(i)
+                .map(|(_, c)| Arc::clone(c))
+                .unwrap_or_else(|| Arc::clone(&self.sink_counter)),
+            Err(_) => Arc::clone(&self.sink_counter),
+        }
+    }
+
+    /// Resolve a gauge handle (the sink when `key` is unregistered).
+    pub fn gauge(&self, key: &str) -> Arc<LiveGauge> {
+        match self.gauges.binary_search_by_key(&key, |(k, _)| k) {
+            Ok(i) => self
+                .gauges
+                .get(i)
+                .map(|(_, g)| Arc::clone(g))
+                .unwrap_or_else(|| Arc::clone(&self.sink_gauge)),
+            Err(_) => Arc::clone(&self.sink_gauge),
+        }
+    }
+
+    /// Resolve a histogram handle (the sink when `key` is
+    /// unregistered).
+    pub fn histogram(&self, key: &str) -> Arc<LiveHistogram> {
+        match self.histograms.binary_search_by_key(&key, |(k, _)| k) {
+            Ok(i) => self
+                .histograms
+                .get(i)
+                .map(|(_, h)| Arc::clone(h))
+                .unwrap_or_else(|| Arc::clone(&self.sink_histogram)),
+            Err(_) => Arc::clone(&self.sink_histogram),
+        }
+    }
+
+    /// Copy every registered metric, in ascending key order per class.
+    pub fn snapshot(&self) -> LiveSnapshot {
+        LiveSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, c)| ((*k).to_string(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, g)| ((*k).to_string(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| ((*k).to_string(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// An owned, deterministic-order copy of a [`LiveMetrics`] registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LiveSnapshot {
+    /// Counters in ascending key order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges in ascending key order.
+    pub gauges: Vec<(String, u64)>,
+    /// Histograms in ascending key order.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index((1 << 20) - 1), 20);
+        assert_eq!(bucket_index(1 << 20), 21);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let h = LiveHistogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 2106);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        // p50 lands in the bucket of 3 (rank 4), p99 in the max bucket.
+        assert_eq!(s.p50(), 3);
+        assert_eq!(s.quantile_permille(1000), 1000);
+        assert_eq!(s.p99(), 1000);
+        // Monotone in q.
+        let mut last = 0;
+        for q in (0..=1000).step_by(50) {
+            let v = s.quantile_permille(q);
+            assert!(v >= last, "quantile must be monotone: q={q} v={v} last={last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let a = LiveHistogram::new();
+        let b = LiveHistogram::new();
+        let both = LiveHistogram::new();
+        for v in [5u64, 9, 17] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [0u64, 255, 256] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, both.snapshot());
+    }
+
+    #[test]
+    fn flight_ring_keeps_the_tail() {
+        let ring = FlightRecorder::new(4);
+        assert_eq!(ring.capacity(), 4);
+        for i in 0..10u64 {
+            ring.post(i, 1, i, 0);
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 4);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(ring.posted(), 10);
+    }
+
+    #[test]
+    fn flight_ring_survives_concurrent_posting() {
+        let ring = Arc::new(FlightRecorder::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let r = Arc::clone(&ring);
+            handles.push(thread::spawn(move || {
+                for i in 0..1000u64 {
+                    r.post(i, 2, t, i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = ring.snapshot();
+        assert!(events.len() <= 64);
+        assert_eq!(ring.posted(), 4000);
+        // Sorted by seq, and every surviving event is from the tail.
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    #[test]
+    fn registry_resolves_and_snapshots_in_key_order() {
+        let m = LiveMetrics::new(
+            &[
+                ("z.count", MetricKind::Counter),
+                ("a.count", MetricKind::Counter),
+                ("q.depth", MetricKind::Gauge),
+                ("lat.ns", MetricKind::Histogram),
+            ],
+            true,
+        );
+        assert!(m.enabled());
+        m.counter("z.count").add(2);
+        m.counter("a.count").incr();
+        m.gauge("q.depth").set(7);
+        m.histogram("lat.ns").record(100);
+        let s = m.snapshot();
+        assert_eq!(
+            s.counters,
+            vec![("a.count".to_string(), 1), ("z.count".to_string(), 2)]
+        );
+        assert_eq!(s.gauges, vec![("q.depth".to_string(), 7)]);
+        assert_eq!(s.histograms.len(), 1);
+        assert_eq!(s.histograms[0].1.count, 1);
+        // Unregistered keys hit the sink, not the snapshot.
+        m.counter("no.such").add(99);
+        assert_eq!(m.snapshot().counters, s.counters);
+    }
+}

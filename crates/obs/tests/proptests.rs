@@ -1,0 +1,159 @@
+//! Property tests for the live-metrics substrate: histogram bucket
+//! placement, merge algebra, quantile monotonicity, and the
+//! `sum_prefix` range-scan fast path agreeing with the linear filter.
+
+use conncar_obs::live::{bucket_index, bucket_upper_bound, HISTOGRAM_BUCKETS};
+use conncar_obs::{CounterRegistry, HistogramSnapshot, LiveHistogram};
+use proptest::prelude::*;
+
+/// Build a snapshot by recording every value through the atomic path,
+/// so the properties cover `LiveHistogram::record` too, not just the
+/// snapshot arithmetic.
+fn snap_of(values: &[u64]) -> HistogramSnapshot {
+    let h = LiveHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every value lands in the bucket whose half-open range holds it:
+    /// bucket 0 is exactly {0}, bucket i (i >= 1) is [2^(i-1), 2^i).
+    #[test]
+    fn bucket_placement_brackets_the_value(value in any::<u64>()) {
+        let i = bucket_index(value);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        if value == 0 {
+            prop_assert_eq!(i, 0);
+        } else {
+            let lower = 1u64 << (i - 1);
+            prop_assert!(value >= lower, "{value} below bucket {i} lower bound {lower}");
+            prop_assert!(
+                value <= bucket_upper_bound(i),
+                "{value} above bucket {i} upper bound"
+            );
+            if i + 1 < HISTOGRAM_BUCKETS {
+                prop_assert!(value <= bucket_upper_bound(i), "must not spill upward");
+                prop_assert!(value > bucket_upper_bound(i - 1), "must not fit lower");
+            }
+        }
+    }
+
+    /// Bucket upper bounds strictly increase, so quantile extraction
+    /// walking buckets left to right reads off a non-decreasing value.
+    #[test]
+    fn bucket_bounds_are_strictly_increasing(i in 0usize..HISTOGRAM_BUCKETS - 1) {
+        prop_assert!(bucket_upper_bound(i) < bucket_upper_bound(i + 1));
+    }
+
+    /// Merging is commutative and associative, and the empty snapshot
+    /// is its identity — the contract that lets per-shard histograms
+    /// fold in any order.
+    #[test]
+    fn merge_is_commutative_associative_with_identity(
+        a in proptest::collection::vec(any::<u64>(), 0..24),
+        b in proptest::collection::vec(any::<u64>(), 0..24),
+        c in proptest::collection::vec(any::<u64>(), 0..24),
+    ) {
+        let (sa, sb, sc) = (snap_of(&a), snap_of(&b), snap_of(&c));
+
+        let mut ab = sa;
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba, "merge must commute");
+
+        let mut ab_c = ab;
+        ab_c.merge(&sc);
+        let mut bc = sb;
+        bc.merge(&sc);
+        let mut a_bc = sa;
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc, "merge must associate");
+
+        let mut with_id = sa;
+        with_id.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(with_id, sa, "empty must be the merge identity");
+    }
+
+    /// The merged snapshot sees exactly the concatenated recordings.
+    #[test]
+    fn merge_equals_recording_the_concatenation(
+        a in proptest::collection::vec(0u64..(1u64 << 40), 0..24),
+        b in proptest::collection::vec(0u64..(1u64 << 40), 0..24),
+    ) {
+        // Bounded values so `sum` cannot saturate and hide a miscount.
+        let mut merged = snap_of(&a);
+        merged.merge(&snap_of(&b));
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, snap_of(&concat));
+    }
+
+    /// Quantiles are monotone in the quantile, bounded by the recorded
+    /// max, and never undershoot the true quantile of the recordings
+    /// (each bucket reports its inclusive upper bound).
+    #[test]
+    fn quantiles_are_monotone_and_bracket_the_data(
+        values in proptest::collection::vec(any::<u64>(), 1..48),
+        q_lo in 0u32..=1000,
+        q_hi in 0u32..=1000,
+    ) {
+        let (q_lo, q_hi) = (q_lo.min(q_hi), q_lo.max(q_hi));
+        let snap = snap_of(&values);
+        let lo = snap.quantile_permille(q_lo);
+        let hi = snap.quantile_permille(q_hi);
+        prop_assert!(lo <= hi, "quantile must be monotone: q{q_lo}={lo} q{q_hi}={hi}");
+        let max = values.iter().copied().max().unwrap_or(0);
+        prop_assert!(hi <= max, "quantile is clamped to the recorded max");
+        prop_assert_eq!(snap.quantile_permille(1000), max, "q1000 is the max");
+
+        // Upper-bound property: the estimate at q covers at least
+        // ceil(count*q/1000) of the recorded values.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as u64 * u64::from(q_hi) + 999) / 1000)
+            .clamp(1, sorted.len() as u64);
+        let true_q = sorted[rank as usize - 1];
+        prop_assert!(
+            hi >= true_q,
+            "estimate {hi} undershoots true q{q_hi} {true_q}"
+        );
+    }
+
+    /// The sorted-range `sum_prefix` fast path agrees with the naive
+    /// linear filter for every registry and prefix — including prefixes
+    /// that are themselves keys, share partial keys, or match nothing.
+    #[test]
+    fn sum_prefix_equals_linear_filter(
+        entries in proptest::collection::vec(
+            (proptest::collection::vec(0u8..4, 1..5), 0u64..1000),
+            0..32,
+        ),
+        prefix_raw in proptest::collection::vec(0u8..4, 0..4),
+    ) {
+        // Small alphabet ("a".."d" segments) forces prefix collisions.
+        let seg = |digits: &[u8]| {
+            digits
+                .iter()
+                .map(|d| char::from(b'a' + d))
+                .collect::<String>()
+        };
+        let mut reg = CounterRegistry::new();
+        for (digits, n) in &entries {
+            reg.add(&format!("ns.{}", seg(digits)), *n);
+        }
+        let prefix = format!("ns.{}", seg(&prefix_raw));
+        let naive: u64 = reg
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix.as_str()))
+            .map(|(_, v)| v)
+            .sum();
+        prop_assert_eq!(reg.sum_prefix(&prefix), naive);
+        // The empty prefix sums everything.
+        let all: u64 = reg.iter().map(|(_, v)| v).sum();
+        prop_assert_eq!(reg.sum_prefix(""), all);
+    }
+}

@@ -76,13 +76,21 @@ impl ResultCache {
 
     /// Insert a result, evicting the least-recently-used entry if the
     /// cache is full. Inserting an already-present key refreshes both
-    /// the value and the recency.
-    pub fn insert(&mut self, key: CacheKey, value: QueryValue, stats: QueryStats) {
+    /// the value and the recency. Returns the evicted key, if any, so
+    /// the engine can account `serve.cache.evict` and post the flight
+    /// event without re-deriving the LRU choice.
+    pub fn insert(
+        &mut self,
+        key: CacheKey,
+        value: QueryValue,
+        stats: QueryStats,
+    ) -> Option<CacheKey> {
         if self.capacity == 0 {
-            return;
+            return None;
         }
         self.tick += 1;
         let tick = self.tick;
+        let mut evicted = None;
         if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
             // Ticks are unique, so the minimum is unique: deterministic
             // eviction for any access history.
@@ -93,6 +101,7 @@ impl ResultCache {
                 .map(|(k, _)| *k)
                 .expect("non-empty cache");
             self.entries.remove(&lru);
+            evicted = Some(lru);
         }
         self.entries.insert(
             key,
@@ -102,6 +111,7 @@ impl ResultCache {
                 last_used: tick,
             },
         );
+        evicted
     }
 
     /// Keys currently cached, in key order (tests and introspection).
@@ -153,7 +163,7 @@ mod tests {
         cache.insert((2, 1), val(2), QueryStats::default());
         // Touch key 1 so key 2 is now least recently used.
         assert!(cache.get((1, 1)).is_some());
-        cache.insert((3, 1), val(3), QueryStats::default());
+        assert_eq!(cache.insert((3, 1), val(3), QueryStats::default()), Some((2, 1)));
         assert_eq!(cache.keys(), vec![(1, 1), (3, 1)]);
         assert!(cache.get((2, 1)).is_none(), "LRU key must be evicted");
         // Same sequence, same evictions: replay it.

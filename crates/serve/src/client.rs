@@ -2,6 +2,7 @@
 
 use crate::engine::QueryResponse;
 use crate::request::QueryRequest;
+use crate::stats::{encode_stats_request, ServeSnapshot};
 use crate::wire::{decode_response, read_frame, write_frame};
 use conncar_types::{Error, Result};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -27,6 +28,29 @@ impl ServeClient {
         write_frame(&mut self.stream, &req.encode())?;
         match read_frame(&mut self.stream)? {
             Some(payload) => decode_response(&payload),
+            None => Err(Error::Io("server closed the connection".into())),
+        }
+    }
+
+    /// Fetch the server's live metrics snapshot. Stats frames bypass
+    /// the scheduler queue, so this works even while query admission is
+    /// refusing with `Overloaded`.
+    pub fn stats(&mut self) -> Result<ServeSnapshot> {
+        write_frame(&mut self.stream, &encode_stats_request())?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => {
+                // An error reply is a response payload (status byte 1),
+                // which can never open a snapshot: its version byte
+                // would be 1 with a non-snapshot body, so decode fails
+                // and the typed error surfaces instead.
+                match ServeSnapshot::decode(&payload) {
+                    Ok(snap) => Ok(snap),
+                    Err(snap_err) => match decode_response(&payload) {
+                        Err(e) => Err(e),
+                        Ok(_) => Err(snap_err),
+                    },
+                }
+            }
             None => Err(Error::Io("server closed the connection".into())),
         }
     }

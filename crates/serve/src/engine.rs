@@ -30,6 +30,7 @@
 //! with [`Error::Overloaded`].
 
 use crate::cache::ResultCache;
+use crate::metrics::{event, MetricsConfig, ServeMetrics};
 use crate::request::{histogram_from_triples, Aggregation, QueryRequest, QueryValue};
 use conncar_cdr::CdrRecord;
 use conncar_obs::CounterRegistry;
@@ -61,6 +62,16 @@ pub mod keys {
     pub const NAIVE_SHARD_SCANS: &str = "serve.naive_shard_scans";
     /// Rows the shared passes physically read.
     pub const PHYSICAL_ROWS_SCANNED: &str = "serve.physical_rows_scanned";
+    /// Cache-layer accounting (per-operation namespace, distinct from
+    /// the legacy `serve.cache_hits`/`serve.cache_misses` pair so
+    /// `sum_prefix("serve.cache.")` groups exactly the cache ops).
+    pub const CACHE_HIT: &str = "serve.cache.hit";
+    /// Cache probes that missed.
+    pub const CACHE_MISS: &str = "serve.cache.miss";
+    /// LRU entries evicted by inserts.
+    pub const CACHE_EVICT: &str = "serve.cache.evict";
+    /// Computed results inserted into the cache.
+    pub const CACHE_INSERT: &str = "serve.cache.insert";
 }
 
 /// One answered query.
@@ -82,18 +93,33 @@ pub struct ServeEngine {
     cache: ResultCache,
     epoch_max: usize,
     counters: CounterRegistry,
+    metrics: Arc<ServeMetrics>,
 }
 
 impl ServeEngine {
     /// Build an engine over `store` with a result cache of
     /// `cache_capacity` entries and epochs of at most `epoch_max`
-    /// queries (clamped to at least 1).
+    /// queries (clamped to at least 1). The live metrics plane is on by
+    /// default and shares the store's injected clock; use
+    /// [`ServeEngine::with_metrics`] to tune or strip it.
     pub fn new(store: Arc<CdrStore>, cache_capacity: usize, epoch_max: usize) -> ServeEngine {
+        ServeEngine::with_metrics(store, cache_capacity, epoch_max, MetricsConfig::default())
+    }
+
+    /// [`ServeEngine::new`] with explicit live-metrics configuration.
+    pub fn with_metrics(
+        store: Arc<CdrStore>,
+        cache_capacity: usize,
+        epoch_max: usize,
+        cfg: MetricsConfig,
+    ) -> ServeEngine {
+        let metrics = Arc::new(ServeMetrics::new(store.shared_clock(), cfg));
         ServeEngine {
             store,
             cache: ResultCache::new(cache_capacity),
             epoch_max: epoch_max.max(1),
             counters: CounterRegistry::new(),
+            metrics,
         }
     }
 
@@ -117,6 +143,18 @@ impl ServeEngine {
         &self.cache
     }
 
+    /// The live metrics plane (shared with the scheduler handle and the
+    /// TCP workers answering stats frames).
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
+    /// Snapshot the live metrics plane against this engine's store
+    /// generation.
+    pub fn snapshot(&self) -> crate::stats::ServeSnapshot {
+        self.metrics.snapshot(self.store.generation())
+    }
+
     /// Serve one request (a batch of one).
     pub fn submit(&mut self, req: &QueryRequest) -> Result<QueryResponse> {
         self.submit_batch(std::slice::from_ref(req))
@@ -129,6 +167,11 @@ impl ServeEngine {
     /// rejects that request only.
     pub fn submit_batch(&mut self, reqs: &[QueryRequest]) -> Vec<Result<QueryResponse>> {
         let generation = self.store.generation();
+        // One flag read gates every live-metrics touch: the stripped
+        // plane costs exactly these branches (the overhead ceiling the
+        // bench's paired run measures).
+        let live = self.metrics.enabled();
+        let t_batch = self.metrics.now();
         let mut out: Vec<Option<Result<QueryResponse>>> = reqs.iter().map(|_| None).collect();
         fn fill(out: &mut [Option<Result<QueryResponse>>], i: usize, r: Result<QueryResponse>) {
             if let Some(slot) = out.get_mut(i) {
@@ -142,18 +185,41 @@ impl ServeEngine {
 
         for (i, req) in reqs.iter().enumerate() {
             self.counters.incr(keys::QUERIES);
+            if live {
+                self.metrics.queries.incr();
+            }
             if let Err(e) = req.validate() {
                 self.counters.incr(keys::REJECTED);
+                if live {
+                    self.metrics.rejected.incr();
+                }
                 fill(&mut out, i, Err(e));
                 continue;
             }
             let digest = req.digest();
-            if let Some((value, stats)) = self.cache.get((digest, generation)) {
+            if live {
+                self.metrics.flight().post(t_batch, event::ADMIT, digest, 0);
+            }
+            let t_probe = self.metrics.now();
+            let probe = self.cache.get((digest, generation));
+            if live {
+                self.metrics
+                    .cache_lookup_ns
+                    .record(self.metrics.now().saturating_sub(t_probe));
+            }
+            if let Some((value, stats)) = probe {
                 self.counters.incr(keys::CACHE_HITS);
+                self.counters.incr(keys::CACHE_HIT);
                 // Naive execution would have scanned for this request
                 // again; the cache (not the scheduler) saved it.
                 self.counters
                     .add(keys::NAIVE_SHARD_SCANS, u64::from(stats.shards_scanned));
+                if live {
+                    self.metrics.cache_hits.incr();
+                    self.metrics.flight().post(t_batch, event::CACHE_HIT, digest, 0);
+                    let e2e = self.metrics.now().saturating_sub(t_batch);
+                    self.metrics.observe_e2e(t_batch, digest, e2e);
+                }
                 fill(
                     &mut out,
                     i,
@@ -166,9 +232,20 @@ impl ServeEngine {
                 continue;
             }
             self.counters.incr(keys::CACHE_MISSES);
+            self.counters.incr(keys::CACHE_MISS);
+            if live {
+                self.metrics.cache_misses.incr();
+                self.metrics.flight().post(t_batch, event::CACHE_MISS, digest, 0);
+            }
             match waiters.get_mut(&digest) {
                 Some(idxs) => {
                     self.counters.incr(keys::COALESCED);
+                    if live {
+                        self.metrics.coalesced.incr();
+                        self.metrics
+                            .flight()
+                            .post(t_batch, event::COALESCE, digest, idxs.len() as u64);
+                    }
                     idxs.push(i);
                 }
                 None => {
@@ -180,7 +257,19 @@ impl ServeEngine {
 
         for epoch in pending.chunks(self.epoch_max) {
             self.counters.incr(keys::EPOCHS);
+            let t_epoch = self.metrics.now();
+            if live {
+                self.metrics.epochs.incr();
+                self.metrics.last_epoch_size.set(epoch.len() as u64);
+                self.metrics
+                    .flight()
+                    .post(t_epoch, event::EPOCH_COMPILE, epoch.len() as u64, 0);
+            }
             let answers = run_epoch(&self.store, epoch, &mut self.counters);
+            let t_done = self.metrics.now();
+            if live {
+                self.metrics.scan_ns.record(t_done.saturating_sub(t_epoch));
+            }
             for ((digest, _), (value, stats)) in epoch.iter().zip(answers) {
                 let Some(idxs) = waiters.get(digest) else { continue };
                 // Naive execution would have run the scan once per
@@ -189,9 +278,32 @@ impl ServeEngine {
                     keys::NAIVE_SHARD_SCANS,
                     u64::from(stats.shards_scanned) * idxs.len() as u64,
                 );
-                self.cache
+                let evicted = self
+                    .cache
                     .insert((*digest, generation), value.clone(), stats);
+                if self.cache.capacity() > 0 {
+                    self.counters.incr(keys::CACHE_INSERT);
+                    if live {
+                        self.metrics.cache_inserts.incr();
+                        self.metrics
+                            .flight()
+                            .post(t_done, event::CACHE_INSERT, *digest, 0);
+                    }
+                }
+                if let Some((evicted_digest, _)) = evicted {
+                    self.counters.incr(keys::CACHE_EVICT);
+                    if live {
+                        self.metrics.cache_evictions.incr();
+                        self.metrics
+                            .flight()
+                            .post(t_done, event::CACHE_EVICT, evicted_digest, 0);
+                    }
+                }
                 for &i in idxs {
+                    if live {
+                        self.metrics
+                            .observe_e2e(t_batch, *digest, t_done.saturating_sub(t_batch));
+                    }
                     fill(
                         &mut out,
                         i,
@@ -339,6 +451,9 @@ fn assemble(outputs: &mut SharedOutputs, pending: Pending) -> QueryValue {
 struct Job {
     req: QueryRequest,
     reply: mpsc::Sender<Result<QueryResponse>>,
+    /// Injected-clock nanoseconds at admission (0 when the live plane
+    /// is disabled); the scheduler turns it into queue-wait latency.
+    enqueued_ns: u64,
 }
 
 struct ServiceState {
@@ -356,6 +471,8 @@ struct ServiceShared {
 #[derive(Clone)]
 pub struct ServeHandle {
     shared: Arc<ServiceShared>,
+    metrics: Arc<ServeMetrics>,
+    generation: u64,
 }
 
 impl ServeHandle {
@@ -363,22 +480,64 @@ impl ServeHandle {
     /// once the scheduler's epoch containing the request completes, or
     /// fails fast with [`Error::Overloaded`] when the queue is full.
     pub fn submit(&self, req: QueryRequest) -> Result<mpsc::Receiver<Result<QueryResponse>>> {
+        let live = self.metrics.enabled();
+        let enqueued_ns = self.metrics.now();
         let (tx, rx) = mpsc::channel();
-        {
+        // Admission outcome is decided entirely under the guard; all
+        // metric recording happens after it drops (lint rule L5 keeps
+        // cross-layer work out of guard spans).
+        let outcome = {
             let mut state = crate::sync::lock_or_poisoned(&self.shared.state, "serve.ServiceState")?;
             if !state.open {
-                return Err(Error::Io("query service is shut down".into()));
-            }
-            if state.queue.len() >= self.shared.queue_limit {
-                return Err(Error::Overloaded {
+                Err(Error::Io("query service is shut down".into()))
+            } else if state.queue.len() >= self.shared.queue_limit {
+                Err(Error::Overloaded {
                     queued: state.queue.len(),
                     limit: self.shared.queue_limit,
+                })
+            } else {
+                state.queue.push_back(Job {
+                    req,
+                    reply: tx,
+                    enqueued_ns,
                 });
+                Ok(state.queue.len())
             }
-            state.queue.push_back(Job { req, reply: tx });
+        };
+        match outcome {
+            Ok(depth) => {
+                if live {
+                    self.metrics.queue_depth.set(depth as u64);
+                }
+                self.shared.wake.notify_all();
+                Ok(rx)
+            }
+            Err(e) => {
+                if live {
+                    if let Error::Overloaded { queued, limit } = &e {
+                        self.metrics.overloaded.incr();
+                        self.metrics.flight().post(
+                            enqueued_ns,
+                            event::OVERLOAD,
+                            *queued as u64,
+                            *limit as u64,
+                        );
+                    }
+                }
+                Err(e)
+            }
         }
-        self.shared.wake.notify_all();
-        Ok(rx)
+    }
+
+    /// The live metrics plane shared with the engine.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Snapshot the live metrics plane against the served store's
+    /// generation (the payload a stats frame answers with).
+    pub fn stats(&self) -> crate::stats::ServeSnapshot {
+        self.metrics.snapshot(self.generation)
     }
 
     /// Submit and block for the response.
@@ -409,7 +568,10 @@ impl QueryService {
             wake: Condvar::new(),
             queue_limit: queue_limit.max(1),
         });
+        let metrics = Arc::clone(engine.metrics());
+        let generation = engine.store().generation();
         let thread_shared = Arc::clone(&shared);
+        let thread_metrics = Arc::clone(&metrics);
         let scheduler = thread::Builder::new()
             .name("conncar-serve-scheduler".into())
             .spawn(move || {
@@ -417,7 +579,7 @@ impl QueryService {
                     // The scheduler drains even a poisoned queue: a
                     // panicked submitter leaves a consistent VecDeque,
                     // and refusing to run would wedge every waiter.
-                    let jobs: Vec<Job> = {
+                    let (jobs, depth_left): (Vec<Job>, usize) = {
                         let mut state = crate::sync::lock_recover(&thread_shared.state);
                         while state.queue.is_empty() && state.open {
                             state = thread_shared
@@ -429,8 +591,20 @@ impl QueryService {
                             break; // closed and drained
                         }
                         let n = state.queue.len().min(engine.epoch_max());
-                        state.queue.drain(..n).collect()
+                        let jobs = state.queue.drain(..n).collect();
+                        (jobs, state.queue.len())
                     };
+                    if thread_metrics.enabled() {
+                        // Queue wait ends here: the drain is the moment
+                        // the scheduler takes ownership of the batch.
+                        let now = thread_metrics.now();
+                        for job in &jobs {
+                            thread_metrics
+                                .queue_wait_ns
+                                .record(now.saturating_sub(job.enqueued_ns));
+                        }
+                        thread_metrics.queue_depth.set(depth_left as u64);
+                    }
                     let reqs: Vec<QueryRequest> = jobs.iter().map(|j| j.req.clone()).collect();
                     let responses = engine.submit_batch(&reqs);
                     for (job, resp) in jobs.into_iter().zip(responses) {
@@ -443,7 +617,11 @@ impl QueryService {
             })
             .map_err(|e| Error::Io(format!("spawn scheduler thread: {e}")))?;
         Ok(QueryService {
-            handle: ServeHandle { shared },
+            handle: ServeHandle {
+                shared,
+                metrics,
+                generation,
+            },
             scheduler: Some(scheduler),
         })
     }
@@ -563,13 +741,55 @@ mod tests {
         // Same data, fresh build: new generation, so the hit vanishes
         // without any explicit invalidation.
         let store_b = sample_store(4);
+        let metrics_b = Arc::new(ServeMetrics::new(
+            store_b.shared_clock(),
+            MetricsConfig::default(),
+        ));
         let mut engine_b = ServeEngine {
             store: store_b,
             cache: engine.cache.clone(),
             epoch_max: engine.epoch_max,
             counters: CounterRegistry::new(),
+            metrics: metrics_b,
         };
         assert!(!engine_b.submit(&req).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn cache_op_counters_pin_fill_evict_refill() {
+        let store = sample_store(4);
+        // Capacity 2: three distinct queries fill, evict, then the
+        // refill of the evicted query misses again.
+        let mut engine = ServeEngine::new(store, 2, 8);
+        let q: Vec<QueryRequest> = (0..3)
+            .map(|i| QueryRequest::new(Filter::all().car(CarId(i)), Aggregation::Count))
+            .collect();
+        // Fill: two inserts, no evictions.
+        engine.submit(&q[0]).unwrap();
+        engine.submit(&q[1]).unwrap();
+        assert_eq!(engine.counters().get(keys::CACHE_INSERT), 2);
+        assert_eq!(engine.counters().get(keys::CACHE_EVICT), 0);
+        // Overflow: third insert evicts the LRU (q0).
+        engine.submit(&q[2]).unwrap();
+        assert_eq!(engine.counters().get(keys::CACHE_INSERT), 3);
+        assert_eq!(engine.counters().get(keys::CACHE_EVICT), 1);
+        // Hits on the two residents, then the refill of q0 misses and
+        // evicts again.
+        assert!(engine.submit(&q[1]).unwrap().cache_hit);
+        assert!(engine.submit(&q[2]).unwrap().cache_hit);
+        assert!(!engine.submit(&q[0]).unwrap().cache_hit);
+        assert_eq!(engine.counters().get(keys::CACHE_HIT), 2);
+        assert_eq!(engine.counters().get(keys::CACHE_MISS), 4);
+        assert_eq!(engine.counters().get(keys::CACHE_INSERT), 4);
+        assert_eq!(engine.counters().get(keys::CACHE_EVICT), 2);
+        // The per-op namespace groups under one prefix, and the live
+        // plane mirrors the deterministic ledger.
+        assert_eq!(engine.counters().sum_prefix("serve.cache."), 12);
+        let snap = engine.snapshot();
+        assert_eq!(snap.counter("serve.live.cache_inserts"), 4);
+        assert_eq!(snap.counter("serve.live.cache_evictions"), 2);
+        assert_eq!(snap.counter("serve.live.cache_hits"), 2);
+        assert_eq!(snap.counter("serve.live.cache_misses"), 4);
     }
 
     #[test]

@@ -26,7 +26,12 @@
 //!   length-prefixed framed TCP protocol on a small accept pool, all
 //!   workers funneling into one scheduler so network concurrency is
 //!   exactly what creates scan sharing. [`workload`] generates the
-//!   deterministic synthetic mixes the load bench and its CI gate run.
+//!   deterministic synthetic mixes the load bench and its CI gate run;
+//! * **the live metrics plane** ([`metrics`] / [`stats`]) — lock-free
+//!   `serve.live.*` counters, gauges and latency histograms plus a
+//!   flight-recorder ring, snapshotable over the wire as a versioned
+//!   [`ServeSnapshot`] (the `conncar stats` / `conncar top` dashboards)
+//!   without stopping — or even locking against — the hot path.
 //!
 //! Everything observable is deterministic: request and value encodings,
 //! epoch formation, cache eviction (logical ticks, not wall time), and
@@ -39,8 +44,10 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod metrics;
 pub mod request;
 pub mod server;
+pub mod stats;
 pub mod sync;
 pub mod wire;
 pub mod workload;
@@ -48,6 +55,8 @@ pub mod workload;
 pub use cache::{CacheKey, ResultCache};
 pub use client::ServeClient;
 pub use engine::{QueryResponse, QueryService, ServeEngine, ServeHandle};
+pub use metrics::{MetricsConfig, ServeMetrics, METRIC_REGISTRY};
 pub use request::{Aggregation, QueryRequest, QueryValue};
 pub use server::ServeServer;
+pub use stats::{ServeSnapshot, STATS_VERSION};
 pub use workload::{WorkloadSpec, WorkloadTargets};

@@ -1,0 +1,306 @@
+//! The serve plane's live metrics: one [`ServeMetrics`] per engine.
+//!
+//! This is the bridge between [`conncar_obs::live`] and the serve path:
+//! a fixed registry of `serve.live.*` counters / gauges / latency
+//! histograms plus a [`FlightRecorder`] ring of recent scheduler
+//! events. Every key the plane emits is declared once in
+//! [`METRIC_REGISTRY`]; lint rule L8 cross-checks each resolve site
+//! against that constant, so a typo'd key cannot silently route into
+//! the sink and a registered key cannot rot unused.
+//!
+//! Time never enters here ambiently: [`ServeMetrics::now`] reads the
+//! injected clock the engine's store was built with, and reads nothing
+//! at all when the plane is disabled — that switch is the
+//! instrumented-vs-stripped comparison `serve_load` measures overhead
+//! with. Under `NullClock` every recorded duration is zero and
+//! snapshots are byte-identical across double runs.
+
+use conncar_obs::live::{
+    FlightRecorder, LiveCounter, LiveGauge, LiveHistogram, LiveMetrics, MetricKind,
+};
+use conncar_obs::SharedClock;
+use std::sync::Arc;
+
+/// Flight-recorder event codes (the `code` byte of each
+/// [`conncar_obs::live::FlightEvent`] the serve plane posts).
+pub mod event {
+    /// A request was admitted into a batch (`a` = request digest).
+    pub const ADMIT: u8 = 1;
+    /// An epoch compiled into one shared scan (`a` = epoch size).
+    pub const EPOCH_COMPILE: u8 = 2;
+    /// A duplicate in-batch request coalesced (`a` = digest).
+    pub const COALESCE: u8 = 3;
+    /// Result served from the cache (`a` = digest).
+    pub const CACHE_HIT: u8 = 4;
+    /// Result had to be computed (`a` = digest).
+    pub const CACHE_MISS: u8 = 5;
+    /// An LRU entry was evicted (`a` = evicted digest).
+    pub const CACHE_EVICT: u8 = 6;
+    /// A computed result was inserted (`a` = digest).
+    pub const CACHE_INSERT: u8 = 7;
+    /// Admission refused at the queue bound (`a` = queued, `b` =
+    /// limit).
+    pub const OVERLOAD: u8 = 8;
+    /// A query's end-to-end time crossed the slow threshold (`a` =
+    /// digest, `b` = nanoseconds).
+    pub const SLOW_QUERY: u8 = 9;
+
+    /// Human name for an event code (dashboard rendering).
+    pub fn name(code: u8) -> &'static str {
+        match code {
+            ADMIT => "admit",
+            EPOCH_COMPILE => "epoch",
+            COALESCE => "coalesce",
+            CACHE_HIT => "cache-hit",
+            CACHE_MISS => "cache-miss",
+            CACHE_EVICT => "cache-evict",
+            CACHE_INSERT => "cache-insert",
+            OVERLOAD => "overload",
+            SLOW_QUERY => "slow-query",
+            _ => "unknown",
+        }
+    }
+}
+
+/// Central registry of every live metric key the serve plane emits.
+///
+/// Lint rule L8 enforces the two-way contract: every
+/// `.counter("…")` / `.gauge("…")` / `.histogram("…")` resolve site in
+/// the workspace must name a key listed here, and every key listed here
+/// must have a resolve site.
+pub const METRIC_REGISTRY: &[(&str, MetricKind)] = &[
+    ("serve.live.queries", MetricKind::Counter),
+    ("serve.live.rejected", MetricKind::Counter),
+    ("serve.live.overloaded", MetricKind::Counter),
+    ("serve.live.cache_hits", MetricKind::Counter),
+    ("serve.live.cache_misses", MetricKind::Counter),
+    ("serve.live.cache_evictions", MetricKind::Counter),
+    ("serve.live.cache_inserts", MetricKind::Counter),
+    ("serve.live.coalesced", MetricKind::Counter),
+    ("serve.live.epochs", MetricKind::Counter),
+    ("serve.live.slow_queries", MetricKind::Counter),
+    ("serve.live.queue_depth", MetricKind::Gauge),
+    ("serve.live.last_epoch_size", MetricKind::Gauge),
+    ("serve.live.cache_hit_permille", MetricKind::Gauge),
+    ("serve.live.coalesce_permille", MetricKind::Gauge),
+    ("serve.live.e2e_ns", MetricKind::Histogram),
+    ("serve.live.queue_wait_ns", MetricKind::Histogram),
+    ("serve.live.scan_ns", MetricKind::Histogram),
+    ("serve.live.cache_lookup_ns", MetricKind::Histogram),
+];
+
+/// Construction knobs for a [`ServeMetrics`].
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsConfig {
+    /// Record anything at all? `false` builds the same registry but
+    /// skips every clock read and atomic write on the hot path — the
+    /// "stripped" half of the overhead measurement.
+    pub enabled: bool,
+    /// End-to-end nanoseconds above which a query posts a
+    /// [`event::SLOW_QUERY`] flight event.
+    pub slow_threshold_ns: u64,
+    /// Flight-recorder ring capacity (rounded up to a power of two).
+    pub ring_capacity: usize,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> MetricsConfig {
+        MetricsConfig {
+            enabled: true,
+            slow_threshold_ns: 100_000_000,
+            ring_capacity: 256,
+        }
+    }
+}
+
+/// The live metrics plane of one engine: registry + flight ring +
+/// injected clock, shared as one `Arc` by the engine, the scheduler
+/// handle, and the TCP workers answering stats frames.
+pub struct ServeMetrics {
+    live: LiveMetrics,
+    flight: FlightRecorder,
+    clock: SharedClock,
+    slow_threshold_ns: u64,
+    enabled: bool,
+    pub(crate) queries: Arc<LiveCounter>,
+    pub(crate) rejected: Arc<LiveCounter>,
+    pub(crate) overloaded: Arc<LiveCounter>,
+    pub(crate) cache_hits: Arc<LiveCounter>,
+    pub(crate) cache_misses: Arc<LiveCounter>,
+    pub(crate) cache_evictions: Arc<LiveCounter>,
+    pub(crate) cache_inserts: Arc<LiveCounter>,
+    pub(crate) coalesced: Arc<LiveCounter>,
+    pub(crate) epochs: Arc<LiveCounter>,
+    pub(crate) slow_queries: Arc<LiveCounter>,
+    pub(crate) queue_depth: Arc<LiveGauge>,
+    pub(crate) last_epoch_size: Arc<LiveGauge>,
+    cache_hit_permille: Arc<LiveGauge>,
+    coalesce_permille: Arc<LiveGauge>,
+    pub(crate) e2e_ns: Arc<LiveHistogram>,
+    pub(crate) queue_wait_ns: Arc<LiveHistogram>,
+    pub(crate) scan_ns: Arc<LiveHistogram>,
+    pub(crate) cache_lookup_ns: Arc<LiveHistogram>,
+}
+
+impl ServeMetrics {
+    /// Build the plane over the engine's injected clock.
+    pub fn new(clock: SharedClock, cfg: MetricsConfig) -> ServeMetrics {
+        let live = LiveMetrics::new(METRIC_REGISTRY, cfg.enabled);
+        ServeMetrics {
+            queries: live.counter("serve.live.queries"),
+            rejected: live.counter("serve.live.rejected"),
+            overloaded: live.counter("serve.live.overloaded"),
+            cache_hits: live.counter("serve.live.cache_hits"),
+            cache_misses: live.counter("serve.live.cache_misses"),
+            cache_evictions: live.counter("serve.live.cache_evictions"),
+            cache_inserts: live.counter("serve.live.cache_inserts"),
+            coalesced: live.counter("serve.live.coalesced"),
+            epochs: live.counter("serve.live.epochs"),
+            slow_queries: live.counter("serve.live.slow_queries"),
+            queue_depth: live.gauge("serve.live.queue_depth"),
+            last_epoch_size: live.gauge("serve.live.last_epoch_size"),
+            cache_hit_permille: live.gauge("serve.live.cache_hit_permille"),
+            coalesce_permille: live.gauge("serve.live.coalesce_permille"),
+            e2e_ns: live.histogram("serve.live.e2e_ns"),
+            queue_wait_ns: live.histogram("serve.live.queue_wait_ns"),
+            scan_ns: live.histogram("serve.live.scan_ns"),
+            cache_lookup_ns: live.histogram("serve.live.cache_lookup_ns"),
+            flight: FlightRecorder::new(cfg.ring_capacity),
+            slow_threshold_ns: cfg.slow_threshold_ns,
+            enabled: cfg.enabled,
+            clock,
+            live,
+        }
+    }
+
+    /// Whether the hot path should record at all.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Injected-clock nanoseconds, or 0 when the plane is disabled (no
+    /// clock read happens on the stripped path).
+    #[inline]
+    pub fn now(&self) -> u64 {
+        if self.enabled {
+            self.clock.now_nanos()
+        } else {
+            0
+        }
+    }
+
+    /// The slow-query threshold in nanoseconds.
+    pub fn slow_threshold_ns(&self) -> u64 {
+        self.slow_threshold_ns
+    }
+
+    /// The flight-recorder ring.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Record one query's end-to-end latency, posting a
+    /// [`event::SLOW_QUERY`] when it crosses the threshold. Callers
+    /// gate on [`ServeMetrics::enabled`].
+    pub(crate) fn observe_e2e(&self, at_ns: u64, digest: u64, e2e_ns: u64) {
+        self.e2e_ns.record(e2e_ns);
+        if e2e_ns > self.slow_threshold_ns {
+            self.slow_queries.incr();
+            self.flight.post(at_ns, event::SLOW_QUERY, digest, e2e_ns);
+        }
+    }
+
+    /// Snapshot the whole plane into a wire-encodable artifact.
+    ///
+    /// Derived rate gauges are refreshed from the counters first:
+    /// `cache_hit_permille` = hits·1000 / (hits + misses) and
+    /// `coalesce_permille` = coalesced·1000 / queries, both 0 when the
+    /// denominator is 0. `generation` is the served store's build
+    /// generation, passed in by the engine.
+    pub fn snapshot(&self, generation: u64) -> crate::stats::ServeSnapshot {
+        let hits = self.cache_hits.get();
+        let lookups = hits.saturating_add(self.cache_misses.get());
+        self.cache_hit_permille
+            .set(permille(hits, lookups));
+        self.coalesce_permille
+            .set(permille(self.coalesced.get(), self.queries.get()));
+        let live = self.live.snapshot();
+        crate::stats::ServeSnapshot {
+            version: crate::stats::STATS_VERSION,
+            generation,
+            counters: live.counters,
+            gauges: live.gauges,
+            histograms: live.histograms,
+            events: self.flight.snapshot(),
+        }
+    }
+}
+
+/// `part * 1000 / whole`, 0 when `whole` is 0.
+fn permille(part: u64, whole: u64) -> u64 {
+    part.saturating_mul(1000).checked_div(whole).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_obs::NullClock;
+
+    fn plane(enabled: bool) -> ServeMetrics {
+        ServeMetrics::new(
+            Arc::new(NullClock),
+            MetricsConfig {
+                enabled,
+                ..MetricsConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn registry_covers_every_resolved_handle() {
+        let m = plane(true);
+        m.queries.add(10);
+        m.cache_hits.add(3);
+        m.cache_misses.add(7);
+        m.coalesced.add(5);
+        m.e2e_ns.record(1234);
+        let snap = m.snapshot(42);
+        assert_eq!(snap.generation, 42);
+        let get = |key: &str| {
+            snap.counters
+                .iter()
+                .chain(snap.gauges.iter())
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+        };
+        // Had any handle resolved a typo'd key it would have hit the
+        // sink and read back as None here.
+        assert_eq!(get("serve.live.queries"), Some(10));
+        assert_eq!(get("serve.live.cache_hits"), Some(3));
+        assert_eq!(get("serve.live.cache_hit_permille"), Some(300));
+        assert_eq!(get("serve.live.coalesce_permille"), Some(500));
+        assert_eq!(
+            snap.counters.len() + snap.gauges.len() + snap.histograms.len(),
+            METRIC_REGISTRY.len()
+        );
+    }
+
+    #[test]
+    fn disabled_plane_reads_no_time() {
+        let m = plane(false);
+        assert!(!m.enabled());
+        assert_eq!(m.now(), 0);
+    }
+
+    #[test]
+    fn flight_events_carry_codes() {
+        let m = plane(true);
+        m.flight().post(m.now(), event::ADMIT, 7, 0);
+        m.flight().post(m.now(), event::OVERLOAD, 8, 8);
+        let events = m.snapshot(0).events;
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].code, event::ADMIT);
+        assert_eq!(event::name(events[1].code), "overload");
+    }
+}

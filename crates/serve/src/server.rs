@@ -197,10 +197,24 @@ fn worker_loop(
 }
 
 /// Serve one connection until the peer closes or errors.
+///
+/// Two frame kinds share the connection: query payloads go through the
+/// scheduler queue, stats payloads (leading magic `0xFF`, see
+/// [`crate::stats`]) are answered directly from the worker's metrics
+/// handle — deliberately *bypassing* admission, so the plane stays
+/// observable while the queue is refusing queries with `Overloaded`.
 fn serve_connection(stream: TcpStream, handle: &ServeHandle) -> std::io::Result<()> {
     let mut reader = stream.try_clone()?;
     let mut writer = BufWriter::new(stream);
     while let Some(payload) = read_frame(&mut reader)? {
+        if crate::stats::is_stats_request(&payload) {
+            let frame = match crate::stats::decode_stats_request(&payload) {
+                Ok(()) => handle.stats().encode(),
+                Err(e) => encode_response(&Err(e)),
+            };
+            write_frame(&mut writer, &frame)?;
+            continue;
+        }
         let result = match QueryRequest::decode(&payload) {
             Ok(req) => handle.query(req),
             Err(e) => Err(e),

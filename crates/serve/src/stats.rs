@@ -1,0 +1,409 @@
+//! The `StatsRequest` frame and the [`ServeSnapshot`] it returns.
+//!
+//! A stats request payload is two bytes — [`STATS_REQUEST_MAGIC`] then
+//! [`STATS_VERSION`]. The magic byte `0xFF` can never open a
+//! [`crate::QueryRequest`] (whose canonical encoding starts with the
+//! version byte `1`), so the server disambiguates the two frame kinds
+//! on the first byte without any outer envelope — old clients keep
+//! working unchanged. The response payload is the canonical
+//! [`ServeSnapshot`] encoding.
+//!
+//! The snapshot is **versioned** (leading byte, bump on layout change)
+//! and **canonical**: counters, gauges and histograms serialize in
+//! ascending key order (the registry is sorted at construction), events
+//! in sequence order, all integers fixed-width little-endian. Identical
+//! plane states therefore encode to identical bytes — the determinism
+//! contract the `metrics-gate` CI job pins under `NullClock`.
+//!
+//! [`render`] turns a snapshot into the deterministic text dashboard
+//! `conncar stats` prints once and `conncar top` repaints per tick;
+//! [`run_top`] is the injected-clock-driven polling loop behind `top`.
+
+use crate::metrics::event;
+use crate::request::Cursor;
+use crate::wire::{put_str, take_str};
+use conncar_obs::live::{FlightEvent, HistogramSnapshot, HISTOGRAM_BUCKETS};
+use conncar_obs::Clock;
+use conncar_types::{Error, Result};
+use std::io::Write;
+
+/// Snapshot encoding version (leading byte; bump on layout change).
+pub const STATS_VERSION: u8 = 1;
+
+/// First byte of a stats request payload. `0xFF` is reserved: a query
+/// payload always starts with its own encoding version (currently 1).
+pub const STATS_REQUEST_MAGIC: u8 = 0xFF;
+
+/// The two-byte stats request payload.
+pub fn encode_stats_request() -> Vec<u8> {
+    vec![STATS_REQUEST_MAGIC, STATS_VERSION]
+}
+
+/// Whether a frame payload is a stats request (vs a query).
+pub fn is_stats_request(payload: &[u8]) -> bool {
+    payload.first() == Some(&STATS_REQUEST_MAGIC)
+}
+
+/// Validate a stats request payload.
+pub fn decode_stats_request(payload: &[u8]) -> Result<()> {
+    match payload {
+        [STATS_REQUEST_MAGIC, STATS_VERSION] => Ok(()),
+        [STATS_REQUEST_MAGIC, v] => Err(Error::Decode {
+            offset: None,
+            why: format!("unsupported stats version {v} (want {STATS_VERSION})"),
+        }),
+        _ => Err(Error::Decode {
+            offset: None,
+            why: "not a stats request".into(),
+        }),
+    }
+}
+
+/// A versioned, canonically-encoded copy of one engine's live metrics
+/// plane (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSnapshot {
+    /// Encoding version ([`STATS_VERSION`] when produced locally).
+    pub version: u8,
+    /// The served store's build generation (process-unique; see
+    /// [`ServeSnapshot::normalized`] for the double-run comparison
+    /// contract).
+    pub generation: u64,
+    /// Counters in ascending key order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges in ascending key order.
+    pub gauges: Vec<(String, u64)>,
+    /// Histograms in ascending key order.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Flight-recorder tail, oldest first.
+    pub events: Vec<FlightEvent>,
+}
+
+impl ServeSnapshot {
+    /// Counter value by key (0 when absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Gauge value by key (0 when absent).
+    pub fn gauge(&self, key: &str) -> u64 {
+        self.gauges
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Histogram by key.
+    pub fn histogram(&self, key: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, h)| h)
+    }
+
+    /// Copy with the generation zeroed. The generation counter is
+    /// process-unique by design (each store build bumps it), so two
+    /// builds *within one process* legitimately differ there; every
+    /// other byte of the encoding must still match for identical
+    /// workloads under `NullClock`, which is what double-run identity
+    /// checks compare after normalizing.
+    pub fn normalized(&self) -> ServeSnapshot {
+        let mut s = self.clone();
+        s.generation = 0;
+        s
+    }
+
+    /// Canonical byte encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![self.version];
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&(self.counters.len() as u32).to_le_bytes());
+        for (k, v) in &self.counters {
+            put_str(&mut out, k);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.gauges.len() as u32).to_le_bytes());
+        for (k, v) in &self.gauges {
+            put_str(&mut out, k);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.histograms.len() as u32).to_le_bytes());
+        for (k, h) in &self.histograms {
+            put_str(&mut out, k);
+            out.extend_from_slice(&h.count.to_le_bytes());
+            out.extend_from_slice(&h.sum.to_le_bytes());
+            out.extend_from_slice(&h.max.to_le_bytes());
+            let nonzero = h.buckets.iter().filter(|b| **b != 0).count();
+            out.extend_from_slice(&(nonzero as u32).to_le_bytes());
+            for (i, b) in h.buckets.iter().enumerate() {
+                if *b != 0 {
+                    out.push(i as u8);
+                    out.extend_from_slice(&b.to_le_bytes());
+                }
+            }
+        }
+        out.extend_from_slice(&(self.events.len() as u32).to_le_bytes());
+        for e in &self.events {
+            out.extend_from_slice(&e.seq.to_le_bytes());
+            out.extend_from_slice(&e.at_ns.to_le_bytes());
+            out.push(e.code);
+            out.extend_from_slice(&e.a.to_le_bytes());
+            out.extend_from_slice(&e.b.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a canonical encoding. Wire-facing: every claimed length
+    /// is bounds-checked by the cursor before any copy, and bucket
+    /// indexes outside the histogram are rejected typed.
+    pub fn decode(bytes: &[u8]) -> Result<ServeSnapshot> {
+        let mut c = Cursor::new(bytes);
+        let version = c.u8()?;
+        if version != STATS_VERSION {
+            return c.bad(format!(
+                "unsupported snapshot version {version} (want {STATS_VERSION})"
+            ));
+        }
+        let generation = c.u64()?;
+        let n_counters = c.u32()?;
+        let mut counters = Vec::new();
+        for _ in 0..n_counters {
+            let k = take_str(&mut c)?;
+            counters.push((k, c.u64()?));
+        }
+        let n_gauges = c.u32()?;
+        let mut gauges = Vec::new();
+        for _ in 0..n_gauges {
+            let k = take_str(&mut c)?;
+            gauges.push((k, c.u64()?));
+        }
+        let n_hists = c.u32()?;
+        let mut histograms = Vec::new();
+        for _ in 0..n_hists {
+            let k = take_str(&mut c)?;
+            let mut h = HistogramSnapshot::empty();
+            h.count = c.u64()?;
+            h.sum = c.u64()?;
+            h.max = c.u64()?;
+            let nonzero = c.u32()?;
+            for _ in 0..nonzero {
+                let idx = c.u8()?;
+                let count = c.u64()?;
+                match h.buckets.get_mut(usize::from(idx)) {
+                    Some(slot) => *slot = count,
+                    None => {
+                        return c.bad(format!(
+                            "bucket index {idx} outside 0..{HISTOGRAM_BUCKETS}"
+                        ))
+                    }
+                }
+            }
+            histograms.push((k, h));
+        }
+        let n_events = c.u32()?;
+        let mut events = Vec::new();
+        for _ in 0..n_events {
+            events.push(FlightEvent {
+                seq: c.u64()?,
+                at_ns: c.u64()?,
+                code: c.u8()?,
+                a: c.u64()?,
+                b: c.u64()?,
+            });
+        }
+        c.finish()?;
+        Ok(ServeSnapshot {
+            version,
+            generation,
+            counters,
+            gauges,
+            histograms,
+            events,
+        })
+    }
+}
+
+/// Render `p` permille as a percent string with one decimal (`"45.0%"`).
+fn pct(p: u64) -> String {
+    format!("{}.{}%", p / 10, p % 10)
+}
+
+/// Render a snapshot as the deterministic text dashboard. Identical
+/// snapshots render to identical text; key order is the encoding's.
+pub fn render(snap: &ServeSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "conncar-serve snapshot v{} · generation {}\n",
+        snap.version, snap.generation
+    ));
+    out.push_str(&format!(
+        "queue_depth {} · last_epoch {} · cache_hit {} · coalesce {}\n",
+        snap.gauge("serve.live.queue_depth"),
+        snap.gauge("serve.live.last_epoch_size"),
+        pct(snap.gauge("serve.live.cache_hit_permille")),
+        pct(snap.gauge("serve.live.coalesce_permille")),
+    ));
+    out.push_str("counters\n");
+    for (k, v) in &snap.counters {
+        out.push_str(&format!("  {k:<34} {v:>12}\n"));
+    }
+    out.push_str(&format!(
+        "latency_ns {:>29} {:>12} {:>12} {:>12} {:>12}\n",
+        "count", "p50", "p95", "p99", "max"
+    ));
+    for (k, h) in &snap.histograms {
+        out.push_str(&format!(
+            "  {k:<34} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+            h.count,
+            h.p50(),
+            h.p95(),
+            h.p99(),
+            h.max
+        ));
+    }
+    out.push_str(&format!("flight tail ({} events)\n", snap.events.len()));
+    for e in &snap.events {
+        out.push_str(&format!(
+            "  #{:<6} at {:>12}ns {:<12} a={} b={}\n",
+            e.seq,
+            e.at_ns,
+            event::name(e.code),
+            e.a,
+            e.b
+        ));
+    }
+    out
+}
+
+/// The polling loop behind `conncar top`: fetch a snapshot, render it,
+/// then sleep out the remainder of `interval_ns` as measured by the
+/// *injected* clock (a `NullClock` measures zero elapsed, so tests and
+/// replay drive ticks purely by count). `ticks == 0` polls until
+/// `fetch` fails.
+pub fn run_top<F>(
+    clock: &dyn Clock,
+    interval_ns: u64,
+    ticks: u64,
+    mut fetch: F,
+    out: &mut dyn Write,
+) -> Result<()>
+where
+    F: FnMut() -> Result<ServeSnapshot>,
+{
+    let mut tick = 0u64;
+    loop {
+        let t0 = clock.now_nanos();
+        let snap = fetch()?;
+        writeln!(out, "── tick {tick} ──")?;
+        out.write_all(render(&snap).as_bytes())?;
+        tick = tick.saturating_add(1);
+        if ticks != 0 && tick >= ticks {
+            return Ok(());
+        }
+        let elapsed = clock.now_nanos().saturating_sub(t0);
+        let remainder = interval_ns.saturating_sub(elapsed);
+        if remainder > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(remainder));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_obs::NullClock;
+
+    fn sample() -> ServeSnapshot {
+        let mut h = HistogramSnapshot::empty();
+        for v in [1u64, 3, 900, 4000] {
+            let i = conncar_obs::live::bucket_index(v);
+            h.buckets[i] += 1;
+            h.count += 1;
+            h.sum += v;
+            h.max = h.max.max(v);
+        }
+        ServeSnapshot {
+            version: STATS_VERSION,
+            generation: 7,
+            counters: vec![
+                ("serve.live.cache_hits".into(), 3),
+                ("serve.live.queries".into(), 10),
+            ],
+            gauges: vec![
+                ("serve.live.cache_hit_permille".into(), 300),
+                ("serve.live.queue_depth".into(), 2),
+            ],
+            histograms: vec![("serve.live.e2e_ns".into(), h)],
+            events: vec![FlightEvent {
+                seq: 0,
+                at_ns: 5,
+                code: event::ADMIT,
+                a: 0xBEEF,
+                b: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let snap = sample();
+        let bytes = snap.encode();
+        let back = ServeSnapshot::decode(&bytes).expect("decode");
+        assert_eq!(back, snap);
+        // Canonical: re-encoding is byte-identical.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn version_mismatch_rejects() {
+        let mut bytes = sample().encode();
+        bytes[0] = 99;
+        assert!(ServeSnapshot::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejects_typed() {
+        let bytes = sample().encode();
+        for cut in [1usize, 10, bytes.len() - 1] {
+            assert!(
+                ServeSnapshot::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_request_disambiguates_from_queries() {
+        let req = encode_stats_request();
+        assert!(is_stats_request(&req));
+        assert!(decode_stats_request(&req).is_ok());
+        assert!(!is_stats_request(&[crate::request::ENCODING_VERSION]));
+        assert!(decode_stats_request(&[STATS_REQUEST_MAGIC, 9]).is_err());
+    }
+
+    #[test]
+    fn render_is_deterministic_and_readable() {
+        let snap = sample();
+        let a = render(&snap);
+        let b = render(&snap);
+        assert_eq!(a, b);
+        assert!(a.contains("cache_hit 30.0%"));
+        assert!(a.contains("serve.live.queries"));
+        assert!(a.contains("admit"));
+    }
+
+    #[test]
+    fn top_ticks_are_count_driven_under_null_clock() {
+        let snap = sample();
+        let mut out = Vec::new();
+        run_top(&NullClock, 0, 3, || Ok(snap.clone()), &mut out).expect("top");
+        let text = String::from_utf8(out).expect("utf8");
+        assert_eq!(text.matches("── tick").count(), 3);
+        assert!(text.contains("tick 2"));
+    }
+}

@@ -15,6 +15,13 @@
 //! (invalid filter, overloaded); everything else degrades to a
 //! message. The encoding is deterministic end to end, so a response
 //! stream can be diffed across runs just like `SERVE_OBS.json`.
+//!
+//! A second request kind shares the framing: a **stats request**
+//! (see [`crate::stats`]) whose payload opens with the reserved magic
+//! byte `0xFF` — unambiguous against a query payload, which always
+//! opens with its encoding version. Its response payload is a
+//! canonical [`crate::stats::ServeSnapshot`] encoding, not a status
+//! byte.
 
 use crate::engine::QueryResponse;
 use crate::request::{Cursor, QueryValue};
@@ -150,12 +157,12 @@ pub fn decode_response(bytes: &[u8]) -> Result<QueryResponse> {
     }
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
 }
 
-fn take_str(c: &mut Cursor<'_>) -> Result<String> {
+pub(crate) fn take_str(c: &mut Cursor<'_>) -> Result<String> {
     // The claimed length is validated against the bytes actually
     // present before any allocation happens: `take` bounds-checks the
     // whole span, so a lying header fails typed instead of reserving.

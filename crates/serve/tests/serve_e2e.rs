@@ -144,6 +144,51 @@ fn malformed_frames_get_an_error_response() {
 }
 
 #[test]
+fn stats_snapshot_crosses_the_wire() {
+    use conncar_serve::metrics::event;
+    use conncar_serve::{ServeSnapshot, STATS_VERSION};
+
+    let store = sample_store(4);
+    let generation = store.generation();
+    let engine = ServeEngine::new(Arc::clone(&store), 16, 4);
+    let server = ServeServer::bind("127.0.0.1:0", engine, 2, 32).expect("bind");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    let req = QueryRequest::new(Filter::all(), Aggregation::Count);
+    client.query(&req).expect("first");
+    client.query(&req).expect("second");
+
+    let snap = client.stats().expect("stats over the wire");
+    assert_eq!(snap.version, STATS_VERSION);
+    assert_eq!(snap.generation, generation, "snapshot names the served store");
+    assert_eq!(snap.counter("serve.live.queries"), 2);
+    assert_eq!(snap.counter("serve.live.cache_hits"), 1, "re-query hits");
+    assert_eq!(snap.counter("serve.live.cache_misses"), 1);
+    assert!(
+        snap.histogram("serve.live.e2e_ns").is_some_and(|h| h.count >= 1),
+        "every served query lands in the end-to-end histogram"
+    );
+    assert!(
+        snap.events.iter().any(|e| e.code == event::ADMIT),
+        "admissions reach the flight recorder"
+    );
+    assert!(
+        snap.events.iter().any(|e| e.code == event::CACHE_HIT),
+        "the cache hit reaches the flight recorder"
+    );
+
+    // The wire copy is canonical: it survives a local re-encode cycle.
+    let back = ServeSnapshot::decode(&snap.encode()).expect("re-decode");
+    assert_eq!(back, snap);
+
+    // Stats are read-only: asking again must not perturb the counters.
+    let again = client.stats().expect("second stats fetch");
+    assert_eq!(again.counter("serve.live.queries"), 2);
+
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
 fn shutdown_is_idempotent_under_no_traffic() {
     let store = sample_store(2);
     let server =

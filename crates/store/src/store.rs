@@ -112,6 +112,12 @@ impl CdrStore {
         &*self.clock
     }
 
+    /// A cloneable handle to the same injected clock, for layers (e.g.
+    /// the serve-plane metrics) that must share the store's time source.
+    pub fn shared_clock(&self) -> SharedClock {
+        Arc::clone(&self.clock)
+    }
+
     /// This build's generation number: unique per [`CdrStore::build`]
     /// within the process, monotonically increasing. The cache-key
     /// half that ties a cached result to the exact store build it was

@@ -9,6 +9,8 @@
 //! conncar replay <trace.json> <golden.json>
 //! conncar query [filter/agg flags]       # one-shot query against a generated store
 //! conncar serve [server flags]           # framed-TCP query server (stops on stdin EOF)
+//! conncar stats --addr HOST:PORT         # one-shot live-metrics snapshot of a server
+//! conncar top --addr HOST:PORT           # interval-polling dashboard over the same wire
 //! ```
 //!
 //! `record` writes `<out>/<name>/trace.json` (the replayable capture)
@@ -18,13 +20,19 @@
 //! names the first diverging stage. `query` generates the selected
 //! study fixture, builds the store, runs one `QueryRequest` and prints
 //! the result plus its `QueryStats`; `serve` starts the conncar-serve
-//! front door on the same store and runs until stdin closes.
+//! front door on the same store and runs until stdin closes. `stats`
+//! fetches one versioned `ServeSnapshot` from a *running* server over
+//! the stats wire frame and prints the deterministic dashboard; `top`
+//! repaints that dashboard every `--interval` milliseconds (driven by
+//! the injected monotonic clock) until `--ticks` renders are done or
+//! the server goes away.
 //!
 //! Exit codes: 0 clean, 1 divergence/refused query, 2 usage/IO error.
 
 use conncar::{StudyConfig, StudyData};
 use conncar_replay::{corpus, verify_and_replay, Recipe};
-use conncar_serve::{Aggregation, QueryRequest, ServeEngine, ServeServer};
+use conncar_obs::MonotonicClock;
+use conncar_serve::{stats, Aggregation, QueryRequest, ServeClient, ServeEngine, ServeServer};
 use conncar_store::{CdrStore, Filter, QueryStats, RecordKind};
 use conncar_types::{BaseStationId, CarId, Carrier, CellId, Duration, Timestamp};
 use std::path::{Path, PathBuf};
@@ -38,6 +46,8 @@ fn main() -> ExitCode {
         Some("replay") => replay_cmd(args.collect()),
         Some("query") => query_cmd(args.collect()),
         Some("serve") => serve_cmd(args.collect()),
+        Some("stats") => stats_cmd(args.collect()),
+        Some("top") => top_cmd(args.collect()),
         Some("--help") | Some("-h") => {
             print!("{HELP}");
             ExitCode::SUCCESS
@@ -59,7 +69,10 @@ usage:\n\
                 [--window START_SECS END_SECS] [--kind any|shorter:SECS|atleast:SECS]\n\
                 [--agg count|rows|per-car-seconds|histogram] [--limit N]\n\
   conncar serve [--fixture tiny|small] [--shards N] [--addr HOST:PORT]\n\
-                [--workers N] [--queue N] [--cache N] [--epoch N]\n";
+                [--workers N] [--queue N] [--cache N] [--epoch N]\n\
+  conncar stats --addr HOST:PORT         one-shot live-metrics snapshot of a server\n\
+  conncar top --addr HOST:PORT [--interval MS] [--ticks N]\n\
+                                         repaint the snapshot dashboard per interval\n";
 
 /// Parse the shared `--fixture`/`--shards` pair and build the store.
 struct StoreOpts {
@@ -324,6 +337,102 @@ fn serve_cmd(args: Vec<String>) -> ExitCode {
         println!("  {key} = {value}");
     }
     ExitCode::SUCCESS
+}
+
+/// Parse the `--addr` flag shared by `stats` and `top`; both talk to a
+/// server someone else started (typically `conncar serve`).
+fn parse_addr_flags(
+    cmd: &str,
+    args: Vec<String>,
+    mut extra: impl FnMut(&str, &mut dyn Iterator<Item = String>) -> Result<bool, String>,
+) -> Result<String, String> {
+    let mut addr: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--addr" {
+            addr = Some(it.next().ok_or("--addr needs a value")?);
+        } else if !extra(&arg, &mut it)? {
+            return Err(format!("unknown {cmd} flag `{arg}`"));
+        }
+    }
+    addr.ok_or(format!("{cmd} needs --addr HOST:PORT (a running `conncar serve`)"))
+}
+
+fn stats_cmd(args: Vec<String>) -> ExitCode {
+    let addr = match parse_addr_flags("stats", args, |_, _| Ok(false)) {
+        Ok(a) => a,
+        Err(msg) => return usage(&msg),
+    };
+    let mut client = match ServeClient::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: connecting {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match client.stats() {
+        Ok(snap) => {
+            print!("{}", stats::render(&snap));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: fetching stats: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn top_cmd(args: Vec<String>) -> ExitCode {
+    let mut interval_ms = 1000u64;
+    let mut ticks = 0u64;
+    let parsed = parse_addr_flags("top", args, |flag, it| match flag {
+        "--interval" => {
+            let v = it.next().ok_or("--interval needs a value (milliseconds)")?;
+            interval_ms = v.parse().map_err(|_| format!("bad --interval `{v}`"))?;
+            Ok(true)
+        }
+        "--ticks" => {
+            let v = it.next().ok_or("--ticks needs a value")?;
+            ticks = v.parse().map_err(|_| format!("bad --ticks `{v}`"))?;
+            Ok(true)
+        }
+        _ => Ok(false),
+    });
+    let addr = match parsed {
+        Ok(a) => a,
+        Err(msg) => return usage(&msg),
+    };
+    let mut client = match ServeClient::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: connecting {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // The interval is measured by the injected clock, so the loop's
+    // pacing shares the rest of the pipeline's time-source discipline.
+    let clock = MonotonicClock::default();
+    let mut out = std::io::stdout();
+    match stats::run_top(
+        &clock,
+        interval_ms.saturating_mul(1_000_000),
+        ticks,
+        || client.stats(),
+        &mut out,
+    ) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            // `--ticks 0` polls until the server goes away; the final
+            // fetch error is the expected way out, not a failure.
+            if ticks == 0 {
+                eprintln!("top: server gone: {e}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("error: top: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
 }
 
 fn record_cmd(args: Vec<String>) -> ExitCode {
