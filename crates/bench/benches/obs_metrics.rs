@@ -133,13 +133,13 @@ fn main() {
         clock.kind(),
         rows.join(",\n")
     );
-    let path = std::env::var("BENCH_METRICS_JSON")
-        .unwrap_or_else(|_| "target/BENCH_metrics.json".to_string());
-    if let Err(e) = std::fs::write(&path, &json) {
-        eprintln!("warning: could not write {path}: {e}");
-    } else {
-        println!("wrote {path}");
-    }
+    let path = conncar_bench::write_artifact(
+        "BENCH_METRICS_JSON",
+        "target/BENCH_metrics.json",
+        &json,
+        rows.is_empty(),
+    );
+    println!("wrote {}", path.display());
     // The range scan must never lose to the linear filter at scale;
     // tolerate parity (ratio near 1.0) only for the smallest registry.
     assert!(

@@ -1,0 +1,275 @@
+//! Out-of-core build scaling bench: rows/s and peak RSS across fleet
+//! tiers (`target/BENCH_scale.json`, path overridable via
+//! `BENCH_SCALE_JSON`).
+//!
+//! The paper's substrate is one million cars; this bench measures the
+//! streaming build's trajectory toward it. Each tier builds a fleet of
+//! N cars through generate → fault → clean → store with
+//! [`conncar::build_streamed`] and records rows/s and peak RSS; the
+//! largest measured tier is extrapolated to the paper's 1M cars. Peak
+//! memory is supposed to follow the chunk size, not the fleet size, so
+//! the emitted `peak_rss_sublinearity` ratio ((rss_hi / rss_lo) /
+//! (cars_hi / cars_lo)) must stay well under 1.0 — the CI scale gate
+//! holds a ceiling over it and floors on rows/s.
+//!
+//! Knobs (all env):
+//!
+//! * `CONNCAR_SCALE_TIERS` — comma-separated car counts
+//!   (default `10000,100000`; `CONNCAR_BENCH_FIXTURE=tiny` shrinks the
+//!   default to `120,480` on the tiny region for CI smoke runs);
+//! * `CONNCAR_SCALE_DAYS` — study days per tier (default 7: the
+//!   trajectory varies cars, not window);
+//! * `CONNCAR_SCALE_SHARDS`, `CONNCAR_SCALE_CHUNK`,
+//!   `CONNCAR_SCALE_SEGMENT_HOURS` — store and build shape
+//!   (defaults 8, 10000, 24);
+//! * `CONNCAR_BIN` — path to a `conncar` binary. When set (or when
+//!   `target/release/conncar` exists) each tier runs as a subprocess,
+//!   so `VmHWM` is a per-tier reading; otherwise tiers run in-process,
+//!   ascending, where peak RSS is a running maximum — still a valid
+//!   ceiling for the largest tier.
+
+use conncar::{build_streamed, BuildConfig, StudyConfig};
+use conncar_obs::{peak_rss_bytes, Clock, MonotonicClock};
+use conncar_types::StudyPeriod;
+
+struct Tier {
+    cars: u32,
+    chunks: u64,
+    rows_truth: u64,
+    rows_clean: u64,
+    wall_ns: u64,
+    peak_rss_bytes: u64,
+}
+
+impl Tier {
+    fn rows_per_sec(&self) -> f64 {
+        self.rows_clean as f64 * 1e9 / self.wall_ns.max(1) as f64
+    }
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Extract one unsigned field out of the `conncar build` JSON line.
+fn field_u64(json: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let rest = &json[json.find(&pat)? + pat.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Per-tier subprocess run: exact `VmHWM`, no cross-tier contamination.
+fn run_subprocess(bin: &str, fixture: &str, cars: u32, days: u32, shards: u64, chunk: u64, seg: u64) -> Tier {
+    let out = std::process::Command::new(bin)
+        .args([
+            "build",
+            "--fixture",
+            fixture,
+            "--cars",
+            &cars.to_string(),
+            "--days",
+            &days.to_string(),
+            "--shards",
+            &shards.to_string(),
+            "--chunk-cars",
+            &chunk.to_string(),
+            "--segment-hours",
+            &seg.to_string(),
+        ])
+        .output()
+        .unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "tier cars={cars}: {bin} build failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .rev()
+        .find(|l| l.starts_with('{'))
+        .unwrap_or_else(|| panic!("tier cars={cars}: no JSON line on stdout:\n{stdout}"));
+    let get = |key: &str| {
+        field_u64(line, key).unwrap_or_else(|| panic!("tier cars={cars}: missing `{key}` in {line}"))
+    };
+    Tier {
+        cars,
+        chunks: get("chunks"),
+        rows_truth: get("rows_truth"),
+        rows_clean: get("rows_clean"),
+        wall_ns: get("wall_ns"),
+        peak_rss_bytes: get("peak_rss_bytes"),
+    }
+}
+
+/// In-process fallback: peak RSS is a running max across tiers.
+fn run_inproc(base: &StudyConfig, cars: u32, days: u32, shards: u64, chunk: u64, seg: u64) -> Tier {
+    let mut cfg = base.clone();
+    cfg.fleet.cars = cars;
+    cfg.period = StudyPeriod::new(cfg.period.start_day(), days).expect("nonzero days");
+    cfg.faults.loss_days.retain(|&l| l < u64::from(days));
+    cfg.build = Some(BuildConfig {
+        chunk_cars: chunk as u32,
+        segment_hours: seg as u32,
+    });
+    let clock = MonotonicClock::new();
+    let t0 = clock.now_nanos();
+    let b = build_streamed(&cfg, shards as usize).expect("streamed build");
+    let wall_ns = clock.now_nanos().saturating_sub(t0).max(1);
+    Tier {
+        cars,
+        chunks: b.chunks.len() as u64,
+        rows_truth: b.run_report.records_truth as u64,
+        rows_clean: b.rows() as u64,
+        wall_ns,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+fn main() {
+    let tiny = std::env::var("CONNCAR_BENCH_FIXTURE").as_deref() == Ok("tiny");
+    let fixture = if tiny { "tiny" } else { "paper" };
+    let default_tiers = if tiny { "120,480" } else { "10000,100000" };
+    let tiers_spec = std::env::var("CONNCAR_SCALE_TIERS")
+        .unwrap_or_else(|_| default_tiers.to_string());
+    let tiers_cars: Vec<u32> = tiers_spec
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("bad tier `{s}`")))
+        .collect();
+    let days = env_u64("CONNCAR_SCALE_DAYS", 7) as u32;
+    let shards = env_u64("CONNCAR_SCALE_SHARDS", 8);
+    let chunk = env_u64("CONNCAR_SCALE_CHUNK", 10_000);
+    let seg = env_u64("CONNCAR_SCALE_SEGMENT_HOURS", 24);
+
+    let bin = std::env::var("CONNCAR_BIN").ok().or_else(|| {
+        let release = "target/release/conncar";
+        std::fs::metadata(release).is_ok().then(|| release.to_string())
+    });
+    let mode = if bin.is_some() { "subprocess" } else { "in-process" };
+    let base = if tiny {
+        StudyConfig::tiny()
+    } else {
+        StudyConfig::paper()
+    };
+
+    let mut tiers: Vec<Tier> = Vec::new();
+    for &cars in &tiers_cars {
+        eprintln!("tier: {cars} cars x {days} days ({mode}) ...");
+        let t = match &bin {
+            Some(bin) => run_subprocess(bin, fixture, cars, days, shards, chunk, seg),
+            None => run_inproc(&base, cars, days, shards, chunk, seg),
+        };
+        assert!(
+            t.rows_clean > 0,
+            "tier cars={cars} produced no clean rows — empty run"
+        );
+        println!(
+            "tier cars={:>8}: {:>10} rows, {:>9.1} rows/s, peak RSS {:>7.1} MiB, {} chunks",
+            t.cars,
+            t.rows_clean,
+            t.rows_per_sec(),
+            t.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            t.chunks
+        );
+        tiers.push(t);
+    }
+
+    // Sublinearity of peak RSS in car count, first tier vs last.
+    let sublinearity = match (tiers.first(), tiers.last()) {
+        (Some(a), Some(b)) if b.cars > a.cars && a.peak_rss_bytes > 0 => {
+            let rss_ratio = b.peak_rss_bytes as f64 / a.peak_rss_bytes as f64;
+            let cars_ratio = f64::from(b.cars) / f64::from(a.cars);
+            Some(rss_ratio / cars_ratio)
+        }
+        _ => None,
+    };
+
+    // Extrapolate the largest measured tier to the paper's fleet.
+    const PAPER_CARS: f64 = 1_000_000.0;
+    let extrapolation = tiers.last().map(|last| {
+        let rows_per_car = last.rows_clean as f64 / f64::from(last.cars);
+        let projected_rows = rows_per_car * PAPER_CARS;
+        let projected_wall_s = projected_rows / last.rows_per_sec();
+        // Affine RSS model over the measured endpoints: the linear term
+        // is the store's compact columns, the intercept the chunk-sized
+        // working set. One tier -> flat projection (no slope evidence).
+        let projected_rss = match tiers.first() {
+            Some(first) if last.cars > first.cars => {
+                let slope = (last.peak_rss_bytes as f64 - first.peak_rss_bytes as f64)
+                    / (f64::from(last.cars) - f64::from(first.cars));
+                let base = last.peak_rss_bytes as f64 - slope * f64::from(last.cars);
+                (base + slope * PAPER_CARS).max(0.0)
+            }
+            _ => last.peak_rss_bytes as f64,
+        };
+        format!(
+            concat!(
+                "{{\"cars\": 1000000, \"projected_rows\": {:.0}, ",
+                "\"projected_wall_s\": {:.1}, \"projected_peak_rss_bytes\": {:.0}, ",
+                "\"basis\": \"affine over measured tiers; throughput of the largest\"}}"
+            ),
+            projected_rows, projected_wall_s, projected_rss
+        )
+    });
+
+    let tier_rows: Vec<String> = tiers
+        .iter()
+        .map(|t| {
+            format!(
+                concat!(
+                    "    {{\"cars\": {}, \"chunks\": {}, \"rows_truth\": {}, ",
+                    "\"rows_clean\": {}, \"wall_ns\": {}, \"rows_per_sec\": {:.1}, ",
+                    "\"peak_rss_bytes\": {}}}"
+                ),
+                t.cars,
+                t.chunks,
+                t.rows_truth,
+                t.rows_clean,
+                t.wall_ns,
+                t.rows_per_sec(),
+                t.peak_rss_bytes
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"scale_build\",\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"fixture\": \"{}\",\n",
+            "  \"days\": {},\n",
+            "  \"shards\": {},\n",
+            "  \"chunk_cars\": {},\n",
+            "  \"segment_hours\": {},\n",
+            "  \"tiers\": [\n{}\n  ],\n",
+            "  \"peak_rss_sublinearity\": {},\n",
+            "  \"extrapolation_1m_cars\": {}\n",
+            "}}\n"
+        ),
+        mode,
+        fixture,
+        days,
+        shards,
+        chunk,
+        seg,
+        tier_rows.join(",\n"),
+        sublinearity.map_or("null".to_string(), |s| format!("{s:.4}")),
+        extrapolation.as_deref().unwrap_or("null"),
+    );
+
+    let path = conncar_bench::write_artifact(
+        "BENCH_SCALE_JSON",
+        "target/BENCH_scale.json",
+        &json,
+        tiers.is_empty(),
+    );
+    println!("{json}");
+    eprintln!("wrote {}", path.display());
+}

@@ -323,9 +323,12 @@ fn main() {
     let obs_path =
         std::env::var("SERVE_OBS_JSON").unwrap_or_else(|_| "target/SERVE_OBS.json".into());
     std::fs::write(&obs_path, &first.obs_json).expect("write SERVE_OBS.json");
-    let path =
-        std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| "target/BENCH_serve.json".into());
-    std::fs::write(&path, &json).expect("write BENCH_serve.json");
+    let path = conncar_bench::write_artifact(
+        "BENCH_SERVE_JSON",
+        "target/BENCH_serve.json",
+        &json,
+        spec.queries == 0,
+    );
     println!("{json}");
-    eprintln!("wrote {path} and {obs_path}");
+    eprintln!("wrote {} and {obs_path}", path.display());
 }

@@ -333,6 +333,7 @@ fn main() {
     counters.add("store.shards_built", store.shard_count() as u64);
     let telemetry = RunTelemetry {
         clock: clock.kind().to_string(),
+        trace: None,
         root: SpanRecord {
             name: "bench/store_query".to_string(),
             wall_ns: children.iter().map(|c| c.wall_ns).sum(),
@@ -342,12 +343,19 @@ fn main() {
         counters,
     };
 
-    let path =
-        std::env::var("BENCH_STORE_JSON").unwrap_or_else(|_| "target/BENCH_store.json".into());
-    std::fs::write(&path, &json).expect("write BENCH_store.json");
-    let fused_path =
-        std::env::var("BENCH_FUSED_JSON").unwrap_or_else(|_| "target/BENCH_fused.json".into());
-    std::fs::write(&fused_path, &fused_json).expect("write BENCH_fused.json");
+    let ran_empty = rows == 0;
+    let path = conncar_bench::write_artifact(
+        "BENCH_STORE_JSON",
+        "target/BENCH_store.json",
+        &json,
+        ran_empty,
+    );
+    let fused_path = conncar_bench::write_artifact(
+        "BENCH_FUSED_JSON",
+        "target/BENCH_fused.json",
+        &fused_json,
+        ran_empty,
+    );
     let obs_path =
         std::env::var("BENCH_OBS_JSON").unwrap_or_else(|_| "target/RUN_OBS_bench.json".into());
     telemetry
@@ -355,5 +363,9 @@ fn main() {
         .expect("write RUN_OBS_bench.json");
     println!("{json}");
     println!("{fused_json}");
-    eprintln!("wrote {path}, {fused_path} and {obs_path}");
+    eprintln!(
+        "wrote {}, {} and {obs_path}",
+        path.display(),
+        fused_path.display()
+    );
 }

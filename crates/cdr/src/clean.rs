@@ -62,6 +62,16 @@ impl CleanReport {
             + self.dropped_overlaps
     }
 
+    /// Absorb another report's counts (streaming builds clean one
+    /// car-aligned chunk at a time and sum the per-chunk reports; every
+    /// stage is per-car-local, so the sum equals the batch report).
+    pub fn merge(&mut self, other: &CleanReport) {
+        self.dropped_glitches += other.dropped_glitches;
+        self.dropped_malformed += other.dropped_malformed;
+        self.dropped_duplicates += other.dropped_duplicates;
+        self.dropped_overlaps += other.dropped_overlaps;
+    }
+
     /// Account the per-stage drop counts into a registry under the
     /// `clean.*` keys.
     pub fn record_counters(&self, reg: &mut CounterRegistry) {
@@ -129,6 +139,13 @@ impl Quarantine {
         reg.add("quarantine.duplicate", self.count(RejectReason::Duplicate) as u64);
         reg.add("quarantine.glitch", self.count(RejectReason::Glitch) as u64);
         reg.add("quarantine.overlap", self.count(RejectReason::Overlap) as u64);
+    }
+
+    /// Append another quarantine's entries, preserving their rejection
+    /// order (the streaming build concatenates per-chunk quarantines in
+    /// chunk order).
+    pub fn merge(&mut self, other: Quarantine) {
+        self.entries.extend(other.entries);
     }
 
     fn push(&mut self, record: CdrRecord, reason: RejectReason) {

@@ -38,9 +38,9 @@
 //! from its own domain-separated stream.
 
 use crate::io::{crc32, CHUNK_HEADER_LEN, CHUNK_MAGIC, RECORD_LEN, VERSION_V2};
-use crate::record::CdrDataset;
+use crate::record::{CdrDataset, CdrRecord};
 use conncar_obs::CounterRegistry;
-use conncar_types::{CarId, Duration, SeedSplitter, Timestamp};
+use conncar_types::{CarId, Duration, SeedSplitter, StudyPeriod, Timestamp};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -351,8 +351,7 @@ impl FaultInjector {
     /// Whether `car`'s modem carries a skewed clock — a property of the
     /// modem, so derived from the seed and the car alone.
     fn modem_is_skewed(&self, skew_seeds: SeedSplitter, car: CarId) -> bool {
-        let v = skew_seeds.domain_indexed("modem", car.0 as u64);
-        ((v >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)) < self.cfg.skew_car_p
+        modem_is_skewed(skew_seeds, self.cfg.skew_car_p, car)
     }
 
     /// Apply the wire-level fault classes to an encoded v2 CDR stream:
@@ -476,7 +475,166 @@ impl FaultInjector {
     }
 }
 
+/// Whether a car's modem carries a skewed clock — a property of the
+/// modem, so derived from the seed and the car alone (order-independent:
+/// batch and streaming injection agree for every car).
+fn modem_is_skewed(skew_seeds: SeedSplitter, skew_car_p: f64, car: CarId) -> bool {
+    let v = skew_seeds.domain_indexed("modem", car.0 as u64);
+    ((v >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)) < skew_car_p
+}
+
+/// Chunk-at-a-time fault injection for the out-of-core streaming build.
+///
+/// Feed the canonical ground truth through
+/// [`FaultStream::inject_chunk`] as an ascending partition; every
+/// record-level RNG stream is carried across calls, so the legacy
+/// classes (glitch, loss, sticky) draw *exactly* the draws the batch
+/// [`FaultInjector::inject`] would have drawn, for any chunking. With
+/// `duplicate_p` and `overlap_p` at zero (every stock configuration,
+/// clock skew may be on), concatenating the chunk outputs reproduces
+/// the batch dirty stream byte for byte. With a ghost class enabled the
+/// ghosts land at the end of their own chunk rather than the end of the
+/// whole stream, so later ghost-pass draws align differently: the
+/// result is still fully deterministic, just a different (equally
+/// valid) realization of the same fault distribution.
+///
+/// Wire faults act on one whole encoded stream and cannot ride the
+/// chunked path, so configs with them enabled are rejected up front
+/// with a typed error instead of being silently skipped.
+#[derive(Debug)]
+pub struct FaultStream {
+    cfg: FaultConfig,
+    period: StudyPeriod,
+    loss_days: DayBitset,
+    stream_rng: ChaCha8Rng,
+    dup_rng: ChaCha8Rng,
+    overlap_rng: ChaCha8Rng,
+    skew_rng: ChaCha8Rng,
+    skew_seeds: SeedSplitter,
+    report: FaultReport,
+}
+
+impl FaultStream {
+    /// Open a streaming injector over a study period.
+    ///
+    /// Rejects configurations with wire faults enabled — they need the
+    /// whole encoded stream in hand, which is exactly what the
+    /// streaming build never has.
+    pub fn new(cfg: FaultConfig, seed: u64, period: StudyPeriod) -> conncar_types::Result<FaultStream> {
+        if cfg.has_wire_faults() {
+            return Err(conncar_types::Error::InvalidConfig {
+                what: "faults",
+                why: "wire faults (reorder/corrupt/truncate) act on one whole encoded \
+                      stream and cannot ride the chunked streaming build; use the batch \
+                      pipeline for wire-fault studies"
+                    .into(),
+            });
+        }
+        let seeds = SeedSplitter::new(seed).child("faults");
+        let loss_days = DayBitset::new(&cfg.loss_days, period.days() as u64);
+        Ok(FaultStream {
+            stream_rng: ChaCha8Rng::seed_from_u64(seeds.domain("stream")),
+            dup_rng: ChaCha8Rng::seed_from_u64(seeds.domain("dup")),
+            overlap_rng: ChaCha8Rng::seed_from_u64(seeds.domain("overlap")),
+            skew_rng: ChaCha8Rng::seed_from_u64(seeds.child("skew").domain("records")),
+            skew_seeds: seeds.child("skew"),
+            period,
+            loss_days,
+            report: FaultReport::default(),
+            cfg,
+        })
+    }
+
+    /// Inject faults into the next chunk of the canonical truth stream.
+    ///
+    /// Records must arrive in the dataset's canonical order across
+    /// calls (each call continues where the previous one stopped).
+    /// Returns the chunk's dirty records: pass order within the chunk
+    /// mirrors the batch injector (survivors first, then ghost
+    /// classes), so a per-chunk canonical sort plus concatenation over
+    /// car-aligned chunks yields a canonical dirty dataset.
+    pub fn inject_chunk(&mut self, truth: &[CdrRecord]) -> Vec<CdrRecord> {
+        let mut dirty = Vec::with_capacity(truth.len());
+        for r in truth {
+            // Day-loss first: a record that was never delivered can't
+            // also glitch (same draw order as the batch injector).
+            if self.loss_days.contains(r.start.day())
+                && self.stream_rng.gen_bool(self.cfg.loss_fraction)
+            {
+                self.report.lost += 1;
+                continue;
+            }
+            let mut r = *r;
+            if self.stream_rng.gen_bool(self.cfg.hour_glitch_p) {
+                r.end = r.start + Duration::from_hours(1);
+                self.report.hour_glitches += 1;
+            } else if self.stream_rng.gen_bool(self.cfg.sticky_p) {
+                let extra = exponential(&mut self.stream_rng, self.cfg.sticky_mean_extra_secs);
+                let stretched = r.end + Duration::from_secs(extra as u64);
+                r.end = stretched.min(self.period.end());
+                if r.end <= r.start {
+                    r.end = r.start + Duration::from_secs(1);
+                }
+                self.report.sticky += 1;
+            }
+            dirty.push(r);
+        }
+
+        if self.cfg.duplicate_p > 0.0 {
+            let mut ghosts = Vec::new();
+            for r in &dirty {
+                if self.dup_rng.gen_bool(self.cfg.duplicate_p) {
+                    ghosts.push(*r);
+                    self.report.duplicated += 1;
+                }
+            }
+            dirty.extend(ghosts);
+        }
+
+        if self.cfg.overlap_p > 0.0 {
+            let mut ghosts = Vec::new();
+            for r in &dirty {
+                let dur = r.duration().as_secs();
+                if dur >= 3 && self.overlap_rng.gen_bool(self.cfg.overlap_p) {
+                    let mut ghost = *r;
+                    ghost.start = r.start + Duration::from_secs(dur / 3);
+                    ghost.end = r.start + Duration::from_secs(2 * dur / 3);
+                    ghosts.push(ghost);
+                    self.report.overlaps += 1;
+                }
+            }
+            dirty.extend(ghosts);
+        }
+
+        if self.cfg.skew_car_p > 0.0 && self.cfg.skew_record_p > 0.0 {
+            for r in dirty.iter_mut() {
+                if !modem_is_skewed(self.skew_seeds, self.cfg.skew_car_p, r.car)
+                    || !self.skew_rng.gen_bool(self.cfg.skew_record_p)
+                {
+                    continue;
+                }
+                let back = self.skew_rng.gen_range(0..=300u64);
+                r.end = Timestamp::from_secs(r.start.as_secs().saturating_sub(back));
+                self.report.skewed += 1;
+            }
+        }
+
+        dirty
+    }
+
+    /// The damage tallied so far, across every chunk injected.
+    pub fn report(&self) -> &FaultReport {
+        &self.report
+    }
+
+    /// Close the stream, yielding the final report.
+    pub fn finish(self) -> FaultReport {
+        self.report
+    }
+}
+
 /// O(1) membership test over a small set of study-day indices.
+#[derive(Debug)]
 struct DayBitset {
     words: Vec<u64>,
 }
@@ -822,6 +980,83 @@ mod tests {
         let (dirty, report) = FaultInjector::new(cfg, 7).inject(&ds);
         assert_eq!(report.lost, 0);
         assert_eq!(dirty.len(), 1);
+    }
+
+    #[test]
+    fn streamed_legacy_classes_match_batch_for_any_chunking() {
+        let ds = dataset();
+        let cfg = FaultConfig::default();
+        let (batch, batch_report) = FaultInjector::new(cfg.clone(), 7).inject(&ds);
+        for chunk in [1usize, 97, 5_000, ds.len()] {
+            let mut fs = FaultStream::new(cfg.clone(), 7, ds.period()).unwrap();
+            let mut dirty = Vec::new();
+            for c in ds.records().chunks(chunk) {
+                dirty.extend(fs.inject_chunk(c));
+            }
+            assert_eq!(dirty.as_slice(), batch.records(), "chunk {chunk}");
+            assert_eq!(fs.finish(), batch_report, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn streamed_skew_matches_batch_when_ghost_classes_are_off() {
+        let ds = dataset();
+        let cfg = FaultConfig {
+            skew_car_p: 0.3,
+            skew_record_p: 0.5,
+            ..FaultConfig::default()
+        };
+        let (batch, batch_report) = FaultInjector::new(cfg.clone(), 7).inject(&ds);
+        let mut fs = FaultStream::new(cfg, 7, ds.period()).unwrap();
+        let mut dirty = Vec::new();
+        for c in ds.records().chunks(777) {
+            dirty.extend(fs.inject_chunk(c));
+        }
+        assert!(batch_report.skewed > 0);
+        assert_eq!(dirty.as_slice(), batch.records());
+        assert_eq!(fs.finish(), batch_report);
+    }
+
+    #[test]
+    fn streamed_ghost_classes_are_deterministic_and_accounted() {
+        let ds = dataset();
+        let cfg = FaultConfig {
+            duplicate_p: 0.05,
+            overlap_p: 0.03,
+            skew_car_p: 0.3,
+            skew_record_p: 0.5,
+            ..FaultConfig::default()
+        };
+        let run = || {
+            let mut fs = FaultStream::new(cfg.clone(), 7, ds.period()).unwrap();
+            let mut dirty = Vec::new();
+            for c in ds.records().chunks(997) {
+                dirty.extend(fs.inject_chunk(c));
+            }
+            (dirty, fs.finish())
+        };
+        let (a, ra) = run();
+        let (b, rb) = run();
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        assert!(ra.duplicated > 0 && ra.overlaps > 0 && ra.skewed > 0);
+        // Every survivor plus every ghost is delivered.
+        assert_eq!(a.len(), ds.len() - ra.lost + ra.duplicated + ra.overlaps);
+    }
+
+    #[test]
+    fn streamed_injection_rejects_wire_faults() {
+        let cfg = FaultConfig {
+            truncate_tail_p: 0.5,
+            ..FaultConfig::default()
+        };
+        let err = FaultStream::new(cfg, 7, StudyPeriod::PAPER).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("wire faults"), "{msg}");
+        assert!(
+            matches!(err, conncar_types::Error::InvalidConfig { what: "faults", .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -51,9 +51,9 @@ pub use clean::{
     QuarantinedRecord, RejectReason, StreamCleanOutcome,
 };
 pub use codec::{BinaryCodec, CsvCodec};
-pub use faults::{FaultConfig, FaultInjector, FaultReport, RealizedFaults, WireEvent};
+pub use faults::{FaultConfig, FaultInjector, FaultReport, FaultStream, RealizedFaults, WireEvent};
 pub use io::{
     crc32, salvage, salvage_logged, CdrReader, CdrWriter, ChunkVerdict, IngestReport, SalvageLog,
 };
-pub use record::{CdrDataset, CdrRecord};
+pub use record::{CdrDataset, CdrRecord, StreamDigest};
 pub use session::{AggregateSession, SessionConfig, Sessionizer};

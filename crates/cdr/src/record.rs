@@ -135,6 +135,58 @@ impl CdrDataset {
     }
 }
 
+/// Incremental FNV-1a 64 fingerprint over a dataset delivered as a
+/// stream of canonical, car-disjoint chunks (the out-of-core build
+/// path), equal for equal record streams without ever holding the whole
+/// dataset.
+///
+/// Deliberately *not* byte-compatible with
+/// [`CdrDataset::content_digest`]: that form hashes the record count
+/// before the records — impossible one chunk at a time — so the stream
+/// form hashes it last. Streamed recordings and their replays both use
+/// this form, so stage-divergence detection is unaffected.
+#[derive(Debug, Clone)]
+pub struct StreamDigest {
+    h: conncar_types::Fnv64,
+    count: u64,
+}
+
+impl StreamDigest {
+    /// Start a digest over `period`.
+    pub fn new(period: StudyPeriod) -> StreamDigest {
+        let mut h = conncar_types::Fnv64::new();
+        h.update_u64(period.start_day().index() as u64);
+        h.update_u64(period.days() as u64);
+        StreamDigest { h, count: 0 }
+    }
+
+    /// Fold one chunk of canonical-order records into the digest.
+    /// Chunks must arrive in stream order; concatenated they must form
+    /// the canonical record sequence.
+    pub fn update(&mut self, records: &[CdrRecord]) {
+        for r in records {
+            self.h.update_u64(r.car.0 as u64);
+            self.h.update_u64(r.cell.station.0 as u64);
+            self.h.update_u64(r.cell.sector as u64);
+            self.h.update_u64(r.cell.carrier.index() as u64);
+            self.h.update_u64(r.start.as_secs());
+            self.h.update_u64(r.end.as_secs());
+        }
+        self.count += records.len() as u64;
+    }
+
+    /// Records folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Seal the digest (hashes the total record count last).
+    pub fn finish(mut self) -> u64 {
+        self.h.update_u64(self.count);
+        self.h.finish()
+    }
+}
+
 struct ByCar<'a> {
     records: &'a [CdrRecord],
 }
@@ -234,6 +286,36 @@ mod tests {
             CdrDataset::new(period(), vec![]).content_digest(),
             a.content_digest()
         );
+    }
+
+    #[test]
+    fn stream_digest_is_chunking_invariant() {
+        let records = vec![
+            rec(1, 1, 0, 10),
+            rec(1, 2, 20, 30),
+            rec(3, 1, 0, 10),
+            rec(7, 9, 5, 6),
+        ];
+        let whole = {
+            let mut d = StreamDigest::new(period());
+            d.update(&records);
+            d.finish()
+        };
+        for split in [0usize, 1, 2, 4] {
+            let mut d = StreamDigest::new(period());
+            d.update(&records[..split]);
+            d.update(&records[split..]);
+            assert_eq!(d.count(), records.len() as u64);
+            assert_eq!(d.finish(), whole, "split at {split}");
+        }
+        // Sensitive to content and to count, like content_digest.
+        let mut moved = StreamDigest::new(period());
+        moved.update(&[rec(1, 1, 0, 11)]);
+        moved.update(&records[1..]);
+        assert_ne!(moved.finish(), whole);
+        let mut short = StreamDigest::new(period());
+        short.update(&records[..3]);
+        assert_ne!(short.finish(), whole);
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! * [`study`] — configure and run a complete study: generate the
 //!   region, fleet and trace; inject and clean the measurement dirt;
 //!   everything deterministic in one seed.
+//! * [`stream`] — the same pipeline as an out-of-core stream: cars in
+//!   fixed-size chunks through generate → fault → clean straight into
+//!   the compact columnar store, peak memory bounded by the chunk size
+//!   rather than the fleet — how the paper-scale (1M-car) substrate is
+//!   built.
 //! * [`analyses`] — run every analysis of §4 over the study in one call.
 //! * [`experiments`] — the registry mapping each paper artifact
 //!   (Figure 1 … Figure 11, Tables 1–3, §4.5) to a runner that
@@ -53,13 +58,15 @@ pub mod export;
 pub mod render;
 pub mod report;
 pub mod runreport;
+pub mod stream;
 pub mod study;
 pub mod telemetry;
 
 pub use analyses::StudyAnalyses;
 pub use experiments::{Experiment, ExperimentOutput};
 pub use runreport::RunReport;
-pub use study::{PipelineCapture, StudyConfig, StudyData};
+pub use stream::{build_streamed, build_streamed_with_clock, ChunkSpan, StreamedBuild};
+pub use study::{BuildConfig, PipelineCapture, StudyConfig, StudyData};
 pub use telemetry::{
     run_instrumented, run_instrumented_captured, run_instrumented_replayed, trace_id,
 };

@@ -1,0 +1,386 @@
+//! Out-of-core streaming build: the paper-scale substrate in bounded
+//! memory.
+//!
+//! [`crate::study::StudyData::generate`] materializes the whole fleet's
+//! connection trace — truth, dirty and clean — as flat vectors before
+//! anything is stored. That is fine at fixture scale and hopeless at
+//! the paper's (one million cars, 1.1 B records). This module rebuilds
+//! the generate → fault → clean → store pipeline as a chunked stream:
+//!
+//! 1. the fleet generator emits cars in fixed-size chunks
+//!    ([`conncar_fleet::FleetGenerator::generate_chunk`] — byte-identical
+//!    concatenation to a whole-fleet run);
+//! 2. [`conncar_cdr::FaultStream`] applies the record-level fault
+//!    classes per chunk, drawing from the same RNG streams in the same
+//!    order as the batch injector;
+//! 3. the staged [`conncar_cdr::Cleaner`] runs per chunk (every stage
+//!    is per-car-local, and chunks are car-disjoint);
+//! 4. [`conncar_store::StoreBuilder`] lays the cleaned rows into
+//!    time-partitioned, compact-encoded shard segments as they arrive.
+//!
+//! Peak memory scales with `build.chunk_cars`, not with the fleet size;
+//! only the store (compact columns), the personas, the PRB ledger and
+//! the per-stage reports survive the loop.
+//!
+//! **Exactness.** For every stock configuration (no duplicate or
+//! overlap ghosts) the streamed dirty and clean datasets are
+//! byte-identical to the batch pipeline's, for any chunk size — the
+//! workspace equivalence test enforces it. Two documented deviations:
+//! wire faults are rejected up front (they act on one whole encoded
+//! stream; use the batch pipeline), and the PRB ledger's f32 bins are
+//! merged chunk-major, which can differ from a batch run in the last
+//! float bits — the same order-sensitivity the batch path already has
+//! across thread counts, and far below what any rendered figure
+//! resolves.
+
+use crate::runreport::{dataset_divergence, RunReport};
+use crate::study::{BuildConfig, StudyConfig, StudyData};
+use conncar_cdr::{
+    CdrDataset, CleanReport, Cleaner, FaultReport, FaultStream, IngestReport, Quarantine,
+    StreamDigest,
+};
+use conncar_fleet::{FleetGenerator, Persona};
+use conncar_geo::Region;
+use conncar_obs::{CounterRegistry, MonotonicClock, SharedClock};
+use conncar_radio::{BackgroundLoad, BackgroundLoadConfig, PrbLedger};
+use conncar_store::{CdrStore, Filter, StoreBuilder};
+use conncar_types::{Result, SeedSplitter};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One chunk's footprint in a streamed build. Recorded runs carry these
+/// in the trace envelope so a replay re-chunks identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkSpan {
+    /// First car id in the chunk (inclusive).
+    pub car_lo: u32,
+    /// One past the last car id in the chunk (exclusive).
+    pub car_hi: u32,
+    /// Ground-truth records the chunk produced.
+    pub truth_rows: u64,
+    /// Cleaned records the chunk appended to the store.
+    pub clean_rows: u64,
+}
+
+/// Everything a streamed build retains once the chunk loop is done.
+///
+/// Deliberately *not* a [`StudyData`]: the streamed path never holds
+/// the dirty or clean datasets whole — the clean rows live only in the
+/// store's compact columns, and the dirty rows only as digests and
+/// ledger counts. [`StreamedBuild::into_study`] materializes a
+/// [`StudyData`] back out of the store for fixture-scale equivalence
+/// checks.
+#[derive(Debug)]
+pub struct StreamedBuild {
+    /// The configuration that produced this build.
+    pub config: StudyConfig,
+    /// The resolved build parameters (config's, or the defaults).
+    pub build: BuildConfig,
+    /// The synthetic region.
+    pub region: Region,
+    /// Ground-truth personas, in car order.
+    pub personas: Vec<Persona>,
+    /// Background-load model.
+    pub background: BackgroundLoad,
+    /// Car-generated PRB load (chunk-major f32 merge; see module docs).
+    pub ledger: PrbLedger,
+    /// The cleaned dataset, laid into time-partitioned shard segments.
+    pub store: CdrStore,
+    /// What fault injection did, summed over all chunks.
+    pub fault_report: FaultReport,
+    /// What cleaning removed, summed over all chunks.
+    pub clean_report: CleanReport,
+    /// The removed records themselves, in chunk order.
+    pub quarantine: Quarantine,
+    /// End-to-end record ledger (reconciled and counter-checked exactly
+    /// like the batch path's).
+    pub run_report: RunReport,
+    /// The stage counters the run report was checked against.
+    pub counters: CounterRegistry,
+    /// Per-chunk spans, in build order.
+    pub chunks: Vec<ChunkSpan>,
+    /// [`StreamDigest`] of the ground-truth record stream.
+    pub truth_digest: u64,
+    /// [`StreamDigest`] of the dirty (as-collected) record stream.
+    pub dirty_digest: u64,
+    /// [`StreamDigest`] of the cleaned record stream.
+    pub clean_digest: u64,
+}
+
+/// Run the streaming build with a monotonic clock.
+pub fn build_streamed(cfg: &StudyConfig, shards: usize) -> Result<StreamedBuild> {
+    build_streamed_with_clock(cfg, shards, Arc::new(MonotonicClock::new()))
+}
+
+/// [`build_streamed`] with an injected clock (determinism tests and
+/// recorded runs pass a `NullClock`).
+pub fn build_streamed_with_clock(
+    cfg: &StudyConfig,
+    shards: usize,
+    clock: SharedClock,
+) -> Result<StreamedBuild> {
+    cfg.validate()?;
+    let build = cfg.build.clone().unwrap_or_default();
+    // Seed layout identical to the batch pipeline: the streamed world
+    // is the same world.
+    let seeds = SeedSplitter::new(cfg.seed);
+    let region = Region::generate(&cfg.region, seeds.domain("region"));
+    let background = BackgroundLoad::new(
+        BackgroundLoadConfig {
+            seed: seeds.domain("background"),
+            ..cfg.background.clone()
+        },
+        cfg.period,
+        region.timezone().offset_hours(),
+    );
+    let fleet = FleetGenerator::new(cfg.fleet.clone())?;
+    let fleet_seed = seeds.domain("fleet");
+    let day_factors = fleet.day_factors(cfg.period, fleet_seed);
+    let mut faults = FaultStream::new(cfg.faults.clone(), seeds.domain("faults"), cfg.period)?;
+    let cleaner = Cleaner::new(cfg.clean.clone());
+    let mut builder = StoreBuilder::with_clock(
+        cfg.period,
+        shards,
+        u64::from(build.segment_hours) * 3600,
+        clock,
+    )?;
+
+    let cars = cfg.fleet.cars;
+    let mut personas: Vec<Persona> = Vec::with_capacity(cars as usize);
+    let mut ledger = PrbLedger::new(cfg.period);
+    let mut clean_report = CleanReport::default();
+    let mut quarantine = Quarantine::default();
+    let mut counters = CounterRegistry::new();
+    let mut chunks = Vec::new();
+    let mut truth_digest = StreamDigest::new(cfg.period);
+    let mut dirty_digest = StreamDigest::new(cfg.period);
+    let mut clean_digest = StreamDigest::new(cfg.period);
+    let (mut records_truth, mut records_collected, mut records_clean) = (0usize, 0usize, 0usize);
+    let (mut truth_missing_from_clean, mut clean_not_in_truth) = (0usize, 0usize);
+
+    let mut lo = 0u32;
+    while lo < cars {
+        let hi = lo.saturating_add(build.chunk_cars).min(cars);
+        let chunk = fleet.generate_chunk(&region, cfg.period, fleet_seed, &day_factors, lo, hi);
+        ledger.merge(&chunk.ledger);
+        personas.extend(chunk.personas);
+        let truth = CdrDataset::from_connections(cfg.period, chunk.connections);
+        let dirty = CdrDataset::new(cfg.period, faults.inject_chunk(truth.records()));
+        let outcome = cleaner.clean_full(&dirty);
+        // Chunks are car-disjoint and the divergence key leads with the
+        // car id, so per-chunk divergences sum to the whole-run counts.
+        let (missing, extra) = dataset_divergence(truth.records(), outcome.dataset.records());
+        truth_missing_from_clean += missing;
+        clean_not_in_truth += extra;
+        truth_digest.update(truth.records());
+        dirty_digest.update(dirty.records());
+        clean_digest.update(outcome.dataset.records());
+        records_truth += truth.len();
+        records_collected += dirty.len();
+        records_clean += outcome.dataset.len();
+        counters.add("generate.records_emitted", truth.len() as u64);
+        clean_report.merge(&outcome.report);
+        quarantine.merge(outcome.quarantine);
+        builder.append_chunk(&outcome.dataset)?;
+        chunks.push(ChunkSpan {
+            car_lo: lo,
+            car_hi: hi,
+            truth_rows: truth.len() as u64,
+            clean_rows: outcome.dataset.len() as u64,
+        });
+        lo = hi;
+    }
+
+    let fault_report = faults.finish();
+    let ingest_report = IngestReport::default();
+    fault_report.record_counters(&mut counters);
+    ingest_report.record_counters(&mut counters);
+    clean_report.record_counters(&mut counters);
+    quarantine.record_counters(&mut counters);
+    let run_report = RunReport {
+        records_truth,
+        records_collected,
+        // The wire leg never runs on the streamed path (wire faults are
+        // rejected up front), so delivered = collected, as in the plain
+        // batch path.
+        records_delivered: records_collected,
+        records_clean,
+        fault: fault_report.clone(),
+        ingest: ingest_report,
+        clean: clean_report,
+        quarantined: quarantine.len(),
+        truth_missing_from_clean,
+        clean_not_in_truth,
+    };
+    run_report.record_counters(&mut counters);
+    assert!(
+        run_report.reconciles(),
+        "streamed run ledger does not reconcile: {run_report:?}"
+    );
+    assert!(
+        run_report.agrees_with_counters(&counters),
+        "streamed run ledger disagrees with the stage counters: {run_report:?}"
+    );
+
+    Ok(StreamedBuild {
+        config: cfg.clone(),
+        build,
+        region,
+        personas,
+        background,
+        ledger,
+        store: builder.finish(),
+        fault_report,
+        clean_report,
+        quarantine,
+        run_report,
+        counters,
+        chunks,
+        truth_digest: truth_digest.finish(),
+        dirty_digest: dirty_digest.finish(),
+        clean_digest: clean_digest.finish(),
+    })
+}
+
+impl StreamedBuild {
+    /// Rows laid into the store.
+    pub fn rows(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Materialize a `(StudyData, CdrStore)` pair back out of the
+    /// streamed build, for fixture-scale checks and analyses.
+    ///
+    /// The clean dataset is rebuilt *from the store's columns* (so this
+    /// also exercises the packed-segment decode path); `dirty` is left
+    /// empty — the streamed build keeps what cleaning removed (the
+    /// quarantine) but never the dirty dataset itself, and no analysis
+    /// reads `dirty`. Memory cost is the full clean dataset: do not
+    /// call this at paper scale.
+    pub fn into_study(self) -> (StudyData, CdrStore) {
+        let (rows, _) = self.store.collect(&Filter::all());
+        let clean = CdrDataset::new(self.store.period(), rows);
+        let study = StudyData {
+            config: self.config,
+            region: self.region,
+            personas: self.personas,
+            background: self.background,
+            ledger: self.ledger,
+            dirty: CdrDataset::new(clean.period(), Vec::new()),
+            clean,
+            fault_report: self.fault_report,
+            ingest_report: IngestReport::default(),
+            clean_report: self.clean_report,
+            quarantine: self.quarantine,
+            run_report: self.run_report,
+        };
+        (study, self.store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_types::Error;
+
+    #[test]
+    fn streamed_build_matches_batch_on_tiny() {
+        let mut cfg = StudyConfig::tiny();
+        cfg.build = Some(BuildConfig {
+            chunk_cars: 37, // 120 cars -> 4 uneven chunks
+            segment_hours: 6,
+        });
+        let streamed = build_streamed(&cfg, 3).expect("streamed build");
+        let batch = StudyData::generate(&cfg).expect("batch build");
+
+        assert_eq!(streamed.run_report, batch.run_report);
+        assert_eq!(streamed.quarantine, batch.quarantine);
+        assert_eq!(
+            streamed.chunks.iter().map(|c| c.truth_rows).sum::<u64>(),
+            batch.run_report.records_truth as u64
+        );
+        assert_eq!(streamed.ledger.touched_count(), batch.ledger.touched_count());
+        assert_eq!(
+            format!("{:?}", streamed.personas),
+            format!("{:?}", batch.personas)
+        );
+
+        // The store holds exactly the batch clean dataset.
+        let clean_digest = {
+            let mut d = StreamDigest::new(cfg.period);
+            d.update(batch.clean.records());
+            d.finish()
+        };
+        assert_eq!(streamed.clean_digest, clean_digest);
+        let (study, _store) = streamed.into_study();
+        assert_eq!(study.clean, batch.clean);
+    }
+
+    #[test]
+    fn chunk_size_never_changes_the_stream() {
+        let base = build_streamed(&StudyConfig::tiny(), 2).expect("default chunking");
+        for chunk_cars in [13, 60, 1000] {
+            let mut cfg = StudyConfig::tiny();
+            cfg.build = Some(BuildConfig {
+                chunk_cars,
+                segment_hours: 24,
+            });
+            let b = build_streamed(&cfg, 2).expect("streamed build");
+            assert_eq!(b.truth_digest, base.truth_digest, "chunk_cars={chunk_cars}");
+            assert_eq!(b.dirty_digest, base.dirty_digest, "chunk_cars={chunk_cars}");
+            assert_eq!(b.clean_digest, base.clean_digest, "chunk_cars={chunk_cars}");
+            assert_eq!(b.run_report, base.run_report, "chunk_cars={chunk_cars}");
+        }
+    }
+
+    #[test]
+    fn build_config_bounds_are_enforced() {
+        for (build, what) in [
+            (
+                BuildConfig {
+                    chunk_cars: 0,
+                    segment_hours: 24,
+                },
+                "build.chunk_cars",
+            ),
+            (
+                BuildConfig {
+                    chunk_cars: BuildConfig::MAX_CHUNK_CARS + 1,
+                    segment_hours: 24,
+                },
+                "build.chunk_cars",
+            ),
+            (
+                BuildConfig {
+                    chunk_cars: 1000,
+                    segment_hours: 0,
+                },
+                "build.segment_hours",
+            ),
+            (
+                BuildConfig {
+                    chunk_cars: 1000,
+                    segment_hours: BuildConfig::MAX_SEGMENT_HOURS + 1,
+                },
+                "build.segment_hours",
+            ),
+        ] {
+            let mut cfg = StudyConfig::tiny();
+            cfg.build = Some(build);
+            match build_streamed(&cfg, 1) {
+                Err(Error::InvalidConfig { what: w, .. }) => assert_eq!(w, what),
+                other => panic!("expected InvalidConfig({what}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wire_faults_are_rejected_up_front() {
+        let mut cfg = StudyConfig::tiny();
+        cfg.faults.corrupt_chunk_p = 0.1;
+        match build_streamed(&cfg, 1) {
+            Err(Error::InvalidConfig { what, .. }) => assert_eq!(what, "faults"),
+            other => panic!("expected InvalidConfig(faults), got {other:?}"),
+        }
+    }
+}

@@ -53,6 +53,82 @@ pub struct StudyConfig {
     pub clean: CleanConfig,
     /// Analysis-time truncation cap (paper: 600 s).
     pub truncation: Duration,
+    /// Out-of-core streaming-build parameters. `None` (the default, and
+    /// what every pre-streaming config deserializes to) means the
+    /// streaming path uses [`BuildConfig::default`]; the batch pipeline
+    /// ignores it entirely.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub build: Option<BuildConfig>,
+}
+
+/// Parameters of the out-of-core streaming build (`conncar build` and
+/// [`crate::stream::build_streamed`]): how many cars ride each chunk
+/// through generate → fault → clean → append, and how wide the store's
+/// time-partitioned segments are.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuildConfig {
+    /// Cars simulated, faulted and cleaned per chunk. Peak memory
+    /// scales with this, not with the fleet size.
+    pub chunk_cars: u32,
+    /// Width of one store segment in hours; timestamps are delta-packed
+    /// against the segment base, so narrower segments pack tighter.
+    pub segment_hours: u32,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        BuildConfig {
+            chunk_cars: 50_000,
+            segment_hours: 24,
+        }
+    }
+}
+
+impl BuildConfig {
+    /// Upper bound on `chunk_cars`: a chunk larger than the paper's
+    /// whole fleet is a typo, not a tuning choice.
+    pub const MAX_CHUNK_CARS: u32 = 10_000_000;
+    /// Upper bound on `segment_hours`: one year. Wider segments defeat
+    /// delta-packing and always indicate a unit mistake (e.g. seconds
+    /// pasted into an hours field).
+    pub const MAX_SEGMENT_HOURS: u32 = 24 * 366;
+
+    /// Validate the knobs in isolation (zero or absurd values rejected).
+    pub fn validate(&self) -> Result<()> {
+        if self.chunk_cars == 0 {
+            return Err(conncar_types::Error::InvalidConfig {
+                what: "build.chunk_cars",
+                why: "a build chunk must contain at least one car".into(),
+            });
+        }
+        if self.chunk_cars > Self::MAX_CHUNK_CARS {
+            return Err(conncar_types::Error::InvalidConfig {
+                what: "build.chunk_cars",
+                why: format!(
+                    "{} cars per chunk exceeds the {} maximum",
+                    self.chunk_cars,
+                    Self::MAX_CHUNK_CARS
+                ),
+            });
+        }
+        if self.segment_hours == 0 {
+            return Err(conncar_types::Error::InvalidConfig {
+                what: "build.segment_hours",
+                why: "store segments must span at least one hour".into(),
+            });
+        }
+        if self.segment_hours > Self::MAX_SEGMENT_HOURS {
+            return Err(conncar_types::Error::InvalidConfig {
+                what: "build.segment_hours",
+                why: format!(
+                    "{} h per segment exceeds the {} h (one year) maximum",
+                    self.segment_hours,
+                    Self::MAX_SEGMENT_HOURS
+                ),
+            });
+        }
+        Ok(())
+    }
 }
 
 impl Default for StudyConfig {
@@ -74,6 +150,7 @@ impl Default for StudyConfig {
             },
             clean: CleanConfig::default(),
             truncation: Duration::from_secs(600),
+            build: None,
         }
     }
 }
@@ -133,6 +210,9 @@ impl StudyConfig {
     /// Validate cross-field constraints.
     pub fn validate(&self) -> Result<()> {
         self.fleet.mix.validate()?;
+        if let Some(build) = &self.build {
+            build.validate()?;
+        }
         if self.truncation.is_zero() {
             return Err(conncar_types::Error::InvalidConfig {
                 what: "truncation",

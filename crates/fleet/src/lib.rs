@@ -33,6 +33,6 @@ pub mod schedule;
 
 pub use archetype::{Archetype, ArchetypeMix};
 pub use demand::DemandProfile;
-pub use generator::{FleetConfig, FleetData, FleetGenerator};
+pub use generator::{FleetChunk, FleetConfig, FleetData, FleetGenerator};
 pub use persona::{Persona, PersonaFactory};
 pub use schedule::{DayPlan, PlannedTrip, TripPurpose};

@@ -33,6 +33,8 @@
 //!   event ring snapshotable without stopping the world. Everything is
 //!   clock-injected, so serve-plane snapshots under [`NullClock`] stay
 //!   byte-identical across double runs.
+//! * [`procstat`] — process-level resource readings (peak/current RSS
+//!   out of procfs) backing the streaming build's bounded-memory gates.
 //!
 //! The crate is dependency-free (only `conncar-types` for the shared
 //! error type): telemetry must never drag a serialization framework
@@ -44,6 +46,7 @@
 pub mod clock;
 pub mod counters;
 pub mod live;
+pub mod procstat;
 pub mod span;
 pub mod telemetry;
 
@@ -53,5 +56,6 @@ pub use live::{
     FlightEvent, FlightRecorder, HistogramSnapshot, LiveCounter, LiveGauge, LiveHistogram,
     LiveMetrics, LiveSnapshot, MetricKind,
 };
+pub use procstat::{current_rss_bytes, peak_rss_bytes};
 pub use span::{Span, SpanRecord};
 pub use telemetry::RunTelemetry;

@@ -1,0 +1,64 @@
+//! Process-level resource readings for build instrumentation.
+//!
+//! The out-of-core streaming build claims bounded memory; this module
+//! is how the claim is measured rather than asserted. Readings come
+//! from `/proc/self/status` (Linux); on platforms without procfs every
+//! reader returns 0, which downstream consumers must treat as
+//! "unmeasured", never as "zero bytes".
+
+/// Peak resident set size of this process in bytes (`VmHWM`), or 0
+/// when the platform offers no procfs.
+pub fn peak_rss_bytes() -> u64 {
+    read_status_kib("VmHWM:") * 1024
+}
+
+/// Current resident set size of this process in bytes (`VmRSS`), or 0
+/// when the platform offers no procfs.
+pub fn current_rss_bytes() -> u64 {
+    read_status_kib("VmRSS:") * 1024
+}
+
+/// Parse one `kB` line out of `/proc/self/status`; 0 on any failure.
+fn read_status_kib(key: &str) -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    parse_status_kib(&status, key)
+}
+
+fn parse_status_kib(status: &str, key: &str) -> u64 {
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix(key))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|n| n.trim().parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_lines() {
+        let status = "Name:\tconncar\nVmRSS:\t  12345 kB\nVmHWM:\t  23456 kB\n";
+        assert_eq!(parse_status_kib(status, "VmRSS:"), 12_345);
+        assert_eq!(parse_status_kib(status, "VmHWM:"), 23_456);
+        assert_eq!(parse_status_kib(status, "VmSwap:"), 0);
+        assert_eq!(parse_status_kib("garbage", "VmHWM:"), 0);
+        assert_eq!(parse_status_kib("VmHWM: not-a-number kB", "VmHWM:"), 0);
+    }
+
+    #[test]
+    fn live_readings_are_sane_on_linux() {
+        // On Linux both readings are nonzero and peak >= current; on
+        // other platforms both are 0 by contract.
+        let peak = peak_rss_bytes();
+        let now = current_rss_bytes();
+        if peak != 0 {
+            assert!(peak >= now);
+        } else {
+            assert_eq!(now, 0);
+        }
+    }
+}

@@ -11,10 +11,12 @@
 //! overlaps, modem clock skew, chunk reorder, chunk corruption, tail
 //! truncation, loss days, and total-loss salvage failure — across
 //! shard counts 1, 2 and 7 (the same counts the store-equivalence
-//! tests pin), plus one kitchen-sink run with everything enabled.
+//! tests pin), plus one kitchen-sink run with everything enabled and
+//! one out-of-core streamed build whose trace pins its chunk
+//! boundaries.
 
-use crate::record::{record_study, record_total_loss, Recording};
-use conncar::study::StudyConfig;
+use crate::record::{record_streamed, record_study, record_total_loss, Recording};
+use conncar::study::{BuildConfig, StudyConfig};
 use conncar_types::Result;
 
 /// How a recipe's run is produced.
@@ -24,6 +26,8 @@ pub enum RecipeKind {
     Study,
     /// Deterministic fully-corrupt stream (`"stream"`-kind trace).
     TotalLoss,
+    /// Out-of-core chunked build (`"streamed"`-kind trace).
+    Streamed,
 }
 
 /// One corpus fixture: a name and the deterministic run behind it.
@@ -76,6 +80,19 @@ impl Recipe {
                 cfg.clean.resolve_overlaps = true;
             }
             "total_loss_s1" => {}
+            "streamed_s2" => {
+                // Record-level faults only: wire classes are rejected by
+                // the streamed path. 80 cars / 32 per chunk = 3 uneven
+                // chunks, so the trace pins a nontrivial geometry.
+                cfg.faults.skew_car_p = 0.2;
+                cfg.faults.skew_record_p = 0.5;
+                cfg.faults.loss_days = vec![3];
+                cfg.faults.loss_fraction = 0.4;
+                cfg.build = Some(BuildConfig {
+                    chunk_cars: 32,
+                    segment_hours: 6,
+                });
+            }
             other => unreachable!("recipe `{other}` has no config arm"),
         }
         cfg
@@ -86,6 +103,7 @@ impl Recipe {
         match self.kind {
             RecipeKind::Study => record_study(self.name, &self.config(), self.shards),
             RecipeKind::TotalLoss => record_total_loss(self.name, &self.config(), self.shards),
+            RecipeKind::Streamed => record_streamed(self.name, &self.config(), self.shards),
         }
     }
 }
@@ -106,6 +124,11 @@ pub fn corpus() -> Vec<Recipe> {
             shards: 1,
             kind: RecipeKind::TotalLoss,
         },
+        Recipe {
+            name: "streamed_s2",
+            shards: 2,
+            kind: RecipeKind::Streamed,
+        },
     ]
 }
 
@@ -117,7 +140,7 @@ fn study(name: &'static str, shards: usize) -> Recipe {
     }
 }
 
-/// Corpus-scale base config: the tiny study shrunk to 80 cars so nine
+/// Corpus-scale base config: the tiny study shrunk to 80 cars so ten
 /// fixtures record in seconds, with a per-fixture seed derived from the
 /// name (stable across reorderings of the corpus list).
 fn base(seed: u64) -> StudyConfig {
@@ -138,7 +161,8 @@ mod tests {
     #[test]
     fn corpus_covers_the_taxonomy_and_shard_counts() {
         let recipes = corpus();
-        assert_eq!(recipes.len(), 9);
+        assert_eq!(recipes.len(), 10);
+        assert!(recipes.iter().any(|r| r.kind == RecipeKind::Streamed));
         // Names unique, configs valid, every pinned shard count present.
         let mut names: Vec<&str> = recipes.iter().map(|r| r.name).collect();
         names.sort_unstable();

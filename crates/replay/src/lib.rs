@@ -36,6 +36,6 @@ pub mod trace;
 
 pub use corpus::{corpus, Recipe, RecipeKind};
 pub use golden::{store_digest, FigureDigest, GoldenRun, GOLDEN_SCHEMA, NOT_APPLICABLE};
-pub use record::{record_study, record_total_loss, Recording};
+pub use record::{record_streamed, record_study, record_total_loss, Recording};
 pub use replay::{replay_run, verify_and_replay, ReplayReport, StageCheck, StageStatus};
-pub use trace::{RunTrace, TRACE_SCHEMA};
+pub use trace::{RunTrace, StreamedTrace, TRACE_SCHEMA};

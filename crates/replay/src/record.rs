@@ -2,12 +2,14 @@
 //! needs, and fingerprint everything the run produced.
 
 use crate::b64;
-use crate::golden::{hex64, GoldenRun, GOLDEN_SCHEMA, NOT_APPLICABLE};
-use crate::trace::RunTrace;
+use crate::golden::{hex64, store_digest, GoldenRun, GOLDEN_SCHEMA, NOT_APPLICABLE};
+use crate::trace::{RunTrace, StreamedTrace};
+use conncar::build_streamed_with_clock;
 use conncar::study::StudyConfig;
 use conncar::telemetry::{run_instrumented_captured, trace_id};
 use conncar_cdr::{
     crc32, salvage_logged, CdrDataset, CdrRecord, CdrWriter, Cleaner, FaultReport, RealizedFaults,
+    SalvageLog,
 };
 use conncar_obs::NullClock;
 use conncar_types::{
@@ -57,6 +59,57 @@ pub fn record_study(name: &str, cfg: &StudyConfig, shards: usize) -> Result<Reco
         stream_b64: b64::encode(&capture.damaged_stream),
         stream_crc32: format!("{:08x}", crc32(&capture.damaged_stream)),
         expected_error: None,
+        streamed: None,
+    };
+    Ok(Recording { trace, golden })
+}
+
+/// Record an out-of-core streamed build (`"streamed"`-kind trace).
+///
+/// A streamed run is a pure function of config and shard count: there
+/// is no wire leg (wire faults are rejected up front), so the trace
+/// carries an empty byte stream and instead pins the chunking geometry
+/// — the resolved build parameters and every [`conncar::ChunkSpan`].
+/// The golden pins the truth/dirty/clean stream digests, the packed
+/// store layout and the run ledger; the report and observability stages
+/// never run out-of-core and stay [`NOT_APPLICABLE`].
+pub fn record_streamed(name: &str, cfg: &StudyConfig, shards: usize) -> Result<Recording> {
+    let b = build_streamed_with_clock(cfg, shards, Arc::new(NullClock))?;
+    // No wire leg: the identity hashes an empty stream, exactly as
+    // replay will recompute it from the trace's own (empty) stream.
+    let stream: Vec<u8> = Vec::new();
+    let id = trace_id(cfg.seed, shards, &stream);
+    let run_report_json = serde_json::to_string(&b.run_report).expect("run report serializes");
+    let golden = GoldenRun {
+        schema: GOLDEN_SCHEMA.into(),
+        name: name.into(),
+        trace_id: id,
+        world: hex64(b.truth_digest),
+        ingest: hex64(b.dirty_digest),
+        clean: hex64(b.clean_digest),
+        store: hex64(store_digest(&b.store)),
+        run_report: fnv1a64_hex(run_report_json.as_bytes()),
+        run_obs: NOT_APPLICABLE.into(),
+        report: NOT_APPLICABLE.into(),
+        figures: Vec::new(),
+    };
+    let trace = RunTrace {
+        kind: "streamed".into(),
+        name: name.into(),
+        config: cfg.clone(),
+        shards,
+        records_collected: b.run_report.records_collected,
+        fault_report: b.fault_report.clone(),
+        realized: RealizedFaults::default(),
+        salvage_log: SalvageLog::default(),
+        stream_b64: b64::encode(&stream),
+        stream_crc32: format!("{:08x}", crc32(&stream)),
+        expected_error: None,
+        streamed: Some(StreamedTrace {
+            chunk_cars: b.build.chunk_cars,
+            segment_hours: b.build.segment_hours,
+            chunks: b.chunks,
+        }),
     };
     Ok(Recording { trace, golden })
 }
@@ -128,6 +181,7 @@ pub fn record_total_loss(name: &str, cfg: &StudyConfig, shards: usize) -> Result
         stream_b64: b64::encode(&stream),
         stream_crc32: format!("{:08x}", crc32(&stream)),
         expected_error: Some(err),
+        streamed: None,
     };
     Ok(Recording { trace, golden })
 }
@@ -193,6 +247,45 @@ mod tests {
             .checks
             .iter()
             .any(|c| c.stage == "clean" && c.status == StageStatus::Ok));
+    }
+
+    #[test]
+    fn streamed_fixture_records_and_replays() {
+        let mut cfg = StudyConfig::tiny();
+        cfg.fleet.cars = 80;
+        cfg.build = Some(conncar::BuildConfig {
+            chunk_cars: 32,
+            segment_hours: 6,
+        });
+        let rec = record_streamed("streamed_probe", &cfg, 2).unwrap();
+        assert_eq!(rec.trace.kind, "streamed");
+        let streamed = rec.trace.streamed.as_ref().expect("streamed section");
+        assert_eq!(streamed.chunks.len(), 3, "80 cars / 32 -> 3 chunks");
+        assert_eq!(rec.golden.run_obs, NOT_APPLICABLE);
+
+        // Replays clean through the serialized round trip.
+        let trace = RunTrace::from_envelope_json(&rec.trace.to_envelope_json()).unwrap();
+        let golden = GoldenRun::from_json(&rec.golden.to_json()).unwrap();
+        let report = crate::replay::replay_run(&trace, &golden);
+        assert!(report.is_clean(), "{}", report.render());
+
+        // A tampered chunk span is named at the ingest gate, and the
+        // later stages are skipped, not silently dropped.
+        let mut tampered = rec.trace.clone();
+        tampered.streamed.as_mut().unwrap().chunks[1].clean_rows += 1;
+        let report = crate::replay::replay_run(&tampered, &rec.golden);
+        let first = report.first_divergence().expect("must diverge");
+        assert_eq!(first.stage, "ingest", "{}", report.render());
+        assert!(first.detail.contains("chunk 1"), "{}", first.detail);
+
+        // A tampered store digest names the store stage.
+        let mut golden = rec.golden.clone();
+        golden.store = hex64(0xdead_beef);
+        let report = crate::replay::replay_run(&rec.trace, &golden);
+        assert_eq!(
+            report.first_divergence().expect("must diverge").stage,
+            "store"
+        );
     }
 
     #[test]

@@ -18,8 +18,9 @@
 //! output moved; everything downstream of a gate failure is marked
 //! skipped, never silently dropped.
 
-use crate::golden::{hex64, GoldenRun};
+use crate::golden::{hex64, store_digest, GoldenRun};
 use crate::trace::RunTrace;
+use conncar::build_streamed_with_clock;
 use conncar::telemetry::run_instrumented_replayed;
 use conncar_cdr::{salvage_logged, CdrDataset, Cleaner};
 use conncar_obs::NullClock;
@@ -188,6 +189,7 @@ pub fn replay_run(trace: &RunTrace, golden: &GoldenRun) -> ReplayReport {
     match trace.kind.as_str() {
         "study" => replay_study(trace, golden, &stream, &mut checks),
         "stream" => replay_stream(trace, golden, &stream, &id, &mut checks),
+        "streamed" => replay_streamed(trace, golden, &mut checks),
         other => {
             checks.push(StageCheck {
                 stage: "ingest",
@@ -373,6 +375,122 @@ fn replay_stream(
     for stage in ["store", "run_report", "run_obs", "report", "figures"] {
         skip(checks, stage, "not applicable to a stream-kind trace");
     }
+}
+
+/// The `"streamed"` path: rebuild out-of-core from the config alone
+/// (no wire leg to replay), gate on the recorded chunk geometry, then
+/// diff the truth/dirty/clean stream digests, the packed store layout
+/// and the run ledger.
+fn replay_streamed(trace: &RunTrace, golden: &GoldenRun, checks: &mut Vec<StageCheck>) {
+    let recorded = match &trace.streamed {
+        Some(s) => s,
+        None => {
+            checks.push(StageCheck {
+                stage: "ingest",
+                status: StageStatus::Diverged,
+                detail: "streamed-kind trace carries no streamed section".into(),
+            });
+            skip_gated(checks, "trace carries no streamed section");
+            return;
+        }
+    };
+    let b = match build_streamed_with_clock(&trace.config, trace.shards, Arc::new(NullClock)) {
+        Ok(b) => b,
+        Err(e) => {
+            checks.push(StageCheck {
+                stage: "ingest",
+                status: StageStatus::Diverged,
+                detail: format!("streamed build failed to run: {e}"),
+            });
+            skip_gated(checks, "streamed build failed to run");
+            return;
+        }
+    };
+
+    // Stage: ingest — the chunk geometry (the streamed analogue of the
+    // salvage log) plus the dirty-stream digest. This gates the rest:
+    // a build that chunks differently invalidates every later digest.
+    let mut problems = Vec::new();
+    if (b.build.chunk_cars, b.build.segment_hours) != (recorded.chunk_cars, recorded.segment_hours)
+    {
+        problems.push(format!(
+            "build resolved chunk_cars={} segment_hours={}, trace recorded {} and {}",
+            b.build.chunk_cars, b.build.segment_hours, recorded.chunk_cars, recorded.segment_hours
+        ));
+    }
+    if b.chunks != recorded.chunks {
+        problems.push(first_chunk_difference(&b.chunks, &recorded.chunks));
+    }
+    let dirty = hex64(b.dirty_digest);
+    if dirty != golden.ingest {
+        problems.push(format!(
+            "dirty stream digest expected {}, found {dirty}",
+            golden.ingest
+        ));
+    }
+    if !problems.is_empty() {
+        checks.push(StageCheck {
+            stage: "ingest",
+            status: StageStatus::Diverged,
+            detail: problems.join("; "),
+        });
+        skip_gated(checks, "replay halted: the build no longer chunks as recorded");
+        return;
+    }
+    checks.push(StageCheck {
+        stage: "ingest",
+        status: StageStatus::Ok,
+        detail: format!(
+            "{} chunks rebuilt as recorded, dirty digest {dirty}",
+            b.chunks.len()
+        ),
+    });
+
+    let run_report_json = serde_json::to_string(&b.run_report).expect("run report serializes");
+    compare(checks, "world", &golden.world, &hex64(b.truth_digest));
+    compare(checks, "clean", &golden.clean, &hex64(b.clean_digest));
+    compare(checks, "store", &golden.store, &hex64(store_digest(&b.store)));
+    compare(
+        checks,
+        "run_report",
+        &golden.run_report,
+        &fnv1a64_hex(run_report_json.as_bytes()),
+    );
+    for stage in ["run_obs", "report", "figures"] {
+        skip(checks, stage, "not applicable to a streamed-kind trace");
+    }
+}
+
+fn first_chunk_difference(
+    found: &[conncar::ChunkSpan],
+    recorded: &[conncar::ChunkSpan],
+) -> String {
+    found
+        .iter()
+        .zip(recorded.iter())
+        .enumerate()
+        .find(|(_, (a, b))| a != b)
+        .map(|(i, (a, b))| {
+            format!(
+                "chunk {i} built cars [{}, {}) with {} truth / {} clean rows, trace recorded \
+                 cars [{}, {}) with {} truth / {} clean",
+                a.car_lo,
+                a.car_hi,
+                a.truth_rows,
+                a.clean_rows,
+                b.car_lo,
+                b.car_hi,
+                b.truth_rows,
+                b.clean_rows
+            )
+        })
+        .unwrap_or_else(|| {
+            format!(
+                "build produced {} chunks, trace recorded {}",
+                found.len(),
+                recorded.len()
+            )
+        })
 }
 
 fn compare(checks: &mut Vec<StageCheck>, stage: &'static str, expected: &str, found: &str) {

@@ -49,8 +49,10 @@ pub const TRACE_SCHEMA: &str = "conncar.trace.v1";
 /// One recorded run, ready to be replayed.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunTrace {
-    /// `"study"` (full pipeline) or `"stream"` (a raw byte stream fed
-    /// straight to the stream cleaner, e.g. a total-loss fixture).
+    /// `"study"` (full pipeline), `"stream"` (a raw byte stream fed
+    /// straight to the stream cleaner, e.g. a total-loss fixture), or
+    /// `"streamed"` (an out-of-core chunked build — see
+    /// [`conncar::build_streamed`]).
     pub kind: String,
     /// Fixture name (matches the golden file and the corpus recipe).
     pub name: String,
@@ -74,6 +76,26 @@ pub struct RunTrace {
     /// must reproduce.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub expected_error: Option<String>,
+    /// For `"streamed"`-kind traces: the chunking geometry of the
+    /// out-of-core build, so a replay re-chunks identically.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub streamed: Option<StreamedTrace>,
+}
+
+/// The chunk geometry a `"streamed"`-kind run was recorded with: the
+/// resolved build parameters plus every chunk's span and row counts.
+/// Replay rebuilds out-of-core from the config alone and diffs against
+/// these, so a drifted chunk boundary is named chunk-by-chunk instead
+/// of surfacing later as an opaque digest mismatch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamedTrace {
+    /// Cars per chunk, as resolved at record time (config's
+    /// `build.chunk_cars`, or the default).
+    pub chunk_cars: u32,
+    /// Store segment length in hours, as resolved at record time.
+    pub segment_hours: u32,
+    /// Per-chunk spans in build order.
+    pub chunks: Vec<conncar::ChunkSpan>,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -168,7 +190,36 @@ mod tests {
             stream_b64: b64::encode(&stream),
             stream_crc32: format!("{:08x}", crc32(&stream)),
             expected_error: None,
+            streamed: None,
         }
+    }
+
+    #[test]
+    fn absent_streamed_section_stays_off_the_wire() {
+        // The 9 pre-streaming fixtures must keep parsing and hashing
+        // byte-for-byte: a `None` streamed section may not serialize.
+        let json = sample().to_envelope_json();
+        assert!(!json.contains("streamed"), "{json}");
+        let t = RunTrace::from_envelope_json(&json).unwrap();
+        assert!(t.streamed.is_none());
+    }
+
+    #[test]
+    fn streamed_section_round_trips() {
+        let mut t = sample();
+        t.kind = "streamed".into();
+        t.streamed = Some(StreamedTrace {
+            chunk_cars: 32,
+            segment_hours: 6,
+            chunks: vec![conncar::ChunkSpan {
+                car_lo: 0,
+                car_hi: 32,
+                truth_rows: 100,
+                clean_rows: 97,
+            }],
+        });
+        let back = RunTrace::from_envelope_json(&t.to_envelope_json()).unwrap();
+        assert_eq!(back.streamed, t.streamed);
     }
 
     #[test]

@@ -1,0 +1,380 @@
+//! Bounded-memory streaming construction of a [`CdrStore`].
+//!
+//! The batch path ([`CdrStore::build`]) needs the whole cleaned dataset
+//! resident before it lays out columns. The streaming path accepts the
+//! dataset as **chunks** — each a [`CdrDataset`] covering a disjoint,
+//! ascending range of car ids — and appends every chunk into
+//! time-partitioned, compactly encoded shard segments
+//! ([`crate::packed`]) as it arrives. Peak memory is one chunk plus the
+//! (much smaller) encoded store, not the full flat table.
+//!
+//! Append contract, enforced with typed [`Error::StoreAppend`] values
+//! rather than panics:
+//!
+//! * every chunk carries the period the builder was opened with;
+//! * chunk car ranges are strictly ascending across calls (the fleet
+//!   generator's natural emission order), which is what keeps each
+//!   shard's car directory sorted and every query byte-identical to
+//!   the batch build;
+//! * `segment_secs` is non-zero.
+//!
+//! The finished store is indistinguishable from a batch build to every
+//! query kernel (same records, same canonical order, same car
+//! routing); only the physical representation — and therefore the
+//! index-vs-full-scan mix in `QueryStats` — differs.
+
+use crate::columns::{CarGroup, Shard};
+use crate::packed::Epoch;
+use crate::store::{shard_slot, CdrStore, ShardBuildStats};
+use conncar_cdr::{CdrDataset, CdrRecord};
+use conncar_obs::{MonotonicClock, SharedClock};
+use conncar_types::{CarId, Error, Result, StudyPeriod};
+use std::sync::Arc;
+
+/// One shard's encoded increment for a chunk, built in parallel and
+/// applied serially.
+struct PreparedEpoch {
+    shard: usize,
+    epoch: Epoch,
+    groups: Vec<CarGroup>,
+    min_start: u64,
+    max_end: u64,
+    wall_ns: u64,
+}
+
+/// Streaming (append-path) builder for a [`CdrStore`].
+///
+/// ```
+/// use conncar_cdr::CdrDataset;
+/// use conncar_store::{Filter, StoreBuilder};
+/// use conncar_types::{DayOfWeek, StudyPeriod};
+///
+/// let period = StudyPeriod::new(DayOfWeek::Monday, 7).unwrap();
+/// let mut b = StoreBuilder::new(period, 4, 24 * 3600).unwrap();
+/// b.append_chunk(&CdrDataset::new(period, vec![])).unwrap();
+/// let store = b.finish();
+/// assert_eq!(store.count(&Filter::all()).0, 0);
+/// ```
+#[derive(Debug)]
+pub struct StoreBuilder {
+    period: StudyPeriod,
+    segment_secs: u64,
+    shards: Vec<Shard>,
+    build_stats: Vec<ShardBuildStats>,
+    len: usize,
+    last_car: Option<CarId>,
+    clock: SharedClock,
+}
+
+impl StoreBuilder {
+    /// Open a builder for `period` with an explicit shard count
+    /// (clamped to at least 1) and segment length in seconds.
+    pub fn new(period: StudyPeriod, shards: usize, segment_secs: u64) -> Result<StoreBuilder> {
+        StoreBuilder::with_clock(period, shards, segment_secs, Arc::new(MonotonicClock::new()))
+    }
+
+    /// [`StoreBuilder::new`] with an injected clock (determinism tests
+    /// pass a `NullClock`; instrumented runs share one run-wide clock).
+    pub fn with_clock(
+        period: StudyPeriod,
+        shards: usize,
+        segment_secs: u64,
+        clock: SharedClock,
+    ) -> Result<StoreBuilder> {
+        if segment_secs == 0 {
+            return Err(Error::StoreAppend {
+                what: "segment_secs",
+                why: "segment length must be at least one second".into(),
+            });
+        }
+        let shard_count = shards.max(1);
+        Ok(StoreBuilder {
+            period,
+            segment_secs,
+            shards: (0..shard_count).map(|_| Shard::packed_empty()).collect(),
+            build_stats: vec![ShardBuildStats::default(); shard_count],
+            len: 0,
+            last_car: None,
+            clock,
+        })
+    }
+
+    /// Rows appended so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one chunk: a canonical-order dataset whose cars all come
+    /// strictly after every car appended before. Each shard's share of
+    /// the chunk becomes one encoded epoch (shards encode in parallel).
+    pub fn append_chunk(&mut self, chunk: &CdrDataset) -> Result<()> {
+        if chunk.period() != self.period {
+            return Err(Error::StoreAppend {
+                what: "period",
+                why: format!(
+                    "chunk period {:?} differs from the builder's {:?}",
+                    chunk.period(),
+                    self.period
+                ),
+            });
+        }
+        let records = chunk.records();
+        let (Some(first), Some(last)) = (records.first(), records.last()) else {
+            return Ok(());
+        };
+        if let Some(seen) = self.last_car {
+            if first.car <= seen {
+                return Err(Error::StoreAppend {
+                    what: "car_order",
+                    why: format!(
+                        "chunk starts at car {} but car {} was already appended",
+                        first.car.0, seen.0
+                    ),
+                });
+            }
+        }
+        let shard_count = self.shards.len();
+        let mut buckets: Vec<Vec<&CdrRecord>> = vec![Vec::new(); shard_count];
+        for r in records {
+            buckets[shard_slot(r.car, shard_count)].push(r);
+        }
+        // Encode every non-empty shard's epoch in parallel (pure), then
+        // apply serially in shard order.
+        let shards = &self.shards;
+        let segment_secs = self.segment_secs;
+        let clock = &self.clock;
+        let prepared: Vec<Option<PreparedEpoch>> = crate::exec::par_map(shard_count, |i| {
+            let rows = &buckets[i];
+            if rows.is_empty() {
+                return None;
+            }
+            let t0 = clock.now_nanos();
+            let first_row = shards[i].len() as u32;
+            let epoch = Epoch::build(rows, first_row, segment_secs);
+            let mut groups: Vec<CarGroup> = Vec::new();
+            let (mut lo, mut hi) = (u64::MAX, 0u64);
+            for (k, r) in rows.iter().enumerate() {
+                lo = lo.min(r.start.as_secs());
+                hi = hi.max(r.end.as_secs());
+                match groups.last_mut() {
+                    Some(g) if g.car == r.car => g.rows += 1,
+                    _ => groups.push(CarGroup {
+                        car: r.car,
+                        first: first_row + k as u32,
+                        rows: 1,
+                    }),
+                }
+            }
+            Some(PreparedEpoch {
+                shard: i,
+                epoch,
+                groups,
+                min_start: lo,
+                max_end: hi,
+                wall_ns: clock.now_nanos().saturating_sub(t0),
+            })
+        });
+        for prep in prepared.into_iter().flatten() {
+            let rows = u64::from(prep.epoch.rows);
+            self.shards[prep.shard].append_epoch(
+                prep.epoch,
+                prep.groups,
+                prep.min_start,
+                prep.max_end,
+            )?;
+            self.build_stats[prep.shard].rows += rows;
+            self.build_stats[prep.shard].wall_ns += prep.wall_ns;
+        }
+        self.len += records.len();
+        self.last_car = Some(last.car);
+        Ok(())
+    }
+
+    /// Seal the builder into an immutable, queryable [`CdrStore`].
+    pub fn finish(self) -> CdrStore {
+        CdrStore::from_parts(
+            self.period,
+            self.shards,
+            self.len,
+            self.clock,
+            self.build_stats,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Filter;
+    use conncar_types::{BaseStationId, Carrier, CellId, DayOfWeek, Timestamp};
+
+    fn rec(car: u32, station: u32, start: u64, dur: u64) -> CdrRecord {
+        CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(BaseStationId(station), 0, Carrier::C3),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(start + dur),
+        }
+    }
+
+    fn period() -> StudyPeriod {
+        StudyPeriod::new(DayOfWeek::Monday, 7).unwrap()
+    }
+
+    fn sample(cars: std::ops::Range<u32>) -> Vec<CdrRecord> {
+        cars.flat_map(|c| {
+            (0..5u64).map(move |i| {
+                rec(c, c % 6, (u64::from(c) * 7919 + i * 3671) % 500_000, 20 + i * 97)
+            })
+        })
+        .collect()
+    }
+
+    /// Build the same records both ways and return (streamed, batch).
+    fn both(records: Vec<CdrRecord>, shards: usize, chunk_cars: u32) -> (CdrStore, CdrStore) {
+        let ds = CdrDataset::new(period(), records.clone());
+        let batch = CdrStore::build(&ds, shards);
+        let mut b = StoreBuilder::new(period(), shards, 24 * 3600).unwrap();
+        let max_car = records.iter().map(|r| r.car.0).max().unwrap_or(0);
+        let mut lo = 0u32;
+        while lo <= max_car {
+            let hi = lo.saturating_add(chunk_cars);
+            let chunk: Vec<CdrRecord> = records
+                .iter()
+                .filter(|r| r.car.0 >= lo && r.car.0 < hi)
+                .copied()
+                .collect();
+            b.append_chunk(&CdrDataset::new(period(), chunk)).unwrap();
+            lo = hi;
+        }
+        (b.finish(), batch)
+    }
+
+    #[test]
+    fn streamed_store_matches_batch_collect() {
+        for shards in [1, 2, 7] {
+            for chunk_cars in [3, 10, 100] {
+                let (streamed, batch) = both(sample(0..30), shards, chunk_cars);
+                assert_eq!(streamed.len(), batch.len());
+                let (a, _) = streamed.collect(&Filter::all());
+                let (b, _) = batch.collect(&Filter::all());
+                assert_eq!(a, b, "shards={shards} chunk_cars={chunk_cars}");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_store_matches_batch_under_filters() {
+        let (streamed, batch) = both(sample(0..40), 4, 7);
+        let filters = [
+            Filter::all().car(CarId(13)),
+            Filter::all().cars(vec![CarId(1), CarId(22), CarId(39)]),
+            Filter::all().window(Timestamp::from_secs(50_000), Timestamp::from_secs(300_000)),
+            Filter::all().cell(CellId::new(BaseStationId(2), 0, Carrier::C3)),
+            Filter::all()
+                .carrier(Carrier::C3)
+                .window(Timestamp::from_secs(0), Timestamp::from_secs(100_000)),
+        ];
+        for f in &filters {
+            let (a, sa) = streamed.collect(f);
+            let (b, sb) = batch.collect(f);
+            assert_eq!(a, b, "filter={f:?}");
+            // Same rows matched even though the index mix differs.
+            assert_eq!(sa.rows_matched, sb.rows_matched, "filter={f:?}");
+        }
+    }
+
+    #[test]
+    fn streamed_views_match_batch_views() {
+        use crate::kernels::fold_per_car_views;
+        let (streamed, batch) = both(sample(0..25), 3, 4);
+        for f in [
+            Filter::all(),
+            Filter::all().window(Timestamp::from_secs(10_000), Timestamp::from_secs(400_000)),
+        ] {
+            let (a, _) = fold_per_car_views(&streamed, &f, |v| {
+                let mut out = Vec::new();
+                v.for_each_selected(|i| out.push((v.cells[i], v.starts[i], v.ends[i])));
+                out
+            });
+            let (b, _) = fold_per_car_views(&batch, &f, |v| {
+                let mut out = Vec::new();
+                v.for_each_selected(|i| out.push((v.cells[i], v.starts[i], v.ends[i])));
+                out
+            });
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn append_rejects_regressing_chunks() {
+        let mut b = StoreBuilder::new(period(), 2, 3600).unwrap();
+        b.append_chunk(&CdrDataset::new(period(), sample(10..20))).unwrap();
+        let err = b
+            .append_chunk(&CdrDataset::new(period(), sample(5..8)))
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::StoreAppend { what: "car_order", .. }),
+            "{err}"
+        );
+        // Equal car id is rejected too (ranges must be disjoint).
+        let err = b
+            .append_chunk(&CdrDataset::new(period(), sample(19..21)))
+            .unwrap_err();
+        assert!(matches!(err, Error::StoreAppend { what: "car_order", .. }), "{err}");
+    }
+
+    #[test]
+    fn append_rejects_wrong_period() {
+        let mut b = StoreBuilder::new(period(), 2, 3600).unwrap();
+        let other = StudyPeriod::new(DayOfWeek::Tuesday, 3).unwrap();
+        let err = b
+            .append_chunk(&CdrDataset::new(other, sample(0..2)))
+            .unwrap_err();
+        assert!(matches!(err, Error::StoreAppend { what: "period", .. }), "{err}");
+    }
+
+    #[test]
+    fn zero_segment_secs_is_rejected() {
+        let err = StoreBuilder::new(period(), 2, 0).unwrap_err();
+        assert!(
+            matches!(err, Error::StoreAppend { what: "segment_secs", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn empty_chunks_are_noops() {
+        let mut b = StoreBuilder::new(period(), 3, 3600).unwrap();
+        b.append_chunk(&CdrDataset::new(period(), vec![])).unwrap();
+        assert!(b.is_empty());
+        b.append_chunk(&CdrDataset::new(period(), sample(0..5))).unwrap();
+        b.append_chunk(&CdrDataset::new(period(), vec![])).unwrap();
+        let store = b.finish();
+        assert_eq!(store.len(), 25);
+    }
+
+    #[test]
+    fn packed_store_is_smaller_than_flat() {
+        let records = sample(0..200);
+        let (streamed, batch) = both(records, 4, 50);
+        let packed: usize = streamed.shards().iter().map(Shard::encoded_bytes).sum();
+        let flat: usize = batch.shards().iter().map(Shard::encoded_bytes).sum();
+        assert!(
+            packed * 2 < flat,
+            "packed {packed} B should be well under half of flat {flat} B"
+        );
+    }
+
+    #[test]
+    fn build_stats_cover_all_rows() {
+        let (streamed, _) = both(sample(0..30), 4, 10);
+        let total: u64 = streamed.build_stats().iter().map(|s| s.rows).sum();
+        assert_eq!(total as usize, streamed.len());
+    }
+}

@@ -1,20 +1,30 @@
-//! One shard of the store: struct-of-arrays columns plus its indexes.
+//! One shard of the store: columns plus indexes, in one of two
+//! physical representations.
 //!
 //! A shard owns every record of the cars hashed to it, in the dataset's
-//! canonical `(car, start, cell)` order. The four row attributes live in
-//! parallel column vectors — scans that only touch time and duration
-//! never pull car or cell ids through the cache. Three indexes ride on
-//! top, all invariant-checked in the crate's tests:
+//! canonical `(car, start, cell)` order (by global row id). Two layouts
+//! exist behind the same public surface:
 //!
-//! * **car directory** — `(car, first_row, rows)` spans, ascending by
-//!   car; groups are contiguous because rows are in canonical order;
-//! * **cell postings** — for each distinct cell, the ascending row ids
-//!   that connect to it;
-//! * **time index** — a permutation of row ids sorted by start second,
-//!   with the shard's `[min_start, max_end)` envelope for pruning.
+//! * **flat** ([`FlatCols`], the batch-build layout) — four parallel
+//!   column vectors plus three indexes: the **cell postings** (for each
+//!   distinct cell, the ascending row ids that connect to it) and the
+//!   **time index** (a row-id permutation sorted by start second).
+//! * **packed** ([`crate::packed::PackedCols`], the streaming-append
+//!   layout) — time-partitioned segments with dictionary-coded cells,
+//!   delta-packed starts and bitpacked durations. Kernels decode one
+//!   car group at a time, fused into the scan; the full columns are
+//!   never inflated. Packed shards carry no cell postings or time
+//!   index (those return empty), so row-predicate queries fall back to
+//!   group scans — same results, different `QueryStats`.
+//!
+//! Both representations share the **car directory** — `(car,
+//! first_row, rows)` spans ascending by car — and the `[min_start,
+//! max_end)` envelope used for shard pruning; every invariant is
+//! checked in the crate's tests.
 
+use crate::packed::{Epoch, GroupScratch, PackedCols};
 use conncar_cdr::CdrRecord;
-use conncar_types::{CarId, CellId};
+use conncar_types::{CarId, CellId, Error, Result};
 
 /// A contiguous run of rows belonging to one car.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,41 +46,66 @@ pub struct CellPostings {
     pub rows: Vec<u32>,
 }
 
-/// One shard: columns in canonical row order plus indexes.
+/// The flat (batch-built) representation: parallel column vectors plus
+/// the cell and time indexes.
 #[derive(Debug, Clone, Default)]
-pub struct Shard {
+pub(crate) struct FlatCols {
     pub(crate) cars: Vec<CarId>,
     pub(crate) cells: Vec<CellId>,
     pub(crate) starts: Vec<u64>,
     pub(crate) ends: Vec<u64>,
-    pub(crate) car_dir: Vec<CarGroup>,
     pub(crate) cell_dir: Vec<CellPostings>,
     pub(crate) time_index: Vec<u32>,
+}
+
+/// Which physical layout a shard's rows live in.
+#[derive(Debug, Clone)]
+pub(crate) enum Repr {
+    /// Flat columns (batch build).
+    Flat(FlatCols),
+    /// Segment-encoded epochs (streaming append).
+    Packed(PackedCols),
+}
+
+/// One shard: rows in canonical order behind one of two layouts.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    pub(crate) repr: Repr,
+    pub(crate) car_dir: Vec<CarGroup>,
     pub(crate) min_start: u64,
     pub(crate) max_end: u64,
 }
 
+impl Default for Shard {
+    fn default() -> Shard {
+        Shard {
+            repr: Repr::Flat(FlatCols::default()),
+            car_dir: Vec::new(),
+            min_start: u64::MAX,
+            max_end: 0,
+        }
+    }
+}
+
 impl Shard {
-    /// Build a shard from records already in canonical order.
+    /// Build a flat shard from records already in canonical order.
     pub(crate) fn build(records: &[&CdrRecord]) -> Shard {
         let n = records.len();
-        let mut shard = Shard {
+        let mut shard = Shard::default();
+        let mut f = FlatCols {
             cars: Vec::with_capacity(n),
             cells: Vec::with_capacity(n),
             starts: Vec::with_capacity(n),
             ends: Vec::with_capacity(n),
-            car_dir: Vec::new(),
             cell_dir: Vec::new(),
             time_index: Vec::with_capacity(n),
-            min_start: u64::MAX,
-            max_end: 0,
         };
         for (row, r) in records.iter().enumerate() {
-            shard.cars.push(r.car);
-            shard.cells.push(r.cell);
+            f.cars.push(r.car);
+            f.cells.push(r.cell);
             let (s, e) = (r.start.as_secs(), r.end.as_secs());
-            shard.starts.push(s);
-            shard.ends.push(e);
+            f.starts.push(s);
+            f.ends.push(e);
             shard.min_start = shard.min_start.min(s);
             shard.max_end = shard.max_end.max(e);
             match shard.car_dir.last_mut() {
@@ -83,7 +118,7 @@ impl Shard {
             }
         }
         // Cell postings: sort (cell, row) pairs, then group.
-        let mut pairs: Vec<(CellId, u32)> = shard
+        let mut pairs: Vec<(CellId, u32)> = f
             .cells
             .iter()
             .enumerate()
@@ -91,51 +126,174 @@ impl Shard {
             .collect();
         pairs.sort_unstable();
         for (cell, row) in pairs {
-            match shard.cell_dir.last_mut() {
+            match f.cell_dir.last_mut() {
                 Some(p) if p.cell == cell => p.rows.push(row),
-                _ => shard.cell_dir.push(CellPostings {
+                _ => f.cell_dir.push(CellPostings {
                     cell,
                     rows: vec![row],
                 }),
             }
         }
         // Time index: permutation sorted by (start, row).
-        shard.time_index = (0..n as u32).collect();
-        shard.time_index.sort_by_key(|&row| (shard.starts[row as usize], row));
+        f.time_index = (0..n as u32).collect();
+        f.time_index.sort_by_key(|&row| (f.starts[row as usize], row));
+        shard.repr = Repr::Flat(f);
         shard
+    }
+
+    /// An empty shard in the packed (appendable) representation.
+    pub(crate) fn packed_empty() -> Shard {
+        Shard {
+            repr: Repr::Packed(PackedCols::default()),
+            ..Shard::default()
+        }
+    }
+
+    /// The flat columns, when this shard is flat.
+    #[inline]
+    pub(crate) fn flat(&self) -> Option<&FlatCols> {
+        match &self.repr {
+            Repr::Flat(f) => Some(f),
+            Repr::Packed(_) => None,
+        }
+    }
+
+    /// The packed columns, when this shard is packed.
+    #[inline]
+    pub(crate) fn packed(&self) -> Option<&PackedCols> {
+        match &self.repr {
+            Repr::Flat(_) => None,
+            Repr::Packed(p) => Some(p),
+        }
+    }
+
+    /// Append one chunk's rows (canonical order, cars strictly after
+    /// every car already present) as a pre-encoded epoch. Streaming
+    /// misuse surfaces as a typed [`Error::StoreAppend`], never a panic.
+    pub(crate) fn append_epoch(
+        &mut self,
+        epoch: Epoch,
+        groups: Vec<CarGroup>,
+        min_start: u64,
+        max_end: u64,
+    ) -> Result<()> {
+        let Repr::Packed(p) = &mut self.repr else {
+            return Err(Error::StoreAppend {
+                what: "repr",
+                why: "cannot append an epoch to a flat (batch-built) shard".into(),
+            });
+        };
+        if epoch.first_row as usize != p.rows {
+            return Err(Error::StoreAppend {
+                what: "row_offset",
+                why: format!(
+                    "epoch starts at row {} but the shard holds {} rows",
+                    epoch.first_row, p.rows
+                ),
+            });
+        }
+        if let (Some(last), Some(first)) = (self.car_dir.last(), groups.first()) {
+            if first.car <= last.car {
+                return Err(Error::StoreAppend {
+                    what: "car_order",
+                    why: format!(
+                        "epoch begins with car {} but car {} was already appended",
+                        first.car.0, last.car.0
+                    ),
+                });
+            }
+        }
+        p.rows += epoch.rows as usize;
+        p.epochs.push(epoch);
+        self.car_dir.extend(groups);
+        self.min_start = self.min_start.min(min_start);
+        self.max_end = self.max_end.max(max_end);
+        Ok(())
     }
 
     /// Number of rows.
     #[inline]
     pub fn len(&self) -> usize {
-        self.cars.len()
+        match &self.repr {
+            Repr::Flat(f) => f.cars.len(),
+            Repr::Packed(p) => p.rows,
+        }
     }
 
     /// Whether the shard holds no rows.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.cars.is_empty()
+        self.len() == 0
     }
 
     /// Materialize one row back into a [`CdrRecord`].
+    ///
+    /// Flat shards read the columns directly. Packed shards decode the
+    /// whole car group containing the row (the slow compatibility path;
+    /// scans decode each group once instead).
     #[inline]
     pub fn record(&self, row: usize) -> CdrRecord {
-        CdrRecord {
-            car: self.cars[row],
-            cell: self.cells[row],
-            start: conncar_types::Timestamp::from_secs(self.starts[row]),
-            end: conncar_types::Timestamp::from_secs(self.ends[row]),
+        match &self.repr {
+            Repr::Flat(f) => CdrRecord {
+                car: f.cars[row],
+                cell: f.cells[row],
+                start: conncar_types::Timestamp::from_secs(f.starts[row]),
+                end: conncar_types::Timestamp::from_secs(f.ends[row]),
+            },
+            Repr::Packed(p) => {
+                let g = self.group_of(row);
+                let mut scratch = GroupScratch::default();
+                scratch.decode_group(p, &g);
+                let i = row - g.first as usize;
+                CdrRecord {
+                    car: g.car,
+                    cell: scratch.cells[i],
+                    start: conncar_types::Timestamp::from_secs(scratch.starts[i]),
+                    end: conncar_types::Timestamp::from_secs(scratch.ends[i]),
+                }
+            }
         }
+    }
+
+    /// The car group containing global row id `row`.
+    fn group_of(&self, row: usize) -> CarGroup {
+        let i = self.car_dir.partition_point(|g| g.first as usize <= row);
+        self.car_dir[i - 1]
     }
 
     /// Materialize `rows` consecutive rows starting at `first` into
     /// `buf` — the whole-group path for folders that want records but
     /// whose filter has no row predicate.
-    #[inline]
     pub(crate) fn materialize_range(&self, first: usize, rows: usize, buf: &mut Vec<CdrRecord>) {
         buf.reserve(rows);
-        for row in first..first + rows {
-            buf.push(self.record(row));
+        match &self.repr {
+            Repr::Flat(_) => {
+                for row in first..first + rows {
+                    buf.push(self.record(row));
+                }
+            }
+            Repr::Packed(p) => {
+                // Decode each covering car group once, then copy the
+                // covered sub-range.
+                let mut scratch = GroupScratch::default();
+                let mut row = first;
+                let end = first + rows;
+                while row < end {
+                    let g = self.group_of(row);
+                    scratch.decode_group(p, &g);
+                    let g0 = g.first as usize;
+                    let hi = end.min(g0 + g.rows as usize);
+                    for i in row - g0..hi - g0 {
+                        buf.push(CdrRecord {
+                            car: g.car,
+                            cell: scratch.cells[i],
+                            start: conncar_types::Timestamp::from_secs(scratch.starts[i]),
+                            end: conncar_types::Timestamp::from_secs(scratch.ends[i]),
+                        });
+                    }
+                    row = hi;
+                }
+            }
         }
     }
 
@@ -145,10 +303,14 @@ impl Shard {
         &self.car_dir
     }
 
-    /// The per-cell postings, ascending by cell.
+    /// The per-cell postings, ascending by cell (empty for packed
+    /// shards, which carry no cell index).
     #[inline]
     pub fn cell_postings(&self) -> &[CellPostings] {
-        &self.cell_dir
+        match &self.repr {
+            Repr::Flat(f) => &f.cell_dir,
+            Repr::Packed(_) => &[],
+        }
     }
 
     /// Earliest start second in the shard (`u64::MAX` when empty).
@@ -163,10 +325,33 @@ impl Shard {
         self.max_end
     }
 
-    /// The row-id permutation sorted by start second.
+    /// The row-id permutation sorted by start second (empty for packed
+    /// shards, which carry no time index).
     #[inline]
     pub fn time_index(&self) -> &[u32] {
-        &self.time_index
+        match &self.repr {
+            Repr::Flat(f) => &f.time_index,
+            Repr::Packed(_) => &[],
+        }
+    }
+
+    /// Heap bytes held by this shard's row encodings (columns and
+    /// per-segment encodings; excludes the shared car directory).
+    pub fn encoded_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Flat(f) => {
+                f.cars.len() * std::mem::size_of::<CarId>()
+                    + f.cells.len() * std::mem::size_of::<CellId>()
+                    + (f.starts.len() + f.ends.len()) * 8
+                    + f.time_index.len() * 4
+                    + f
+                        .cell_dir
+                        .iter()
+                        .map(|p| p.rows.len() * 4 + std::mem::size_of::<CellPostings>())
+                        .sum::<usize>()
+            }
+            Repr::Packed(p) => p.heap_bytes(),
+        }
     }
 }
 
@@ -188,13 +373,43 @@ mod tests {
         Shard::build(&records.iter().collect::<Vec<_>>())
     }
 
+    /// A packed shard holding `records` as one epoch.
+    fn packed_shard(records: &[CdrRecord]) -> Shard {
+        let mut s = Shard::packed_empty();
+        append_records(&mut s, records).unwrap();
+        s
+    }
+
+    /// Append `records` (canonical order) as one epoch.
+    fn append_records(s: &mut Shard, records: &[CdrRecord]) -> conncar_types::Result<()> {
+        let refs: Vec<&CdrRecord> = records.iter().collect();
+        let first_row = s.len() as u32;
+        let epoch = Epoch::build(&refs, first_row, 3_600);
+        let mut groups: Vec<CarGroup> = Vec::new();
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for (i, r) in refs.iter().enumerate() {
+            lo = lo.min(r.start.as_secs());
+            hi = hi.max(r.end.as_secs());
+            match groups.last_mut() {
+                Some(g) if g.car == r.car => g.rows += 1,
+                _ => groups.push(CarGroup {
+                    car: r.car,
+                    first: first_row + i as u32,
+                    rows: 1,
+                }),
+            }
+        }
+        s.append_epoch(epoch, groups, lo, hi)
+    }
+
     #[test]
     fn columns_round_trip_rows() {
         let records = vec![rec(1, 1, 0, 10), rec(1, 2, 20, 30), rec(5, 1, 5, 15)];
-        let s = shard(&records);
-        assert_eq!(s.len(), 3);
-        for (i, r) in records.iter().enumerate() {
-            assert_eq!(s.record(i), *r);
+        for s in [shard(&records), packed_shard(&records)] {
+            assert_eq!(s.len(), 3);
+            for (i, r) in records.iter().enumerate() {
+                assert_eq!(s.record(i), *r);
+            }
         }
     }
 
@@ -206,15 +421,16 @@ mod tests {
             rec(3, 1, 0, 10),
             rec(7, 9, 5, 6),
         ];
-        let s = shard(&records);
-        let groups: Vec<(u32, u32, u32)> = s
-            .car_groups()
-            .iter()
-            .map(|g| (g.car.0, g.first, g.rows))
-            .collect();
-        assert_eq!(groups, vec![(1, 0, 2), (3, 2, 1), (7, 3, 1)]);
-        let covered: u32 = s.car_groups().iter().map(|g| g.rows).sum();
-        assert_eq!(covered as usize, s.len());
+        for s in [shard(&records), packed_shard(&records)] {
+            let groups: Vec<(u32, u32, u32)> = s
+                .car_groups()
+                .iter()
+                .map(|g| (g.car.0, g.first, g.rows))
+                .collect();
+            assert_eq!(groups, vec![(1, 0, 2), (3, 2, 1), (7, 3, 1)]);
+            let covered: u32 = s.car_groups().iter().map(|g| g.rows).sum();
+            assert_eq!(covered as usize, s.len());
+        }
     }
 
     #[test]
@@ -228,7 +444,7 @@ mod tests {
         for p in s.cell_postings() {
             assert!(p.rows.windows(2).all(|w| w[0] < w[1]));
             for &row in &p.rows {
-                assert_eq!(s.cells[row as usize], p.cell);
+                assert_eq!(s.record(row as usize).cell, p.cell);
             }
         }
     }
@@ -240,7 +456,7 @@ mod tests {
         let starts: Vec<u64> = s
             .time_index()
             .iter()
-            .map(|&row| s.starts[row as usize])
+            .map(|&row| s.record(row as usize).start.as_secs())
             .collect();
         assert_eq!(starts, vec![10, 30, 50]);
         assert_eq!(s.min_start(), 10);
@@ -248,11 +464,67 @@ mod tests {
     }
 
     #[test]
+    fn packed_shard_skips_row_indexes_but_keeps_envelope() {
+        let records = vec![rec(1, 1, 50, 60), rec(1, 1, 10, 95), rec(2, 1, 30, 40)];
+        // Canonical order within a shard is (car, start, cell).
+        let mut sorted = records.clone();
+        sorted.sort_by_key(|r| (r.car, r.start, r.cell));
+        let s = packed_shard(&sorted);
+        assert!(s.cell_postings().is_empty());
+        assert!(s.time_index().is_empty());
+        assert_eq!(s.min_start(), 10);
+        assert_eq!(s.max_end(), 95);
+    }
+
+    #[test]
+    fn append_rejects_out_of_order_cars() {
+        let mut s = Shard::packed_empty();
+        append_records(&mut s, &[rec(5, 1, 0, 10)]).unwrap();
+        let err = append_records(&mut s, &[rec(3, 1, 0, 10)]).unwrap_err();
+        assert!(
+            matches!(err, Error::StoreAppend { what: "car_order", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn append_rejects_flat_shards_and_bad_offsets() {
+        let mut s = shard(&[rec(1, 1, 0, 10)]);
+        let err = append_records(&mut s, &[rec(2, 1, 0, 10)]).unwrap_err();
+        assert!(matches!(err, Error::StoreAppend { what: "repr", .. }), "{err}");
+
+        let mut s = Shard::packed_empty();
+        let epoch = Epoch::build(&[], 7, 3_600);
+        let err = s.append_epoch(epoch, Vec::new(), u64::MAX, 0).unwrap_err();
+        assert!(
+            matches!(err, Error::StoreAppend { what: "row_offset", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn materialize_range_spans_group_boundaries() {
+        let records = vec![
+            rec(1, 1, 0, 10),
+            rec(1, 2, 20, 30),
+            rec(3, 1, 0, 10),
+            rec(7, 9, 5, 6),
+        ];
+        for s in [shard(&records), packed_shard(&records)] {
+            let mut buf = Vec::new();
+            s.materialize_range(1, 3, &mut buf);
+            assert_eq!(buf, records[1..4]);
+        }
+    }
+
+    #[test]
     fn empty_shard_envelope() {
-        let s = shard(&[]);
-        assert!(s.is_empty());
-        assert_eq!(s.min_start(), u64::MAX);
-        assert_eq!(s.max_end(), 0);
-        assert!(s.car_groups().is_empty());
+        for s in [shard(&[]), Shard::packed_empty()] {
+            assert!(s.is_empty());
+            assert_eq!(s.min_start(), u64::MAX);
+            assert_eq!(s.max_end(), 0);
+            assert!(s.car_groups().is_empty());
+            assert_eq!(s.encoded_bytes(), 0);
+        }
     }
 }

@@ -19,6 +19,8 @@
 //!   [`columns::Shard::record`](crate::columns::Shard::record) call per
 //!   row.
 
+use crate::columns::Shard;
+use crate::packed::{GroupScratch, PackedCols};
 use crate::query::{keys, Filter, QueryStats, RowSelection};
 use crate::store::CdrStore;
 use conncar_cdr::CdrRecord;
@@ -131,9 +133,14 @@ fn build_selection(store: &CdrStore, shard_id: usize, filter: &Filter) -> (Optio
         return (None, false);
     }
     let shard = &store.shards()[shard_id];
+    let Some(f) = shard.flat() else {
+        // Packed shards build group-local selections during decode
+        // (see `walk_shard_packed`), never a shard-wide bitmap.
+        return (None, false);
+    };
     let mut bits = vec![0u64; (shard.len() + 63) / 64];
     let test = |row: usize, bits: &mut Vec<u64>| {
-        if filter.row_matches(shard.cells[row], shard.starts[row], shard.ends[row]) {
+        if filter.row_matches(f.cells[row], f.starts[row], f.ends[row]) {
             bits[row >> 6] |= 1u64 << (row & 63);
         }
     };
@@ -163,6 +170,9 @@ pub(crate) fn walk_shard(
     mut visit: impl FnMut(&CarView<'_>),
 ) -> QueryStats {
     let shard = &store.shards()[shard_id];
+    if let Some(p) = shard.packed() {
+        return walk_shard_packed(shard, p, filter, visit);
+    }
     let (bits, index_narrowed) = build_selection(store, shard_id, filter);
     let narrowed = filter.car_set().is_some() || index_narrowed;
     let mut stats = QueryStats {
@@ -170,6 +180,9 @@ pub(crate) fn walk_shard(
         index_scans: u32::from(narrowed),
         full_scans: u32::from(!narrowed),
         ..QueryStats::default()
+    };
+    let Some(f) = shard.flat() else {
+        return stats;
     };
     for g in shard.car_groups() {
         if !filter.car_matches(g.car) {
@@ -179,11 +192,58 @@ pub(crate) fn walk_shard(
         let (r0, r1) = (g.first as usize, (g.first + g.rows) as usize);
         let view = CarView {
             car: g.car,
-            cells: &shard.cells[r0..r1],
-            starts: &shard.starts[r0..r1],
-            ends: &shard.ends[r0..r1],
+            cells: &f.cells[r0..r1],
+            starts: &f.starts[r0..r1],
+            ends: &f.ends[r0..r1],
             bits: bits.as_deref(),
             first: r0,
+        };
+        let selected = view.selected_count();
+        stats.rows_matched += selected as u64;
+        if selected > 0 {
+            visit(&view);
+        }
+    }
+    stats
+}
+
+/// [`walk_shard`] over a packed shard: decode one car group at a time
+/// into a reusable scratch (decode fused into the scan — the full
+/// columns are never inflated) and evaluate the row predicate into a
+/// group-local bitmap. Row accounting is identical to the flat walk;
+/// packed shards have no row indexes, so only a car set counts as
+/// index narrowing.
+fn walk_shard_packed(
+    shard: &Shard,
+    packed: &PackedCols,
+    filter: &Filter,
+    mut visit: impl FnMut(&CarView<'_>),
+) -> QueryStats {
+    let narrowed = filter.car_set().is_some();
+    let mut stats = QueryStats {
+        shards_scanned: 1,
+        index_scans: u32::from(narrowed),
+        full_scans: u32::from(!narrowed),
+        ..QueryStats::default()
+    };
+    let predicated = filter.has_row_predicate();
+    let mut scratch = GroupScratch::default();
+    for g in shard.car_groups() {
+        if !filter.car_matches(g.car) {
+            continue;
+        }
+        stats.rows_scanned += u64::from(g.rows);
+        scratch.decode_group(packed, g);
+        if predicated {
+            scratch.fill_bits(|cell, s, e| filter.row_matches(cell, s, e));
+        }
+        let view = CarView {
+            car: g.car,
+            cells: &scratch.cells,
+            starts: &scratch.starts,
+            ends: &scratch.ends,
+            bits: predicated.then_some(scratch.bits.as_slice()),
+            first: 0,
         };
         let selected = view.selected_count();
         stats.rows_matched += selected as u64;
@@ -295,6 +355,7 @@ where
                 ..QueryStats::default()
             };
             let mut buf: Vec<CdrRecord> = Vec::new();
+            let mut tmp: Vec<CdrRecord> = Vec::new();
             for g in shard.car_groups() {
                 if !filter.car_matches(g.car) {
                     // Directory skip: these rows are never touched.
@@ -304,14 +365,22 @@ where
                 stats.rows_scanned += u64::from(g.rows);
                 if whole_groups {
                     shard.materialize_range(g.first as usize, g.rows as usize, &mut buf);
-                } else {
+                } else if let Some(f) = shard.flat() {
                     for row in g.first..g.first + g.rows {
                         let row = row as usize;
-                        if filter.row_matches(shard.cells[row], shard.starts[row], shard.ends[row])
-                        {
+                        if filter.row_matches(f.cells[row], f.starts[row], f.ends[row]) {
                             buf.push(shard.record(row));
                         }
                     }
+                } else {
+                    // Packed: decode the group once, then filter.
+                    tmp.clear();
+                    shard.materialize_range(g.first as usize, g.rows as usize, &mut tmp);
+                    buf.extend(
+                        tmp.iter()
+                            .filter(|r| filter.row_matches(r.cell, r.start.as_secs(), r.end.as_secs()))
+                            .copied(),
+                    );
                 }
                 stats.rows_matched += buf.len() as u64;
                 if !buf.is_empty() {

@@ -58,14 +58,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 pub mod columns;
 mod exec;
 pub mod fused;
 pub mod kernels;
+mod packed;
 pub mod query;
 pub mod shared;
 mod store;
 
+pub use builder::StoreBuilder;
 pub use exec::set_worker_threads;
 pub use fused::{FolderHandle, FusedOutputs, FusedPass};
 pub use shared::{SharedOutputs, SharedScan};

@@ -1,0 +1,435 @@
+//! Compact segment encodings for streamed (appended) shards.
+//!
+//! A shard built by the streaming path ([`crate::StoreBuilder`]) does
+//! not hold four flat column vectors; it holds **epochs** (one per
+//! appended chunk) of time-partitioned **segments**, each segment
+//! encoding its rows compactly:
+//!
+//! * **dictionary-coded cells** — the segment's distinct `CellId`s in a
+//!   sorted dictionary, rows store fixed-width indexes into it;
+//! * **delta-packed starts** — start seconds are stored as offsets from
+//!   the segment's base (`bucket * segment_secs`), so their width is
+//!   bounded by `log2(segment_secs)` no matter how long the study is;
+//! * **bitpacked durations** — `end - start` at the segment's own
+//!   maximum width.
+//!
+//! Decoding is *fused into the scan*: kernels decode one car group at a
+//! time into a reusable [`GroupScratch`] and hand the columns to the
+//! same zero-materialization `CarView` folders the flat representation
+//! feeds. The full columns are never inflated.
+//!
+//! Layout invariants (checked by this module's tests):
+//!
+//! * a car's rows live in exactly one epoch (chunks carry disjoint,
+//!   ascending car ranges);
+//! * within a segment, rows keep the canonical `(car, start, cell)`
+//!   order restricted to that segment, so spans are contiguous and
+//!   ascending by car;
+//! * a car's canonical row sequence is the concatenation of its
+//!   per-segment runs in segment (= time bucket) order, because the
+//!   bucket of a start second is monotone in the start second.
+
+use conncar_cdr::CdrRecord;
+use conncar_types::{CarId, CellId};
+
+use crate::columns::CarGroup;
+
+/// A fixed-width bitpacked vector of `u64` values.
+///
+/// Width 0 encodes the all-zeros vector in no words at all. A value may
+/// straddle two words; `get` stitches the halves back together.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PackedInts {
+    width: u32,
+    mask: u64,
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl PackedInts {
+    /// Pack `values` at the smallest width that holds their maximum.
+    pub(crate) fn pack(values: &[u64]) -> PackedInts {
+        let max = values.iter().copied().max().unwrap_or(0);
+        let width = 64 - max.leading_zeros();
+        let mask = if width == 0 { 0 } else { u64::MAX >> (64 - width) };
+        let mut words = Vec::new();
+        if width > 0 {
+            words.resize((values.len() * width as usize).div_ceil(64), 0u64);
+            for (i, &v) in values.iter().enumerate() {
+                let bit = i * width as usize;
+                let (w, off) = (bit >> 6, (bit & 63) as u32);
+                words[w] |= v << off;
+                let have = 64 - off;
+                if have < width {
+                    words[w + 1] |= v >> have;
+                }
+            }
+        }
+        PackedInts {
+            width,
+            mask,
+            len: values.len(),
+            words,
+        }
+    }
+
+    /// Number of packed values.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The value at index `i` (0 for any index when width is 0).
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> u64 {
+        if self.width == 0 {
+            return 0;
+        }
+        let bit = i * self.width as usize;
+        let (w, off) = (bit >> 6, (bit & 63) as u32);
+        let lo = self.words[w] >> off;
+        let have = 64 - off;
+        let v = if have >= self.width {
+            lo
+        } else {
+            lo | (self.words[w + 1] << have)
+        };
+        v & self.mask
+    }
+
+    /// Bits per value.
+    #[inline]
+    pub(crate) fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Heap bytes held by the packed words.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// A contiguous run of one car's rows inside a segment
+/// (segment-local row offsets).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SegSpan {
+    pub(crate) car: CarId,
+    pub(crate) first: u32,
+    pub(crate) rows: u32,
+}
+
+/// One time partition of an epoch: rows whose start second falls in
+/// `[base, base + segment_secs)`, compactly encoded.
+#[derive(Debug, Clone)]
+pub(crate) struct Segment {
+    /// First second of the segment's time bucket.
+    pub(crate) base: u64,
+    /// Per-car runs, ascending by car, covering every row once.
+    pub(crate) spans: Vec<SegSpan>,
+    /// Sorted distinct cells of the segment.
+    pub(crate) dict: Vec<CellId>,
+    /// Per-row index into `dict`.
+    pub(crate) cell_idx: PackedInts,
+    /// Per-row `start - base`.
+    pub(crate) start_off: PackedInts,
+    /// Per-row `end - start`.
+    pub(crate) durations: PackedInts,
+}
+
+impl Segment {
+    /// Encode one bucket's rows (already in canonical order restricted
+    /// to this bucket).
+    fn build(base: u64, rows: &[&CdrRecord]) -> Segment {
+        let mut dict: Vec<CellId> = rows.iter().map(|r| r.cell).collect();
+        dict.sort_unstable();
+        dict.dedup();
+        // `partition_point` of `< cell` is the cell's index because the
+        // dictionary contains every row's cell: no unwrap needed.
+        let cell_idx: Vec<u64> = rows
+            .iter()
+            .map(|r| dict.partition_point(|c| *c < r.cell) as u64)
+            .collect();
+        let start_off: Vec<u64> = rows.iter().map(|r| r.start.as_secs() - base).collect();
+        let durations: Vec<u64> = rows
+            .iter()
+            .map(|r| r.end.as_secs().saturating_sub(r.start.as_secs()))
+            .collect();
+        let mut spans: Vec<SegSpan> = Vec::new();
+        for (i, r) in rows.iter().enumerate() {
+            match spans.last_mut() {
+                Some(s) if s.car == r.car => s.rows += 1,
+                _ => spans.push(SegSpan {
+                    car: r.car,
+                    first: i as u32,
+                    rows: 1,
+                }),
+            }
+        }
+        Segment {
+            base,
+            spans,
+            dict,
+            cell_idx: PackedInts::pack(&cell_idx),
+            start_off: PackedInts::pack(&start_off),
+            durations: PackedInts::pack(&durations),
+        }
+    }
+
+    /// Heap bytes held by the segment's encodings.
+    fn heap_bytes(&self) -> usize {
+        self.spans.len() * std::mem::size_of::<SegSpan>()
+            + self.dict.len() * std::mem::size_of::<CellId>()
+            + self.cell_idx.heap_bytes()
+            + self.start_off.heap_bytes()
+            + self.durations.heap_bytes()
+    }
+}
+
+/// One appended chunk's rows in one shard: the segments its records
+/// fell into, plus the global row-id range they occupy.
+#[derive(Debug, Clone)]
+pub(crate) struct Epoch {
+    /// Global row id of the epoch's first row in the shard.
+    pub(crate) first_row: u32,
+    /// Rows in the epoch.
+    pub(crate) rows: u32,
+    /// Time partitions, ascending by `base`.
+    pub(crate) segments: Vec<Segment>,
+}
+
+impl Epoch {
+    /// Encode one chunk's rows for one shard. `rows` must be in
+    /// canonical `(car, start, cell)` order; `segment_secs` must be
+    /// non-zero (validated by the builder).
+    pub(crate) fn build(rows: &[&CdrRecord], first_row: u32, segment_secs: u64) -> Epoch {
+        // Bucket rows by start-time partition, preserving relative
+        // order within each bucket (BTreeMap: deterministic, lint L1).
+        let mut buckets: std::collections::BTreeMap<u64, Vec<&CdrRecord>> =
+            std::collections::BTreeMap::new();
+        for r in rows {
+            buckets
+                .entry(r.start.as_secs() / segment_secs)
+                .or_default()
+                .push(r);
+        }
+        Epoch {
+            first_row,
+            rows: rows.len() as u32,
+            segments: buckets
+                .into_iter()
+                .map(|(bucket, rs)| Segment::build(bucket * segment_secs, &rs))
+                .collect(),
+        }
+    }
+
+    /// Decode one car's full run (canonical order) into `scratch`.
+    ///
+    /// Per-segment runs concatenate in segment order: the time bucket of
+    /// a start second is monotone in the start second, and rows within a
+    /// bucket keep their canonical relative order, so the concatenation
+    /// *is* the car's canonical `(start, cell)` sequence.
+    pub(crate) fn decode_car(&self, car: CarId, scratch: &mut GroupScratch) {
+        scratch.cells.clear();
+        scratch.starts.clear();
+        scratch.ends.clear();
+        for seg in &self.segments {
+            if let Ok(si) = seg.spans.binary_search_by_key(&car, |s| s.car) {
+                let sp = seg.spans[si];
+                let (r0, r1) = (sp.first as usize, (sp.first + sp.rows) as usize);
+                for i in r0..r1 {
+                    let cell = seg.dict[seg.cell_idx.get(i) as usize];
+                    let start = seg.base + seg.start_off.get(i);
+                    scratch.cells.push(cell);
+                    scratch.starts.push(start);
+                    scratch.ends.push(start + seg.durations.get(i));
+                }
+            }
+        }
+    }
+}
+
+/// The packed (streamed) shard representation: epochs of segments.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PackedCols {
+    /// Total rows across all epochs.
+    pub(crate) rows: usize,
+    /// Appended epochs, ascending by `first_row`.
+    pub(crate) epochs: Vec<Epoch>,
+}
+
+impl PackedCols {
+    /// The epoch containing global row id `row`, if any.
+    #[inline]
+    pub(crate) fn epoch_of(&self, row: u32) -> Option<&Epoch> {
+        let i = self.epochs.partition_point(|e| e.first_row <= row);
+        self.epochs.get(i.wrapping_sub(1))
+    }
+
+    /// Heap bytes held by all segment encodings.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.epochs
+            .iter()
+            .map(|e| e.segments.iter().map(Segment::heap_bytes).sum::<usize>())
+            .sum()
+    }
+}
+
+/// Reusable decode buffers for one car group: the three column vectors
+/// plus a group-local selection bitmap. One scratch per shard walk —
+/// capacity is retained across groups, so steady-state decoding
+/// allocates nothing.
+#[derive(Debug, Default)]
+pub(crate) struct GroupScratch {
+    pub(crate) cells: Vec<CellId>,
+    pub(crate) starts: Vec<u64>,
+    pub(crate) ends: Vec<u64>,
+    pub(crate) bits: Vec<u64>,
+}
+
+impl GroupScratch {
+    /// Decode the car group `g` from packed columns. The group must
+    /// belong to `packed` (guaranteed by the shard's car directory).
+    pub(crate) fn decode_group(&mut self, packed: &PackedCols, g: &CarGroup) {
+        match packed.epoch_of(g.first) {
+            Some(epoch) => epoch.decode_car(g.car, self),
+            None => {
+                self.cells.clear();
+                self.starts.clear();
+                self.ends.clear();
+            }
+        }
+        debug_assert_eq!(self.cells.len(), g.rows as usize);
+    }
+
+    /// Rebuild the group-local selection bitmap from a row predicate.
+    pub(crate) fn fill_bits(&mut self, row_matches: impl Fn(CellId, u64, u64) -> bool) {
+        let n = self.cells.len();
+        self.bits.clear();
+        self.bits.resize(n.div_ceil(64), 0);
+        for i in 0..n {
+            if row_matches(self.cells[i], self.starts[i], self.ends[i]) {
+                self.bits[i >> 6] |= 1u64 << (i & 63);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conncar_types::{BaseStationId, Carrier, Timestamp};
+
+    fn rec(car: u32, station: u32, start: u64, dur: u64) -> CdrRecord {
+        CdrRecord {
+            car: CarId(car),
+            cell: CellId::new(BaseStationId(station), 0, Carrier::C3),
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(start + dur),
+        }
+    }
+
+    #[test]
+    fn packed_ints_round_trip() {
+        let cases: &[Vec<u64>] = &[
+            vec![],
+            vec![0, 0, 0],
+            vec![1],
+            vec![5, 0, 63, 64, 1023],
+            (0..200).map(|i| i * 37 % 1021).collect(),
+            vec![u64::MAX, 0, u64::MAX / 2],
+        ];
+        for values in cases {
+            let p = PackedInts::pack(values);
+            assert_eq!(p.len(), values.len());
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(p.get(i), v, "i={i} width={}", p.width());
+            }
+        }
+    }
+
+    #[test]
+    fn packed_ints_zero_width_holds_no_words() {
+        let p = PackedInts::pack(&[0; 1000]);
+        assert_eq!(p.width(), 0);
+        assert_eq!(p.heap_bytes(), 0);
+        assert_eq!(p.get(999), 0);
+    }
+
+    #[test]
+    fn epoch_decodes_every_car_in_canonical_order() {
+        // Canonical (car, start, cell) order; starts span 3 buckets of
+        // 100 s each.
+        let mut records = Vec::new();
+        for car in [2u32, 5, 9] {
+            for k in 0..7u64 {
+                records.push(rec(car, (k % 3) as u32, k * 40 + u64::from(car), 30 + k));
+            }
+        }
+        let refs: Vec<&CdrRecord> = records.iter().collect();
+        let epoch = Epoch::build(&refs, 0, 100);
+        assert_eq!(epoch.rows as usize, records.len());
+        let mut scratch = GroupScratch::default();
+        for car in [2u32, 5, 9] {
+            epoch.decode_car(CarId(car), &mut scratch);
+            let want: Vec<&&CdrRecord> = refs.iter().filter(|r| r.car == CarId(car)).collect();
+            assert_eq!(scratch.cells.len(), want.len());
+            for (i, r) in want.iter().enumerate() {
+                assert_eq!(scratch.cells[i], r.cell);
+                assert_eq!(scratch.starts[i], r.start.as_secs());
+                assert_eq!(scratch.ends[i], r.end.as_secs());
+            }
+        }
+        // A car the epoch has never seen decodes to nothing.
+        epoch.decode_car(CarId(777), &mut scratch);
+        assert!(scratch.cells.is_empty());
+    }
+
+    #[test]
+    fn segment_offsets_stay_narrow() {
+        // Starts near the end of a long study: the delta packing keeps
+        // start widths bounded by the segment length, not the horizon.
+        let far = 89 * 86_400;
+        let records: Vec<CdrRecord> = (0..50)
+            .map(|i| rec(1, i % 4, far + u64::from(i) * 100, 60))
+            .collect();
+        let refs: Vec<&CdrRecord> = records.iter().collect();
+        let epoch = Epoch::build(&refs, 0, 86_400);
+        for seg in &epoch.segments {
+            assert!(seg.start_off.width() <= 17, "width {}", seg.start_off.width());
+        }
+        let mut scratch = GroupScratch::default();
+        epoch.decode_car(CarId(1), &mut scratch);
+        assert_eq!(scratch.starts[0], far);
+    }
+
+    #[test]
+    fn epoch_of_routes_rows() {
+        let a: Vec<CdrRecord> = (0..4).map(|i| rec(1, 0, i * 10, 5)).collect();
+        let b: Vec<CdrRecord> = (0..3).map(|i| rec(8, 0, i * 10, 5)).collect();
+        let p = PackedCols {
+            rows: 7,
+            epochs: vec![
+                Epoch::build(&a.iter().collect::<Vec<_>>(), 0, 100),
+                Epoch::build(&b.iter().collect::<Vec<_>>(), 4, 100),
+            ],
+        };
+        assert_eq!(p.epoch_of(0).map(|e| e.first_row), Some(0));
+        assert_eq!(p.epoch_of(3).map(|e| e.first_row), Some(0));
+        assert_eq!(p.epoch_of(4).map(|e| e.first_row), Some(4));
+        assert_eq!(p.epoch_of(6).map(|e| e.first_row), Some(4));
+    }
+
+    #[test]
+    fn fill_bits_marks_matching_rows() {
+        let records: Vec<CdrRecord> = (0..70).map(|i| rec(3, 0, i * 10, 5)).collect();
+        let refs: Vec<&CdrRecord> = records.iter().collect();
+        let epoch = Epoch::build(&refs, 0, 1_000);
+        let mut scratch = GroupScratch::default();
+        epoch.decode_car(CarId(3), &mut scratch);
+        scratch.fill_bits(|_c, s, _e| s >= 300);
+        let selected: usize = (0..70)
+            .filter(|&i| (scratch.bits[i >> 6] >> (i & 63)) & 1 == 1)
+            .count();
+        assert_eq!(selected, records.iter().filter(|r| r.start.as_secs() >= 300).count());
+    }
+}

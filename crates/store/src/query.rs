@@ -381,6 +381,12 @@ impl CdrStore {
             }
             return RowSelection::Rows(rows);
         }
+        // The remaining paths need the flat row indexes; packed shards
+        // carry none, so their row predicates run as residual filters
+        // over a full group scan.
+        let Some(f) = shard.flat() else {
+            return RowSelection::All;
+        };
         if let Some(cells) = &filter.cells {
             // Cell postings: union the per-cell lists, restore row order.
             let mut rows: Vec<u32> = Vec::new();
@@ -399,11 +405,11 @@ impl CdrStore {
             // Time index: rows starting at/after the window end can never
             // overlap it; check the rest, restore row order.
             let idx = shard.time_index();
-            let cut = idx.partition_point(|&row| shard.starts[row as usize] < we);
+            let cut = idx.partition_point(|&row| f.starts[row as usize] < we);
             let mut rows: Vec<u32> = idx[..cut]
                 .iter()
                 .copied()
-                .filter(|&row| shard.ends[row as usize] > ws)
+                .filter(|&row| f.ends[row as usize] > ws)
                 .collect();
             rows.sort_unstable();
             return RowSelection::Rows(rows);
@@ -421,14 +427,20 @@ impl CdrStore {
         fold: &(impl Fn(&mut A, CdrRecord) + ?Sized),
     ) -> QueryStats {
         let shard = &self.shards()[shard_id];
+        if let Some(p) = shard.packed() {
+            return scan_shard_packed(shard, p, filter, acc, fold);
+        }
         let mut stats = QueryStats {
             shards_scanned: 1,
             ..QueryStats::default()
         };
+        let Some(f) = shard.flat() else {
+            return stats;
+        };
         let mut visit = |row: usize| {
             stats.rows_scanned += 1;
-            let (cell, s, e) = (shard.cells[row], shard.starts[row], shard.ends[row]);
-            if filter.car_matches(shard.cars[row]) && filter.row_matches(cell, s, e) {
+            let (cell, s, e) = (f.cells[row], f.starts[row], f.ends[row]);
+            if filter.car_matches(f.cars[row]) && filter.row_matches(cell, s, e) {
                 stats.rows_matched += 1;
                 fold(acc, shard.record(row));
             }
@@ -504,6 +516,51 @@ impl CdrStore {
     pub fn count(&self, filter: &Filter) -> (u64, QueryStats) {
         self.scan_fold(filter, || 0u64, |n, _| *n += 1, |a, b| a + b)
     }
+}
+
+/// [`CdrStore::scan_shard`] over a packed shard: walk the car
+/// directory in row order, decode each visited group once (decode
+/// fused into the scan), and run the residual predicate per row. With
+/// a car set the directory narrows the walk (an index scan); otherwise
+/// every row is visited, exactly like the flat full scan.
+fn scan_shard_packed<A>(
+    shard: &crate::columns::Shard,
+    packed: &crate::packed::PackedCols,
+    filter: &Filter,
+    acc: &mut A,
+    fold: &(impl Fn(&mut A, CdrRecord) + ?Sized),
+) -> QueryStats {
+    let narrowed = filter.car_set().is_some();
+    let mut stats = QueryStats {
+        shards_scanned: 1,
+        index_scans: u32::from(narrowed),
+        full_scans: u32::from(!narrowed),
+        ..QueryStats::default()
+    };
+    let mut scratch = crate::packed::GroupScratch::default();
+    for g in shard.car_groups() {
+        if !filter.car_matches(g.car) {
+            continue;
+        }
+        scratch.decode_group(packed, g);
+        for i in 0..scratch.cells.len() {
+            stats.rows_scanned += 1;
+            let (cell, s, e) = (scratch.cells[i], scratch.starts[i], scratch.ends[i]);
+            if filter.row_matches(cell, s, e) {
+                stats.rows_matched += 1;
+                fold(
+                    acc,
+                    CdrRecord {
+                        car: g.car,
+                        cell,
+                        start: Timestamp::from_secs(s),
+                        end: Timestamp::from_secs(e),
+                    },
+                );
+            }
+        }
+    }
+    stats
 }
 
 #[cfg(test)]

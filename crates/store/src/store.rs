@@ -89,6 +89,26 @@ impl CdrStore {
         }
     }
 
+    /// Assemble a store from already-laid-out shards (the streaming
+    /// [`crate::StoreBuilder`] path). Claims a fresh generation, like
+    /// every batch build.
+    pub(crate) fn from_parts(
+        period: StudyPeriod,
+        shards: Vec<Shard>,
+        len: usize,
+        clock: SharedClock,
+        build_stats: Vec<ShardBuildStats>,
+    ) -> CdrStore {
+        CdrStore {
+            period,
+            shards,
+            len,
+            clock,
+            build_stats,
+            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
     /// Build with a shard count sized to the machine and the dataset:
     /// roughly four tasks per available core (so work-stealing can level
     /// uneven shards), capped at 64 and at one shard per 1024 rows.

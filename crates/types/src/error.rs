@@ -94,6 +94,17 @@ pub enum Error {
         /// Which lock was found poisoned, e.g. `serve.ServiceState`.
         what: &'static str,
     },
+    /// A streaming store append was used out of contract: chunks must
+    /// arrive in ascending, non-overlapping car-id ranges against the
+    /// period the builder was opened with. Surfaced as a typed error
+    /// instead of a panic so a misbehaving driver cannot take down the
+    /// build (lint rule L7 discipline).
+    StoreAppend {
+        /// Which append invariant was violated.
+        what: &'static str,
+        /// Why the chunk was rejected.
+        why: String,
+    },
     /// The ingest→clean pipeline could not produce a usable dataset
     /// from a byte stream: the input carried data, but nothing
     /// salvageable survived to be cleaned. Partial damage is *not* an
@@ -149,6 +160,9 @@ impl fmt::Display for Error {
             }
             Error::Clean { stage, why } => {
                 write!(f, "clean pipeline failed at stage `{stage}`: {why}")
+            }
+            Error::StoreAppend { what, why } => {
+                write!(f, "store append rejected `{what}`: {why}")
             }
         }
     }
@@ -213,6 +227,11 @@ mod tests {
             what: "serve.ServiceState",
         };
         assert!(e.to_string().contains("serve.ServiceState"), "{e}");
+        let e = Error::StoreAppend {
+            what: "car_order",
+            why: "chunk starts at car 4 but car 9 was already appended".into(),
+        };
+        assert!(e.to_string().contains("store append rejected `car_order`"), "{e}");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! conncar record --list                  # list corpus fixture names
 //! conncar replay <dir>                   # replay DIR/trace.json against DIR/golden.json
 //! conncar replay <trace.json> <golden.json>
+//! conncar build [scale/build flags]      # out-of-core streaming build, one JSON metrics line
 //! conncar query [filter/agg flags]       # one-shot query against a generated store
 //! conncar serve [server flags]           # framed-TCP query server (stops on stdin EOF)
 //! conncar stats --addr HOST:PORT         # one-shot live-metrics snapshot of a server
@@ -29,9 +30,9 @@
 //!
 //! Exit codes: 0 clean, 1 divergence/refused query, 2 usage/IO error.
 
-use conncar::{StudyConfig, StudyData};
+use conncar::{build_streamed, BuildConfig, StudyConfig, StudyData};
 use conncar_replay::{corpus, verify_and_replay, Recipe};
-use conncar_obs::MonotonicClock;
+use conncar_obs::{Clock, MonotonicClock};
 use conncar_serve::{stats, Aggregation, QueryRequest, ServeClient, ServeEngine, ServeServer};
 use conncar_store::{CdrStore, Filter, QueryStats, RecordKind};
 use conncar_types::{BaseStationId, CarId, Carrier, CellId, Duration, Timestamp};
@@ -44,6 +45,7 @@ fn main() -> ExitCode {
     match args.next().as_deref() {
         Some("record") => record_cmd(args.collect()),
         Some("replay") => replay_cmd(args.collect()),
+        Some("build") => build_cmd(args.collect()),
         Some("query") => query_cmd(args.collect()),
         Some("serve") => serve_cmd(args.collect()),
         Some("stats") => stats_cmd(args.collect()),
@@ -64,6 +66,9 @@ usage:\n\
   conncar record --list                  list corpus fixture names\n\
   conncar replay <dir>                   replay DIR/trace.json against DIR/golden.json\n\
   conncar replay <trace.json> <golden.json>\n\
+  conncar build [--fixture tiny|small|paper] [--cars N] [--days N] [--shards N]\n\
+                [--chunk-cars N] [--segment-hours N]\n\
+                streaming out-of-core build; prints one JSON metrics line on stdout\n\
   conncar query [--fixture tiny|small] [--shards N]\n\
                 [--car ID]... [--cell STATION:SECTOR:CARRIER]... [--carrier C1..C5]\n\
                 [--window START_SECS END_SECS] [--kind any|shorter:SECS|atleast:SECS]\n\
@@ -266,6 +271,120 @@ fn query_cmd(args: Vec<String>) -> ExitCode {
         }
         Err(e) => {
             eprintln!("query refused: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn build_cmd(args: Vec<String>) -> ExitCode {
+    let mut fixture = "paper".to_string();
+    let mut cars: Option<u32> = None;
+    let mut days: Option<u32> = None;
+    let mut shards = 8usize;
+    let mut chunk_cars: Option<u32> = None;
+    let mut segment_hours: Option<u32> = None;
+
+    let mut it = args.into_iter();
+    let parsed = (|| -> Result<(), String> {
+        fn num<T: std::str::FromStr>(
+            name: &str,
+            it: &mut impl Iterator<Item = String>,
+        ) -> Result<T, String> {
+            let v = it.next().ok_or(format!("{name} needs a value"))?;
+            v.parse().map_err(|_| format!("bad {name} `{v}`"))
+        }
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--fixture" => fixture = it.next().ok_or("--fixture needs a value")?,
+                "--cars" => cars = Some(num("--cars", &mut it)?),
+                "--days" => days = Some(num("--days", &mut it)?),
+                "--shards" => shards = num("--shards", &mut it)?,
+                "--chunk-cars" => chunk_cars = Some(num("--chunk-cars", &mut it)?),
+                "--segment-hours" => segment_hours = Some(num("--segment-hours", &mut it)?),
+                other => return Err(format!("unknown build flag `{other}`")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(msg) = parsed {
+        return usage(&msg);
+    }
+
+    let mut cfg = match fixture.as_str() {
+        "tiny" => StudyConfig::tiny(),
+        "small" => StudyConfig::small(),
+        "paper" => StudyConfig::paper(),
+        other => return usage(&format!("unknown fixture `{other}` (tiny|small|paper)")),
+    };
+    if let Some(c) = cars {
+        cfg.fleet.cars = c;
+    }
+    if let Some(d) = days {
+        cfg.period = match conncar_types::StudyPeriod::new(cfg.period.start_day(), d) {
+            Ok(p) => p,
+            Err(e) => return usage(&format!("bad --days: {e}")),
+        };
+        // A shortened window can strand the fixture's loss days past the
+        // end; drop them rather than fail validation on a smoke run.
+        let before = cfg.faults.loss_days.len();
+        cfg.faults.loss_days.retain(|&l| l < u64::from(d));
+        if cfg.faults.loss_days.len() != before {
+            eprintln!(
+                "note: dropped {} loss day(s) outside the {d}-day window",
+                before - cfg.faults.loss_days.len()
+            );
+        }
+    }
+    if chunk_cars.is_some() || segment_hours.is_some() {
+        let mut b = cfg.build.clone().unwrap_or_default();
+        if let Some(c) = chunk_cars {
+            b.chunk_cars = c;
+        }
+        if let Some(h) = segment_hours {
+            b.segment_hours = h;
+        }
+        cfg.build = Some(b);
+    }
+
+    let clock = MonotonicClock::new();
+    let t0 = clock.now_nanos();
+    match build_streamed(&cfg, shards) {
+        Ok(b) => {
+            let wall_ns = clock.now_nanos().saturating_sub(t0).max(1);
+            let rows = b.rows();
+            let rows_per_sec = rows as f64 * 1e9 / wall_ns as f64;
+            let resolved = b.build.clone();
+            eprintln!(
+                "built {} cars x {} days -> {} clean rows in {} shard(s), {} chunk(s) of {} cars",
+                cfg.fleet.cars,
+                cfg.period.days(),
+                rows,
+                b.store.shard_count(),
+                b.chunks.len(),
+                resolved.chunk_cars,
+            );
+            // One flat, machine-readable line; the scale bench and the
+            // CI gate consume exactly this.
+            println!(
+                "{{\"cars\":{},\"days\":{},\"shards\":{},\"chunk_cars\":{},\"segment_hours\":{},\
+                 \"chunks\":{},\"rows_truth\":{},\"rows_clean\":{},\"wall_ns\":{},\
+                 \"rows_per_sec\":{:.1},\"peak_rss_bytes\":{}}}",
+                cfg.fleet.cars,
+                cfg.period.days(),
+                b.store.shard_count(),
+                resolved.chunk_cars,
+                resolved.segment_hours,
+                b.chunks.len(),
+                b.run_report.records_truth,
+                rows,
+                wall_ns,
+                rows_per_sec,
+                conncar_obs::peak_rss_bytes(),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: streaming build: {e}");
             ExitCode::FAILURE
         }
     }

@@ -8,8 +8,8 @@
 //! any shard count.
 
 use conncar::report::render_full_report;
-use conncar::{StudyAnalyses, StudyConfig, StudyData};
-use conncar_store::CdrStore;
+use conncar::{build_streamed, BuildConfig, StudyAnalyses, StudyConfig, StudyData};
+use conncar_store::{CdrStore, Filter};
 
 /// Field-for-field equality of two analysis runs (`query_stats` is
 /// excluded by design: it reports cost, not results).
@@ -67,4 +67,72 @@ fn tiny_study_store_path_is_byte_identical() {
 #[test]
 fn small_study_store_path_is_byte_identical() {
     check_config(StudyConfig::small(), &[1, 7], "small");
+}
+
+/// The out-of-core streaming build must land the *same study* as the
+/// batch path: identical store contents record-for-record, identical
+/// structured analyses, and a byte-identical rendered report — for
+/// every pinned shard count, with a chunk size small enough that the
+/// fixture streams in several uneven chunks.
+fn check_streamed(cfg: StudyConfig, shard_counts: &[usize], label: &str) {
+    let batch = StudyData::generate(&cfg).expect("batch build");
+    let legacy = StudyAnalyses::run_legacy(&batch).expect("legacy path");
+    let legacy_report = render_full_report(&legacy);
+
+    for &shards in shard_counts {
+        let mut scfg = cfg.clone();
+        // A chunk size that slices the fleet unevenly, so chunking
+        // actually happens (never a single whole-fleet chunk).
+        scfg.build = Some(BuildConfig {
+            chunk_cars: (cfg.fleet.cars / 3).max(1),
+            segment_hours: 6,
+        });
+        let streamed = build_streamed(&scfg, shards).expect("streamed build");
+        assert!(
+            streamed.chunks.len() >= 3,
+            "{label}/shards={shards}: expected >=3 chunks, got {}",
+            streamed.chunks.len()
+        );
+        assert_eq!(streamed.store.shard_count(), shards, "{label}: shard count");
+
+        // Store contents: the streamed segments hold exactly the batch
+        // clean dataset (collect() + re-sort == batch clean).
+        let batch_store = CdrStore::build(&batch.clean, shards);
+        let (mut streamed_rows, _) = streamed.store.collect(&Filter::all());
+        let (mut batch_rows, _) = batch_store.collect(&Filter::all());
+        let key = |r: &conncar_cdr::CdrRecord| {
+            (r.car.0, r.start.as_secs(), r.end.as_secs(), r.cell.station.0)
+        };
+        streamed_rows.sort_unstable_by_key(key);
+        batch_rows.sort_unstable_by_key(key);
+        assert_eq!(
+            streamed_rows, batch_rows,
+            "{label}/shards={shards}: stored records"
+        );
+
+        // Analyses and report, served straight off the streamed store.
+        let (study, store) = streamed.into_study();
+        assert_eq!(study.clean, batch.clean, "{label}/shards={shards}: clean");
+        assert_eq!(
+            study.run_report, batch.run_report,
+            "{label}/shards={shards}: run report"
+        );
+        let got = StudyAnalyses::run_with_store(&study, &store).expect("streamed store path");
+        assert_same_results(&got, &legacy, &format!("{label}/streamed/shards={shards}"));
+        assert_eq!(
+            render_full_report(&got),
+            legacy_report,
+            "{label}/streamed/shards={shards}: report bytes"
+        );
+    }
+}
+
+#[test]
+fn tiny_streamed_build_is_byte_identical_to_legacy() {
+    check_streamed(StudyConfig::tiny(), &[1, 2, 7], "tiny");
+}
+
+#[test]
+fn small_streamed_build_is_byte_identical_to_legacy() {
+    check_streamed(StudyConfig::small(), &[1, 2, 7], "small");
 }
